@@ -1,0 +1,183 @@
+// Ablation bench for the design choices called out in DESIGN.md §5 that are
+// not covered by the paper's own tables:
+//  * EM vs collapsed Gibbs inference for the link-clustering model
+//    (quality via NMI against planted areas, plus wall-clock).
+//  * Background topic on/off for CATHYHIN.
+//  * STROD vs anchor-word spectral recovery vs Gibbs LDA (the Section 2.1
+//    discussion: the anchor method needs stronger assumptions and carries a
+//    weaker error bound — visible as higher recovery error off-assumption).
+//  * Greedy (Alg. 2) vs Viterbi segmentation agreement.
+#include <cstdio>
+
+#include "baselines/anchor_words.h"
+#include "baselines/lda_gibbs.h"
+#include "bench_util.h"
+#include "common/math_util.h"
+#include "common/timer.h"
+#include "core/doc_inference.h"
+#include "core/gibbs_clusterer.h"
+#include "data/lda_gen.h"
+#include "eval/clustering_metrics.h"
+#include "phrase/frequent_miner.h"
+#include "phrase/segmenter.h"
+#include "phrase/viterbi_segmenter.h"
+#include "strod/strod.h"
+
+int main() {
+  using namespace latent;
+  std::printf("Design-choice ablations (DESIGN.md section 5)\n");
+
+  // ---- EM vs Gibbs link clustering; background on/off ----
+  {
+    data::HinDatasetOptions gopt = data::DblpLikeOptions(3000, 990);
+    gopt.num_areas = 4;
+    gopt.subareas_per_area = 1;
+    data::HinDataset ds = data::GenerateHinDataset(gopt);
+    hin::HeteroNetwork net = hin::BuildCollapsedNetwork(
+        ds.corpus, ds.entity_type_names, ds.entity_type_sizes,
+        ds.entity_docs);
+    auto parent = core::DegreeDistributions(net);
+
+    auto nmi_of = [&](const core::ClusterResult& model) {
+      // Build a 1-level tree from the fit and assign docs.
+      core::TopicHierarchy tree(net.type_names(), net.type_sizes());
+      tree.AddRoot(parent, net.TotalWeight());
+      for (int z = 0; z < model.k; ++z) {
+        tree.AddChild(0, model.rho[z], model.phi[z], 1.0);
+      }
+      auto assignment =
+          core::AssignDocumentsToLevel(tree, ds.corpus, ds.entity_docs, 1);
+      return eval::NormalizedMutualInformation(assignment, ds.doc_area);
+    };
+
+    std::printf("\n== link clustering: EM vs Gibbs, background on/off ==\n");
+    bench::PrintHeader({"variant", "NMI", "seconds"});
+    {
+      WallTimer t;
+      core::ClusterOptions opt;
+      opt.num_topics = 4;
+      opt.background = true;
+      opt.restarts = 2;
+      opt.max_iters = 80;
+      opt.seed = 5;
+      core::ClusterResult r = core::FitCluster(net, parent, opt);
+      bench::PrintRow("EM + background", {nmi_of(r), t.Seconds()});
+    }
+    {
+      WallTimer t;
+      core::ClusterOptions opt;
+      opt.num_topics = 4;
+      opt.background = false;
+      opt.restarts = 2;
+      opt.max_iters = 80;
+      opt.seed = 5;
+      core::ClusterResult r = core::FitCluster(net, parent, opt);
+      bench::PrintRow("EM, no background", {nmi_of(r), t.Seconds()});
+    }
+    {
+      WallTimer t;
+      core::GibbsClusterOptions opt;
+      opt.num_topics = 4;
+      opt.iterations = 120;
+      opt.seed = 5;
+      core::ClusterResult r = core::FitClusterGibbs(net, opt);
+      bench::PrintRow("collapsed Gibbs", {nmi_of(r), t.Seconds()});
+    }
+  }
+
+  // ---- STROD vs anchor words vs Gibbs LDA ----
+  {
+    std::printf("\n== flat topic recovery: STROD vs anchors vs Gibbs ==\n");
+    bench::PrintHeader({"method", "err (anchored)", "err (smooth)",
+                        "seconds"},
+                       16);
+    // Two regimes: sparse topics (anchors exist) and smooth topics (the
+    // anchor assumption fails).
+    auto make = [&](double sparsity, uint64_t seed) {
+      data::LdaGenOptions gopt;
+      gopt.num_topics = 4;
+      gopt.vocab_size = 200;
+      gopt.num_docs = 3000;
+      gopt.doc_length = 40;
+      gopt.topic_sparsity = sparsity;
+      gopt.seed = seed;
+      return data::GenerateLdaDataset(gopt);
+    };
+    data::LdaDataset anchored = make(0.03, 991);
+    data::LdaDataset smooth = make(0.8, 992);
+
+    auto run_strod = [&](const data::LdaDataset& ds) {
+      strod::StrodOptions opt;
+      opt.num_topics = 4;
+      opt.seed = 3;
+      return MatchedL1Error(
+          ds.true_topic_word,
+          strod::FitStrod(ds.docs, ds.vocab_size, opt).topic_word);
+    };
+    auto run_anchor = [&](const data::LdaDataset& ds) {
+      baselines::AnchorWordsOptions opt;
+      opt.num_topics = 4;
+      return MatchedL1Error(
+          ds.true_topic_word,
+          baselines::FitAnchorWords(ds.docs, ds.vocab_size, opt).topic_word);
+    };
+    auto run_gibbs = [&](const data::LdaDataset& ds) {
+      baselines::LdaOptions opt;
+      opt.num_topics = 4;
+      opt.iterations = 120;
+      opt.seed = 3;
+      text::Corpus corpus = ds.ToCorpus();
+      return MatchedL1Error(ds.true_topic_word,
+                            baselines::FitLda(corpus, opt).topic_word);
+    };
+    WallTimer t1;
+    double s1 = run_strod(anchored), s2 = run_strod(smooth);
+    double ts = t1.Seconds();
+    WallTimer t2;
+    double a1 = run_anchor(anchored), a2 = run_anchor(smooth);
+    double ta = t2.Seconds();
+    WallTimer t3;
+    double g1 = run_gibbs(anchored), g2 = run_gibbs(smooth);
+    double tg = t3.Seconds();
+    bench::PrintRow("STROD", {s1, s2, ts}, 16);
+    bench::PrintRow("anchor words", {a1, a2, ta}, 16);
+    bench::PrintRow("Gibbs LDA (120it)", {g1, g2, tg}, 16);
+    std::printf("(paper discussion: the anchor method degrades when its "
+                "anchor assumption fails — compare the two columns)\n");
+  }
+
+  // ---- greedy vs Viterbi segmentation ----
+  {
+    std::printf("\n== segmentation: greedy (Alg. 2) vs Viterbi ==\n");
+    data::HinDatasetOptions gopt = data::DblpLikeOptions(3000, 993);
+    gopt.with_entities = false;
+    data::HinDataset ds = data::GenerateHinDataset(gopt);
+    phrase::MinerOptions mopt;
+    mopt.min_support = 5;
+    phrase::PhraseDict dict1 = phrase::MineFrequentPhrases(ds.corpus, mopt);
+    phrase::PhraseDict dict2 = dict1;
+    WallTimer tg;
+    auto greedy = phrase::SegmentCorpus(ds.corpus, &dict1,
+                                        phrase::SegmenterOptions());
+    double greedy_s = tg.Seconds();
+    WallTimer tv;
+    auto viterbi = phrase::ViterbiSegmentCorpus(ds.corpus, &dict2,
+                                                phrase::ViterbiOptions());
+    double viterbi_s = tv.Seconds();
+    long long same = 0, total = 0;
+    double g_instances = 0, v_instances = 0;
+    for (int d = 0; d < ds.corpus.num_docs(); ++d) {
+      g_instances += greedy[d].num_instances();
+      v_instances += viterbi[d].num_instances();
+      ++total;
+      if (greedy[d].phrases == viterbi[d].phrases) ++same;
+    }
+    bench::PrintHeader({"metric", "greedy", "viterbi"});
+    bench::PrintRow("seconds", {greedy_s, viterbi_s});
+    bench::PrintRow("instances/doc",
+                    {g_instances / total, v_instances / total});
+    std::printf("identical partitions: %.1f%% of documents\n",
+                100.0 * same / total);
+  }
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Reproduces the Chapter 5 case studies: Table 5.1 (quality-only vs
+// entity-specific vs combined phrase ranking for two authors sharing a
+// topic) and Figures 5.2/5.3 (an entity's topical frequency distribution
+// down the hierarchy).
+//
+// Paper shape to reproduce: entity-specific-only ranking surfaces odd
+// phrases; quality-only ignores the entity; the combination is both topical
+// and entity-faithful. The role trees separate two same-area authors at the
+// subarea level.
+#include <cstdio>
+#include <vector>
+
+#include "api/latent.h"
+#include "bench_util.h"
+#include "role/role_analysis.h"
+
+int main() {
+  using namespace latent;
+  std::printf("Chapter 5 case study: entity-specific phrase ranking and "
+              "role trees\n\n");
+
+  data::HinDatasetOptions gopt = data::DblpLikeOptions(4000, 401);
+  gopt.num_areas = 4;
+  gopt.subareas_per_area = 3;
+  data::HinDataset ds = data::GenerateHinDataset(gopt);
+
+  api::PipelineOptions popt;
+  popt.build.levels_k = {4, 3};
+  popt.build.max_depth = 2;
+  popt.build.cluster.weight_mode = core::LinkWeightMode::kLearned;
+  popt.build.cluster.restarts = 2;
+  popt.build.cluster.max_iters = 60;
+  popt.build.cluster.seed = 17;
+  popt.miner.min_support = 5;
+  api::MinedHierarchy mined = api::MineTopicalHierarchy(
+      ds.corpus, ds.entity_type_names, ds.entity_type_sizes, ds.entity_docs,
+      popt);
+
+  // Two authors of the SAME area but different subareas (like Yu vs
+  // Faloutsos within Data Mining).
+  const int author_a = 0;                              // subarea 0
+  const int author_b = gopt.entities0_per_subarea;     // subarea 1
+  auto docs_of = [&](int author) {
+    std::vector<int> docs;
+    for (int d = 0; d < ds.corpus.num_docs(); ++d) {
+      for (int e : ds.entity_docs[d].entities[0]) {
+        if (e == author) docs.push_back(d);
+      }
+    }
+    return docs;
+  };
+  std::vector<int> docs_a = docs_of(author_a), docs_b = docs_of(author_b);
+
+  // Their shared area topic: the level-1 node dominated by area 0.
+  role::EntityTopicProfile profile(mined.kert(), mined.tree());
+  std::vector<double> fa = profile.EntityTopicFrequencies(docs_a);
+  std::vector<double> fb = profile.EntityTopicFrequencies(docs_b);
+  int topic = mined.tree().NodesAtLevel(1)[0];
+  for (int node : mined.tree().NodesAtLevel(1)) {
+    if (fa[node] > fa[topic]) topic = node;
+  }
+
+  phrase::KertOptions kopt;
+  role::EntityPhraseRanker ranker(mined.kert());
+  auto print_ranking = [&](const char* label, const std::vector<int>& docs,
+                           double alpha) {
+    std::printf("%-26s:", label);
+    for (const auto& [p, s] : ranker.Rank(topic, docs, kopt, alpha, 5)) {
+      std::printf(" [%s]", mined.dict().ToString(p, ds.corpus.vocab()).c_str());
+    }
+    std::printf("\n");
+  };
+  std::printf("=== Table 5.1 analogue (topic %s) ===\n",
+              mined.tree().node(topic).path.c_str());
+  print_ranking("quality only (alpha=0)", docs_a, 0.0);
+  print_ranking("author A entity-only", docs_a, 1.0);
+  print_ranking("author A combined", docs_a, 0.5);
+  print_ranking("author B entity-only", docs_b, 1.0);
+  print_ranking("author B combined", docs_b, 0.5);
+
+  std::printf("\n=== Figures 5.2/5.3 analogue: role trees ===\n");
+  auto print_tree = [&](const char* name, const std::vector<double>& f) {
+    std::printf("%s (%0.1f papers):\n", name, f[mined.tree().root()]);
+    for (int id = 0; id < mined.tree().num_nodes(); ++id) {
+      if (f[id] >= 0.5 && id != mined.tree().root()) {
+        std::printf("  %-8s f=%.1f\n", mined.tree().node(id).path.c_str(),
+                    f[id]);
+      }
+    }
+  };
+  // Root frequency = number of docs.
+  fa[mined.tree().root()] = static_cast<double>(docs_a.size());
+  fb[mined.tree().root()] = static_cast<double>(docs_b.size());
+  print_tree("author A (planted subarea 0)", fa);
+  print_tree("author B (planted subarea 1)", fb);
+  std::printf("\nPaper shape: both authors live in the same level-1 topic "
+              "but split at level 2 (their subareas), and the combined\n"
+              "ranking surfaces each author's own signature phrases.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Reproduces Figure 4.2: mutual information MI@K between phrase-represented
+// topics and document labels on the labeled arXiv-like corpus, as a
+// function of K, for kpRel, kpRelInt*, KERT-pop-only, KERT-pur-only,
+// KERT-pop+pur, and full KERT.
+//
+// Paper shape to reproduce: KERT(pop+pur) best (> 20% over baselines for
+// mid K); popularity-only ~ baselines; purity-only by far the worst.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/kp_rank.h"
+#include "bench_util.h"
+#include "core/builder.h"
+#include "eval/mutual_info.h"
+#include "phrase/frequent_miner.h"
+#include "phrase/kert.h"
+
+int main() {
+  using namespace latent;
+  std::printf("Figure 4.2: MI@K on the arXiv-like labeled corpus "
+              "(k=5 topics)\n\n");
+
+  data::HinDataset ds =
+      data::GenerateHinDataset(data::ArxivLikeOptions(6000, 52));
+
+  hin::HeteroNetwork net = hin::BuildTermCooccurrenceNetwork(ds.corpus);
+  core::BuildOptions bopt;
+  bopt.levels_k = {5};
+  bopt.max_depth = 1;
+  bopt.cluster.background = false;
+  bopt.cluster.restarts = 3;
+  bopt.cluster.max_iters = 80;
+  bopt.cluster.seed = 35;
+  core::TopicHierarchy tree = core::BuildHierarchy(net, bopt);
+
+  phrase::MinerOptions mopt;
+  mopt.min_support = 5;
+  phrase::PhraseDict dict = phrase::MineFrequentPhrases(ds.corpus, mopt);
+  phrase::KertScorer kert(ds.corpus, dict, tree);
+  const std::vector<int> topics = tree.NodesAtLevel(1);
+
+  // Criterion-specific rankings built from the exposed KERT criteria.
+  const double mu = 3.0;
+  auto rank_by = [&](int node, auto score_fn) {
+    std::vector<Scored<int>> scores;
+    for (int p = 0; p < dict.size(); ++p) {
+      if (kert.TopicalFrequency(node, p) < mu) continue;
+      scores.emplace_back(p, score_fn(node, p));
+    }
+    return TopK(std::move(scores), size_t{800});
+  };
+
+  struct Method {
+    std::string name;
+    std::vector<std::vector<Scored<int>>> rankings;
+  };
+  std::vector<Method> methods;
+  auto add = [&](const std::string& name, auto fn) {
+    Method m;
+    m.name = name;
+    for (int node : topics) m.rankings.push_back(fn(node));
+    methods.push_back(std::move(m));
+  };
+
+  phrase::KertOptions kopt;
+  add("KERT(pop+pur)", [&](int node) {
+    return rank_by(node, [&](int n, int p) {
+      return kert.Popularity(n, p, mu) * kert.Purity(n, p, mu);
+    });
+  });
+  add("KERT", [&](int node) { return kert.RankTopic(node, kopt, 800); });
+  add("KERTpop", [&](int node) {
+    return rank_by(node,
+                   [&](int n, int p) { return kert.Popularity(n, p, mu); });
+  });
+  add("kpRel",
+      [&](int node) { return baselines::KpRelRank(kert, node, 800); });
+  add("kpRelInt*",
+      [&](int node) { return baselines::KpRelIntRank(kert, node, 800); });
+  add("KERTpur", [&](int node) {
+    return rank_by(node, [&](int n, int p) { return kert.Purity(n, p, mu); });
+  });
+
+  const std::vector<int> ks = {50, 100, 200, 300, 400, 600};
+  std::vector<std::string> header = {"method"};
+  for (int k : ks) header.push_back("MI@" + std::to_string(k));
+  bench::PrintHeader(header, 10);
+  for (const Method& m : methods) {
+    std::vector<double> row;
+    for (int k : ks) {
+      row.push_back(eval::MutualInformationAtK(ds.corpus, ds.doc_area, 5,
+                                               dict, m.rankings, k));
+    }
+    bench::PrintRow(m.name, row, 10);
+  }
+  std::printf("\nPaper shape: pop+pur on top, purity-only far below, "
+              "popularity-only ~ baselines.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Google-benchmark micro-kernels for the hot loops: one CATHYHIN EM
+// iteration, one PhraseLDA Gibbs sweep, frequent phrase mining, the
+// whitened tensor power step, and TPFG message passing. These are the
+// per-iteration costs behind the runtime tables (4.5, 7.4.1).
+#include <benchmark/benchmark.h>
+
+#include "core/clusterer.h"
+#include "data/advisor_gen.h"
+#include "data/lda_gen.h"
+#include "data/synthetic_hin.h"
+#include "phrase/frequent_miner.h"
+#include "phrase/phrase_lda.h"
+#include "relation/tpfg.h"
+#include "relation/tpfg_preprocess.h"
+#include "strod/strod.h"
+
+namespace latent {
+namespace {
+
+const data::HinDataset& SharedHin() {
+  static const data::HinDataset* const ds = [] {
+    data::HinDatasetOptions opt = data::DblpLikeOptions(2000, 1001);
+    return new data::HinDataset(data::GenerateHinDataset(opt));
+  }();
+  return *ds;
+}
+
+void BM_CathyHinEmIteration(benchmark::State& state) {
+  const data::HinDataset& ds = SharedHin();
+  hin::HeteroNetwork net = hin::BuildCollapsedNetwork(
+      ds.corpus, ds.entity_type_names, ds.entity_type_sizes, ds.entity_docs);
+  auto parent = core::DegreeDistributions(net);
+  core::ClusterOptions opt;
+  opt.num_topics = 6;
+  opt.max_iters = 1;  // a single EM iteration per fit
+  opt.restarts = 1;
+  opt.seed = 3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::FitCluster(net, parent, opt));
+  }
+  state.SetItemsProcessed(state.iterations() * net.NumLinks());
+}
+BENCHMARK(BM_CathyHinEmIteration)->Unit(benchmark::kMillisecond);
+
+void BM_PhraseLdaSweep(benchmark::State& state) {
+  const data::HinDataset& ds = SharedHin();
+  auto instances = phrase::UnigramInstances(ds.corpus);
+  phrase::PhraseLdaOptions opt;
+  opt.num_topics = 6;
+  opt.iterations = 1;
+  opt.seed = 5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        phrase::FitPhraseLda(instances, ds.corpus.vocab_size(), opt));
+  }
+  state.SetItemsProcessed(state.iterations() * ds.corpus.total_tokens());
+}
+BENCHMARK(BM_PhraseLdaSweep)->Unit(benchmark::kMillisecond);
+
+void BM_FrequentPhraseMining(benchmark::State& state) {
+  const data::HinDataset& ds = SharedHin();
+  phrase::MinerOptions opt;
+  opt.min_support = 5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(phrase::MineFrequentPhrases(ds.corpus, opt));
+  }
+  state.SetItemsProcessed(state.iterations() * ds.corpus.total_tokens());
+}
+BENCHMARK(BM_FrequentPhraseMining)->Unit(benchmark::kMillisecond);
+
+void BM_StrodFit(benchmark::State& state) {
+  static const data::LdaDataset* const ds = [] {
+    data::LdaGenOptions opt;
+    opt.num_docs = 2000;
+    opt.vocab_size = 400;
+    opt.seed = 7;
+    return new data::LdaDataset(data::GenerateLdaDataset(opt));
+  }();
+  strod::StrodOptions opt;
+  opt.num_topics = 5;
+  opt.seed = 9;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strod::FitStrod(ds->docs, ds->vocab_size, opt));
+  }
+}
+BENCHMARK(BM_StrodFit)->Unit(benchmark::kMillisecond);
+
+void BM_TpfgInference(benchmark::State& state) {
+  static const data::AdvisorDataset* const ds = [] {
+    data::AdvisorGenOptions opt;
+    opt.num_root_advisors = 40;
+    opt.seed = 11;
+    return new data::AdvisorDataset(data::GenerateAdvisorDataset(opt));
+  }();
+  relation::PreprocessOptions popt;
+  relation::CandidateDag dag = relation::BuildCandidateDag(*ds->network, popt);
+  relation::TpfgOptions topt;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(relation::RunTpfg(dag, topt));
+  }
+  state.SetItemsProcessed(state.iterations() * ds->num_authors);
+}
+BENCHMARK(BM_TpfgInference)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace latent
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+// Reproduces Table 4.4: nKQM@{5,10,20} across ranking methods, scored by
+// three oracle judges with agreement weighting.
+//
+// Paper shape to reproduce (ordering, worst to best):
+//   KERT-pop < kpRelInt* ~ KERT-con < kpRel < KERT-com ~ KERT < KERT-pur.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/kp_rank.h"
+#include "bench_util.h"
+#include "core/builder.h"
+#include "eval/nkqm.h"
+#include "eval/oracle_judge.h"
+#include "phrase/frequent_miner.h"
+#include "phrase/kert.h"
+
+int main() {
+  using namespace latent;
+  std::printf("Table 4.4: nKQM@K by ranking method (oracle judges; "
+              "see DESIGN.md Substitutions)\n\n");
+
+  data::HinDatasetOptions gopt = data::DblpLikeOptions(6000, 51);
+  gopt.num_areas = 4;
+  gopt.subareas_per_area = 1;
+  data::HinDataset ds = data::GenerateHinDataset(gopt);
+  eval::OracleJudge judge(ds, 101);
+
+  hin::HeteroNetwork net = hin::BuildTermCooccurrenceNetwork(ds.corpus);
+  core::BuildOptions bopt;
+  bopt.levels_k = {4};
+  bopt.max_depth = 1;
+  bopt.cluster.background = false;
+  bopt.cluster.restarts = 3;
+  bopt.cluster.max_iters = 80;
+  bopt.cluster.seed = 33;
+  core::TopicHierarchy tree = core::BuildHierarchy(net, bopt);
+
+  phrase::MinerOptions mopt;
+  mopt.min_support = 5;
+  phrase::PhraseDict dict = phrase::MineFrequentPhrases(ds.corpus, mopt);
+  phrase::KertScorer kert(ds.corpus, dict, tree);
+
+  // Map each discovered topic to its dominant planted area via top words.
+  auto topic_area = [&](int node) {
+    std::vector<int> votes(ds.num_areas, 0);
+    for (const auto& [w, s] : TopKDense(tree.node(node).phi[0], 15)) {
+      if (ds.word_area[w] >= 0) ++votes[ds.word_area[w]];
+    }
+    int best = 0;
+    for (int a = 1; a < ds.num_areas; ++a) {
+      if (votes[a] > votes[best]) best = a;
+    }
+    return best;
+  };
+
+  // Collect all methods' rankings; the judged pool is their union (as in
+  // the paper's IdealScore over all judged phrases).
+  struct Method {
+    std::string name;
+    std::vector<eval::JudgedRanking> rankings;
+  };
+  std::vector<Method> methods;
+  auto add_method = [&](const std::string& name, auto rank_fn) {
+    Method m;
+    m.name = name;
+    for (int node : tree.NodesAtLevel(1)) {
+      eval::JudgedRanking r;
+      r.area = topic_area(node);
+      for (const auto& [p, s] :
+           static_cast<std::vector<Scored<int>>>(rank_fn(node))) {
+        r.phrases.push_back(dict.Words(p));
+      }
+      m.rankings.push_back(std::move(r));
+    }
+    methods.push_back(std::move(m));
+  };
+
+  phrase::KertOptions base;
+  auto kert_variant = [&](double gamma, double omega, bool use_pop) {
+    return [&, gamma, omega, use_pop](int node) {
+      phrase::KertOptions v = base;
+      v.gamma = gamma;
+      v.omega = omega;
+      v.use_popularity = use_pop;
+      return kert.RankTopic(node, v, 20);
+    };
+  };
+  add_method("KERT-pop", kert_variant(0.5, 0.5, false));
+  add_method("kpRelInt*", [&](int node) {
+    return baselines::KpRelIntRank(kert, node, 20);
+  });
+  add_method("KERT-con", kert_variant(0.5, 0.0, true));
+  add_method("kpRel",
+             [&](int node) { return baselines::KpRelRank(kert, node, 20); });
+  add_method("KERT-com", kert_variant(0.0, 0.5, true));
+  add_method("KERT", kert_variant(0.5, 0.5, true));
+  add_method("KERT-pur", kert_variant(0.5, 1.0, true));
+
+  std::vector<std::pair<std::vector<int>, int>> pool;
+  for (const Method& m : methods) {
+    for (const eval::JudgedRanking& r : m.rankings) {
+      for (const auto& p : r.phrases) pool.emplace_back(p, r.area);
+    }
+  }
+
+  bench::PrintHeader({"method", "nKQM@5", "nKQM@10", "nKQM@20"});
+  for (const Method& m : methods) {
+    bench::PrintRow(m.name, {eval::Nkqm(judge, m.rankings, pool, 5),
+                             eval::Nkqm(judge, m.rankings, pool, 10),
+                             eval::Nkqm(judge, m.rankings, pool, 20)});
+  }
+  std::printf("\nPaper ordering: KERT-pop worst; kpRelInt* and KERT-con low; "
+              "kpRel middle; KERT-com/KERT high; KERT-pur best.\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Reproduces Table 4.5: wall-clock runtime of topical-phrase methods on
+// sampled and full corpora. Absolute numbers are hardware-specific; the
+// paper's SHAPE is: ToPMine ~ LDA (sometimes faster, since phrases sample
+// one topic per instance), KERT ~ LDA on titles, TNG several times slower,
+// and Turbo-Topics-style permutation testing orders of magnitude slower
+// (its permutation rounds are emulated; PD-LDA is not run, per DESIGN.md).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/lda_gibbs.h"
+#include "baselines/tng.h"
+#include "baselines/turbo_lite.h"
+#include "bench_util.h"
+#include "common/timer.h"
+#include "core/builder.h"
+#include "phrase/kert.h"
+#include "phrase/topmine.h"
+
+namespace latent {
+namespace {
+
+double TimeLda(const text::Corpus& corpus, int iters) {
+  WallTimer t;
+  baselines::LdaOptions opt;
+  opt.num_topics = 5;
+  opt.iterations = iters;
+  opt.seed = 90;
+  baselines::FitLda(corpus, opt);
+  return t.Seconds();
+}
+
+double TimeTopMine(const text::Corpus& corpus, int iters) {
+  WallTimer t;
+  phrase::TopMineOptions opt;
+  opt.miner.min_support = 5;
+  opt.lda.num_topics = 5;
+  opt.lda.iterations = iters;
+  opt.lda.seed = 91;
+  phrase::RunTopMine(corpus, opt, 10);
+  return t.Seconds();
+}
+
+double TimeKert(const text::Corpus& corpus, int iters) {
+  // KERT = frequent mining + a topic model (here the CATHY EM) + ranking.
+  WallTimer t;
+  hin::HeteroNetwork net = hin::BuildTermCooccurrenceNetwork(corpus);
+  core::BuildOptions bopt;
+  bopt.levels_k = {5};
+  bopt.max_depth = 1;
+  bopt.cluster.background = false;
+  bopt.cluster.restarts = 1;
+  bopt.cluster.max_iters = iters / 2;
+  bopt.cluster.seed = 92;
+  core::TopicHierarchy tree = core::BuildHierarchy(net, bopt);
+  phrase::MinerOptions mopt;
+  mopt.min_support = 5;
+  phrase::PhraseDict dict = phrase::MineFrequentPhrases(corpus, mopt);
+  phrase::KertScorer kert(corpus, dict, tree);
+  phrase::KertOptions kopt;
+  for (int node : tree.NodesAtLevel(1)) kert.RankTopic(node, kopt, 20);
+  return t.Seconds();
+}
+
+double TimeTng(const text::Corpus& corpus, int iters) {
+  WallTimer t;
+  baselines::TngOptions opt;
+  opt.num_topics = 5;
+  opt.iterations = iters;
+  opt.seed = 93;
+  baselines::FitTng(corpus, opt, 10);
+  return t.Seconds();
+}
+
+double TimeTurbo(const text::Corpus& corpus, int iters) {
+  WallTimer t;
+  baselines::TurboLiteOptions opt;
+  opt.lda.num_topics = 5;
+  opt.lda.iterations = iters;
+  opt.lda.seed = 94;
+  opt.permutation_rounds = 30;  // emulated permutation-test cost
+  baselines::FitTurboLite(corpus, opt, 10);
+  return t.Seconds();
+}
+
+void RunCorpus(const char* title, const data::HinDataset& ds, int iters) {
+  std::printf("\n== %s (%d docs, %lld tokens, %d iterations) ==\n", title,
+              ds.corpus.num_docs(), ds.corpus.total_tokens(), iters);
+  bench::PrintHeader({"method", "seconds"});
+  bench::PrintRow("LDA", {TimeLda(ds.corpus, iters)});
+  bench::PrintRow("ToPMine", {TimeTopMine(ds.corpus, iters)});
+  bench::PrintRow("KERT", {TimeKert(ds.corpus, iters)});
+  bench::PrintRow("TNG", {TimeTng(ds.corpus, iters)});
+  bench::PrintRow("TurboTopics(emul)", {TimeTurbo(ds.corpus, iters)});
+}
+
+}  // namespace
+}  // namespace latent
+
+int main() {
+  using namespace latent;
+  std::printf("Table 4.5: method runtimes (shape, not absolute numbers)\n");
+
+  data::HinDatasetOptions titles = data::DblpLikeOptions(10000, 95);
+  titles.with_entities = false;
+  RunCorpus("DBLP-titles analogue (sampled)",
+            data::GenerateHinDataset(titles), 150);
+
+  data::HinDatasetOptions abstracts = data::DblpLikeOptions(4000, 96);
+  abstracts.with_entities = false;
+  abstracts.min_phrases_per_doc = 8;
+  abstracts.max_phrases_per_doc = 14;
+  RunCorpus("DBLP-abstracts analogue (sampled)",
+            data::GenerateHinDataset(abstracts), 150);
+
+  std::printf("\nPaper shape: ToPMine ~ LDA; TNG slower; permutation-based "
+              "TurboTopics slowest; PD-LDA (not run) is reported in the\n"
+              "paper as orders of magnitude beyond TNG.\n");
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Shared helpers for the experiment-reproduction benches: table printing,
+// dataset subsetting, and method wrappers used by several tables/figures.
+#ifndef LATENT_BENCH_BENCH_UTIL_H_
+#define LATENT_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/top_k.h"
+#include "core/clusterer.h"
+#include "core/hierarchy.h"
+#include "data/synthetic_hin.h"
+#include "hin/collapse.h"
+
+namespace latent::bench {
+
+/// Prints a header row then dashes.
+inline void PrintHeader(const std::vector<std::string>& cols, int width = 12) {
+  for (size_t i = 0; i < cols.size(); ++i) {
+    std::printf("%-*s", i == 0 ? 28 : width, cols[i].c_str());
+  }
+  std::printf("\n");
+  int total = 28 + width * static_cast<int>(cols.size() - 1);
+  for (int i = 0; i < total; ++i) std::printf("-");
+  std::printf("\n");
+}
+
+inline void PrintRow(const std::string& name, const std::vector<double>& vals,
+                     int width = 12, const char* fmt = "%-*.4f") {
+  std::printf("%-28s", name.c_str());
+  for (double v : vals) std::printf(fmt, width, v);
+  std::printf("\n");
+}
+
+/// Restricts a generated dataset to the documents of one planted area
+/// (used for the "Database area" style sub-experiments). Universes are
+/// preserved so node ids stay comparable.
+inline data::HinDataset SubsetByAreas(const data::HinDataset& ds,
+                                      const std::vector<int>& areas) {
+  data::HinDataset out;
+  out.num_areas = ds.num_areas;
+  out.subareas_per_area = ds.subareas_per_area;
+  out.word_area = ds.word_area;
+  out.word_subarea = ds.word_subarea;
+  out.entity0_subarea = ds.entity0_subarea;
+  out.entity1_area = ds.entity1_area;
+  out.subarea_phrases = ds.subarea_phrases;
+  out.area_phrases = ds.area_phrases;
+  out.entity_type_names = ds.entity_type_names;
+  out.entity_type_sizes = ds.entity_type_sizes;
+  for (int w = 0; w < ds.corpus.vocab_size(); ++w) {
+    out.corpus.mutable_vocab().Intern(ds.corpus.vocab().Token(w));
+  }
+  for (int d = 0; d < ds.corpus.num_docs(); ++d) {
+    bool keep = false;
+    for (int a : areas) keep |= (ds.doc_area[d] == a);
+    if (!keep) continue;
+    out.corpus.AddDocumentIds(ds.corpus.docs()[d].tokens);
+    if (!ds.entity_docs.empty()) out.entity_docs.push_back(ds.entity_docs[d]);
+    out.doc_area.push_back(ds.doc_area[d]);
+    out.doc_subarea.push_back(ds.doc_subarea[d]);
+  }
+  return out;
+}
+
+inline data::HinDataset SubsetByArea(const data::HinDataset& ds, int area) {
+  data::HinDataset out;
+  out.num_areas = ds.num_areas;
+  out.subareas_per_area = ds.subareas_per_area;
+  out.word_area = ds.word_area;
+  out.word_subarea = ds.word_subarea;
+  out.entity0_subarea = ds.entity0_subarea;
+  out.entity1_area = ds.entity1_area;
+  out.subarea_phrases = ds.subarea_phrases;
+  out.area_phrases = ds.area_phrases;
+  out.entity_type_names = ds.entity_type_names;
+  out.entity_type_sizes = ds.entity_type_sizes;
+  // Clone the vocabulary by interning in id order.
+  for (int w = 0; w < ds.corpus.vocab_size(); ++w) {
+    out.corpus.mutable_vocab().Intern(ds.corpus.vocab().Token(w));
+  }
+  for (int d = 0; d < ds.corpus.num_docs(); ++d) {
+    if (ds.doc_area[d] != area) continue;
+    out.corpus.AddDocumentIds(ds.corpus.docs()[d].tokens);
+    if (!ds.entity_docs.empty()) out.entity_docs.push_back(ds.entity_docs[d]);
+    out.doc_area.push_back(ds.doc_area[d]);
+    out.doc_subarea.push_back(ds.doc_subarea[d]);
+  }
+  return out;
+}
+
+/// Top-K node-id lists per type from a fitted cluster's phi (K = 20 for
+/// terms/entities, 3 for the last "venue-like" type, as in Section 3.3.1).
+inline std::vector<std::vector<int>> TopNodesFromPhi(
+    const std::vector<std::vector<double>>& phi_per_type, int k_main = 20,
+    int k_last = 3) {
+  std::vector<std::vector<int>> out(phi_per_type.size());
+  for (size_t x = 0; x < phi_per_type.size(); ++x) {
+    size_t k = (x + 1 == phi_per_type.size() && phi_per_type.size() > 1)
+                   ? k_last
+                   : k_main;
+    for (const auto& [id, s] : TopKDense(phi_per_type[x], k)) {
+      out[x].push_back(id);
+    }
+  }
+  return out;
+}
+
+/// Builds a 1-level TopicHierarchy from flat per-topic word distributions
+/// (for running KERT on top of flat models like NetClus or LDA).
+inline core::TopicHierarchy FlatWordHierarchy(
+    const std::vector<std::vector<double>>& topic_word,
+    const std::vector<double>& rho, int vocab_size) {
+  core::TopicHierarchy tree({"term"}, {vocab_size});
+  std::vector<double> root(vocab_size, 0.0);
+  for (size_t z = 0; z < topic_word.size(); ++z) {
+    for (int w = 0; w < vocab_size; ++w) root[w] += topic_word[z][w];
+  }
+  double total = 0.0;
+  for (double v : root) total += v;
+  if (total > 0.0) {
+    for (double& v : root) v /= total;
+  }
+  tree.AddRoot({root}, 1.0);
+  for (size_t z = 0; z < topic_word.size(); ++z) {
+    tree.AddChild(0, rho.empty() ? 1.0 / topic_word.size() : rho[z],
+                  {topic_word[z]}, 1.0);
+  }
+  return tree;
+}
+
+}  // namespace latent::bench
+
+#endif  // LATENT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,75 @@
+// Advisor-advisee mining with TPFG (Chapter 6): build the candidate DAG
+// from a temporal collaboration network, run factor-graph inference, print
+// the recovered academic genealogy, and compare against ground truth and
+// the supervised CRF.
+//
+//   ./advisor_genealogy
+#include <cstdio>
+#include <vector>
+
+#include "data/advisor_gen.h"
+#include "eval/relation_metrics.h"
+#include "relation/crf.h"
+#include "relation/tpfg.h"
+#include "relation/tpfg_preprocess.h"
+
+namespace {
+
+void PrintSubtree(const std::vector<std::vector<int>>& children, int root,
+                  int depth, int max_depth) {
+  std::printf("%*sauthor%d\n", 2 * depth, "", root);
+  if (depth >= max_depth) return;
+  for (int c : children[root]) PrintSubtree(children, c, depth + 1, max_depth);
+}
+
+}  // namespace
+
+int main() {
+  using namespace latent;
+
+  data::AdvisorGenOptions gen;
+  gen.num_root_advisors = 15;
+  gen.generations = 2;
+  gen.noise_collab_rate = 0.25;
+  gen.seed = 4;
+  data::AdvisorDataset ds = data::GenerateAdvisorDataset(gen);
+  std::printf("collaboration network: %d authors, %zu coauthor edges\n\n",
+              ds.num_authors, ds.network->edges().size());
+
+  // Stage 1: candidate DAG with the R1-R4 filters.
+  relation::PreprocessOptions popt;
+  relation::CandidateDag dag = relation::BuildCandidateDag(*ds.network, popt);
+  double avg_candidates = 0;
+  for (const auto& c : dag.candidates) avg_candidates += c.size() - 1.0;
+  std::printf("candidate DAG: %.2f real candidates per author\n",
+              avg_candidates / ds.num_authors);
+
+  // Stage 2: TPFG joint inference.
+  relation::TpfgResult tpfg = relation::RunTpfg(dag, relation::TpfgOptions());
+  auto m = eval::EvaluateAdvisorPredictions(tpfg.predicted, ds.true_advisor);
+  std::printf("TPFG: accuracy=%.3f precision=%.3f recall=%.3f F1=%.3f\n\n",
+              m.accuracy, m.precision, m.recall, m.f1);
+
+  // Supervised CRF on half the labels.
+  std::vector<int> train;
+  for (int i = 0; i < ds.num_authors; i += 2) train.push_back(i);
+  relation::RelationCrf crf;
+  crf.Train(*ds.network, dag, train, ds.true_advisor, relation::CrfOptions());
+  relation::TpfgResult crf_result =
+      crf.Infer(*ds.network, dag, relation::TpfgOptions());
+  std::vector<int> test;
+  for (int i = 1; i < ds.num_authors; i += 2) test.push_back(i);
+  auto mc = eval::EvaluateAdvisorPredictions(crf_result.predicted,
+                                             ds.true_advisor, test);
+  std::printf("CRF (held-out half): accuracy=%.3f F1=%.3f\n\n", mc.accuracy,
+              mc.f1);
+
+  // Render one recovered genealogy subtree.
+  std::vector<std::vector<int>> children(ds.num_authors);
+  for (int i = 0; i < ds.num_authors; ++i) {
+    if (tpfg.predicted[i] >= 0) children[tpfg.predicted[i]].push_back(i);
+  }
+  std::printf("recovered genealogy of author0:\n");
+  PrintSubtree(children, 0, 0, 2);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Quickstart: mine topical phrases from a small text corpus with ToPMine
+// (frequent phrase mining -> segmentation -> PhraseLDA -> ranking).
+//
+//   ./quickstart
+//
+// Shows the minimal end-to-end use of the library on raw strings.
+#include <cstdio>
+
+#include "phrase/topmine.h"
+#include "text/corpus.h"
+
+int main() {
+  using namespace latent;
+
+  // 1. Build a corpus from raw text. Stopwords are removed; punctuation
+  //    delimits phrase segments.
+  const char* titles[] = {
+      "mining frequent patterns without candidate generation",
+      "frequent pattern mining: current status and future directions",
+      "efficient query processing in relational database systems",
+      "query processing and query optimization for database systems",
+      "support vector machines for text classification",
+      "training support vector machines with kernel methods",
+      "scalable frequent pattern mining for large databases",
+      "database systems: query optimization with materialized views",
+      "text classification with support vector machines and features",
+      "frequent pattern mining and association rule discovery",
+      "query processing over encrypted database systems",
+      "kernel methods and support vector machines in machine learning",
+  };
+  text::Corpus corpus;
+  text::TokenizeOptions topt;
+  for (const char* t : titles) {
+    // Repeat each title a few times so phrases clear the support threshold
+    // in this toy collection.
+    for (int r = 0; r < 4; ++r) corpus.AddDocument(t, topt);
+  }
+  std::printf("corpus: %d docs, %d unique words, %lld tokens\n\n",
+              corpus.num_docs(), corpus.vocab_size(), corpus.total_tokens());
+
+  // 2. Run ToPMine with 3 topics.
+  phrase::TopMineOptions opt;
+  opt.miner.min_support = 6;
+  opt.lda.num_topics = 3;
+  opt.lda.iterations = 150;
+  opt.lda.seed = 7;
+  phrase::TopMineResult result = phrase::RunTopMine(corpus, opt, 8);
+
+  // 3. Print the topics.
+  for (size_t z = 0; z < result.topics.size(); ++z) {
+    std::printf("Topic %zu\n", z);
+    std::printf("  phrases : ");
+    for (const auto& [p, score] : result.topics[z].phrases) {
+      std::printf("[%s] ", result.dict.ToString(p, corpus.vocab()).c_str());
+    }
+    std::printf("\n  unigrams: ");
+    for (const auto& [w, prob] : result.topics[z].unigrams) {
+      std::printf("%s ", corpus.vocab().Token(w).c_str());
+    }
+    std::printf("\n\n");
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+#include "api/latent.h"
+
+#include <utility>
+
+namespace latent::api {
+
+MinedHierarchy::MinedHierarchy(const text::Corpus& corpus,
+                               core::TopicHierarchy tree,
+                               phrase::PhraseDict dict, int word_type)
+    : corpus_(&corpus), tree_(std::move(tree)), dict_(std::move(dict)) {
+  kert_ = std::make_unique<phrase::KertScorer>(corpus, dict_, tree_,
+                                               word_type);
+}
+
+std::vector<Scored<int>> MinedHierarchy::TopPhrases(
+    int node, const phrase::KertOptions& opt, size_t k) const {
+  return kert_->RankTopic(node, opt, k);
+}
+
+std::vector<Scored<int>> MinedHierarchy::TopEntities(int node,
+                                                     int entity_type,
+                                                     size_t k) const {
+  return TopKDense(tree_.node(node).phi[entity_type], k);
+}
+
+std::string MinedHierarchy::RenderNode(int node,
+                                       const phrase::KertOptions& opt,
+                                       size_t k) const {
+  if (node == tree_.root()) return "(root)";
+  std::string out;
+  for (const auto& [p, score] : TopPhrases(node, opt, k)) {
+    if (!out.empty()) out += " / ";
+    out += dict_.ToString(p, corpus_->vocab());
+  }
+  return out.empty() ? "(empty)" : out;
+}
+
+std::string MinedHierarchy::RenderTree(const phrase::KertOptions& opt,
+                                       size_t phrases_per_node) const {
+  std::string out;
+  for (int id = 0; id < tree_.num_nodes(); ++id) {
+    const core::TopicNode& n = tree_.node(id);
+    out += std::string(2 * n.level, ' ') + n.path + ": " +
+           RenderNode(id, opt, phrases_per_node) + "\n";
+  }
+  return out;
+}
+
+MinedHierarchy MineTopicalHierarchy(
+    const text::Corpus& corpus,
+    const std::vector<std::string>& entity_type_names,
+    const std::vector<int>& entity_type_sizes,
+    const std::vector<hin::EntityDoc>& entity_docs,
+    const PipelineOptions& options) {
+  hin::HeteroNetwork net = hin::BuildCollapsedNetwork(
+      corpus, entity_type_names, entity_type_sizes, entity_docs,
+      options.collapse);
+  core::TopicHierarchy tree = core::BuildHierarchy(net, options.build);
+  phrase::PhraseDict dict = phrase::MineFrequentPhrases(corpus, options.miner);
+  return MinedHierarchy(corpus, std::move(tree), std::move(dict), 0);
+}
+
+}  // namespace latent::api

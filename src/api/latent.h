@@ -1,0 +1,75 @@
+// Top-level convenience API: one call from a text corpus (+ optional entity
+// attachments) to a phrase-represented, entity-enriched topical hierarchy —
+// the full CATHYHIN + KERT pipeline of the dissertation's framework
+// (Chapter 1.4). Lower-level control lives in the individual modules
+// (core/, phrase/, role/, relation/, strod/).
+#ifndef LATENT_API_LATENT_H_
+#define LATENT_API_LATENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/builder.h"
+#include "core/hierarchy.h"
+#include "hin/collapse.h"
+#include "phrase/frequent_miner.h"
+#include "phrase/kert.h"
+#include "role/role_analysis.h"
+#include "text/corpus.h"
+
+namespace latent::api {
+
+struct PipelineOptions {
+  core::BuildOptions build;
+  phrase::MinerOptions miner;
+  phrase::KertOptions kert;
+  hin::CollapseOptions collapse;
+};
+
+/// A mined hierarchy bundled with its phrase scorer and rendering helpers.
+class MinedHierarchy {
+ public:
+  MinedHierarchy(const text::Corpus& corpus, core::TopicHierarchy tree,
+                 phrase::PhraseDict dict, int word_type);
+
+  const core::TopicHierarchy& tree() const { return tree_; }
+  const phrase::PhraseDict& dict() const { return dict_; }
+  const phrase::KertScorer& kert() const { return *kert_; }
+
+  /// Top phrases of a (non-root) topic under the configured KERT options.
+  std::vector<Scored<int>> TopPhrases(int node, const phrase::KertOptions& opt,
+                                      size_t k) const;
+
+  /// Top entities of a topic for a node type (by the topic's phi ranking).
+  std::vector<Scored<int>> TopEntities(int node, int entity_type,
+                                       size_t k) const;
+
+  /// Renders a node as "phrase / phrase / ..." (Figure 3.3/3.4 style).
+  std::string RenderNode(int node, const phrase::KertOptions& opt,
+                         size_t k) const;
+
+  /// Renders the whole tree, indented by level.
+  std::string RenderTree(const phrase::KertOptions& opt,
+                         size_t phrases_per_node) const;
+
+ private:
+  const text::Corpus* corpus_;
+  core::TopicHierarchy tree_;
+  phrase::PhraseDict dict_;
+  std::unique_ptr<phrase::KertScorer> kert_;
+};
+
+/// Mines a topical hierarchy from text + entities (CATHYHIN when
+/// `entity_docs` is non-empty, CATHY otherwise), then attaches a KERT
+/// phrase scorer.
+MinedHierarchy MineTopicalHierarchy(
+    const text::Corpus& corpus,
+    const std::vector<std::string>& entity_type_names,
+    const std::vector<int>& entity_type_sizes,
+    const std::vector<hin::EntityDoc>& entity_docs,
+    const PipelineOptions& options);
+
+}  // namespace latent::api
+
+#endif  // LATENT_API_LATENT_H_

@@ -1,0 +1,37 @@
+#include "baselines/advisor_heuristics.h"
+
+namespace latent::baselines {
+
+std::vector<int> PredictAdvisorsHeuristic(const relation::CollabNetwork& net,
+                                          const relation::CandidateDag& dag,
+                                          AdvisorHeuristic heuristic) {
+  const int n = static_cast<int>(dag.candidates.size());
+  std::vector<int> predicted(n, -1);
+  for (int i = 0; i < n; ++i) {
+    double best_score = -1e30;
+    int best = -1;
+    for (const relation::Candidate& c : dag.candidates[i]) {
+      double score;
+      switch (heuristic) {
+        case AdvisorHeuristic::kLocalLikelihood:
+          score = c.likelihood;  // includes the virtual root's prior
+          break;
+        case AdvisorHeuristic::kKulczynski:
+          if (c.advisor < 0) continue;
+          score = net.Kulczynski(i, c.advisor, c.end_year);
+          break;
+        default:
+          if (c.advisor < 0) continue;
+          score = net.ImbalanceRatio(i, c.advisor, c.end_year);
+      }
+      if (score > best_score) {
+        best_score = score;
+        best = c.advisor;
+      }
+    }
+    predicted[i] = best;
+  }
+  return predicted;
+}
+
+}  // namespace latent::baselines

@@ -1,0 +1,31 @@
+// Heuristic advisor-prediction baselines for Section 6.1.6: predict each
+// author's advisor directly from local pair statistics, with no joint
+// (factor-graph) reasoning. These are the RULE / Kulczynski / IR rows of
+// the TPFG comparison.
+#ifndef LATENT_BASELINES_ADVISOR_HEURISTICS_H_
+#define LATENT_BASELINES_ADVISOR_HEURISTICS_H_
+
+#include <vector>
+
+#include "relation/collab_network.h"
+#include "relation/tpfg_preprocess.h"
+
+namespace latent::baselines {
+
+enum class AdvisorHeuristic {
+  kLocalLikelihood,  ///< RULE: argmax of the preprocessed local likelihood.
+  kKulczynski,       ///< argmax cumulative Kulczynski at the end year.
+  kImbalanceRatio,   ///< argmax cumulative IR at the end year.
+};
+
+/// Predicts an advisor per author (or -1) by the chosen heuristic over the
+/// candidate DAG. The virtual-root candidate wins when its (normalized)
+/// likelihood beats every real candidate's score under kLocalLikelihood;
+/// the other heuristics always pick the best real candidate if any exists.
+std::vector<int> PredictAdvisorsHeuristic(const relation::CollabNetwork& net,
+                                          const relation::CandidateDag& dag,
+                                          AdvisorHeuristic heuristic);
+
+}  // namespace latent::baselines
+
+#endif  // LATENT_BASELINES_ADVISOR_HEURISTICS_H_

@@ -1,0 +1,164 @@
+#include "baselines/anchor_words.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace latent::baselines {
+
+namespace {
+
+// Greedy FastAnchorWords: repeatedly pick the row furthest from the affine
+// span of the rows picked so far (stabilized Gram-Schmidt on rows).
+std::vector<int> SelectAnchors(const std::vector<std::vector<double>>& rows,
+                               const std::vector<bool>& eligible, int k) {
+  const int v = static_cast<int>(rows.size());
+  std::vector<int> anchors;
+  std::vector<std::vector<double>> basis;
+  // Residual copies of candidate rows.
+  std::vector<std::vector<double>> residual = rows;
+
+  for (int round = 0; round < k; ++round) {
+    int best = -1;
+    double best_norm = -1.0;
+    for (int i = 0; i < v; ++i) {
+      if (!eligible[i]) continue;
+      if (std::find(anchors.begin(), anchors.end(), i) != anchors.end()) {
+        continue;
+      }
+      double n = Dot(residual[i], residual[i]);
+      if (n > best_norm) {
+        best_norm = n;
+        best = i;
+      }
+    }
+    if (best < 0) break;
+    anchors.push_back(best);
+    // Orthonormalize the chosen residual and subtract its projection from
+    // every other row's residual.
+    std::vector<double> dir = residual[best];
+    double norm = Norm2(dir);
+    if (norm < 1e-12) break;
+    for (double& x : dir) x /= norm;
+    for (int i = 0; i < v; ++i) {
+      if (!eligible[i]) continue;
+      double proj = Dot(residual[i], dir);
+      for (size_t j = 0; j < dir.size(); ++j) {
+        residual[i][j] -= proj * dir[j];
+      }
+    }
+  }
+  return anchors;
+}
+
+// Projects a vector onto the probability simplex (Duchi et al. 2008).
+void ProjectToSimplex(std::vector<double>* v) {
+  std::vector<double> u = *v;
+  std::sort(u.rbegin(), u.rend());
+  double css = 0.0, theta = 0.0;
+  int rho = 0;
+  for (size_t i = 0; i < u.size(); ++i) {
+    css += u[i];
+    double t = (css - 1.0) / static_cast<double>(i + 1);
+    if (u[i] - t > 0.0) {
+      rho = static_cast<int>(i + 1);
+      theta = t;
+    }
+  }
+  if (rho == 0) {
+    std::fill(v->begin(), v->end(), 1.0 / v->size());
+    return;
+  }
+  for (double& x : *v) x = std::max(x - theta, 0.0);
+}
+
+}  // namespace
+
+AnchorWordsResult FitAnchorWords(const std::vector<strod::SparseDoc>& docs,
+                                 int vocab_size,
+                                 const AnchorWordsOptions& options) {
+  const int k = options.num_topics;
+  LATENT_CHECK_GT(k, 0);
+
+  // Empirical co-occurrence matrix Q (V x V) and word marginals.
+  std::vector<std::vector<double>> q(vocab_size,
+                                     std::vector<double>(vocab_size, 0.0));
+  std::vector<double> marginal(vocab_size, 0.0);
+  double d2 = 0.0;
+  for (const strod::SparseDoc& d : docs) {
+    if (d.length < 2.0) continue;
+    d2 += 1.0;
+    double scale = 1.0 / (d.length * (d.length - 1.0));
+    for (const auto& [w1, c1] : d.counts) {
+      for (const auto& [w2, c2] : d.counts) {
+        double joint = w1 == w2 ? c1 * (c1 - 1.0) : c1 * c2;
+        q[w1][w2] += scale * joint;
+      }
+    }
+  }
+  if (d2 > 0.0) {
+    for (auto& row : q) {
+      for (double& x : row) x /= d2;
+    }
+  }
+  for (int w = 0; w < vocab_size; ++w) marginal[w] = Sum(q[w]);
+
+  // Row-normalize to conditional distributions; rare words are ineligible
+  // as anchors (their rows are too noisy).
+  std::vector<bool> eligible(vocab_size, false);
+  std::vector<std::vector<double>> rows = q;
+  double mean_marginal = Sum(marginal) / std::max(vocab_size, 1);
+  for (int w = 0; w < vocab_size; ++w) {
+    if (marginal[w] > 0.05 * mean_marginal) eligible[w] = true;
+    NormalizeInPlace(&rows[w]);
+  }
+
+  AnchorWordsResult result;
+  result.anchors = SelectAnchors(rows, eligible, k);
+  const int found = static_cast<int>(result.anchors.size());
+  LATENT_CHECK_GT(found, 0);
+
+  // Recover p(z | w) by projected gradient: minimize || row_w - C^T A ||^2
+  // over the simplex, where A stacks the anchor rows.
+  std::vector<std::vector<double>> pzw(vocab_size,
+                                       std::vector<double>(found, 1.0 / found));
+  std::vector<double> grad(found), recon(vocab_size);
+  for (int w = 0; w < vocab_size; ++w) {
+    if (marginal[w] <= 0.0) continue;
+    std::vector<double>& coeff = pzw[w];
+    for (int it = 0; it < options.recover_iters; ++it) {
+      // recon = sum_z coeff_z * anchor_row_z.
+      std::fill(recon.begin(), recon.end(), 0.0);
+      for (int z = 0; z < found; ++z) {
+        const std::vector<double>& ar = rows[result.anchors[z]];
+        for (int j = 0; j < vocab_size; ++j) recon[j] += coeff[z] * ar[j];
+      }
+      for (int z = 0; z < found; ++z) {
+        const std::vector<double>& ar = rows[result.anchors[z]];
+        double g = 0.0;
+        for (int j = 0; j < vocab_size; ++j) {
+          g += 2.0 * (recon[j] - rows[w][j]) * ar[j];
+        }
+        grad[z] = g;
+      }
+      for (int z = 0; z < found; ++z) {
+        coeff[z] -= options.learning_rate * grad[z];
+      }
+      ProjectToSimplex(&coeff);
+    }
+  }
+
+  // phi_z(w) proportional to p(z | w) * p(w).
+  result.topic_word.assign(found, std::vector<double>(vocab_size, 0.0));
+  for (int z = 0; z < found; ++z) {
+    for (int w = 0; w < vocab_size; ++w) {
+      result.topic_word[z][w] = pzw[w][z] * marginal[w];
+    }
+    NormalizeInPlace(&result.topic_word[z]);
+  }
+  return result;
+}
+
+}  // namespace latent::baselines

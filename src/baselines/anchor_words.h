@@ -1,0 +1,42 @@
+// Anchor-word spectral topic recovery (Arora, Ge, Moitra et al.; the
+// "alternative moment method" of Section 2.1). Assumes every topic has an
+// anchor word that occurs only in that topic; anchors are found greedily as
+// the most extreme rows of the row-normalized word co-occurrence matrix,
+// and every word's topic posterior is recovered as a convex combination of
+// anchor rows. Used by the Chapter 7 benches to contrast with STROD: the
+// paper notes this method "requires stronger assumptions ... and the error
+// bound is weaker".
+#ifndef LATENT_BASELINES_ANCHOR_WORDS_H_
+#define LATENT_BASELINES_ANCHOR_WORDS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "strod/strod.h"
+
+namespace latent::baselines {
+
+struct AnchorWordsOptions {
+  int num_topics = 5;
+  /// Projected-gradient iterations for per-word posterior recovery.
+  int recover_iters = 100;
+  double learning_rate = 1.0;
+  uint64_t seed = 42;
+};
+
+struct AnchorWordsResult {
+  /// Recovered topic-word distributions (k x V).
+  std::vector<std::vector<double>> topic_word;
+  /// The selected anchor word ids, one per topic.
+  std::vector<int> anchors;
+};
+
+/// Fits topics by anchor-word recovery from the empirical co-occurrence
+/// matrix of `docs` (same input format as STROD).
+AnchorWordsResult FitAnchorWords(const std::vector<strod::SparseDoc>& docs,
+                                 int vocab_size,
+                                 const AnchorWordsOptions& options);
+
+}  // namespace latent::baselines
+
+#endif  // LATENT_BASELINES_ANCHOR_WORDS_H_

@@ -1,0 +1,105 @@
+#include "baselines/entity_lda.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace latent::baselines {
+
+EntityLdaResult FitEntityLda(const text::Corpus& corpus,
+                             const std::vector<int>& entity_type_sizes,
+                             const std::vector<hin::EntityDoc>& entity_docs,
+                             const EntityLdaOptions& options) {
+  const int k = options.num_topics;
+  LATENT_CHECK_GT(k, 0);
+  const double alpha = options.alpha > 0.0 ? options.alpha : 50.0 / k;
+  const double beta = options.beta;
+  const int num_docs = corpus.num_docs();
+  const int num_types = 1 + static_cast<int>(entity_type_sizes.size());
+
+  std::vector<int> type_sizes = {corpus.vocab_size()};
+  for (int s : entity_type_sizes) type_sizes.push_back(s);
+
+  // Flatten each document into (type, id) items.
+  std::vector<std::vector<std::pair<int, int>>> items(num_docs);
+  for (int d = 0; d < num_docs; ++d) {
+    for (int w : corpus.docs()[d].tokens) items[d].emplace_back(0, w);
+    if (!entity_docs.empty()) {
+      for (size_t x = 0; x < entity_docs[d].entities.size(); ++x) {
+        for (int e : entity_docs[d].entities[x]) {
+          items[d].emplace_back(1 + static_cast<int>(x), e);
+        }
+      }
+    }
+  }
+
+  Rng rng(options.seed);
+  // Counts: per type, topic x node; topic totals per type; doc-topic.
+  std::vector<std::vector<std::vector<int>>> n_zi(num_types);
+  std::vector<std::vector<long long>> n_z(num_types);
+  for (int x = 0; x < num_types; ++x) {
+    n_zi[x].assign(k, std::vector<int>(type_sizes[x], 0));
+    n_z[x].assign(k, 0);
+  }
+  std::vector<std::vector<int>> n_dz(num_docs, std::vector<int>(k, 0));
+  std::vector<long long> n_d(num_docs, 0);
+  std::vector<std::vector<int>> topic(num_docs);
+
+  for (int d = 0; d < num_docs; ++d) {
+    topic[d].resize(items[d].size());
+    for (size_t i = 0; i < items[d].size(); ++i) {
+      int z = rng.UniformInt(k);
+      topic[d][i] = z;
+      auto [x, id] = items[d][i];
+      ++n_zi[x][z][id];
+      ++n_z[x][z];
+      ++n_dz[d][z];
+      ++n_d[d];
+    }
+  }
+
+  std::vector<double> prob(k);
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    for (int d = 0; d < num_docs; ++d) {
+      for (size_t i = 0; i < items[d].size(); ++i) {
+        auto [x, id] = items[d][i];
+        int old_z = topic[d][i];
+        --n_zi[x][old_z][id];
+        --n_z[x][old_z];
+        --n_dz[d][old_z];
+        --n_d[d];
+        const double v_beta = type_sizes[x] * beta;
+        for (int z = 0; z < k; ++z) {
+          prob[z] = (n_dz[d][z] + alpha) * (n_zi[x][z][id] + beta) /
+                    (n_z[x][z] + v_beta);
+        }
+        int new_z = rng.Discrete(prob);
+        topic[d][i] = new_z;
+        ++n_zi[x][new_z][id];
+        ++n_z[x][new_z];
+        ++n_dz[d][new_z];
+        ++n_d[d];
+      }
+    }
+  }
+
+  EntityLdaResult r;
+  r.phi.assign(k, std::vector<std::vector<double>>(num_types));
+  for (int z = 0; z < k; ++z) {
+    for (int x = 0; x < num_types; ++x) {
+      const double v_beta = type_sizes[x] * beta;
+      r.phi[z][x].resize(type_sizes[x]);
+      for (int i = 0; i < type_sizes[x]; ++i) {
+        r.phi[z][x][i] = (n_zi[x][z][i] + beta) / (n_z[x][z] + v_beta);
+      }
+    }
+  }
+  r.doc_topic.assign(num_docs, std::vector<double>(k, 0.0));
+  for (int d = 0; d < num_docs; ++d) {
+    for (int z = 0; z < k; ++z) {
+      r.doc_topic[d][z] = (n_dz[d][z] + alpha) / (n_d[d] + k * alpha);
+    }
+  }
+  return r;
+}
+
+}  // namespace latent::baselines

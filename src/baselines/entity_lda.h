@@ -1,0 +1,41 @@
+// Entity-enriched LDA baseline (Section 2.2.3, third category: "entities
+// are treated like words" — conditionally-independent LDA / SwitchLDA
+// family): each topic carries one multinomial per node type (words,
+// authors, venues, ...), each document one mixture, and every word or
+// entity occurrence samples its own topic. Collapsed Gibbs inference.
+#ifndef LATENT_BASELINES_ENTITY_LDA_H_
+#define LATENT_BASELINES_ENTITY_LDA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hin/collapse.h"
+#include "text/corpus.h"
+
+namespace latent::baselines {
+
+struct EntityLdaOptions {
+  int num_topics = 5;
+  double alpha = 0.0;  // <= 0 means 50/K
+  double beta = 0.01;
+  int iterations = 200;
+  uint64_t seed = 42;
+};
+
+struct EntityLdaResult {
+  /// phi[z][x][i]: distribution of topic z over type-x nodes (type 0 =
+  /// term, entity types follow) — directly comparable with CATHYHIN and
+  /// NetClus outputs.
+  std::vector<std::vector<std::vector<double>>> phi;
+  /// Per-document topic mixtures.
+  std::vector<std::vector<double>> doc_topic;
+};
+
+EntityLdaResult FitEntityLda(const text::Corpus& corpus,
+                             const std::vector<int>& entity_type_sizes,
+                             const std::vector<hin::EntityDoc>& entity_docs,
+                             const EntityLdaOptions& options);
+
+}  // namespace latent::baselines
+
+#endif  // LATENT_BASELINES_ENTITY_LDA_H_

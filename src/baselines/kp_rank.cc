@@ -1,0 +1,47 @@
+#include "baselines/kp_rank.h"
+
+#include <algorithm>
+
+namespace latent::baselines {
+
+namespace {
+
+std::vector<latent::Scored<int>> Rank(const phrase::KertScorer& kert,
+                                      int node, bool interestingness,
+                                      size_t top_k) {
+  const phrase::PhraseDict& dict = kert.dict();
+  const core::TopicHierarchy& tree = kert.hierarchy();
+  const std::vector<double>& word_dist =
+      tree.node(node).phi[kert.word_type()];
+  const double total_docs =
+      static_cast<double>(std::max(kert.corpus().num_docs(), 1));
+
+  std::vector<latent::Scored<int>> scores;
+  for (int p = 0; p < dict.size(); ++p) {
+    double f_t = kert.TopicalFrequency(node, p);
+    if (f_t <= 0.0) continue;
+    double mean_prob = 0.0;
+    for (int v : dict.Words(p)) mean_prob += word_dist[v];
+    mean_prob /= static_cast<double>(dict.Length(p));
+    double score = f_t * mean_prob;
+    if (interestingness) {
+      score *= static_cast<double>(dict.Count(p)) / total_docs;
+    }
+    scores.emplace_back(p, score);
+  }
+  return latent::TopK(std::move(scores), top_k);
+}
+
+}  // namespace
+
+std::vector<latent::Scored<int>> KpRelRank(const phrase::KertScorer& kert,
+                                           int node, size_t top_k) {
+  return Rank(kert, node, /*interestingness=*/false, top_k);
+}
+
+std::vector<latent::Scored<int>> KpRelIntRank(const phrase::KertScorer& kert,
+                                              int node, size_t top_k) {
+  return Rank(kert, node, /*interestingness=*/true, top_k);
+}
+
+}  // namespace latent::baselines

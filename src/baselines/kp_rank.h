@@ -1,0 +1,28 @@
+// Topical keyphrase ranking baselines kpRel and kpRelInt* (Zhao et al.
+// 2011, as re-implemented for Section 4.4.1). Both rank phrases by a
+// relevance heuristic built from constituent-word topical probabilities,
+// which systematically favors unigrams (the behaviour Table 4.3 reports);
+// kpRelInt* additionally multiplies an "interestingness" factor, the
+// phrase's relative frequency in the whole collection.
+#ifndef LATENT_BASELINES_KP_RANK_H_
+#define LATENT_BASELINES_KP_RANK_H_
+
+#include <vector>
+
+#include "common/top_k.h"
+#include "phrase/kert.h"
+
+namespace latent::baselines {
+
+/// kpRel: relevance = topical frequency x mean constituent-word topical
+/// probability.
+std::vector<latent::Scored<int>> KpRelRank(const phrase::KertScorer& kert,
+                                           int node, size_t top_k);
+
+/// kpRelInt*: kpRel x interestingness (relative collection frequency).
+std::vector<latent::Scored<int>> KpRelIntRank(const phrase::KertScorer& kert,
+                                              int node, size_t top_k);
+
+}  // namespace latent::baselines
+
+#endif  // LATENT_BASELINES_KP_RANK_H_

@@ -1,0 +1,18 @@
+#include "baselines/lda_gibbs.h"
+
+namespace latent::baselines {
+
+phrase::FlatTopicModel FitLda(const text::Corpus& corpus,
+                              const LdaOptions& options) {
+  phrase::PhraseLdaOptions opt;
+  opt.num_topics = options.num_topics;
+  opt.alpha = options.alpha;
+  opt.beta = options.beta;
+  opt.iterations = options.iterations;
+  opt.seed = options.seed;
+  return phrase::FitPhraseLda(phrase::UnigramInstances(corpus),
+                              corpus.vocab_size(), opt)
+      .model;
+}
+
+}  // namespace latent::baselines

@@ -1,0 +1,29 @@
+// Plain LDA via collapsed Gibbs sampling — the classic baseline of
+// Chapters 4 and 7. Implemented as unigram-instance PhraseLDA (each token
+// samples its own topic), which is the exact standard sampler.
+#ifndef LATENT_BASELINES_LDA_GIBBS_H_
+#define LATENT_BASELINES_LDA_GIBBS_H_
+
+#include <cstdint>
+
+#include "phrase/phrase_lda.h"
+#include "phrase/topic_model.h"
+#include "text/corpus.h"
+
+namespace latent::baselines {
+
+struct LdaOptions {
+  int num_topics = 10;
+  double alpha = 0.0;  // <= 0 means 50/K
+  double beta = 0.01;
+  int iterations = 200;
+  uint64_t seed = 42;
+};
+
+/// Fits LDA with collapsed Gibbs sampling.
+phrase::FlatTopicModel FitLda(const text::Corpus& corpus,
+                              const LdaOptions& options);
+
+}  // namespace latent::baselines
+
+#endif  // LATENT_BASELINES_LDA_GIBBS_H_

@@ -1,0 +1,109 @@
+#include "baselines/netclus.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+
+namespace latent::baselines {
+
+NetClusResult RunNetClus(const text::Corpus& corpus,
+                         const std::vector<int>& entity_type_sizes,
+                         const std::vector<hin::EntityDoc>& entity_docs,
+                         const NetClusOptions& options) {
+  const int k = options.num_clusters;
+  LATENT_CHECK_GT(k, 0);
+  const int num_docs = corpus.num_docs();
+  const int num_types = 1 + static_cast<int>(entity_type_sizes.size());
+  LATENT_CHECK(entity_docs.empty() ||
+               static_cast<int>(entity_docs.size()) == num_docs);
+
+  std::vector<int> type_sizes = {corpus.vocab_size()};
+  for (int s : entity_type_sizes) type_sizes.push_back(s);
+
+  // Attribute lists per document: (type, node id) pairs.
+  std::vector<std::vector<std::pair<int, int>>> doc_attrs(num_docs);
+  for (int d = 0; d < num_docs; ++d) {
+    for (int w : corpus.docs()[d].tokens) doc_attrs[d].emplace_back(0, w);
+    if (!entity_docs.empty()) {
+      for (size_t t = 0; t < entity_docs[d].entities.size(); ++t) {
+        for (int e : entity_docs[d].entities[t]) {
+          doc_attrs[d].emplace_back(1 + static_cast<int>(t), e);
+        }
+      }
+    }
+  }
+
+  // Global (background) ranking distributions.
+  std::vector<std::vector<double>> background(num_types);
+  for (int x = 0; x < num_types; ++x) background[x].assign(type_sizes[x], 0.0);
+  for (int d = 0; d < num_docs; ++d) {
+    for (const auto& [x, i] : doc_attrs[d]) background[x][i] += 1.0;
+  }
+  for (int x = 0; x < num_types; ++x) NormalizeInPlace(&background[x]);
+
+  // Soft initialization.
+  Rng rng(options.seed);
+  NetClusResult r;
+  r.doc_cluster.assign(num_docs, std::vector<double>(k, 0.0));
+  for (int d = 0; d < num_docs; ++d) {
+    r.doc_cluster[d] = rng.Dirichlet(1.0, k);
+  }
+  std::vector<double> cluster_prior(k, 1.0 / k);
+
+  r.phi.assign(k, std::vector<std::vector<double>>(num_types));
+  const double lambda = options.smoothing;
+  std::vector<double> logp(k);
+  for (int iter = 0; iter < options.max_iters; ++iter) {
+    // Ranking step: conditional distributions per cluster and type.
+    for (int z = 0; z < k; ++z) {
+      for (int x = 0; x < num_types; ++x) {
+        r.phi[z][x].assign(type_sizes[x], 0.0);
+      }
+    }
+    std::vector<double> mass(k, 0.0);
+    for (int d = 0; d < num_docs; ++d) {
+      for (int z = 0; z < k; ++z) {
+        double wz = r.doc_cluster[d][z];
+        if (wz <= 0.0) continue;
+        for (const auto& [x, i] : doc_attrs[d]) r.phi[z][x][i] += wz;
+        mass[z] += wz;
+      }
+    }
+    for (int z = 0; z < k; ++z) {
+      cluster_prior[z] = (mass[z] + 1.0) / (num_docs + k);
+      for (int x = 0; x < num_types; ++x) {
+        NormalizeInPlace(&r.phi[z][x]);
+        // Background smoothing: p = (1 - lambda) p_cluster + lambda p_bg.
+        for (int i = 0; i < type_sizes[x]; ++i) {
+          r.phi[z][x][i] =
+              (1.0 - lambda) * r.phi[z][x][i] + lambda * background[x][i];
+        }
+      }
+    }
+    // Posterior reassignment (naive Bayes over attributes).
+    for (int d = 0; d < num_docs; ++d) {
+      for (int z = 0; z < k; ++z) {
+        double lp = std::log(cluster_prior[z]);
+        for (const auto& [x, i] : doc_attrs[d]) lp += SafeLog(r.phi[z][x][i]);
+        logp[z] = lp;
+      }
+      double lse = LogSumExp(logp);
+      for (int z = 0; z < k; ++z) {
+        r.doc_cluster[d][z] = std::exp(logp[z] - lse);
+      }
+    }
+  }
+
+  r.assignment.resize(num_docs);
+  for (int d = 0; d < num_docs; ++d) {
+    r.assignment[d] = static_cast<int>(std::max_element(
+                          r.doc_cluster[d].begin(), r.doc_cluster[d].end()) -
+                      r.doc_cluster[d].begin());
+  }
+  return r;
+}
+
+}  // namespace latent::baselines

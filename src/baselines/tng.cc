@@ -1,0 +1,208 @@
+#include "baselines/tng.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace latent::baselines {
+
+TngResult FitTng(const text::Corpus& corpus, const TngOptions& options,
+                 size_t top_k) {
+  const int k = options.num_topics;
+  const int v = corpus.vocab_size();
+  LATENT_CHECK_GT(k, 0);
+  const double alpha = options.alpha > 0.0 ? options.alpha : 50.0 / k;
+  const double beta = options.beta;
+  const double v_beta = v * beta;
+  const double delta = options.delta;
+  const double v_delta = v * delta;
+  const int num_docs = corpus.num_docs();
+
+  Rng rng(options.seed);
+
+  // State: per token, topic assignment and bigram indicator.
+  std::vector<std::vector<int>> z(num_docs), x(num_docs);
+  // Counts.
+  std::vector<std::vector<int>> n_zw(k, std::vector<int>(v, 0));
+  std::vector<long long> n_z(k, 0);
+  std::vector<std::vector<int>> n_dz(num_docs, std::vector<int>(k, 0));
+  std::vector<long long> n_d(num_docs, 0);
+  // Successor counts: key = prev * V + cur.
+  std::unordered_map<long long, int> n_succ;
+  std::vector<long long> n_succ_total(v, 0);
+  // Bigram-indicator counts per previous word.
+  std::vector<long long> n_x0(v, 0), n_x1(v, 0);
+
+  auto is_head = [&](int d, int i) {
+    const text::Document& doc = corpus.docs()[d];
+    for (int s : doc.segment_starts) {
+      if (s == i) return true;
+    }
+    return false;
+  };
+
+  // Initialization: random topics; non-head tokens start chained with
+  // probability 0.3 so the successor statistics can bootstrap.
+  for (int d = 0; d < num_docs; ++d) {
+    const text::Document& doc = corpus.docs()[d];
+    z[d].resize(doc.size());
+    x[d].assign(doc.size(), 0);
+    for (int i = 0; i < doc.size(); ++i) {
+      const int w = doc.tokens[i];
+      const bool head = (i == 0) || is_head(d, i);
+      int xi = (!head && rng.Uniform() < 0.3) ? 1 : 0;
+      int zi = xi == 1 ? z[d][i - 1] : rng.UniformInt(k);
+      z[d][i] = zi;
+      x[d][i] = xi;
+      ++n_dz[d][zi];
+      ++n_d[d];
+      if (xi == 0) {
+        ++n_zw[zi][w];
+        ++n_z[zi];
+      } else {
+        int prev = doc.tokens[i - 1];
+        ++n_succ[static_cast<long long>(prev) * v + w];
+        ++n_succ_total[prev];
+      }
+      if (!head) {
+        if (xi == 0) {
+          ++n_x0[doc.tokens[i - 1]];
+        } else {
+          ++n_x1[doc.tokens[i - 1]];
+        }
+      }
+    }
+  }
+
+  std::vector<double> prob(k + 1);
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    for (int d = 0; d < num_docs; ++d) {
+      const text::Document& doc = corpus.docs()[d];
+      for (int i = 0; i < doc.size(); ++i) {
+        const int w = doc.tokens[i];
+        const bool head = (i == 0) || is_head(d, i);
+        const int prev = head ? -1 : doc.tokens[i - 1];
+
+        // --- Remove token i from counts.
+        int zi = z[d][i];
+        int xi = x[d][i];
+        --n_dz[d][zi];
+        --n_d[d];
+        if (xi == 0) {
+          --n_zw[zi][w];
+          --n_z[zi];
+        } else {
+          --n_succ[static_cast<long long>(prev) * v + w];
+          --n_succ_total[prev];
+        }
+        if (!head) {
+          if (xi == 0) {
+            --n_x0[prev];
+          } else {
+            --n_x1[prev];
+          }
+        }
+
+        // --- Jointly sample (x, z). States 0..k-1 are (x = 0, z = s); state
+        // k (non-heads only) is (x = 1) with the topic inherited from the
+        // previous token.
+        const int states = head ? k : k + 1;
+        double px0 = 1.0, px1 = 0.0;
+        if (!head) {
+          double denom =
+              n_x0[prev] + n_x1[prev] + options.gamma0 + options.gamma1;
+          px0 = (n_x0[prev] + options.gamma0) / denom;
+          px1 = (n_x1[prev] + options.gamma1) / denom;
+        }
+        for (int s = 0; s < k; ++s) {
+          prob[s] = px0 * (n_dz[d][s] + alpha) * (n_zw[s][w] + beta) /
+                    (n_z[s] + v_beta);
+        }
+        if (!head) {
+          auto it = n_succ.find(static_cast<long long>(prev) * v + w);
+          double cnt = it == n_succ.end() ? 0.0 : it->second;
+          prob[k] = px1 * (n_dz[d][z[d][i - 1]] + alpha) * (cnt + delta) /
+                    (n_succ_total[prev] + v_delta);
+        }
+        int pick = rng.Discrete(
+            std::vector<double>(prob.begin(), prob.begin() + states));
+        int new_x = pick < k ? 0 : 1;
+        int new_z = pick < k ? pick : z[d][i - 1];
+
+        z[d][i] = new_z;
+        x[d][i] = new_x;
+        ++n_dz[d][new_z];
+        ++n_d[d];
+        if (new_x == 0) {
+          ++n_zw[new_z][w];
+          ++n_z[new_z];
+        } else {
+          ++n_succ[static_cast<long long>(prev) * v + w];
+          ++n_succ_total[prev];
+        }
+        if (!head) {
+          if (new_x == 0) {
+            ++n_x0[prev];
+          } else {
+            ++n_x1[prev];
+          }
+        }
+      }
+    }
+  }
+
+  TngResult result;
+  result.model.num_topics = k;
+  result.model.vocab_size = v;
+  result.model.topic_word.assign(k, std::vector<double>(v, 0.0));
+  for (int zz = 0; zz < k; ++zz) {
+    for (int w = 0; w < v; ++w) {
+      result.model.topic_word[zz][w] = (n_zw[zz][w] + beta) / (n_z[zz] + v_beta);
+    }
+  }
+  result.model.doc_topic.assign(num_docs, std::vector<double>(k, 0.0));
+  for (int d = 0; d < num_docs; ++d) {
+    for (int zz = 0; zz < k; ++zz) {
+      result.model.doc_topic[d][zz] =
+          (n_dz[d][zz] + alpha) / (n_d[d] + k * alpha);
+    }
+  }
+
+  // Phrase extraction from the final state: maximal x = 1 chains.
+  std::vector<std::map<std::string, double>> phrase_counts(k);
+  for (int d = 0; d < num_docs; ++d) {
+    const text::Document& doc = corpus.docs()[d];
+    int start = 0;
+    for (int i = 1; i <= doc.size(); ++i) {
+      bool chained = i < doc.size() && x[d][i] == 1;
+      if (!chained) {
+        if (i - start >= 2) {
+          std::string phrase;
+          for (int j = start; j < i; ++j) {
+            if (j > start) phrase += ' ';
+            phrase += corpus.vocab().Token(doc.tokens[j]);
+          }
+          phrase_counts[z[d][start]][phrase] += 1.0;
+        }
+        start = i;
+      }
+    }
+  }
+  result.topics.resize(k);
+  for (int zz = 0; zz < k; ++zz) {
+    std::vector<std::pair<std::string, double>> ranked(
+        phrase_counts[zz].begin(), phrase_counts[zz].end());
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    if (ranked.size() > top_k) ranked.resize(top_k);
+    result.topics[zz].phrases = std::move(ranked);
+    result.topics[zz].unigrams =
+        TopKDense(result.model.topic_word[zz], top_k);
+  }
+  return result;
+}
+
+}  // namespace latent::baselines

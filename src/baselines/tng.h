@@ -1,0 +1,53 @@
+// Topical N-Gram baseline (TNG, Wang et al. 2007), implemented in its
+// LDA-collocation form: every token i carries a topic z_i and a bigram
+// indicator x_i; x_i = 1 chains token i to token i-1 into one phrase whose
+// topic is the head token's. Bigram indicators have per-previous-word
+// Beta-Bernoulli priors; chained tokens draw from a per-previous-word
+// successor distribution. (The full TNG additionally conditions the
+// successor distribution on the topic; the collocation form preserves its
+// behaviour as a phrase-producing, slower, hyperparameter-sensitive
+// comparator — see DESIGN.md Substitutions.)
+#ifndef LATENT_BASELINES_TNG_H_
+#define LATENT_BASELINES_TNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/top_k.h"
+#include "phrase/topic_model.h"
+#include "text/corpus.h"
+
+namespace latent::baselines {
+
+struct TngOptions {
+  int num_topics = 10;
+  double alpha = 0.0;  // <= 0 means 50/K
+  double beta = 0.01;
+  /// Beta prior on the bigram indicator.
+  double gamma0 = 1.0;  // pseudo-count for x = 0
+  double gamma1 = 1.0;  // pseudo-count for x = 1
+  /// Dirichlet prior on successor distributions.
+  double delta = 0.01;
+  int iterations = 200;
+  uint64_t seed = 42;
+};
+
+struct TngTopic {
+  /// Phrases (chained token runs) ranked by topical frequency; rendered.
+  std::vector<std::pair<std::string, double>> phrases;
+  /// Top unigrams by the topic-word distribution.
+  std::vector<Scored<int>> unigrams;
+};
+
+struct TngResult {
+  phrase::FlatTopicModel model;
+  std::vector<TngTopic> topics;
+};
+
+TngResult FitTng(const text::Corpus& corpus, const TngOptions& options,
+                 size_t top_k = 20);
+
+}  // namespace latent::baselines
+
+#endif  // LATENT_BASELINES_TNG_H_

@@ -1,0 +1,28 @@
+// TopK pseudo-topic baseline (Section 3.3.1): "select the top K nodes from
+// each type according to their frequency to form a pseudo topic", serving
+// as the floor value for the HPMI metric.
+#ifndef LATENT_BASELINES_TOPK_BASELINE_H_
+#define LATENT_BASELINES_TOPK_BASELINE_H_
+
+#include <vector>
+
+#include "common/top_k.h"
+#include "hin/network.h"
+
+namespace latent::baselines {
+
+/// Returns, per node type of `net`, the ids of the K most frequent
+/// (highest weighted-degree) nodes.
+inline std::vector<std::vector<int>> TopKPseudoTopic(
+    const hin::HeteroNetwork& net, size_t k) {
+  std::vector<std::vector<int>> out(net.num_types());
+  for (int x = 0; x < net.num_types(); ++x) {
+    auto top = TopKDense(net.WeightedDegrees(x), k);
+    for (const auto& [id, score] : top) out[x].push_back(id);
+  }
+  return out;
+}
+
+}  // namespace latent::baselines
+
+#endif  // LATENT_BASELINES_TOPK_BASELINE_H_

@@ -1,0 +1,142 @@
+#include "baselines/turbo_lite.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "phrase/phrase_dict.h"
+#include "phrase/segmenter.h"
+
+namespace latent::baselines {
+
+TurboLiteResult FitTurboLite(const text::Corpus& corpus,
+                             const TurboLiteOptions& options, size_t top_k) {
+  TurboLiteResult result;
+  result.model = FitLda(corpus, options.lda);
+  const int k = options.lda.num_topics;
+  const int num_docs = corpus.num_docs();
+
+  // MAP token-topic assignments under the fitted model.
+  std::vector<std::vector<int>> token_topic(num_docs);
+  for (int d = 0; d < num_docs; ++d) {
+    const text::Document& doc = corpus.docs()[d];
+    token_topic[d].resize(doc.size());
+    for (int i = 0; i < doc.size(); ++i) {
+      int w = doc.tokens[i];
+      int best = 0;
+      double best_p = -1.0;
+      for (int z = 0; z < k; ++z) {
+        double p = result.model.doc_topic[d][z] *
+                   result.model.topic_word[z][w];
+        if (p > best_p) {
+          best_p = p;
+          best = z;
+        }
+      }
+      token_topic[d][i] = best;
+    }
+  }
+
+  // Units start as unigrams; each round merges adjacent same-topic units
+  // whose joint count is significant.
+  std::vector<std::vector<std::vector<int>>> units(num_docs);
+  std::vector<std::vector<int>> unit_topic(num_docs);
+  for (int d = 0; d < num_docs; ++d) {
+    const text::Document& doc = corpus.docs()[d];
+    for (int i = 0; i < doc.size(); ++i) {
+      units[d].push_back({doc.tokens[i]});
+      unit_topic[d].push_back(token_topic[d][i]);
+    }
+  }
+
+  using Counter =
+      std::unordered_map<std::vector<int>, long long, phrase::PhraseHash>;
+  Rng rng(options.lda.seed ^ 0x7ea7);
+  for (int round = 0; round < 3; ++round) {
+    // Count units and same-topic adjacent pairs (plus the emulated
+    // permutation recounts).
+    for (int perm = 0; perm <= options.permutation_rounds; ++perm) {
+      Counter ucount, pcount;
+      long long total_units = 0;
+      for (int d = 0; d < num_docs; ++d) {
+        for (size_t i = 0; i < units[d].size(); ++i) {
+          ++ucount[units[d][i]];
+          ++total_units;
+          if (i + 1 < units[d].size() &&
+              unit_topic[d][i] == unit_topic[d][i + 1]) {
+            std::vector<int> joint = units[d][i];
+            joint.insert(joint.end(), units[d][i + 1].begin(),
+                         units[d][i + 1].end());
+            ++pcount[joint];
+          }
+        }
+      }
+      if (perm < options.permutation_rounds) {
+        // Permutation-test emulation: reshuffle topic labels and recount.
+        // The counts are discarded; only the cost is kept.
+        for (int d = 0; d < num_docs; ++d) rng.Shuffle(&unit_topic[d]);
+        continue;
+      }
+      // Apply merges greedily left-to-right.
+      for (int d = 0; d < num_docs; ++d) {
+        std::vector<std::vector<int>> merged;
+        std::vector<int> merged_topic;
+        for (size_t i = 0; i < units[d].size();) {
+          bool can_merge = false;
+          std::vector<int> joint;
+          if (i + 1 < units[d].size() &&
+              unit_topic[d][i] == unit_topic[d][i + 1]) {
+            joint = units[d][i];
+            joint.insert(joint.end(), units[d][i + 1].begin(),
+                         units[d][i + 1].end());
+            auto it = pcount.find(joint);
+            if (it != pcount.end() && it->second >= options.min_support) {
+              double sig = phrase::MergeSignificance(
+                  ucount[units[d][i]], ucount[units[d][i + 1]], it->second,
+                  static_cast<double>(total_units));
+              can_merge = sig >= options.significance;
+            }
+          }
+          if (can_merge) {
+            merged.push_back(std::move(joint));
+            merged_topic.push_back(unit_topic[d][i]);
+            i += 2;
+          } else {
+            merged.push_back(units[d][i]);
+            merged_topic.push_back(unit_topic[d][i]);
+            i += 1;
+          }
+        }
+        units[d] = std::move(merged);
+        unit_topic[d] = std::move(merged_topic);
+      }
+    }
+  }
+
+  // Rank multi-word units per topic by frequency.
+  std::vector<std::map<std::string, double>> phrase_counts(k);
+  for (int d = 0; d < num_docs; ++d) {
+    for (size_t i = 0; i < units[d].size(); ++i) {
+      if (units[d][i].size() < 2) continue;
+      std::string s;
+      for (size_t j = 0; j < units[d][i].size(); ++j) {
+        if (j > 0) s += ' ';
+        s += corpus.vocab().Token(units[d][i][j]);
+      }
+      phrase_counts[unit_topic[d][i]][s] += 1.0;
+    }
+  }
+  result.topics.resize(k);
+  for (int z = 0; z < k; ++z) {
+    std::vector<std::pair<std::string, double>> ranked(
+        phrase_counts[z].begin(), phrase_counts[z].end());
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    if (ranked.size() > top_k) ranked.resize(top_k);
+    result.topics[z].phrases = std::move(ranked);
+  }
+  return result;
+}
+
+}  // namespace latent::baselines

@@ -1,0 +1,45 @@
+// Turbo Topics baseline (Blei & Lafferty 2009), reduced form: after plain
+// LDA, adjacent same-topic tokens are recursively merged into phrases when
+// their association passes a significance test (we reuse the Eq. 4.7
+// z-score in place of the original permutation test, which is the
+// component the paper identifies as prohibitively slow — see DESIGN.md).
+// Phrases are ranked per topic by topical frequency.
+#ifndef LATENT_BASELINES_TURBO_LITE_H_
+#define LATENT_BASELINES_TURBO_LITE_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/lda_gibbs.h"
+#include "text/corpus.h"
+
+namespace latent::baselines {
+
+struct TurboLiteOptions {
+  LdaOptions lda;
+  /// Significance threshold for merging (z-score).
+  double significance = 3.0;
+  /// Minimum phrase frequency.
+  long long min_support = 5;
+  /// Emulate the permutation test's cost with `permutation_rounds` shuffled
+  /// recounts per candidate merge round (0 disables; used by the runtime
+  /// benches to reflect Turbo Topics' published slowness honestly).
+  int permutation_rounds = 0;
+};
+
+struct TurboLiteTopic {
+  std::vector<std::pair<std::string, double>> phrases;
+};
+
+struct TurboLiteResult {
+  phrase::FlatTopicModel model;
+  std::vector<TurboLiteTopic> topics;
+};
+
+TurboLiteResult FitTurboLite(const text::Corpus& corpus,
+                             const TurboLiteOptions& options,
+                             size_t top_k = 20);
+
+}  // namespace latent::baselines
+
+#endif  // LATENT_BASELINES_TURBO_LITE_H_

@@ -1,0 +1,38 @@
+// Assertion macros for programmer-error preconditions.
+//
+// The library does not use exceptions (Google style); violated preconditions
+// print a message with the failing expression and abort. These checks are
+// always on (release builds included) because the cost is negligible next to
+// the numeric kernels they guard.
+#ifndef LATENT_COMMON_CHECK_H_
+#define LATENT_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define LATENT_CHECK(cond)                                                   \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "LATENT_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define LATENT_CHECK_MSG(cond, msg)                                         \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "LATENT_CHECK failed at %s:%d: %s (%s)\n",        \
+                   __FILE__, __LINE__, #cond, msg);                          \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define LATENT_CHECK_GE(a, b) LATENT_CHECK((a) >= (b))
+#define LATENT_CHECK_GT(a, b) LATENT_CHECK((a) > (b))
+#define LATENT_CHECK_LE(a, b) LATENT_CHECK((a) <= (b))
+#define LATENT_CHECK_LT(a, b) LATENT_CHECK((a) < (b))
+#define LATENT_CHECK_EQ(a, b) LATENT_CHECK((a) == (b))
+#define LATENT_CHECK_NE(a, b) LATENT_CHECK((a) != (b))
+
+#endif  // LATENT_COMMON_CHECK_H_

@@ -1,0 +1,87 @@
+#include "common/dense.h"
+
+#include <cmath>
+
+namespace latent {
+
+Matrix Matrix::TransposeTimes(const Matrix& other) const {
+  LATENT_CHECK_EQ(rows_, other.rows_);
+  Matrix out(cols_, other.cols_);
+  for (int i = 0; i < rows_; ++i) {
+    const double* a = row(i);
+    const double* b = other.row(i);
+    for (int r = 0; r < cols_; ++r) {
+      double av = a[r];
+      if (av == 0.0) continue;
+      double* o = out.row(r);
+      for (int c = 0; c < other.cols_; ++c) o[c] += av * b[c];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Times(const Matrix& other) const {
+  LATENT_CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (int i = 0; i < rows_; ++i) {
+    const double* a = row(i);
+    double* o = out.row(i);
+    for (int k = 0; k < cols_; ++k) {
+      double av = a[k];
+      if (av == 0.0) continue;
+      const double* b = other.row(k);
+      for (int c = 0; c < other.cols_; ++c) o[c] += av * b[c];
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::TimesVector(const std::vector<double>& x) const {
+  LATENT_CHECK_EQ(static_cast<int>(x.size()), cols_);
+  std::vector<double> y(rows_, 0.0);
+  for (int i = 0; i < rows_; ++i) {
+    const double* a = row(i);
+    double s = 0.0;
+    for (int c = 0; c < cols_; ++c) s += a[c] * x[c];
+    y[i] = s;
+  }
+  return y;
+}
+
+std::vector<double> Matrix::TransposeTimesVector(
+    const std::vector<double>& x) const {
+  LATENT_CHECK_EQ(static_cast<int>(x.size()), rows_);
+  std::vector<double> y(cols_, 0.0);
+  for (int i = 0; i < rows_; ++i) {
+    double xi = x[i];
+    if (xi == 0.0) continue;
+    const double* a = row(i);
+    for (int c = 0; c < cols_; ++c) y[c] += xi * a[c];
+  }
+  return y;
+}
+
+void OrthonormalizeColumns(Matrix* m) {
+  const int n = m->rows();
+  const int k = m->cols();
+  for (int j = 0; j < k; ++j) {
+    // Subtract projections onto previous columns (twice for stability).
+    for (int pass = 0; pass < 2; ++pass) {
+      for (int p = 0; p < j; ++p) {
+        double dot = 0.0;
+        for (int i = 0; i < n; ++i) dot += (*m)(i, p) * (*m)(i, j);
+        for (int i = 0; i < n; ++i) (*m)(i, j) -= dot * (*m)(i, p);
+      }
+    }
+    double norm = 0.0;
+    for (int i = 0; i < n; ++i) norm += (*m)(i, j) * (*m)(i, j);
+    norm = std::sqrt(norm);
+    if (norm < 1e-12) {
+      for (int i = 0; i < n; ++i) (*m)(i, j) = 0.0;
+    } else {
+      for (int i = 0; i < n; ++i) (*m)(i, j) /= norm;
+    }
+  }
+}
+
+}  // namespace latent

@@ -1,0 +1,65 @@
+// Small dense row-major matrix used by the spectral (STROD) kernels.
+#ifndef LATENT_COMMON_DENSE_H_
+#define LATENT_COMMON_DENSE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+
+namespace latent {
+
+/// Row-major dense matrix of doubles. Not optimized for huge sizes; the
+/// spectral code only materializes k x k and V x k blocks.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(int rows, int cols, double fill = 0.0)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * cols, fill) {
+    LATENT_CHECK_GE(rows, 0);
+    LATENT_CHECK_GE(cols, 0);
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  double& operator()(int r, int c) {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  double operator()(int r, int c) const {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  double* row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  const double* row(int r) const {
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  /// this^T * other. Requires equal row counts.
+  Matrix TransposeTimes(const Matrix& other) const;
+
+  /// this * other. Requires cols() == other.rows().
+  Matrix Times(const Matrix& other) const;
+
+  /// y = this * x for a vector x of length cols().
+  std::vector<double> TimesVector(const std::vector<double>& x) const;
+
+  /// y = this^T * x for a vector x of length rows().
+  std::vector<double> TransposeTimesVector(const std::vector<double>& x) const;
+
+ private:
+  int rows_, cols_;
+  std::vector<double> data_;
+};
+
+/// In-place modified Gram-Schmidt orthonormalization of the columns of m.
+/// Columns with negligible residual norm are filled with zeros.
+void OrthonormalizeColumns(Matrix* m);
+
+}  // namespace latent
+
+#endif  // LATENT_COMMON_DENSE_H_

@@ -1,0 +1,134 @@
+#include "common/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace latent {
+
+namespace {
+
+// Sorts eigenpairs by descending eigenvalue.
+EigenResult SortedResult(std::vector<double> values, Matrix vectors) {
+  const int n = static_cast<int>(values.size());
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return values[a] > values[b]; });
+  EigenResult out;
+  out.values.resize(n);
+  out.vectors = Matrix(vectors.rows(), n);
+  for (int j = 0; j < n; ++j) {
+    out.values[j] = values[order[j]];
+    for (int i = 0; i < vectors.rows(); ++i) {
+      out.vectors(i, j) = vectors(i, order[j]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+EigenResult JacobiEigenSymmetric(const Matrix& a_in, int max_sweeps) {
+  LATENT_CHECK_EQ(a_in.rows(), a_in.cols());
+  const int n = a_in.rows();
+  Matrix a = a_in;
+  Matrix v(n, n);
+  for (int i = 0; i < n; ++i) v(i, i) = 1.0;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (int p = 0; p < n; ++p) {
+      for (int q = p + 1; q < n; ++q) off += a(p, q) * a(p, q);
+    }
+    if (off < 1e-22) break;
+    for (int p = 0; p < n; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        double apq = a(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        double theta = (a(q, q) - a(p, p)) / (2.0 * apq);
+        double t = (theta >= 0 ? 1.0 : -1.0) /
+                   (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double s = t * c;
+        // Apply rotation to A on both sides.
+        for (int i = 0; i < n; ++i) {
+          double aip = a(i, p), aiq = a(i, q);
+          a(i, p) = c * aip - s * aiq;
+          a(i, q) = s * aip + c * aiq;
+        }
+        for (int i = 0; i < n; ++i) {
+          double api = a(p, i), aqi = a(q, i);
+          a(p, i) = c * api - s * aqi;
+          a(q, i) = s * api + c * aqi;
+        }
+        for (int i = 0; i < n; ++i) {
+          double vip = v(i, p), viq = v(i, q);
+          v(i, p) = c * vip - s * viq;
+          v(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+  std::vector<double> values(n);
+  for (int i = 0; i < n; ++i) values[i] = a(i, i);
+  return SortedResult(std::move(values), std::move(v));
+}
+
+EigenResult RandomizedEigenSymmetric(const SymmetricMatVec& matvec, int dim,
+                                     int k, uint64_t seed, int oversample,
+                                     int power_iters) {
+  LATENT_CHECK_GT(k, 0);
+  LATENT_CHECK_LE(k, dim);
+  const int p = std::min(dim, k + oversample);
+  Rng rng(seed);
+
+  // Random probe block Omega (dim x p), Y = A * Omega.
+  Matrix q(dim, p);
+  for (int i = 0; i < dim; ++i) {
+    for (int j = 0; j < p; ++j) q(i, j) = rng.Normal();
+  }
+
+  std::vector<double> x(dim), y(dim);
+  auto apply_block = [&](Matrix* block) {
+    for (int j = 0; j < block->cols(); ++j) {
+      for (int i = 0; i < dim; ++i) x[i] = (*block)(i, j);
+      matvec(x, &y);
+      for (int i = 0; i < dim; ++i) (*block)(i, j) = y[i];
+    }
+  };
+
+  apply_block(&q);
+  OrthonormalizeColumns(&q);
+  for (int it = 0; it < power_iters; ++it) {
+    apply_block(&q);
+    OrthonormalizeColumns(&q);
+  }
+
+  // B = Q^T A Q (p x p), small symmetric.
+  Matrix aq = q;  // columns become A * q_j
+  apply_block(&aq);
+  Matrix b = q.TransposeTimes(aq);
+  // Symmetrize against round-off.
+  for (int i = 0; i < p; ++i) {
+    for (int j = i + 1; j < p; ++j) {
+      double m = 0.5 * (b(i, j) + b(j, i));
+      b(i, j) = b(j, i) = m;
+    }
+  }
+  EigenResult small = JacobiEigenSymmetric(b);
+
+  EigenResult out;
+  out.values.assign(small.values.begin(), small.values.begin() + k);
+  Matrix u(p, k);
+  for (int i = 0; i < p; ++i) {
+    for (int j = 0; j < k; ++j) u(i, j) = small.vectors(i, j);
+  }
+  out.vectors = q.Times(u);
+  return out;
+}
+
+}  // namespace latent

@@ -1,0 +1,45 @@
+// Symmetric eigendecomposition kernels for the spectral topic inference
+// (Chapter 7). Two entry points:
+//
+//  * JacobiEigenSymmetric — exact cyclic-Jacobi decomposition of a small
+//    dense symmetric matrix (k x k blocks after range compression).
+//  * RandomizedEigenSymmetric — top-k eigenpairs of a large implicit
+//    symmetric PSD operator given only a matvec callback, via randomized
+//    range finding + subspace iteration (the "scalability improvement" of
+//    Section 7.3.2: M2 is never materialized).
+#ifndef LATENT_COMMON_EIGEN_H_
+#define LATENT_COMMON_EIGEN_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/dense.h"
+
+namespace latent {
+
+struct EigenResult {
+  /// Eigenvalues sorted descending.
+  std::vector<double> values;
+  /// Column j of vectors is the eigenvector for values[j].
+  Matrix vectors;
+};
+
+/// Full eigendecomposition of a dense symmetric matrix by the cyclic Jacobi
+/// method. `a` must be symmetric; only sizes up to a few hundred are sensible.
+EigenResult JacobiEigenSymmetric(const Matrix& a, int max_sweeps = 64);
+
+/// Callback computing y = A * x for a symmetric operator of dimension `dim`.
+using SymmetricMatVec =
+    std::function<void(const std::vector<double>& x, std::vector<double>* y)>;
+
+/// Approximates the top-`k` eigenpairs of an implicit symmetric PSD operator.
+/// `oversample` extra probe directions and `power_iters` subspace iterations
+/// trade accuracy for time (defaults follow Halko et al. guidance).
+EigenResult RandomizedEigenSymmetric(const SymmetricMatVec& matvec, int dim,
+                                     int k, uint64_t seed, int oversample = 8,
+                                     int power_iters = 3);
+
+}  // namespace latent
+
+#endif  // LATENT_COMMON_EIGEN_H_

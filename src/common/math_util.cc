@@ -1,0 +1,107 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace latent {
+
+double LogSumExp(const std::vector<double>& v) {
+  LATENT_CHECK(!v.empty());
+  double m = *std::max_element(v.begin(), v.end());
+  if (!std::isfinite(m)) return m;
+  double s = 0.0;
+  for (double x : v) s += std::exp(x - m);
+  return m + std::log(s);
+}
+
+double NormalizeInPlace(std::vector<double>* v) {
+  LATENT_CHECK(v != nullptr);
+  if (v->empty()) return 0.0;
+  double total = 0.0;
+  for (double x : *v) total += x;
+  if (total <= 0.0) {
+    double u = 1.0 / static_cast<double>(v->size());
+    std::fill(v->begin(), v->end(), u);
+    return total;
+  }
+  for (double& x : *v) x /= total;
+  return total;
+}
+
+double Sum(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s;
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  LATENT_CHECK_EQ(a.size(), b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double Norm2(const std::vector<double>& v) { return std::sqrt(Dot(v, v)); }
+
+double Entropy(const std::vector<double>& p) {
+  double h = 0.0;
+  for (double x : p) {
+    if (x > 0.0) h -= x * std::log(x);
+  }
+  return h;
+}
+
+double KlDivergence(const std::vector<double>& p,
+                    const std::vector<double>& q) {
+  LATENT_CHECK_EQ(p.size(), q.size());
+  double d = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) d += PointwiseKl(p[i], q[i]);
+  return d;
+}
+
+double TotalVariation(const std::vector<double>& p,
+                      const std::vector<double>& q) {
+  LATENT_CHECK_EQ(p.size(), q.size());
+  double d = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) d += std::abs(p[i] - q[i]);
+  return 0.5 * d;
+}
+
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  double na = Norm2(a), nb = Norm2(b);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+double MatchedL1Error(const std::vector<std::vector<double>>& truth,
+                      const std::vector<std::vector<double>>& est) {
+  LATENT_CHECK(!truth.empty());
+  LATENT_CHECK_EQ(truth.size(), est.size());
+  const size_t k = truth.size();
+  std::vector<bool> used(k, false);
+  double total = 0.0;
+  // Greedy matching: for each true topic pick the closest unused estimate.
+  // Exact assignment would need Hungarian; greedy is adequate for the error
+  // magnitudes reported in the robustness experiments and is deterministic.
+  for (size_t t = 0; t < k; ++t) {
+    double best = std::numeric_limits<double>::infinity();
+    size_t best_j = 0;
+    for (size_t j = 0; j < k; ++j) {
+      if (used[j]) continue;
+      double d = 0.0;
+      for (size_t v = 0; v < truth[t].size(); ++v) {
+        d += std::abs(truth[t][v] - est[j][v]);
+      }
+      if (d < best) {
+        best = d;
+        best_j = j;
+      }
+    }
+    used[best_j] = true;
+    total += best;
+  }
+  return total / static_cast<double>(k);
+}
+
+}  // namespace latent

@@ -1,0 +1,67 @@
+// Scalar and vector math helpers shared across the mining algorithms.
+#ifndef LATENT_COMMON_MATH_UTIL_H_
+#define LATENT_COMMON_MATH_UTIL_H_
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace latent {
+
+/// Floor used when taking logs of empirical probabilities.
+inline constexpr double kTinyProb = 1e-12;
+
+/// log(x) guarded against zero: log(max(x, kTinyProb)).
+inline double SafeLog(double x) { return std::log(x < kTinyProb ? kTinyProb : x); }
+
+/// Numerically stable log(sum_i exp(v_i)).
+double LogSumExp(const std::vector<double>& v);
+
+/// Normalizes v in place to sum to one. If the total mass is zero the vector
+/// becomes uniform; empty vectors are a no-op. Returns the pre-normalization
+/// total.
+double NormalizeInPlace(std::vector<double>* v);
+
+/// Sum of elements.
+double Sum(const std::vector<double>& v);
+
+/// Dot product; vectors must have equal length.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean norm.
+double Norm2(const std::vector<double>& v);
+
+/// Shannon entropy (natural log) of a probability vector.
+double Entropy(const std::vector<double>& p);
+
+/// KL(p || q) with q floored at kTinyProb; p and q must be distributions of
+/// equal length.
+double KlDivergence(const std::vector<double>& p, const std::vector<double>& q);
+
+/// Pointwise KL contribution p * log(p/q) used by the phrase-ranking criteria
+/// (Sections 4.2, 5.1). Returns 0 when p == 0.
+inline double PointwiseKl(double p, double q) {
+  if (p <= 0.0) return 0.0;
+  return p * (SafeLog(p) - SafeLog(q));
+}
+
+/// log(n!) via lgamma.
+inline double LogFactorial(double n) { return std::lgamma(n + 1.0); }
+
+/// Total variation distance between two distributions of equal length.
+double TotalVariation(const std::vector<double>& p, const std::vector<double>& q);
+
+/// L1 distance after optimally matching columns of `est` to columns of
+/// `truth` greedily by similarity; used for topic-recovery error (Chapter 7).
+/// Both are lists of distributions over the same support.
+double MatchedL1Error(const std::vector<std::vector<double>>& truth,
+                      const std::vector<std::vector<double>>& est);
+
+/// Cosine similarity; zero vectors yield 0.
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+}  // namespace latent
+
+#endif  // LATENT_COMMON_MATH_UTIL_H_

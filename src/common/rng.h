@@ -1,0 +1,134 @@
+// Deterministic random number generation for all stochastic components.
+//
+// Every randomized algorithm in the library takes an explicit uint64 seed and
+// builds an Rng from it, so that runs are exactly reproducible, and so that
+// run-to-run variance experiments (Chapter 7 robustness) can vary the seed
+// deliberately.
+#ifndef LATENT_COMMON_RNG_H_
+#define LATENT_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/check.h"
+
+namespace latent {
+
+/// Seeded pseudo-random generator with the sampling primitives the mining
+/// algorithms need (uniforms, discrete/categorical, Dirichlet, Poisson).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double Uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  int UniformInt(int n) {
+    LATENT_CHECK_GT(n, 0);
+    return std::uniform_int_distribution<int>(0, n - 1)(engine_);
+  }
+
+  /// Standard normal draw.
+  double Normal() {
+    return std::normal_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  double Normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  int Poisson(double mean) {
+    LATENT_CHECK_GE(mean, 0.0);
+    if (mean == 0.0) return 0;
+    return std::poisson_distribution<int>(mean)(engine_);
+  }
+
+  double Gamma(double shape) {
+    LATENT_CHECK_GT(shape, 0.0);
+    return std::gamma_distribution<double>(shape, 1.0)(engine_);
+  }
+
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Samples an index from an unnormalized non-negative weight vector.
+  /// Returns weights.size()-1 if numerical round-off exhausts the mass.
+  int Discrete(const std::vector<double>& weights) {
+    LATENT_CHECK(!weights.empty());
+    double total = 0.0;
+    for (double w : weights) total += w;
+    LATENT_CHECK_GT(total, 0.0);
+    double u = Uniform() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      u -= weights[i];
+      if (u <= 0.0) return static_cast<int>(i);
+    }
+    return static_cast<int>(weights.size()) - 1;
+  }
+
+  /// Draws from a symmetric Dirichlet(alpha) of the given dimension.
+  std::vector<double> Dirichlet(double alpha, int dim) {
+    LATENT_CHECK_GT(dim, 0);
+    std::vector<double> out(dim);
+    double total = 0.0;
+    for (int i = 0; i < dim; ++i) {
+      out[i] = Gamma(alpha);
+      total += out[i];
+    }
+    // Degenerate draws (all ~0 for tiny alpha) fall back to one-hot.
+    if (total <= 0.0) {
+      std::fill(out.begin(), out.end(), 0.0);
+      out[UniformInt(dim)] = 1.0;
+      return out;
+    }
+    for (double& v : out) v /= total;
+    return out;
+  }
+
+  /// Draws from an asymmetric Dirichlet with the given concentration vector.
+  std::vector<double> Dirichlet(const std::vector<double>& alpha) {
+    LATENT_CHECK(!alpha.empty());
+    std::vector<double> out(alpha.size());
+    double total = 0.0;
+    for (size_t i = 0; i < alpha.size(); ++i) {
+      out[i] = Gamma(alpha[i]);
+      total += out[i];
+    }
+    if (total <= 0.0) {
+      std::fill(out.begin(), out.end(), 0.0);
+      out[UniformInt(static_cast<int>(alpha.size()))] = 1.0;
+      return out;
+    }
+    for (double& v : out) v /= total;
+    return out;
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(static_cast<int>(i)));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for per-worker determinism).
+  Rng Fork() { return Rng(engine_() ^ 0x9e3779b97f4a7c15ULL); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace latent
+
+#endif  // LATENT_COMMON_RNG_H_

@@ -1,0 +1,79 @@
+// Minimal Status / StatusOr for expectable runtime failures (I/O, parsing,
+// ill-posed model configurations requested by a caller). Programmer errors
+// use LATENT_CHECK instead.
+#ifndef LATENT_COMMON_STATUS_H_
+#define LATENT_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace latent {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Lightweight error-or-success result, modeled on absl::Status.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-error; value access checks ok() at runtime.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {      // NOLINT
+    LATENT_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  const T& value() const {
+    LATENT_CHECK_MSG(ok(), status_.message().c_str());
+    return value_;
+  }
+  T& value() {
+    LATENT_CHECK_MSG(ok(), status_.message().c_str());
+    return value_;
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace latent
+
+#endif  // LATENT_COMMON_STATUS_H_

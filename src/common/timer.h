@@ -1,0 +1,30 @@
+// Wall-clock timer for the runtime tables/figures.
+#ifndef LATENT_COMMON_TIMER_H_
+#define LATENT_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace latent {
+
+/// Simple steady-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Elapsed seconds since construction or the last Restart().
+  double Seconds() const {
+    auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace latent
+
+#endif  // LATENT_COMMON_TIMER_H_

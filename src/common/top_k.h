@@ -1,0 +1,46 @@
+// Top-k selection helper used by every "ranked list" surface in the library
+// (topical phrases, entity rankings, venue roles, ...).
+#ifndef LATENT_COMMON_TOP_K_H_
+#define LATENT_COMMON_TOP_K_H_
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace latent {
+
+/// An (item id, score) pair.
+template <typename Id>
+using Scored = std::pair<Id, double>;
+
+/// Returns the k highest-scoring entries of `scores`, sorted descending by
+/// score with the id as a deterministic tiebreaker.
+template <typename Id>
+std::vector<Scored<Id>> TopK(std::vector<Scored<Id>> scores, size_t k) {
+  auto cmp = [](const Scored<Id>& a, const Scored<Id>& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  };
+  if (scores.size() > k) {
+    std::partial_sort(scores.begin(), scores.begin() + k, scores.end(), cmp);
+    scores.resize(k);
+  } else {
+    std::sort(scores.begin(), scores.end(), cmp);
+  }
+  return scores;
+}
+
+/// Top-k over a dense score vector indexed by int id.
+inline std::vector<Scored<int>> TopKDense(const std::vector<double>& scores,
+                                          size_t k) {
+  std::vector<Scored<int>> pairs;
+  pairs.reserve(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    pairs.emplace_back(static_cast<int>(i), scores[i]);
+  }
+  return TopK(std::move(pairs), k);
+}
+
+}  // namespace latent
+
+#endif  // LATENT_COMMON_TOP_K_H_

@@ -1,0 +1,54 @@
+#include "core/builder.h"
+
+#include <utility>
+
+namespace latent::core {
+
+namespace {
+
+// Splits the topic `node_id`, whose network is `net`, and recurses.
+void Grow(const hin::HeteroNetwork& net, int node_id, int level,
+          const BuildOptions& options, TopicHierarchy* tree) {
+  if (level >= options.max_depth) return;
+  if (net.TotalWeight() < options.min_network_weight) return;
+
+  int k = 0;
+  if (level < static_cast<int>(options.levels_k.size())) {
+    k = options.levels_k[level];
+  }
+
+  ClusterOptions copt = options.cluster;
+  copt.seed = options.cluster.seed + static_cast<uint64_t>(node_id) * 104729;
+  const std::vector<std::vector<double>> parent_phi =
+      tree->node(node_id).phi;
+
+  ClusterResult model;
+  if (k > 0) {
+    copt.num_topics = k;
+    model = FitCluster(net, parent_phi, copt);
+  } else {
+    model = SelectAndFit(net, parent_phi, copt, options.k_min, options.k_max);
+  }
+  tree->mutable_node(node_id).rho_background = model.rho_bg;
+
+  for (int z = 0; z < model.k; ++z) {
+    hin::HeteroNetwork sub =
+        ExtractSubnetwork(net, model, z, options.subnetwork_min_weight);
+    int child = tree->AddChild(node_id, model.rho[z], model.phi[z],
+                               sub.TotalWeight());
+    Grow(sub, child, level + 1, options, tree);
+  }
+}
+
+}  // namespace
+
+TopicHierarchy BuildHierarchy(const hin::HeteroNetwork& root_network,
+                              const BuildOptions& options) {
+  TopicHierarchy tree(root_network.type_names(), root_network.type_sizes());
+  tree.AddRoot(DegreeDistributions(root_network),
+               root_network.TotalWeight());
+  Grow(root_network, tree.root(), 0, options, &tree);
+  return tree;
+}
+
+}  // namespace latent::core

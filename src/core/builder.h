@@ -1,0 +1,38 @@
+// Recursive top-down hierarchy construction (the CATHY / CATHYHIN driver,
+// Steps 1-3 of Sections 3.1 and 3.2): cluster the topic's network into
+// subtopic subnetworks, add a child per subtopic, recurse.
+#ifndef LATENT_CORE_BUILDER_H_
+#define LATENT_CORE_BUILDER_H_
+
+#include <vector>
+
+#include "core/clusterer.h"
+#include "core/hierarchy.h"
+#include "hin/network.h"
+
+namespace latent::core {
+
+struct BuildOptions {
+  /// Number of subtopics per level (index = level of the PARENT being
+  /// split). If a level is missing or its entry is <= 0, the branching
+  /// factor is chosen by BIC in [k_min, k_max].
+  std::vector<int> levels_k;
+  int k_min = 2;
+  int k_max = 8;
+  /// Stop growing below this depth.
+  int max_depth = 2;
+  /// Do not split a topic whose network has less total weight than this.
+  double min_network_weight = 20.0;
+  /// Minimum expected link weight kept when extracting subnetworks.
+  double subnetwork_min_weight = 1.0;
+  ClusterOptions cluster;
+};
+
+/// Builds a topical hierarchy from the root network. The root's phi is the
+/// normalized weighted-degree distribution.
+TopicHierarchy BuildHierarchy(const hin::HeteroNetwork& root_network,
+                              const BuildOptions& options);
+
+}  // namespace latent::core
+
+#endif  // LATENT_CORE_BUILDER_H_

@@ -1,0 +1,336 @@
+#include "core/clusterer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+
+namespace latent::core {
+
+namespace {
+
+// Nodes of each type that carry any link weight; initialization puts mass
+// only on these, so disconnected universe entries stay at probability 0.
+std::vector<std::vector<int>> PresentNodes(const hin::HeteroNetwork& net) {
+  std::vector<std::vector<int>> present(net.num_types());
+  for (int x = 0; x < net.num_types(); ++x) {
+    std::vector<double> deg = net.WeightedDegrees(x);
+    for (int i = 0; i < net.type_size(x); ++i) {
+      if (deg[i] > 0.0) present[x].push_back(i);
+    }
+  }
+  return present;
+}
+
+// One EM run from a random start. Returns the fitted result (alpha fixed or
+// periodically relearned according to options).
+ClusterResult RunEm(const hin::HeteroNetwork& net,
+                    const std::vector<std::vector<double>>& parent_phi,
+                    const ClusterOptions& options,
+                    const std::vector<std::vector<int>>& present,
+                    std::vector<double> alpha, Rng* rng) {
+  const int k = options.num_topics;
+  const int m = net.num_types();
+  const int num_lt = net.num_link_types();
+  const bool bg = options.background;
+
+  ClusterResult r;
+  r.k = k;
+  r.background = bg;
+  r.parent_phi = parent_phi;
+  r.alpha = alpha;
+
+  // Initialize phi with Dirichlet draws over present nodes.
+  r.phi.assign(k, std::vector<std::vector<double>>(m));
+  for (int z = 0; z < k; ++z) {
+    for (int x = 0; x < m; ++x) {
+      r.phi[z][x].assign(net.type_size(x), 0.0);
+      if (present[x].empty()) continue;
+      std::vector<double> draw =
+          rng->Dirichlet(1.0, static_cast<int>(present[x].size()));
+      for (size_t p = 0; p < present[x].size(); ++p) {
+        r.phi[z][x][present[x][p]] = draw[p];
+      }
+    }
+  }
+  if (bg) {
+    r.phi_bg.assign(m, {});
+    for (int x = 0; x < m; ++x) {
+      r.phi_bg[x].assign(net.type_size(x), 0.0);
+      if (present[x].empty()) continue;
+      std::vector<double> draw =
+          rng->Dirichlet(1.0, static_cast<int>(present[x].size()));
+      for (size_t p = 0; p < present[x].size(); ++p) {
+        r.phi_bg[x][present[x][p]] = draw[p];
+      }
+    }
+  }
+  double bg_share = bg ? 0.2 : 0.0;
+  if (options.rho_init_concentration > 0.0) {
+    r.rho = rng->Dirichlet(options.rho_init_concentration, k);
+    for (double& v : r.rho) v *= (1.0 - bg_share);
+  } else {
+    r.rho.assign(k, (1.0 - bg_share) / k);
+  }
+  r.rho_bg = bg_share;
+
+  // Per-link-type raw totals and nonzero counts (for alpha learning).
+  std::vector<double> raw_total(num_lt, 0.0);
+  std::vector<double> n_links(num_lt, 0.0);
+  for (int lt = 0; lt < num_lt; ++lt) {
+    raw_total[lt] = net.link_type(lt).TotalWeight();
+    n_links[lt] = static_cast<double>(net.link_type(lt).links.size());
+  }
+
+  double prev_ll = -std::numeric_limits<double>::infinity();
+
+  // Accumulators reused across iterations.
+  std::vector<double> new_rho(k);
+  double new_rho_bg = 0.0;
+  std::vector<std::vector<std::vector<double>>> new_phi(
+      k, std::vector<std::vector<double>>(m));
+  std::vector<std::vector<double>> new_phi_bg(m);
+
+  for (int iter = 0; iter < options.max_iters; ++iter) {
+    // Scaled totals under the current alpha.
+    double big_m = 0.0;
+    for (int lt = 0; lt < num_lt; ++lt) big_m += alpha[lt] * raw_total[lt];
+    if (big_m <= 0.0) break;
+
+    std::fill(new_rho.begin(), new_rho.end(), 0.0);
+    new_rho_bg = 0.0;
+    for (int z = 0; z < k; ++z) {
+      for (int x = 0; x < m; ++x) {
+        new_phi[z][x].assign(net.type_size(x), 0.0);
+      }
+    }
+    for (int x = 0; x < m; ++x) new_phi_bg[x].assign(net.type_size(x), 0.0);
+
+    double ll = -big_m;
+    // sigma accumulators for alpha learning (Eq. 3.38).
+    std::vector<double> sigma(num_lt, 0.0);
+
+    std::vector<double> s(k);
+    for (int lt = 0; lt < num_lt; ++lt) {
+      const hin::LinkType& t = net.link_type(lt);
+      const int x = t.type_x, y = t.type_y;
+      const double a = alpha[lt];
+      if (a <= 0.0 || t.links.empty()) continue;
+      for (const hin::Link& l : t.links) {
+        const double aw = a * l.weight;
+        double denom = 0.0;
+        for (int z = 0; z < k; ++z) {
+          s[z] = r.rho[z] * r.phi[z][x][l.i] * r.phi[z][y][l.j];
+          denom += s[z];
+        }
+        double s_bg_i = 0.0, s_bg_j = 0.0;
+        if (bg) {
+          s_bg_i = 0.5 * r.rho_bg * r.phi_bg[x][l.i] * parent_phi[y][l.j];
+          s_bg_j = 0.5 * r.rho_bg * r.phi_bg[y][l.j] * parent_phi[x][l.i];
+          denom += s_bg_i + s_bg_j;
+        }
+        if (denom <= 0.0) {
+          // Unexplainable link under current support: assign uniformly.
+          denom = 1.0;
+          for (int z = 0; z < k; ++z) s[z] = 1.0 / (k + (bg ? 1 : 0));
+          if (bg) s_bg_i = s_bg_j = 0.5 / (k + 1);
+        }
+        // Full Poisson log-likelihood term: rate = alpha * M_xy_raw * s.
+        const double rate = a * raw_total[lt] * denom;
+        ll += aw * std::log(rate) - std::lgamma(aw + 1.0);
+        // sigma for alpha learning uses raw weights and raw rates.
+        sigma[lt] +=
+            l.weight * (std::log(l.weight) - std::log(raw_total[lt] * denom));
+
+        const double inv = aw / denom;
+        for (int z = 0; z < k; ++z) {
+          const double ehat = s[z] * inv;
+          new_rho[z] += ehat;
+          new_phi[z][x][l.i] += ehat;
+          new_phi[z][y][l.j] += ehat;
+        }
+        if (bg) {
+          const double ehat_i = s_bg_i * inv;
+          const double ehat_j = s_bg_j * inv;
+          new_rho_bg += ehat_i + ehat_j;
+          new_phi_bg[x][l.i] += ehat_i;
+          new_phi_bg[y][l.j] += ehat_j;
+        }
+      }
+    }
+
+    // M step.
+    for (int z = 0; z < k; ++z) r.rho[z] = new_rho[z] / big_m;
+    r.rho_bg = bg ? new_rho_bg / big_m : 0.0;
+    for (int z = 0; z < k; ++z) {
+      for (int x = 0; x < m; ++x) {
+        double total = Sum(new_phi[z][x]);
+        if (total > 0.0) {
+          for (double& v : new_phi[z][x]) v /= total;
+          r.phi[z][x] = new_phi[z][x];
+        } else {
+          std::fill(r.phi[z][x].begin(), r.phi[z][x].end(), 0.0);
+        }
+      }
+    }
+    if (bg) {
+      for (int x = 0; x < m; ++x) {
+        double total = Sum(new_phi_bg[x]);
+        if (total > 0.0) {
+          for (double& v : new_phi_bg[x]) v /= total;
+          r.phi_bg[x] = new_phi_bg[x];
+        }
+      }
+    }
+
+    // Alpha learning (Section 3.2.2), refreshed periodically.
+    if (options.weight_mode == LinkWeightMode::kLearned &&
+        (iter + 1) % options.alpha_update_every == 0) {
+      double log_geo = 0.0, n_total = 0.0;
+      std::vector<double> sig(num_lt, 1.0);
+      for (int lt = 0; lt < num_lt; ++lt) {
+        if (n_links[lt] <= 0.0) continue;
+        sig[lt] = std::max(sigma[lt] / n_links[lt], 1e-6);
+        log_geo += n_links[lt] * std::log(sig[lt]);
+        n_total += n_links[lt];
+      }
+      if (n_total > 0.0) {
+        log_geo /= n_total;
+        for (int lt = 0; lt < num_lt; ++lt) {
+          if (n_links[lt] <= 0.0) continue;
+          alpha[lt] = std::exp(log_geo) / sig[lt];
+        }
+      }
+      r.alpha = alpha;
+    }
+
+    r.log_likelihood = ll;
+    if (iter > 0 && std::abs(ll - prev_ll) <=
+                        options.tol * (std::abs(prev_ll) + 1.0)) {
+      break;
+    }
+    prev_ll = ll;
+  }
+
+  // BIC score (Section 3.2.3): logL - 0.5 * #free-params * log(#links).
+  double num_present = 0.0;
+  for (int x = 0; x < m; ++x) num_present += static_cast<double>(present[x].size());
+  double num_links = static_cast<double>(std::max<long long>(net.NumLinks(), 2));
+  r.bic_score =
+      r.log_likelihood - 0.5 * num_present * k * std::log(num_links);
+  return r;
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> DegreeDistributions(
+    const hin::HeteroNetwork& net) {
+  std::vector<std::vector<double>> out(net.num_types());
+  for (int x = 0; x < net.num_types(); ++x) {
+    out[x] = net.WeightedDegrees(x);
+    NormalizeInPlace(&out[x]);
+  }
+  return out;
+}
+
+ClusterResult FitCluster(const hin::HeteroNetwork& net,
+                         const std::vector<std::vector<double>>& parent_phi,
+                         const ClusterOptions& options) {
+  LATENT_CHECK_GE(options.num_topics, 1);
+  LATENT_CHECK_EQ(static_cast<int>(parent_phi.size()), net.num_types());
+  LATENT_CHECK_GT(net.num_link_types(), 0);
+
+  const int num_lt = net.num_link_types();
+  std::vector<double> alpha(num_lt, 1.0);
+  if (options.weight_mode == LinkWeightMode::kNormalized) {
+    for (int lt = 0; lt < num_lt; ++lt) {
+      double total = net.link_type(lt).TotalWeight();
+      alpha[lt] = total > 0.0 ? 1.0 / total : 1.0;
+    }
+    // Rescale so the geometric mean over links is 1 (Lemma 3.1 makes any
+    // common factor irrelevant; this keeps weights in a sane range).
+    double log_geo = 0.0, n = 0.0;
+    for (int lt = 0; lt < num_lt; ++lt) {
+      double nl = static_cast<double>(net.link_type(lt).links.size());
+      if (nl == 0.0) continue;
+      log_geo += nl * std::log(alpha[lt]);
+      n += nl;
+    }
+    if (n > 0.0) {
+      double scale = std::exp(-log_geo / n);
+      for (double& a : alpha) a *= scale;
+    }
+  }
+
+  std::vector<std::vector<int>> present = PresentNodes(net);
+  Rng rng(options.seed);
+  ClusterResult best;
+  bool have = false;
+  for (int restart = 0; restart < std::max(1, options.restarts); ++restart) {
+    Rng child = rng.Fork();
+    ClusterResult r = RunEm(net, parent_phi, options, present, alpha, &child);
+    if (!have || r.log_likelihood > best.log_likelihood) {
+      best = std::move(r);
+      have = true;
+    }
+  }
+  return best;
+}
+
+hin::HeteroNetwork ExtractSubnetwork(const hin::HeteroNetwork& net,
+                                     const ClusterResult& model, int z,
+                                     double min_weight) {
+  LATENT_CHECK_GE(z, 0);
+  LATENT_CHECK_LT(z, model.k);
+  hin::HeteroNetwork sub(net.type_names(), net.type_sizes());
+  const int k = model.k;
+  for (int lt = 0; lt < net.num_link_types(); ++lt) {
+    const hin::LinkType& t = net.link_type(lt);
+    int sub_lt = sub.AddLinkType(t.type_x, t.type_y);
+    const int x = t.type_x, y = t.type_y;
+    const double a = model.alpha.empty() ? 1.0 : model.alpha[lt];
+    for (const hin::Link& l : t.links) {
+      double denom = 0.0, sz = 0.0;
+      for (int c = 0; c < k; ++c) {
+        double s = model.rho[c] * model.phi[c][x][l.i] * model.phi[c][y][l.j];
+        denom += s;
+        if (c == z) sz = s;
+      }
+      if (model.background) {
+        denom += 0.5 * model.rho_bg *
+                 (model.phi_bg[x][l.i] * model.parent_phi[y][l.j] +
+                  model.phi_bg[y][l.j] * model.parent_phi[x][l.i]);
+      }
+      if (denom <= 0.0) continue;
+      double ehat = a * l.weight * sz / denom;
+      if (ehat >= min_weight) sub.AddLink(sub_lt, l.i, l.j, ehat);
+    }
+  }
+  return sub;
+}
+
+ClusterResult SelectAndFit(const hin::HeteroNetwork& net,
+                           const std::vector<std::vector<double>>& parent_phi,
+                           const ClusterOptions& options, int k_min,
+                           int k_max) {
+  LATENT_CHECK_GE(k_min, 1);
+  LATENT_CHECK_LE(k_min, k_max);
+  ClusterResult best;
+  bool have = false;
+  for (int k = k_min; k <= k_max; ++k) {
+    ClusterOptions opt = options;
+    opt.num_topics = k;
+    opt.seed = options.seed + static_cast<uint64_t>(k) * 7919;
+    ClusterResult r = FitCluster(net, parent_phi, opt);
+    if (!have || r.bic_score > best.bic_score) {
+      best = std::move(r);
+      have = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace latent::core

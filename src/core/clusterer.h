@@ -1,0 +1,103 @@
+// The CATHY / CATHYHIN generative model and its EM inference (Chapter 3).
+//
+// Every co-occurrence link in a (heterogeneous) network is attributed to one
+// of k subtopics or a background topic. A subtopic-z link between nodes
+// (x,i) and (y,j) occurs with Poisson rate  M * theta_{x,y} * rho_z *
+// phi^x_{z,i} * phi^y_{z,j};  a background link draws its first end from the
+// background distribution phi^x_0 and its second end from the parent topic's
+// distribution (Section 3.2.1). EM alternates soft link clustering (E) with
+// closed-form parameter updates (M), Eq. (3.24)-(3.29). Link-type weights
+// alpha_{x,y} can be learned by the Stirling-approximated ML update of
+// Eq. (3.37) (Section 3.2.2).
+//
+// The homogeneous CATHY model of Section 3.1 is the special case of a single
+// node type with the background topic disabled.
+#ifndef LATENT_CORE_CLUSTERER_H_
+#define LATENT_CORE_CLUSTERER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hin/network.h"
+
+namespace latent::core {
+
+/// How the per-link-type weights alpha are chosen (Tables 3.2/3.3 compare
+/// all three).
+enum class LinkWeightMode {
+  kEqual,       ///< alpha = 1 for every link type (CATHYHIN equal weight).
+  kNormalized,  ///< alpha_{x,y} = 1 / total weight of type (x,y) (norm weight).
+  kLearned,     ///< alpha learned by Eq. (3.37) (learn weight).
+};
+
+struct ClusterOptions {
+  /// Number of subtopics k (children of the current topic).
+  int num_topics = 4;
+  /// Enable the background topic (CATHYHIN). Disable for plain CATHY.
+  bool background = true;
+  LinkWeightMode weight_mode = LinkWeightMode::kEqual;
+  int max_iters = 200;
+  /// Relative log-likelihood improvement below which EM stops.
+  double tol = 1e-6;
+  /// Number of random restarts; the best-likelihood solution is kept.
+  int restarts = 3;
+  uint64_t seed = 42;
+  /// How often (in EM iterations) to refresh learned alpha.
+  int alpha_update_every = 10;
+  /// Shape of the initial subtopic proportions (Section 3.2.3 "Balance of
+  /// subtree size"): <= 0 starts from uniform rho (balanced trees); > 0
+  /// draws the initial rho from Dirichlet(concentration), so small values
+  /// seed skewed hierarchies.
+  double rho_init_concentration = 0.0;
+};
+
+/// Fitted model for one topic node's network.
+struct ClusterResult {
+  int k = 0;
+  bool background = false;
+  /// Full data log-likelihood (Poisson, constants included).
+  double log_likelihood = 0.0;
+  /// BIC model-selection score: logL - 0.5 * #params * log(#links).
+  /// Larger is better (Section 3.2.3).
+  double bic_score = 0.0;
+  /// Subtopic proportions, size k; rho_bg is the background proportion.
+  std::vector<double> rho;
+  double rho_bg = 0.0;
+  /// phi[z][x][i]: node distribution of subtopic z over type-x nodes.
+  std::vector<std::vector<std::vector<double>>> phi;
+  /// Background node distributions phi_bg[x][i] (empty if !background).
+  std::vector<std::vector<double>> phi_bg;
+  /// Per-link-type weights alpha (all 1.0 in kEqual mode).
+  std::vector<double> alpha;
+  /// The parent-topic node distributions used for background generation.
+  std::vector<std::vector<double>> parent_phi;
+};
+
+/// Normalized weighted-degree distributions per node type; the default
+/// parent distribution for the root topic.
+std::vector<std::vector<double>> DegreeDistributions(
+    const hin::HeteroNetwork& net);
+
+/// Fits the model to `net`. `parent_phi[x]` is the parent topic's node
+/// distribution for type x (use DegreeDistributions for the root). Requires
+/// num_topics >= 1 and a non-empty network.
+ClusterResult FitCluster(const hin::HeteroNetwork& net,
+                         const std::vector<std::vector<double>>& parent_phi,
+                         const ClusterOptions& options);
+
+/// Extracts the subtopic-z subnetwork: link weights become the expected
+/// topic-z weight e-hat (Eq. 3.23); links below `min_weight` are dropped
+/// ("we remove links whose weight is less than 1").
+hin::HeteroNetwork ExtractSubnetwork(const hin::HeteroNetwork& net,
+                                     const ClusterResult& model, int z,
+                                     double min_weight = 1.0);
+
+/// Chooses the number of subtopics in [k_min, k_max] by the BIC score
+/// (Section 3.2.3), returning the winning fitted model.
+ClusterResult SelectAndFit(const hin::HeteroNetwork& net,
+                           const std::vector<std::vector<double>>& parent_phi,
+                           const ClusterOptions& options, int k_min, int k_max);
+
+}  // namespace latent::core
+
+#endif  // LATENT_CORE_CLUSTERER_H_

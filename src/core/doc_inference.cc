@@ -1,0 +1,72 @@
+#include "core/doc_inference.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace latent::core {
+
+std::vector<double> InferDocumentAllocation(
+    const TopicHierarchy& tree, const std::vector<int>& words,
+    const std::vector<std::vector<int>>& entities,
+    const DocInferenceOptions& options) {
+  std::vector<double> f(tree.num_nodes(), 0.0);
+  if (tree.empty()) return f;
+  f[tree.root()] = 1.0;
+
+  for (int node = 0; node < tree.num_nodes(); ++node) {
+    const TopicNode& t = tree.node(node);
+    if (t.children.empty() || f[node] <= 0.0) continue;
+    const int k = static_cast<int>(t.children.size());
+    // Log-evidence per child: log rho_c + sum_items log phi_c(item).
+    std::vector<double> logp(k, 0.0);
+    for (int c = 0; c < k; ++c) {
+      const TopicNode& child = tree.node(t.children[c]);
+      double lp = SafeLog(child.rho_in_parent);
+      for (int w : words) lp += SafeLog(child.phi[0][w] + options.smoothing);
+      for (size_t x = 0; x < entities.size(); ++x) {
+        int type = 1 + static_cast<int>(x);
+        if (type >= tree.num_types()) break;
+        for (int e : entities[x]) {
+          lp += options.entity_weight *
+                SafeLog(child.phi[type][e] + options.smoothing);
+        }
+      }
+      logp[c] = lp;
+    }
+    double lse = LogSumExp(logp);
+    for (int c = 0; c < k; ++c) {
+      f[t.children[c]] = f[node] * std::exp(logp[c] - lse);
+    }
+  }
+  return f;
+}
+
+std::vector<int> AssignDocumentsToLevel(
+    const TopicHierarchy& tree, const text::Corpus& corpus,
+    const std::vector<hin::EntityDoc>& entity_docs, int level,
+    const DocInferenceOptions& options) {
+  std::vector<int> level_nodes = tree.NodesAtLevel(level);
+  std::vector<int> assignment(corpus.num_docs(), -1);
+  if (level_nodes.empty()) return assignment;
+  for (int d = 0; d < corpus.num_docs(); ++d) {
+    std::vector<std::vector<int>> entities;
+    if (!entity_docs.empty()) entities = entity_docs[d].entities;
+    std::vector<double> f = InferDocumentAllocation(
+        tree, corpus.docs()[d].tokens, entities, options);
+    int best = -1;
+    double best_mass = 0.0;
+    for (size_t i = 0; i < level_nodes.size(); ++i) {
+      if (f[level_nodes[i]] > best_mass) {
+        best_mass = f[level_nodes[i]];
+        best = static_cast<int>(i);
+      }
+    }
+    assignment[d] = best;
+  }
+  return assignment;
+}
+
+}  // namespace latent::core

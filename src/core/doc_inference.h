@@ -1,0 +1,44 @@
+// Posterior document-topic inference against a fitted hierarchy: given a
+// document's words (and optional entities), estimate its distribution over
+// the children of any topic node, and a full per-node allocation down the
+// tree. This is the network-side counterpart of the phrase-based document
+// profiling of Section 5.1.2, and powers clustering-style evaluation
+// (purity / NMI of the induced hard assignment).
+#ifndef LATENT_CORE_DOC_INFERENCE_H_
+#define LATENT_CORE_DOC_INFERENCE_H_
+
+#include <vector>
+
+#include "core/hierarchy.h"
+#include "hin/collapse.h"
+#include "text/corpus.h"
+
+namespace latent::core {
+
+struct DocInferenceOptions {
+  /// Relative weight of an entity occurrence vs a word occurrence.
+  double entity_weight = 1.0;
+  /// Dirichlet-style smoothing added to each child's score.
+  double smoothing = 1e-3;
+};
+
+/// Allocates one document over all hierarchy nodes: the root gets 1, and
+/// every node's mass splits among its children in proportion to
+/// rho_c * prod-free naive-Bayes evidence sum_{items} log phi_c(item)
+/// (log-linear pooling of word and entity evidence). Returns f per node id.
+std::vector<double> InferDocumentAllocation(
+    const TopicHierarchy& tree, const std::vector<int>& words,
+    const std::vector<std::vector<int>>& entities,
+    const DocInferenceOptions& options = DocInferenceOptions());
+
+/// Hard assignment of every corpus document to one node at `level`
+/// (argmax of the allocation restricted to that level; -1 for documents
+/// with no mass there).
+std::vector<int> AssignDocumentsToLevel(
+    const TopicHierarchy& tree, const text::Corpus& corpus,
+    const std::vector<hin::EntityDoc>& entity_docs, int level,
+    const DocInferenceOptions& options = DocInferenceOptions());
+
+}  // namespace latent::core
+
+#endif  // LATENT_CORE_DOC_INFERENCE_H_

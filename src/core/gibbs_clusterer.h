@@ -1,0 +1,38 @@
+// Collapsed Gibbs sampling inference for the CATHY link-clustering model —
+// the MCMC alternative to the EM of clusterer.h (the dissertation's Section
+// 2.1 discusses Gibbs sampling as the standard inference family; this
+// implementation enables EM-vs-Gibbs ablations on the same model). Each
+// link carries a latent topic label; ends are drawn from per-topic node
+// multinomials with Dirichlet priors. The background topic is not modeled
+// (use the EM engine for CATHYHIN with background).
+#ifndef LATENT_CORE_GIBBS_CLUSTERER_H_
+#define LATENT_CORE_GIBBS_CLUSTERER_H_
+
+#include <cstdint>
+
+#include "core/clusterer.h"
+#include "hin/network.h"
+
+namespace latent::core {
+
+struct GibbsClusterOptions {
+  int num_topics = 4;
+  /// Dirichlet prior on topic proportions.
+  double alpha = 1.0;
+  /// Dirichlet prior on node distributions.
+  double beta = 0.01;
+  int iterations = 200;
+  uint64_t seed = 42;
+};
+
+/// Fits the k-subtopic link model by collapsed Gibbs sampling (weighted
+/// links contribute their weight to the count tables). The returned
+/// ClusterResult has background disabled and alpha = 1 for all link types;
+/// its log_likelihood is the complete-data log posterior of the final
+/// state (comparable across runs, not with the EM objective).
+ClusterResult FitClusterGibbs(const hin::HeteroNetwork& net,
+                              const GibbsClusterOptions& options);
+
+}  // namespace latent::core
+
+#endif  // LATENT_CORE_GIBBS_CLUSTERER_H_

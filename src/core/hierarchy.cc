@@ -1,0 +1,75 @@
+#include "core/hierarchy.h"
+
+#include <algorithm>
+
+#include "common/math_util.h"
+
+namespace latent::core {
+
+int TopicHierarchy::AddRoot(std::vector<std::vector<double>> phi,
+                            double network_weight) {
+  LATENT_CHECK(nodes_.empty());
+  TopicNode n;
+  n.id = 0;
+  n.parent = -1;
+  n.child_index = 0;
+  n.level = 0;
+  n.path = "o";
+  n.rho_in_parent = 1.0;
+  n.phi = std::move(phi);
+  n.network_weight = network_weight;
+  nodes_.push_back(std::move(n));
+  return 0;
+}
+
+int TopicHierarchy::AddChild(int parent, double rho_in_parent,
+                             std::vector<std::vector<double>> phi,
+                             double network_weight) {
+  LATENT_CHECK_GE(parent, 0);
+  LATENT_CHECK_LT(parent, num_nodes());
+  TopicNode n;
+  n.id = num_nodes();
+  n.parent = parent;
+  n.child_index = static_cast<int>(nodes_[parent].children.size()) + 1;
+  n.level = nodes_[parent].level + 1;
+  n.path = nodes_[parent].path + "/" + std::to_string(n.child_index);
+  n.rho_in_parent = rho_in_parent;
+  n.phi = std::move(phi);
+  n.network_weight = network_weight;
+  nodes_[parent].children.push_back(n.id);
+  nodes_.push_back(std::move(n));
+  return nodes_.back().id;
+}
+
+std::vector<int> TopicHierarchy::Leaves() const {
+  std::vector<int> out;
+  for (const TopicNode& n : nodes_) {
+    if (n.children.empty()) out.push_back(n.id);
+  }
+  return out;
+}
+
+std::vector<int> TopicHierarchy::NodesAtLevel(int level) const {
+  std::vector<int> out;
+  for (const TopicNode& n : nodes_) {
+    if (n.level == level) out.push_back(n.id);
+  }
+  return out;
+}
+
+std::vector<double> TopicHierarchy::ChildRho(int id) const {
+  const TopicNode& n = node(id);
+  std::vector<double> rho;
+  rho.reserve(n.children.size());
+  for (int c : n.children) rho.push_back(nodes_[c].rho_in_parent);
+  if (!rho.empty()) NormalizeInPlace(&rho);
+  return rho;
+}
+
+int TopicHierarchy::Height() const {
+  int h = 0;
+  for (const TopicNode& n : nodes_) h = std::max(h, n.level);
+  return h;
+}
+
+}  // namespace latent::core

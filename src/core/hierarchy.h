@@ -1,0 +1,93 @@
+// Topical hierarchy (Definition 2): a tree of topics, each characterized by
+// node distributions phi over every node type of the underlying network, with
+// mixing proportions rho over its children. Nodes are stored in an arena and
+// addressed by integer id; the root is id 0 and is denoted "o" as in the
+// dissertation.
+#ifndef LATENT_CORE_HIERARCHY_H_
+#define LATENT_CORE_HIERARCHY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace latent::core {
+
+struct TopicNode {
+  int id = -1;
+  int parent = -1;
+  /// 1-based index among siblings (chi_t); 0 for the root.
+  int child_index = 0;
+  int level = 0;
+  /// Path notation, e.g. "o/1/2".
+  std::string path;
+  std::vector<int> children;
+  /// rho_{pi(t), chi(t)}: this topic's proportion in its parent's mixture.
+  double rho_in_parent = 1.0;
+  /// Background proportion inferred when clustering THIS node's network
+  /// (0 if never clustered or background disabled).
+  double rho_background = 0.0;
+  /// phi[x][i]: distribution over type-x nodes for this topic. For the root
+  /// this is the normalized weighted-degree distribution.
+  std::vector<std::vector<double>> phi;
+  /// Total link weight of the network associated with this topic (M^t).
+  double network_weight = 0.0;
+};
+
+/// Arena-backed topic tree.
+class TopicHierarchy {
+ public:
+  TopicHierarchy() = default;
+  TopicHierarchy(std::vector<std::string> type_names,
+                 std::vector<int> type_sizes)
+      : type_names_(std::move(type_names)),
+        type_sizes_(std::move(type_sizes)) {}
+
+  /// Creates the root topic "o" with the given distributions; returns 0.
+  int AddRoot(std::vector<std::vector<double>> phi, double network_weight);
+
+  /// Adds a child topic of `parent`; returns the new node id.
+  int AddChild(int parent, double rho_in_parent,
+               std::vector<std::vector<double>> phi, double network_weight);
+
+  const TopicNode& node(int id) const {
+    LATENT_CHECK_GE(id, 0);
+    LATENT_CHECK_LT(id, static_cast<int>(nodes_.size()));
+    return nodes_[id];
+  }
+  TopicNode& mutable_node(int id) {
+    LATENT_CHECK_GE(id, 0);
+    LATENT_CHECK_LT(id, static_cast<int>(nodes_.size()));
+    return nodes_[id];
+  }
+
+  int root() const { return 0; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  bool empty() const { return nodes_.empty(); }
+
+  int num_types() const { return static_cast<int>(type_sizes_.size()); }
+  const std::vector<std::string>& type_names() const { return type_names_; }
+  const std::vector<int>& type_sizes() const { return type_sizes_; }
+
+  /// Node ids of all leaves, in id order.
+  std::vector<int> Leaves() const;
+
+  /// Node ids at the given level, in id order.
+  std::vector<int> NodesAtLevel(int level) const;
+
+  /// Mixing proportions of `id`'s children normalized to sum to one
+  /// (excluding the background share). Empty for leaves.
+  std::vector<double> ChildRho(int id) const;
+
+  /// Height of the tree (max level).
+  int Height() const;
+
+ private:
+  std::vector<std::string> type_names_;
+  std::vector<int> type_sizes_;
+  std::vector<TopicNode> nodes_;
+};
+
+}  // namespace latent::core
+
+#endif  // LATENT_CORE_HIERARCHY_H_

@@ -1,0 +1,99 @@
+#include "core/model_selection.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+
+namespace latent::core {
+
+void SplitLinks(const hin::HeteroNetwork& net, double holdout_fraction,
+                uint64_t seed, hin::HeteroNetwork* train,
+                hin::HeteroNetwork* holdout) {
+  *train = hin::HeteroNetwork(net.type_names(), net.type_sizes());
+  *holdout = hin::HeteroNetwork(net.type_names(), net.type_sizes());
+  Rng rng(seed);
+  for (int lt = 0; lt < net.num_link_types(); ++lt) {
+    const hin::LinkType& t = net.link_type(lt);
+    int train_lt = train->AddLinkType(t.type_x, t.type_y);
+    int hold_lt = holdout->AddLinkType(t.type_x, t.type_y);
+    for (const hin::Link& l : t.links) {
+      if (rng.Uniform() < holdout_fraction) {
+        holdout->AddLink(hold_lt, l.i, l.j, l.weight);
+      } else {
+        train->AddLink(train_lt, l.i, l.j, l.weight);
+      }
+    }
+  }
+}
+
+double HeldOutLogLikelihood(const hin::HeteroNetwork& holdout,
+                            const ClusterResult& model) {
+  // Score each held-out link by the log mixture rate s_ij of Eq. (3.8),
+  // weighted by the link weight. Constants shared across models with the
+  // same holdout cancel.
+  double ll = 0.0;
+  for (int lt = 0; lt < holdout.num_link_types(); ++lt) {
+    const hin::LinkType& t = holdout.link_type(lt);
+    const int x = t.type_x, y = t.type_y;
+    for (const hin::Link& l : t.links) {
+      double s = 0.0;
+      for (int z = 0; z < model.k; ++z) {
+        s += model.rho[z] * model.phi[z][x][l.i] * model.phi[z][y][l.j];
+      }
+      if (model.background) {
+        s += 0.5 * model.rho_bg *
+             (model.phi_bg[x][l.i] * model.parent_phi[y][l.j] +
+              model.phi_bg[y][l.j] * model.parent_phi[x][l.i]);
+      }
+      ll += l.weight * SafeLog(s);
+    }
+  }
+  return ll;
+}
+
+ClusterResult SelectByCrossValidation(
+    const hin::HeteroNetwork& net,
+    const std::vector<std::vector<double>>& parent_phi,
+    const ClusterOptions& options, int k_min, int k_max,
+    const CrossValidationOptions& cv) {
+  LATENT_CHECK_GE(k_min, 1);
+  LATENT_CHECK_LE(k_min, k_max);
+  int best_k = k_min;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (int k = k_min; k <= k_max; ++k) {
+    double total = 0.0;
+    for (int fold = 0; fold < cv.folds; ++fold) {
+      hin::HeteroNetwork train, holdout;
+      SplitLinks(net, cv.holdout_fraction,
+                 cv.seed + static_cast<uint64_t>(fold) * 101, &train,
+                 &holdout);
+      ClusterOptions opt = options;
+      opt.num_topics = k;
+      opt.seed = options.seed + static_cast<uint64_t>(k) * 13 + fold;
+      ClusterResult model = FitCluster(train, parent_phi, opt);
+      total += HeldOutLogLikelihood(holdout, model);
+    }
+    double avg = total / cv.folds;
+    if (avg > best_score) {
+      best_score = avg;
+      best_k = k;
+    }
+  }
+  ClusterOptions opt = options;
+  opt.num_topics = best_k;
+  return FitCluster(net, parent_phi, opt);
+}
+
+double AicScore(const hin::HeteroNetwork& net, const ClusterResult& model) {
+  double present = 0.0;
+  for (int x = 0; x < net.num_types(); ++x) {
+    for (double d : net.WeightedDegrees(x)) {
+      if (d > 0.0) present += 1.0;
+    }
+  }
+  return model.log_likelihood - present * model.k;
+}
+
+}  // namespace latent::core

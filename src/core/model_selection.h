@@ -1,0 +1,55 @@
+// Model selection for the number of subtopics k (Section 3.2.3).
+//
+// Two strategies from the dissertation:
+//  * Cross-validation (Smyth 2000): fit on a sampled subnetwork, score the
+//    held-out links' log-likelihood, pick the k with the best average.
+//    Recommended when there is sufficient data.
+//  * Information criteria: BIC (built into ClusterResult::bic_score) and
+//    AIC, which penalizes parameters less aggressively.
+#ifndef LATENT_CORE_MODEL_SELECTION_H_
+#define LATENT_CORE_MODEL_SELECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/clusterer.h"
+#include "hin/network.h"
+
+namespace latent::core {
+
+struct CrossValidationOptions {
+  /// Fraction of links (by count) held out for scoring.
+  double holdout_fraction = 0.2;
+  /// Number of random train/holdout splits averaged per k.
+  int folds = 3;
+  uint64_t seed = 42;
+};
+
+/// Splits a network's links into train and holdout parts (per-link Bernoulli
+/// on the split; weights are not divided).
+void SplitLinks(const hin::HeteroNetwork& net, double holdout_fraction,
+                uint64_t seed, hin::HeteroNetwork* train,
+                hin::HeteroNetwork* holdout);
+
+/// Log-likelihood of the holdout links under a fitted model (Poisson rates
+/// scaled to the holdout total, constants dropped — valid for comparing
+/// models on the SAME holdout).
+double HeldOutLogLikelihood(const hin::HeteroNetwork& holdout,
+                            const ClusterResult& model);
+
+/// Chooses k in [k_min, k_max] by average held-out likelihood and returns
+/// the winning k fitted on the FULL network.
+ClusterResult SelectByCrossValidation(
+    const hin::HeteroNetwork& net,
+    const std::vector<std::vector<double>>& parent_phi,
+    const ClusterOptions& options, int k_min, int k_max,
+    const CrossValidationOptions& cv);
+
+/// AIC score for a fitted model: logL - #params (larger is better, like
+/// bic_score). BIC penalizes more, AIC less; the dissertation recommends
+/// cross-validation with sufficient data and BIC for small networks.
+double AicScore(const hin::HeteroNetwork& net, const ClusterResult& model);
+
+}  // namespace latent::core
+
+#endif  // LATENT_CORE_MODEL_SELECTION_H_

@@ -1,0 +1,162 @@
+#include "core/serialize.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/top_k.h"
+
+namespace latent::core {
+
+namespace {
+
+void AppendJsonEscaped(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        *out += c;
+    }
+  }
+}
+
+void NodeToJson(const TopicHierarchy& tree, int id, const NodeNamer& namer,
+                const JsonOptions& options, int indent, std::string* out) {
+  const TopicNode& n = tree.node(id);
+  std::string pad = options.pretty ? std::string(indent, ' ') : "";
+  std::string nl = options.pretty ? "\n" : "";
+  char buf[64];
+  *out += pad + "{" + nl;
+  *out += pad + " \"path\": \"" + n.path + "\"," + nl;
+  std::snprintf(buf, sizeof(buf), "%.6g", n.rho_in_parent);
+  *out += pad + " \"rho\": " + buf + "," + nl;
+  *out += pad + " \"top_nodes\": {" + nl;
+  for (int x = 0; x < tree.num_types(); ++x) {
+    *out += pad + "  \"" + tree.type_names()[x] + "\": [";
+    auto top = TopKDense(n.phi[x],
+                         static_cast<size_t>(options.top_nodes_per_type));
+    bool first = true;
+    for (const auto& [node_id, score] : top) {
+      if (score <= 0.0) continue;
+      if (!first) *out += ", ";
+      first = false;
+      *out += "\"";
+      AppendJsonEscaped(namer(x, node_id), out);
+      *out += "\"";
+    }
+    *out += "]";
+    if (x + 1 < tree.num_types()) *out += ",";
+    *out += nl;
+  }
+  *out += pad + " }," + nl;
+  *out += pad + " \"children\": [" + nl;
+  for (size_t c = 0; c < n.children.size(); ++c) {
+    NodeToJson(tree, n.children[c], namer, options, indent + 2, out);
+    if (c + 1 < n.children.size()) *out += ",";
+    *out += nl;
+  }
+  *out += pad + " ]" + nl + pad + "}";
+}
+
+}  // namespace
+
+std::string HierarchyToJson(const TopicHierarchy& tree, const NodeNamer& namer,
+                            const JsonOptions& options) {
+  if (tree.empty()) return "{}";
+  std::string out;
+  NodeToJson(tree, tree.root(), namer, options, 0, &out);
+  out += "\n";
+  return out;
+}
+
+std::string SerializeHierarchy(const TopicHierarchy& tree) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "latent-hierarchy-v1\n";
+  out << tree.num_types() << "\n";
+  for (int x = 0; x < tree.num_types(); ++x) {
+    out << tree.type_names()[x] << " " << tree.type_sizes()[x] << "\n";
+  }
+  out << tree.num_nodes() << "\n";
+  for (int id = 0; id < tree.num_nodes(); ++id) {
+    const TopicNode& n = tree.node(id);
+    out << n.parent << " " << n.rho_in_parent << " " << n.rho_background
+        << " " << n.network_weight << "\n";
+    for (int x = 0; x < tree.num_types(); ++x) {
+      // Sparse encoding: count then (index value) pairs.
+      int nnz = 0;
+      for (double v : n.phi[x]) {
+        if (v != 0.0) ++nnz;
+      }
+      out << nnz;
+      for (size_t i = 0; i < n.phi[x].size(); ++i) {
+        if (n.phi[x][i] != 0.0) out << " " << i << " " << n.phi[x][i];
+      }
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+StatusOr<TopicHierarchy> DeserializeHierarchy(const std::string& data) {
+  std::istringstream in(data);
+  std::string magic;
+  in >> magic;
+  if (magic != "latent-hierarchy-v1") {
+    return Status::InvalidArgument("bad magic: " + magic);
+  }
+  int num_types = 0;
+  in >> num_types;
+  if (!in || num_types <= 0) {
+    return Status::InvalidArgument("bad type count");
+  }
+  std::vector<std::string> names(num_types);
+  std::vector<int> sizes(num_types);
+  for (int x = 0; x < num_types; ++x) in >> names[x] >> sizes[x];
+  int num_nodes = 0;
+  in >> num_nodes;
+  if (!in || num_nodes < 0) return Status::InvalidArgument("bad node count");
+
+  TopicHierarchy tree(names, sizes);
+  for (int id = 0; id < num_nodes; ++id) {
+    int parent;
+    double rho, rho_bg, weight;
+    in >> parent >> rho >> rho_bg >> weight;
+    if (!in) return Status::InvalidArgument("truncated node header");
+    std::vector<std::vector<double>> phi(num_types);
+    for (int x = 0; x < num_types; ++x) {
+      phi[x].assign(sizes[x], 0.0);
+      int nnz;
+      in >> nnz;
+      for (int e = 0; e < nnz; ++e) {
+        int idx;
+        double v;
+        in >> idx >> v;
+        if (!in || idx < 0 || idx >= sizes[x]) {
+          return Status::InvalidArgument("bad phi entry");
+        }
+        phi[x][idx] = v;
+      }
+    }
+    int new_id;
+    if (parent < 0) {
+      new_id = tree.AddRoot(std::move(phi), weight);
+    } else {
+      if (parent >= tree.num_nodes()) {
+        return Status::InvalidArgument("parent after child");
+      }
+      new_id = tree.AddChild(parent, rho, std::move(phi), weight);
+    }
+    tree.mutable_node(new_id).rho_background = rho_bg;
+  }
+  return tree;
+}
+
+}  // namespace latent::core

@@ -1,0 +1,35 @@
+// Hierarchy serialization: JSON export for visualization pipelines and a
+// compact text round-trip format for persisting mined hierarchies.
+#ifndef LATENT_CORE_SERIALIZE_H_
+#define LATENT_CORE_SERIALIZE_H_
+
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "core/hierarchy.h"
+
+namespace latent::core {
+
+/// Names a node of type x with id i (e.g., vocabulary lookup). Used to
+/// attach human-readable top-node lists to the JSON export.
+using NodeNamer = std::function<std::string(int type, int id)>;
+
+struct JsonOptions {
+  /// How many top nodes per type to embed per topic.
+  int top_nodes_per_type = 5;
+  bool pretty = true;
+};
+
+/// Serializes the hierarchy to JSON: nested topics with path, rho,
+/// and per-type top node names.
+std::string HierarchyToJson(const TopicHierarchy& tree, const NodeNamer& namer,
+                            const JsonOptions& options = JsonOptions());
+
+/// Full-fidelity text round trip (phi vectors included).
+std::string SerializeHierarchy(const TopicHierarchy& tree);
+StatusOr<TopicHierarchy> DeserializeHierarchy(const std::string& data);
+
+}  // namespace latent::core
+
+#endif  // LATENT_CORE_SERIALIZE_H_

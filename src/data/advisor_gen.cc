@@ -1,0 +1,132 @@
+#include "data/advisor_gen.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace latent::data {
+
+namespace {
+
+struct Person {
+  int id;
+  int career_start;   // first publication year
+  int career_end;
+  int advisor = -1;
+  int advise_start = 0;
+  int advise_end = 0;
+};
+
+}  // namespace
+
+AdvisorDataset GenerateAdvisorDataset(const AdvisorGenOptions& opt) {
+  Rng rng(opt.seed);
+  std::vector<Person> people;
+
+  // Generation 0: root advisors.
+  for (int i = 0; i < opt.num_root_advisors; ++i) {
+    Person p;
+    p.id = static_cast<int>(people.size());
+    p.career_start = opt.start_year + rng.UniformInt(8);
+    p.career_end = opt.end_year;
+    people.push_back(p);
+  }
+
+  // Later generations: students of the previous generation.
+  std::vector<int> prev_gen;
+  for (const Person& p : people) prev_gen.push_back(p.id);
+  for (int gen = 1; gen <= opt.generations; ++gen) {
+    std::vector<int> cur_gen;
+    for (int advisor_id : prev_gen) {
+      const Person advisor = people[advisor_id];
+      int n_students =
+          opt.min_students +
+          rng.UniformInt(opt.max_students - opt.min_students + 1);
+      for (int s = 0; s < n_students; ++s) {
+        Person st;
+        st.id = static_cast<int>(people.size());
+        // The student starts publishing when advising starts, at least 4
+        // years into the advisor's career (rule R4 compatibility).
+        int earliest = advisor.career_start + 4;
+        int latest = std::min(advisor.career_end - opt.advising_years_max - 1,
+                              opt.end_year - 10);
+        if (latest <= earliest) continue;
+        st.advise_start = earliest + rng.UniformInt(latest - earliest);
+        int dur = opt.advising_years_min +
+                  rng.UniformInt(opt.advising_years_max -
+                                 opt.advising_years_min + 1);
+        st.advise_end = st.advise_start + dur - 1;
+        st.career_start = st.advise_start;
+        st.career_end = opt.end_year;
+        st.advisor = advisor_id;
+        people.push_back(st);
+        cur_gen.push_back(st.id);
+      }
+    }
+    prev_gen = std::move(cur_gen);
+    if (prev_gen.empty()) break;
+  }
+
+  AdvisorDataset ds;
+  ds.num_authors = static_cast<int>(people.size());
+  ds.network = std::make_unique<relation::CollabNetwork>(ds.num_authors);
+  ds.true_advisor.assign(ds.num_authors, -1);
+  ds.advising_start.assign(ds.num_authors, 0);
+  ds.advising_end.assign(ds.num_authors, 0);
+  for (const Person& p : people) {
+    ds.true_advisor[p.id] = p.advisor;
+    ds.advising_start[p.id] = p.advise_start;
+    ds.advising_end[p.id] = p.advise_end;
+  }
+
+  relation::CollabNetwork& net = *ds.network;
+  long long total_papers = 0;
+
+  // Advisor-student joint papers during advising (the ramp TPFG expects:
+  // counts grow through the period).
+  for (const Person& p : people) {
+    if (p.advisor < 0) continue;
+    for (int y = p.advise_start; y <= p.advise_end; ++y) {
+      int progress = y - p.advise_start;
+      int papers = opt.joint_papers_min +
+                   std::min(progress, opt.joint_papers_max -
+                                          opt.joint_papers_min);
+      for (int k = 0; k < papers; ++k) {
+        net.AddPaper(y, {p.id, p.advisor});
+        ++total_papers;
+      }
+    }
+  }
+
+  // Independent careers.
+  for (const Person& p : people) {
+    bool is_advisor = p.advisor < 0;
+    int per_year =
+        is_advisor ? opt.advisor_papers_per_year : opt.student_papers_per_year;
+    int solo_start = is_advisor ? p.career_start : p.advise_end + 1;
+    for (int y = solo_start; y <= p.career_end; ++y) {
+      int papers = rng.UniformInt(per_year + 1);
+      for (int k = 0; k < papers; ++k) {
+        net.AddPaper(y, {p.id});
+        ++total_papers;
+      }
+    }
+  }
+
+  // Noise: random peer collaborations between contemporaries.
+  long long noise_papers =
+      static_cast<long long>(opt.noise_collab_rate * total_papers);
+  for (long long k = 0; k < noise_papers; ++k) {
+    int a = rng.UniformInt(ds.num_authors);
+    int b = rng.UniformInt(ds.num_authors);
+    if (a == b) continue;
+    int from = std::max(people[a].career_start, people[b].career_start);
+    int to = std::min(people[a].career_end, people[b].career_end);
+    if (from >= to) continue;
+    net.AddPaper(from + rng.UniformInt(to - from), {a, b});
+  }
+  return ds;
+}
+
+}  // namespace latent::data

@@ -1,0 +1,54 @@
+// Synthetic temporal collaboration network with a planted advisor forest,
+// standing in for the DBLP advisor-advisee ground truth of Section 6.1.6
+// (see DESIGN.md, Substitutions). The generative model plants exactly the
+// signals TPFG assumes: a co-publication ramp during the advising period,
+// the advisor publishing earlier and more, and post-graduation independent
+// careers with noisy peer collaborations.
+#ifndef LATENT_DATA_ADVISOR_GEN_H_
+#define LATENT_DATA_ADVISOR_GEN_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "relation/collab_network.h"
+
+namespace latent::data {
+
+struct AdvisorGenOptions {
+  int num_root_advisors = 20;
+  /// Students per advisor in each generation.
+  int min_students = 3;
+  int max_students = 6;
+  /// Number of advising generations (2 = advisors, students, grandstudents).
+  int generations = 2;
+  int start_year = 1970;
+  int end_year = 2012;
+  int advising_years_min = 4;
+  int advising_years_max = 6;
+  /// Joint papers per advising year.
+  int joint_papers_min = 1;
+  int joint_papers_max = 3;
+  /// Advisor solo/other papers per active year.
+  int advisor_papers_per_year = 3;
+  /// Student post-graduation papers per year.
+  int student_papers_per_year = 2;
+  /// Random peer-collaboration papers, as a fraction of total papers.
+  double noise_collab_rate = 0.15;
+  uint64_t seed = 42;
+};
+
+struct AdvisorDataset {
+  std::unique_ptr<relation::CollabNetwork> network;
+  /// true_advisor[i] = advisor author id, or -1 for roots.
+  std::vector<int> true_advisor;
+  std::vector<int> advising_start;
+  std::vector<int> advising_end;
+  int num_authors = 0;
+};
+
+AdvisorDataset GenerateAdvisorDataset(const AdvisorGenOptions& options);
+
+}  // namespace latent::data
+
+#endif  // LATENT_DATA_ADVISOR_GEN_H_

@@ -1,0 +1,86 @@
+#include "data/io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace latent::data {
+
+StatusOr<text::Corpus> LoadCorpusFromFile(
+    const std::string& path, const text::TokenizeOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open corpus file: " + path);
+  text::Corpus corpus;
+  std::string line;
+  while (std::getline(in, line)) {
+    corpus.AddDocument(line, options);
+  }
+  return corpus;
+}
+
+StatusOr<EntityAttachments> LoadEntityAttachments(const std::string& path,
+                                                  int num_docs) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open entity file: " + path);
+  EntityAttachments out;
+  out.entity_docs.resize(num_docs);
+  text::Vocabulary type_index;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream row(line);
+    std::string doc_field, type_name, entity_name;
+    if (!std::getline(row, doc_field, '\t') ||
+        !std::getline(row, type_name, '\t') ||
+        !std::getline(row, entity_name)) {
+      return Status::InvalidArgument("malformed TSV at line " +
+                                     std::to_string(line_no));
+    }
+    int doc = -1;
+    try {
+      doc = std::stoi(doc_field);
+    } catch (...) {
+      return Status::InvalidArgument("bad doc index at line " +
+                                     std::to_string(line_no));
+    }
+    if (doc < 0 || doc >= num_docs) {
+      return Status::InvalidArgument("doc index out of range at line " +
+                                     std::to_string(line_no));
+    }
+    int type = type_index.Intern(type_name);
+    if (type == static_cast<int>(out.type_names.size())) {
+      out.type_names.push_back(type_name);
+      out.entity_names.emplace_back();
+    }
+    int entity = out.entity_names[type].Intern(entity_name);
+    if (out.entity_docs[doc].entities.size() <=
+        static_cast<size_t>(type)) {
+      out.entity_docs[doc].entities.resize(type + 1);
+    }
+    out.entity_docs[doc].entities[type].push_back(entity);
+  }
+  // Equalize per-doc entity-type arity.
+  for (hin::EntityDoc& ed : out.entity_docs) {
+    ed.entities.resize(out.type_names.size());
+  }
+  return out;
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::NotFound("cannot open for writing: " + path);
+  out << content;
+  return out.good() ? Status::Ok()
+                    : Status::Internal("write failed: " + path);
+}
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace latent::data

@@ -1,0 +1,49 @@
+// File I/O for real datasets: plain-text corpora (one document per line)
+// and entity attachments (TSV), plus exports of mined artifacts. This is
+// the entry point for running the library on actual DBLP/NEWS-style dumps
+// rather than the synthetic generators.
+#ifndef LATENT_DATA_IO_H_
+#define LATENT_DATA_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "hin/collapse.h"
+#include "text/corpus.h"
+#include "text/vocabulary.h"
+
+namespace latent::data {
+
+/// Reads a corpus from a text file with one document per line.
+StatusOr<text::Corpus> LoadCorpusFromFile(const std::string& path,
+                                          const text::TokenizeOptions& options);
+
+/// Entity attachments loaded from a TSV with lines
+///   <doc_index> \t <entity_type_name> \t <entity_name>
+/// Unknown type names are registered in order of first appearance; entity
+/// names are interned per type. `num_docs` bounds doc indices.
+struct EntityAttachments {
+  std::vector<std::string> type_names;
+  std::vector<text::Vocabulary> entity_names;  // per type
+  std::vector<hin::EntityDoc> entity_docs;
+
+  std::vector<int> TypeSizes() const {
+    std::vector<int> sizes;
+    for (const text::Vocabulary& v : entity_names) sizes.push_back(v.size());
+    return sizes;
+  }
+};
+
+StatusOr<EntityAttachments> LoadEntityAttachments(const std::string& path,
+                                                  int num_docs);
+
+/// Writes `content` to `path` (overwrite).
+Status WriteFile(const std::string& path, const std::string& content);
+
+/// Reads a whole file.
+StatusOr<std::string> ReadFile(const std::string& path);
+
+}  // namespace latent::data
+
+#endif  // LATENT_DATA_IO_H_

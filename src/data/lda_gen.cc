@@ -1,0 +1,56 @@
+#include "data/lda_gen.h"
+
+#include <string>
+
+#include "common/rng.h"
+
+namespace latent::data {
+
+text::Corpus LdaDataset::ToCorpus() const {
+  text::Corpus corpus;
+  // Intern every vocabulary slot so word ids align.
+  for (int w = 0; w < vocab_size; ++w) {
+    corpus.mutable_vocab().Intern("w" + std::to_string(w));
+  }
+  for (const strod::SparseDoc& d : docs) {
+    std::vector<int> tokens;
+    for (const auto& [w, c] : d.counts) {
+      for (int i = 0; i < static_cast<int>(c); ++i) tokens.push_back(w);
+    }
+    corpus.AddDocumentIds(std::move(tokens));
+  }
+  return corpus;
+}
+
+LdaDataset GenerateLdaDataset(const LdaGenOptions& opt) {
+  Rng rng(opt.seed);
+  LdaDataset ds;
+  ds.vocab_size = opt.vocab_size;
+  ds.true_alpha.assign(opt.num_topics, opt.alpha0 / opt.num_topics);
+  ds.true_topic_word.resize(opt.num_topics);
+  for (int z = 0; z < opt.num_topics; ++z) {
+    ds.true_topic_word[z] = rng.Dirichlet(opt.topic_sparsity, opt.vocab_size);
+  }
+
+  ds.docs.resize(opt.num_docs);
+  std::vector<int> word_counts(opt.vocab_size);
+  for (int d = 0; d < opt.num_docs; ++d) {
+    std::vector<double> theta = rng.Dirichlet(ds.true_alpha);
+    std::fill(word_counts.begin(), word_counts.end(), 0);
+    for (int i = 0; i < opt.doc_length; ++i) {
+      int z = rng.Discrete(theta);
+      int w = rng.Discrete(ds.true_topic_word[z]);
+      ++word_counts[w];
+    }
+    strod::SparseDoc& doc = ds.docs[d];
+    for (int w = 0; w < opt.vocab_size; ++w) {
+      if (word_counts[w] > 0) {
+        doc.counts.emplace_back(w, static_cast<double>(word_counts[w]));
+        doc.length += word_counts[w];
+      }
+    }
+  }
+  return ds;
+}
+
+}  // namespace latent::data

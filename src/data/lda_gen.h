@@ -1,0 +1,43 @@
+// Synthetic LDA corpora with known topic-word distributions, for the
+// Chapter 7 robustness experiments (recovery error vs. sample size,
+// run-to-run variance) and the scalability sweeps.
+#ifndef LATENT_DATA_LDA_GEN_H_
+#define LATENT_DATA_LDA_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "strod/strod.h"
+#include "text/corpus.h"
+
+namespace latent::data {
+
+struct LdaGenOptions {
+  int num_topics = 5;
+  int vocab_size = 500;
+  int num_docs = 2000;
+  int doc_length = 40;
+  /// Dirichlet concentration over topics (alpha_i = alpha0 / k).
+  double alpha0 = 1.0;
+  /// Dirichlet concentration of the planted topic-word distributions
+  /// (small = sparse, well-separated topics).
+  double topic_sparsity = 0.05;
+  uint64_t seed = 42;
+};
+
+struct LdaDataset {
+  std::vector<strod::SparseDoc> docs;
+  /// Planted topic-word distributions (k x V).
+  std::vector<std::vector<double>> true_topic_word;
+  std::vector<double> true_alpha;
+  int vocab_size = 0;
+
+  /// The same documents as a token corpus (for Gibbs samplers).
+  text::Corpus ToCorpus() const;
+};
+
+LdaDataset GenerateLdaDataset(const LdaGenOptions& options);
+
+}  // namespace latent::data
+
+#endif  // LATENT_DATA_LDA_GEN_H_

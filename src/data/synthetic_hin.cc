@@ -1,0 +1,224 @@
+#include "data/synthetic_hin.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace latent::data {
+
+namespace {
+
+std::string WordToken(const char* prefix, int a, int b, int i) {
+  std::string s = prefix;
+  if (a >= 0) s += "a" + std::to_string(a);
+  if (b >= 0) s += "s" + std::to_string(b);
+  s += "w" + std::to_string(i);
+  return s;
+}
+
+}  // namespace
+
+HinDataset GenerateHinDataset(const HinDatasetOptions& opt) {
+  LATENT_CHECK_GE(opt.num_areas, 1);
+  LATENT_CHECK_GE(opt.subareas_per_area, 1);
+  Rng rng(opt.seed);
+
+  HinDataset ds;
+  ds.num_areas = opt.num_areas;
+  ds.subareas_per_area = opt.subareas_per_area;
+  const int num_sub = opt.num_areas * opt.subareas_per_area;
+
+  // --- Vocabulary with planted affinities.
+  text::Vocabulary& vocab = ds.corpus.mutable_vocab();
+  std::vector<std::vector<int>> sub_words(num_sub), area_words(opt.num_areas);
+  std::vector<int> global_words;
+  for (int a = 0; a < opt.num_areas; ++a) {
+    for (int s = 0; s < opt.subareas_per_area; ++s) {
+      int gs = a * opt.subareas_per_area + s;
+      for (int i = 0; i < opt.words_per_subarea; ++i) {
+        int w = vocab.Intern(WordToken("t", a, s, i));
+        sub_words[gs].push_back(w);
+        ds.word_area.push_back(a);
+        ds.word_subarea.push_back(gs);
+      }
+    }
+    for (int i = 0; i < opt.words_per_area; ++i) {
+      int w = vocab.Intern(WordToken("t", a, -1, i));
+      area_words[a].push_back(w);
+      ds.word_area.push_back(a);
+      ds.word_subarea.push_back(-1);
+    }
+  }
+  for (int i = 0; i < opt.global_words; ++i) {
+    int w = vocab.Intern(WordToken("g", -1, -1, i));
+    global_words.push_back(w);
+    ds.word_area.push_back(-1);
+    ds.word_subarea.push_back(-1);
+  }
+
+  // --- Phrase lexicons: fixed word-id sequences that repeat verbatim.
+  auto make_phrases = [&](const std::vector<int>& pool, int count) {
+    std::vector<std::vector<int>> phrases;
+    for (int p = 0; p < count; ++p) {
+      int len = 1 + rng.UniformInt(3);  // 1..3 words
+      std::vector<int> phrase;
+      for (int i = 0; i < len; ++i) {
+        phrase.push_back(pool[rng.UniformInt(static_cast<int>(pool.size()))]);
+      }
+      phrases.push_back(std::move(phrase));
+    }
+    return phrases;
+  };
+  ds.subarea_phrases.resize(num_sub);
+  ds.area_phrases.resize(opt.num_areas);
+  for (int gs = 0; gs < num_sub; ++gs) {
+    // Subarea phrases may borrow an area word occasionally.
+    std::vector<int> pool = sub_words[gs];
+    int a = gs / opt.subareas_per_area;
+    pool.insert(pool.end(), area_words[a].begin(),
+                area_words[a].begin() + std::min<size_t>(
+                                            2, area_words[a].size()));
+    ds.subarea_phrases[gs] = make_phrases(pool, opt.phrases_per_subarea);
+  }
+  for (int a = 0; a < opt.num_areas; ++a) {
+    ds.area_phrases[a] = make_phrases(area_words[a], opt.phrases_per_area);
+  }
+
+  // --- Entities.
+  if (opt.with_entities) {
+    ds.entity_type_names = {opt.entity0_name, opt.entity1_name};
+    int n0 = num_sub * opt.entities0_per_subarea;
+    int n1 = opt.num_areas * opt.entities1_per_area;
+    ds.entity_type_sizes = {n0, n1};
+    ds.entity0_subarea.resize(n0);
+    ds.entity1_area.resize(n1);
+    for (int e = 0; e < n0; ++e) {
+      ds.entity0_subarea[e] = e / opt.entities0_per_subarea;
+    }
+    for (int e = 0; e < n1; ++e) {
+      ds.entity1_area[e] = e / opt.entities1_per_area;
+    }
+  }
+
+  // --- Documents.
+  ds.doc_area.resize(opt.num_docs);
+  ds.doc_subarea.resize(opt.num_docs);
+  if (opt.with_entities) ds.entity_docs.resize(opt.num_docs);
+  for (int d = 0; d < opt.num_docs; ++d) {
+    int a = rng.UniformInt(opt.num_areas);
+    int s = rng.UniformInt(opt.subareas_per_area);
+    int gs = a * opt.subareas_per_area + s;
+    ds.doc_area[d] = a;
+    ds.doc_subarea[d] = gs;
+
+    std::vector<int> tokens;
+    int num_phrases =
+        opt.min_phrases_per_doc +
+        rng.UniformInt(opt.max_phrases_per_doc - opt.min_phrases_per_doc + 1);
+    for (int p = 0; p < num_phrases; ++p) {
+      double u = rng.Uniform();
+      if (rng.Uniform() < opt.word_noise) {
+        // Pure noise token.
+        tokens.push_back(
+            global_words[rng.UniformInt(static_cast<int>(global_words.size()))]);
+        continue;
+      }
+      const std::vector<std::vector<int>>* lex;
+      if (u < opt.subarea_phrase_prob) {
+        lex = &ds.subarea_phrases[gs];
+      } else if (u < opt.subarea_phrase_prob + opt.sibling_phrase_prob &&
+                 opt.subareas_per_area > 1) {
+        int sib = a * opt.subareas_per_area +
+                  rng.UniformInt(opt.subareas_per_area);
+        lex = &ds.subarea_phrases[sib];
+      } else if (u < opt.subarea_phrase_prob + opt.sibling_phrase_prob +
+                         opt.area_phrase_prob) {
+        lex = &ds.area_phrases[a];
+      } else {
+        tokens.push_back(
+            global_words[rng.UniformInt(static_cast<int>(global_words.size()))]);
+        continue;
+      }
+      const std::vector<int>& phrase =
+          (*lex)[rng.UniformInt(static_cast<int>(lex->size()))];
+      tokens.insert(tokens.end(), phrase.begin(), phrase.end());
+    }
+    ds.corpus.AddDocumentIds(std::move(tokens));
+
+    if (opt.with_entities) {
+      hin::EntityDoc& ed = ds.entity_docs[d];
+      ed.entities.resize(2);
+      int n_e0 = opt.min_entities0_per_doc +
+                 rng.UniformInt(opt.max_entities0_per_doc -
+                                opt.min_entities0_per_doc + 1);
+      for (int e = 0; e < n_e0; ++e) {
+        int id;
+        double roll = rng.Uniform();
+        if (roll < opt.entity_noise) {
+          id = rng.UniformInt(ds.entity_type_sizes[0]);
+        } else if (roll < opt.entity_noise + opt.cross_subarea_entity_prob &&
+                   opt.subareas_per_area > 1) {
+          int sib = a * opt.subareas_per_area +
+                    rng.UniformInt(opt.subareas_per_area);
+          id = sib * opt.entities0_per_subarea +
+               rng.UniformInt(opt.entities0_per_subarea);
+        } else {
+          id = gs * opt.entities0_per_subarea +
+               rng.UniformInt(opt.entities0_per_subarea);
+        }
+        ed.entities[0].push_back(id);
+      }
+      int v_id;
+      if (rng.Uniform() < opt.entity_noise) {
+        v_id = rng.UniformInt(ds.entity_type_sizes[1]);
+      } else {
+        v_id = a * opt.entities1_per_area +
+               rng.UniformInt(opt.entities1_per_area);
+      }
+      ed.entities[1].push_back(v_id);
+    }
+  }
+  return ds;
+}
+
+HinDatasetOptions DblpLikeOptions(int num_docs, uint64_t seed) {
+  HinDatasetOptions opt;
+  opt.num_areas = 6;
+  opt.subareas_per_area = 4;
+  opt.num_docs = num_docs;
+  opt.entity_noise = 0.03;
+  opt.word_noise = 0.05;
+  opt.entity0_name = "author";
+  opt.entity1_name = "venue";
+  opt.seed = seed;
+  return opt;
+}
+
+HinDatasetOptions NewsLikeOptions(int num_docs, uint64_t seed) {
+  HinDatasetOptions opt;
+  opt.num_areas = 16;  // 16 top stories
+  opt.subareas_per_area = 2;
+  opt.num_docs = num_docs;
+  opt.entity_noise = 0.20;  // extracted entities are noisy
+  opt.word_noise = 0.15;
+  opt.entities0_per_subarea = 8;
+  opt.entities1_per_area = 6;
+  opt.entity0_name = "person";
+  opt.entity1_name = "location";
+  opt.seed = seed;
+  return opt;
+}
+
+HinDatasetOptions ArxivLikeOptions(int num_docs, uint64_t seed) {
+  HinDatasetOptions opt;
+  opt.num_areas = 5;  // 5 physics subfields
+  opt.subareas_per_area = 1;
+  opt.num_docs = num_docs;
+  opt.with_entities = false;
+  opt.word_noise = 0.10;
+  opt.seed = seed;
+  return opt;
+}
+
+}  // namespace latent::data

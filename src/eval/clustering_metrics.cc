@@ -1,0 +1,59 @@
+#include "eval/clustering_metrics.h"
+
+#include <algorithm>
+#include <map>
+
+namespace latent::eval {
+
+namespace {
+
+// Joint count table over (cluster, label) pairs.
+std::map<std::pair<int, int>, double> JointCounts(
+    const std::vector<int>& assignment, const std::vector<int>& labels) {
+  LATENT_CHECK_EQ(assignment.size(), labels.size());
+  std::map<std::pair<int, int>, double> joint;
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    joint[{assignment[i], labels[i]}] += 1.0;
+  }
+  return joint;
+}
+
+}  // namespace
+
+double ClusteringPurity(const std::vector<int>& assignment,
+                        const std::vector<int>& labels) {
+  if (assignment.empty()) return 0.0;
+  auto joint = JointCounts(assignment, labels);
+  std::map<int, double> best;
+  for (const auto& [key, c] : joint) {
+    best[key.first] = std::max(best[key.first], c);
+  }
+  double correct = 0.0;
+  for (const auto& [cluster, c] : best) correct += c;
+  return correct / assignment.size();
+}
+
+double NormalizedMutualInformation(const std::vector<int>& assignment,
+                                   const std::vector<int>& labels) {
+  if (assignment.empty()) return 0.0;
+  const double n = static_cast<double>(assignment.size());
+  auto joint = JointCounts(assignment, labels);
+  std::map<int, double> pc, pl;
+  for (const auto& [key, c] : joint) {
+    pc[key.first] += c / n;
+    pl[key.second] += c / n;
+  }
+  double mi = 0.0;
+  for (const auto& [key, c] : joint) {
+    double pxy = c / n;
+    mi += pxy * std::log(pxy / (pc[key.first] * pl[key.second]));
+  }
+  double hc = 0.0, hl = 0.0;
+  for (const auto& [k, p] : pc) hc -= p * std::log(p);
+  for (const auto& [k, p] : pl) hl -= p * std::log(p);
+  double denom = 0.5 * (hc + hl);
+  // Degenerate single-cluster/single-label case: perfect agreement.
+  return denom > 0.0 ? mi / denom : 1.0;
+}
+
+}  // namespace latent::eval

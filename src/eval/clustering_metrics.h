@@ -1,0 +1,25 @@
+// Clustering-vs-labels agreement metrics: purity and normalized mutual
+// information, used to compare hard document clusterings (NetClus, argmax
+// CATHYHIN memberships) against planted labels.
+#ifndef LATENT_EVAL_CLUSTERING_METRICS_H_
+#define LATENT_EVAL_CLUSTERING_METRICS_H_
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace latent::eval {
+
+/// Fraction of items whose cluster's majority label matches their own.
+double ClusteringPurity(const std::vector<int>& assignment,
+                        const std::vector<int>& labels);
+
+/// Normalized mutual information NMI(assignment; labels) in [0, 1]
+/// (normalization by the arithmetic mean of the entropies).
+double NormalizedMutualInformation(const std::vector<int>& assignment,
+                                   const std::vector<int>& labels);
+
+}  // namespace latent::eval
+
+#endif  // LATENT_EVAL_CLUSTERING_METRICS_H_

@@ -1,0 +1,122 @@
+#include "eval/hpmi.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace latent::eval {
+
+namespace {
+
+// Size of the intersection of two sorted vectors.
+int IntersectionSize(const std::vector<int>& a, const std::vector<int>& b) {
+  int n = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++n;
+      ++i;
+      ++j;
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+HpmiEvaluator::HpmiEvaluator(const text::Corpus& corpus,
+                             const std::vector<int>& entity_type_sizes,
+                             const std::vector<hin::EntityDoc>& entity_docs) {
+  num_docs_ = static_cast<double>(std::max(corpus.num_docs(), 1));
+  doc_sets_.resize(1 + entity_type_sizes.size());
+  doc_sets_[0].resize(corpus.vocab_size());
+  for (size_t t = 0; t < entity_type_sizes.size(); ++t) {
+    doc_sets_[1 + t].resize(entity_type_sizes[t]);
+  }
+  for (int d = 0; d < corpus.num_docs(); ++d) {
+    std::vector<int> words = corpus.docs()[d].tokens;
+    std::sort(words.begin(), words.end());
+    words.erase(std::unique(words.begin(), words.end()), words.end());
+    for (int w : words) doc_sets_[0][w].push_back(d);
+    if (!entity_docs.empty()) {
+      for (size_t t = 0; t < entity_docs[d].entities.size(); ++t) {
+        std::vector<int> es = entity_docs[d].entities[t];
+        std::sort(es.begin(), es.end());
+        es.erase(std::unique(es.begin(), es.end()), es.end());
+        for (int e : es) doc_sets_[1 + t][e].push_back(d);
+      }
+    }
+  }
+}
+
+double HpmiEvaluator::Hpmi(const std::vector<int>& top_x, int type_x,
+                           const std::vector<int>& top_y, int type_y) const {
+  double total = 0.0;
+  int pairs = 0;
+  for (size_t i = 0; i < top_x.size(); ++i) {
+    size_t j_begin = (type_x == type_y) ? i + 1 : 0;
+    for (size_t j = j_begin; j < top_y.size(); ++j) {
+      const std::vector<int>& di = doc_sets_[type_x][top_x[i]];
+      const std::vector<int>& dj = doc_sets_[type_y][top_y[j]];
+      double p_i = di.size() / num_docs_;
+      double p_j = dj.size() / num_docs_;
+      double p_ij = IntersectionSize(di, dj) / num_docs_;
+      total += SafeLog(p_ij) - SafeLog(p_i) - SafeLog(p_j);
+      ++pairs;
+    }
+  }
+  return pairs > 0 ? total / pairs : 0.0;
+}
+
+double HpmiEvaluator::Overall(
+    const std::vector<std::vector<int>>& top_nodes) const {
+  double total = 0.0;
+  int count = 0;
+  for (size_t x = 0; x < top_nodes.size(); ++x) {
+    for (size_t y = x; y < top_nodes.size(); ++y) {
+      if (top_nodes[x].empty() || top_nodes[y].empty()) continue;
+      if (x == y && top_nodes[x].size() < 2) continue;
+      total += Hpmi(top_nodes[x], static_cast<int>(x), top_nodes[y],
+                    static_cast<int>(y));
+      ++count;
+    }
+  }
+  return count > 0 ? total / count : 0.0;
+}
+
+double HpmiEvaluator::AverageOverall(
+    const std::vector<std::vector<std::vector<int>>>& topics) const {
+  if (topics.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& t : topics) total += Overall(t);
+  return total / topics.size();
+}
+
+std::vector<std::vector<double>> HpmiEvaluator::PerTypeAverage(
+    const std::vector<std::vector<std::vector<int>>>& topics) const {
+  const int m = num_types();
+  std::vector<std::vector<double>> out(m, std::vector<double>(m, 0.0));
+  if (topics.empty()) return out;
+  for (int x = 0; x < m; ++x) {
+    for (int y = x; y < m; ++y) {
+      double total = 0.0;
+      int count = 0;
+      for (const auto& t : topics) {
+        if (t[x].empty() || t[y].empty()) continue;
+        if (x == y && t[x].size() < 2) continue;
+        total += Hpmi(t[x], x, t[y], y);
+        ++count;
+      }
+      out[x][y] = count > 0 ? total / count : 0.0;
+    }
+  }
+  return out;
+}
+
+}  // namespace latent::eval

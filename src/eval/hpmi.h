@@ -1,0 +1,52 @@
+// Heterogeneous pointwise mutual information (Eq. 3.44-3.45), the topic
+// coherence metric of Section 3.3.1. Probabilities are document-level
+// co-occurrence frequencies in the ORIGINAL data, independent of any model.
+#ifndef LATENT_EVAL_HPMI_H_
+#define LATENT_EVAL_HPMI_H_
+
+#include <vector>
+
+#include "hin/collapse.h"
+#include "text/corpus.h"
+
+namespace latent::eval {
+
+/// Computes HPMI for top-K node lists of multi-typed topics.
+class HpmiEvaluator {
+ public:
+  /// Node type 0 = term (corpus vocabulary); entity types follow, with the
+  /// given universe sizes. `entity_docs` may be empty for text-only data.
+  HpmiEvaluator(const text::Corpus& corpus,
+                const std::vector<int>& entity_type_sizes,
+                const std::vector<hin::EntityDoc>& entity_docs);
+
+  /// HPMI between the top node lists of types x and y (Eq. 3.45):
+  /// averaged log p(vi,vj) / (p(vi) p(vj)) over pairs (i < j when x == y).
+  double Hpmi(const std::vector<int>& top_x, int type_x,
+              const std::vector<int>& top_y, int type_y) const;
+
+  /// Average of Hpmi over all (x, y) link types with x <= y, given the
+  /// per-type top lists of one topic. Types whose top lists are empty are
+  /// skipped. Venue-venue style degenerate pairs (list size < 2) are
+  /// skipped for x == y.
+  double Overall(const std::vector<std::vector<int>>& top_nodes) const;
+
+  /// Averages Overall across several topics (the per-table cell value).
+  double AverageOverall(
+      const std::vector<std::vector<std::vector<int>>>& topics) const;
+
+  /// Per-link-type average across topics: result[x][y] for x <= y.
+  std::vector<std::vector<double>> PerTypeAverage(
+      const std::vector<std::vector<std::vector<int>>>& topics) const;
+
+  int num_types() const { return static_cast<int>(doc_sets_.size()); }
+
+ private:
+  /// Sorted doc-id lists per node, per type.
+  std::vector<std::vector<std::vector<int>>> doc_sets_;
+  double num_docs_;
+};
+
+}  // namespace latent::eval
+
+#endif  // LATENT_EVAL_HPMI_H_

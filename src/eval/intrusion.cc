@@ -1,0 +1,63 @@
+#include "eval/intrusion.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "eval/oracle_judge.h"
+
+namespace latent::eval {
+
+double RunIntrusionTask(const std::vector<IntrusionTopic>& topics,
+                        const IntrusionOptions& options) {
+  // Topics with enough items to build questions.
+  std::vector<int> usable;
+  for (size_t t = 0; t < topics.size(); ++t) {
+    if (static_cast<int>(topics[t].item_affinities.size()) >=
+        options.options_per_question - 1) {
+      usable.push_back(static_cast<int>(t));
+    }
+  }
+  if (usable.size() < 2) return 0.0;
+
+  Rng rng(options.seed);
+  int correct = 0, asked = 0;
+  for (int q = 0; q < options.num_questions; ++q) {
+    int t = usable[rng.UniformInt(static_cast<int>(usable.size()))];
+    int s;
+    do {
+      s = usable[rng.UniformInt(static_cast<int>(usable.size()))];
+    } while (s == t);
+    const auto& own = topics[t].item_affinities;
+    const auto& other = topics[s].item_affinities;
+    if (other.empty()) continue;
+
+    // Sample X-1 distinct items from t and 1 intruder from s.
+    std::vector<int> idx(own.size());
+    for (size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<int>(i);
+    rng.Shuffle(&idx);
+    std::vector<std::vector<double>> items;
+    for (int i = 0; i < options.options_per_question - 1; ++i) {
+      items.push_back(own[idx[i]]);
+    }
+    int intruder_pos = rng.UniformInt(options.options_per_question);
+    items.insert(items.begin() + intruder_pos,
+                 other[rng.UniformInt(static_cast<int>(other.size()))]);
+
+    // Majority vote across annotators.
+    std::vector<int> votes(options.options_per_question, 0);
+    for (int a = 0; a < options.num_annotators; ++a) {
+      int pick = OraclePickIntruder(
+          items, options.seed + q * 131 + a * 31337, options.annotator_noise);
+      ++votes[pick];
+    }
+    int best = static_cast<int>(
+        std::max_element(votes.begin(), votes.end()) - votes.begin());
+    bool majority = votes[best] * 2 > options.num_annotators;
+    if (majority && best == intruder_pos) ++correct;
+    ++asked;
+  }
+  return asked > 0 ? static_cast<double>(correct) / asked : 0.0;
+}
+
+}  // namespace latent::eval

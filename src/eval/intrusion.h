@@ -1,0 +1,40 @@
+// Intrusion-detection tasks (Sections 3.3.2 and 4.4.2): X-1 items from one
+// topic plus one intruder from a sibling topic; a simulated annotator
+// (OraclePickIntruder) must spot the intruder. Reported as the fraction of
+// correctly identified intruders.
+#ifndef LATENT_EVAL_INTRUSION_H_
+#define LATENT_EVAL_INTRUSION_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace latent::eval {
+
+/// One topic's items for intrusion questions; each item carries its
+/// ground-truth area-affinity distribution (from OracleJudge).
+struct IntrusionTopic {
+  std::vector<std::vector<double>> item_affinities;
+};
+
+struct IntrusionOptions {
+  int num_questions = 100;
+  /// Options per question (X in the paper; 5 there).
+  int options_per_question = 5;
+  /// Annotator confusion probability.
+  double annotator_noise = 0.1;
+  /// Annotators per question; a question counts as correct only if the
+  /// majority picks the intruder (the paper marks inconsistent answers as
+  /// failures).
+  int num_annotators = 3;
+  uint64_t seed = 42;
+};
+
+/// Runs the intrusion task over topics (>= 2 required, each with >=
+/// options_per_question - 1 items). Returns the fraction answered
+/// correctly.
+double RunIntrusionTask(const std::vector<IntrusionTopic>& topics,
+                        const IntrusionOptions& options);
+
+}  // namespace latent::eval
+
+#endif  // LATENT_EVAL_INTRUSION_H_

@@ -1,0 +1,94 @@
+#include "eval/mutual_info.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace latent::eval {
+
+double MutualInformationAtK(
+    const text::Corpus& corpus, const std::vector<int>& doc_labels,
+    int num_categories, const phrase::PhraseDict& dict,
+    const std::vector<std::vector<Scored<int>>>& topic_rankings, int k) {
+  const int num_topics = static_cast<int>(topic_rankings.size());
+  LATENT_CHECK_GT(num_topics, 0);
+  LATENT_CHECK_EQ(doc_labels.size(), static_cast<size_t>(corpus.num_docs()));
+
+  // Label each phrase with the topic where it ranks highest (smallest rank
+  // position) among the top-k lists.
+  std::unordered_map<int, int> phrase_topic;   // phrase id -> topic
+  std::unordered_map<int, int> phrase_rank;    // phrase id -> best rank
+  int max_len = 1;
+  for (int t = 0; t < num_topics; ++t) {
+    int limit = std::min<int>(k, topic_rankings[t].size());
+    for (int r = 0; r < limit; ++r) {
+      int p = topic_rankings[t][r].first;
+      auto it = phrase_rank.find(p);
+      if (it == phrase_rank.end() || r < it->second) {
+        phrase_rank[p] = r;
+        phrase_topic[p] = t;
+      }
+      max_len = std::max(max_len, dict.Length(p));
+    }
+  }
+
+  // Event counts over (topic, category).
+  std::vector<std::vector<double>> joint(num_topics,
+                                         std::vector<double>(num_categories,
+                                                             0.0));
+  std::vector<int> window;
+  for (int d = 0; d < corpus.num_docs(); ++d) {
+    const text::Document& doc = corpus.docs()[d];
+    const int c = doc_labels[d];
+    // Topic labels of contained top phrases.
+    std::vector<int> labels;
+    for (int i = 0; i < doc.size(); ++i) {
+      window.clear();
+      for (int n = 1; n <= max_len && i + n <= doc.size(); ++n) {
+        window.push_back(doc.tokens[i + n - 1]);
+        int id = dict.Lookup(window);
+        if (id < 0) continue;
+        auto it = phrase_topic.find(id);
+        if (it != phrase_topic.end()) labels.push_back(it->second);
+      }
+    }
+    if (labels.empty()) {
+      for (int t = 0; t < num_topics; ++t) {
+        joint[t][c] += 1.0 / num_topics;
+      }
+    } else {
+      double w = 1.0 / labels.size();
+      for (int t : labels) joint[t][c] += w;
+    }
+  }
+
+  // Mutual information.
+  double total = 0.0;
+  for (const auto& row : joint) {
+    for (double v : row) total += v;
+  }
+  if (total <= 0.0) return 0.0;
+  std::vector<double> p_t(num_topics, 0.0), p_c(num_categories, 0.0);
+  for (int t = 0; t < num_topics; ++t) {
+    for (int c = 0; c < num_categories; ++c) {
+      joint[t][c] /= total;
+      p_t[t] += joint[t][c];
+      p_c[c] += joint[t][c];
+    }
+  }
+  double mi = 0.0;
+  for (int t = 0; t < num_topics; ++t) {
+    for (int c = 0; c < num_categories; ++c) {
+      if (joint[t][c] > 0.0) {
+        mi += joint[t][c] *
+              (std::log2(joint[t][c]) - std::log2(p_t[t]) - std::log2(p_c[c]));
+      }
+    }
+  }
+  return mi;
+}
+
+}  // namespace latent::eval

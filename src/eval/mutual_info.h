@@ -1,0 +1,26 @@
+// Mutual information between phrase-represented topics and document labels
+// (MI@K, Section 4.4.1 "Maximizing mutual information").
+#ifndef LATENT_EVAL_MUTUAL_INFO_H_
+#define LATENT_EVAL_MUTUAL_INFO_H_
+
+#include <vector>
+
+#include "common/top_k.h"
+#include "phrase/phrase_dict.h"
+#include "text/corpus.h"
+
+namespace latent::eval {
+
+/// Computes MI_K for per-topic phrase rankings. Each of the top-K phrases
+/// per topic is labeled with the topic where it ranks highest; each
+/// document then updates the (topic, category) event counts via its
+/// labeled phrases (averaged), or uniformly when it contains none.
+/// `doc_labels[d]` in [0, num_categories).
+double MutualInformationAtK(
+    const text::Corpus& corpus, const std::vector<int>& doc_labels,
+    int num_categories, const phrase::PhraseDict& dict,
+    const std::vector<std::vector<Scored<int>>>& topic_rankings, int k);
+
+}  // namespace latent::eval
+
+#endif  // LATENT_EVAL_MUTUAL_INFO_H_

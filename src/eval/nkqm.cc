@@ -1,0 +1,61 @@
+#include "eval/nkqm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace latent::eval {
+
+double AgreementWeightedScore(const OracleJudge& judge,
+                              const std::vector<int>& phrase, int area,
+                              int num_judges) {
+  LATENT_CHECK_GT(num_judges, 0);
+  double mean = 0.0;
+  std::vector<double> scores(num_judges);
+  for (int j = 0; j < num_judges; ++j) {
+    scores[j] = judge.ScorePhrase(phrase, area, j);
+    mean += scores[j];
+  }
+  mean /= num_judges;
+  double var = 0.0;
+  for (double s : scores) var += (s - mean) * (s - mean);
+  var /= num_judges;
+  // Agreement weight: 1 at full agreement, decreasing with judge spread
+  // (4.0 = worst-case variance on a 1..5 scale).
+  double agreement = std::max(0.0, 1.0 - var / 4.0);
+  return mean * agreement;
+}
+
+double Nkqm(const OracleJudge& judge,
+            const std::vector<JudgedRanking>& rankings,
+            const std::vector<std::pair<std::vector<int>, int>>& ideal_pool,
+            int k, int num_judges) {
+  LATENT_CHECK(!rankings.empty());
+  // IdealScore_K: best K agreement-weighted scores over the judged pool.
+  std::vector<double> pool_scores;
+  pool_scores.reserve(ideal_pool.size());
+  for (const auto& [phrase, area] : ideal_pool) {
+    pool_scores.push_back(
+        AgreementWeightedScore(judge, phrase, area, num_judges));
+  }
+  std::sort(pool_scores.rbegin(), pool_scores.rend());
+  double ideal = 0.0;
+  for (int j = 0; j < k && j < static_cast<int>(pool_scores.size()); ++j) {
+    ideal += pool_scores[j] / std::log2(j + 2.0);
+  }
+  if (ideal <= 0.0) return 0.0;
+
+  double total = 0.0;
+  for (const JudgedRanking& r : rankings) {
+    double dcg = 0.0;
+    for (int j = 0; j < k && j < static_cast<int>(r.phrases.size()); ++j) {
+      dcg += AgreementWeightedScore(judge, r.phrases[j], r.area, num_judges) /
+             std::log2(j + 2.0);
+    }
+    total += dcg / ideal;
+  }
+  return total / rankings.size();
+}
+
+}  // namespace latent::eval

@@ -1,0 +1,39 @@
+// nKQM@K — normalized phrase quality measure for top-K phrases (Section
+// 4.4.1), an nDCG-style metric over judge scores. Judged here by the
+// OracleJudge with 3 simulated annotators; the agreement weight multiplies
+// the mean score (higher for consistent annotators), mirroring the paper's
+// weighted Cohen's kappa usage.
+#ifndef LATENT_EVAL_NKQM_H_
+#define LATENT_EVAL_NKQM_H_
+
+#include <vector>
+
+#include "common/top_k.h"
+#include "eval/oracle_judge.h"
+
+namespace latent::eval {
+
+struct JudgedRanking {
+  /// Ranked phrases of one topic (word-id sequences, best first).
+  std::vector<std::vector<int>> phrases;
+  /// Ground-truth area of the topic the ranking claims to represent.
+  int area = -1;
+};
+
+/// Agreement-weighted score of one phrase: mean of `num_judges` oracle
+/// scores times an agreement weight in [0, 1] derived from their spread.
+double AgreementWeightedScore(const OracleJudge& judge,
+                              const std::vector<int>& phrase, int area,
+                              int num_judges = 3);
+
+/// nKQM@K over a method's per-topic rankings. `ideal_pool` supplies the
+/// phrases used to compute IdealScore_K (typically the union of all
+/// methods' judged phrases, as in the paper).
+double Nkqm(const OracleJudge& judge,
+            const std::vector<JudgedRanking>& rankings,
+            const std::vector<std::pair<std::vector<int>, int>>& ideal_pool,
+            int k, int num_judges = 3);
+
+}  // namespace latent::eval
+
+#endif  // LATENT_EVAL_NKQM_H_

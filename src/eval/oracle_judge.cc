@@ -1,0 +1,147 @@
+#include "eval/oracle_judge.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+
+namespace latent::eval {
+
+namespace {
+
+// Deterministic pseudo-noise from an item hash: N(0,1)-ish via a seeded RNG.
+double HashNoise(uint64_t seed, uint64_t item_hash) {
+  Rng rng(seed ^ item_hash * 0x9e3779b97f4a7c15ULL);
+  return rng.Normal();
+}
+
+uint64_t PhraseHash64(const std::vector<int>& words) {
+  uint64_t h = 1469598103934665603ULL;
+  for (int w : words) {
+    h ^= static_cast<uint64_t>(w) + 0x9e3779b97f4a7c15ULL;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+OracleJudge::OracleJudge(const data::HinDataset& dataset, uint64_t seed,
+                         double noise_sd)
+    : dataset_(&dataset), seed_(seed), noise_sd_(noise_sd) {}
+
+bool OracleJudge::IsPlantedPhrase(const std::vector<int>& words,
+                                  int area) const {
+  if (words.size() < 2) return false;
+  auto contains = [&](const std::vector<std::vector<int>>& lex) {
+    return std::find(lex.begin(), lex.end(), words) != lex.end();
+  };
+  const int s_per = dataset_->subareas_per_area;
+  if (area >= 0) {
+    for (int s = 0; s < s_per; ++s) {
+      if (contains(dataset_->subarea_phrases[area * s_per + s])) return true;
+    }
+    return contains(dataset_->area_phrases[area]);
+  }
+  for (const auto& lex : dataset_->subarea_phrases) {
+    if (contains(lex)) return true;
+  }
+  for (const auto& lex : dataset_->area_phrases) {
+    if (contains(lex)) return true;
+  }
+  return false;
+}
+
+double OracleJudge::ScorePhrase(const std::vector<int>& words, int area,
+                                int judge_id) const {
+  if (words.empty()) return 1.0;
+  // Word-level affinity: fraction of words belonging to the target area
+  // (any planted area when area < 0), and area consistency.
+  int on_topic = 0, planted_any = 0;
+  for (int w : words) {
+    int wa = dataset_->word_area[w];
+    if (wa >= 0) ++planted_any;
+    if (area >= 0 ? wa == area : wa >= 0) ++on_topic;
+  }
+  double frac = static_cast<double>(on_topic) / words.size();
+  double base;
+  if (IsPlantedPhrase(words, area)) {
+    base = 5.0;  // a real phrase of the right topic
+  } else if (words.size() >= 2 && frac >= 0.999) {
+    base = 3.5;  // topical words, but not a planted collocation
+  } else if (words.size() == 1 && frac >= 0.999) {
+    base = 3.5;  // clean topical unigram
+  } else if (frac > 0.5) {
+    base = 2.5;  // mixed
+  } else if (planted_any > 0) {
+    base = 1.5;  // mostly off-topic
+  } else {
+    base = 1.0;  // noise words
+  }
+  double noise =
+      noise_sd_ * HashNoise(seed_ + static_cast<uint64_t>(judge_id) * 7919 +
+                                static_cast<uint64_t>(area + 1) * 104729,
+                            PhraseHash64(words));
+  return std::clamp(base + noise, 1.0, 5.0);
+}
+
+std::vector<double> OracleJudge::PhraseAreaAffinity(
+    const std::vector<int>& words) const {
+  std::vector<double> aff(dataset_->num_areas, 0.0);
+  double noise_mass = 0.0;
+  for (int w : words) {
+    int wa = dataset_->word_area[w];
+    if (wa >= 0) {
+      aff[wa] += 1.0;
+    } else {
+      noise_mass += 1.0;
+    }
+  }
+  double uniform = noise_mass / dataset_->num_areas;
+  for (double& v : aff) v += uniform;
+  NormalizeInPlace(&aff);
+  // Annotator context effect: single terms are harder to place than
+  // multi-word phrases (the phrase-vs-unigram interpretability gap of
+  // Sections 3.3.2 / 4.4.2), modeled as seeded per-item confusion mass that
+  // shrinks with phrase length: 1 word -> 1/2 confused, n words -> 1/(n+1).
+  double confusion = 1.0 / (words.size() + 1.0);
+  Rng rng(seed_ ^ PhraseHash64(words) * 0x2545f4914f6cdd1dULL);
+  std::vector<double> distraction = rng.Dirichlet(0.5, dataset_->num_areas);
+  for (size_t a = 0; a < aff.size(); ++a) {
+    aff[a] = (1.0 - confusion) * aff[a] + confusion * distraction[a];
+  }
+  return aff;
+}
+
+std::vector<double> OracleJudge::EntityAreaAffinity(int entity_type,
+                                                    int id) const {
+  std::vector<double> aff(dataset_->num_areas, 0.0);
+  int area = entity_type == 0 ? dataset_->entity0_area(id)
+                              : dataset_->entity1_area[id];
+  aff[area] = 1.0;
+  return aff;
+}
+
+int OraclePickIntruder(const std::vector<std::vector<double>>& affinities,
+                       uint64_t seed, double noise) {
+  const int n = static_cast<int>(affinities.size());
+  Rng rng(seed);
+  if (rng.Uniform() < noise) return rng.UniformInt(n);
+  int worst = 0;
+  double worst_sim = 1e300;
+  for (int i = 0; i < n; ++i) {
+    double sim = 0.0;
+    for (int j = 0; j < n; ++j) {
+      if (j == i) continue;
+      sim += CosineSimilarity(affinities[i], affinities[j]);
+    }
+    if (sim < worst_sim) {
+      worst_sim = sim;
+      worst = i;
+    }
+  }
+  return worst;
+}
+
+}  // namespace latent::eval

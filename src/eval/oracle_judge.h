@@ -1,0 +1,58 @@
+// Deterministic oracle judges standing in for the human annotators of the
+// user studies (nKQM Likert scores, coherence/quality z-scores, intrusion
+// tasks). Scores derive from the generator's planted ground truth plus
+// seeded per-item noise, so the RELATIVE differences between methods come
+// from the mined artifacts while runs stay reproducible. See DESIGN.md,
+// Substitutions.
+#ifndef LATENT_EVAL_ORACLE_JUDGE_H_
+#define LATENT_EVAL_ORACLE_JUDGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/synthetic_hin.h"
+#include "phrase/phrase_dict.h"
+
+namespace latent::eval {
+
+/// Judges phrase quality against the planted lexicons.
+class OracleJudge {
+ public:
+  OracleJudge(const data::HinDataset& dataset, uint64_t seed,
+              double noise_sd = 0.35);
+
+  /// Likert-style score in [1, 5] for a phrase judged within the context of
+  /// `area` (-1 = judge only intrinsic phrase quality). Planted multi-word
+  /// phrases of the right area score highest; on-topic unigrams score
+  /// medium; cross-area mixtures and noise words score low. Deterministic
+  /// per (phrase, area, judge_id).
+  double ScorePhrase(const std::vector<int>& words, int area,
+                     int judge_id) const;
+
+  /// Ground-truth area-affinity distribution of a phrase (over areas),
+  /// used by the intrusion-task annotator. Noise words spread uniformly.
+  std::vector<double> PhraseAreaAffinity(const std::vector<int>& words) const;
+
+  /// Area affinity of an entity (type 0 or 1 of the generator).
+  std::vector<double> EntityAreaAffinity(int entity_type, int id) const;
+
+  int num_areas() const { return dataset_->num_areas; }
+
+ private:
+  bool IsPlantedPhrase(const std::vector<int>& words, int area) const;
+
+  const data::HinDataset* dataset_;
+  uint64_t seed_;
+  double noise_sd_;
+};
+
+/// Simulated annotator for intrusion tasks: given the area-affinity
+/// distributions of X items (X-1 from one topic, 1 intruder), picks the
+/// item least similar to the rest; `noise` is the chance of a uniformly
+/// random pick instead (annotator confusion). Returns the picked index.
+int OraclePickIntruder(const std::vector<std::vector<double>>& affinities,
+                       uint64_t seed, double noise);
+
+}  // namespace latent::eval
+
+#endif  // LATENT_EVAL_ORACLE_JUDGE_H_

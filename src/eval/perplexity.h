@@ -1,0 +1,73 @@
+// Perplexity of a flat topic model on a corpus (used as a sanity metric in
+// the Chapter 4/7 comparisons).
+#ifndef LATENT_EVAL_PERPLEXITY_H_
+#define LATENT_EVAL_PERPLEXITY_H_
+
+#include <cmath>
+#include <vector>
+
+#include "common/math_util.h"
+#include "phrase/topic_model.h"
+#include "text/corpus.h"
+
+namespace latent::eval {
+
+/// exp(-mean log p(w | d)) with p(w|d) = sum_z theta_dz phi_zw. The model's
+/// doc_topic must align with the corpus documents.
+inline double Perplexity(const phrase::FlatTopicModel& model,
+                         const text::Corpus& corpus) {
+  double log_lik = 0.0;
+  long long tokens = 0;
+  for (int d = 0; d < corpus.num_docs(); ++d) {
+    for (int w : corpus.docs()[d].tokens) {
+      double p = 0.0;
+      for (int z = 0; z < model.num_topics; ++z) {
+        p += model.doc_topic[d][z] * model.topic_word[z][w];
+      }
+      log_lik += latent::SafeLog(p);
+      ++tokens;
+    }
+  }
+  return tokens > 0 ? std::exp(-log_lik / tokens) : 0.0;
+}
+
+/// Perplexity on documents NOT seen at training time: per-document mixtures
+/// are folded in by a few multinomial EM steps against the fixed
+/// topic-word distributions, then scored as above.
+inline double HeldOutPerplexity(const phrase::FlatTopicModel& model,
+                                const text::Corpus& holdout,
+                                int fold_in_iters = 20) {
+  double log_lik = 0.0;
+  long long tokens = 0;
+  const int k = model.num_topics;
+  std::vector<double> theta(k), acc(k);
+  for (int d = 0; d < holdout.num_docs(); ++d) {
+    const auto& doc = holdout.docs()[d];
+    std::fill(theta.begin(), theta.end(), 1.0 / k);
+    for (int it = 0; it < fold_in_iters; ++it) {
+      std::fill(acc.begin(), acc.end(), 1e-6);
+      for (int w : doc.tokens) {
+        double denom = 0.0;
+        for (int z = 0; z < k; ++z) denom += theta[z] * model.topic_word[z][w];
+        if (denom <= 0.0) continue;
+        for (int z = 0; z < k; ++z) {
+          acc[z] += theta[z] * model.topic_word[z][w] / denom;
+        }
+      }
+      double total = 0.0;
+      for (double v : acc) total += v;
+      for (int z = 0; z < k; ++z) theta[z] = acc[z] / total;
+    }
+    for (int w : doc.tokens) {
+      double p = 0.0;
+      for (int z = 0; z < k; ++z) p += theta[z] * model.topic_word[z][w];
+      log_lik += latent::SafeLog(p);
+      ++tokens;
+    }
+  }
+  return tokens > 0 ? std::exp(-log_lik / tokens) : 0.0;
+}
+
+}  // namespace latent::eval
+
+#endif  // LATENT_EVAL_PERPLEXITY_H_

@@ -1,0 +1,55 @@
+// Accuracy / precision / recall / F1 for advisor-advisee prediction
+// (Section 6.1.6).
+#ifndef LATENT_EVAL_RELATION_METRICS_H_
+#define LATENT_EVAL_RELATION_METRICS_H_
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace latent::eval {
+
+struct RelationMetrics {
+  double accuracy = 0.0;   // over authors that truly have an advisor
+  double precision = 0.0;  // predicted edges that are correct
+  double recall = 0.0;     // true edges recovered
+  double f1 = 0.0;
+};
+
+/// Compares predictions (advisor id or -1) against ground truth, optionally
+/// restricted to the author ids in `eval_set` (empty = all).
+inline RelationMetrics EvaluateAdvisorPredictions(
+    const std::vector<int>& predicted, const std::vector<int>& truth,
+    const std::vector<int>& eval_set = {}) {
+  LATENT_CHECK_EQ(predicted.size(), truth.size());
+  std::vector<int> ids = eval_set;
+  if (ids.empty()) {
+    ids.resize(truth.size());
+    for (size_t i = 0; i < truth.size(); ++i) ids[i] = static_cast<int>(i);
+  }
+  double correct_edges = 0, predicted_edges = 0, true_edges = 0;
+  double correct_all = 0, with_advisor = 0;
+  for (int i : ids) {
+    if (truth[i] >= 0) {
+      ++with_advisor;
+      if (predicted[i] == truth[i]) ++correct_all;
+      ++true_edges;
+    }
+    if (predicted[i] >= 0) {
+      ++predicted_edges;
+      if (predicted[i] == truth[i]) ++correct_edges;
+    }
+  }
+  RelationMetrics m;
+  m.accuracy = with_advisor > 0 ? correct_all / with_advisor : 0.0;
+  m.precision = predicted_edges > 0 ? correct_edges / predicted_edges : 0.0;
+  m.recall = true_edges > 0 ? correct_edges / true_edges : 0.0;
+  m.f1 = (m.precision + m.recall) > 0
+             ? 2 * m.precision * m.recall / (m.precision + m.recall)
+             : 0.0;
+  return m;
+}
+
+}  // namespace latent::eval
+
+#endif  // LATENT_EVAL_RELATION_METRICS_H_

@@ -1,0 +1,113 @@
+#include "hin/collapse.h"
+
+#include <algorithm>
+
+namespace latent::hin {
+
+namespace {
+
+// Unique sorted word ids of a document.
+std::vector<int> UniqueWords(const text::Document& doc) {
+  std::vector<int> words = doc.tokens;
+  std::sort(words.begin(), words.end());
+  words.erase(std::unique(words.begin(), words.end()), words.end());
+  return words;
+}
+
+}  // namespace
+
+HeteroNetwork BuildCollapsedNetwork(
+    const text::Corpus& corpus,
+    const std::vector<std::string>& entity_type_names,
+    const std::vector<int>& entity_type_sizes,
+    const std::vector<EntityDoc>& entity_docs, const CollapseOptions& options) {
+  LATENT_CHECK_EQ(entity_type_names.size(), entity_type_sizes.size());
+  LATENT_CHECK(entity_docs.empty() ||
+               static_cast<int>(entity_docs.size()) == corpus.num_docs());
+
+  std::vector<std::string> type_names = {"term"};
+  std::vector<int> type_sizes = {corpus.vocab_size()};
+  for (size_t t = 0; t < entity_type_names.size(); ++t) {
+    type_names.push_back(entity_type_names[t]);
+    type_sizes.push_back(entity_type_sizes[t]);
+  }
+  HeteroNetwork net(std::move(type_names), std::move(type_sizes));
+  const int num_entity_types = static_cast<int>(entity_type_names.size());
+
+  // Register link types up front so indices are stable: term-term first,
+  // then term-entity, then entity-entity pairs.
+  int lt_term_term = -1;
+  if (options.term_term) lt_term_term = net.AddLinkType(0, 0);
+  std::vector<int> lt_term_entity(num_entity_types, -1);
+  if (options.term_entity) {
+    for (int t = 0; t < num_entity_types; ++t) {
+      lt_term_entity[t] = net.AddLinkType(0, 1 + t);
+    }
+  }
+  // entity-entity link types, (a <= b).
+  std::vector<std::vector<int>> lt_entity(num_entity_types,
+                                          std::vector<int>(num_entity_types, -1));
+  if (options.entity_entity) {
+    for (int a = 0; a < num_entity_types; ++a) {
+      for (int b = a; b < num_entity_types; ++b) {
+        lt_entity[a][b] = net.AddLinkType(1 + a, 1 + b);
+      }
+    }
+  }
+
+  for (int d = 0; d < corpus.num_docs(); ++d) {
+    const std::vector<int> words = UniqueWords(corpus.docs()[d]);
+
+    if (options.term_term) {
+      for (size_t a = 0; a < words.size(); ++a) {
+        for (size_t b = a + 1; b < words.size(); ++b) {
+          net.AddLink(lt_term_term, words[a], words[b], 1.0);
+        }
+      }
+    }
+
+    if (entity_docs.empty()) continue;
+    const EntityDoc& ed = entity_docs[d];
+    LATENT_CHECK_LE(ed.entities.size(), static_cast<size_t>(num_entity_types));
+
+    if (options.term_entity) {
+      for (size_t t = 0; t < ed.entities.size(); ++t) {
+        for (int e : ed.entities[t]) {
+          for (int w : words) net.AddLink(lt_term_entity[t], w, e, 1.0);
+        }
+      }
+    }
+
+    if (options.entity_entity) {
+      for (size_t a = 0; a < ed.entities.size(); ++a) {
+        // Same-type pairs.
+        const std::vector<int>& ea = ed.entities[a];
+        for (size_t p = 0; p < ea.size(); ++p) {
+          for (size_t q = p + 1; q < ea.size(); ++q) {
+            net.AddLink(lt_entity[a][a], ea[p], ea[q], 1.0);
+          }
+        }
+        // Cross-type pairs.
+        for (size_t b = a + 1; b < ed.entities.size(); ++b) {
+          for (int ia : ea) {
+            for (int jb : ed.entities[b]) {
+              net.AddLink(lt_entity[a][b], ia, jb, 1.0);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  net.Coalesce();
+  // Drop link types that ended up with no links at all (e.g., venue-venue
+  // when every paper has exactly one venue) by zeroing is unnecessary: the
+  // model handles empty link types gracefully, so we keep indices stable.
+  return net;
+}
+
+HeteroNetwork BuildTermCooccurrenceNetwork(const text::Corpus& corpus) {
+  return BuildCollapsedNetwork(corpus, {}, {}, {}, CollapseOptions());
+}
+
+}  // namespace latent::hin

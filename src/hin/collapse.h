@@ -1,0 +1,48 @@
+// Collapsed-network construction (Section 3.2, Example 3.1): converts a
+// text-attached heterogeneous information network — documents plus their
+// entity attachments — into an edge-weighted network whose link weights are
+// co-occurrence counts. Terms become node type 0; entity types follow.
+#ifndef LATENT_HIN_COLLAPSE_H_
+#define LATENT_HIN_COLLAPSE_H_
+
+#include <string>
+#include <vector>
+
+#include "hin/network.h"
+#include "text/corpus.h"
+
+namespace latent::hin {
+
+/// Entity attachments of one document: entities[t] lists the ids (within
+/// entity type t's universe) linked to the document. A document with no
+/// attachments contributes only term-term links.
+struct EntityDoc {
+  std::vector<std::vector<int>> entities;
+};
+
+struct CollapseOptions {
+  /// Include term-term co-occurrence links.
+  bool term_term = true;
+  /// Include entity-term links (entity linked to all words of its documents).
+  bool term_entity = true;
+  /// Include entity-entity co-occurrence links.
+  bool entity_entity = true;
+};
+
+/// Builds the collapsed network. `entity_type_names`/`entity_type_sizes`
+/// describe the entity universes; `entity_docs` must be empty or have one
+/// entry per corpus document. The returned network has node type 0 = "term"
+/// with the corpus vocabulary as its universe.
+HeteroNetwork BuildCollapsedNetwork(
+    const text::Corpus& corpus,
+    const std::vector<std::string>& entity_type_names,
+    const std::vector<int>& entity_type_sizes,
+    const std::vector<EntityDoc>& entity_docs,
+    const CollapseOptions& options = CollapseOptions());
+
+/// Convenience: term co-occurrence network only (CATHY, Section 3.1).
+HeteroNetwork BuildTermCooccurrenceNetwork(const text::Corpus& corpus);
+
+}  // namespace latent::hin
+
+#endif  // LATENT_HIN_COLLAPSE_H_

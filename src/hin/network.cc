@@ -1,0 +1,88 @@
+#include "hin/network.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+namespace latent::hin {
+
+int HeteroNetwork::AddLinkType(int type_x, int type_y) {
+  if (type_x > type_y) std::swap(type_x, type_y);
+  LATENT_CHECK_GE(type_x, 0);
+  LATENT_CHECK_LT(type_y, num_types());
+  int existing = FindLinkType(type_x, type_y);
+  if (existing >= 0) return existing;
+  LinkType lt;
+  lt.type_x = type_x;
+  lt.type_y = type_y;
+  link_types_.push_back(std::move(lt));
+  return static_cast<int>(link_types_.size()) - 1;
+}
+
+int HeteroNetwork::FindLinkType(int type_x, int type_y) const {
+  if (type_x > type_y) std::swap(type_x, type_y);
+  for (size_t i = 0; i < link_types_.size(); ++i) {
+    if (link_types_[i].type_x == type_x && link_types_[i].type_y == type_y) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void HeteroNetwork::AddLink(int lt, int i, int j, double weight) {
+  LATENT_CHECK_GE(lt, 0);
+  LATENT_CHECK_LT(lt, num_link_types());
+  LinkType& t = link_types_[lt];
+  LATENT_CHECK_GE(i, 0);
+  LATENT_CHECK_LT(i, type_sizes_[t.type_x]);
+  LATENT_CHECK_GE(j, 0);
+  LATENT_CHECK_LT(j, type_sizes_[t.type_y]);
+  if (t.type_x == t.type_y && i > j) std::swap(i, j);
+  t.links.push_back({i, j, weight});
+}
+
+void HeteroNetwork::Coalesce() {
+  for (LinkType& t : link_types_) {
+    std::unordered_map<long long, double> agg;
+    agg.reserve(t.links.size());
+    const long long stride = type_sizes_[t.type_y] + 1LL;
+    for (const Link& l : t.links) {
+      agg[l.i * stride + l.j] += l.weight;
+    }
+    std::vector<Link> merged;
+    merged.reserve(agg.size());
+    for (const auto& [key, w] : agg) {
+      merged.push_back({static_cast<int>(key / stride),
+                        static_cast<int>(key % stride), w});
+    }
+    std::sort(merged.begin(), merged.end(), [](const Link& a, const Link& b) {
+      return a.i != b.i ? a.i < b.i : a.j < b.j;
+    });
+    t.links = std::move(merged);
+  }
+}
+
+double HeteroNetwork::TotalWeight() const {
+  double s = 0.0;
+  for (const LinkType& t : link_types_) s += t.TotalWeight();
+  return s;
+}
+
+long long HeteroNetwork::NumLinks() const {
+  long long n = 0;
+  for (const LinkType& t : link_types_) n += static_cast<long long>(t.links.size());
+  return n;
+}
+
+std::vector<double> HeteroNetwork::WeightedDegrees(int x) const {
+  std::vector<double> deg(type_sizes_[x], 0.0);
+  for (const LinkType& t : link_types_) {
+    for (const Link& l : t.links) {
+      if (t.type_x == x) deg[l.i] += l.weight;
+      if (t.type_y == x) deg[l.j] += l.weight;
+    }
+  }
+  return deg;
+}
+
+}  // namespace latent::hin

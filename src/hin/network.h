@@ -1,0 +1,93 @@
+// Edge-weighted heterogeneous network (Definition 1, collapsed form of
+// Section 3.2): typed nodes plus weighted links per link type. This is the
+// object the CATHY/CATHYHIN clustering operates on and recursively extracts
+// subnetworks from.
+#ifndef LATENT_HIN_NETWORK_H_
+#define LATENT_HIN_NETWORK_H_
+
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace latent::hin {
+
+/// One weighted link between node i of the link type's first node type and
+/// node j of its second node type. Links are stored once (undirected); the
+/// model symmetrizes internally, which is equivalent up to the scale
+/// invariance of the EM solution (Lemma 3.1).
+struct Link {
+  int i;
+  int j;
+  double weight;
+};
+
+/// All links of one (x, y) node-type pair, x <= y.
+struct LinkType {
+  int type_x;
+  int type_y;
+  std::vector<Link> links;
+
+  double TotalWeight() const {
+    double s = 0.0;
+    for (const Link& l : links) s += l.weight;
+    return s;
+  }
+};
+
+/// A heterogeneous network with m node types and up to m(m+1)/2 link types.
+class HeteroNetwork {
+ public:
+  HeteroNetwork() = default;
+
+  /// Creates a network with the given node-type names and universe sizes.
+  HeteroNetwork(std::vector<std::string> type_names,
+                std::vector<int> type_sizes)
+      : type_names_(std::move(type_names)), type_sizes_(std::move(type_sizes)) {
+    LATENT_CHECK_EQ(type_names_.size(), type_sizes_.size());
+  }
+
+  int num_types() const { return static_cast<int>(type_sizes_.size()); }
+  int type_size(int x) const { return type_sizes_[x]; }
+  const std::string& type_name(int x) const { return type_names_[x]; }
+  const std::vector<std::string>& type_names() const { return type_names_; }
+  const std::vector<int>& type_sizes() const { return type_sizes_; }
+
+  /// Registers a link type (x <= y after normalization) and returns its
+  /// index. Duplicate registrations return the existing index.
+  int AddLinkType(int type_x, int type_y);
+
+  /// Finds the link-type index for (x, y) in either order, or -1.
+  int FindLinkType(int type_x, int type_y) const;
+
+  /// Adds weight to the link (i, j) of link type `lt`. For same-type links
+  /// the pair is canonicalized to i <= j. No per-pair dedup is performed;
+  /// callers should aggregate, or call Coalesce() when done.
+  void AddLink(int lt, int i, int j, double weight);
+
+  /// Merges duplicate (i, j) entries within every link type.
+  void Coalesce();
+
+  int num_link_types() const { return static_cast<int>(link_types_.size()); }
+  const LinkType& link_type(int lt) const { return link_types_[lt]; }
+  LinkType& mutable_link_type(int lt) { return link_types_[lt]; }
+
+  /// Sum of all link weights across types.
+  double TotalWeight() const;
+
+  /// Total number of stored (nonzero) links.
+  long long NumLinks() const;
+
+  /// Weighted degree of every node of type x (sum of incident link weights
+  /// over all link types; same-type self links count twice).
+  std::vector<double> WeightedDegrees(int x) const;
+
+ private:
+  std::vector<std::string> type_names_;
+  std::vector<int> type_sizes_;
+  std::vector<LinkType> link_types_;
+};
+
+}  // namespace latent::hin
+
+#endif  // LATENT_HIN_NETWORK_H_

@@ -1,0 +1,140 @@
+#include "phrase/entity_patterns.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace latent::phrase {
+
+PhraseDict MineFrequentEntityPatterns(
+    const std::vector<hin::EntityDoc>& entity_docs, int entity_type,
+    const EntityPatternOptions& options) {
+  PhraseDict dict;
+  // Per-document canonical entity sets.
+  std::vector<std::vector<int>> doc_sets;
+  doc_sets.reserve(entity_docs.size());
+  for (const hin::EntityDoc& ed : entity_docs) {
+    if (entity_type >= static_cast<int>(ed.entities.size())) {
+      doc_sets.emplace_back();
+      continue;
+    }
+    std::vector<int> s = ed.entities[entity_type];
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+    doc_sets.push_back(std::move(s));
+  }
+
+  // Level 1: singleton counts.
+  std::unordered_map<std::vector<int>, long long, PhraseHash> counts;
+  for (const auto& s : doc_sets) {
+    for (int e : s) ++counts[{e}];
+  }
+  std::unordered_map<std::vector<int>, long long, PhraseHash> frequent;
+  for (const auto& [key, c] : counts) {
+    if (options.keep_all_singletons || c >= options.min_support) {
+      int id = dict.Intern(key);
+      dict.SetCount(id, c);
+    }
+    if (c >= options.min_support) frequent.emplace(key, c);
+  }
+
+  // Levels 2..max: extend frequent (n-1)-sets with larger singleton ids
+  // present in the same document (candidate generation implicit in the
+  // per-document enumeration; docs have few entities, so this is cheap).
+  for (int n = 2; n <= options.max_size; ++n) {
+    counts.clear();
+    std::vector<int> key;
+    for (const auto& s : doc_sets) {
+      if (static_cast<int>(s.size()) < n) continue;
+      // Enumerate size-n subsets whose (n-1)-prefix subset is frequent.
+      std::vector<int> idx(n);
+      // Simple recursive enumeration via an explicit stack of positions.
+      std::function<void(int, int)> rec = [&](int start, int depth) {
+        if (depth == n) {
+          key.clear();
+          for (int i : idx) key.push_back(s[i]);
+          // Apriori check: drop-last subset must be frequent.
+          std::vector<int> prefix(key.begin(), key.end() - 1);
+          if (n == 2 || frequent.count(prefix) > 0) ++counts[key];
+          return;
+        }
+        for (int i = start; i < static_cast<int>(s.size()); ++i) {
+          idx[depth] = i;
+          rec(i + 1, depth + 1);
+        }
+      };
+      rec(0, 0);
+    }
+    frequent.clear();
+    for (const auto& [key2, c] : counts) {
+      if (c >= options.min_support) {
+        int id = dict.Intern(key2);
+        dict.SetCount(id, c);
+        frequent.emplace(key2, c);
+      }
+    }
+    if (frequent.empty()) break;
+  }
+  return dict;
+}
+
+EntityPatternScorer::EntityPatternScorer(const PhraseDict& patterns,
+                                         const core::TopicHierarchy& hierarchy,
+                                         int entity_type)
+    : patterns_(&patterns), hierarchy_(&hierarchy) {
+  topical_freq_.assign(hierarchy.num_nodes(), {});
+  topical_freq_[hierarchy.root()].resize(patterns.size());
+  for (int p = 0; p < patterns.size(); ++p) {
+    topical_freq_[hierarchy.root()][p] =
+        static_cast<double>(patterns.Count(p));
+  }
+  std::vector<double> w;
+  for (int node = 0; node < hierarchy.num_nodes(); ++node) {
+    const core::TopicNode& t = hierarchy.node(node);
+    if (t.children.empty()) continue;
+    const int k = static_cast<int>(t.children.size());
+    for (int c : t.children) topical_freq_[c].assign(patterns.size(), 0.0);
+    w.resize(k);
+    for (int p = 0; p < patterns.size(); ++p) {
+      double fp = topical_freq_[node][p];
+      if (fp <= 0.0) continue;
+      double denom = 0.0;
+      for (int ci = 0; ci < k; ++ci) {
+        const core::TopicNode& child = hierarchy.node(t.children[ci]);
+        double prod = child.rho_in_parent;
+        for (int e : patterns.Words(p)) prod *= child.phi[entity_type][e];
+        w[ci] = prod;
+        denom += prod;
+      }
+      if (denom <= 0.0) continue;
+      for (int ci = 0; ci < k; ++ci) {
+        topical_freq_[t.children[ci]][p] = fp * w[ci] / denom;
+      }
+    }
+  }
+}
+
+std::vector<Scored<int>> EntityPatternScorer::RankTopic(int node,
+                                                        size_t top_k) const {
+  LATENT_CHECK_NE(node, hierarchy_->root());
+  const core::TopicNode& t = hierarchy_->node(node);
+  const std::vector<int>& siblings = hierarchy_->node(t.parent).children;
+  std::vector<Scored<int>> scores;
+  for (int p = 0; p < patterns_->size(); ++p) {
+    double f_t = topical_freq_[node][p];
+    if (f_t <= 0.0) continue;
+    double f_sib = 0.0;
+    for (int s : siblings) {
+      if (s != node) f_sib = std::max(f_sib, topical_freq_[s][p]);
+    }
+    // Popularity x purity against the strongest sibling.
+    double purity = SafeLog(f_t + 1.0) - SafeLog(f_sib + 1.0);
+    scores.emplace_back(p, f_t * purity);
+  }
+  return TopK(std::move(scores), top_k);
+}
+
+}  // namespace latent::phrase

@@ -1,0 +1,56 @@
+// Frequent entity-pattern mining: co-occurring entity sets (e.g., frequent
+// co-author groups) per document, the "entity patterns" that CATHYHIN ranks
+// alongside phrases (Sections 3.3.2, 4.2 applied to entities). Patterns are
+// unordered sets, mined Apriori-style up to a maximum size, and ranked per
+// topic with the same topical-frequency machinery as phrases, using the
+// topic's entity distribution phi^x.
+#ifndef LATENT_PHRASE_ENTITY_PATTERNS_H_
+#define LATENT_PHRASE_ENTITY_PATTERNS_H_
+
+#include <vector>
+
+#include "common/top_k.h"
+#include "core/hierarchy.h"
+#include "hin/collapse.h"
+#include "phrase/phrase_dict.h"
+
+namespace latent::phrase {
+
+struct EntityPatternOptions {
+  long long min_support = 5;
+  /// Largest pattern size (sets, not sequences).
+  int max_size = 3;
+  bool keep_all_singletons = true;
+};
+
+/// Mines frequent entity sets of one entity type from per-document
+/// attachments. Returned dict keys are sorted id lists (canonical set
+/// encoding); counts are document co-occurrence frequencies.
+PhraseDict MineFrequentEntityPatterns(
+    const std::vector<hin::EntityDoc>& entity_docs, int entity_type,
+    const EntityPatternOptions& options);
+
+/// Ranks patterns for a (non-root) topic of the hierarchy by estimated
+/// topical frequency: f_t(P) splits along the hierarchy in proportion to
+/// rho_z * prod_{e in P} phi^x_{t/z,e} (the Eq. 4.3 analogue for entities).
+class EntityPatternScorer {
+ public:
+  EntityPatternScorer(const PhraseDict& patterns,
+                      const core::TopicHierarchy& hierarchy, int entity_type);
+
+  double TopicalFrequency(int node, int pattern_id) const {
+    return topical_freq_[node][pattern_id];
+  }
+
+  /// Top patterns by topical frequency x purity vs siblings.
+  std::vector<Scored<int>> RankTopic(int node, size_t top_k) const;
+
+ private:
+  const PhraseDict* patterns_;
+  const core::TopicHierarchy* hierarchy_;
+  std::vector<std::vector<double>> topical_freq_;
+};
+
+}  // namespace latent::phrase
+
+#endif  // LATENT_PHRASE_ENTITY_PATTERNS_H_

@@ -1,0 +1,106 @@
+#include "phrase/frequent_miner.h"
+
+#include <unordered_map>
+#include <utility>
+
+namespace latent::phrase {
+
+namespace {
+
+// For each token position, the end (exclusive) of its segment.
+std::vector<int> SegmentEnds(const text::Document& doc) {
+  std::vector<int> ends(doc.size(), doc.size());
+  for (size_t s = 0; s + 1 < doc.segment_starts.size(); ++s) {
+    int from = doc.segment_starts[s];
+    int to = doc.segment_starts[s + 1];
+    for (int i = from; i < to; ++i) ends[i] = to;
+  }
+  return ends;
+}
+
+}  // namespace
+
+PhraseDict MineFrequentPhrases(const text::Corpus& corpus,
+                               const MinerOptions& options) {
+  PhraseDict dict;
+  const int num_docs = corpus.num_docs();
+
+  // Pass 1: unigram counts.
+  std::vector<long long> word_counts(corpus.vocab_size(), 0);
+  for (const text::Document& d : corpus.docs()) {
+    for (int w : d.tokens) ++word_counts[w];
+  }
+  for (int w = 0; w < corpus.vocab_size(); ++w) {
+    if (word_counts[w] == 0) continue;
+    if (options.keep_all_unigrams || word_counts[w] >= options.min_support) {
+      int id = dict.Intern({w});
+      dict.SetCount(id, word_counts[w]);
+    }
+  }
+
+  // Active positions: position i is active at level n iff the phrase
+  // [i, i+n) fits in a segment and is frequent. Level-1 activity requires
+  // word frequency >= min_support (unigrams below support may be retained in
+  // the dict but cannot seed longer phrases).
+  std::vector<std::vector<int>> active(num_docs);
+  std::vector<std::vector<int>> seg_ends(num_docs);
+  std::vector<int> live_docs;
+  for (int d = 0; d < num_docs; ++d) {
+    const text::Document& doc = corpus.docs()[d];
+    seg_ends[d] = SegmentEnds(doc);
+    for (int i = 0; i < doc.size(); ++i) {
+      if (word_counts[doc.tokens[i]] >= options.min_support) {
+        active[d].push_back(i);
+      }
+    }
+    if (!active[d].empty()) live_docs.push_back(d);
+  }
+
+  std::unordered_map<std::vector<int>, long long, PhraseHash> counts;
+  std::vector<int> key;
+  for (int n = 2; n <= options.max_length && !live_docs.empty(); ++n) {
+    counts.clear();
+    // Count level-n candidates: i active and i+1 active at level n-1, and
+    // the n-gram stays inside the segment.
+    for (int d : live_docs) {
+      const text::Document& doc = corpus.docs()[d];
+      const std::vector<int>& act = active[d];
+      for (size_t a = 0; a + 1 < act.size(); ++a) {
+        int i = act[a];
+        if (act[a + 1] != i + 1) continue;
+        if (i + n > seg_ends[d][i]) continue;
+        key.assign(doc.tokens.begin() + i, doc.tokens.begin() + i + n);
+        ++counts[key];
+      }
+    }
+    // Record frequent n-grams; recompute active positions.
+    std::vector<int> next_live;
+    for (int d : live_docs) {
+      const text::Document& doc = corpus.docs()[d];
+      std::vector<int> next_active;
+      const std::vector<int>& act = active[d];
+      for (size_t a = 0; a + 1 < act.size(); ++a) {
+        int i = act[a];
+        if (act[a + 1] != i + 1) continue;
+        if (i + n > seg_ends[d][i]) continue;
+        key.assign(doc.tokens.begin() + i, doc.tokens.begin() + i + n);
+        auto it = counts.find(key);
+        if (it != counts.end() && it->second >= options.min_support) {
+          next_active.push_back(i);
+        }
+      }
+      active[d] = std::move(next_active);
+      if (!active[d].empty()) next_live.push_back(d);
+    }
+    live_docs = std::move(next_live);
+    for (const auto& [words, c] : counts) {
+      if (c >= options.min_support) {
+        int id = dict.Intern(words);
+        dict.SetCount(id, c);
+      }
+    }
+  }
+  return dict;
+}
+
+}  // namespace latent::phrase

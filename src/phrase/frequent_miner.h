@@ -1,0 +1,34 @@
+// Frequent contiguous phrase mining (Algorithm 1, Section 4.3.1).
+//
+// Collects aggregate counts of all contiguous word sequences that meet a
+// minimum support threshold, using position-based Apriori pruning (a
+// length-n candidate is counted only where both its length-(n-1) prefix and
+// suffix were frequent) and data antimonotonicity (documents with no active
+// positions are dropped from further passes). Phrases never cross segment
+// boundaries (phrase-invariant punctuation).
+#ifndef LATENT_PHRASE_FREQUENT_MINER_H_
+#define LATENT_PHRASE_FREQUENT_MINER_H_
+
+#include "phrase/phrase_dict.h"
+#include "text/corpus.h"
+
+namespace latent::phrase {
+
+struct MinerOptions {
+  /// Minimum raw frequency for a phrase to be kept.
+  long long min_support = 5;
+  /// Longest phrase mined (the paper's phrases are effectively <= 6 words).
+  int max_length = 6;
+  /// Keep length-1 phrases (unigrams) regardless of support. Unigrams are
+  /// needed as segmentation fallback units; support still gates >=2-grams.
+  bool keep_all_unigrams = true;
+};
+
+/// Mines all frequent contiguous phrases of the corpus. Counts in the
+/// returned dictionary are raw corpus frequencies.
+PhraseDict MineFrequentPhrases(const text::Corpus& corpus,
+                               const MinerOptions& options);
+
+}  // namespace latent::phrase
+
+#endif  // LATENT_PHRASE_FREQUENT_MINER_H_

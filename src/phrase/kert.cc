@@ -1,0 +1,198 @@
+#include "phrase/kert.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "phrase/occurrences.h"
+
+namespace latent::phrase {
+
+KertScorer::KertScorer(const text::Corpus& corpus, const PhraseDict& dict,
+                       const core::TopicHierarchy& hierarchy, int word_type)
+    : corpus_(&corpus),
+      dict_(&dict),
+      hierarchy_(&hierarchy),
+      word_type_(word_type) {
+  LATENT_CHECK(!hierarchy.empty());
+  max_phrase_len_ = 1;
+  for (int p = 0; p < dict.size(); ++p) {
+    max_phrase_len_ = std::max(max_phrase_len_, dict.Length(p));
+  }
+
+  word_counts_.assign(corpus.vocab_size(), 0);
+  for (const text::Document& d : corpus.docs()) {
+    for (int w : d.tokens) ++word_counts_[w];
+  }
+
+  doc_occurrences_ = DocPhraseOccurrences(corpus, dict, max_phrase_len_);
+
+  // max count over single-word extensions (prefix or suffix) per phrase.
+  max_super_count_.assign(dict.size(), 0);
+  std::vector<int> sub;
+  for (int p = 0; p < dict.size(); ++p) {
+    const std::vector<int>& words = dict.Words(p);
+    if (words.size() < 2) continue;
+    long long c = dict.Count(p);
+    sub.assign(words.begin(), words.end() - 1);
+    int prefix = dict.Lookup(sub);
+    if (prefix >= 0) {
+      max_super_count_[prefix] = std::max(max_super_count_[prefix], c);
+    }
+    sub.assign(words.begin() + 1, words.end());
+    int suffix = dict.Lookup(sub);
+    if (suffix >= 0) {
+      max_super_count_[suffix] = std::max(max_super_count_[suffix], c);
+    }
+  }
+
+  // Topical frequencies, top-down (Eq. 4.3).
+  topical_freq_.assign(hierarchy.num_nodes(), {});
+  topical_freq_[hierarchy.root()].resize(dict.size());
+  for (int p = 0; p < dict.size(); ++p) {
+    topical_freq_[hierarchy.root()][p] = static_cast<double>(dict.Count(p));
+  }
+  // Nodes are created parent-before-child, so a single id-ordered pass works.
+  std::vector<double> w;
+  for (int node = 0; node < hierarchy.num_nodes(); ++node) {
+    const core::TopicNode& t = hierarchy.node(node);
+    if (t.children.empty()) continue;
+    const int k = static_cast<int>(t.children.size());
+    for (int c : t.children) topical_freq_[c].assign(dict.size(), 0.0);
+    w.resize(k);
+    for (int p = 0; p < dict.size(); ++p) {
+      double fp = topical_freq_[node][p];
+      if (fp <= 0.0) continue;
+      double denom = 0.0;
+      for (int ci = 0; ci < k; ++ci) {
+        const core::TopicNode& child = hierarchy.node(t.children[ci]);
+        double prod = child.rho_in_parent;
+        for (int v : dict_->Words(p)) prod *= child.phi[word_type_][v];
+        w[ci] = prod;
+        denom += prod;
+      }
+      if (denom <= 0.0) continue;
+      for (int ci = 0; ci < k; ++ci) {
+        topical_freq_[t.children[ci]][p] = fp * w[ci] / denom;
+      }
+    }
+  }
+}
+
+namespace {
+// Cache key for a node or node pair: pairs use (a+1) * 2^20 + (b+1).
+long long PairKey(int a, int b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<long long>(a) + 1) * (1LL << 20) + (b + 1);
+}
+}  // namespace
+
+double KertScorer::TopicDocCount(int node, double min_support) const {
+  if (cache_mu_ != min_support) {
+    doc_count_cache_.clear();
+    cache_mu_ = min_support;
+  }
+  long long key = PairKey(node, node);
+  auto it = doc_count_cache_.find(key);
+  if (it != doc_count_cache_.end()) return it->second;
+  double n = 0.0;
+  for (const std::vector<int>& occ : doc_occurrences_) {
+    for (int p : occ) {
+      if (topical_freq_[node][p] >= min_support) {
+        n += 1.0;
+        break;
+      }
+    }
+  }
+  doc_count_cache_.emplace(key, n);
+  return n;
+}
+
+double KertScorer::PairDocCount(int node_a, int node_b,
+                                double min_support) const {
+  if (cache_mu_ != min_support) {
+    doc_count_cache_.clear();
+    cache_mu_ = min_support;
+  }
+  long long key = PairKey(node_a, node_b);
+  auto it = doc_count_cache_.find(key);
+  if (it != doc_count_cache_.end()) return it->second;
+  double n = 0.0;
+  for (const std::vector<int>& occ : doc_occurrences_) {
+    for (int p : occ) {
+      if (topical_freq_[node_a][p] >= min_support ||
+          topical_freq_[node_b][p] >= min_support) {
+        n += 1.0;
+        break;
+      }
+    }
+  }
+  doc_count_cache_.emplace(key, n);
+  return n;
+}
+
+double KertScorer::Popularity(int node, int phrase_id, double mu) const {
+  double n_t = std::max(TopicDocCount(node, mu), 1.0);
+  return topical_freq_[node][phrase_id] / n_t;
+}
+
+double KertScorer::Purity(int node, int phrase_id, double mu) const {
+  const core::TopicNode& t = hierarchy_->node(node);
+  if (t.parent < 0) return 0.0;
+  const std::vector<int>& siblings = hierarchy_->node(t.parent).children;
+  double n_t = std::max(TopicDocCount(node, mu), 1.0);
+  double p_t = topical_freq_[node][phrase_id] / n_t;
+  double worst = 0.0;
+  bool any = false;
+  for (int s : siblings) {
+    if (s == node) continue;
+    // N_{t,t'}: docs with a qualifying phrase in either topic.
+    double n_mix = std::max(PairDocCount(node, s, mu), 1.0);
+    double p_mix =
+        (topical_freq_[node][phrase_id] + topical_freq_[s][phrase_id]) / n_mix;
+    if (!any || p_mix > worst) {
+      worst = p_mix;
+      any = true;
+    }
+  }
+  if (!any) return 0.0;
+  return SafeLog(p_t) - SafeLog(worst);
+}
+
+double KertScorer::Concordance(int phrase_id) const {
+  const double n = static_cast<double>(std::max(corpus_->num_docs(), 1));
+  double val = SafeLog(static_cast<double>(dict_->Count(phrase_id)) / n);
+  for (int v : dict_->Words(phrase_id)) {
+    val -= SafeLog(static_cast<double>(word_counts_[v]) / n);
+  }
+  return val;
+}
+
+double KertScorer::Completeness(int phrase_id) const {
+  long long f = dict_->Count(phrase_id);
+  if (f <= 0) return 0.0;
+  return 1.0 -
+         static_cast<double>(max_super_count_[phrase_id]) /
+             static_cast<double>(f);
+}
+
+std::vector<Scored<int>> KertScorer::RankTopic(int node,
+                                               const KertOptions& options,
+                                               size_t top_k) const {
+  LATENT_CHECK_NE(node, hierarchy_->root());
+  const double mu = options.min_topical_support;
+  std::vector<Scored<int>> scores;
+  for (int p = 0; p < dict_->size(); ++p) {
+    if (topical_freq_[node][p] < mu) continue;
+    if (Completeness(p) <= options.gamma) continue;
+    double pur = Purity(node, p, mu);
+    double con = Concordance(p);
+    double mix = (1.0 - options.omega) * pur + options.omega * con;
+    double quality =
+        options.use_popularity ? Popularity(node, p, mu) * mix : mix;
+    scores.emplace_back(p, quality);
+  }
+  return TopK(std::move(scores), top_k);
+}
+
+}  // namespace latent::phrase

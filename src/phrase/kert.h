@@ -1,0 +1,102 @@
+// KERT: topical keyphrase extraction and ranking for short, content-
+// representative text (Section 4.2). Phrases mined by frequent-pattern
+// mining are ranked per topic by combining four criteria:
+//
+//   popularity   kappa_pop = p(P | t)                        (Eq. 4.4)
+//   purity       kappa_pur = log p(P|t) / max_t' p(P|{t,t'}) (Eq. 4.5)
+//   concordance  kappa_con = log p(P) / prod_v p(v)          (Eq. 4.1)
+//   completeness kappa_com = 1 - max_v p(P + v | P)          (Eq. 4.2)
+//
+//   Quality_t(P) = 0                                   if kappa_com <= gamma
+//                = kappa_pop * [(1-w) kappa_pur + w kappa_con]   otherwise
+//
+// Topical frequencies are estimated top-down through the hierarchy via
+// Eq. (4.3). The ablation variants of Table 4.3/4.4 (KERT-pop, -pur, -con,
+// -com) are parameter settings of KertOptions.
+#ifndef LATENT_PHRASE_KERT_H_
+#define LATENT_PHRASE_KERT_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/top_k.h"
+#include "core/hierarchy.h"
+#include "phrase/phrase_dict.h"
+#include "text/corpus.h"
+
+namespace latent::phrase {
+
+struct KertOptions {
+  /// Completeness filter threshold gamma in [0,1]; 0 disables (KERT-com).
+  double gamma = 0.5;
+  /// Concordance weight omega in [0,1]; 0 = purity only (KERT-con),
+  /// 1 = concordance only (KERT-pur).
+  double omega = 0.5;
+  /// Include the popularity factor; false gives the KERT-pop ablation.
+  bool use_popularity = true;
+  /// Minimum topical frequency mu for a phrase to count toward N_t.
+  double min_topical_support = 3.0;
+};
+
+/// Ranks phrases for every topic of a hierarchy whose word distributions
+/// live on node type `word_type` (0 in collapsed networks).
+class KertScorer {
+ public:
+  /// `dict` must hold frequent phrases of `corpus` (counts = frequencies).
+  KertScorer(const text::Corpus& corpus, const PhraseDict& dict,
+             const core::TopicHierarchy& hierarchy, int word_type = 0);
+
+  /// f_t(P): estimated topical frequency of phrase `phrase_id` in topic
+  /// `node` (Definition 3 / Eq. 4.3).
+  double TopicalFrequency(int node, int phrase_id) const {
+    return topical_freq_[node][phrase_id];
+  }
+
+  /// Number of documents with at least one frequent topic-t phrase (N_t).
+  double TopicDocCount(int node, double min_support) const;
+
+  /// N_{t,t'}: documents with a qualifying phrase in either topic.
+  double PairDocCount(int node_a, int node_b, double min_support) const;
+
+  /// Quality_t(P) for all phrases of topic `node` (must be non-root),
+  /// returned as the `top_k` best (phrase id, quality).
+  std::vector<Scored<int>> RankTopic(int node, const KertOptions& options,
+                                     size_t top_k) const;
+
+  /// Individual criteria (exposed for tests and ablation benches).
+  double Popularity(int node, int phrase_id, double mu) const;
+  double Purity(int node, int phrase_id, double mu) const;
+  double Concordance(int phrase_id) const;
+  double Completeness(int phrase_id) const;
+
+  const PhraseDict& dict() const { return *dict_; }
+  const core::TopicHierarchy& hierarchy() const { return *hierarchy_; }
+  int word_type() const { return word_type_; }
+  const text::Corpus& corpus() const { return *corpus_; }
+  const std::vector<std::vector<int>>& doc_occurrences() const {
+    return doc_occurrences_;
+  }
+
+ private:
+  const text::Corpus* corpus_;
+  const PhraseDict* dict_;
+  const core::TopicHierarchy* hierarchy_;
+  int word_type_;
+  int max_phrase_len_;
+
+  /// topical_freq_[node][phrase] = f_node(P).
+  std::vector<std::vector<double>> topical_freq_;
+  /// Per-document frequent-phrase occurrence lists.
+  std::vector<std::vector<int>> doc_occurrences_;
+  /// Doc-count caches, valid for cache_mu_ (recomputed when mu changes).
+  mutable double cache_mu_ = -1.0;
+  mutable std::unordered_map<long long, double> doc_count_cache_;
+  /// 1 - completeness numerator: max count of any one-word extension.
+  std::vector<long long> max_super_count_;
+  /// Global per-word corpus frequencies.
+  std::vector<long long> word_counts_;
+};
+
+}  // namespace latent::phrase
+
+#endif  // LATENT_PHRASE_KERT_H_

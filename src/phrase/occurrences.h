@@ -1,0 +1,23 @@
+// Indexes which frequent phrases occur in which documents.
+#ifndef LATENT_PHRASE_OCCURRENCES_H_
+#define LATENT_PHRASE_OCCURRENCES_H_
+
+#include <vector>
+
+#include "phrase/phrase_dict.h"
+#include "text/corpus.h"
+
+namespace latent::phrase {
+
+/// For every document, the dict ids of all frequent phrase occurrences
+/// (every contiguous window that matches a dict entry, one id per
+/// occurrence; windows never cross segment boundaries). Multi-word matches
+/// suppress their sub-windows' unigram hits is NOT applied — KERT counts raw
+/// occurrences (Definition 3).
+std::vector<std::vector<int>> DocPhraseOccurrences(const text::Corpus& corpus,
+                                                   const PhraseDict& dict,
+                                                   int max_length);
+
+}  // namespace latent::phrase
+
+#endif  // LATENT_PHRASE_OCCURRENCES_H_

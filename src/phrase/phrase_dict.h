@@ -1,0 +1,91 @@
+// Dictionary of mined phrases: maps word-id sequences to dense phrase ids
+// with aggregate counts.
+#ifndef LATENT_PHRASE_PHRASE_DICT_H_
+#define LATENT_PHRASE_PHRASE_DICT_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "text/vocabulary.h"
+
+namespace latent::phrase {
+
+/// FNV-style hash for word-id sequences.
+struct PhraseHash {
+  size_t operator()(const std::vector<int>& p) const {
+    uint64_t h = 1469598103934665603ULL;
+    for (int w : p) {
+      h ^= static_cast<uint64_t>(w) + 0x9e3779b97f4a7c15ULL;
+      h *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+/// Interns phrases (sequences of word ids) to dense ids and stores their
+/// corpus frequencies.
+class PhraseDict {
+ public:
+  PhraseDict() = default;
+
+  /// Returns the id of `words`, inserting with count 0 if new.
+  int Intern(const std::vector<int>& words) {
+    auto it = index_.find(words);
+    if (it != index_.end()) return it->second;
+    int id = static_cast<int>(phrases_.size());
+    index_.emplace(words, id);
+    phrases_.push_back(words);
+    counts_.push_back(0);
+    return id;
+  }
+
+  /// Returns the id of `words`, or -1 if absent.
+  int Lookup(const std::vector<int>& words) const {
+    auto it = index_.find(words);
+    return it == index_.end() ? -1 : it->second;
+  }
+
+  void AddCount(int id, long long delta) {
+    LATENT_CHECK_GE(id, 0);
+    counts_[id] += delta;
+  }
+  void SetCount(int id, long long count) { counts_[id] = count; }
+
+  long long Count(int id) const { return counts_[id]; }
+  long long CountOf(const std::vector<int>& words) const {
+    int id = Lookup(words);
+    return id < 0 ? 0 : counts_[id];
+  }
+
+  const std::vector<int>& Words(int id) const {
+    LATENT_CHECK_GE(id, 0);
+    LATENT_CHECK_LT(id, size());
+    return phrases_[id];
+  }
+  int Length(int id) const { return static_cast<int>(phrases_[id].size()); }
+
+  int size() const { return static_cast<int>(phrases_.size()); }
+  bool empty() const { return phrases_.empty(); }
+
+  /// Renders phrase `id` as space-joined tokens from `vocab`.
+  std::string ToString(int id, const text::Vocabulary& vocab) const {
+    std::string out;
+    for (size_t i = 0; i < phrases_[id].size(); ++i) {
+      if (i > 0) out += ' ';
+      out += vocab.Token(phrases_[id][i]);
+    }
+    return out;
+  }
+
+ private:
+  std::unordered_map<std::vector<int>, int, PhraseHash> index_;
+  std::vector<std::vector<int>> phrases_;
+  std::vector<long long> counts_;
+};
+
+}  // namespace latent::phrase
+
+#endif  // LATENT_PHRASE_PHRASE_DICT_H_

@@ -1,0 +1,121 @@
+#include "phrase/phrase_lda.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace latent::phrase {
+
+PhraseLdaResult FitPhraseLda(const std::vector<SegmentedDoc>& docs,
+                             int vocab_size,
+                             const PhraseLdaOptions& options) {
+  const int k = options.num_topics;
+  const int v = vocab_size;
+  LATENT_CHECK_GT(k, 0);
+  LATENT_CHECK_GT(v, 0);
+  const double alpha = options.alpha > 0.0 ? options.alpha : 50.0 / k;
+  const double beta = options.beta;
+  const double v_beta = v * beta;
+  const int num_docs = static_cast<int>(docs.size());
+
+  Rng rng(options.seed);
+
+  // Count tables.
+  std::vector<std::vector<int>> n_zw(k, std::vector<int>(v, 0));
+  std::vector<long long> n_z(k, 0);
+  std::vector<std::vector<int>> n_dz(num_docs, std::vector<int>(k, 0));
+  std::vector<long long> n_d(num_docs, 0);
+
+  PhraseLdaResult result;
+  result.instance_topics.resize(num_docs);
+
+  // Random initialization.
+  for (int d = 0; d < num_docs; ++d) {
+    const SegmentedDoc& doc = docs[d];
+    result.instance_topics[d].resize(doc.num_instances());
+    for (int i = 0; i < doc.num_instances(); ++i) {
+      int z = rng.UniformInt(k);
+      result.instance_topics[d][i] = z;
+      for (int w : doc.phrases[i]) {
+        ++n_zw[z][w];
+        ++n_z[z];
+        ++n_dz[d][z];
+        ++n_d[d];
+      }
+    }
+  }
+
+  std::vector<double> prob(k);
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    for (int d = 0; d < num_docs; ++d) {
+      const SegmentedDoc& doc = docs[d];
+      for (int i = 0; i < doc.num_instances(); ++i) {
+        const std::vector<int>& words = doc.phrases[i];
+        const int len = static_cast<int>(words.size());
+        int old_z = result.instance_topics[d][i];
+        // Remove the instance.
+        for (int w : words) {
+          --n_zw[old_z][w];
+          --n_z[old_z];
+          --n_dz[d][old_z];
+          --n_d[d];
+        }
+        // Collapsed predictive: all tokens of the phrase share the topic.
+        for (int z = 0; z < k; ++z) {
+          double p = n_dz[d][z] + alpha;
+          // Sequential (Polya) factors handle repeated words in a phrase.
+          for (int t = 0; t < len; ++t) {
+            int c_prior = 0;
+            for (int u = 0; u < t; ++u) {
+              if (words[u] == words[t]) ++c_prior;
+            }
+            p *= (n_zw[z][words[t]] + beta + c_prior) / (n_z[z] + v_beta + t);
+          }
+          prob[z] = p;
+        }
+        int new_z = rng.Discrete(prob);
+        result.instance_topics[d][i] = new_z;
+        for (int w : words) {
+          ++n_zw[new_z][w];
+          ++n_z[new_z];
+          ++n_dz[d][new_z];
+          ++n_d[d];
+        }
+      }
+    }
+  }
+
+  // Posterior mean estimates.
+  FlatTopicModel& m = result.model;
+  m.num_topics = k;
+  m.vocab_size = v;
+  m.topic_word.assign(k, std::vector<double>(v, 0.0));
+  for (int z = 0; z < k; ++z) {
+    for (int w = 0; w < v; ++w) {
+      m.topic_word[z][w] = (n_zw[z][w] + beta) / (n_z[z] + v_beta);
+    }
+  }
+  m.doc_topic.assign(num_docs, std::vector<double>(k, 0.0));
+  for (int d = 0; d < num_docs; ++d) {
+    for (int z = 0; z < k; ++z) {
+      m.doc_topic[d][z] = (n_dz[d][z] + alpha) / (n_d[d] + k * alpha);
+    }
+  }
+  return result;
+}
+
+std::vector<SegmentedDoc> UnigramInstances(const text::Corpus& corpus) {
+  std::vector<SegmentedDoc> out(corpus.num_docs());
+  for (int d = 0; d < corpus.num_docs(); ++d) {
+    const text::Document& doc = corpus.docs()[d];
+    out[d].phrases.reserve(doc.size());
+    for (int w : doc.tokens) {
+      out[d].phrases.push_back({w});
+      out[d].phrase_ids.push_back(-1);
+    }
+  }
+  return out;
+}
+
+}  // namespace latent::phrase

@@ -1,0 +1,42 @@
+// Phrase-constrained LDA ("PhraseLDA", Section 4.3.3 / 4.4.3): collapsed
+// Gibbs sampling where all tokens of one phrase instance share a single
+// topic assignment. Plain LDA is the special case where every instance is a
+// unigram.
+#ifndef LATENT_PHRASE_PHRASE_LDA_H_
+#define LATENT_PHRASE_PHRASE_LDA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "phrase/segmenter.h"
+#include "phrase/topic_model.h"
+
+namespace latent::phrase {
+
+struct PhraseLdaOptions {
+  int num_topics = 10;
+  /// Symmetric Dirichlet prior on doc-topic mixtures; <= 0 means 50/K.
+  double alpha = 0.0;
+  /// Symmetric Dirichlet prior on topic-word distributions.
+  double beta = 0.01;
+  int iterations = 200;
+  uint64_t seed = 42;
+};
+
+struct PhraseLdaResult {
+  FlatTopicModel model;
+  /// instance_topics[d][i]: final topic of instance i of document d.
+  std::vector<std::vector<int>> instance_topics;
+};
+
+/// Fits phrase-constrained LDA over segmented documents. `vocab_size` is V.
+PhraseLdaResult FitPhraseLda(const std::vector<SegmentedDoc>& docs,
+                             int vocab_size, const PhraseLdaOptions& options);
+
+/// Convenience: treats every token of `corpus` as its own instance (plain
+/// LDA via the same sampler).
+std::vector<SegmentedDoc> UnigramInstances(const text::Corpus& corpus);
+
+}  // namespace latent::phrase
+
+#endif  // LATENT_PHRASE_PHRASE_LDA_H_

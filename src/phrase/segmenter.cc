@@ -1,0 +1,83 @@
+#include "phrase/segmenter.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace latent::phrase {
+
+double MergeSignificance(long long count1, long long count2,
+                         long long count_joint, double total_tokens) {
+  if (count_joint <= 0 || total_tokens <= 0.0) return -1e30;
+  double p1 = static_cast<double>(count1) / total_tokens;
+  double p2 = static_cast<double>(count2) / total_tokens;
+  double mu0 = total_tokens * p1 * p2;
+  return (static_cast<double>(count_joint) - mu0) /
+         std::sqrt(static_cast<double>(count_joint));
+}
+
+namespace {
+
+// Segments one contiguous token run [begin, end) of `doc`.
+void SegmentRun(const std::vector<int>& tokens, int begin, int end,
+                PhraseDict* dict, double total_tokens,
+                double significance_threshold, SegmentedDoc* out) {
+  // Current units, each a dict phrase. Start from unigrams.
+  std::vector<std::vector<int>> units;
+  units.reserve(end - begin);
+  for (int i = begin; i < end; ++i) units.push_back({tokens[i]});
+
+  while (units.size() > 1) {
+    // Find the adjacent pair with the highest merge significance.
+    double best_sig = -1e30;
+    int best = -1;
+    std::vector<int> merged, best_merged;
+    for (size_t i = 0; i + 1 < units.size(); ++i) {
+      merged = units[i];
+      merged.insert(merged.end(), units[i + 1].begin(), units[i + 1].end());
+      long long joint = dict->CountOf(merged);
+      if (joint <= 0) continue;  // not a frequent phrase: never merged
+      double sig = MergeSignificance(dict->CountOf(units[i]),
+                                     dict->CountOf(units[i + 1]), joint,
+                                     total_tokens);
+      if (sig > best_sig) {
+        best_sig = sig;
+        best = static_cast<int>(i);
+        best_merged = merged;
+      }
+    }
+    if (best < 0 || best_sig < significance_threshold) break;
+    units[best] = std::move(best_merged);
+    units.erase(units.begin() + best + 1);
+  }
+
+  for (std::vector<int>& u : units) {
+    out->phrase_ids.push_back(dict->Intern(u));
+    out->phrases.push_back(std::move(u));
+  }
+}
+
+}  // namespace
+
+std::vector<SegmentedDoc> SegmentCorpus(const text::Corpus& corpus,
+                                        PhraseDict* dict,
+                                        const SegmenterOptions& options) {
+  LATENT_CHECK(dict != nullptr);
+  const double total_tokens =
+      static_cast<double>(std::max<long long>(corpus.total_tokens(), 1));
+  std::vector<SegmentedDoc> out(corpus.num_docs());
+  for (int d = 0; d < corpus.num_docs(); ++d) {
+    const text::Document& doc = corpus.docs()[d];
+    for (size_t s = 0; s < doc.segment_starts.size(); ++s) {
+      int begin = doc.segment_starts[s];
+      int end = (s + 1 < doc.segment_starts.size()) ? doc.segment_starts[s + 1]
+                                                    : doc.size();
+      if (begin < end) {
+        SegmentRun(doc.tokens, begin, end, dict, total_tokens,
+                   options.significance_threshold, &out[d]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace latent::phrase

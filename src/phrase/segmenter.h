@@ -1,0 +1,45 @@
+// Bottom-up agglomerative document segmentation (Algorithm 2, Section
+// 4.3.2): greedily merges adjacent phrase instances whose merge has the
+// highest statistical significance (Eq. 4.7), inducing a "bag of phrases"
+// partition of each document.
+#ifndef LATENT_PHRASE_SEGMENTER_H_
+#define LATENT_PHRASE_SEGMENTER_H_
+
+#include <vector>
+
+#include "phrase/phrase_dict.h"
+#include "text/corpus.h"
+
+namespace latent::phrase {
+
+struct SegmenterOptions {
+  /// Significance threshold alpha for merging (standard deviations above
+  /// the independence null, Eq. 4.7).
+  double significance_threshold = 3.0;
+};
+
+/// One document as a sequence of phrase instances; phrase_ids[i] is the
+/// PhraseDict id of instance i (every instance is in the dict because
+/// merging only produces dict phrases and unigrams are interned).
+struct SegmentedDoc {
+  std::vector<std::vector<int>> phrases;
+  std::vector<int> phrase_ids;
+
+  int num_instances() const { return static_cast<int>(phrases.size()); }
+};
+
+/// Significance of merging two phrases (Eq. 4.7): the number of standard
+/// deviations the observed joint count sits above the independence
+/// expectation. `total_tokens` is L, the corpus token count.
+double MergeSignificance(long long count1, long long count2,
+                         long long count_joint, double total_tokens);
+
+/// Segments every document. `dict` must come from MineFrequentPhrases on
+/// the same corpus (unigram entries are added for unseen words as needed).
+std::vector<SegmentedDoc> SegmentCorpus(const text::Corpus& corpus,
+                                        PhraseDict* dict,
+                                        const SegmenterOptions& options);
+
+}  // namespace latent::phrase
+
+#endif  // LATENT_PHRASE_SEGMENTER_H_

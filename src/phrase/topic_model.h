@@ -1,0 +1,22 @@
+// Flat topic-model result shared by PhraseLDA, the LDA baseline, TNG, and
+// the spectral STROD inference.
+#ifndef LATENT_PHRASE_TOPIC_MODEL_H_
+#define LATENT_PHRASE_TOPIC_MODEL_H_
+
+#include <vector>
+
+namespace latent::phrase {
+
+/// K flat topics over a vocabulary of V words, with per-document mixtures.
+struct FlatTopicModel {
+  int num_topics = 0;
+  int vocab_size = 0;
+  /// topic_word[z][w] = phi_z(w), each row a distribution over words.
+  std::vector<std::vector<double>> topic_word;
+  /// doc_topic[d][z] = theta_d(z), each row a distribution over topics.
+  std::vector<std::vector<double>> doc_topic;
+};
+
+}  // namespace latent::phrase
+
+#endif  // LATENT_PHRASE_TOPIC_MODEL_H_

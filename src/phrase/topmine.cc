@@ -1,0 +1,83 @@
+#include "phrase/topmine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace latent::phrase {
+
+double TopicalPhraseScore(double p_topic, double p_global) {
+  return PointwiseKl(p_topic, p_global);
+}
+
+TopMineResult RunTopMine(const text::Corpus& corpus,
+                         const TopMineOptions& options, size_t top_k) {
+  TopMineResult r;
+  r.dict = MineFrequentPhrases(corpus, options.miner);
+  r.segmented = SegmentCorpus(corpus, &r.dict, options.segmenter);
+  r.lda = FitPhraseLda(r.segmented, corpus.vocab_size(), options.lda);
+
+  const int k = options.lda.num_topics;
+  const int num_phrases = r.dict.size();
+
+  // Phrase-topic counts from the final Gibbs state.
+  r.phrase_topic_counts.assign(num_phrases, std::vector<double>(k, 0.0));
+  std::vector<double> topic_total(k, 0.0);
+  std::vector<double> phrase_total(num_phrases, 0.0);
+  double grand_total = 0.0;
+  for (size_t d = 0; d < r.segmented.size(); ++d) {
+    const SegmentedDoc& doc = r.segmented[d];
+    for (int i = 0; i < doc.num_instances(); ++i) {
+      int p = doc.phrase_ids[i];
+      int z = r.lda.instance_topics[d][i];
+      r.phrase_topic_counts[p][z] += 1.0;
+      topic_total[z] += 1.0;
+      phrase_total[p] += 1.0;
+      grand_total += 1.0;
+    }
+  }
+  if (grand_total <= 0.0) grand_total = 1.0;
+
+  // Precompute each phrase's best-split significance (floored at 1 so the
+  // log bonus is never negative).
+  const double total_tokens =
+      static_cast<double>(std::max<long long>(corpus.total_tokens(), 1));
+  std::vector<double> log_sig(num_phrases, 0.0);
+  std::vector<int> left, right;
+  for (int p = 0; p < num_phrases; ++p) {
+    const std::vector<int>& words = r.dict.Words(p);
+    if (words.size() < 2) continue;
+    double best = 1.0;
+    for (size_t cut = 1; cut < words.size(); ++cut) {
+      left.assign(words.begin(), words.begin() + cut);
+      right.assign(words.begin() + cut, words.end());
+      long long cl = r.dict.CountOf(left);
+      long long cr = r.dict.CountOf(right);
+      if (cl <= 0 || cr <= 0) continue;
+      best = std::max(best, MergeSignificance(cl, cr, r.dict.Count(p),
+                                              total_tokens));
+    }
+    log_sig[p] = std::log(std::max(best, 1.0));
+  }
+
+  r.topics.resize(k);
+  for (int z = 0; z < k; ++z) {
+    std::vector<Scored<int>> scores;
+    for (int p = 0; p < num_phrases; ++p) {
+      double c = r.phrase_topic_counts[p][z];
+      if (c <= 0.0 || phrase_total[p] < options.min_instances) continue;
+      double p_topic = c / std::max(topic_total[z], 1.0);
+      double p_global = phrase_total[p] / grand_total;
+      double score = (1.0 - options.omega) *
+                         TopicalPhraseScore(p_topic, p_global) +
+                     options.omega * p_topic * log_sig[p];
+      scores.emplace_back(p, score);
+    }
+    r.topics[z].phrases = TopK(std::move(scores), top_k);
+    r.topics[z].unigrams = TopKDense(r.lda.model.topic_word[z], top_k);
+  }
+  return r;
+}
+
+}  // namespace latent::phrase

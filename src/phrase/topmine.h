@@ -1,0 +1,54 @@
+// ToPMine (Section 4.3): end-to-end topical phrase mining for general text.
+// Pipeline: frequent phrase mining (Alg. 1) -> significance-guided
+// segmentation (Alg. 2) -> phrase-constrained LDA -> topical phrase ranking
+// by pointwise KL (Eq. 4.8/4.9).
+#ifndef LATENT_PHRASE_TOPMINE_H_
+#define LATENT_PHRASE_TOPMINE_H_
+
+#include <vector>
+
+#include "common/top_k.h"
+#include "phrase/frequent_miner.h"
+#include "phrase/phrase_lda.h"
+#include "phrase/segmenter.h"
+
+namespace latent::phrase {
+
+struct TopMineOptions {
+  MinerOptions miner;
+  SegmenterOptions segmenter;
+  PhraseLdaOptions lda;
+  /// Weight of the significance bonus in the final ranking (Eq. 4.9 tail).
+  double omega = 0.25;
+  /// Minimum number of phrase instances for a phrase to be ranked (rare
+  /// phrases make the pointwise-KL estimate unreliable).
+  double min_instances = 5.0;
+};
+
+struct TopMineTopic {
+  /// Ranked multi-word (and unigram) phrases: (phrase id, score).
+  std::vector<Scored<int>> phrases;
+  /// Most probable unigrams under the topic-word distribution.
+  std::vector<Scored<int>> unigrams;
+};
+
+struct TopMineResult {
+  PhraseDict dict;
+  std::vector<SegmentedDoc> segmented;
+  PhraseLdaResult lda;
+  std::vector<TopMineTopic> topics;
+  /// phrase_topic_counts[p][z]: instances of dict phrase p assigned topic z.
+  std::vector<std::vector<double>> phrase_topic_counts;
+};
+
+/// Runs the full pipeline and ranks the top `top_k` phrases per topic.
+TopMineResult RunTopMine(const text::Corpus& corpus,
+                         const TopMineOptions& options, size_t top_k = 20);
+
+/// Ranking score of Eq. (4.9): r_t(P) = p(P|t) * log(p(P|t) / p(P)), the
+/// pointwise KL between the topical and global phrase probabilities.
+double TopicalPhraseScore(double p_topic, double p_global);
+
+}  // namespace latent::phrase
+
+#endif  // LATENT_PHRASE_TOPMINE_H_

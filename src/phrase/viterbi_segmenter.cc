@@ -1,0 +1,89 @@
+#include "phrase/viterbi_segmenter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace latent::phrase {
+
+double ViterbiPhraseScore(const PhraseDict& dict, int phrase_id,
+                          double total_tokens, double phrase_penalty) {
+  const std::vector<int>& words = dict.Words(phrase_id);
+  double score = SafeLog(static_cast<double>(dict.Count(phrase_id)));
+  for (int w : words) {
+    score -= SafeLog(static_cast<double>(dict.CountOf({w})));
+  }
+  score += (static_cast<double>(words.size()) - 1.0) * SafeLog(total_tokens);
+  return score - phrase_penalty;
+}
+
+namespace {
+
+void SegmentRun(const std::vector<int>& tokens, int begin, int end,
+                PhraseDict* dict, double total_tokens,
+                const ViterbiOptions& options, SegmentedDoc* out) {
+  const int n = end - begin;
+  if (n <= 0) return;
+  // best[i] = max score of a partition of tokens[begin, begin+i).
+  std::vector<double> best(n + 1, -1e300);
+  std::vector<int> back(n + 1, -1);  // length of the last phrase
+  best[0] = 0.0;
+  std::vector<int> window;
+  for (int i = 0; i < n; ++i) {
+    if (best[i] <= -1e299) continue;
+    window.clear();
+    for (int len = 1; len <= options.max_length && i + len <= n; ++len) {
+      window.push_back(tokens[begin + i + len - 1]);
+      int id = len == 1 ? dict->Intern(window) : dict->Lookup(window);
+      if (id < 0) continue;  // not a mined phrase
+      double score =
+          best[i] +
+          ViterbiPhraseScore(*dict, id, total_tokens, options.phrase_penalty);
+      if (score > best[i + len]) {
+        best[i + len] = score;
+        back[i + len] = len;
+      }
+    }
+  }
+  // Backtrack.
+  std::vector<int> lengths;
+  int pos = n;
+  while (pos > 0) {
+    LATENT_CHECK_GT(back[pos], 0);
+    lengths.push_back(back[pos]);
+    pos -= back[pos];
+  }
+  std::reverse(lengths.begin(), lengths.end());
+  int cur = begin;
+  for (int len : lengths) {
+    std::vector<int> phrase(tokens.begin() + cur, tokens.begin() + cur + len);
+    out->phrase_ids.push_back(dict->Intern(phrase));
+    out->phrases.push_back(std::move(phrase));
+    cur += len;
+  }
+}
+
+}  // namespace
+
+std::vector<SegmentedDoc> ViterbiSegmentCorpus(const text::Corpus& corpus,
+                                               PhraseDict* dict,
+                                               const ViterbiOptions& options) {
+  LATENT_CHECK(dict != nullptr);
+  const double total_tokens =
+      static_cast<double>(std::max<long long>(corpus.total_tokens(), 1));
+  std::vector<SegmentedDoc> out(corpus.num_docs());
+  for (int d = 0; d < corpus.num_docs(); ++d) {
+    const text::Document& doc = corpus.docs()[d];
+    for (size_t s = 0; s < doc.segment_starts.size(); ++s) {
+      int begin = doc.segment_starts[s];
+      int end = (s + 1 < doc.segment_starts.size()) ? doc.segment_starts[s + 1]
+                                                    : doc.size();
+      SegmentRun(doc.tokens, begin, end, dict, total_tokens, options, &out[d]);
+    }
+  }
+  return out;
+}
+
+}  // namespace latent::phrase

@@ -1,0 +1,41 @@
+// Dynamic-programming (Viterbi) document segmentation: the globally
+// optimal "bag of phrases" partition under an additive per-phrase score,
+// as an alternative to the greedy agglomerative merging of Algorithm 2.
+// The default score rewards frequent, significant phrases and charges a
+// per-phrase penalty, so longer well-supported phrases win exactly when
+// their joint evidence beats splitting.
+#ifndef LATENT_PHRASE_VITERBI_SEGMENTER_H_
+#define LATENT_PHRASE_VITERBI_SEGMENTER_H_
+
+#include <vector>
+
+#include "phrase/phrase_dict.h"
+#include "phrase/segmenter.h"
+#include "text/corpus.h"
+
+namespace latent::phrase {
+
+struct ViterbiOptions {
+  /// Per-phrase penalty lambda: each emitted phrase costs this much, so a
+  /// merge must gain at least lambda of log-evidence to be preferred.
+  double phrase_penalty = 2.0;
+  /// Longest phrase considered.
+  int max_length = 6;
+};
+
+/// Score of emitting `phrase` (dict id) under the unigram-product null:
+/// log f(P) - sum_v log f(v) + (|P|-1) log L  (log of the lift of the
+/// phrase over independent unigrams), minus the phrase penalty.
+double ViterbiPhraseScore(const PhraseDict& dict, int phrase_id,
+                          double total_tokens, double phrase_penalty);
+
+/// Segments every document into the max-score partition; phrases must be
+/// dict entries (unigrams are interned on demand like the greedy
+/// segmenter).
+std::vector<SegmentedDoc> ViterbiSegmentCorpus(const text::Corpus& corpus,
+                                               PhraseDict* dict,
+                                               const ViterbiOptions& options);
+
+}  // namespace latent::phrase
+
+#endif  // LATENT_PHRASE_VITERBI_SEGMENTER_H_

@@ -1,0 +1,76 @@
+#include "relation/collab_network.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace latent::relation {
+
+double CumulativeCount(const YearSeries& series, int year) {
+  double total = 0.0;
+  for (const auto& [y, c] : series) {
+    if (y > year) break;
+    total += c;
+  }
+  return total;
+}
+
+int FirstYear(const YearSeries& series) {
+  if (series.empty()) return std::numeric_limits<int>::max();
+  return series.begin()->first;
+}
+
+int LastYear(const YearSeries& series) {
+  if (series.empty()) return std::numeric_limits<int>::min();
+  return series.rbegin()->first;
+}
+
+void CollabNetwork::AddPaper(int year, const std::vector<int>& authors) {
+  for (int a : authors) {
+    LATENT_CHECK_GE(a, 0);
+    LATENT_CHECK_LT(a, num_authors());
+    authors_[a][year] += 1.0;
+  }
+  for (size_t p = 0; p < authors.size(); ++p) {
+    for (size_t q = p + 1; q < authors.size(); ++q) {
+      int a = std::min(authors[p], authors[q]);
+      int b = std::max(authors[p], authors[q]);
+      if (a == b) continue;
+      auto key = std::make_pair(a, b);
+      auto it = edge_index_.find(key);
+      if (it == edge_index_.end()) {
+        it = edge_index_.emplace(key, static_cast<int>(edges_.size())).first;
+        edges_.push_back(CoauthorEdge{a, b, {}});
+      }
+      edges_[it->second].joint[year] += 1.0;
+    }
+  }
+}
+
+const CoauthorEdge* CollabNetwork::FindEdge(int a, int b) const {
+  if (a > b) std::swap(a, b);
+  auto it = edge_index_.find(std::make_pair(a, b));
+  return it == edge_index_.end() ? nullptr : &edges_[it->second];
+}
+
+double CollabNetwork::Kulczynski(int i, int j, int year) const {
+  const CoauthorEdge* e = FindEdge(i, j);
+  if (e == nullptr) return 0.0;
+  double joint = CumulativeCount(e->joint, year);
+  double ni = CumulativeCount(authors_[i], year);
+  double nj = CumulativeCount(authors_[j], year);
+  if (joint <= 0.0 || ni <= 0.0 || nj <= 0.0) return 0.0;
+  return 0.5 * joint * (1.0 / ni + 1.0 / nj);
+}
+
+double CollabNetwork::ImbalanceRatio(int i, int j, int year) const {
+  const CoauthorEdge* e = FindEdge(i, j);
+  if (e == nullptr) return 0.0;
+  double joint = CumulativeCount(e->joint, year);
+  double ni = CumulativeCount(authors_[i], year);
+  double nj = CumulativeCount(authors_[j], year);
+  double denom = ni + nj - joint;
+  if (denom <= 0.0) return 0.0;
+  return (nj - ni) / denom;
+}
+
+}  // namespace latent::relation

@@ -1,0 +1,69 @@
+// Temporal collaboration network (Section 6.1.1): authors with per-year
+// publication counts, and coauthor edges with per-year coauthored paper
+// counts. Built incrementally from (year, author-list) paper records.
+#ifndef LATENT_RELATION_COLLAB_NETWORK_H_
+#define LATENT_RELATION_COLLAB_NETWORK_H_
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace latent::relation {
+
+/// A sparse year -> count series (pub years py and pub numbers pn).
+using YearSeries = std::map<int, double>;
+
+/// Sums counts for years <= t.
+double CumulativeCount(const YearSeries& series, int year);
+
+/// First year with a positive count, or a large sentinel if empty.
+int FirstYear(const YearSeries& series);
+
+/// Last year with a positive count, or a small sentinel if empty.
+int LastYear(const YearSeries& series);
+
+/// Collaboration history between one author pair.
+struct CoauthorEdge {
+  int a = -1;  // a < b
+  int b = -1;
+  YearSeries joint;  // coauthored papers per year
+};
+
+/// The homogeneous author network G of Section 6.1.1.
+class CollabNetwork {
+ public:
+  explicit CollabNetwork(int num_authors) : authors_(num_authors) {}
+
+  /// Registers one paper published in `year` by `authors` (author ids).
+  void AddPaper(int year, const std::vector<int>& authors);
+
+  int num_authors() const { return static_cast<int>(authors_.size()); }
+
+  /// Per-author publication series py_i / pn_i.
+  const YearSeries& author_series(int a) const { return authors_[a]; }
+
+  /// All coauthor edges (each unordered pair once).
+  const std::vector<CoauthorEdge>& edges() const { return edges_; }
+
+  /// Edge between a and b, or nullptr.
+  const CoauthorEdge* FindEdge(int a, int b) const;
+
+  /// Kulczynski measure kulc^t_ij (Eq. 6.1) between i and j cumulated to
+  /// year t. Returns 0 if either author has no papers by t.
+  double Kulczynski(int i, int j, int year) const;
+
+  /// Imbalance ratio IR^t_ij (Eq. 6.2), positive when j (the candidate
+  /// advisor) has more cumulative papers than i by year t.
+  double ImbalanceRatio(int i, int j, int year) const;
+
+ private:
+  std::vector<YearSeries> authors_;
+  std::vector<CoauthorEdge> edges_;
+  std::map<std::pair<int, int>, int> edge_index_;
+};
+
+}  // namespace latent::relation
+
+#endif  // LATENT_RELATION_COLLAB_NETWORK_H_

@@ -1,0 +1,123 @@
+#include "relation/crf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+
+namespace latent::relation {
+
+std::vector<double> RelationCrf::Features(const CollabNetwork& net,
+                                          const CandidateDag& dag, int advisee,
+                                          int cand_index) {
+  const Candidate& c = dag.candidates[advisee][cand_index];
+  std::vector<double> f(kNumFeatures, 0.0);
+  f[0] = 1.0;  // bias
+  if (c.advisor < 0) {
+    f[7] = 1.0;  // virtual root indicator
+    return f;
+  }
+  f[1] = c.likelihood;
+  // Average Kulczynski / IR over the advising period.
+  double kulc = 0.0, ir = 0.0;
+  int years = 0;
+  for (int y = c.start_year; y <= c.end_year; ++y) {
+    kulc += net.Kulczynski(advisee, c.advisor, y);
+    ir += net.ImbalanceRatio(advisee, c.advisor, y);
+    ++years;
+  }
+  if (years > 0) {
+    f[2] = kulc / years;
+    f[3] = ir / years;
+  }
+  f[4] = static_cast<double>(c.end_year - c.start_year + 1) / 10.0;
+  const CoauthorEdge* e = net.FindEdge(advisee, c.advisor);
+  double joint = e == nullptr ? 0.0 : CumulativeCount(e->joint, c.end_year);
+  f[5] = std::log1p(joint);
+  int gap = FirstYear(net.author_series(advisee)) -
+            FirstYear(net.author_series(c.advisor));
+  f[6] = std::min(std::max(gap, 0), 30) / 10.0;
+  return f;
+}
+
+void RelationCrf::Train(const CollabNetwork& net, const CandidateDag& dag,
+                        const std::vector<int>& train_authors,
+                        const std::vector<int>& labels,
+                        const CrfOptions& options) {
+  // Pre-extract features and gold candidate indices.
+  struct Example {
+    std::vector<std::vector<double>> feats;  // per candidate
+    int gold = -1;                           // candidate index of the label
+  };
+  std::vector<Example> examples;
+  for (int i : train_authors) {
+    Example ex;
+    int gold = -1;
+    for (size_t c = 0; c < dag.candidates[i].size(); ++c) {
+      ex.feats.push_back(Features(net, dag, i, static_cast<int>(c)));
+      if (dag.candidates[i][c].advisor == labels[i]) {
+        gold = static_cast<int>(c);
+      }
+    }
+    // Skip authors whose true advisor is not in the candidate set (the
+    // preprocessing recall bound; evaluated separately).
+    if (gold < 0) continue;
+    ex.gold = gold;
+    examples.push_back(std::move(ex));
+  }
+  if (examples.empty()) return;
+
+  weights_.assign(kNumFeatures, 0.0);
+  std::vector<double> grad(kNumFeatures);
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    for (const Example& ex : examples) {
+      // Softmax over candidates.
+      std::vector<double> logits(ex.feats.size());
+      for (size_t c = 0; c < ex.feats.size(); ++c) {
+        logits[c] = Dot(weights_, ex.feats[c]);
+      }
+      double lse = LogSumExp(logits);
+      for (size_t c = 0; c < ex.feats.size(); ++c) {
+        double p = std::exp(logits[c] - lse);
+        double coeff = (static_cast<int>(c) == ex.gold ? 1.0 : 0.0) - p;
+        for (int f = 0; f < kNumFeatures; ++f) {
+          grad[f] += coeff * ex.feats[c][f];
+        }
+      }
+    }
+    double scale = options.learning_rate / examples.size();
+    for (int f = 0; f < kNumFeatures; ++f) {
+      weights_[f] += scale * (grad[f] - options.l2 * weights_[f]);
+    }
+  }
+}
+
+std::vector<std::vector<double>> RelationCrf::UnaryPotentials(
+    const CollabNetwork& net, const CandidateDag& dag) const {
+  std::vector<std::vector<double>> unaries(dag.candidates.size());
+  for (size_t i = 0; i < dag.candidates.size(); ++i) {
+    std::vector<double> logits(dag.candidates[i].size());
+    for (size_t c = 0; c < dag.candidates[i].size(); ++c) {
+      logits[c] = Dot(weights_, Features(net, dag, static_cast<int>(i),
+                                         static_cast<int>(c)));
+    }
+    double lse = LogSumExp(logits);
+    unaries[i].resize(logits.size());
+    for (size_t c = 0; c < logits.size(); ++c) {
+      unaries[i][c] = std::exp(logits[c] - lse);
+    }
+  }
+  return unaries;
+}
+
+TpfgResult RelationCrf::Infer(const CollabNetwork& net,
+                              const CandidateDag& dag,
+                              const TpfgOptions& options) const {
+  std::vector<std::vector<double>> unaries = UnaryPotentials(net, dag);
+  return RunTpfg(dag, options, &unaries);
+}
+
+}  // namespace latent::relation

@@ -1,0 +1,84 @@
+#include "relation/genealogy.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace latent::relation {
+
+Genealogy::Genealogy(const std::vector<int>& predicted_advisor)
+    : parent_(predicted_advisor) {
+  const int n = num_authors();
+  // Break cycles: walk up from every node, marking nodes with the walk's
+  // start; re-entering a node marked by the SAME walk means a cycle, which
+  // is broken by detaching that node's parent edge. (TPFG predictions are
+  // acyclic by construction; this guards arbitrary caller input.)
+  std::vector<int> mark(n, -1);
+  for (int start = 0; start < n; ++start) {
+    int cur = start;
+    while (cur >= 0 && mark[cur] == -1) {
+      mark[cur] = start;
+      cur = parent_[cur];
+    }
+    if (cur >= 0 && mark[cur] == start) parent_[cur] = -1;
+  }
+  children_.resize(n);
+  for (int i = 0; i < n; ++i) {
+    if (parent_[i] >= 0) {
+      LATENT_CHECK_LT(parent_[i], n);
+      children_[parent_[i]].push_back(i);
+    } else {
+      roots_.push_back(i);
+    }
+  }
+  // Generations by BFS from roots.
+  generation_.assign(n, 0);
+  std::vector<int> queue = roots_;
+  for (size_t q = 0; q < queue.size(); ++q) {
+    int cur = queue[q];
+    for (int c : children_[cur]) {
+      generation_[c] = generation_[cur] + 1;
+      queue.push_back(c);
+    }
+  }
+}
+
+int Genealogy::Generation(int author) const {
+  LATENT_CHECK_GE(author, 0);
+  LATENT_CHECK_LT(author, num_authors());
+  return generation_[author];
+}
+
+std::vector<int> Genealogy::Descendants(int author) const {
+  std::vector<int> out, stack = {author};
+  while (!stack.empty()) {
+    int cur = stack.back();
+    stack.pop_back();
+    for (int c : children_[cur]) {
+      out.push_back(c);
+      stack.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string Genealogy::ToDot(const std::function<std::string(int)>& namer,
+                             int root) const {
+  std::string out = "digraph genealogy {\n  rankdir=TB;\n";
+  auto emit = [&](int advisee) {
+    out += "  \"" + namer(parent_[advisee]) + "\" -> \"" + namer(advisee) +
+           "\";\n";
+  };
+  if (root >= 0) {
+    out += "  \"" + namer(root) + "\";\n";
+    for (int d : Descendants(root)) emit(d);
+  } else {
+    for (int i = 0; i < num_authors(); ++i) {
+      if (parent_[i] >= 0) emit(i);
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace latent::relation

@@ -1,0 +1,52 @@
+// Genealogy utilities: turn per-author advisor predictions into an
+// explicit forest, query subtrees/generations, and export GraphViz DOT for
+// visualization (the chronological hierarchies of Figure 6.2's right
+// panel).
+#ifndef LATENT_RELATION_GENEALOGY_H_
+#define LATENT_RELATION_GENEALOGY_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "relation/tpfg.h"
+#include "relation/tpfg_preprocess.h"
+
+namespace latent::relation {
+
+/// A materialized advising forest.
+class Genealogy {
+ public:
+  /// Builds from predictions (advisor id per author, -1 = root). Any cycle
+  /// (impossible from TPFG but possible from arbitrary inputs) is broken by
+  /// detaching the entering edge.
+  explicit Genealogy(const std::vector<int>& predicted_advisor);
+
+  int num_authors() const { return static_cast<int>(parent_.size()); }
+  int parent(int author) const { return parent_[author]; }
+  const std::vector<int>& children(int author) const {
+    return children_[author];
+  }
+  const std::vector<int>& roots() const { return roots_; }
+
+  /// Academic generation: 0 for roots, parent's + 1 otherwise.
+  int Generation(int author) const;
+
+  /// All descendants of `author` (excluding the author), DFS order.
+  std::vector<int> Descendants(int author) const;
+
+  /// GraphViz DOT of the whole forest (or of one subtree when `root` >= 0),
+  /// with labels supplied by `namer`.
+  std::string ToDot(const std::function<std::string(int)>& namer,
+                    int root = -1) const;
+
+ private:
+  std::vector<int> parent_;
+  std::vector<std::vector<int>> children_;
+  std::vector<int> roots_;
+  std::vector<int> generation_;
+};
+
+}  // namespace latent::relation
+
+#endif  // LATENT_RELATION_GENEALOGY_H_

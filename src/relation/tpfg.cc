@@ -1,0 +1,250 @@
+#include "relation/tpfg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace latent::relation {
+
+namespace {
+
+// Advisee x of factor-owner i, with the advising start year st_xi and the
+// index of i within x's candidate list.
+struct AdviseeRef {
+  int x;
+  int cand_index_in_x;
+  int start_year;
+};
+
+// Normalizes a message so its maximum is 1 (max-product invariance).
+void NormalizeMax(std::vector<double>* m) {
+  double mx = 0.0;
+  for (double v : *m) mx = std::max(mx, v);
+  if (mx <= 0.0) {
+    std::fill(m->begin(), m->end(), 1.0);
+    return;
+  }
+  for (double& v : *m) v /= mx;
+}
+
+}  // namespace
+
+TpfgResult RunTpfg(const CandidateDag& dag, const TpfgOptions& options,
+                   const std::vector<std::vector<double>>* priors) {
+  const int n = static_cast<int>(dag.candidates.size());
+  const int kNoConstraint = std::numeric_limits<int>::min();
+
+  // Local likelihoods g(i, j).
+  std::vector<std::vector<double>> g(n);
+  for (int i = 0; i < n; ++i) {
+    if (priors != nullptr) {
+      g[i] = (*priors)[i];
+      LATENT_CHECK_EQ(g[i].size(), dag.candidates[i].size());
+    } else {
+      g[i].reserve(dag.candidates[i].size());
+      for (const Candidate& c : dag.candidates[i]) {
+        g[i].push_back(c.likelihood);
+      }
+    }
+  }
+
+  // Advisees of each author (reverse candidate index) and candidate end
+  // years (virtual root -> no constraint).
+  std::vector<std::vector<AdviseeRef>> advisees(n);
+  std::vector<std::vector<int>> cand_end(n);
+  for (int x = 0; x < n; ++x) {
+    cand_end[x].resize(dag.candidates[x].size());
+    for (size_t c = 0; c < dag.candidates[x].size(); ++c) {
+      const Candidate& cand = dag.candidates[x][c];
+      cand_end[x][c] =
+          cand.advisor < 0 ? kNoConstraint : cand.end_year;
+      if (cand.advisor >= 0) {
+        advisees[cand.advisor].push_back(
+            {x, static_cast<int>(c), cand.start_year});
+      }
+    }
+  }
+
+  // Messages. For variable y_x the neighboring factors are f_x itself and
+  // f_i for every real candidate advisor i. We store factor->variable
+  // messages; variable->factor messages are rebuilt as leave-one-out
+  // products.
+  //   msg_self[x]          : f_x -> y_x
+  //   msg_up[i][a]         : f_i -> y_x (a-th advisee of i), domain of y_x
+  std::vector<std::vector<double>> msg_self(n);
+  std::vector<std::vector<std::vector<double>>> msg_up(n);
+  for (int i = 0; i < n; ++i) {
+    msg_self[i].assign(dag.candidates[i].size(), 1.0);
+    msg_up[i].resize(advisees[i].size());
+    for (size_t a = 0; a < advisees[i].size(); ++a) {
+      msg_up[i][a].assign(dag.candidates[advisees[i][a].x].size(), 1.0);
+    }
+  }
+  // For the leave-one-out products we need, for variable x, the message
+  // from each candidate-advisor factor f_i. Map (x, cand index) -> message
+  // location (i, a).
+  struct UpRef {
+    int i = -1;
+    int a = -1;
+  };
+  std::vector<std::vector<UpRef>> up_ref(n);
+  for (int x = 0; x < n; ++x) up_ref[x].resize(dag.candidates[x].size());
+  for (int i = 0; i < n; ++i) {
+    for (size_t a = 0; a < advisees[i].size(); ++a) {
+      up_ref[advisees[i][a].x][advisees[i][a].cand_index_in_x] = {
+          i, static_cast<int>(a)};
+    }
+  }
+
+  // Variable -> factor message for y_x excluding factor `skip` (-2 means
+  // exclude f_x itself; otherwise skip is the candidate index whose factor
+  // message is excluded).
+  auto var_message = [&](int x, int skip_cand) {
+    std::vector<double> m(dag.candidates[x].size(), 1.0);
+    if (skip_cand != -2) {
+      for (size_t v = 0; v < m.size(); ++v) m[v] *= msg_self[x][v];
+    }
+    for (size_t c = 0; c < dag.candidates[x].size(); ++c) {
+      if (static_cast<int>(c) == skip_cand) continue;
+      const UpRef& r = up_ref[x][c];
+      if (r.i < 0) continue;
+      const std::vector<double>& up = msg_up[r.i][r.a];
+      for (size_t v = 0; v < m.size(); ++v) m[v] *= up[v];
+    }
+    NormalizeMax(&m);
+    return m;
+  };
+
+  for (int iter = 0; iter < options.max_iters; ++iter) {
+    double max_delta = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const size_t d_i = dag.candidates[i].size();
+      const size_t n_adv = advisees[i].size();
+
+      // Incoming variable messages from each advisee (excluding f_i).
+      std::vector<std::vector<double>> in_msgs(n_adv);
+      // A_w = max over values != i; M_w = value at y_w = i.
+      std::vector<double> a_max(n_adv), at_i(n_adv);
+      for (size_t a = 0; a < n_adv; ++a) {
+        const AdviseeRef& ref = advisees[i][a];
+        in_msgs[a] = var_message(ref.x, ref.cand_index_in_x);
+        double mx = 0.0;
+        for (size_t v = 0; v < in_msgs[a].size(); ++v) {
+          if (static_cast<int>(v) == ref.cand_index_in_x) continue;
+          mx = std::max(mx, in_msgs[a][v]);
+        }
+        a_max[a] = mx;
+        at_i[a] = in_msgs[a][ref.cand_index_in_x];
+      }
+
+      // term_w(j) = max(A_w, allowed ? at_i[w] : 0); precompute products.
+      // allowed(i, j, w) := ed_ij < st_{w,i}.
+      std::vector<double> term(n_adv);
+      std::vector<double> new_self(d_i);
+      // For the advisee-directed messages we need, for each j, the product
+      // over w != a. Compute per j with prefix/suffix products.
+      std::vector<std::vector<double>> terms_by_j(d_i,
+                                                  std::vector<double>(n_adv));
+      for (size_t j = 0; j < d_i; ++j) {
+        double prod = g[i][j];
+        for (size_t w = 0; w < n_adv; ++w) {
+          bool allowed = cand_end[i][j] < advisees[i][w].start_year ||
+                         cand_end[i][j] == kNoConstraint;
+          double t = std::max(a_max[w], allowed ? at_i[w] : 0.0);
+          terms_by_j[j][w] = t;
+          prod *= t;
+        }
+        new_self[j] = prod;
+      }
+      NormalizeMax(&new_self);
+      for (size_t j = 0; j < d_i; ++j) {
+        max_delta = std::max(max_delta, std::abs(new_self[j] - msg_self[i][j]));
+      }
+      msg_self[i] = new_self;
+
+      if (n_adv == 0) continue;
+      // Message from f_i to each advisee variable y_x. Includes the
+      // variable message from y_i to f_i.
+      std::vector<double> yi_msg = var_message(i, -2);
+      for (size_t a = 0; a < n_adv; ++a) {
+        const AdviseeRef& ref = advisees[i][a];
+        double best_free = 0.0;      // max_j B(j) with no constraint
+        double best_bound = 0.0;     // max_j B(j) with allowed(i, j, a)
+        for (size_t j = 0; j < d_i; ++j) {
+          double b = yi_msg[j] * g[i][j];
+          for (size_t w = 0; w < n_adv; ++w) {
+            if (w == a) continue;
+            b *= terms_by_j[j][w];
+          }
+          best_free = std::max(best_free, b);
+          bool allowed = cand_end[i][j] < ref.start_year ||
+                         cand_end[i][j] == kNoConstraint;
+          if (allowed) best_bound = std::max(best_bound, b);
+        }
+        std::vector<double> out(dag.candidates[ref.x].size(), best_free);
+        out[ref.cand_index_in_x] = best_bound;
+        NormalizeMax(&out);
+        for (size_t v = 0; v < out.size(); ++v) {
+          max_delta =
+              std::max(max_delta, std::abs(out[v] - msg_up[i][a][v]));
+        }
+        msg_up[i][a] = out;
+      }
+    }
+    if (max_delta < options.tol) break;
+  }
+
+  // Beliefs: product of all incoming factor messages.
+  TpfgResult result;
+  result.scores.resize(n);
+  result.predicted.assign(n, -1);
+  for (int x = 0; x < n; ++x) {
+    std::vector<double> b(dag.candidates[x].size(), 1.0);
+    for (size_t v = 0; v < b.size(); ++v) b[v] = msg_self[x][v];
+    for (size_t c = 0; c < dag.candidates[x].size(); ++c) {
+      const UpRef& r = up_ref[x][c];
+      if (r.i < 0) continue;
+      for (size_t v = 0; v < b.size(); ++v) b[v] *= msg_up[r.i][r.a][v];
+    }
+    NormalizeInPlace(&b);
+    int best = 0;
+    for (size_t v = 1; v < b.size(); ++v) {
+      if (b[v] > b[best]) best = static_cast<int>(v);
+    }
+    result.predicted[x] = dag.candidates[x][best].advisor;
+    result.scores[x] = std::move(b);
+  }
+  return result;
+}
+
+std::vector<int> PredictAtK(const CandidateDag& dag, const TpfgResult& result,
+                            int k, double theta) {
+  const int n = static_cast<int>(dag.candidates.size());
+  std::vector<int> predicted(n, -1);
+  for (int x = 0; x < n; ++x) {
+    // Order candidates by score.
+    std::vector<int> order(dag.candidates[x].size());
+    for (size_t c = 0; c < order.size(); ++c) order[c] = static_cast<int>(c);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return result.scores[x][a] > result.scores[x][b];
+    });
+    double none_score = 0.0;
+    for (size_t c = 0; c < order.size(); ++c) {
+      if (dag.candidates[x][c].advisor < 0) none_score = result.scores[x][c];
+    }
+    for (int rank = 0; rank < std::min<int>(k, order.size()); ++rank) {
+      int c = order[rank];
+      if (dag.candidates[x][c].advisor < 0) continue;
+      if (result.scores[x][c] > theta || result.scores[x][c] > none_score) {
+        predicted[x] = dag.candidates[x][c].advisor;
+        break;
+      }
+    }
+  }
+  return predicted;
+}
+
+}  // namespace latent::relation

@@ -1,0 +1,55 @@
+// Stage 2 of TPFG (Sections 6.1.4-6.1.5): the Time-constrained
+// Probabilistic Factor Graph. Each author i has a hidden advisor variable
+// y_i ranging over its candidate set Y_i (plus the virtual no-advisor root).
+// The joint probability is a product of local factors
+//
+//   f_i(y_i = j | {y_x}) = g(i,j) * prod_{x in Yinv_i} I(y_x != i  or
+//                                                        ed_ij < st_xi)
+//
+// coupling each author's advisor choice with its potential advisees' via
+// the time constraint of Assumption 6.1 (one cannot be advised after one
+// starts advising). Inference maximizes the joint likelihood by max-product
+// message passing on the factor graph; the paper's two-phase schedule over
+// the DAG is realized here as sweeps of a loopy max-product update, which
+// coincides with it when the factor graph is tree-like and converges to the
+// same fixed point in practice. Beliefs give the ranking scores r_ij
+// (Eq. 6.10).
+#ifndef LATENT_RELATION_TPFG_H_
+#define LATENT_RELATION_TPFG_H_
+
+#include <vector>
+
+#include "relation/tpfg_preprocess.h"
+
+namespace latent::relation {
+
+struct TpfgOptions {
+  /// Max-product sweeps over all factors.
+  int max_iters = 50;
+  /// Stop when no message changes by more than this between sweeps.
+  double tol = 1e-9;
+};
+
+struct TpfgResult {
+  /// scores[i][c]: ranking score r_{i, candidate c}, aligned with
+  /// CandidateDag::candidates[i] and normalized to sum 1 per advisee.
+  std::vector<std::vector<double>> scores;
+  /// predicted[i]: argmax advisor id (-1 for "no advisor").
+  std::vector<int> predicted;
+};
+
+/// Runs max-product inference on the candidate DAG. `priors` optionally
+/// overrides the per-candidate local likelihoods g(i, j) (same shape as
+/// scores); pass nullptr to use the DAG's preprocessed likelihoods.
+TpfgResult RunTpfg(const CandidateDag& dag, const TpfgOptions& options,
+                   const std::vector<std::vector<double>>* priors = nullptr);
+
+/// Top-k / threshold prediction P@(k, theta) (Section 6.1.1): author i is
+/// predicted to be advised by j if j ranks among i's top-k candidates and
+/// r_ij > theta (the virtual root wins otherwise).
+std::vector<int> PredictAtK(const CandidateDag& dag, const TpfgResult& result,
+                            int k, double theta);
+
+}  // namespace latent::relation
+
+#endif  // LATENT_RELATION_TPFG_H_

@@ -1,0 +1,141 @@
+#include "relation/tpfg_preprocess.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace latent::relation {
+
+namespace {
+
+// One direction of an edge: is j a plausible advisor of i? Fills `cand` and
+// returns true if all enabled filters pass.
+bool EvaluateDirection(const CollabNetwork& net, int i, int j,
+                       const CoauthorEdge& edge,
+                       const PreprocessOptions& options, Candidate* cand) {
+  // Assumption 6.2: the advisor publishes first.
+  int first_i = FirstYear(net.author_series(i));
+  int first_j = FirstYear(net.author_series(j));
+  if (first_j >= first_i) return false;
+
+  int st = FirstYear(edge.joint);
+  int last = LastYear(edge.joint);
+  if (options.rule_r3 && st == last) return false;
+  // R4: the advisor needs >= 2 years of publishing before the collaboration.
+  if (options.rule_r4 && first_j + 2 > st) return false;
+
+  // Year-by-year Kulczynski / IR over the collaboration period.
+  std::vector<int> years;
+  std::vector<double> kulc, ir;
+  for (int y = st; y <= last; ++y) {
+    years.push_back(y);
+    kulc.push_back(net.Kulczynski(i, j, y));
+    ir.push_back(net.ImbalanceRatio(i, j, y));
+  }
+  if (options.rule_r1) {
+    for (double v : ir) {
+      if (v < 0.0) return false;
+    }
+  }
+  if (options.rule_r2) {
+    bool increases = false;
+    for (size_t t = 0; t + 1 < kulc.size(); ++t) {
+      if (kulc[t + 1] > kulc[t]) increases = true;
+    }
+    if (!increases) return false;
+  }
+
+  // End-year estimation.
+  const int n = static_cast<int>(years.size());
+  int year1 = last;
+  for (int t = 0; t + 1 < n; ++t) {
+    if (kulc[t + 1] < kulc[t]) {
+      year1 = years[t];
+      break;
+    }
+  }
+  int year2 = last;
+  double best_diff = -1e30;
+  // Prefix sums for mean-before minus mean-after.
+  std::vector<double> prefix(n + 1, 0.0);
+  for (int t = 0; t < n; ++t) prefix[t + 1] = prefix[t] + kulc[t];
+  for (int t = 0; t + 1 < n; ++t) {
+    double before = prefix[t + 1] / (t + 1);
+    double after = (prefix[n] - prefix[t + 1]) / (n - t - 1);
+    double diff = before - after;
+    if (diff > best_diff) {
+      best_diff = diff;
+      year2 = years[t];
+    }
+  }
+  int ed;
+  switch (options.end_year_rule) {
+    case EndYearRule::kFirstDecrease:
+      ed = year1;
+      break;
+    case EndYearRule::kLargestContrast:
+      ed = year2;
+      break;
+    default:
+      ed = std::min(year1, year2);
+  }
+  ed = std::max(ed, st);
+
+  // Local likelihood over the advising period (Eq. 6.3 and variants).
+  double total = 0.0;
+  int count = 0;
+  for (int t = 0; t < n && years[t] <= ed; ++t) {
+    double v;
+    switch (options.likelihood_mode) {
+      case 0:
+        v = kulc[t];
+        break;
+      case 1:
+        v = ir[t];
+        break;
+      default:
+        v = 0.5 * (kulc[t] + ir[t]);
+    }
+    total += v;
+    ++count;
+  }
+  double likelihood = count > 0 ? total / count : 0.0;
+  if (likelihood <= 0.0) return false;
+
+  cand->advisor = j;
+  cand->likelihood = likelihood;
+  cand->start_year = st;
+  cand->end_year = ed;
+  return true;
+}
+
+}  // namespace
+
+CandidateDag BuildCandidateDag(const CollabNetwork& net,
+                               const PreprocessOptions& options) {
+  CandidateDag dag;
+  dag.candidates.resize(net.num_authors());
+  for (const CoauthorEdge& edge : net.edges()) {
+    Candidate cand;
+    if (EvaluateDirection(net, edge.a, edge.b, edge, options, &cand)) {
+      dag.candidates[edge.a].push_back(cand);
+    }
+    if (EvaluateDirection(net, edge.b, edge.a, edge, options, &cand)) {
+      dag.candidates[edge.b].push_back(cand);
+    }
+  }
+  // Add the virtual no-advisor candidate and normalize likelihoods.
+  for (int i = 0; i < net.num_authors(); ++i) {
+    Candidate none;
+    none.advisor = -1;
+    none.likelihood = options.no_advisor_likelihood;
+    none.start_year = 0;
+    none.end_year = 0;
+    dag.candidates[i].push_back(none);
+    double total = 0.0;
+    for (const Candidate& c : dag.candidates[i]) total += c.likelihood;
+    for (Candidate& c : dag.candidates[i]) c.likelihood /= total;
+  }
+  return dag;
+}
+
+}  // namespace latent::relation

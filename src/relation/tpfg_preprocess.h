@@ -1,0 +1,63 @@
+// Stage 1 of TPFG (Section 6.1.3): build the candidate DAG of potential
+// advisor-advisee pairs, estimate advising periods, and compute local
+// likelihoods.
+//
+// A coauthor j is a potential advisor of i only if j started publishing
+// strictly earlier (Assumption 6.2, which also guarantees the candidate
+// graph is a DAG). The heuristic filtering rules R1-R4 further prune:
+//   R1: drop if IR^t_ij < 0 at some year of the collaboration;
+//   R2: drop if the kulc^t_ij sequence never increases;
+//   R3: drop if the collaboration lasts only one year;
+//   R4: drop if j's own first paper is less than 2 years before the first
+//       coauthored paper.
+#ifndef LATENT_RELATION_TPFG_PREPROCESS_H_
+#define LATENT_RELATION_TPFG_PREPROCESS_H_
+
+#include <vector>
+
+#include "relation/collab_network.h"
+
+namespace latent::relation {
+
+/// How the advising end year ed_ij is estimated (Section 6.1.3).
+enum class EndYearRule {
+  kFirstDecrease,   ///< YEAR1: first year the Kulczynski sequence decreases.
+  kLargestContrast, ///< YEAR2: year with the largest before/after difference.
+  kEarlier,         ///< YEAR: the earlier of the two.
+};
+
+struct PreprocessOptions {
+  bool rule_r1 = true;
+  bool rule_r2 = true;
+  bool rule_r3 = true;
+  bool rule_r4 = true;
+  EndYearRule end_year_rule = EndYearRule::kEarlier;
+  /// Local likelihood from: 0 = Kulczynski, 1 = IR, 2 = their average
+  /// (Eq. 6.3).
+  int likelihood_mode = 2;
+  /// Prior likelihood of having no advisor in the data (virtual root a0).
+  double no_advisor_likelihood = 0.3;
+};
+
+/// One candidate advisor of an advisee.
+struct Candidate {
+  int advisor = -1;  // author id; -1 encodes the virtual root a0
+  double likelihood = 0.0;  // normalized g(i, j)
+  int start_year = 0;       // st_ij
+  int end_year = 0;         // ed_ij
+};
+
+/// Candidate DAG G': candidates[i] lists potential advisors of author i
+/// (always includes the virtual-root candidate, advisor = -1). Candidate
+/// likelihoods are normalized per advisee.
+struct CandidateDag {
+  std::vector<std::vector<Candidate>> candidates;
+};
+
+/// Builds the candidate DAG from the collaboration network.
+CandidateDag BuildCandidateDag(const CollabNetwork& net,
+                               const PreprocessOptions& options);
+
+}  // namespace latent::relation
+
+#endif  // LATENT_RELATION_TPFG_PREPROCESS_H_

@@ -1,0 +1,173 @@
+#include "role/role_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace latent::role {
+
+double EntityPhraseRanker::EntityTopicalFrequency(
+    int node, int phrase_id, const std::vector<int>& entity_docs) const {
+  // Count occurrences of the phrase in the entity's documents.
+  double f_e = 0.0;
+  const auto& occ = kert_->doc_occurrences();
+  for (int d : entity_docs) {
+    for (int p : occ[d]) {
+      if (p == phrase_id) f_e += 1.0;
+    }
+  }
+  if (f_e == 0.0) return 0.0;
+  // The hierarchy splits a phrase's frequency by ratios that depend only on
+  // the phrase (Eq. 4.3), so the entity-restricted topical frequency scales
+  // by the same fraction f_t(P) / f_o(P).
+  double f_root = kert_->TopicalFrequency(0, phrase_id);
+  if (f_root <= 0.0) return 0.0;
+  return f_e * kert_->TopicalFrequency(node, phrase_id) / f_root;
+}
+
+double EntityPhraseRanker::ContributionScore(
+    int node, int phrase_id, const std::vector<int>& entity_docs,
+    double mu) const {
+  double n_t = std::max(kert_->TopicDocCount(node, mu), 1.0);
+  double p_t = kert_->TopicalFrequency(node, phrase_id) / n_t;
+  if (p_t <= 0.0) return 0.0;
+  // N_t(E): entity documents containing any qualifying topic-t phrase.
+  const auto& occ = kert_->doc_occurrences();
+  double n_te = 0.0;
+  for (int d : entity_docs) {
+    for (int p : occ[d]) {
+      if (kert_->TopicalFrequency(node, p) >= mu) {
+        n_te += 1.0;
+        break;
+      }
+    }
+  }
+  n_te = std::max(n_te, 1.0);
+  double p_te = EntityTopicalFrequency(node, phrase_id, entity_docs) / n_te;
+  return p_t * (SafeLog(p_te) - SafeLog(p_t));
+}
+
+std::vector<Scored<int>> EntityPhraseRanker::Rank(
+    int node, const std::vector<int>& entity_docs,
+    const phrase::KertOptions& options, double alpha, size_t top_k) const {
+  const phrase::PhraseDict& dict = kert_->dict();
+  std::vector<Scored<int>> scores;
+  for (int p = 0; p < dict.size(); ++p) {
+    if (kert_->TopicalFrequency(node, p) < options.min_topical_support) {
+      continue;
+    }
+    if (kert_->Completeness(p) <= options.gamma) continue;
+    double contribution =
+        ContributionScore(node, p, entity_docs, options.min_topical_support);
+    double pur = kert_->Purity(node, p, options.min_topical_support);
+    double con = kert_->Concordance(p);
+    double quality = kert_->Popularity(node, p, options.min_topical_support) *
+                     ((1.0 - options.omega) * pur + options.omega * con);
+    scores.emplace_back(p, alpha * contribution + (1.0 - alpha) * quality);
+  }
+  return TopK(std::move(scores), top_k);
+}
+
+std::vector<double> EntityTopicProfile::DocTopicFrequencies(int doc) const {
+  const core::TopicHierarchy& tree = *hierarchy_;
+  std::vector<double> f(tree.num_nodes(), 0.0);
+  f[tree.root()] = 1.0;
+  const std::vector<int>& occ = kert_->doc_occurrences()[doc];
+  // Nodes are parent-before-child, so one id-ordered pass suffices.
+  std::vector<double> tpf;
+  for (int node = 0; node < tree.num_nodes(); ++node) {
+    const core::TopicNode& t = tree.node(node);
+    if (t.children.empty() || f[node] <= 0.0) continue;
+    const int k = static_cast<int>(t.children.size());
+    tpf.assign(k, 0.0);
+    for (int p : occ) {
+      double denom = 0.0;
+      for (int c = 0; c < k; ++c) {
+        denom += kert_->TopicalFrequency(t.children[c], p);
+      }
+      if (denom <= 0.0) continue;
+      for (int c = 0; c < k; ++c) {
+        tpf[c] += kert_->TopicalFrequency(t.children[c], p) / denom;
+      }
+    }
+    double total = Sum(tpf);
+    if (total <= 0.0) continue;  // document does not descend below t
+    for (int c = 0; c < k; ++c) {
+      f[t.children[c]] = f[node] * tpf[c] / total;
+    }
+  }
+  return f;
+}
+
+std::vector<double> EntityTopicProfile::EntityTopicFrequencies(
+    const std::vector<int>& entity_docs) const {
+  std::vector<double> total(hierarchy_->num_nodes(), 0.0);
+  for (int d : entity_docs) {
+    std::vector<double> f = DocTopicFrequencies(d);
+    for (size_t i = 0; i < f.size(); ++i) total[i] += f[i];
+  }
+  return total;
+}
+
+std::vector<double> ModelEntityTopicFrequencies(
+    const core::TopicHierarchy& hierarchy, int entity_type, int entity_id,
+    double total_frequency) {
+  std::vector<double> f(hierarchy.num_nodes(), 0.0);
+  f[hierarchy.root()] = total_frequency;
+  // Parent-before-child node ids allow one ordered pass (Eq. 5.3).
+  for (int node = 0; node < hierarchy.num_nodes(); ++node) {
+    const core::TopicNode& t = hierarchy.node(node);
+    if (t.children.empty() || f[node] <= 0.0) continue;
+    double denom = 0.0;
+    std::vector<double> w(t.children.size(), 0.0);
+    for (size_t c = 0; c < t.children.size(); ++c) {
+      const core::TopicNode& child = hierarchy.node(t.children[c]);
+      w[c] = child.rho_in_parent * child.phi[entity_type][entity_id];
+      denom += w[c];
+    }
+    if (denom <= 0.0) continue;
+    for (size_t c = 0; c < t.children.size(); ++c) {
+      f[t.children[c]] = f[node] * w[c] / denom;
+    }
+  }
+  return f;
+}
+
+std::vector<Scored<int>> RankEntitiesForTopic(
+    const core::TopicHierarchy& hierarchy, int node, int entity_type,
+    bool use_purity, size_t top_k) {
+  const core::TopicNode& t = hierarchy.node(node);
+  LATENT_CHECK_GE(t.parent, 0);
+  const std::vector<double>& p_t = t.phi[entity_type];
+  const std::vector<int>& siblings = hierarchy.node(t.parent).children;
+
+  std::vector<Scored<int>> scores;
+  for (int e = 0; e < static_cast<int>(p_t.size()); ++e) {
+    double pop = p_t[e];
+    if (pop <= 0.0) continue;
+    if (!use_purity) {
+      scores.emplace_back(e, pop);
+      continue;
+    }
+    double worst = 0.0;
+    bool any = false;
+    for (int s : siblings) {
+      if (s == node) continue;
+      const core::TopicNode& ts = hierarchy.node(s);
+      double w_t = t.rho_in_parent, w_s = ts.rho_in_parent;
+      double denom = w_t + w_s;
+      if (denom <= 0.0) continue;
+      double mix = (w_t * pop + w_s * ts.phi[entity_type][e]) / denom;
+      if (!any || mix > worst) {
+        worst = mix;
+        any = true;
+      }
+    }
+    double score = any ? pop * (SafeLog(pop) - SafeLog(worst)) : pop;
+    scores.emplace_back(e, score);
+  }
+  return TopK(std::move(scores), top_k);
+}
+
+}  // namespace latent::role

@@ -1,0 +1,96 @@
+// Entity topical role analysis (Chapter 5).
+//
+// Type-A questions ("what is entity E's role in topic t?"):
+//   * EntityPhraseRanker — entity-specific phrase ranking, the pointwise-KL
+//     contribution score r(P|t,E) of Eq. (5.1) combined with phrase quality
+//     as Comb = alpha * r(P|t,E) + (1-alpha) * r(P|t) (Eq. 5.2).
+//   * EntityTopicProfile — an entity's frequency distribution over the
+//     subtopics of the hierarchy, estimated from its documents' topical
+//     phrase frequencies (Eq. 5.4-5.6).
+//
+// Type-B questions ("which entities play the biggest role in topic t?"):
+//   * RankEntitiesForTopic — ERank_Pop (popularity only) and ERank_Pop+Pur
+//     (popularity x purity) over the hierarchy's entity distributions
+//     (Section 5.2).
+#ifndef LATENT_ROLE_ROLE_ANALYSIS_H_
+#define LATENT_ROLE_ROLE_ANALYSIS_H_
+
+#include <vector>
+
+#include "common/top_k.h"
+#include "core/hierarchy.h"
+#include "phrase/kert.h"
+
+namespace latent::role {
+
+/// Entity-specific phrase ranking for a topic.
+class EntityPhraseRanker {
+ public:
+  /// `kert` must be built over the same corpus/hierarchy the entities'
+  /// documents come from.
+  explicit EntityPhraseRanker(const phrase::KertScorer& kert)
+      : kert_(&kert) {}
+
+  /// r(P|t,E) = p(P|t) * log(p(P|t,E) / p(P|t)) (Eq. 5.1), where
+  /// p(P|t,E) is estimated from the entity's documents `entity_docs`.
+  double ContributionScore(int node, int phrase_id,
+                           const std::vector<int>& entity_docs,
+                           double mu) const;
+
+  /// Combined ranking Comb = alpha * r(P|t,E) + (1-alpha) * Quality_t(P)
+  /// (Eq. 5.2; the paper uses alpha = 0.5).
+  std::vector<Scored<int>> Rank(int node, const std::vector<int>& entity_docs,
+                                const phrase::KertOptions& options,
+                                double alpha, size_t top_k) const;
+
+ private:
+  /// Topical frequency of P restricted to the entity's documents:
+  /// f^E(P) scaled by the phrase's hierarchy fractions.
+  double EntityTopicalFrequency(int node, int phrase_id,
+                                const std::vector<int>& entity_docs) const;
+
+  const phrase::KertScorer* kert_;
+};
+
+/// Distribution of documents (and hence entities) over hierarchy subtopics.
+class EntityTopicProfile {
+ public:
+  EntityTopicProfile(const phrase::KertScorer& kert,
+                     const core::TopicHierarchy& hierarchy)
+      : kert_(&kert), hierarchy_(&hierarchy) {}
+
+  /// f_t(d) for every hierarchy node (indexed by node id): the document's
+  /// topical frequency, distributed top-down (Eq. 5.4-5.5). The root gets
+  /// 1; children of t sum to at most f_t(d) (documents whose phrases all
+  /// fall below the subtopics contribute nothing, Section 5.1.2).
+  std::vector<double> DocTopicFrequencies(int doc) const;
+
+  /// f_t(E) = sum over the entity's documents (Eq. 5.6).
+  std::vector<double> EntityTopicFrequencies(
+      const std::vector<int>& entity_docs) const;
+
+ private:
+  const phrase::KertScorer* kert_;
+  const core::TopicHierarchy* hierarchy_;
+};
+
+/// Model-based entity subtopic frequencies (Eq. 5.3): when the topic model
+/// itself provides entity distributions phi^x per topic (CATHYHIN does),
+/// an entity's frequency splits among a node's children in proportion to
+/// rho_z * phi^x_{t/z,e}. Returns f per hierarchy node, with the root set
+/// to `total_frequency` (e.g., the entity's document count).
+std::vector<double> ModelEntityTopicFrequencies(
+    const core::TopicHierarchy& hierarchy, int entity_type, int entity_id,
+    double total_frequency);
+
+/// Type-B entity ranking for topic `node` over entity type `entity_type`.
+/// With `use_purity` false this is popularity p(e|t) alone; with true it is
+/// ERank_Pop+Pur(e,t) = p(e|t) * log(p(e|t) / max_{t'} p(e|{t,t'})), where
+/// the mixture probability uses sibling topics t'.
+std::vector<Scored<int>> RankEntitiesForTopic(
+    const core::TopicHierarchy& hierarchy, int node, int entity_type,
+    bool use_purity, size_t top_k);
+
+}  // namespace latent::role
+
+#endif  // LATENT_ROLE_ROLE_ANALYSIS_H_

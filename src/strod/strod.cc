@@ -1,0 +1,455 @@
+#include "strod/strod.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/dense.h"
+#include "common/eigen.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+
+namespace latent::strod {
+
+namespace {
+
+// Shared empirical-moment machinery over sparse documents.
+class MomentEngine {
+ public:
+  MomentEngine(const std::vector<SparseDoc>& docs, int vocab_size,
+               double alpha0)
+      : docs_(&docs), v_(vocab_size), alpha0_(alpha0) {
+    m1_.assign(v_, 0.0);
+    double d1 = 0.0;
+    for (const SparseDoc& d : docs) {
+      if (d.length < 1.0) continue;
+      d1 += 1.0;
+      for (const auto& [w, c] : d.counts) m1_[w] += c / d.length;
+      if (d.length >= 2.0) d2_ += 1.0;
+      if (d.length >= 3.0) d3_ += 1.0;
+    }
+    if (d1 > 0.0) {
+      for (double& x : m1_) x /= d1;
+    }
+  }
+
+  const std::vector<double>& m1() const { return m1_; }
+  double d2() const { return d2_; }
+  double d3() const { return d3_; }
+
+  // y = M2 x, with M2 = E[x1 (x) x2] - alpha0/(alpha0+1) M1 M1^T.
+  void M2Times(const std::vector<double>& x, std::vector<double>* y) const {
+    y->assign(v_, 0.0);
+    if (d2_ > 0.0) {
+      for (const SparseDoc& d : *docs_) {
+        if (d.length < 2.0) continue;
+        double s = 0.0;
+        for (const auto& [w, c] : d.counts) s += c * x[w];
+        double scale = 1.0 / (d.length * (d.length - 1.0) * d2_);
+        for (const auto& [w, c] : d.counts) {
+          (*y)[w] += scale * c * (s - x[w]);
+        }
+      }
+    }
+    double shift = alpha0_ / (alpha0_ + 1.0);
+    double m_dot_x = Dot(m1_, x);
+    for (int w = 0; w < v_; ++w) (*y)[w] -= shift * m_dot_x * m1_[w];
+  }
+
+  // Builds the whitened third-moment tensor T[r][s][t] = M3(W_r, W_s, W_t)
+  // where W is V x k. Only ever k^3 doubles.
+  std::vector<double> WhitenedM3(const Matrix& w) const {
+    const int k = w.cols();
+    std::vector<double> t(static_cast<size_t>(k) * k * k, 0.0);
+    auto at = [&](int r, int s, int u) -> double& {
+      return t[(static_cast<size_t>(r) * k + s) * k + u];
+    };
+
+    std::vector<double> b(k), bm(k);
+    Matrix s_d(k, k);
+    std::vector<double> e2w(static_cast<size_t>(k) * k, 0.0);
+    std::vector<double> word_weight(v_, 0.0);
+
+    for (const SparseDoc& d : *docs_) {
+      if (d.length < 2.0) continue;
+      // b = W^T c and S_d = sum_i c_i w_i w_i^T over the doc.
+      std::fill(b.begin(), b.end(), 0.0);
+      for (int r = 0; r < k; ++r) {
+        for (int s = 0; s < k; ++s) s_d(r, s) = 0.0;
+      }
+      for (const auto& [word, c] : d.counts) {
+        const double* row = w.row(word);
+        for (int r = 0; r < k; ++r) {
+          b[r] += c * row[r];
+          for (int s = r; s < k; ++s) s_d(r, s) += c * row[r] * row[s];
+        }
+      }
+      for (int r = 0; r < k; ++r) {
+        for (int s = 0; s < r; ++s) s_d(r, s) = s_d(s, r);
+      }
+      double n2 = d.length * (d.length - 1.0);
+      // E2w += (b b^T - S_d) / n2 / D2.
+      if (d2_ > 0.0) {
+        double scale2 = 1.0 / (n2 * d2_);
+        for (int r = 0; r < k; ++r) {
+          for (int s = 0; s < k; ++s) {
+            e2w[static_cast<size_t>(r) * k + s] +=
+                scale2 * (b[r] * b[s] - s_d(r, s));
+          }
+        }
+      }
+      if (d.length < 3.0 || d3_ <= 0.0) continue;
+      double n3 = n2 * (d.length - 2.0);
+      double scale3 = 1.0 / (n3 * d3_);
+      // b (x) b (x) b minus the three S_d (x) b permutations.
+      for (int r = 0; r < k; ++r) {
+        for (int s = 0; s < k; ++s) {
+          for (int u = 0; u < k; ++u) {
+            at(r, s, u) += scale3 * (b[r] * b[s] * b[u] -
+                                     s_d(r, s) * b[u] - s_d(r, u) * b[s] -
+                                     s_d(s, u) * b[r]);
+          }
+        }
+      }
+      // The +2 sum_i c_i w_i^(x)3 term is accumulated per word globally.
+      for (const auto& [word, c] : d.counts) {
+        word_weight[word] += 2.0 * c * scale3;
+      }
+    }
+    // Per-word rank-one cubes.
+    for (int word = 0; word < v_; ++word) {
+      double wt = word_weight[word];
+      if (wt == 0.0) continue;
+      const double* row = w.row(word);
+      for (int r = 0; r < k; ++r) {
+        for (int s = 0; s < k; ++s) {
+          for (int u = 0; u < k; ++u) {
+            at(r, s, u) += wt * row[r] * row[s] * row[u];
+          }
+        }
+      }
+    }
+
+    // Shift terms. bm = W^T m1.
+    for (int r = 0; r < k; ++r) {
+      double s = 0.0;
+      for (int word = 0; word < v_; ++word) s += w(word, r) * m1_[word];
+      bm[r] = s;
+    }
+    double c1 = alpha0_ / (alpha0_ + 2.0);
+    double c2 = 2.0 * alpha0_ * alpha0_ / ((alpha0_ + 1.0) * (alpha0_ + 2.0));
+    for (int r = 0; r < k; ++r) {
+      for (int s = 0; s < k; ++s) {
+        for (int u = 0; u < k; ++u) {
+          double shift = e2w[static_cast<size_t>(r) * k + s] * bm[u] +
+                         e2w[static_cast<size_t>(r) * k + u] * bm[s] +
+                         e2w[static_cast<size_t>(s) * k + u] * bm[r];
+          at(r, s, u) += -c1 * shift + c2 * bm[r] * bm[s] * bm[u];
+        }
+      }
+    }
+    return t;
+  }
+
+ private:
+  const std::vector<SparseDoc>* docs_;
+  int v_;
+  double alpha0_;
+  std::vector<double> m1_;
+  double d2_ = 0.0;
+  double d3_ = 0.0;
+};
+
+// theta' = T(I, theta, theta) minus deflation of already-found pairs.
+void ApplyTensor(const std::vector<double>& t, int k,
+                 const std::vector<double>& theta,
+                 const std::vector<std::vector<double>>& found_vecs,
+                 const std::vector<double>& found_vals,
+                 std::vector<double>* out) {
+  out->assign(k, 0.0);
+  for (int r = 0; r < k; ++r) {
+    double acc = 0.0;
+    const double* slab = t.data() + static_cast<size_t>(r) * k * k;
+    for (int s = 0; s < k; ++s) {
+      double ts = theta[s];
+      if (ts == 0.0) continue;
+      const double* row = slab + static_cast<size_t>(s) * k;
+      double inner = 0.0;
+      for (int u = 0; u < k; ++u) inner += row[u] * theta[u];
+      acc += ts * inner;
+    }
+    (*out)[r] = acc;
+  }
+  for (size_t j = 0; j < found_vecs.size(); ++j) {
+    double dot = Dot(found_vecs[j], theta);
+    double coeff = found_vals[j] * dot * dot;
+    for (int r = 0; r < k; ++r) (*out)[r] -= coeff * found_vecs[j][r];
+  }
+}
+
+// Robust tensor power method with deflation. Returns (values, vectors).
+void TensorPowerMethod(const std::vector<double>& t, int k, int restarts,
+                       int iters, Rng* rng,
+                       std::vector<double>* values,
+                       std::vector<std::vector<double>>* vectors) {
+  values->clear();
+  vectors->clear();
+  std::vector<double> theta(k), next(k);
+  for (int factor = 0; factor < k; ++factor) {
+    double best_lambda = -1e30;
+    std::vector<double> best_vec;
+    for (int trial = 0; trial < restarts; ++trial) {
+      for (int r = 0; r < k; ++r) theta[r] = rng->Normal();
+      double norm = Norm2(theta);
+      for (int r = 0; r < k; ++r) theta[r] /= norm;
+      for (int it = 0; it < iters; ++it) {
+        ApplyTensor(t, k, theta, *vectors, *values, &next);
+        norm = Norm2(next);
+        if (norm <= 1e-300) break;
+        for (int r = 0; r < k; ++r) theta[r] = next[r] / norm;
+      }
+      ApplyTensor(t, k, theta, *vectors, *values, &next);
+      double lambda = Dot(theta, next);
+      if (lambda > best_lambda) {
+        best_lambda = lambda;
+        best_vec = theta;
+      }
+    }
+    // A few extra polishing iterations on the winner.
+    theta = best_vec;
+    for (int it = 0; it < iters; ++it) {
+      ApplyTensor(t, k, theta, *vectors, *values, &next);
+      double norm = Norm2(next);
+      if (norm <= 1e-300) break;
+      for (int r = 0; r < k; ++r) theta[r] = next[r] / norm;
+    }
+    ApplyTensor(t, k, theta, *vectors, *values, &next);
+    values->push_back(std::max(Dot(theta, next), 1e-12));
+    vectors->push_back(theta);
+  }
+}
+
+// Residual norm estimate of the deflated tensor (for alpha0 learning).
+double TensorResidual(const std::vector<double>& t, int k,
+                      const std::vector<std::vector<double>>& vecs,
+                      const std::vector<double>& vals, Rng* rng) {
+  std::vector<double> theta(k), out(k);
+  double total = 0.0;
+  const int probes = 8;
+  for (int p = 0; p < probes; ++p) {
+    for (int r = 0; r < k; ++r) theta[r] = rng->Normal();
+    double norm = Norm2(theta);
+    for (int r = 0; r < k; ++r) theta[r] /= norm;
+    ApplyTensor(t, k, theta, vecs, vals, &out);
+    total += Norm2(out);
+  }
+  return total / probes;
+}
+
+StrodResult FitStrodFixedAlpha(const std::vector<SparseDoc>& docs,
+                               int vocab_size, const StrodOptions& options,
+                               double* residual_out) {
+  const int k = options.num_topics;
+  LATENT_CHECK_GT(k, 0);
+  MomentEngine engine(docs, vocab_size, options.alpha0);
+
+  // Whitening from the top-k eigenpairs of M2.
+  auto matvec = [&](const std::vector<double>& x, std::vector<double>* y) {
+    engine.M2Times(x, y);
+  };
+  EigenResult eig = RandomizedEigenSymmetric(
+      matvec, vocab_size, k, options.seed, options.oversample,
+      options.subspace_iters);
+
+  Matrix w(vocab_size, k);   // whitener: W = U diag(sigma^{-1/2})
+  Matrix bw(vocab_size, k);  // un-whitener: B = U diag(sigma^{1/2})
+  for (int j = 0; j < k; ++j) {
+    double sigma = std::max(eig.values[j], 1e-10);
+    double inv_sqrt = 1.0 / std::sqrt(sigma);
+    double sqrt_s = std::sqrt(sigma);
+    for (int word = 0; word < vocab_size; ++word) {
+      w(word, j) = eig.vectors(word, j) * inv_sqrt;
+      bw(word, j) = eig.vectors(word, j) * sqrt_s;
+    }
+  }
+
+  std::vector<double> tensor = engine.WhitenedM3(w);
+  Rng rng(options.seed ^ 0xabcdef);
+  std::vector<double> lambda;
+  std::vector<std::vector<double>> vecs;
+  TensorPowerMethod(tensor, k, options.power_restarts, options.power_iters,
+                    &rng, &lambda, &vecs);
+  if (residual_out != nullptr) {
+    *residual_out = TensorResidual(tensor, k, vecs, lambda, &rng);
+  }
+
+  StrodResult result;
+  result.alpha0 = options.alpha0;
+  result.m2_eigenvalues = eig.values;
+  result.lambda = lambda;
+  result.topic_word.assign(k, std::vector<double>(vocab_size, 0.0));
+  result.alpha.assign(k, 0.0);
+  double alpha_total = 0.0;
+  for (int z = 0; z < k; ++z) {
+    // mu_z = lambda_z * B v_z, clipped to the simplex.
+    std::vector<double>& phi = result.topic_word[z];
+    for (int word = 0; word < vocab_size; ++word) {
+      double s = 0.0;
+      for (int j = 0; j < k; ++j) s += bw(word, j) * vecs[z][j];
+      phi[word] = std::max(lambda[z] * s, 0.0);
+    }
+    NormalizeInPlace(&phi);
+    result.alpha[z] = 1.0 / (lambda[z] * lambda[z]);
+    alpha_total += result.alpha[z];
+  }
+  // Rescale so sum alpha = alpha0.
+  if (alpha_total > 0.0) {
+    for (double& a : result.alpha) a *= options.alpha0 / alpha_total;
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<SparseDoc> ToSparseDocs(const text::Corpus& corpus) {
+  std::vector<SparseDoc> out(corpus.num_docs());
+  std::vector<int> sorted;
+  for (int d = 0; d < corpus.num_docs(); ++d) {
+    sorted = corpus.docs()[d].tokens;
+    std::sort(sorted.begin(), sorted.end());
+    SparseDoc& doc = out[d];
+    for (size_t i = 0; i < sorted.size();) {
+      size_t j = i;
+      while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+      doc.counts.emplace_back(sorted[i], static_cast<double>(j - i));
+      i = j;
+    }
+    doc.length = static_cast<double>(sorted.size());
+  }
+  return out;
+}
+
+StrodResult FitStrod(const std::vector<SparseDoc>& docs, int vocab_size,
+                     const StrodOptions& options) {
+  if (!options.learn_alpha0) {
+    return FitStrodFixedAlpha(docs, vocab_size, options, nullptr);
+  }
+  // Section 7.3.3: pick alpha0 from a small grid by minimizing the deflated
+  // tensor residual (how much third-moment structure the k factors leave
+  // unexplained).
+  static const double kGrid[] = {0.1, 0.5, 1.0, 2.0, 5.0, 10.0};
+  StrodResult best;
+  double best_residual = 1e300;
+  for (double a0 : kGrid) {
+    StrodOptions opt = options;
+    opt.alpha0 = a0;
+    double residual = 0.0;
+    StrodResult r = FitStrodFixedAlpha(docs, vocab_size, opt, &residual);
+    if (residual < best_residual) {
+      best_residual = residual;
+      best = std::move(r);
+    }
+  }
+  return best;
+}
+
+std::vector<std::vector<double>> InferDocTopics(
+    const std::vector<SparseDoc>& docs, const StrodResult& model,
+    int em_iters) {
+  const int k = static_cast<int>(model.topic_word.size());
+  std::vector<std::vector<double>> theta(docs.size(),
+                                         std::vector<double>(k, 1.0 / k));
+  std::vector<double> acc(k);
+  for (size_t d = 0; d < docs.size(); ++d) {
+    for (int it = 0; it < em_iters; ++it) {
+      std::fill(acc.begin(), acc.end(), 0.0);
+      for (const auto& [w, c] : docs[d].counts) {
+        double denom = 0.0;
+        for (int z = 0; z < k; ++z) {
+          denom += theta[d][z] * model.topic_word[z][w];
+        }
+        if (denom <= 0.0) continue;
+        for (int z = 0; z < k; ++z) {
+          acc[z] += c * theta[d][z] * model.topic_word[z][w] / denom;
+        }
+      }
+      for (int z = 0; z < k; ++z) {
+        acc[z] += model.alpha[z] > 0 ? model.alpha[z] : 1e-3;
+      }
+      theta[d] = acc;
+      NormalizeInPlace(&theta[d]);
+    }
+  }
+  return theta;
+}
+
+namespace {
+
+void GrowStrod(const std::vector<SparseDoc>& docs, int vocab_size, int node,
+               int level, const StrodTreeOptions& options,
+               core::TopicHierarchy* tree) {
+  if (level >= options.max_depth) return;
+  double mass = 0.0;
+  for (const SparseDoc& d : docs) mass += d.length;
+  if (mass < options.min_node_weight) return;
+
+  int k = level < static_cast<int>(options.levels_k.size())
+              ? options.levels_k[level]
+              : 0;
+  if (k <= 1) return;
+
+  StrodOptions opt = options.base;
+  opt.num_topics = k;
+  opt.seed = options.base.seed + static_cast<uint64_t>(node) * 40503;
+  StrodResult model = FitStrod(docs, vocab_size, opt);
+  std::vector<std::vector<double>> theta = InferDocTopics(docs, model);
+
+  double alpha_sum = Sum(model.alpha);
+  for (int z = 0; z < k; ++z) {
+    // Fractional sub-corpus: c_d^z(w) = c_d(w) p(z | d, w).
+    std::vector<SparseDoc> sub;
+    sub.reserve(docs.size());
+    for (size_t d = 0; d < docs.size(); ++d) {
+      SparseDoc sd;
+      for (const auto& [w, c] : docs[d].counts) {
+        double denom = 0.0;
+        for (int z2 = 0; z2 < k; ++z2) {
+          denom += theta[d][z2] * model.topic_word[z2][w];
+        }
+        if (denom <= 0.0) continue;
+        double frac = theta[d][z] * model.topic_word[z][w] / denom;
+        double cc = c * frac;
+        if (cc > 1e-4) {
+          sd.counts.emplace_back(w, cc);
+          sd.length += cc;
+        }
+      }
+      if (sd.length >= 3.0) sub.push_back(std::move(sd));
+    }
+    double rho = alpha_sum > 0.0 ? model.alpha[z] / alpha_sum : 1.0 / k;
+    double sub_mass = 0.0;
+    for (const SparseDoc& d : sub) sub_mass += d.length;
+    int child = tree->AddChild(node, rho, {model.topic_word[z]}, sub_mass);
+    GrowStrod(sub, vocab_size, child, level + 1, options, tree);
+  }
+}
+
+}  // namespace
+
+core::TopicHierarchy BuildStrodHierarchy(const std::vector<SparseDoc>& docs,
+                                         int vocab_size,
+                                         const StrodTreeOptions& options) {
+  core::TopicHierarchy tree({"term"}, {vocab_size});
+  std::vector<double> global(vocab_size, 0.0);
+  double mass = 0.0;
+  for (const SparseDoc& d : docs) {
+    for (const auto& [w, c] : d.counts) global[w] += c;
+    mass += d.length;
+  }
+  NormalizeInPlace(&global);
+  tree.AddRoot({global}, mass);
+  GrowStrod(docs, vocab_size, tree.root(), 0, options, &tree);
+  return tree;
+}
+
+}  // namespace latent::strod

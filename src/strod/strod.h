@@ -1,0 +1,95 @@
+// STROD: Scalable and Robust Topic discovery by moment-based inference
+// (Chapter 7). Implements spectral inference for LDA with a topic tree:
+//
+//  1. Empirical word co-occurrence moments M2 and M3 of the Dirichlet topic
+//     model (Section 7.3.1), never materialized — only applied to vectors
+//     through the sparse document-term counts (the scalability improvement
+//     of Section 7.3.2).
+//  2. Whitening via randomized top-k eigendecomposition of M2.
+//  3. Robust tensor power method with deflation on the whitened third
+//     moment, recovering topic word distributions and Dirichlet weights
+//     deterministically up to the random probes (seeded).
+//  4. Optional alpha0 hyperparameter learning by residual minimization
+//     (Section 7.3.3).
+//  5. Recursive application down a topic tree (Section 7.2): documents are
+//     fractionally split among a node's topics and each child is inferred
+//     from its weighted sub-corpus.
+#ifndef LATENT_STROD_STROD_H_
+#define LATENT_STROD_STROD_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/hierarchy.h"
+#include "text/corpus.h"
+
+namespace latent::strod {
+
+/// A document as sparse (word id, count) pairs; counts may be fractional
+/// in recursive calls.
+struct SparseDoc {
+  std::vector<std::pair<int, double>> counts;
+  double length = 0.0;
+};
+
+/// Converts a tokenized corpus to sparse count vectors.
+std::vector<SparseDoc> ToSparseDocs(const text::Corpus& corpus);
+
+struct StrodOptions {
+  int num_topics = 5;
+  /// Dirichlet concentration alpha0 = sum_i alpha_i.
+  double alpha0 = 1.0;
+  /// Learn alpha0 from a small grid by tensor-residual minimization.
+  bool learn_alpha0 = false;
+  /// Tensor power method: random restarts per factor and iterations each.
+  int power_restarts = 10;
+  int power_iters = 40;
+  /// Randomized eigendecomposition parameters.
+  int oversample = 8;
+  int subspace_iters = 4;
+  uint64_t seed = 42;
+};
+
+struct StrodResult {
+  /// topic_word[z][w]: recovered word distribution of topic z.
+  std::vector<std::vector<double>> topic_word;
+  /// Recovered Dirichlet parameters alpha_z (sum approximately alpha0).
+  std::vector<double> alpha;
+  /// Tensor eigenvalues lambda_z (diagnostic).
+  std::vector<double> lambda;
+  /// Top-k eigenvalues of M2 (diagnostic; near-zero values signal that k
+  /// exceeds the intrinsic topic count).
+  std::vector<double> m2_eigenvalues;
+  double alpha0 = 1.0;
+};
+
+/// Runs moment-based inference. Requires documents of length >= 3 to exist
+/// (shorter ones contribute only to lower moments).
+StrodResult FitStrod(const std::vector<SparseDoc>& docs, int vocab_size,
+                     const StrodOptions& options);
+
+/// Per-document topic mixtures under a fitted model, via a few multinomial
+/// EM steps (used for the recursive split and for evaluation).
+std::vector<std::vector<double>> InferDocTopics(
+    const std::vector<SparseDoc>& docs, const StrodResult& model,
+    int em_iters = 20);
+
+struct StrodTreeOptions {
+  /// Branching per level (like core::BuildOptions::levels_k).
+  std::vector<int> levels_k = {4, 3};
+  int max_depth = 2;
+  /// Minimum total (fractional) token mass for a node to be split.
+  double min_node_weight = 500.0;
+  StrodOptions base;
+};
+
+/// Recursive STROD: builds a word-type topic hierarchy (node type 0 =
+/// "term") by splitting documents fractionally among topics at each level.
+core::TopicHierarchy BuildStrodHierarchy(const std::vector<SparseDoc>& docs,
+                                         int vocab_size,
+                                         const StrodTreeOptions& options);
+
+}  // namespace latent::strod
+
+#endif  // LATENT_STROD_STROD_H_

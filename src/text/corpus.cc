@@ -1,0 +1,73 @@
+#include "text/corpus.h"
+
+namespace latent::text {
+
+void Corpus::AddDocument(const std::string& raw_text,
+                         const TokenizeOptions& options) {
+  Document doc;
+  // Split the raw text on phrase-invariant punctuation first, then tokenize
+  // each chunk, so segment boundaries survive stopword removal.
+  std::string chunk;
+  std::vector<std::string> chunks;
+  for (char c : raw_text) {
+    if (c == ';' || c == ',' || c == '.' || c == '!' || c == '?' || c == ':') {
+      if (!chunk.empty()) chunks.push_back(chunk);
+      chunk.clear();
+    } else {
+      chunk.push_back(c);
+    }
+  }
+  if (!chunk.empty()) chunks.push_back(chunk);
+
+  for (const std::string& part : chunks) {
+    std::vector<std::string> tokens = TokenizeFiltered(part, options);
+    if (tokens.empty()) continue;
+    doc.segment_starts.push_back(doc.size());
+    for (const std::string& t : tokens) doc.tokens.push_back(vocab_.Intern(t));
+  }
+  docs_.push_back(std::move(doc));
+}
+
+void Corpus::AddTokenizedDocument(const std::vector<std::string>& tokens) {
+  Document doc;
+  if (!tokens.empty()) doc.segment_starts.push_back(0);
+  for (const std::string& t : tokens) doc.tokens.push_back(vocab_.Intern(t));
+  docs_.push_back(std::move(doc));
+}
+
+void Corpus::AddDocumentIds(std::vector<int> ids) {
+  Document doc;
+  if (!ids.empty()) doc.segment_starts.push_back(0);
+  doc.tokens = std::move(ids);
+  docs_.push_back(std::move(doc));
+}
+
+long long Corpus::total_tokens() const {
+  long long n = 0;
+  for (const Document& d : docs_) n += d.size();
+  return n;
+}
+
+std::vector<int> Corpus::DocumentFrequencies() const {
+  std::vector<int> df(vocab_.size(), 0);
+  std::vector<int> last_doc(vocab_.size(), -1);
+  for (int i = 0; i < num_docs(); ++i) {
+    for (int w : docs_[i].tokens) {
+      if (last_doc[w] != i) {
+        last_doc[w] = i;
+        ++df[w];
+      }
+    }
+  }
+  return df;
+}
+
+std::vector<long long> Corpus::CollectionFrequencies() const {
+  std::vector<long long> cf(vocab_.size(), 0);
+  for (const Document& d : docs_) {
+    for (int w : d.tokens) ++cf[w];
+  }
+  return cf;
+}
+
+}  // namespace latent::text

@@ -1,0 +1,65 @@
+// Corpus containers shared by the topic models and phrase miners.
+#ifndef LATENT_TEXT_CORPUS_H_
+#define LATENT_TEXT_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace latent::text {
+
+/// A document as a sequence of word ids. Sentence/segment boundaries (split
+/// on phrase-invariant punctuation per Section 4.3.1) are retained because
+/// phrases never cross them.
+struct Document {
+  /// Word ids in order.
+  std::vector<int> tokens;
+  /// Indices into `tokens` where a new segment starts (always contains 0 for
+  /// non-empty documents).
+  std::vector<int> segment_starts;
+
+  int size() const { return static_cast<int>(tokens.size()); }
+};
+
+/// A tokenized corpus with a shared word vocabulary.
+class Corpus {
+ public:
+  Corpus() = default;
+
+  /// Adds a document from raw text. `;,.!?:` delimit segments.
+  void AddDocument(const std::string& raw_text, const TokenizeOptions& options);
+
+  /// Adds a pre-tokenized document as a single segment.
+  void AddTokenizedDocument(const std::vector<std::string>& tokens);
+
+  /// Adds a document directly from word ids (single segment). Ids must have
+  /// been produced by this corpus's vocabulary.
+  void AddDocumentIds(std::vector<int> ids);
+
+  const Vocabulary& vocab() const { return vocab_; }
+  Vocabulary& mutable_vocab() { return vocab_; }
+
+  const std::vector<Document>& docs() const { return docs_; }
+  Document& mutable_doc(int i) { return docs_[i]; }
+  int num_docs() const { return static_cast<int>(docs_.size()); }
+  int vocab_size() const { return vocab_.size(); }
+
+  /// Total token count across documents.
+  long long total_tokens() const;
+
+  /// Per-word document frequency (number of documents containing the word).
+  std::vector<int> DocumentFrequencies() const;
+
+  /// Per-word collection frequency (total occurrences).
+  std::vector<long long> CollectionFrequencies() const;
+
+ private:
+  Vocabulary vocab_;
+  std::vector<Document> docs_;
+};
+
+}  // namespace latent::text
+
+#endif  // LATENT_TEXT_CORPUS_H_

@@ -1,0 +1,53 @@
+#include "text/corpus_filter.h"
+
+namespace latent::text {
+
+FilteredCorpus FilterVocabulary(const Corpus& corpus,
+                                const VocabFilterOptions& options) {
+  FilteredCorpus out;
+  std::vector<int> df = corpus.DocumentFrequencies();
+  const double max_df =
+      options.max_document_fraction > 0.0
+          ? options.max_document_fraction * corpus.num_docs()
+          : static_cast<double>(corpus.num_docs()) + 1.0;
+
+  out.old_to_new.assign(corpus.vocab_size(), -1);
+  for (int w = 0; w < corpus.vocab_size(); ++w) {
+    if (df[w] < options.min_document_frequency) continue;
+    if (static_cast<double>(df[w]) > max_df) continue;
+    int new_id = out.corpus.mutable_vocab().Intern(corpus.vocab().Token(w));
+    out.old_to_new[w] = new_id;
+    out.new_to_old.push_back(w);
+  }
+
+  for (const Document& doc : corpus.docs()) {
+    Document filtered;
+    // Walk segments so boundaries survive the filtering.
+    for (size_t s = 0; s < doc.segment_starts.size(); ++s) {
+      int begin = doc.segment_starts[s];
+      int end = (s + 1 < doc.segment_starts.size())
+                    ? doc.segment_starts[s + 1]
+                    : doc.size();
+      bool started = false;
+      for (int i = begin; i < end; ++i) {
+        int mapped = out.old_to_new[doc.tokens[i]];
+        if (mapped < 0) continue;
+        if (!started) {
+          filtered.segment_starts.push_back(
+              static_cast<int>(filtered.tokens.size()));
+          started = true;
+        }
+        filtered.tokens.push_back(mapped);
+      }
+    }
+    // Append via the id-based API to keep the Corpus invariants; rebuild
+    // the segment structure manually afterward.
+    out.corpus.AddDocumentIds(filtered.tokens);
+    // AddDocumentIds creates a single segment; restore the real ones.
+    const int d = out.corpus.num_docs() - 1;
+    out.corpus.mutable_doc(d).segment_starts = filtered.segment_starts;
+  }
+  return out;
+}
+
+}  // namespace latent::text

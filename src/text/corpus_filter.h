@@ -1,0 +1,38 @@
+// Vocabulary pruning: drop words that are too rare (noise) or too common
+// (corpus-specific stopwords) and rebuild the corpus with a compact
+// vocabulary — the standard preprocessing step before topic modeling on
+// real dumps.
+#ifndef LATENT_TEXT_CORPUS_FILTER_H_
+#define LATENT_TEXT_CORPUS_FILTER_H_
+
+#include <vector>
+
+#include "text/corpus.h"
+
+namespace latent::text {
+
+struct VocabFilterOptions {
+  /// Words in fewer documents than this are dropped.
+  int min_document_frequency = 2;
+  /// Words in more than this fraction of documents are dropped (<= 0
+  /// disables).
+  double max_document_fraction = 0.5;
+};
+
+struct FilteredCorpus {
+  Corpus corpus;
+  /// old word id -> new word id, or -1 if dropped.
+  std::vector<int> old_to_new;
+  /// new word id -> old word id.
+  std::vector<int> new_to_old;
+};
+
+/// Rebuilds `corpus` keeping only words that pass the filter. Document
+/// count and order are preserved (documents may become empty); segment
+/// boundaries are preserved for surviving tokens.
+FilteredCorpus FilterVocabulary(const Corpus& corpus,
+                                const VocabFilterOptions& options);
+
+}  // namespace latent::text
+
+#endif  // LATENT_TEXT_CORPUS_FILTER_H_

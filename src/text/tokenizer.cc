@@ -1,0 +1,266 @@
+#include "text/tokenizer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_set>
+
+namespace latent::text {
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char raw : line) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      cur.push_back(static_cast<char>(std::tolower(c)));
+    } else if (!cur.empty()) {
+      out.push_back(std::move(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+bool IsStopword(const std::string& token) {
+  static const std::unordered_set<std::string>* const kStopwords =
+      new std::unordered_set<std::string>{
+          "a",     "an",    "and",   "are",   "as",    "at",    "be",
+          "but",   "by",    "for",   "from",  "has",   "have",  "he",
+          "her",   "his",   "i",     "in",    "is",    "it",    "its",
+          "of",    "on",    "or",    "our",   "she",   "so",    "that",
+          "the",   "their", "them",  "then",  "there", "these", "they",
+          "this",  "to",    "was",   "we",    "were",  "what",  "when",
+          "which", "who",   "will",  "with",  "you",   "your",  "not",
+          "no",    "do",    "does",  "did",   "can",   "could", "would",
+          "should","been",  "being", "into",  "over",  "under", "about",
+          "after", "before","between","than", "too",   "very",  "also",
+          "such",  "only",  "both",  "each",  "more",  "most",  "other",
+          "some",  "any",   "all",   "if",    "because","while","how",
+          "where", "why",   "own",   "same",  "just",  "via",   "using",
+          "based", "towards","toward","up",   "down",  "out",   "off",
+      };
+  return kStopwords->count(token) > 0;
+}
+
+namespace {
+
+// --- Porter stemmer internals -------------------------------------------
+// Direct implementation of M.F. Porter, "An algorithm for suffix stripping",
+// Program 14(3), 1980. Operates on lowercase ASCII.
+
+bool IsVowelAt(const std::string& w, size_t i) {
+  char c = w[i];
+  if (c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u') return true;
+  // 'y' is a vowel if preceded by a consonant.
+  if (c == 'y' && i > 0) return !IsVowelAt(w, i - 1);
+  return false;
+}
+
+// Measure m of the stem w: number of VC sequences.
+int Measure(const std::string& w) {
+  int m = 0;
+  bool prev_vowel = false;
+  for (size_t i = 0; i < w.size(); ++i) {
+    bool v = IsVowelAt(w, i);
+    if (!v && prev_vowel) ++m;
+    prev_vowel = v;
+  }
+  return m;
+}
+
+bool ContainsVowel(const std::string& w) {
+  for (size_t i = 0; i < w.size(); ++i) {
+    if (IsVowelAt(w, i)) return true;
+  }
+  return false;
+}
+
+bool EndsDoubleConsonant(const std::string& w) {
+  size_t n = w.size();
+  if (n < 2) return false;
+  if (w[n - 1] != w[n - 2]) return false;
+  return !IsVowelAt(w, n - 1);
+}
+
+// Consonant-vowel-consonant ending, where the final consonant is not w/x/y.
+bool EndsCvc(const std::string& w) {
+  size_t n = w.size();
+  if (n < 3) return false;
+  if (IsVowelAt(w, n - 3) || !IsVowelAt(w, n - 2) || IsVowelAt(w, n - 1)) {
+    return false;
+  }
+  char c = w[n - 1];
+  return c != 'w' && c != 'x' && c != 'y';
+}
+
+bool EndsWith(const std::string& w, const char* suffix) {
+  size_t len = std::char_traits<char>::length(suffix);
+  if (w.size() < len) return false;
+  return w.compare(w.size() - len, len, suffix) == 0;
+}
+
+// If w ends with `suffix` and the measure of the stem is > m_min, replace the
+// suffix with `replacement` and return true.
+bool ReplaceIfMeasure(std::string* w, const char* suffix,
+                      const char* replacement, int m_min) {
+  if (!EndsWith(*w, suffix)) return false;
+  size_t len = std::char_traits<char>::length(suffix);
+  std::string stem = w->substr(0, w->size() - len);
+  if (Measure(stem) > m_min) {
+    *w = stem + replacement;
+    return true;
+  }
+  return false;
+}
+
+void Step1a(std::string* w) {
+  if (EndsWith(*w, "sses")) {
+    w->resize(w->size() - 2);
+  } else if (EndsWith(*w, "ies")) {
+    w->resize(w->size() - 2);
+  } else if (EndsWith(*w, "ss")) {
+    // keep
+  } else if (EndsWith(*w, "s") && w->size() > 1) {
+    w->resize(w->size() - 1);
+  }
+}
+
+void Step1b(std::string* w) {
+  if (EndsWith(*w, "eed")) {
+    std::string stem = w->substr(0, w->size() - 3);
+    if (Measure(stem) > 0) w->resize(w->size() - 1);
+    return;
+  }
+  bool stripped = false;
+  if (EndsWith(*w, "ed")) {
+    std::string stem = w->substr(0, w->size() - 2);
+    if (ContainsVowel(stem)) {
+      *w = stem;
+      stripped = true;
+    }
+  } else if (EndsWith(*w, "ing")) {
+    std::string stem = w->substr(0, w->size() - 3);
+    if (ContainsVowel(stem)) {
+      *w = stem;
+      stripped = true;
+    }
+  }
+  if (!stripped) return;
+  if (EndsWith(*w, "at") || EndsWith(*w, "bl") || EndsWith(*w, "iz")) {
+    w->push_back('e');
+  } else if (EndsDoubleConsonant(*w)) {
+    char c = w->back();
+    if (c != 'l' && c != 's' && c != 'z') w->resize(w->size() - 1);
+  } else if (Measure(*w) == 1 && EndsCvc(*w)) {
+    w->push_back('e');
+  }
+}
+
+void Step1c(std::string* w) {
+  if (EndsWith(*w, "y")) {
+    std::string stem = w->substr(0, w->size() - 1);
+    if (ContainsVowel(stem)) (*w)[w->size() - 1] = 'i';
+  }
+}
+
+void Step2(std::string* w) {
+  static const std::pair<const char*, const char*> kRules[] = {
+      {"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+      {"anci", "ance"},   {"izer", "ize"},    {"abli", "able"},
+      {"alli", "al"},     {"entli", "ent"},   {"eli", "e"},
+      {"ousli", "ous"},   {"ization", "ize"}, {"ation", "ate"},
+      {"ator", "ate"},    {"alism", "al"},    {"iveness", "ive"},
+      {"fulness", "ful"}, {"ousness", "ous"}, {"aliti", "al"},
+      {"iviti", "ive"},   {"biliti", "ble"},
+  };
+  for (const auto& [suffix, repl] : kRules) {
+    if (EndsWith(*w, suffix)) {
+      ReplaceIfMeasure(w, suffix, repl, 0);
+      return;
+    }
+  }
+}
+
+void Step3(std::string* w) {
+  static const std::pair<const char*, const char*> kRules[] = {
+      {"icate", "ic"}, {"ative", ""},  {"alize", "al"}, {"iciti", "ic"},
+      {"ical", "ic"},  {"ful", ""},    {"ness", ""},
+  };
+  for (const auto& [suffix, repl] : kRules) {
+    if (EndsWith(*w, suffix)) {
+      ReplaceIfMeasure(w, suffix, repl, 0);
+      return;
+    }
+  }
+}
+
+void Step4(std::string* w) {
+  static const char* kSuffixes[] = {
+      "al",    "ance", "ence", "er",   "ic",   "able", "ible", "ant",
+      "ement", "ment", "ent",  "ou",   "ism",  "ate",  "iti",  "ous",
+      "ive",   "ize",
+  };
+  for (const char* suffix : kSuffixes) {
+    if (EndsWith(*w, suffix)) {
+      size_t len = std::char_traits<char>::length(suffix);
+      std::string stem = w->substr(0, w->size() - len);
+      if (Measure(stem) > 1) *w = stem;
+      return;
+    }
+  }
+  // (m>1 and (*S or *T)) ION ->
+  if (EndsWith(*w, "ion")) {
+    std::string stem = w->substr(0, w->size() - 3);
+    if (Measure(stem) > 1 && !stem.empty() &&
+        (stem.back() == 's' || stem.back() == 't')) {
+      *w = stem;
+    }
+  }
+}
+
+void Step5a(std::string* w) {
+  if (EndsWith(*w, "e")) {
+    std::string stem = w->substr(0, w->size() - 1);
+    int m = Measure(stem);
+    if (m > 1 || (m == 1 && !EndsCvc(stem))) *w = stem;
+  }
+}
+
+void Step5b(std::string* w) {
+  if (Measure(*w) > 1 && EndsDoubleConsonant(*w) && w->back() == 'l') {
+    w->resize(w->size() - 1);
+  }
+}
+
+}  // namespace
+
+std::string PorterStem(const std::string& word) {
+  if (word.size() <= 2) return word;
+  std::string w = word;
+  Step1a(&w);
+  Step1b(&w);
+  Step1c(&w);
+  Step2(&w);
+  Step3(&w);
+  Step4(&w);
+  Step5a(&w);
+  Step5b(&w);
+  return w;
+}
+
+std::vector<std::string> TokenizeFiltered(const std::string& line,
+                                          const TokenizeOptions& options) {
+  std::vector<std::string> tokens = Tokenize(line);
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (std::string& t : tokens) {
+    if (options.remove_stopwords && IsStopword(t)) continue;
+    if (options.stem) t = PorterStem(t);
+    if (static_cast<int>(t.size()) < options.min_length) continue;
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace latent::text

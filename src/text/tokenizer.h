@@ -1,0 +1,35 @@
+// Tokenization, stopword filtering, and Porter stemming (Section 4.4:
+// "We perform stemming on the tokens in the corpus using the porter stemming
+// algorithm to address the various forms of words ... We remove English stop
+// words for the mining and topic modeling steps.").
+#ifndef LATENT_TEXT_TOKENIZER_H_
+#define LATENT_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <vector>
+
+namespace latent::text {
+
+/// Lowercases and splits on any non-alphanumeric character. Pure function.
+std::vector<std::string> Tokenize(const std::string& line);
+
+/// True for a small built-in English stopword list (function words).
+bool IsStopword(const std::string& token);
+
+/// Porter (1980) stemming algorithm, steps 1a-5b. Input must be lowercase.
+std::string PorterStem(const std::string& word);
+
+struct TokenizeOptions {
+  bool remove_stopwords = true;
+  bool stem = false;
+  /// Tokens shorter than this are dropped (after stemming).
+  int min_length = 2;
+};
+
+/// Full pipeline: tokenize, filter, optionally stem.
+std::vector<std::string> TokenizeFiltered(const std::string& line,
+                                          const TokenizeOptions& options);
+
+}  // namespace latent::text
+
+#endif  // LATENT_TEXT_TOKENIZER_H_

@@ -1,0 +1,51 @@
+// Bidirectional string <-> dense integer id mapping.
+#ifndef LATENT_TEXT_VOCABULARY_H_
+#define LATENT_TEXT_VOCABULARY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+
+namespace latent::text {
+
+/// Interns strings to contiguous int ids (0-based). Used for words, authors,
+/// venues, and any other typed node universe.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Returns the id for `token`, adding it if unseen.
+  int Intern(const std::string& token) {
+    auto it = index_.find(token);
+    if (it != index_.end()) return it->second;
+    int id = static_cast<int>(tokens_.size());
+    index_.emplace(token, id);
+    tokens_.push_back(token);
+    return id;
+  }
+
+  /// Returns the id for `token`, or -1 if absent.
+  int Lookup(const std::string& token) const {
+    auto it = index_.find(token);
+    return it == index_.end() ? -1 : it->second;
+  }
+
+  const std::string& Token(int id) const {
+    LATENT_CHECK_GE(id, 0);
+    LATENT_CHECK_LT(id, static_cast<int>(tokens_.size()));
+    return tokens_[id];
+  }
+
+  int size() const { return static_cast<int>(tokens_.size()); }
+  bool empty() const { return tokens_.empty(); }
+
+ private:
+  std::unordered_map<std::string, int> index_;
+  std::vector<std::string> tokens_;
+};
+
+}  // namespace latent::text
+
+#endif  // LATENT_TEXT_VOCABULARY_H_

@@ -1,0 +1,71 @@
+// Tests for the one-call convenience API (src/api).
+#include <gtest/gtest.h>
+
+#include "api/latent.h"
+#include "data/synthetic_hin.h"
+
+namespace latent::api {
+namespace {
+
+data::HinDataset SmallDs() {
+  data::HinDatasetOptions opt = data::DblpLikeOptions(800, 55);
+  opt.num_areas = 3;
+  opt.subareas_per_area = 2;
+  return data::GenerateHinDataset(opt);
+}
+
+PipelineOptions SmallOptions() {
+  PipelineOptions opt;
+  opt.build.levels_k = {3, 2};
+  opt.build.max_depth = 2;
+  opt.build.cluster.restarts = 2;
+  opt.build.cluster.max_iters = 50;
+  opt.build.cluster.seed = 7;
+  opt.miner.min_support = 4;
+  return opt;
+}
+
+TEST(ApiTest, MinesFullHierarchyWithEntities) {
+  data::HinDataset ds = SmallDs();
+  MinedHierarchy mined =
+      MineTopicalHierarchy(ds.corpus, ds.entity_type_names,
+                           ds.entity_type_sizes, ds.entity_docs,
+                           SmallOptions());
+  EXPECT_EQ(mined.tree().node(0).children.size(), 3u);
+  EXPECT_EQ(mined.tree().Height(), 2);
+  EXPECT_GT(mined.dict().size(), 0);
+
+  phrase::KertOptions kopt;
+  for (int node : mined.tree().NodesAtLevel(1)) {
+    auto phrases = mined.TopPhrases(node, kopt, 5);
+    EXPECT_FALSE(phrases.empty()) << node;
+    auto authors = mined.TopEntities(node, 1, 5);
+    EXPECT_FALSE(authors.empty()) << node;
+  }
+}
+
+TEST(ApiTest, TextOnlyPipelineWorks) {
+  data::HinDataset ds = SmallDs();
+  MinedHierarchy mined =
+      MineTopicalHierarchy(ds.corpus, {}, {}, {}, SmallOptions());
+  EXPECT_EQ(mined.tree().num_types(), 1);
+  phrase::KertOptions kopt;
+  std::string tree = mined.RenderTree(kopt, 3);
+  EXPECT_NE(tree.find("o/1"), std::string::npos);
+  EXPECT_NE(tree.find("o/1/1"), std::string::npos);
+}
+
+TEST(ApiTest, RenderNodeHandlesRootAndLeaves) {
+  data::HinDataset ds = SmallDs();
+  MinedHierarchy mined =
+      MineTopicalHierarchy(ds.corpus, {}, {}, {}, SmallOptions());
+  phrase::KertOptions kopt;
+  EXPECT_EQ(mined.RenderNode(mined.tree().root(), kopt, 3), "(root)");
+  for (int leaf : mined.tree().Leaves()) {
+    std::string rendered = mined.RenderNode(leaf, kopt, 3);
+    EXPECT_FALSE(rendered.empty());
+  }
+}
+
+}  // namespace
+}  // namespace latent::api

@@ -1,0 +1,174 @@
+// Tests for the baseline implementations (LDA, NetClus, TNG, TopK, kpRel,
+// Turbo-lite).
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/kp_rank.h"
+#include "common/math_util.h"
+#include "baselines/lda_gibbs.h"
+#include "baselines/netclus.h"
+#include "baselines/tng.h"
+#include "baselines/topk_baseline.h"
+#include "baselines/turbo_lite.h"
+#include "data/synthetic_hin.h"
+#include "hin/collapse.h"
+#include "phrase/frequent_miner.h"
+
+namespace latent::baselines {
+namespace {
+
+data::HinDataset SmallDs(int docs = 800, uint64_t seed = 3) {
+  data::HinDatasetOptions opt = data::DblpLikeOptions(docs, seed);
+  opt.num_areas = 3;
+  opt.subareas_per_area = 2;
+  return data::GenerateHinDataset(opt);
+}
+
+TEST(LdaTest, TopicsAreDistributions) {
+  data::HinDataset ds = SmallDs(300);
+  LdaOptions opt;
+  opt.num_topics = 3;
+  opt.iterations = 50;
+  phrase::FlatTopicModel m = FitLda(ds.corpus, opt);
+  ASSERT_EQ(m.topic_word.size(), 3u);
+  for (const auto& phi : m.topic_word) {
+    double s = 0;
+    for (double x : phi) s += x;
+    EXPECT_NEAR(s, 1.0, 1e-9);
+  }
+}
+
+TEST(NetClusTest, RecoversAreaClusters) {
+  data::HinDataset ds = SmallDs(1200, 7);
+  NetClusOptions opt;
+  opt.num_clusters = 3;
+  opt.max_iters = 30;
+  opt.seed = 5;
+  NetClusResult r = RunNetClus(ds.corpus, ds.entity_type_sizes,
+                               ds.entity_docs, opt);
+  ASSERT_EQ(r.assignment.size(), static_cast<size_t>(ds.corpus.num_docs()));
+  // Purity of the clustering against planted areas should beat chance.
+  std::vector<std::vector<int>> counts(3, std::vector<int>(3, 0));
+  for (int d = 0; d < ds.corpus.num_docs(); ++d) {
+    ++counts[r.assignment[d]][ds.doc_area[d]];
+  }
+  int pure = 0;
+  for (int z = 0; z < 3; ++z) {
+    pure += *std::max_element(counts[z].begin(), counts[z].end());
+  }
+  double purity = static_cast<double>(pure) / ds.corpus.num_docs();
+  EXPECT_GT(purity, 0.7) << "NetClus should recover the planted areas";
+}
+
+TEST(NetClusTest, SmoothingKeepsBackgroundMass) {
+  data::HinDataset ds = SmallDs(300, 9);
+  NetClusOptions opt;
+  opt.num_clusters = 3;
+  opt.smoothing = 0.99;  // almost pure background
+  opt.max_iters = 10;
+  NetClusResult r = RunNetClus(ds.corpus, ds.entity_type_sizes,
+                               ds.entity_docs, opt);
+  // With extreme smoothing all clusters look alike.
+  double diff = 0.0;
+  for (int w = 0; w < ds.corpus.vocab_size(); ++w) {
+    diff += std::abs(r.phi[0][0][w] - r.phi[1][0][w]);
+  }
+  EXPECT_LT(diff, 0.2);
+}
+
+TEST(TngTest, ProducesPhrasesAndTopics) {
+  text::Corpus c;
+  for (int i = 0; i < 60; ++i) {
+    c.AddTokenizedDocument({"support", "vector", "machines", "learning"});
+    c.AddTokenizedDocument({"query", "processing", "database", "systems"});
+  }
+  TngOptions opt;
+  opt.num_topics = 2;
+  opt.iterations = 60;
+  opt.seed = 11;
+  TngResult r = FitTng(c, opt);
+  ASSERT_EQ(r.topics.size(), 2u);
+  // At least one topic should have chained a phrase.
+  size_t total_phrases = r.topics[0].phrases.size() +
+                         r.topics[1].phrases.size();
+  EXPECT_GT(total_phrases, 0u);
+  for (const auto& phi : r.model.topic_word) {
+    double s = 0;
+    for (double x : phi) s += x;
+    EXPECT_NEAR(s, 1.0, 1e-9);
+  }
+}
+
+TEST(TopKBaselineTest, PicksMostFrequentNodes) {
+  data::HinDataset ds = SmallDs(300, 13);
+  hin::HeteroNetwork net = hin::BuildCollapsedNetwork(
+      ds.corpus, ds.entity_type_names, ds.entity_type_sizes, ds.entity_docs);
+  auto topic = TopKPseudoTopic(net, 5);
+  ASSERT_EQ(topic.size(), 3u);
+  EXPECT_EQ(topic[0].size(), 5u);
+  // The first node must have max degree.
+  auto deg = net.WeightedDegrees(0);
+  for (int w = 0; w < net.type_size(0); ++w) {
+    EXPECT_LE(deg[w], deg[topic[0][0]] + 1e-9);
+  }
+}
+
+TEST(KpRankTest, FavorsUnigramsOverKert) {
+  data::HinDataset ds = SmallDs(1500, 17);
+  phrase::MinerOptions mopt;
+  mopt.min_support = 5;
+  phrase::PhraseDict dict = phrase::MineFrequentPhrases(ds.corpus, mopt);
+  // Ground-truth-style hierarchy: areas as children of root.
+  core::TopicHierarchy tree({"term"}, {ds.corpus.vocab_size()});
+  std::vector<double> root(ds.corpus.vocab_size(), 0.0);
+  auto cf = ds.corpus.CollectionFrequencies();
+  for (int w = 0; w < ds.corpus.vocab_size(); ++w) {
+    root[w] = static_cast<double>(cf[w]);
+  }
+  latent::NormalizeInPlace(&root);
+  tree.AddRoot({root}, 1.0);
+  for (int a = 0; a < 3; ++a) {
+    std::vector<double> phi(ds.corpus.vocab_size(), 1e-9);
+    for (int w = 0; w < ds.corpus.vocab_size(); ++w) {
+      if (ds.word_area[w] == a) phi[w] = 1.0;
+    }
+    latent::NormalizeInPlace(&phi);
+    tree.AddChild(0, 1.0 / 3, {phi}, 1.0);
+  }
+  phrase::KertScorer kert(ds.corpus, dict, tree);
+  auto kp = KpRelRank(kert, 1, 10);
+  ASSERT_FALSE(kp.empty());
+  double kp_avg_len = 0;
+  for (const auto& [p, s] : kp) kp_avg_len += dict.Length(p);
+  kp_avg_len /= kp.size();
+
+  phrase::KertOptions kopt;
+  auto kert_ranked = kert.RankTopic(1, kopt, 10);
+  ASSERT_FALSE(kert_ranked.empty());
+  double kert_avg_len = 0;
+  for (const auto& [p, s] : kert_ranked) kert_avg_len += dict.Length(p);
+  kert_avg_len /= kert_ranked.size();
+  EXPECT_LT(kp_avg_len, kert_avg_len + 1e-9)
+      << "kpRel should favor shorter phrases than KERT";
+}
+
+TEST(TurboLiteTest, MergesSignificantSameTopicPairs) {
+  text::Corpus c;
+  for (int i = 0; i < 80; ++i) {
+    c.AddTokenizedDocument({"markov", "chain", "sampling", "method"});
+    c.AddTokenizedDocument({"query", "plan", "index", "scan"});
+  }
+  TurboLiteOptions opt;
+  opt.lda.num_topics = 2;
+  opt.lda.iterations = 60;
+  opt.lda.seed = 21;
+  opt.significance = 2.0;
+  opt.min_support = 10;
+  TurboLiteResult r = FitTurboLite(c, opt);
+  size_t phrases = r.topics[0].phrases.size() + r.topics[1].phrases.size();
+  EXPECT_GT(phrases, 0u) << "repeated collocations should merge";
+}
+
+}  // namespace
+}  // namespace latent::baselines

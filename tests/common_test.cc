@@ -1,0 +1,256 @@
+// Unit tests for the numerics substrate (src/common).
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/dense.h"
+#include "common/eigen.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "common/top_k.h"
+
+namespace latent {
+namespace {
+
+TEST(MathUtilTest, SafeLogFloorsAtTinyProb) {
+  EXPECT_DOUBLE_EQ(SafeLog(0.0), std::log(kTinyProb));
+  EXPECT_DOUBLE_EQ(SafeLog(0.5), std::log(0.5));
+}
+
+TEST(MathUtilTest, LogSumExpMatchesDirectComputation) {
+  std::vector<double> v = {0.1, 1.5, -2.0};
+  double direct = std::log(std::exp(0.1) + std::exp(1.5) + std::exp(-2.0));
+  EXPECT_NEAR(LogSumExp(v), direct, 1e-12);
+}
+
+TEST(MathUtilTest, LogSumExpHandlesLargeMagnitudes) {
+  std::vector<double> v = {1000.0, 1000.0};
+  EXPECT_NEAR(LogSumExp(v), 1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(MathUtilTest, NormalizeInPlaceMakesDistribution) {
+  std::vector<double> v = {1.0, 3.0};
+  double total = NormalizeInPlace(&v);
+  EXPECT_DOUBLE_EQ(total, 4.0);
+  EXPECT_DOUBLE_EQ(v[0], 0.25);
+  EXPECT_DOUBLE_EQ(v[1], 0.75);
+}
+
+TEST(MathUtilTest, NormalizeZeroVectorBecomesUniform) {
+  std::vector<double> v = {0.0, 0.0, 0.0, 0.0};
+  NormalizeInPlace(&v);
+  for (double x : v) EXPECT_DOUBLE_EQ(x, 0.25);
+}
+
+TEST(MathUtilTest, KlDivergenceIsZeroForIdenticalDistributions) {
+  std::vector<double> p = {0.2, 0.3, 0.5};
+  EXPECT_NEAR(KlDivergence(p, p), 0.0, 1e-12);
+}
+
+TEST(MathUtilTest, KlDivergenceIsPositiveForDifferentDistributions) {
+  std::vector<double> p = {0.9, 0.1};
+  std::vector<double> q = {0.1, 0.9};
+  EXPECT_GT(KlDivergence(p, q), 0.0);
+}
+
+TEST(MathUtilTest, PointwiseKlZeroWhenPZero) {
+  EXPECT_DOUBLE_EQ(PointwiseKl(0.0, 0.5), 0.0);
+}
+
+TEST(MathUtilTest, EntropyOfUniformIsLogK) {
+  std::vector<double> p(8, 1.0 / 8.0);
+  EXPECT_NEAR(Entropy(p), std::log(8.0), 1e-12);
+}
+
+TEST(MathUtilTest, TotalVariationBounds) {
+  std::vector<double> p = {1.0, 0.0};
+  std::vector<double> q = {0.0, 1.0};
+  EXPECT_DOUBLE_EQ(TotalVariation(p, q), 1.0);
+  EXPECT_DOUBLE_EQ(TotalVariation(p, p), 0.0);
+}
+
+TEST(MathUtilTest, MatchedL1ErrorZeroForPermutedTopics) {
+  std::vector<std::vector<double>> truth = {{0.9, 0.1}, {0.1, 0.9}};
+  std::vector<std::vector<double>> est = {{0.1, 0.9}, {0.9, 0.1}};
+  EXPECT_NEAR(MatchedL1Error(truth, est), 0.0, 1e-12);
+}
+
+TEST(MathUtilTest, CosineSimilarityOfOrthogonalVectorsIsZero) {
+  EXPECT_DOUBLE_EQ(CosineSimilarity({1.0, 0.0}, {0.0, 2.0}), 0.0);
+  EXPECT_NEAR(CosineSimilarity({1.0, 1.0}, {2.0, 2.0}), 1.0, 1e-12);
+}
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(7), b(8);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= (a.Uniform() != b.Uniform());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, DiscreteRespectsWeights) {
+  Rng rng(13);
+  std::vector<double> w = {0.0, 10.0, 0.0};
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.Discrete(w), 1);
+}
+
+TEST(RngTest, DiscreteEmpiricalFrequencies) {
+  Rng rng(17);
+  std::vector<double> w = {1.0, 3.0};
+  int count1 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) count1 += rng.Discrete(w);
+  EXPECT_NEAR(static_cast<double>(count1) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, DirichletSumsToOne) {
+  Rng rng(23);
+  std::vector<double> d = rng.Dirichlet(0.5, 10);
+  double s = 0;
+  for (double x : d) {
+    EXPECT_GE(x, 0.0);
+    s += x;
+  }
+  EXPECT_NEAR(s, 1.0, 1e-12);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(29);
+  for (int i = 0; i < 1000; ++i) {
+    int v = rng.UniformInt(5);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 5);
+  }
+}
+
+TEST(TopKTest, SelectsHighestScores) {
+  std::vector<double> scores = {0.1, 0.9, 0.5, 0.7};
+  auto top = TopKDense(scores, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, 1);
+  EXPECT_EQ(top[1].first, 3);
+}
+
+TEST(TopKTest, TiesBrokenByIdAscending) {
+  std::vector<double> scores = {0.5, 0.5, 0.5};
+  auto top = TopKDense(scores, 2);
+  EXPECT_EQ(top[0].first, 0);
+  EXPECT_EQ(top[1].first, 1);
+}
+
+TEST(TopKTest, KLargerThanInputReturnsAllSorted) {
+  std::vector<double> scores = {0.2, 0.8};
+  auto top = TopKDense(scores, 10);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, 1);
+}
+
+TEST(DenseTest, TransposeTimesAndTimesVector) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  Matrix ata = a.TransposeTimes(a);
+  EXPECT_EQ(ata.rows(), 3);
+  EXPECT_EQ(ata.cols(), 3);
+  EXPECT_DOUBLE_EQ(ata(0, 0), 17.0);  // 1*1 + 4*4
+  EXPECT_DOUBLE_EQ(ata(0, 1), 22.0);  // 1*2 + 4*5
+
+  std::vector<double> y = a.TimesVector({1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+
+  std::vector<double> z = a.TransposeTimesVector({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(z[0], 5.0);
+  EXPECT_DOUBLE_EQ(z[2], 9.0);
+}
+
+TEST(DenseTest, OrthonormalizeProducesOrthonormalColumns) {
+  Rng rng(31);
+  Matrix m(10, 4);
+  for (int i = 0; i < 10; ++i) {
+    for (int j = 0; j < 4; ++j) m(i, j) = rng.Normal();
+  }
+  OrthonormalizeColumns(&m);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      double dot = 0;
+      for (int i = 0; i < 10; ++i) dot += m(i, a) * m(i, b);
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(EigenTest, JacobiDiagonalizesKnownMatrix) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  Matrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 2;
+  EigenResult r = JacobiEigenSymmetric(a);
+  ASSERT_EQ(r.values.size(), 2u);
+  EXPECT_NEAR(r.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(r.values[1], 1.0, 1e-10);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::abs(r.vectors(0, 0)), 1.0 / std::sqrt(2.0), 1e-10);
+}
+
+TEST(EigenTest, JacobiReconstructsMatrix) {
+  Rng rng(37);
+  const int n = 8;
+  Matrix a(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      a(i, j) = a(j, i) = rng.Normal();
+    }
+  }
+  EigenResult r = JacobiEigenSymmetric(a);
+  // Reconstruct A = V diag(w) V^T.
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double s = 0;
+      for (int t = 0; t < n; ++t) {
+        s += r.vectors(i, t) * r.values[t] * r.vectors(j, t);
+      }
+      EXPECT_NEAR(s, a(i, j), 1e-8);
+    }
+  }
+}
+
+TEST(EigenTest, RandomizedMatchesJacobiOnLowRankOperator) {
+  // A = B B^T with B 30x3 => rank 3 PSD.
+  Rng rng(41);
+  const int n = 30, k = 3;
+  Matrix b(n, k);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < k; ++j) b(i, j) = rng.Normal();
+  }
+  Matrix a(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double s = 0;
+      for (int t = 0; t < k; ++t) s += b(i, t) * b(j, t);
+      a(i, j) = s;
+    }
+  }
+  EigenResult exact = JacobiEigenSymmetric(a);
+  auto matvec = [&](const std::vector<double>& x, std::vector<double>* y) {
+    *y = a.TimesVector(x);
+  };
+  EigenResult approx = RandomizedEigenSymmetric(matvec, n, k, /*seed=*/5);
+  for (int j = 0; j < k; ++j) {
+    EXPECT_NEAR(approx.values[j], exact.values[j], 1e-6 * (1 + exact.values[j]));
+  }
+}
+
+}  // namespace
+}  // namespace latent

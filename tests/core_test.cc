@@ -1,0 +1,296 @@
+// Tests for the CATHY/CATHYHIN clustering model, the topic hierarchy, and
+// the recursive builder.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "core/builder.h"
+#include "core/clusterer.h"
+#include "core/hierarchy.h"
+#include "hin/network.h"
+
+namespace latent::core {
+namespace {
+
+// Two planted term communities {0..4} and {5..9}, dense inside, one weak
+// cross link.
+hin::HeteroNetwork TwoBlockNetwork(double intra = 10.0, double cross = 1.0) {
+  hin::HeteroNetwork net({"term"}, {10});
+  int lt = net.AddLinkType(0, 0);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = i + 1; j < 5; ++j) {
+      net.AddLink(lt, i, j, intra);
+      net.AddLink(lt, i + 5, j + 5, intra);
+    }
+  }
+  net.AddLink(lt, 0, 5, cross);
+  net.Coalesce();
+  return net;
+}
+
+// Index of the topic that maximizes phi for node i of type x.
+int ArgmaxTopic(const ClusterResult& r, int x, int i) {
+  int best = 0;
+  for (int z = 1; z < r.k; ++z) {
+    if (r.phi[z][x][i] > r.phi[best][x][i]) best = z;
+  }
+  return best;
+}
+
+ClusterOptions HomogeneousOptions() {
+  ClusterOptions opt;
+  opt.num_topics = 2;
+  opt.background = false;
+  opt.restarts = 5;
+  opt.seed = 11;
+  return opt;
+}
+
+TEST(ClustererTest, RecoversPlantedBlocks) {
+  hin::HeteroNetwork net = TwoBlockNetwork();
+  auto parent = DegreeDistributions(net);
+  ClusterResult r = FitCluster(net, parent, HomogeneousOptions());
+  ASSERT_EQ(r.k, 2);
+  int block_a = ArgmaxTopic(r, 0, 0);
+  for (int i = 1; i < 5; ++i) EXPECT_EQ(ArgmaxTopic(r, 0, i), block_a);
+  for (int i = 5; i < 10; ++i) EXPECT_NE(ArgmaxTopic(r, 0, i), block_a);
+}
+
+TEST(ClustererTest, RhoIsADistribution) {
+  hin::HeteroNetwork net = TwoBlockNetwork();
+  auto parent = DegreeDistributions(net);
+  ClusterResult r = FitCluster(net, parent, HomogeneousOptions());
+  double total = Sum(r.rho) + r.rho_bg;
+  EXPECT_NEAR(total, 1.0, 1e-8);
+  // Blocks are symmetric, so the split should be roughly even.
+  EXPECT_NEAR(r.rho[0], 0.5, 0.05);
+}
+
+TEST(ClustererTest, PhiRowsAreDistributions) {
+  hin::HeteroNetwork net = TwoBlockNetwork();
+  auto parent = DegreeDistributions(net);
+  ClusterResult r = FitCluster(net, parent, HomogeneousOptions());
+  for (int z = 0; z < r.k; ++z) {
+    EXPECT_NEAR(Sum(r.phi[z][0]), 1.0, 1e-8);
+    for (double v : r.phi[z][0]) EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(ClustererTest, DeterministicGivenSeed) {
+  hin::HeteroNetwork net = TwoBlockNetwork();
+  auto parent = DegreeDistributions(net);
+  ClusterResult a = FitCluster(net, parent, HomogeneousOptions());
+  ClusterResult b = FitCluster(net, parent, HomogeneousOptions());
+  EXPECT_DOUBLE_EQ(a.log_likelihood, b.log_likelihood);
+  EXPECT_EQ(a.phi[0][0], b.phi[0][0]);
+}
+
+TEST(ClustererTest, ExtractSubnetworkSeparatesBlocks) {
+  hin::HeteroNetwork net = TwoBlockNetwork();
+  auto parent = DegreeDistributions(net);
+  ClusterResult r = FitCluster(net, parent, HomogeneousOptions());
+  int block_of_0 = ArgmaxTopic(r, 0, 0);
+  hin::HeteroNetwork sub = ExtractSubnetwork(net, r, block_of_0, 1.0);
+  // Subnetwork should contain block-0 internal links only.
+  auto deg = sub.WeightedDegrees(0);
+  for (int i = 0; i < 5; ++i) EXPECT_GT(deg[i], 0.0);
+  for (int i = 6; i < 10; ++i) EXPECT_DOUBLE_EQ(deg[i], 0.0) << i;
+  // Extracted weight cannot exceed the original.
+  EXPECT_LE(sub.TotalWeight(), net.TotalWeight());
+}
+
+TEST(ClustererTest, SubnetworkWeightsPartitionOriginal) {
+  hin::HeteroNetwork net = TwoBlockNetwork();
+  auto parent = DegreeDistributions(net);
+  ClusterResult r = FitCluster(net, parent, HomogeneousOptions());
+  // With min_weight=0 the subtopic expected weights must sum back to the
+  // original link weights (no background here).
+  double total = 0.0;
+  for (int z = 0; z < r.k; ++z) {
+    total += ExtractSubnetwork(net, r, z, 0.0).TotalWeight();
+  }
+  EXPECT_NEAR(total, net.TotalWeight(), 1e-6);
+}
+
+TEST(ClustererTest, SelectAndFitPrefersTwoBlocks) {
+  hin::HeteroNetwork net = TwoBlockNetwork(20.0, 0.5);
+  auto parent = DegreeDistributions(net);
+  ClusterOptions opt = HomogeneousOptions();
+  ClusterResult r = SelectAndFit(net, parent, opt, 1, 4);
+  EXPECT_EQ(r.k, 2);
+}
+
+TEST(ClustererTest, LikelihoodImprovesWithCorrectK) {
+  hin::HeteroNetwork net = TwoBlockNetwork();
+  auto parent = DegreeDistributions(net);
+  ClusterOptions opt = HomogeneousOptions();
+  opt.num_topics = 1;
+  ClusterResult k1 = FitCluster(net, parent, opt);
+  opt.num_topics = 2;
+  ClusterResult k2 = FitCluster(net, parent, opt);
+  EXPECT_GT(k2.log_likelihood, k1.log_likelihood);
+}
+
+// Heterogeneous planted network: terms + authors, two communities.
+hin::HeteroNetwork TwoBlockHin() {
+  hin::HeteroNetwork net({"term", "author"}, {10, 6});
+  int tt = net.AddLinkType(0, 0);
+  int ta = net.AddLinkType(0, 1);
+  int aa = net.AddLinkType(1, 1);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = i + 1; j < 5; ++j) {
+      net.AddLink(tt, i, j, 8.0);
+      net.AddLink(tt, i + 5, j + 5, 8.0);
+    }
+  }
+  for (int a = 0; a < 3; ++a) {
+    for (int w = 0; w < 5; ++w) {
+      net.AddLink(ta, w, a, 4.0);
+      net.AddLink(ta, w + 5, a + 3, 4.0);
+    }
+  }
+  net.AddLink(aa, 0, 1, 6.0);
+  net.AddLink(aa, 1, 2, 6.0);
+  net.AddLink(aa, 3, 4, 6.0);
+  net.AddLink(aa, 4, 5, 6.0);
+  net.AddLink(aa, 0, 3, 0.5);  // weak cross community link
+  net.Coalesce();
+  return net;
+}
+
+TEST(ClustererTest, HeterogeneousWithBackgroundRecoversCommunities) {
+  hin::HeteroNetwork net = TwoBlockHin();
+  auto parent = DegreeDistributions(net);
+  ClusterOptions opt;
+  opt.num_topics = 2;
+  opt.background = true;
+  opt.restarts = 5;
+  opt.seed = 3;
+  ClusterResult r = FitCluster(net, parent, opt);
+  EXPECT_GE(r.rho_bg, 0.0);
+  EXPECT_LE(r.rho_bg, 0.6);
+  int block_a_term = ArgmaxTopic(r, 0, 0);
+  for (int i = 1; i < 5; ++i) EXPECT_EQ(ArgmaxTopic(r, 0, i), block_a_term);
+  for (int i = 5; i < 10; ++i) EXPECT_NE(ArgmaxTopic(r, 0, i), block_a_term);
+  // Authors should follow their community's terms.
+  int block_a_author = ArgmaxTopic(r, 1, 0);
+  EXPECT_EQ(block_a_author, block_a_term);
+  for (int a = 3; a < 6; ++a) EXPECT_NE(ArgmaxTopic(r, 1, a), block_a_term);
+}
+
+class WeightModeTest : public ::testing::TestWithParam<LinkWeightMode> {};
+
+INSTANTIATE_TEST_SUITE_P(AllModes, WeightModeTest,
+                         ::testing::Values(LinkWeightMode::kEqual,
+                                           LinkWeightMode::kNormalized,
+                                           LinkWeightMode::kLearned));
+
+TEST_P(WeightModeTest, FitSucceedsAndNormalizes) {
+  hin::HeteroNetwork net = TwoBlockHin();
+  auto parent = DegreeDistributions(net);
+  ClusterOptions opt;
+  opt.num_topics = 2;
+  opt.background = true;
+  opt.weight_mode = GetParam();
+  opt.restarts = 3;
+  opt.seed = 19;
+  ClusterResult r = FitCluster(net, parent, opt);
+  EXPECT_NEAR(Sum(r.rho) + r.rho_bg, 1.0, 1e-6);
+  for (double a : r.alpha) EXPECT_GT(a, 0.0);
+  for (int z = 0; z < r.k; ++z) {
+    for (int x = 0; x < net.num_types(); ++x) {
+      double s = Sum(r.phi[z][x]);
+      EXPECT_TRUE(std::abs(s - 1.0) < 1e-6 || s == 0.0);
+    }
+  }
+}
+
+TEST(ClustererTest, LearnedAlphaGeometricMeanIsOne) {
+  hin::HeteroNetwork net = TwoBlockHin();
+  auto parent = DegreeDistributions(net);
+  ClusterOptions opt;
+  opt.num_topics = 2;
+  opt.background = true;
+  opt.weight_mode = LinkWeightMode::kLearned;
+  opt.restarts = 1;
+  opt.seed = 19;
+  ClusterResult r = FitCluster(net, parent, opt);
+  // The constraint prod alpha^{n_xy} = 1 (Eq. 3.34).
+  double log_sum = 0.0, n = 0.0;
+  for (int lt = 0; lt < net.num_link_types(); ++lt) {
+    double nl = static_cast<double>(net.link_type(lt).links.size());
+    log_sum += nl * std::log(r.alpha[lt]);
+    n += nl;
+  }
+  EXPECT_NEAR(log_sum / n, 0.0, 1e-8);
+}
+
+TEST(HierarchyTest, PathsAndLevels) {
+  TopicHierarchy tree({"term"}, {4});
+  tree.AddRoot({{0.25, 0.25, 0.25, 0.25}}, 100.0);
+  int c1 = tree.AddChild(0, 0.6, {{0.5, 0.5, 0.0, 0.0}}, 60.0);
+  int c2 = tree.AddChild(0, 0.4, {{0.0, 0.0, 0.5, 0.5}}, 40.0);
+  int g1 = tree.AddChild(c1, 1.0, {{1.0, 0.0, 0.0, 0.0}}, 30.0);
+  EXPECT_EQ(tree.node(0).path, "o");
+  EXPECT_EQ(tree.node(c1).path, "o/1");
+  EXPECT_EQ(tree.node(c2).path, "o/2");
+  EXPECT_EQ(tree.node(g1).path, "o/1/1");
+  EXPECT_EQ(tree.node(g1).level, 2);
+  EXPECT_EQ(tree.Height(), 2);
+  auto leaves = tree.Leaves();
+  ASSERT_EQ(leaves.size(), 2u);
+  EXPECT_EQ(leaves[0], c2);
+  EXPECT_EQ(leaves[1], g1);
+  auto rho = tree.ChildRho(0);
+  EXPECT_NEAR(rho[0], 0.6, 1e-12);
+  EXPECT_NEAR(rho[1], 0.4, 1e-12);
+}
+
+TEST(BuilderTest, BuildsRequestedShape) {
+  hin::HeteroNetwork net = TwoBlockNetwork(30.0, 1.0);
+  BuildOptions opt;
+  opt.levels_k = {2};
+  opt.max_depth = 1;
+  opt.cluster.background = false;
+  opt.cluster.restarts = 3;
+  opt.cluster.seed = 7;
+  opt.min_network_weight = 1.0;
+  TopicHierarchy tree = BuildHierarchy(net, opt);
+  EXPECT_EQ(tree.num_nodes(), 3);
+  EXPECT_EQ(tree.node(tree.root()).children.size(), 2u);
+  // Children rho normalized.
+  auto rho = tree.ChildRho(tree.root());
+  EXPECT_NEAR(rho[0] + rho[1], 1.0, 1e-9);
+}
+
+TEST(BuilderTest, RecursionStopsAtMaxDepth) {
+  hin::HeteroNetwork net = TwoBlockNetwork(30.0, 1.0);
+  BuildOptions opt;
+  opt.levels_k = {2, 2};
+  opt.max_depth = 2;
+  opt.cluster.background = false;
+  opt.cluster.restarts = 2;
+  opt.cluster.seed = 7;
+  opt.min_network_weight = 1.0;
+  TopicHierarchy tree = BuildHierarchy(net, opt);
+  EXPECT_EQ(tree.Height(), 2);
+  for (int id = 0; id < tree.num_nodes(); ++id) {
+    EXPECT_LE(tree.node(id).level, 2);
+  }
+}
+
+TEST(BuilderTest, SmallNetworksAreNotSplit) {
+  hin::HeteroNetwork net = TwoBlockNetwork(1.0, 0.1);
+  BuildOptions opt;
+  opt.levels_k = {2};
+  opt.max_depth = 1;
+  opt.min_network_weight = 1e6;  // absurdly high: nothing splits
+  TopicHierarchy tree = BuildHierarchy(net, opt);
+  EXPECT_EQ(tree.num_nodes(), 1);
+}
+
+}  // namespace
+}  // namespace latent::core

@@ -1,0 +1,270 @@
+// Tests for the synthetic data generators and the evaluation substrate.
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic_hin.h"
+#include "eval/hpmi.h"
+#include "eval/intrusion.h"
+#include "eval/mutual_info.h"
+#include "eval/nkqm.h"
+#include "eval/oracle_judge.h"
+#include "eval/perplexity.h"
+#include "eval/relation_metrics.h"
+#include "phrase/frequent_miner.h"
+
+namespace latent::eval {
+namespace {
+
+data::HinDataset SmallDblp(int docs = 600, uint64_t seed = 5) {
+  data::HinDatasetOptions opt = data::DblpLikeOptions(docs, seed);
+  opt.num_areas = 3;
+  opt.subareas_per_area = 2;
+  return data::GenerateHinDataset(opt);
+}
+
+TEST(SyntheticHinTest, GeneratorIsWellFormed) {
+  data::HinDataset ds = SmallDblp();
+  EXPECT_EQ(ds.corpus.num_docs(), 600);
+  EXPECT_EQ(ds.doc_area.size(), 600u);
+  EXPECT_EQ(ds.entity_docs.size(), 600u);
+  EXPECT_EQ(static_cast<int>(ds.word_area.size()), ds.corpus.vocab_size());
+  for (int d = 0; d < 600; ++d) {
+    EXPECT_GE(ds.doc_area[d], 0);
+    EXPECT_LT(ds.doc_area[d], 3);
+    EXPECT_EQ(ds.doc_subarea[d] / 2, ds.doc_area[d]);
+    EXPECT_FALSE(ds.entity_docs[d].entities[1].empty());
+  }
+  // Planted phrases use words of their own subarea or area.
+  for (int gs = 0; gs < 6; ++gs) {
+    for (const auto& phrase : ds.subarea_phrases[gs]) {
+      for (int w : phrase) {
+        EXPECT_EQ(ds.word_area[w], gs / 2);
+      }
+    }
+  }
+}
+
+TEST(SyntheticHinTest, DeterministicGivenSeed) {
+  data::HinDataset a = SmallDblp(200, 9);
+  data::HinDataset b = SmallDblp(200, 9);
+  ASSERT_EQ(a.corpus.num_docs(), b.corpus.num_docs());
+  for (int d = 0; d < a.corpus.num_docs(); ++d) {
+    EXPECT_EQ(a.corpus.docs()[d].tokens, b.corpus.docs()[d].tokens);
+  }
+}
+
+TEST(SyntheticHinTest, EntityAffinitiesMatchDocLabels) {
+  data::HinDataset ds = SmallDblp(1000, 11);
+  // Count how often a doc's entity-0 attachments agree with the doc's
+  // subarea; with 3% noise this should be high.
+  int agree = 0, total = 0;
+  for (int d = 0; d < ds.corpus.num_docs(); ++d) {
+    for (int e : ds.entity_docs[d].entities[0]) {
+      ++total;
+      if (ds.entity0_subarea[e] == ds.doc_subarea[d]) ++agree;
+    }
+  }
+  EXPECT_GT(static_cast<double>(agree) / total, 0.9);
+}
+
+TEST(HpmiTest, SameTopicWordsBeatCrossTopicWords) {
+  data::HinDataset ds = SmallDblp(1500, 13);
+  HpmiEvaluator hpmi(ds.corpus, ds.entity_type_sizes, ds.entity_docs);
+  // Pick a few planted words of subarea 0 vs a mix across areas.
+  std::vector<int> same, mixed;
+  for (int w = 0; w < ds.corpus.vocab_size() && same.size() < 6; ++w) {
+    if (ds.word_subarea[w] == 0) same.push_back(w);
+  }
+  for (int a = 0; a < 3 && mixed.size() < 6; ++a) {
+    for (int w = 0; w < ds.corpus.vocab_size(); ++w) {
+      if (ds.word_subarea[w] == a * 2) {
+        mixed.push_back(w);
+        if (mixed.size() % 2 == 0) break;
+      }
+    }
+  }
+  double coherent = hpmi.Hpmi(same, 0, same, 0);
+  double incoherent = hpmi.Hpmi(mixed, 0, mixed, 0);
+  EXPECT_GT(coherent, incoherent);
+}
+
+TEST(HpmiTest, OverallAveragesAcrossTypePairs) {
+  data::HinDataset ds = SmallDblp(4000, 15);
+  HpmiEvaluator hpmi(ds.corpus, ds.entity_type_sizes, ds.entity_docs);
+  // Build a coherent pseudo-topic for subarea 0. Small lists keep the pairs
+  // frequent enough to actually co-occur in the sample (each paper has one
+  // venue, so the venue list stays a singleton: the degenerate venue-venue
+  // pair is skipped, as in Table 3.2's missing column).
+  std::vector<std::vector<int>> topic(3);
+  for (int w = 0; w < ds.corpus.vocab_size() && topic[0].size() < 5; ++w) {
+    if (ds.word_subarea[w] == 0) topic[0].push_back(w);
+  }
+  for (int e = 0; e < ds.entity_type_sizes[0] && topic[1].size() < 4; ++e) {
+    if (ds.entity0_subarea[e] == 0) topic[1].push_back(e);
+  }
+  for (int e = 0; e < ds.entity_type_sizes[1] && topic[2].size() < 1; ++e) {
+    if (ds.entity1_area[e] == 0) topic[2].push_back(e);
+  }
+  double overall = hpmi.Overall(topic);
+  EXPECT_GT(overall, 0.0) << "coherent planted topic should be positive";
+
+  // The same lists mixed with another area's nodes must score lower.
+  std::vector<std::vector<int>> mixed = topic;
+  for (int w = 0; w < ds.corpus.vocab_size(); ++w) {
+    if (ds.word_subarea[w] == 4 && mixed[0].size() < 10) {
+      mixed[0].push_back(w);
+    }
+  }
+  EXPECT_LT(hpmi.Overall(mixed), overall);
+}
+
+TEST(OracleJudgeTest, ScoresFollowPlantedStructure) {
+  data::HinDataset ds = SmallDblp(400, 17);
+  OracleJudge judge(ds, 23);
+  const auto& planted = ds.subarea_phrases[0];
+  // Find a multi-word planted phrase of subarea 0.
+  std::vector<int> good;
+  for (const auto& p : planted) {
+    if (p.size() >= 2) {
+      good = p;
+      break;
+    }
+  }
+  ASSERT_FALSE(good.empty());
+  double s_good = judge.ScorePhrase(good, 0, 0);
+  // Cross-area mixture.
+  std::vector<int> mixed = {good[0]};
+  for (int w = 0; w < ds.corpus.vocab_size(); ++w) {
+    if (ds.word_area[w] == 2) {
+      mixed.push_back(w);
+      break;
+    }
+  }
+  double s_mixed = judge.ScorePhrase(mixed, 0, 0);
+  EXPECT_GT(s_good, s_mixed);
+  EXPECT_GE(s_good, 1.0);
+  EXPECT_LE(s_good, 5.0);
+  // Deterministic per judge.
+  EXPECT_DOUBLE_EQ(judge.ScorePhrase(good, 0, 1),
+                   judge.ScorePhrase(good, 0, 1));
+}
+
+TEST(OracleJudgeTest, AffinityDistributions) {
+  data::HinDataset ds = SmallDblp(400, 19);
+  OracleJudge judge(ds, 29);
+  // An area-0 word has all affinity on area 0.
+  int w0 = -1;
+  for (int w = 0; w < ds.corpus.vocab_size(); ++w) {
+    if (ds.word_area[w] == 0) {
+      w0 = w;
+      break;
+    }
+  }
+  // Single words carry annotator confusion (half mass), but the planted
+  // area still dominates.
+  auto aff = judge.PhraseAreaAffinity({w0});
+  EXPECT_GE(aff[0], 0.5);
+  EXPECT_EQ(static_cast<int>(std::max_element(aff.begin(), aff.end()) -
+                             aff.begin()),
+            0);
+  auto e_aff = judge.EntityAreaAffinity(1, 0);
+  EXPECT_NEAR(e_aff[ds.entity1_area[0]], 1.0, 1e-9);
+}
+
+TEST(IntrusionTest, EasyTopicsScoreHighRandomAffinitiesLow) {
+  // Topics with orthogonal one-hot affinities: oracle should almost always
+  // find the intruder.
+  IntrusionTopic t0, t1;
+  for (int i = 0; i < 10; ++i) {
+    t0.item_affinities.push_back({1.0, 0.0});
+    t1.item_affinities.push_back({0.0, 1.0});
+  }
+  IntrusionOptions opt;
+  opt.num_questions = 200;
+  opt.annotator_noise = 0.0;
+  opt.seed = 31;
+  double clean = RunIntrusionTask({t0, t1}, opt);
+  EXPECT_GT(clean, 0.95);
+
+  // Indistinguishable affinities: chance-level performance (1/X).
+  IntrusionTopic u0, u1;
+  for (int i = 0; i < 10; ++i) {
+    u0.item_affinities.push_back({0.5, 0.5});
+    u1.item_affinities.push_back({0.5, 0.5});
+  }
+  double confused = RunIntrusionTask({u0, u1}, opt);
+  EXPECT_LT(confused, 0.5);
+}
+
+TEST(NkqmTest, PerfectRankingOutscoresNoise) {
+  data::HinDataset ds = SmallDblp(400, 37);
+  OracleJudge judge(ds, 41);
+  // "Good" method: top phrases are the planted subarea-0 phrases.
+  JudgedRanking good;
+  good.area = 0;
+  for (const auto& p : ds.subarea_phrases[0]) good.phrases.push_back(p);
+  for (const auto& p : ds.subarea_phrases[1]) good.phrases.push_back(p);
+  // "Bad" method: global noise unigrams.
+  JudgedRanking bad;
+  bad.area = 0;
+  for (int w = 0; w < ds.corpus.vocab_size(); ++w) {
+    if (ds.word_area[w] < 0) bad.phrases.push_back({w});
+  }
+  std::vector<std::pair<std::vector<int>, int>> pool;
+  for (const auto& p : good.phrases) pool.emplace_back(p, 0);
+  for (const auto& p : bad.phrases) pool.emplace_back(p, 0);
+  double s_good = Nkqm(judge, {good}, pool, 10);
+  double s_bad = Nkqm(judge, {bad}, pool, 10);
+  EXPECT_GT(s_good, s_bad);
+  EXPECT_LE(s_good, 1.000001);
+}
+
+TEST(MutualInfoTest, GroundTruthRankingsGiveHighMi) {
+  data::HinDatasetOptions opt = data::ArxivLikeOptions(1200, 43);
+  data::HinDataset ds = data::GenerateHinDataset(opt);
+  phrase::MinerOptions mopt;
+  mopt.min_support = 5;
+  phrase::PhraseDict dict = phrase::MineFrequentPhrases(ds.corpus, mopt);
+
+  // Oracle rankings: per area, its planted phrases found in the dict.
+  std::vector<std::vector<Scored<int>>> oracle(5);
+  for (int a = 0; a < 5; ++a) {
+    double score = 1.0;
+    for (const auto& p : ds.subarea_phrases[a]) {
+      int id = dict.Lookup(p);
+      if (id >= 0) oracle[a].emplace_back(id, score);
+      score *= 0.99;
+    }
+  }
+  double mi_good = MutualInformationAtK(ds.corpus, ds.doc_area, 5, dict,
+                                        oracle, 20);
+  // Scrambled rankings: same phrases assigned to rotated topics.
+  std::vector<std::vector<Scored<int>>> scrambled(5);
+  for (int a = 0; a < 5; ++a) scrambled[(a + 2) % 5] = oracle[a];
+  // MI is symmetric to topic identity; scrambling topics does not change
+  // MI, so instead test against mixing phrases across topics.
+  std::vector<std::vector<Scored<int>>> mixed(5);
+  for (int a = 0; a < 5; ++a) {
+    for (int j = 0; j < static_cast<int>(oracle[a].size()); ++j) {
+      mixed[j % 5].push_back(oracle[a][j]);
+    }
+  }
+  double mi_mixed = MutualInformationAtK(ds.corpus, ds.doc_area, 5, dict,
+                                         mixed, 20);
+  EXPECT_GT(mi_good, mi_mixed);
+  EXPECT_GT(mi_good, 0.5);
+}
+
+TEST(RelationMetricsTest, ComputesPrecisionRecall) {
+  std::vector<int> truth = {-1, 0, 0, 1};
+  std::vector<int> pred = {-1, 0, 1, -1};
+  RelationMetrics m = EvaluateAdvisorPredictions(pred, truth);
+  EXPECT_NEAR(m.accuracy, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.precision, 0.5, 1e-12);
+  EXPECT_NEAR(m.recall, 1.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace latent::eval

@@ -1,0 +1,185 @@
+// Edge-case and failure-injection tests: degenerate corpora, tiny
+// networks, over-asked k, short documents — the library must degrade
+// gracefully, never crash.
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "core/builder.h"
+#include "core/clusterer.h"
+#include "hin/collapse.h"
+#include "phrase/frequent_miner.h"
+#include "phrase/kert.h"
+#include "phrase/phrase_lda.h"
+#include "phrase/segmenter.h"
+#include "phrase/topmine.h"
+#include "relation/tpfg.h"
+#include "relation/tpfg_preprocess.h"
+#include "strod/strod.h"
+
+namespace latent {
+namespace {
+
+TEST(EdgeCaseTest, EmptyCorpusThroughMinerAndSegmenter) {
+  text::Corpus corpus;
+  phrase::MinerOptions mopt;
+  phrase::PhraseDict dict = phrase::MineFrequentPhrases(corpus, mopt);
+  EXPECT_EQ(dict.size(), 0);
+  phrase::SegmenterOptions sopt;
+  auto segmented = phrase::SegmentCorpus(corpus, &dict, sopt);
+  EXPECT_TRUE(segmented.empty());
+}
+
+TEST(EdgeCaseTest, EmptyDocumentsAreHandled) {
+  text::Corpus corpus;
+  corpus.AddTokenizedDocument({});
+  corpus.AddTokenizedDocument({"one", "two"});
+  corpus.AddTokenizedDocument({});
+  phrase::MinerOptions mopt;
+  mopt.min_support = 1;
+  phrase::PhraseDict dict = phrase::MineFrequentPhrases(corpus, mopt);
+  EXPECT_GT(dict.size(), 0);
+  phrase::SegmenterOptions sopt;
+  auto segmented = phrase::SegmentCorpus(corpus, &dict, sopt);
+  EXPECT_EQ(segmented[0].num_instances(), 0);
+  EXPECT_EQ(segmented[2].num_instances(), 0);
+}
+
+TEST(EdgeCaseTest, SingleWordVocabulary) {
+  text::Corpus corpus;
+  for (int i = 0; i < 10; ++i) {
+    corpus.AddTokenizedDocument({"alpha", "alpha", "alpha"});
+  }
+  phrase::TopMineOptions opt;
+  opt.miner.min_support = 2;
+  opt.lda.num_topics = 2;
+  opt.lda.iterations = 10;
+  phrase::TopMineResult r = phrase::RunTopMine(corpus, opt, 5);
+  EXPECT_EQ(r.topics.size(), 2u);  // no crash; topics may be degenerate
+}
+
+TEST(EdgeCaseTest, ClusterMoreTopicsThanStructure) {
+  hin::HeteroNetwork net({"term"}, {4});
+  int lt = net.AddLinkType(0, 0);
+  net.AddLink(lt, 0, 1, 5.0);
+  net.AddLink(lt, 2, 3, 5.0);
+  net.Coalesce();
+  core::ClusterOptions opt;
+  opt.num_topics = 6;  // way more than the 2 planted blocks
+  opt.background = false;
+  opt.restarts = 1;
+  opt.seed = 3;
+  core::ClusterResult r =
+      core::FitCluster(net, core::DegreeDistributions(net), opt);
+  EXPECT_TRUE(std::isfinite(r.log_likelihood));
+  EXPECT_NEAR(Sum(r.rho), 1.0, 1e-7);
+}
+
+TEST(EdgeCaseTest, BuilderOnTinyNetworkStopsGracefully) {
+  hin::HeteroNetwork net({"term"}, {2});
+  int lt = net.AddLinkType(0, 0);
+  net.AddLink(lt, 0, 1, 1.0);
+  net.Coalesce();
+  core::BuildOptions opt;
+  opt.levels_k = {3, 3};
+  opt.max_depth = 2;
+  opt.min_network_weight = 0.0;
+  opt.cluster.background = false;
+  opt.cluster.restarts = 1;
+  core::TopicHierarchy tree = core::BuildHierarchy(net, opt);
+  EXPECT_GE(tree.num_nodes(), 1);
+}
+
+TEST(EdgeCaseTest, StrodWithShortDocumentsOnly) {
+  // Documents of length < 3 cannot contribute to M3; the fit must still
+  // return valid (if uninformative) distributions.
+  std::vector<strod::SparseDoc> docs(50);
+  for (int d = 0; d < 50; ++d) {
+    docs[d].counts = {{d % 10, 1.0}, {(d + 1) % 10, 1.0}};
+    docs[d].length = 2.0;
+  }
+  strod::StrodOptions opt;
+  opt.num_topics = 2;
+  opt.seed = 5;
+  strod::StrodResult r = strod::FitStrod(docs, 10, opt);
+  for (const auto& phi : r.topic_word) {
+    EXPECT_NEAR(Sum(phi), 1.0, 1e-8);
+  }
+}
+
+TEST(EdgeCaseTest, TpfgOnNetworkWithNoCandidates) {
+  relation::CollabNetwork net(3);
+  // Everyone starts the same year: no one can be anyone's advisor.
+  net.AddPaper(2000, {0, 1});
+  net.AddPaper(2000, {1, 2});
+  relation::PreprocessOptions popt;
+  relation::CandidateDag dag = relation::BuildCandidateDag(net, popt);
+  relation::TpfgResult r = relation::RunTpfg(dag, relation::TpfgOptions());
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(r.predicted[i], -1);
+}
+
+TEST(EdgeCaseTest, PhraseLdaOnEmptyDocs) {
+  std::vector<phrase::SegmentedDoc> docs(3);  // all empty
+  phrase::PhraseLdaOptions opt;
+  opt.num_topics = 2;
+  opt.iterations = 5;
+  phrase::PhraseLdaResult r = phrase::FitPhraseLda(docs, 5, opt);
+  EXPECT_EQ(r.model.doc_topic.size(), 3u);
+}
+
+TEST(EdgeCaseTest, KertOnHierarchyWithoutChildren) {
+  text::Corpus corpus;
+  corpus.AddTokenizedDocument({"a", "b"});
+  phrase::MinerOptions mopt;
+  mopt.min_support = 1;
+  phrase::PhraseDict dict = phrase::MineFrequentPhrases(corpus, mopt);
+  core::TopicHierarchy tree({"term"}, {corpus.vocab_size()});
+  tree.AddRoot({{0.5, 0.5}}, 1.0);
+  phrase::KertScorer scorer(corpus, dict, tree);
+  // Root-only hierarchy: topical frequency equals global counts.
+  for (int p = 0; p < dict.size(); ++p) {
+    EXPECT_EQ(scorer.TopicalFrequency(0, p),
+              static_cast<double>(dict.Count(p)));
+  }
+}
+
+TEST(EdgeCaseTest, CollapseWithEntitiesButNoText) {
+  text::Corpus corpus;
+  corpus.AddTokenizedDocument({});
+  corpus.AddTokenizedDocument({});
+  std::vector<hin::EntityDoc> entity_docs(2);
+  entity_docs[0].entities = {{0, 1}};
+  entity_docs[1].entities = {{1, 2}};
+  hin::CollapseOptions copt;
+  copt.term_term = false;
+  copt.term_entity = false;
+  hin::HeteroNetwork net =
+      hin::BuildCollapsedNetwork(corpus, {"author"}, {3}, entity_docs, copt);
+  EXPECT_DOUBLE_EQ(net.TotalWeight(), 2.0);  // two coauthor pairs
+  // Clustering a pure-entity network works (text-absent case, Section 1.2).
+  core::ClusterOptions opt;
+  opt.num_topics = 2;
+  opt.background = false;
+  opt.restarts = 1;
+  core::ClusterResult r =
+      core::FitCluster(net, core::DegreeDistributions(net), opt);
+  EXPECT_TRUE(std::isfinite(r.log_likelihood));
+}
+
+TEST(EdgeCaseTest, SegmenterWithUnInternedUnigrams) {
+  // Words below support with keep_all_unigrams=false are absent from the
+  // dict; the segmenter interns them on demand.
+  text::Corpus corpus;
+  corpus.AddTokenizedDocument({"rare", "words", "here"});
+  phrase::MinerOptions mopt;
+  mopt.min_support = 5;
+  mopt.keep_all_unigrams = false;
+  phrase::PhraseDict dict = phrase::MineFrequentPhrases(corpus, mopt);
+  EXPECT_EQ(dict.size(), 0);
+  phrase::SegmenterOptions sopt;
+  auto segmented = phrase::SegmentCorpus(corpus, &dict, sopt);
+  EXPECT_EQ(segmented[0].num_instances(), 3);
+  EXPECT_EQ(dict.size(), 3);  // interned by segmentation
+}
+
+}  // namespace
+}  // namespace latent

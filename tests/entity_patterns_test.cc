@@ -1,0 +1,107 @@
+// Tests for frequent entity-pattern mining and clustering metrics.
+#include <gtest/gtest.h>
+
+#include "eval/clustering_metrics.h"
+#include "phrase/entity_patterns.h"
+
+namespace latent {
+namespace {
+
+std::vector<hin::EntityDoc> MakeDocs() {
+  // Authors {0,1} co-publish 6 times; {2,3,4} together 5 times; author 5
+  // appears alone.
+  std::vector<hin::EntityDoc> docs;
+  for (int i = 0; i < 6; ++i) {
+    hin::EntityDoc d;
+    d.entities = {{0, 1}};
+    docs.push_back(d);
+  }
+  for (int i = 0; i < 5; ++i) {
+    hin::EntityDoc d;
+    d.entities = {{2, 3, 4}};
+    docs.push_back(d);
+  }
+  hin::EntityDoc solo;
+  solo.entities = {{5}};
+  docs.push_back(solo);
+  return docs;
+}
+
+TEST(EntityPatternTest, MinesFrequentPairsAndTriples) {
+  auto docs = MakeDocs();
+  phrase::EntityPatternOptions opt;
+  opt.min_support = 4;
+  phrase::PhraseDict patterns =
+      phrase::MineFrequentEntityPatterns(docs, 0, opt);
+  EXPECT_EQ(patterns.CountOf({0, 1}), 6);
+  EXPECT_EQ(patterns.CountOf({2, 3}), 5);
+  EXPECT_EQ(patterns.CountOf({2, 3, 4}), 5);
+  EXPECT_EQ(patterns.Lookup({0, 2}), -1);  // never co-occur
+  // Singletons always kept.
+  EXPECT_EQ(patterns.CountOf({5}), 1);
+}
+
+TEST(EntityPatternTest, MinSupportGatesPatterns) {
+  auto docs = MakeDocs();
+  phrase::EntityPatternOptions opt;
+  opt.min_support = 6;
+  phrase::PhraseDict patterns =
+      phrase::MineFrequentEntityPatterns(docs, 0, opt);
+  EXPECT_EQ(patterns.CountOf({0, 1}), 6);
+  EXPECT_EQ(patterns.Lookup({2, 3}), -1);
+}
+
+TEST(EntityPatternTest, ScorerSplitsByTopicAffinity) {
+  auto docs = MakeDocs();
+  phrase::EntityPatternOptions opt;
+  opt.min_support = 4;
+  phrase::PhraseDict patterns =
+      phrase::MineFrequentEntityPatterns(docs, 0, opt);
+
+  // Hierarchy over 6 authors, two children: topic1 = {0,1}, topic2 = {2..5}.
+  core::TopicHierarchy tree({"author"}, {6});
+  std::vector<double> root(6, 1.0 / 6);
+  tree.AddRoot({root}, 12.0);
+  tree.AddChild(0, 0.5, {{0.5, 0.5, 0, 0, 0, 0}}, 6.0);
+  tree.AddChild(0, 0.5, {{0, 0, 0.3, 0.3, 0.3, 0.1}}, 6.0);
+
+  phrase::EntityPatternScorer scorer(patterns, tree, 0);
+  int pair01 = patterns.Lookup({0, 1});
+  int triple = patterns.Lookup({2, 3, 4});
+  EXPECT_NEAR(scorer.TopicalFrequency(1, pair01), 6.0, 1e-9);
+  EXPECT_NEAR(scorer.TopicalFrequency(2, pair01), 0.0, 1e-9);
+  EXPECT_NEAR(scorer.TopicalFrequency(2, triple), 5.0, 1e-9);
+
+  auto top1 = scorer.RankTopic(1, 3);
+  ASSERT_FALSE(top1.empty());
+  // The top pattern of topic 1 involves only authors 0/1.
+  for (int e : patterns.Words(top1[0].first)) EXPECT_LE(e, 1);
+}
+
+TEST(ClusteringMetricsTest, PurityAndNmiOnPerfectClustering) {
+  std::vector<int> labels = {0, 0, 1, 1, 2, 2};
+  std::vector<int> perfect = {2, 2, 0, 0, 1, 1};  // permuted ids, same split
+  EXPECT_DOUBLE_EQ(eval::ClusteringPurity(perfect, labels), 1.0);
+  EXPECT_NEAR(eval::NormalizedMutualInformation(perfect, labels), 1.0, 1e-9);
+}
+
+TEST(ClusteringMetricsTest, RandomClusteringScoresLow) {
+  std::vector<int> labels, random;
+  for (int i = 0; i < 600; ++i) {
+    labels.push_back(i % 3);
+    random.push_back((i * 7 + i / 5) % 3);  // unrelated to labels
+  }
+  EXPECT_LT(eval::NormalizedMutualInformation(random, labels), 0.1);
+  EXPECT_LT(eval::ClusteringPurity(random, labels), 0.5);
+}
+
+TEST(ClusteringMetricsTest, SingleClusterEdgeCases) {
+  std::vector<int> labels = {0, 0, 0};
+  std::vector<int> one = {5, 5, 5};
+  EXPECT_DOUBLE_EQ(eval::ClusteringPurity(one, labels), 1.0);
+  EXPECT_DOUBLE_EQ(eval::NormalizedMutualInformation(one, labels), 1.0);
+  EXPECT_DOUBLE_EQ(eval::ClusteringPurity({}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace latent

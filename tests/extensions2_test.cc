@@ -1,0 +1,161 @@
+// Tests for the second extension batch: vocabulary filtering, Viterbi
+// segmentation, and genealogy utilities.
+#include <gtest/gtest.h>
+
+#include "phrase/frequent_miner.h"
+#include "phrase/viterbi_segmenter.h"
+#include "relation/genealogy.h"
+#include "text/corpus_filter.h"
+
+namespace latent {
+namespace {
+
+TEST(CorpusFilterTest, DropsRareAndUbiquitousWords) {
+  text::Corpus corpus;
+  // "common" in every doc, "rare" in one, "mid" in half.
+  for (int i = 0; i < 10; ++i) {
+    std::vector<std::string> tokens = {"common"};
+    if (i % 2 == 0) tokens.push_back("mid");
+    if (i == 0) tokens.push_back("rare");
+    corpus.AddTokenizedDocument(tokens);
+  }
+  text::VocabFilterOptions opt;
+  opt.min_document_frequency = 2;
+  opt.max_document_fraction = 0.8;
+  text::FilteredCorpus f = text::FilterVocabulary(corpus, opt);
+  EXPECT_EQ(f.corpus.vocab().Lookup("common"), -1);  // too common
+  EXPECT_EQ(f.corpus.vocab().Lookup("rare"), -1);    // too rare
+  EXPECT_GE(f.corpus.vocab().Lookup("mid"), 0);
+  EXPECT_EQ(f.corpus.num_docs(), 10);
+  // Mapping round-trips.
+  int old_mid = corpus.vocab().Lookup("mid");
+  int new_mid = f.old_to_new[old_mid];
+  ASSERT_GE(new_mid, 0);
+  EXPECT_EQ(f.new_to_old[new_mid], old_mid);
+  // Docs without surviving words are empty but present.
+  EXPECT_EQ(f.corpus.docs()[1].size(), 0);
+  EXPECT_EQ(f.corpus.docs()[0].size(), 1);
+}
+
+TEST(CorpusFilterTest, PreservesSegmentBoundaries) {
+  text::Corpus corpus;
+  text::TokenizeOptions topt;
+  topt.remove_stopwords = false;
+  topt.min_length = 1;
+  for (int i = 0; i < 5; ++i) {
+    corpus.AddDocument("alpha beta, gamma delta", topt);
+  }
+  text::VocabFilterOptions opt;
+  opt.min_document_frequency = 1;
+  opt.max_document_fraction = 0.0;  // disabled
+  text::FilteredCorpus f = text::FilterVocabulary(corpus, opt);
+  EXPECT_EQ(f.corpus.docs()[0].segment_starts.size(), 2u);
+  EXPECT_EQ(f.corpus.docs()[0].size(), 4);
+}
+
+TEST(ViterbiSegmenterTest, PartitionInvariant) {
+  text::Corpus corpus;
+  for (int i = 0; i < 20; ++i) {
+    corpus.AddTokenizedDocument({"support", "vector", "machines", "rock"});
+    corpus.AddTokenizedDocument({"vector", "fields", "in", "physics"});
+  }
+  phrase::MinerOptions mopt;
+  mopt.min_support = 5;
+  phrase::PhraseDict dict = phrase::MineFrequentPhrases(corpus, mopt);
+  phrase::ViterbiOptions vopt;
+  auto segmented = phrase::ViterbiSegmentCorpus(corpus, &dict, vopt);
+  for (int d = 0; d < corpus.num_docs(); ++d) {
+    std::vector<int> flat;
+    for (const auto& ph : segmented[d].phrases) {
+      flat.insert(flat.end(), ph.begin(), ph.end());
+    }
+    EXPECT_EQ(flat, corpus.docs()[d].tokens);
+  }
+}
+
+TEST(ViterbiSegmenterTest, PicksStrongCollocationOverSplit) {
+  text::Corpus corpus;
+  for (int i = 0; i < 30; ++i) {
+    corpus.AddTokenizedDocument({"support", "vector", "machines"});
+  }
+  // Add some solo occurrences so unigrams exist independently.
+  for (int i = 0; i < 3; ++i) {
+    corpus.AddTokenizedDocument({"support"});
+    corpus.AddTokenizedDocument({"machines"});
+  }
+  phrase::MinerOptions mopt;
+  mopt.min_support = 5;
+  phrase::PhraseDict dict = phrase::MineFrequentPhrases(corpus, mopt);
+  phrase::ViterbiOptions vopt;
+  vopt.phrase_penalty = 1.0;
+  auto segmented = phrase::ViterbiSegmentCorpus(corpus, &dict, vopt);
+  // The repeated trigram docs should come out as one instance.
+  EXPECT_EQ(segmented[0].num_instances(), 1);
+  EXPECT_EQ(segmented[0].phrases[0].size(), 3u);
+}
+
+TEST(ViterbiSegmenterTest, PenaltySteersPartitionGranularity) {
+  text::Corpus corpus;
+  for (int i = 0; i < 20; ++i) {
+    corpus.AddTokenizedDocument({"aa", "bb", "cc"});
+  }
+  phrase::MinerOptions mopt;
+  mopt.min_support = 5;
+  phrase::PhraseDict dict = phrase::MineFrequentPhrases(corpus, mopt);
+  // Each emitted phrase costs the penalty, so a huge penalty prefers the
+  // FEWEST instances (one merged phrase)...
+  phrase::ViterbiOptions coarse;
+  coarse.phrase_penalty = 1e6;
+  auto merged = phrase::ViterbiSegmentCorpus(corpus, &dict, coarse);
+  EXPECT_EQ(merged[0].num_instances(), 1);
+  // ...while a large per-phrase REWARD prefers the most instances.
+  phrase::ViterbiOptions fine;
+  fine.phrase_penalty = -1e6;
+  phrase::PhraseDict dict2 = phrase::MineFrequentPhrases(corpus, mopt);
+  auto split = phrase::ViterbiSegmentCorpus(corpus, &dict2, fine);
+  EXPECT_EQ(split[0].num_instances(), 3);
+}
+
+TEST(GenealogyTest, ForestStructureAndGenerations) {
+  //   0 -> {1, 2}; 1 -> {3}; 4 is an isolated root.
+  std::vector<int> parent = {-1, 0, 0, 1, -1};
+  relation::Genealogy g(parent);
+  EXPECT_EQ(g.roots().size(), 2u);
+  EXPECT_EQ(g.Generation(0), 0);
+  EXPECT_EQ(g.Generation(3), 2);
+  auto desc = g.Descendants(0);
+  EXPECT_EQ(desc.size(), 3u);
+  EXPECT_TRUE(g.children(1) == std::vector<int>{3});
+}
+
+TEST(GenealogyTest, BreaksCycles) {
+  // 0 -> 1 -> 2 -> 0 is a cycle; 3 hangs off 0.
+  std::vector<int> parent = {1, 2, 0, 0};
+  relation::Genealogy g(parent);
+  // Exactly one edge of the cycle is detached; the result is a forest.
+  int roots = static_cast<int>(g.roots().size());
+  EXPECT_GE(roots, 1);
+  for (int i = 0; i < 4; ++i) {
+    // Walking up terminates.
+    int cur = i, steps = 0;
+    while (cur >= 0 && steps <= 5) {
+      cur = g.parent(cur);
+      ++steps;
+    }
+    EXPECT_LE(steps, 5);
+  }
+}
+
+TEST(GenealogyTest, DotExportContainsEdges) {
+  std::vector<int> parent = {-1, 0, 0};
+  relation::Genealogy g(parent);
+  auto namer = [](int i) { return "a" + std::to_string(i); };
+  std::string dot = g.ToDot(namer);
+  EXPECT_NE(dot.find("\"a0\" -> \"a1\""), std::string::npos);
+  EXPECT_NE(dot.find("\"a0\" -> \"a2\""), std::string::npos);
+  std::string sub = g.ToDot(namer, 1);
+  EXPECT_EQ(sub.find("a2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace latent

@@ -1,0 +1,256 @@
+// Tests for the extension features: model selection (cross-validation,
+// AIC), hierarchy serialization, dataset I/O, model-based role profiles,
+// skewed initialization, and held-out perplexity.
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "baselines/lda_gibbs.h"
+#include "common/math_util.h"
+#include "core/model_selection.h"
+#include "core/serialize.h"
+#include "data/io.h"
+#include "data/synthetic_hin.h"
+#include "eval/perplexity.h"
+#include "role/role_analysis.h"
+
+namespace latent {
+namespace {
+
+hin::HeteroNetwork TwoBlock(double intra = 12.0, double cross = 0.5) {
+  hin::HeteroNetwork net({"term"}, {10});
+  int lt = net.AddLinkType(0, 0);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = i + 1; j < 5; ++j) {
+      net.AddLink(lt, i, j, intra);
+      net.AddLink(lt, i + 5, j + 5, intra);
+    }
+  }
+  net.AddLink(lt, 0, 5, cross);
+  net.Coalesce();
+  return net;
+}
+
+TEST(ModelSelectionTest, SplitLinksConservesEverything) {
+  hin::HeteroNetwork net = TwoBlock();
+  hin::HeteroNetwork train, hold;
+  core::SplitLinks(net, 0.3, 7, &train, &hold);
+  EXPECT_EQ(train.NumLinks() + hold.NumLinks(), net.NumLinks());
+  EXPECT_NEAR(train.TotalWeight() + hold.TotalWeight(), net.TotalWeight(),
+              1e-9);
+  EXPECT_GT(hold.NumLinks(), 0);
+  EXPECT_GT(train.NumLinks(), hold.NumLinks());
+}
+
+TEST(ModelSelectionTest, HeldOutLikelihoodPrefersTrueStructure) {
+  hin::HeteroNetwork net = TwoBlock();
+  hin::HeteroNetwork train, hold;
+  core::SplitLinks(net, 0.25, 11, &train, &hold);
+  auto parent = core::DegreeDistributions(train);
+  core::ClusterOptions opt;
+  opt.background = false;
+  opt.restarts = 3;
+  opt.seed = 5;
+  opt.num_topics = 2;
+  core::ClusterResult k2 = core::FitCluster(train, parent, opt);
+  opt.num_topics = 1;
+  core::ClusterResult k1 = core::FitCluster(train, parent, opt);
+  EXPECT_GT(core::HeldOutLogLikelihood(hold, k2),
+            core::HeldOutLogLikelihood(hold, k1));
+}
+
+TEST(ModelSelectionTest, CrossValidationSelectsPlantedK) {
+  hin::HeteroNetwork net = TwoBlock(30.0, 0.5);
+  auto parent = core::DegreeDistributions(net);
+  core::ClusterOptions opt;
+  opt.background = false;
+  opt.restarts = 3;
+  opt.seed = 5;
+  core::CrossValidationOptions cv;
+  cv.folds = 2;
+  core::ClusterResult r =
+      core::SelectByCrossValidation(net, parent, opt, 1, 4, cv);
+  EXPECT_EQ(r.k, 2);
+}
+
+TEST(ModelSelectionTest, AicPenalizesLessThanBic) {
+  hin::HeteroNetwork net = TwoBlock();
+  auto parent = core::DegreeDistributions(net);
+  core::ClusterOptions opt;
+  opt.background = false;
+  opt.restarts = 2;
+  opt.seed = 5;
+  opt.num_topics = 2;
+  core::ClusterResult r = core::FitCluster(net, parent, opt);
+  double aic = core::AicScore(net, r);
+  // Same logL; AIC penalty (#params) < BIC penalty (0.5 #params log n)
+  // whenever log n > 2, which holds here (46 links).
+  EXPECT_GT(aic, r.bic_score);
+  EXPECT_LT(aic, r.log_likelihood);
+}
+
+core::TopicHierarchy SmallTree() {
+  core::TopicHierarchy tree({"term", "author"}, {3, 2});
+  tree.AddRoot({{0.5, 0.3, 0.2}, {0.6, 0.4}}, 10.0);
+  int c1 = tree.AddChild(0, 0.7, {{1.0, 0.0, 0.0}, {1.0, 0.0}}, 7.0);
+  tree.AddChild(0, 0.3, {{0.0, 0.5, 0.5}, {0.0, 1.0}}, 3.0);
+  tree.AddChild(c1, 1.0, {{1.0, 0.0, 0.0}, {1.0, 0.0}}, 2.0);
+  tree.mutable_node(c1).rho_background = 0.1;
+  return tree;
+}
+
+TEST(SerializeTest, JsonContainsPathsAndNames) {
+  core::TopicHierarchy tree = SmallTree();
+  auto namer = [](int type, int id) {
+    return std::string(type == 0 ? "w" : "a") + std::to_string(id);
+  };
+  std::string json = core::HierarchyToJson(tree, namer);
+  EXPECT_NE(json.find("\"o/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"o/1/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"w0\""), std::string::npos);
+  EXPECT_NE(json.find("\"author\""), std::string::npos);
+}
+
+TEST(SerializeTest, RoundTripPreservesEverything) {
+  core::TopicHierarchy tree = SmallTree();
+  std::string blob = core::SerializeHierarchy(tree);
+  auto restored = core::DeserializeHierarchy(blob);
+  ASSERT_TRUE(restored.ok()) << restored.status().message();
+  const core::TopicHierarchy& t2 = restored.value();
+  ASSERT_EQ(t2.num_nodes(), tree.num_nodes());
+  for (int id = 0; id < tree.num_nodes(); ++id) {
+    const core::TopicNode& a = tree.node(id);
+    const core::TopicNode& b = t2.node(id);
+    EXPECT_EQ(a.path, b.path);
+    EXPECT_EQ(a.parent, b.parent);
+    EXPECT_DOUBLE_EQ(a.rho_in_parent, b.rho_in_parent);
+    EXPECT_DOUBLE_EQ(a.rho_background, b.rho_background);
+    EXPECT_EQ(a.phi, b.phi);
+  }
+  EXPECT_EQ(t2.type_names(), tree.type_names());
+}
+
+TEST(SerializeTest, RejectsCorruptInput) {
+  EXPECT_FALSE(core::DeserializeHierarchy("garbage").ok());
+  core::TopicHierarchy tree = SmallTree();
+  std::string blob = core::SerializeHierarchy(tree);
+  EXPECT_FALSE(
+      core::DeserializeHierarchy(blob.substr(0, blob.size() / 2)).ok());
+}
+
+TEST(IoTest, WriteReadRoundTrip) {
+  std::string path = ::testing::TempDir() + "/latent_io_test.txt";
+  ASSERT_TRUE(data::WriteFile(path, "hello\nworld\n").ok());
+  auto content = data::ReadFile(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(content.value(), "hello\nworld\n");
+  EXPECT_FALSE(data::ReadFile("/nonexistent/file").ok());
+}
+
+TEST(IoTest, LoadCorpusFromFile) {
+  std::string path = ::testing::TempDir() + "/latent_corpus_test.txt";
+  ASSERT_TRUE(data::WriteFile(
+                  path, "query processing in databases\nmachine learning\n")
+                  .ok());
+  text::TokenizeOptions topt;
+  auto corpus = data::LoadCorpusFromFile(path, topt);
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ(corpus.value().num_docs(), 2);
+  EXPECT_GE(corpus.value().vocab().Lookup("query"), 0);
+  // Stopword "in" removed.
+  EXPECT_EQ(corpus.value().vocab().Lookup("in"), -1);
+}
+
+TEST(IoTest, LoadEntityAttachments) {
+  std::string path = ::testing::TempDir() + "/latent_entities_test.tsv";
+  ASSERT_TRUE(data::WriteFile(path,
+                              "0\tauthor\talice\n"
+                              "0\tauthor\tbob\n"
+                              "1\tauthor\talice\n"
+                              "0\tvenue\tsigmod\n"
+                              "# comment line\n")
+                  .ok());
+  auto loaded = data::LoadEntityAttachments(path, 2);
+  ASSERT_TRUE(loaded.ok());
+  const data::EntityAttachments& ea = loaded.value();
+  ASSERT_EQ(ea.type_names.size(), 2u);
+  EXPECT_EQ(ea.type_names[0], "author");
+  EXPECT_EQ(ea.TypeSizes()[0], 2);  // alice, bob
+  EXPECT_EQ(ea.entity_docs[0].entities[0].size(), 2u);
+  EXPECT_EQ(ea.entity_docs[1].entities[0].size(), 1u);
+  // alice has the same id in both docs.
+  EXPECT_EQ(ea.entity_docs[0].entities[0][0], ea.entity_docs[1].entities[0][0]);
+}
+
+TEST(IoTest, LoadEntityAttachmentsRejectsBadInput) {
+  std::string path = ::testing::TempDir() + "/latent_bad_test.tsv";
+  ASSERT_TRUE(data::WriteFile(path, "notanumber\tauthor\tx\n").ok());
+  EXPECT_FALSE(data::LoadEntityAttachments(path, 2).ok());
+  ASSERT_TRUE(data::WriteFile(path, "99\tauthor\tx\n").ok());
+  EXPECT_FALSE(data::LoadEntityAttachments(path, 2).ok());
+  ASSERT_TRUE(data::WriteFile(path, "0\tauthor\n").ok());
+  EXPECT_FALSE(data::LoadEntityAttachments(path, 2).ok());
+}
+
+TEST(RoleModelTest, ModelEntityFrequenciesFollowPhi) {
+  core::TopicHierarchy tree = SmallTree();
+  // Author 0 lives in child o/1 (phi = 1 there, 0 in o/2).
+  auto f = role::ModelEntityTopicFrequencies(tree, 1, 0, 10.0);
+  EXPECT_DOUBLE_EQ(f[0], 10.0);
+  EXPECT_NEAR(f[1], 10.0, 1e-9);
+  EXPECT_NEAR(f[2], 0.0, 1e-9);
+  EXPECT_NEAR(f[3], 10.0, 1e-9);  // grandchild inherits
+  // Author 1 lives in o/2.
+  auto g = role::ModelEntityTopicFrequencies(tree, 1, 1, 4.0);
+  EXPECT_NEAR(g[2], 4.0, 1e-9);
+  EXPECT_NEAR(g[1], 0.0, 1e-9);
+}
+
+TEST(ClustererExtensionTest, SkewedInitializationStillNormalizes) {
+  hin::HeteroNetwork net = TwoBlock();
+  auto parent = core::DegreeDistributions(net);
+  core::ClusterOptions opt;
+  opt.background = false;
+  opt.num_topics = 3;
+  opt.restarts = 2;
+  opt.seed = 9;
+  opt.rho_init_concentration = 0.2;  // skewed start
+  core::ClusterResult r = core::FitCluster(net, parent, opt);
+  EXPECT_NEAR(Sum(r.rho) + r.rho_bg, 1.0, 1e-8);
+  for (double v : r.rho) EXPECT_GE(v, 0.0);
+}
+
+TEST(PerplexityTest, HeldOutPerplexityDetectsModelQuality) {
+  // Train LDA on a separable corpus; perplexity of a matched holdout must
+  // beat a mismatched one.
+  text::Corpus train;
+  for (int i = 0; i < 50; ++i) {
+    train.AddTokenizedDocument({"query", "database", "index", "query"});
+    train.AddTokenizedDocument({"learning", "model", "training", "model"});
+  }
+  baselines::LdaOptions opt;
+  opt.num_topics = 2;
+  opt.iterations = 80;
+  opt.seed = 15;
+  phrase::FlatTopicModel model = baselines::FitLda(train, opt);
+
+  text::Corpus matched;
+  matched.mutable_vocab() = train.vocab();
+  matched.AddDocumentIds({train.vocab().Lookup("query"),
+                          train.vocab().Lookup("database"),
+                          train.vocab().Lookup("index")});
+  text::Corpus mixed;
+  mixed.mutable_vocab() = train.vocab();
+  mixed.AddDocumentIds({train.vocab().Lookup("query"),
+                        train.vocab().Lookup("model"),
+                        train.vocab().Lookup("index"),
+                        train.vocab().Lookup("training")});
+  double p_matched = eval::HeldOutPerplexity(model, matched);
+  double p_mixed = eval::HeldOutPerplexity(model, mixed);
+  EXPECT_GT(p_matched, 1.0);
+  EXPECT_LT(p_matched, p_mixed);
+}
+
+}  // namespace
+}  // namespace latent

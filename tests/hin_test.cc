@@ -1,0 +1,118 @@
+// Unit tests for the heterogeneous-network substrate.
+#include <gtest/gtest.h>
+
+#include "hin/collapse.h"
+#include "hin/network.h"
+#include "text/corpus.h"
+
+namespace latent::hin {
+namespace {
+
+TEST(HeteroNetworkTest, AddLinkTypeIsIdempotentAndOrderless) {
+  HeteroNetwork net({"term", "author"}, {10, 5});
+  int a = net.AddLinkType(0, 1);
+  int b = net.AddLinkType(1, 0);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(net.num_link_types(), 1);
+  EXPECT_EQ(net.FindLinkType(1, 0), a);
+  EXPECT_EQ(net.FindLinkType(0, 0), -1);
+}
+
+TEST(HeteroNetworkTest, CoalesceMergesDuplicates) {
+  HeteroNetwork net({"term"}, {4});
+  int lt = net.AddLinkType(0, 0);
+  net.AddLink(lt, 1, 2, 1.0);
+  net.AddLink(lt, 2, 1, 2.0);  // same undirected pair
+  net.AddLink(lt, 0, 3, 1.0);
+  net.Coalesce();
+  EXPECT_EQ(net.NumLinks(), 2);
+  EXPECT_DOUBLE_EQ(net.TotalWeight(), 4.0);
+  // Find the (1,2) link.
+  bool found = false;
+  for (const Link& l : net.link_type(lt).links) {
+    if (l.i == 1 && l.j == 2) {
+      EXPECT_DOUBLE_EQ(l.weight, 3.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(HeteroNetworkTest, WeightedDegrees) {
+  HeteroNetwork net({"term", "author"}, {3, 2});
+  int tt = net.AddLinkType(0, 0);
+  int ta = net.AddLinkType(0, 1);
+  net.AddLink(tt, 0, 1, 2.0);
+  net.AddLink(ta, 0, 0, 1.0);
+  net.Coalesce();
+  auto deg_t = net.WeightedDegrees(0);
+  EXPECT_DOUBLE_EQ(deg_t[0], 3.0);
+  EXPECT_DOUBLE_EQ(deg_t[1], 2.0);
+  EXPECT_DOUBLE_EQ(deg_t[2], 0.0);
+  auto deg_a = net.WeightedDegrees(1);
+  EXPECT_DOUBLE_EQ(deg_a[0], 1.0);
+  EXPECT_DOUBLE_EQ(deg_a[1], 0.0);
+}
+
+text::Corpus TwoDocCorpus() {
+  text::Corpus c;
+  c.AddTokenizedDocument({"query", "processing", "query"});
+  c.AddTokenizedDocument({"query", "optimization"});
+  return c;
+}
+
+TEST(CollapseTest, TermCooccurrenceCountsDocsOnce) {
+  text::Corpus c = TwoDocCorpus();
+  HeteroNetwork net = BuildTermCooccurrenceNetwork(c);
+  EXPECT_EQ(net.num_types(), 1);
+  // Doc 1 contributes (query, processing); doc 2 (query, optimization).
+  EXPECT_EQ(net.NumLinks(), 2);
+  EXPECT_DOUBLE_EQ(net.TotalWeight(), 2.0);
+}
+
+TEST(CollapseTest, EntityLinksConnectToAllDocWords) {
+  text::Corpus c = TwoDocCorpus();
+  std::vector<EntityDoc> entity_docs(2);
+  entity_docs[0].entities = {{0}, {1}};  // author 0, venue 1
+  entity_docs[1].entities = {{0, 1}, {0}};
+  HeteroNetwork net =
+      BuildCollapsedNetwork(c, {"author", "venue"}, {2, 2}, entity_docs);
+  EXPECT_EQ(net.num_types(), 3);
+  // term-term, term-author, term-venue, author-author, author-venue,
+  // venue-venue = 6 registered link types.
+  EXPECT_EQ(net.num_link_types(), 6);
+
+  int ta = net.FindLinkType(0, 1);
+  ASSERT_GE(ta, 0);
+  // author 0 occurs in both docs: links to query(x2 docs -> weight 2),
+  // processing(1), optimization(1); author 1 in doc 2 only.
+  double author_term_total = net.link_type(ta).TotalWeight();
+  EXPECT_DOUBLE_EQ(author_term_total, 2 + 1 + 1 + 2);
+
+  int aa = net.FindLinkType(1, 1);
+  ASSERT_GE(aa, 0);
+  EXPECT_DOUBLE_EQ(net.link_type(aa).TotalWeight(), 1.0);  // doc 2 pair
+
+  int av = net.FindLinkType(1, 2);
+  ASSERT_GE(av, 0);
+  // doc1: author0-venue1; doc2: author0-venue0, author1-venue0.
+  EXPECT_DOUBLE_EQ(net.link_type(av).TotalWeight(), 3.0);
+}
+
+TEST(CollapseTest, OptionsDisableLinkFamilies) {
+  text::Corpus c = TwoDocCorpus();
+  std::vector<EntityDoc> entity_docs(2);
+  entity_docs[0].entities = {{0}};
+  entity_docs[1].entities = {{1}};
+  CollapseOptions opt;
+  opt.term_term = false;
+  opt.entity_entity = false;
+  HeteroNetwork net =
+      BuildCollapsedNetwork(c, {"author"}, {2}, entity_docs, opt);
+  EXPECT_EQ(net.FindLinkType(0, 0), -1);
+  EXPECT_EQ(net.FindLinkType(1, 1), -1);
+  EXPECT_GE(net.FindLinkType(0, 1), 0);
+}
+
+}  // namespace
+}  // namespace latent::hin

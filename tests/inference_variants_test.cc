@@ -1,0 +1,167 @@
+// Tests for the alternative inference engines and document inference:
+// Gibbs link clustering, entity-enriched LDA, anchor-word recovery, and
+// hierarchy document allocation.
+#include <gtest/gtest.h>
+
+#include "baselines/anchor_words.h"
+#include "baselines/entity_lda.h"
+#include "common/math_util.h"
+#include "core/builder.h"
+#include "core/doc_inference.h"
+#include "core/gibbs_clusterer.h"
+#include "data/lda_gen.h"
+#include "data/synthetic_hin.h"
+#include "eval/clustering_metrics.h"
+
+namespace latent {
+namespace {
+
+hin::HeteroNetwork TwoBlockNet() {
+  hin::HeteroNetwork net({"term"}, {10});
+  int lt = net.AddLinkType(0, 0);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = i + 1; j < 5; ++j) {
+      net.AddLink(lt, i, j, 10.0);
+      net.AddLink(lt, i + 5, j + 5, 10.0);
+    }
+  }
+  net.AddLink(lt, 0, 5, 1.0);
+  net.Coalesce();
+  return net;
+}
+
+TEST(GibbsClustererTest, RecoversPlantedBlocks) {
+  hin::HeteroNetwork net = TwoBlockNet();
+  core::GibbsClusterOptions opt;
+  opt.num_topics = 2;
+  opt.iterations = 150;
+  opt.seed = 7;
+  core::ClusterResult r = core::FitClusterGibbs(net, opt);
+  EXPECT_NEAR(Sum(r.rho), 1.0, 1e-9);
+  // Block membership by argmax phi.
+  auto argmax = [&](int i) {
+    return r.phi[0][0][i] > r.phi[1][0][i] ? 0 : 1;
+  };
+  int b0 = argmax(0);
+  for (int i = 1; i < 5; ++i) EXPECT_EQ(argmax(i), b0);
+  for (int i = 5; i < 10; ++i) EXPECT_NE(argmax(i), b0);
+}
+
+TEST(GibbsClustererTest, AgreesWithEmOnEasyData) {
+  hin::HeteroNetwork net = TwoBlockNet();
+  // Pick the best of a few chains (Gibbs is multimodal on weighted links).
+  core::ClusterResult gibbs;
+  double best_post = -1e300;
+  for (uint64_t seed : {7ULL, 9ULL, 21ULL}) {
+    core::GibbsClusterOptions gopt;
+    gopt.num_topics = 2;
+    gopt.iterations = 200;
+    gopt.seed = seed;
+    core::ClusterResult r = core::FitClusterGibbs(net, gopt);
+    if (r.log_likelihood > best_post) {
+      best_post = r.log_likelihood;
+      gibbs = std::move(r);
+    }
+  }
+
+  core::ClusterOptions eopt;
+  eopt.num_topics = 2;
+  eopt.background = false;
+  eopt.restarts = 3;
+  eopt.seed = 9;
+  core::ClusterResult em =
+      core::FitCluster(net, core::DegreeDistributions(net), eopt);
+
+  // Same partition up to label permutation: compare argmax assignments.
+  std::vector<int> ga(10), ea(10);
+  for (int i = 0; i < 10; ++i) {
+    ga[i] = gibbs.phi[0][0][i] > gibbs.phi[1][0][i] ? 0 : 1;
+    ea[i] = em.phi[0][0][i] > em.phi[1][0][i] ? 0 : 1;
+  }
+  EXPECT_NEAR(eval::NormalizedMutualInformation(ga, ea), 1.0, 1e-9);
+}
+
+TEST(EntityLdaTest, RecoversEntityTopicAffinity) {
+  data::HinDatasetOptions gopt = data::DblpLikeOptions(800, 77);
+  gopt.num_areas = 3;
+  gopt.subareas_per_area = 1;
+  data::HinDataset ds = data::GenerateHinDataset(gopt);
+  baselines::EntityLdaOptions opt;
+  opt.num_topics = 3;
+  opt.iterations = 80;
+  opt.seed = 5;
+  baselines::EntityLdaResult r = baselines::FitEntityLda(
+      ds.corpus, ds.entity_type_sizes, ds.entity_docs, opt);
+  ASSERT_EQ(r.phi.size(), 3u);
+  // Distributions normalize per type.
+  for (int z = 0; z < 3; ++z) {
+    for (int x = 0; x < 3; ++x) {
+      EXPECT_NEAR(Sum(r.phi[z][x]), 1.0, 1e-9);
+    }
+  }
+  // Hard doc clustering from theta should track planted areas well.
+  std::vector<int> assignment(ds.corpus.num_docs());
+  for (int d = 0; d < ds.corpus.num_docs(); ++d) {
+    assignment[d] = static_cast<int>(
+        std::max_element(r.doc_topic[d].begin(), r.doc_topic[d].end()) -
+        r.doc_topic[d].begin());
+  }
+  EXPECT_GT(eval::NormalizedMutualInformation(assignment, ds.doc_area), 0.6);
+}
+
+TEST(AnchorWordsTest, RecoversSeparatedTopics) {
+  data::LdaGenOptions gopt;
+  gopt.num_topics = 3;
+  gopt.vocab_size = 60;
+  gopt.num_docs = 4000;
+  gopt.doc_length = 30;
+  gopt.topic_sparsity = 0.03;  // sparse topics -> anchors exist
+  gopt.seed = 13;
+  data::LdaDataset ds = data::GenerateLdaDataset(gopt);
+  baselines::AnchorWordsOptions opt;
+  opt.num_topics = 3;
+  baselines::AnchorWordsResult r =
+      baselines::FitAnchorWords(ds.docs, ds.vocab_size, opt);
+  ASSERT_EQ(r.topic_word.size(), 3u);
+  ASSERT_EQ(r.anchors.size(), 3u);
+  for (const auto& phi : r.topic_word) {
+    EXPECT_NEAR(Sum(phi), 1.0, 1e-8);
+  }
+  double err = MatchedL1Error(ds.true_topic_word, r.topic_word);
+  EXPECT_LT(err, 0.8) << "anchor recovery should be in the ballpark";
+}
+
+TEST(DocInferenceTest, AllocationFollowsTopics) {
+  // Hand-built 2-topic tree; a doc of topic-1 words should allocate there.
+  core::TopicHierarchy tree({"term", "author"}, {4, 2});
+  tree.AddRoot({{0.25, 0.25, 0.25, 0.25}, {0.5, 0.5}}, 10.0);
+  tree.AddChild(0, 0.5, {{0.5, 0.5, 0.0, 0.0}, {1.0, 0.0}}, 5.0);
+  tree.AddChild(0, 0.5, {{0.0, 0.0, 0.5, 0.5}, {0.0, 1.0}}, 5.0);
+  auto f = core::InferDocumentAllocation(tree, {0, 1, 0}, {{0}});
+  EXPECT_NEAR(f[0], 1.0, 1e-12);
+  EXPECT_GT(f[1], 0.99);
+  EXPECT_LT(f[2], 0.01);
+  EXPECT_NEAR(f[1] + f[2], 1.0, 1e-9);
+}
+
+TEST(DocInferenceTest, AssignmentRecoversPlantedAreas) {
+  data::HinDatasetOptions gopt = data::DblpLikeOptions(1200, 88);
+  gopt.num_areas = 3;
+  gopt.subareas_per_area = 2;
+  data::HinDataset ds = data::GenerateHinDataset(gopt);
+  hin::HeteroNetwork net = hin::BuildCollapsedNetwork(
+      ds.corpus, ds.entity_type_names, ds.entity_type_sizes, ds.entity_docs);
+  core::BuildOptions bopt;
+  bopt.levels_k = {3};
+  bopt.max_depth = 1;
+  bopt.cluster.restarts = 2;
+  bopt.cluster.max_iters = 60;
+  bopt.cluster.seed = 3;
+  core::TopicHierarchy tree = core::BuildHierarchy(net, bopt);
+  std::vector<int> assignment =
+      core::AssignDocumentsToLevel(tree, ds.corpus, ds.entity_docs, 1);
+  EXPECT_GT(eval::NormalizedMutualInformation(assignment, ds.doc_area), 0.8);
+}
+
+}  // namespace
+}  // namespace latent

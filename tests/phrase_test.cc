@@ -1,0 +1,344 @@
+// Tests for the phrase-mining module: frequent miner (Alg. 1), segmenter
+// (Alg. 2), PhraseLDA, KERT criteria, and the ToPMine pipeline.
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/hierarchy.h"
+#include "phrase/frequent_miner.h"
+#include "phrase/kert.h"
+#include "phrase/occurrences.h"
+#include "phrase/phrase_lda.h"
+#include "phrase/segmenter.h"
+#include "phrase/topmine.h"
+#include "text/corpus.h"
+
+namespace latent::phrase {
+namespace {
+
+// Corpus in which "query processing" repeats verbatim and other words vary.
+text::Corpus PhraseyCorpus(int repeats = 10) {
+  text::Corpus c;
+  for (int i = 0; i < repeats; ++i) {
+    c.AddTokenizedDocument({"query", "processing", "engine"});
+    c.AddTokenizedDocument({"efficient", "query", "processing"});
+    c.AddTokenizedDocument({"learning", "models"});
+  }
+  return c;
+}
+
+std::vector<int> Ids(const text::Corpus& c,
+                     const std::vector<std::string>& words) {
+  std::vector<int> out;
+  for (const std::string& w : words) {
+    int id = c.vocab().Lookup(w);
+    EXPECT_GE(id, 0) << w;
+    out.push_back(id);
+  }
+  return out;
+}
+
+TEST(FrequentMinerTest, FindsRepeatedBigram) {
+  text::Corpus c = PhraseyCorpus();
+  MinerOptions opt;
+  opt.min_support = 5;
+  PhraseDict dict = MineFrequentPhrases(c, opt);
+  EXPECT_EQ(dict.CountOf(Ids(c, {"query", "processing"})), 20);
+  EXPECT_EQ(dict.CountOf(Ids(c, {"processing", "engine"})), 10);
+  // "processing engine learning" never occurs (doc boundary).
+  EXPECT_EQ(dict.Lookup(Ids(c, {"engine", "learning"})), -1);
+}
+
+TEST(FrequentMinerTest, MinSupportPrunes) {
+  text::Corpus c = PhraseyCorpus(3);  // bigram counts 6 and 3
+  MinerOptions opt;
+  opt.min_support = 5;
+  PhraseDict dict = MineFrequentPhrases(c, opt);
+  EXPECT_GT(dict.CountOf(Ids(c, {"query", "processing"})), 0);
+  EXPECT_EQ(dict.Lookup(Ids(c, {"processing", "engine"})), -1);
+}
+
+TEST(FrequentMinerTest, UnigramsAlwaysKept) {
+  text::Corpus c;
+  c.AddTokenizedDocument({"rare", "word"});
+  MinerOptions opt;
+  opt.min_support = 5;
+  PhraseDict dict = MineFrequentPhrases(c, opt);
+  EXPECT_EQ(dict.CountOf(Ids(c, {"rare"})), 1);
+}
+
+TEST(FrequentMinerTest, TrigramsRequireFrequentSubphrases) {
+  text::Corpus c;
+  for (int i = 0; i < 8; ++i) {
+    c.AddTokenizedDocument({"support", "vector", "machines"});
+  }
+  MinerOptions opt;
+  opt.min_support = 5;
+  PhraseDict dict = MineFrequentPhrases(c, opt);
+  EXPECT_EQ(dict.CountOf(Ids(c, {"support", "vector", "machines"})), 8);
+}
+
+TEST(FrequentMinerTest, PhrasesDoNotCrossSegments) {
+  text::Corpus c;
+  text::TokenizeOptions topt;
+  topt.remove_stopwords = false;
+  topt.min_length = 1;
+  for (int i = 0; i < 10; ++i) {
+    c.AddDocument("alpha beta, gamma delta", topt);
+  }
+  MinerOptions opt;
+  opt.min_support = 5;
+  PhraseDict dict = MineFrequentPhrases(c, opt);
+  EXPECT_GT(dict.CountOf(Ids(c, {"alpha", "beta"})), 0);
+  EXPECT_EQ(dict.Lookup(Ids(c, {"beta", "gamma"})), -1);
+}
+
+TEST(SegmenterTest, SignificanceFormula) {
+  // f1=f2=10, joint=10, L=100: mu0 = 100 * 0.1 * 0.1 = 1,
+  // sig = (10-1)/sqrt(10).
+  double sig = MergeSignificance(10, 10, 10, 100.0);
+  EXPECT_NEAR(sig, 9.0 / std::sqrt(10.0), 1e-12);
+  EXPECT_LT(MergeSignificance(10, 10, 0, 100.0), -1e20);
+}
+
+TEST(SegmenterTest, MergesCollocationLeavesRestSingle) {
+  text::Corpus c = PhraseyCorpus(20);
+  MinerOptions mopt;
+  mopt.min_support = 5;
+  PhraseDict dict = MineFrequentPhrases(c, mopt);
+  SegmenterOptions sopt;
+  sopt.significance_threshold = 2.0;
+  auto segmented = SegmentCorpus(c, &dict, sopt);
+  ASSERT_EQ(segmented.size(), static_cast<size_t>(c.num_docs()));
+  // Doc 1 ("efficient query processing"): the whole title repeats 20 times,
+  // so "query processing" merges and then absorbs "efficient" into the
+  // frequent trigram. Expect a multi-word instance containing the bigram.
+  const SegmentedDoc& d1 = segmented[1];
+  int q = c.vocab().Lookup("query");
+  int p = c.vocab().Lookup("processing");
+  bool has_qp = false;
+  for (const auto& ph : d1.phrases) {
+    for (size_t i = 0; i + 1 < ph.size(); ++i) {
+      if (ph[i] == q && ph[i + 1] == p) has_qp = true;
+    }
+  }
+  EXPECT_TRUE(has_qp);
+  // Phrase instances must partition the document.
+  int tokens = 0;
+  for (const auto& ph : d1.phrases) tokens += static_cast<int>(ph.size());
+  EXPECT_EQ(tokens, c.docs()[1].size());
+}
+
+TEST(SegmenterTest, HighThresholdPreventsMerging) {
+  text::Corpus c = PhraseyCorpus(20);
+  MinerOptions mopt;
+  mopt.min_support = 5;
+  PhraseDict dict = MineFrequentPhrases(c, mopt);
+  SegmenterOptions sopt;
+  sopt.significance_threshold = 1e9;
+  auto segmented = SegmentCorpus(c, &dict, sopt);
+  for (const auto& doc : segmented) {
+    for (const auto& ph : doc.phrases) EXPECT_EQ(ph.size(), 1u);
+  }
+}
+
+TEST(OccurrencesTest, CountsEveryWindowHit) {
+  text::Corpus c = PhraseyCorpus(10);
+  MinerOptions mopt;
+  mopt.min_support = 5;
+  PhraseDict dict = MineFrequentPhrases(c, mopt);
+  auto occ = DocPhraseOccurrences(c, dict, 6);
+  // Doc 0: "query processing engine" -> unigrams x3, "query processing",
+  // "processing engine", and the trigram (frequent at support 10).
+  EXPECT_GE(occ[0].size(), 5u);
+}
+
+// Builds a 2-topic hierarchy by hand over the PhraseyCorpus vocabulary:
+// topic 1 = {query, processing, engine, efficient}, topic 2 = {learning,
+// models}.
+core::TopicHierarchy HandHierarchy(const text::Corpus& c) {
+  int v = c.vocab_size();
+  core::TopicHierarchy tree({"term"}, {v});
+  std::vector<double> root(v, 1.0 / v);
+  tree.AddRoot({root}, 100.0);
+  std::vector<double> t1(v, 1e-6), t2(v, 1e-6);
+  for (const char* w : {"query", "processing", "engine", "efficient"}) {
+    t1[c.vocab().Lookup(w)] = 0.25;
+  }
+  for (const char* w : {"learning", "models"}) {
+    t2[c.vocab().Lookup(w)] = 0.5;
+  }
+  tree.AddChild(0, 0.7, {t1}, 70.0);
+  tree.AddChild(0, 0.3, {t2}, 30.0);
+  return tree;
+}
+
+TEST(KertTest, TopicalFrequencyFollowsTopics) {
+  text::Corpus c = PhraseyCorpus(10);
+  MinerOptions mopt;
+  mopt.min_support = 5;
+  PhraseDict dict = MineFrequentPhrases(c, mopt);
+  core::TopicHierarchy tree = HandHierarchy(c);
+  KertScorer scorer(c, dict, tree);
+  int qp = dict.Lookup(Ids(c, {"query", "processing"}));
+  ASSERT_GE(qp, 0);
+  // All "query processing" mass should go to topic 1 (node id 1).
+  EXPECT_NEAR(scorer.TopicalFrequency(1, qp), 20.0, 1e-6);
+  EXPECT_NEAR(scorer.TopicalFrequency(2, qp), 0.0, 1e-6);
+  // Topical frequencies sum to the parent frequency (Definition 3).
+  for (int p = 0; p < dict.size(); ++p) {
+    EXPECT_NEAR(scorer.TopicalFrequency(1, p) + scorer.TopicalFrequency(2, p),
+                scorer.TopicalFrequency(0, p), 1e-6);
+  }
+}
+
+TEST(KertTest, CompletenessFlagsSubPhrases) {
+  text::Corpus c;
+  for (int i = 0; i < 10; ++i) {
+    c.AddTokenizedDocument({"support", "vector", "machines"});
+  }
+  MinerOptions mopt;
+  mopt.min_support = 5;
+  PhraseDict dict = MineFrequentPhrases(c, mopt);
+  core::TopicHierarchy tree({"term"}, {c.vocab_size()});
+  std::vector<double> u(c.vocab_size(), 1.0 / c.vocab_size());
+  tree.AddRoot({u}, 10.0);
+  tree.AddChild(0, 1.0, {u}, 10.0);
+  KertScorer scorer(c, dict, tree);
+  int svm = dict.Lookup(Ids(c, {"support", "vector", "machines"}));
+  int vm = dict.Lookup(Ids(c, {"vector", "machines"}));
+  ASSERT_GE(svm, 0);
+  ASSERT_GE(vm, 0);
+  // "vector machines" is always followed/preceded within "support vector
+  // machines" -> completeness 0; the trigram itself is complete.
+  EXPECT_NEAR(scorer.Completeness(vm), 0.0, 1e-9);
+  EXPECT_NEAR(scorer.Completeness(svm), 1.0, 1e-9);
+}
+
+TEST(KertTest, ConcordanceFavorsCollocations) {
+  text::Corpus c = PhraseyCorpus(10);
+  MinerOptions mopt;
+  mopt.min_support = 5;
+  PhraseDict dict = MineFrequentPhrases(c, mopt);
+  core::TopicHierarchy tree = HandHierarchy(c);
+  KertScorer scorer(c, dict, tree);
+  int qp = dict.Lookup(Ids(c, {"query", "processing"}));
+  // query occurs in 20/30 docs, processing in 20/30, bigram in 20/30:
+  // p(P)/p(q)p(p) = (2/3)/(4/9) = 1.5 > 1 -> positive concordance.
+  EXPECT_GT(scorer.Concordance(qp), 0.0);
+  // Unigram concordance is exactly zero.
+  int q = dict.Lookup(Ids(c, {"query"}));
+  EXPECT_NEAR(scorer.Concordance(q), 0.0, 1e-9);
+}
+
+TEST(KertTest, PurityPositiveForOwnTopicPhrase) {
+  text::Corpus c = PhraseyCorpus(10);
+  MinerOptions mopt;
+  mopt.min_support = 5;
+  PhraseDict dict = MineFrequentPhrases(c, mopt);
+  core::TopicHierarchy tree = HandHierarchy(c);
+  KertScorer scorer(c, dict, tree);
+  int qp = dict.Lookup(Ids(c, {"query", "processing"}));
+  EXPECT_GT(scorer.Purity(1, qp, 3.0), 0.0);
+}
+
+TEST(KertTest, RankTopicPutsTopicalPhraseFirst) {
+  text::Corpus c = PhraseyCorpus(10);
+  MinerOptions mopt;
+  mopt.min_support = 5;
+  PhraseDict dict = MineFrequentPhrases(c, mopt);
+  core::TopicHierarchy tree = HandHierarchy(c);
+  KertScorer scorer(c, dict, tree);
+  KertOptions kopt;
+  auto ranked = scorer.RankTopic(1, kopt, 5);
+  ASSERT_FALSE(ranked.empty());
+  // The top phrase for topic 1 should involve query/processing words.
+  std::string top = dict.ToString(ranked[0].first, c.vocab());
+  EXPECT_TRUE(top.find("query") != std::string::npos ||
+              top.find("processing") != std::string::npos)
+      << top;
+}
+
+TEST(PhraseLdaTest, SeparatesTwoObviousTopics) {
+  text::Corpus c;
+  for (int i = 0; i < 30; ++i) {
+    c.AddTokenizedDocument({"query", "processing", "query", "database"});
+    c.AddTokenizedDocument({"learning", "models", "learning", "training"});
+  }
+  auto instances = UnigramInstances(c);
+  PhraseLdaOptions opt;
+  opt.num_topics = 2;
+  opt.iterations = 100;
+  opt.seed = 9;
+  PhraseLdaResult r = FitPhraseLda(instances, c.vocab_size(), opt);
+  int q = c.vocab().Lookup("query");
+  int l = c.vocab().Lookup("learning");
+  // Whichever topic favors "query" should disfavor "learning".
+  int topic_q = r.model.topic_word[0][q] > r.model.topic_word[1][q] ? 0 : 1;
+  EXPECT_GT(r.model.topic_word[topic_q][q],
+            r.model.topic_word[1 - topic_q][q]);
+  EXPECT_LT(r.model.topic_word[topic_q][l],
+            r.model.topic_word[1 - topic_q][l]);
+  // Distributions normalize.
+  for (int z = 0; z < 2; ++z) {
+    double s = 0;
+    for (double x : r.model.topic_word[z]) s += x;
+    EXPECT_NEAR(s, 1.0, 1e-9);
+  }
+  for (const auto& dt : r.model.doc_topic) {
+    EXPECT_NEAR(dt[0] + dt[1], 1.0, 1e-9);
+  }
+}
+
+TEST(PhraseLdaTest, PhraseInstancesShareTopic) {
+  text::Corpus c;
+  for (int i = 0; i < 10; ++i) {
+    c.AddTokenizedDocument({"support", "vector", "machines", "training"});
+  }
+  MinerOptions mopt;
+  mopt.min_support = 5;
+  PhraseDict dict = MineFrequentPhrases(c, mopt);
+  SegmenterOptions sopt;
+  sopt.significance_threshold = 1.0;
+  auto segmented = SegmentCorpus(c, &dict, sopt);
+  PhraseLdaOptions opt;
+  opt.num_topics = 3;
+  opt.iterations = 30;
+  PhraseLdaResult r = FitPhraseLda(segmented, c.vocab_size(), opt);
+  // Each doc has fewer instances than tokens (the phrase merged), and each
+  // instance has exactly one topic by construction.
+  EXPECT_LT(segmented[0].num_instances(), 4);
+  EXPECT_EQ(r.instance_topics[0].size(),
+            static_cast<size_t>(segmented[0].num_instances()));
+}
+
+TEST(TopMineTest, EndToEndProducesCoherentTopics) {
+  text::Corpus c;
+  for (int i = 0; i < 40; ++i) {
+    c.AddTokenizedDocument({"query", "processing", "database", "systems"});
+    c.AddTokenizedDocument({"machine", "learning", "training", "models"});
+  }
+  TopMineOptions opt;
+  opt.miner.min_support = 10;
+  opt.lda.num_topics = 2;
+  opt.lda.iterations = 80;
+  opt.lda.seed = 21;
+  TopMineResult r = RunTopMine(c, opt, 10);
+  ASSERT_EQ(r.topics.size(), 2u);
+  for (const TopMineTopic& t : r.topics) {
+    EXPECT_FALSE(t.phrases.empty());
+    EXPECT_FALSE(t.unigrams.empty());
+  }
+  // The two topics' top phrases should not be identical.
+  EXPECT_NE(r.topics[0].phrases[0].first, r.topics[1].phrases[0].first);
+}
+
+TEST(TopMineTest, ScoreIsPointwiseKl) {
+  EXPECT_NEAR(TopicalPhraseScore(0.2, 0.1), 0.2 * std::log(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(TopicalPhraseScore(0.0, 0.1), 0.0);
+}
+
+}  // namespace
+}  // namespace latent::phrase

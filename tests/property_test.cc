@@ -1,0 +1,262 @@
+// Property-based tests: invariants checked on randomized inputs across
+// seeds, via parameterized gtest sweeps.
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "core/clusterer.h"
+#include "data/advisor_gen.h"
+#include "phrase/frequent_miner.h"
+#include "phrase/phrase_lda.h"
+#include "phrase/segmenter.h"
+#include "relation/tpfg.h"
+#include "relation/tpfg_preprocess.h"
+#include "strod/strod.h"
+#include "text/corpus.h"
+#include "text/tokenizer.h"
+
+namespace latent {
+namespace {
+
+// Random corpus over a small vocabulary so n-grams repeat.
+text::Corpus RandomCorpus(uint64_t seed, int docs = 120, int vocab = 12,
+                          int max_len = 8) {
+  Rng rng(seed);
+  text::Corpus corpus;
+  // Pre-intern the vocabulary for stable ids.
+  for (int w = 0; w < vocab; ++w) {
+    corpus.mutable_vocab().Intern("w" + std::to_string(w));
+  }
+  for (int d = 0; d < docs; ++d) {
+    int len = 1 + rng.UniformInt(max_len);
+    std::vector<int> tokens;
+    for (int i = 0; i < len; ++i) tokens.push_back(rng.UniformInt(vocab));
+    corpus.AddDocumentIds(std::move(tokens));
+  }
+  return corpus;
+}
+
+class SeedSweep : public ::testing::TestWithParam<uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1ULL, 17ULL, 123ULL, 999ULL));
+
+// --- Frequent miner vs brute-force oracle ------------------------------
+
+TEST_P(SeedSweep, MinerMatchesBruteForceCounts) {
+  text::Corpus corpus = RandomCorpus(GetParam());
+  phrase::MinerOptions opt;
+  opt.min_support = 4;
+  opt.max_length = 4;
+  phrase::PhraseDict dict = phrase::MineFrequentPhrases(corpus, opt);
+
+  // Brute-force n-gram counting.
+  std::map<std::vector<int>, long long> oracle;
+  for (const text::Document& doc : corpus.docs()) {
+    for (int i = 0; i < doc.size(); ++i) {
+      for (int n = 1; n <= opt.max_length && i + n <= doc.size(); ++n) {
+        oracle[std::vector<int>(doc.tokens.begin() + i,
+                                doc.tokens.begin() + i + n)]++;
+      }
+    }
+  }
+  // Every frequent oracle n-gram must be in the dict with the same count.
+  for (const auto& [words, count] : oracle) {
+    if (count >= opt.min_support) {
+      EXPECT_EQ(dict.CountOf(words), count)
+          << "missing/miscounted n-gram of length " << words.size();
+    }
+  }
+  // Dict must not contain overcounted entries.
+  for (int p = 0; p < dict.size(); ++p) {
+    const auto& words = dict.Words(p);
+    auto it = oracle.find(words);
+    ASSERT_NE(it, oracle.end());
+    EXPECT_EQ(dict.Count(p), it->second);
+  }
+}
+
+// --- Segmenter invariants -----------------------------------------------
+
+TEST_P(SeedSweep, SegmentationIsAPartition) {
+  text::Corpus corpus = RandomCorpus(GetParam() + 1000);
+  phrase::MinerOptions mopt;
+  mopt.min_support = 4;
+  phrase::PhraseDict dict = phrase::MineFrequentPhrases(corpus, mopt);
+  phrase::SegmenterOptions sopt;
+  sopt.significance_threshold = 1.0;
+  auto segmented = phrase::SegmentCorpus(corpus, &dict, sopt);
+  ASSERT_EQ(segmented.size(), static_cast<size_t>(corpus.num_docs()));
+  for (int d = 0; d < corpus.num_docs(); ++d) {
+    // Concatenating the instances reproduces the document (Definition 4).
+    std::vector<int> flat;
+    for (const auto& ph : segmented[d].phrases) {
+      flat.insert(flat.end(), ph.begin(), ph.end());
+    }
+    EXPECT_EQ(flat, corpus.docs()[d].tokens) << "doc " << d;
+    // Every instance id resolves to the instance's words.
+    for (int i = 0; i < segmented[d].num_instances(); ++i) {
+      EXPECT_EQ(dict.Words(segmented[d].phrase_ids[i]),
+                segmented[d].phrases[i]);
+    }
+  }
+}
+
+// --- PhraseLDA invariants ------------------------------------------------
+
+TEST_P(SeedSweep, PhraseLdaProducesValidDistributions) {
+  text::Corpus corpus = RandomCorpus(GetParam() + 2000, 60);
+  auto instances = phrase::UnigramInstances(corpus);
+  phrase::PhraseLdaOptions opt;
+  opt.num_topics = 3;
+  opt.iterations = 20;
+  opt.seed = GetParam();
+  phrase::PhraseLdaResult r =
+      phrase::FitPhraseLda(instances, corpus.vocab_size(), opt);
+  for (const auto& row : r.model.topic_word) {
+    EXPECT_NEAR(Sum(row), 1.0, 1e-9);
+    for (double v : row) EXPECT_GT(v, 0.0);  // beta smoothing
+  }
+  for (int d = 0; d < corpus.num_docs(); ++d) {
+    if (corpus.docs()[d].size() == 0) continue;
+    EXPECT_NEAR(Sum(r.model.doc_topic[d]), 1.0, 1e-9);
+  }
+}
+
+// --- Clusterer invariants -------------------------------------------------
+
+hin::HeteroNetwork RandomNetwork(uint64_t seed) {
+  Rng rng(seed);
+  hin::HeteroNetwork net({"term", "entity"}, {12, 6});
+  int tt = net.AddLinkType(0, 0);
+  int te = net.AddLinkType(0, 1);
+  for (int n = 0; n < 60; ++n) {
+    net.AddLink(tt, rng.UniformInt(12), rng.UniformInt(12),
+                1.0 + rng.UniformInt(5));
+    net.AddLink(te, rng.UniformInt(12), rng.UniformInt(6),
+                1.0 + rng.UniformInt(3));
+  }
+  net.Coalesce();
+  return net;
+}
+
+TEST_P(SeedSweep, ClustererInvariantsOnRandomNetworks) {
+  hin::HeteroNetwork net = RandomNetwork(GetParam() + 3000);
+  auto parent = core::DegreeDistributions(net);
+  core::ClusterOptions opt;
+  opt.num_topics = 3;
+  opt.background = true;
+  opt.restarts = 1;
+  opt.max_iters = 40;
+  opt.seed = GetParam();
+  core::ClusterResult r = core::FitCluster(net, parent, opt);
+  EXPECT_TRUE(std::isfinite(r.log_likelihood));
+  EXPECT_NEAR(Sum(r.rho) + r.rho_bg, 1.0, 1e-7);
+  // Subtopic + background expected weights can never exceed the original.
+  double extracted = 0.0;
+  for (int z = 0; z < r.k; ++z) {
+    extracted += core::ExtractSubnetwork(net, r, z, 0.0).TotalWeight();
+  }
+  EXPECT_LE(extracted, net.TotalWeight() + 1e-6);
+}
+
+// --- TPFG invariants -------------------------------------------------------
+
+TEST_P(SeedSweep, TpfgPredictionsFormAForest) {
+  data::AdvisorGenOptions gopt;
+  gopt.num_root_advisors = 8;
+  gopt.noise_collab_rate = 0.5;
+  gopt.seed = GetParam() + 4000;
+  data::AdvisorDataset ds = data::GenerateAdvisorDataset(gopt);
+  relation::PreprocessOptions popt;
+  popt.rule_r2 = false;  // keep more candidates
+  relation::CandidateDag dag = relation::BuildCandidateDag(*ds.network, popt);
+  relation::TpfgResult r = relation::RunTpfg(dag, relation::TpfgOptions());
+
+  // Scores are distributions.
+  for (int i = 0; i < ds.num_authors; ++i) {
+    EXPECT_NEAR(Sum(r.scores[i]), 1.0, 1e-6);
+  }
+  // Following predicted advisors never cycles (the candidate DAG plus
+  // Assumption 6.2 guarantee acyclicity; verify it end to end).
+  for (int start = 0; start < ds.num_authors; ++start) {
+    int cur = start;
+    int steps = 0;
+    while (cur >= 0 && steps <= ds.num_authors) {
+      cur = r.predicted[cur];
+      ++steps;
+    }
+    EXPECT_LE(steps, ds.num_authors) << "cycle from " << start;
+  }
+}
+
+// --- STROD invariants -------------------------------------------------------
+
+TEST_P(SeedSweep, StrodTopicsAreValidDistributions) {
+  Rng rng(GetParam() + 5000);
+  std::vector<strod::SparseDoc> docs(300);
+  const int vocab = 40;
+  for (auto& d : docs) {
+    int len = 5 + rng.UniformInt(10);
+    std::map<int, double> counts;
+    for (int i = 0; i < len; ++i) counts[rng.UniformInt(vocab)] += 1.0;
+    for (auto& [w, c] : counts) d.counts.emplace_back(w, c);
+    d.length = len;
+  }
+  strod::StrodOptions opt;
+  opt.num_topics = 3;
+  opt.seed = GetParam();
+  strod::StrodResult r = strod::FitStrod(docs, vocab, opt);
+  for (const auto& phi : r.topic_word) {
+    EXPECT_NEAR(Sum(phi), 1.0, 1e-8);
+    for (double v : phi) EXPECT_GE(v, 0.0);
+  }
+  for (double a : r.alpha) EXPECT_GE(a, 0.0);
+}
+
+// --- Stemmer properties ------------------------------------------------------
+
+TEST_P(SeedSweep, StemmerNeverGrowsWordsMuch) {
+  Rng rng(GetParam() + 6000);
+  const char* suffixes[] = {"ing", "ed", "s", "es", "ation", "ness",
+                            "ful", "ity", "ive", "ize", "al", "er"};
+  for (int trial = 0; trial < 200; ++trial) {
+    // Random lowercase stem + random suffix.
+    std::string word;
+    int stem_len = 3 + rng.UniformInt(6);
+    for (int i = 0; i < stem_len; ++i) {
+      word.push_back(static_cast<char>('a' + rng.UniformInt(26)));
+    }
+    word += suffixes[rng.UniformInt(12)];
+    std::string stem = text::PorterStem(word);
+    EXPECT_LE(stem.size(), word.size() + 1) << word;
+    EXPECT_FALSE(stem.empty());
+    // Stemming is idempotent on its own output for these shapes in the
+    // suffix-stripping sense: a second pass never lengthens.
+    EXPECT_LE(text::PorterStem(stem).size(), stem.size() + 1) << stem;
+  }
+}
+
+// --- MergeSignificance monotonicity ------------------------------------------
+
+TEST(PropertyTest, SignificanceIncreasesWithJointCount) {
+  double prev = -1e30;
+  for (long long joint = 1; joint <= 40; ++joint) {
+    double sig = phrase::MergeSignificance(50, 50, joint, 10000.0);
+    EXPECT_GT(sig, prev);
+    prev = sig;
+  }
+}
+
+TEST(PropertyTest, SignificanceDecreasesWithMarginals) {
+  // Same joint count, bigger marginals -> less surprising.
+  double tight = phrase::MergeSignificance(20, 20, 20, 10000.0);
+  double loose = phrase::MergeSignificance(500, 500, 20, 10000.0);
+  EXPECT_GT(tight, loose);
+}
+
+}  // namespace
+}  // namespace latent

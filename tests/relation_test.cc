@@ -1,0 +1,288 @@
+// Tests for Chapter 6: collaboration network statistics, TPFG
+// preprocessing rules, factor-graph inference, and the supervised CRF.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/advisor_heuristics.h"
+#include "data/advisor_gen.h"
+#include "eval/relation_metrics.h"
+#include "relation/collab_network.h"
+#include "relation/crf.h"
+#include "relation/tpfg.h"
+#include "relation/tpfg_preprocess.h"
+#include "common/rng.h"
+
+namespace latent::relation {
+namespace {
+
+TEST(CollabNetworkTest, CumulativeCountsAndYears) {
+  YearSeries s = {{2000, 2.0}, {2002, 1.0}};
+  EXPECT_DOUBLE_EQ(CumulativeCount(s, 1999), 0.0);
+  EXPECT_DOUBLE_EQ(CumulativeCount(s, 2000), 2.0);
+  EXPECT_DOUBLE_EQ(CumulativeCount(s, 2005), 3.0);
+  EXPECT_EQ(FirstYear(s), 2000);
+  EXPECT_EQ(LastYear(s), 2002);
+}
+
+TEST(CollabNetworkTest, AddPaperUpdatesAuthorsAndEdges) {
+  CollabNetwork net(3);
+  net.AddPaper(2000, {0, 1});
+  net.AddPaper(2001, {0, 1, 2});
+  EXPECT_DOUBLE_EQ(CumulativeCount(net.author_series(0), 2001), 2.0);
+  EXPECT_DOUBLE_EQ(CumulativeCount(net.author_series(2), 2001), 1.0);
+  const CoauthorEdge* e01 = net.FindEdge(1, 0);
+  ASSERT_NE(e01, nullptr);
+  EXPECT_DOUBLE_EQ(CumulativeCount(e01->joint, 2001), 2.0);
+  EXPECT_EQ(net.FindEdge(0, 0), nullptr);
+}
+
+TEST(CollabNetworkTest, KulczynskiSymmetricIrAntisymmetric) {
+  CollabNetwork net(2);
+  net.AddPaper(2000, {0, 1});
+  net.AddPaper(2000, {1});
+  net.AddPaper(2000, {1});
+  // n0 = 1, n1 = 3, joint = 1. kulc = 0.5 * 1 * (1 + 1/3) = 2/3.
+  EXPECT_NEAR(net.Kulczynski(0, 1, 2000), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(net.Kulczynski(1, 0, 2000), 2.0 / 3.0, 1e-12);
+  // IR(0,1) = (3 - 1) / (1 + 3 - 1) = 2/3; antisymmetric.
+  EXPECT_NEAR(net.ImbalanceRatio(0, 1, 2000), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(net.ImbalanceRatio(1, 0, 2000), -2.0 / 3.0, 1e-12);
+}
+
+// A tiny hand-built world: advisor 0 (publishing from 1990), student 1
+// (starts 1996, advised 1996-2000 with growing joint counts), plus an
+// unrelated contemporary 2.
+CollabNetwork TinyWorld() {
+  CollabNetwork net(3);
+  for (int y = 1990; y <= 2010; ++y) net.AddPaper(y, {0});
+  for (int y = 1996; y <= 2000; ++y) {
+    for (int k = 0; k < y - 1995; ++k) net.AddPaper(y, {0, 1});
+  }
+  for (int y = 2001; y <= 2010; ++y) net.AddPaper(y, {1});
+  for (int y = 1992; y <= 2010; ++y) net.AddPaper(y, {2});
+  net.AddPaper(2005, {1, 2});
+  return net;
+}
+
+TEST(PreprocessTest, BuildsCandidateWithAdvisorDirectionOnly) {
+  CollabNetwork net = TinyWorld();
+  PreprocessOptions opt;
+  CandidateDag dag = BuildCandidateDag(net, opt);
+  // Author 1 should have author 0 as candidate.
+  bool found = false;
+  for (const Candidate& c : dag.candidates[1]) {
+    if (c.advisor == 0) {
+      found = true;
+      EXPECT_EQ(c.start_year, 1996);
+      EXPECT_GE(c.end_year, 1996);
+      EXPECT_GT(c.likelihood, 0.0);
+    }
+  }
+  EXPECT_TRUE(found);
+  // Author 0 must not have 1 as a candidate (0 published first).
+  for (const Candidate& c : dag.candidates[0]) EXPECT_NE(c.advisor, 1);
+  // Every author has the virtual-root candidate; likelihoods normalized.
+  for (int i = 0; i < 3; ++i) {
+    double total = 0.0;
+    bool has_root = false;
+    for (const Candidate& c : dag.candidates[i]) {
+      total += c.likelihood;
+      if (c.advisor < 0) has_root = true;
+    }
+    EXPECT_TRUE(has_root);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(PreprocessTest, RuleR3DropsSingleYearCollaborations) {
+  CollabNetwork net(2);
+  for (int y = 1990; y <= 2000; ++y) net.AddPaper(y, {0});
+  net.AddPaper(1995, {1});
+  net.AddPaper(1996, {0, 1});  // one-year collaboration
+  PreprocessOptions opt;
+  opt.rule_r3 = true;
+  CandidateDag dag = BuildCandidateDag(net, opt);
+  for (const Candidate& c : dag.candidates[1]) EXPECT_NE(c.advisor, 0);
+  opt.rule_r3 = false;
+  opt.rule_r2 = false;  // single-year sequences cannot increase either
+  dag = BuildCandidateDag(net, opt);
+  bool found = false;
+  for (const Candidate& c : dag.candidates[1]) found |= (c.advisor == 0);
+  EXPECT_TRUE(found);
+}
+
+TEST(PreprocessTest, RuleR1DropsNegativeImbalance) {
+  CollabNetwork net(2);
+  // Author 0 publishes first but author 1 out-publishes them massively.
+  net.AddPaper(1990, {0});
+  for (int y = 1995; y <= 1999; ++y) {
+    net.AddPaper(y, {0, 1});
+    for (int k = 0; k < 8; ++k) net.AddPaper(y, {1});
+  }
+  PreprocessOptions opt;
+  opt.rule_r4 = false;
+  CandidateDag dag = BuildCandidateDag(net, opt);
+  for (const Candidate& c : dag.candidates[1]) EXPECT_NE(c.advisor, 0);
+}
+
+TEST(TpfgTest, RecoverstinyWorldAdvisor) {
+  CollabNetwork net = TinyWorld();
+  PreprocessOptions popt;
+  CandidateDag dag = BuildCandidateDag(net, popt);
+  TpfgResult r = RunTpfg(dag, TpfgOptions());
+  EXPECT_EQ(r.predicted[1], 0);
+  EXPECT_EQ(r.predicted[0], -1);
+  // Scores normalized per advisee.
+  for (int i = 0; i < 3; ++i) {
+    double total = 0.0;
+    for (double s : r.scores[i]) total += s;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(TpfgTest, TimeConstraintSuppressesCycles) {
+  // x advised by i (2000-2004); i's own advising by j must end before 2000.
+  // Build a chain j(1970-) -> i(1980-) -> x(1990-): all constraints hold.
+  CollabNetwork net(3);
+  for (int y = 1970; y <= 2010; ++y) net.AddPaper(y, {0});       // j
+  for (int y = 1980; y <= 1986; ++y) net.AddPaper(y, {0, 1});    // advising
+  for (int y = 1987; y <= 2010; ++y) net.AddPaper(y, {1});       // i solo
+  for (int y = 1990; y <= 1995; ++y) net.AddPaper(y, {1, 2});    // advising
+  for (int y = 1996; y <= 2010; ++y) net.AddPaper(y, {2});       // x solo
+  PreprocessOptions popt;
+  popt.rule_r2 = false;
+  CandidateDag dag = BuildCandidateDag(net, popt);
+  TpfgResult r = RunTpfg(dag, TpfgOptions());
+  EXPECT_EQ(r.predicted[1], 0);
+  EXPECT_EQ(r.predicted[2], 1);
+}
+
+TEST(TpfgTest, GeneratedForestHighAccuracy) {
+  data::AdvisorGenOptions gopt;
+  gopt.num_root_advisors = 10;
+  gopt.generations = 2;
+  gopt.seed = 5;
+  data::AdvisorDataset ds = data::GenerateAdvisorDataset(gopt);
+  PreprocessOptions popt;
+  CandidateDag dag = BuildCandidateDag(*ds.network, popt);
+  TpfgResult r = RunTpfg(dag, TpfgOptions());
+  auto m = eval::EvaluateAdvisorPredictions(r.predicted, ds.true_advisor);
+  EXPECT_GT(m.accuracy, 0.7) << "TPFG should recover most planted advisors";
+}
+
+TEST(TpfgTest, BeatsLocalHeuristicsOnNoisyData) {
+  data::AdvisorGenOptions gopt;
+  gopt.num_root_advisors = 12;
+  gopt.noise_collab_rate = 0.4;
+  gopt.seed = 9;
+  data::AdvisorDataset ds = data::GenerateAdvisorDataset(gopt);
+  PreprocessOptions popt;
+  CandidateDag dag = BuildCandidateDag(*ds.network, popt);
+  TpfgResult r = RunTpfg(dag, TpfgOptions());
+  auto tpfg = eval::EvaluateAdvisorPredictions(r.predicted, ds.true_advisor);
+  auto ir_pred = baselines::PredictAdvisorsHeuristic(
+      *ds.network, dag, baselines::AdvisorHeuristic::kImbalanceRatio);
+  auto ir = eval::EvaluateAdvisorPredictions(ir_pred, ds.true_advisor);
+  EXPECT_GE(tpfg.accuracy, ir.accuracy - 0.02)
+      << "TPFG should not lose to the IR heuristic";
+}
+
+TEST(TpfgTest, PredictAtKThresholdBehaviour) {
+  CollabNetwork net = TinyWorld();
+  PreprocessOptions popt;
+  CandidateDag dag = BuildCandidateDag(net, popt);
+  TpfgResult r = RunTpfg(dag, TpfgOptions());
+  // k = 1, theta = 0: same as argmax among real candidates when they beat
+  // the root.
+  std::vector<int> at1 = PredictAtK(dag, r, 1, 0.5);
+  EXPECT_EQ(at1[1], 0);
+  // Impossible threshold plus root dominance: falls back to the argmax
+  // comparison with the root score.
+  std::vector<int> strict = PredictAtK(dag, r, 1, 1.1);
+  EXPECT_TRUE(strict[1] == 0 || strict[1] == -1);
+}
+
+TEST(CrfTest, FeaturesHaveExpectedShape) {
+  CollabNetwork net = TinyWorld();
+  PreprocessOptions popt;
+  CandidateDag dag = BuildCandidateDag(net, popt);
+  for (size_t c = 0; c < dag.candidates[1].size(); ++c) {
+    auto f = RelationCrf::Features(net, dag, 1, static_cast<int>(c));
+    EXPECT_EQ(f.size(), static_cast<size_t>(RelationCrf::kNumFeatures));
+    EXPECT_DOUBLE_EQ(f[0], 1.0);
+    if (dag.candidates[1][c].advisor < 0) {
+      EXPECT_DOUBLE_EQ(f[7], 1.0);
+    } else {
+      EXPECT_DOUBLE_EQ(f[7], 0.0);
+      EXPECT_GT(f[1], 0.0);
+    }
+  }
+}
+
+TEST(CrfTest, TrainingImprovesOverUntrained) {
+  data::AdvisorGenOptions gopt;
+  gopt.num_root_advisors = 12;
+  gopt.noise_collab_rate = 0.8;
+  gopt.seed = 11;
+  data::AdvisorDataset ds = data::GenerateAdvisorDataset(gopt);
+  // Permissive preprocessing: keep noisy candidates so the unaries matter.
+  PreprocessOptions popt;
+  popt.rule_r1 = false;
+  popt.rule_r2 = false;
+  popt.rule_r4 = false;
+  CandidateDag dag = BuildCandidateDag(*ds.network, popt);
+
+  // Split authors into train/test halves.
+  std::vector<int> train, test;
+  for (int i = 0; i < ds.num_authors; ++i) {
+    (i % 2 == 0 ? train : test).push_back(i);
+  }
+  RelationCrf crf;
+  CrfOptions copt;
+  crf.Train(*ds.network, dag, train, ds.true_advisor, copt);
+  TpfgResult trained = crf.Infer(*ds.network, dag, TpfgOptions());
+  auto m_trained =
+      eval::EvaluateAdvisorPredictions(trained.predicted, ds.true_advisor,
+                                       test);
+  EXPECT_GT(m_trained.accuracy, 0.8);
+
+  // Learned weights should value the unsupervised local likelihood
+  // positively and know the virtual root is a fallback.
+  EXPECT_GT(crf.weights()[1], 0.0);
+
+  // Adversarial priors (random unaries) must do worse than the learned
+  // unaries under the same constraint factors.
+  Rng prior_rng(77);
+  std::vector<std::vector<double>> random_priors(dag.candidates.size());
+  for (size_t i = 0; i < dag.candidates.size(); ++i) {
+    random_priors[i] =
+        prior_rng.Dirichlet(1.0, static_cast<int>(dag.candidates[i].size()));
+  }
+  TpfgResult base = RunTpfg(dag, TpfgOptions(), &random_priors);
+  auto m_base = eval::EvaluateAdvisorPredictions(base.predicted,
+                                                 ds.true_advisor, test);
+  EXPECT_GT(m_trained.accuracy, m_base.accuracy);
+}
+
+TEST(AdvisorGenTest, DatasetIsWellFormed) {
+  data::AdvisorGenOptions gopt;
+  gopt.seed = 3;
+  data::AdvisorDataset ds = data::GenerateAdvisorDataset(gopt);
+  EXPECT_GT(ds.num_authors, gopt.num_root_advisors);
+  int advised = 0;
+  for (int i = 0; i < ds.num_authors; ++i) {
+    if (ds.true_advisor[i] >= 0) {
+      ++advised;
+      // The advisor publishes before the student (Assumption 6.2).
+      EXPECT_LT(FirstYear(ds.network->author_series(ds.true_advisor[i])),
+                FirstYear(ds.network->author_series(i)));
+      // They actually co-published.
+      EXPECT_NE(ds.network->FindEdge(i, ds.true_advisor[i]), nullptr);
+    }
+  }
+  EXPECT_GT(advised, 0);
+}
+
+}  // namespace
+}  // namespace latent::relation

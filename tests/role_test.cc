@@ -1,0 +1,143 @@
+// Tests for Chapter 5: entity topical role analysis.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "core/hierarchy.h"
+#include "phrase/frequent_miner.h"
+#include "phrase/kert.h"
+#include "role/role_analysis.h"
+#include "text/corpus.h"
+
+namespace latent::role {
+namespace {
+
+// Corpus with two topics; entity A's documents are about "query processing",
+// entity B's are about "query optimization" (both in the DB topic), and a
+// third batch is ML.
+struct Fixture {
+  text::Corpus corpus;
+  phrase::PhraseDict dict;
+  core::TopicHierarchy tree;
+  std::vector<int> docs_a, docs_b;
+
+  Fixture() : tree({"term"}, {0}) {}
+};
+
+Fixture MakeFixture() {
+  Fixture f;
+  for (int i = 0; i < 15; ++i) {
+    f.docs_a.push_back(f.corpus.num_docs());
+    f.corpus.AddTokenizedDocument({"query", "processing", "database"});
+    f.docs_b.push_back(f.corpus.num_docs());
+    f.corpus.AddTokenizedDocument({"query", "optimization", "database"});
+    f.corpus.AddTokenizedDocument({"machine", "learning", "models"});
+  }
+  phrase::MinerOptions mopt;
+  mopt.min_support = 5;
+  f.dict = phrase::MineFrequentPhrases(f.corpus, mopt);
+
+  int v = f.corpus.vocab_size();
+  f.tree = core::TopicHierarchy({"term"}, {v});
+  std::vector<double> root(v, 1.0 / v);
+  f.tree.AddRoot({root}, 100.0);
+  auto topic_phi = [&](const std::vector<const char*>& words) {
+    std::vector<double> phi(v, 1e-9);
+    for (const char* w : words) phi[f.corpus.vocab().Lookup(w)] = 1.0;
+    NormalizeInPlace(&phi);
+    return phi;
+  };
+  f.tree.AddChild(0, 0.67,
+                  {topic_phi({"query", "processing", "optimization",
+                              "database"})},
+                  67.0);
+  f.tree.AddChild(0, 0.33, {topic_phi({"machine", "learning", "models"})},
+                  33.0);
+  return f;
+}
+
+TEST(EntityPhraseRankerTest, EntitySpecificPhrasesRankFirst) {
+  Fixture f = MakeFixture();
+  phrase::KertScorer kert(f.corpus, f.dict, f.tree);
+  EntityPhraseRanker ranker(kert);
+  phrase::KertOptions kopt;
+  kopt.gamma = 0.0;  // do not filter; tiny vocabulary
+  kopt.min_topical_support = 3.0;
+
+  auto ranked_a = ranker.Rank(1, f.docs_a, kopt, 0.9, 5);
+  ASSERT_FALSE(ranked_a.empty());
+  std::string top_a = f.dict.ToString(ranked_a[0].first, f.corpus.vocab());
+  EXPECT_NE(top_a.find("processing"), std::string::npos) << top_a;
+
+  auto ranked_b = ranker.Rank(1, f.docs_b, kopt, 0.9, 5);
+  std::string top_b = f.dict.ToString(ranked_b[0].first, f.corpus.vocab());
+  EXPECT_NE(top_b.find("optimization"), std::string::npos) << top_b;
+}
+
+TEST(EntityPhraseRankerTest, ContributionScoreSignsMakeSense) {
+  Fixture f = MakeFixture();
+  phrase::KertScorer kert(f.corpus, f.dict, f.tree);
+  EntityPhraseRanker ranker(kert);
+  int qp = f.dict.Lookup({f.corpus.vocab().Lookup("query"),
+                          f.corpus.vocab().Lookup("processing")});
+  int qo = f.dict.Lookup({f.corpus.vocab().Lookup("query"),
+                          f.corpus.vocab().Lookup("optimization")});
+  ASSERT_GE(qp, 0);
+  ASSERT_GE(qo, 0);
+  // Entity A over-produces "query processing" and never touches
+  // "query optimization".
+  EXPECT_GT(ranker.ContributionScore(1, qp, f.docs_a, 3.0),
+            ranker.ContributionScore(1, qo, f.docs_a, 3.0));
+}
+
+TEST(EntityTopicProfileTest, DocFrequenciesFollowHierarchy) {
+  Fixture f = MakeFixture();
+  phrase::KertScorer kert(f.corpus, f.dict, f.tree);
+  EntityTopicProfile profile(kert, f.tree);
+  // A DB doc concentrates under child 1.
+  std::vector<double> fd = profile.DocTopicFrequencies(f.docs_a[0]);
+  EXPECT_NEAR(fd[0], 1.0, 1e-12);
+  EXPECT_GT(fd[1], 0.9);
+  EXPECT_LT(fd[2], 0.1);
+  // Children sum to at most the parent.
+  EXPECT_LE(fd[1] + fd[2], fd[0] + 1e-9);
+}
+
+TEST(EntityTopicProfileTest, EntityFrequenciesAggregate) {
+  Fixture f = MakeFixture();
+  phrase::KertScorer kert(f.corpus, f.dict, f.tree);
+  EntityTopicProfile profile(kert, f.tree);
+  std::vector<double> fa = profile.EntityTopicFrequencies(f.docs_a);
+  EXPECT_NEAR(fa[0], 15.0, 1e-9);
+  EXPECT_GT(fa[1], 13.0);  // nearly all docs in the DB topic
+  EXPECT_LT(fa[2], 2.0);
+}
+
+TEST(RankEntitiesTest, PurityDemotesSharedEntities) {
+  // Hierarchy with an entity type: entity 0 pure in topic 1, entity 1
+  // shared across topics, entity 2 pure in topic 2.
+  core::TopicHierarchy tree({"term", "author"}, {2, 3});
+  tree.AddRoot({{0.5, 0.5}, {0.34, 0.33, 0.33}}, 10.0);
+  tree.AddChild(0, 0.5, {{1.0, 0.0}, {0.55, 0.45, 0.0}}, 5.0);
+  tree.AddChild(0, 0.5, {{0.0, 1.0}, {0.0, 0.45, 0.55}}, 5.0);
+
+  auto pop = RankEntitiesForTopic(tree, 1, 1, /*use_purity=*/false, 3);
+  EXPECT_EQ(pop[0].first, 0);  // popularity alone: entity 0 barely wins
+  auto pur = RankEntitiesForTopic(tree, 1, 1, /*use_purity=*/true, 3);
+  EXPECT_EQ(pur[0].first, 0);
+  // The shared entity 1 must fall behind entity 0 by a larger margin under
+  // purity; its purity score can even go negative.
+  double margin_pop = pop[0].second - pop[1].second;
+  double score_e1 =
+      [&] {
+        for (const auto& [e, s] : pur) {
+          if (e == 1) return s;
+        }
+        return 0.0;
+      }();
+  EXPECT_LT(score_e1, pur[0].second - margin_pop);
+}
+
+}  // namespace
+}  // namespace latent::role

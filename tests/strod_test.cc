@@ -1,0 +1,155 @@
+// Tests for Chapter 7: moment-based (spectral) topic inference.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "data/lda_gen.h"
+#include "strod/strod.h"
+
+namespace latent::strod {
+namespace {
+
+data::LdaDataset SmallDataset(uint64_t seed = 7, int docs = 3000) {
+  data::LdaGenOptions opt;
+  opt.num_topics = 3;
+  opt.vocab_size = 60;
+  opt.num_docs = docs;
+  opt.doc_length = 30;
+  opt.alpha0 = 0.9;
+  opt.topic_sparsity = 0.05;
+  opt.seed = seed;
+  return data::GenerateLdaDataset(opt);
+}
+
+StrodOptions DefaultOptions(int k = 3) {
+  StrodOptions opt;
+  opt.num_topics = k;
+  opt.alpha0 = 0.9;
+  opt.seed = 13;
+  return opt;
+}
+
+TEST(StrodTest, RecoversPlantedTopics) {
+  data::LdaDataset ds = SmallDataset();
+  StrodResult r = FitStrod(ds.docs, ds.vocab_size, DefaultOptions());
+  ASSERT_EQ(r.topic_word.size(), 3u);
+  double err = MatchedL1Error(ds.true_topic_word, r.topic_word);
+  EXPECT_LT(err, 0.35) << "matched L1 error too high";
+  for (const auto& phi : r.topic_word) {
+    EXPECT_NEAR(Sum(phi), 1.0, 1e-9);
+    for (double v : phi) EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(StrodTest, DeterministicGivenSeed) {
+  data::LdaDataset ds = SmallDataset();
+  StrodResult a = FitStrod(ds.docs, ds.vocab_size, DefaultOptions());
+  StrodResult b = FitStrod(ds.docs, ds.vocab_size, DefaultOptions());
+  for (size_t z = 0; z < a.topic_word.size(); ++z) {
+    for (int w = 0; w < ds.vocab_size; ++w) {
+      EXPECT_DOUBLE_EQ(a.topic_word[z][w], b.topic_word[z][w]);
+    }
+  }
+}
+
+TEST(StrodTest, ErrorShrinksWithSampleSize) {
+  data::LdaDataset small = SmallDataset(21, 400);
+  data::LdaDataset large = SmallDataset(21, 8000);
+  double err_small = MatchedL1Error(
+      small.true_topic_word,
+      FitStrod(small.docs, small.vocab_size, DefaultOptions()).topic_word);
+  double err_large = MatchedL1Error(
+      large.true_topic_word,
+      FitStrod(large.docs, large.vocab_size, DefaultOptions()).topic_word);
+  EXPECT_LT(err_large, err_small)
+      << "recovery error should decrease with more documents";
+}
+
+TEST(StrodTest, M2EigenvaluesRevealTopicCount) {
+  data::LdaDataset ds = SmallDataset();
+  StrodOptions opt = DefaultOptions(5);  // ask for more topics than planted
+  StrodResult r = FitStrod(ds.docs, ds.vocab_size, opt);
+  ASSERT_EQ(r.m2_eigenvalues.size(), 5u);
+  // The top-3 eigenvalues dominate the 4th/5th.
+  EXPECT_GT(r.m2_eigenvalues[2], 5.0 * std::abs(r.m2_eigenvalues[3]));
+}
+
+TEST(StrodTest, AlphaSumsToAlpha0) {
+  data::LdaDataset ds = SmallDataset();
+  StrodResult r = FitStrod(ds.docs, ds.vocab_size, DefaultOptions());
+  EXPECT_NEAR(Sum(r.alpha), 0.9, 1e-9);
+  for (double a : r.alpha) EXPECT_GT(a, 0.0);
+}
+
+TEST(StrodTest, LearnAlpha0PicksReasonableValue) {
+  data::LdaDataset ds = SmallDataset();
+  StrodOptions opt = DefaultOptions();
+  opt.learn_alpha0 = true;
+  StrodResult r = FitStrod(ds.docs, ds.vocab_size, opt);
+  // True alpha0 = 0.9; grid should not run to the extremes.
+  EXPECT_GE(r.alpha0, 0.1);
+  EXPECT_LE(r.alpha0, 5.0);
+  double err = MatchedL1Error(ds.true_topic_word, r.topic_word);
+  EXPECT_LT(err, 0.5);
+}
+
+TEST(StrodTest, InferDocTopicsIdentifiesDominantTopic) {
+  data::LdaDataset ds = SmallDataset();
+  StrodResult model = FitStrod(ds.docs, ds.vocab_size, DefaultOptions());
+  auto theta = InferDocTopics(ds.docs, model);
+  ASSERT_EQ(theta.size(), ds.docs.size());
+  for (const auto& t : theta) {
+    EXPECT_NEAR(Sum(t), 1.0, 1e-6);
+  }
+}
+
+TEST(StrodTest, ToSparseDocsRoundTrip) {
+  text::Corpus corpus;
+  corpus.AddTokenizedDocument({"a", "b", "a", "c"});
+  auto docs = ToSparseDocs(corpus);
+  ASSERT_EQ(docs.size(), 1u);
+  EXPECT_DOUBLE_EQ(docs[0].length, 4.0);
+  ASSERT_EQ(docs[0].counts.size(), 3u);
+  EXPECT_DOUBLE_EQ(docs[0].counts[0].second, 2.0);  // "a" twice
+}
+
+TEST(StrodTest, HierarchyBuildsRequestedShape) {
+  data::LdaGenOptions gopt;
+  gopt.num_topics = 4;
+  gopt.vocab_size = 80;
+  gopt.num_docs = 2500;
+  gopt.doc_length = 25;
+  gopt.seed = 31;
+  data::LdaDataset ds = data::GenerateLdaDataset(gopt);
+  StrodTreeOptions topt;
+  topt.levels_k = {4, 2};
+  topt.max_depth = 2;
+  topt.min_node_weight = 200.0;
+  topt.base.seed = 17;
+  core::TopicHierarchy tree = BuildStrodHierarchy(ds.docs, ds.vocab_size,
+                                                  topt);
+  EXPECT_EQ(tree.node(tree.root()).children.size(), 4u);
+  EXPECT_GE(tree.num_nodes(), 5);
+  // Every node's word distribution is a distribution.
+  for (int id = 0; id < tree.num_nodes(); ++id) {
+    EXPECT_NEAR(Sum(tree.node(id).phi[0]), 1.0, 1e-6) << id;
+  }
+}
+
+class StrodSampleSizeTest : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StrodSampleSizeTest,
+                         ::testing::Values(500, 1500, 4000));
+
+TEST_P(StrodSampleSizeTest, RecoveryErrorBounded) {
+  data::LdaDataset ds = SmallDataset(99, GetParam());
+  StrodResult r = FitStrod(ds.docs, ds.vocab_size, DefaultOptions());
+  double err = MatchedL1Error(ds.true_topic_word, r.topic_word);
+  // Loose upper bound; tightness is checked by the shrinking test above.
+  EXPECT_LT(err, 0.8);
+}
+
+}  // namespace
+}  // namespace latent::strod

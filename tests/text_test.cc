@@ -1,0 +1,171 @@
+// Unit tests for the text substrate (tokenizer, Porter stemmer, corpus).
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "text/corpus.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace latent::text {
+namespace {
+
+TEST(TokenizerTest, LowercasesAndSplits) {
+  auto tokens = Tokenize("Query Processing, in DBMS!");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0], "query");
+  EXPECT_EQ(tokens[1], "processing");
+  EXPECT_EQ(tokens[2], "in");
+  EXPECT_EQ(tokens[3], "dbms");
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("... !!! ---").empty());
+}
+
+TEST(TokenizerTest, KeepsDigits) {
+  auto tokens = Tokenize("top-10 lists");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1], "10");
+}
+
+TEST(StopwordTest, CommonFunctionWords) {
+  EXPECT_TRUE(IsStopword("the"));
+  EXPECT_TRUE(IsStopword("of"));
+  EXPECT_TRUE(IsStopword("and"));
+  EXPECT_FALSE(IsStopword("database"));
+  EXPECT_FALSE(IsStopword("mining"));
+}
+
+struct StemCase {
+  const char* input;
+  const char* expected;
+};
+
+class PorterStemTest : public ::testing::TestWithParam<StemCase> {};
+
+// Classic examples from Porter (1980) and the reference implementation's
+// vocabulary list.
+INSTANTIATE_TEST_SUITE_P(
+    Vocabulary, PorterStemTest,
+    ::testing::Values(
+        StemCase{"caresses", "caress"}, StemCase{"ponies", "poni"},
+        StemCase{"ties", "ti"}, StemCase{"caress", "caress"},
+        StemCase{"cats", "cat"}, StemCase{"feed", "feed"},
+        StemCase{"agreed", "agre"}, StemCase{"plastered", "plaster"},
+        StemCase{"motoring", "motor"}, StemCase{"sing", "sing"},
+        StemCase{"conflated", "conflat"}, StemCase{"troubled", "troubl"},
+        StemCase{"sized", "size"}, StemCase{"hopping", "hop"},
+        StemCase{"tanned", "tan"}, StemCase{"falling", "fall"},
+        StemCase{"hissing", "hiss"}, StemCase{"fizzed", "fizz"},
+        StemCase{"failing", "fail"}, StemCase{"filing", "file"},
+        StemCase{"happy", "happi"}, StemCase{"sky", "sky"},
+        StemCase{"relational", "relat"}, StemCase{"conditional", "condit"},
+        StemCase{"rational", "ration"}, StemCase{"valenci", "valenc"},
+        StemCase{"digitizer", "digit"}, StemCase{"operator", "oper"},
+        StemCase{"feudalism", "feudal"}, StemCase{"decisiveness", "decis"},
+        StemCase{"hopefulness", "hope"}, StemCase{"formaliti", "formal"},
+        StemCase{"triplicate", "triplic"}, StemCase{"formative", "form"},
+        StemCase{"formalize", "formal"}, StemCase{"electriciti", "electr"},
+        StemCase{"electrical", "electr"}, StemCase{"hopeful", "hope"},
+        StemCase{"goodness", "good"}, StemCase{"revival", "reviv"},
+        StemCase{"allowance", "allow"}, StemCase{"inference", "infer"},
+        StemCase{"airliner", "airlin"}, StemCase{"adjustable", "adjust"},
+        StemCase{"defensible", "defens"}, StemCase{"irritant", "irrit"},
+        StemCase{"replacement", "replac"}, StemCase{"adjustment", "adjust"},
+        StemCase{"dependent", "depend"}, StemCase{"adoption", "adopt"},
+        StemCase{"communism", "commun"}, StemCase{"activate", "activ"},
+        StemCase{"angulariti", "angular"}, StemCase{"homologous", "homolog"},
+        StemCase{"effective", "effect"}, StemCase{"bowdlerize", "bowdler"},
+        StemCase{"probate", "probat"}, StemCase{"rate", "rate"},
+        StemCase{"cease", "ceas"}, StemCase{"controll", "control"},
+        StemCase{"roll", "roll"}));
+
+TEST_P(PorterStemTest, MatchesReference) {
+  EXPECT_EQ(PorterStem(GetParam().input), GetParam().expected)
+      << "input: " << GetParam().input;
+}
+
+TEST(PorterStemTest, ShortWordsUnchanged) {
+  EXPECT_EQ(PorterStem("a"), "a");
+  EXPECT_EQ(PorterStem("is"), "is");
+}
+
+TEST(TokenizeFilteredTest, RemovesStopwordsAndShortTokens) {
+  TokenizeOptions opt;
+  opt.remove_stopwords = true;
+  opt.min_length = 2;
+  auto tokens = TokenizeFiltered("the query processing of a database", opt);
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "query");
+  EXPECT_EQ(tokens[2], "database");
+}
+
+TEST(TokenizeFilteredTest, StemsWhenRequested) {
+  TokenizeOptions opt;
+  opt.stem = true;
+  auto tokens = TokenizeFiltered("mining frequent patterns", opt);
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "mine");
+  EXPECT_EQ(tokens[1], "frequent");
+  EXPECT_EQ(tokens[2], "pattern");
+}
+
+TEST(VocabularyTest, InternIsIdempotent) {
+  Vocabulary v;
+  int a = v.Intern("query");
+  int b = v.Intern("processing");
+  EXPECT_EQ(v.Intern("query"), a);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(v.size(), 2);
+  EXPECT_EQ(v.Token(a), "query");
+  EXPECT_EQ(v.Lookup("processing"), b);
+  EXPECT_EQ(v.Lookup("missing"), -1);
+}
+
+TEST(CorpusTest, AddDocumentSegmentsOnPunctuation) {
+  Corpus c;
+  TokenizeOptions opt;
+  opt.remove_stopwords = false;
+  opt.min_length = 1;
+  c.AddDocument("query processing, concurrency control", opt);
+  ASSERT_EQ(c.num_docs(), 1);
+  const Document& d = c.docs()[0];
+  EXPECT_EQ(d.size(), 4);
+  ASSERT_EQ(d.segment_starts.size(), 2u);
+  EXPECT_EQ(d.segment_starts[0], 0);
+  EXPECT_EQ(d.segment_starts[1], 2);
+}
+
+TEST(CorpusTest, FrequenciesAreConsistent) {
+  Corpus c;
+  c.AddTokenizedDocument({"a", "b", "a"});
+  c.AddTokenizedDocument({"b", "c"});
+  EXPECT_EQ(c.vocab_size(), 3);
+  EXPECT_EQ(c.total_tokens(), 5);
+  auto df = c.DocumentFrequencies();
+  auto cf = c.CollectionFrequencies();
+  int a = c.vocab().Lookup("a");
+  int b = c.vocab().Lookup("b");
+  int cc = c.vocab().Lookup("c");
+  EXPECT_EQ(df[a], 1);
+  EXPECT_EQ(df[b], 2);
+  EXPECT_EQ(df[cc], 1);
+  EXPECT_EQ(cf[a], 2);
+  EXPECT_EQ(cf[b], 2);
+  EXPECT_EQ(cf[cc], 1);
+}
+
+TEST(CorpusTest, AddDocumentIdsSingleSegment) {
+  Corpus c;
+  c.mutable_vocab().Intern("x");
+  c.mutable_vocab().Intern("y");
+  c.AddDocumentIds({0, 1, 0});
+  EXPECT_EQ(c.docs()[0].size(), 3);
+  EXPECT_EQ(c.docs()[0].segment_starts.size(), 1u);
+}
+
+}  // namespace
+}  // namespace latent::text

@@ -1,0 +1,153 @@
+// latent_mine: command-line driver for the full pipeline.
+//
+//   latent_mine --corpus docs.txt [--entities links.tsv]
+//               [--levels 6,4] [--min-support 5] [--seed 42]
+//               [--json out.json] [--save tree.bin] [--stem]
+//
+// Reads a corpus (one document per line) and optional entity attachments
+// (TSV: doc_index \t type_name \t entity_name), mines a phrase-represented
+// entity-enriched topical hierarchy, prints it, and optionally exports JSON
+// or a reloadable serialized tree.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "api/latent.h"
+#include "core/serialize.h"
+#include "data/io.h"
+
+namespace {
+
+// Parses "6,4" into {6, 4}.
+std::vector<int> ParseLevels(const std::string& spec) {
+  std::vector<int> out;
+  std::string cur;
+  for (char c : spec + ",") {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(std::atoi(cur.c_str()));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  return out;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: latent_mine --corpus FILE [--entities FILE] [--levels 6,4]\n"
+      "                   [--min-support N] [--seed N] [--json FILE]\n"
+      "                   [--save FILE] [--stem] [--equal-weights]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace latent;
+  std::string corpus_path, entities_path, json_path, save_path;
+  std::vector<int> levels = {5, 3};
+  long long min_support = 5;
+  uint64_t seed = 42;
+  bool stem = false;
+  bool learn_weights = true;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--corpus") {
+      if (const char* v = next()) corpus_path = v;
+    } else if (arg == "--entities") {
+      if (const char* v = next()) entities_path = v;
+    } else if (arg == "--levels") {
+      if (const char* v = next()) levels = ParseLevels(v);
+    } else if (arg == "--min-support") {
+      if (const char* v = next()) min_support = std::atoll(v);
+    } else if (arg == "--seed") {
+      if (const char* v = next()) seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--json") {
+      if (const char* v = next()) json_path = v;
+    } else if (arg == "--save") {
+      if (const char* v = next()) save_path = v;
+    } else if (arg == "--stem") {
+      stem = true;
+    } else if (arg == "--equal-weights") {
+      learn_weights = false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (corpus_path.empty()) return Usage();
+
+  text::TokenizeOptions topt;
+  topt.stem = stem;
+  auto corpus_or = data::LoadCorpusFromFile(corpus_path, topt);
+  if (!corpus_or.ok()) {
+    std::fprintf(stderr, "error: %s\n", corpus_or.status().message().c_str());
+    return 1;
+  }
+  const text::Corpus& corpus = corpus_or.value();
+  std::fprintf(stderr, "loaded %d docs, %d unique words\n", corpus.num_docs(),
+               corpus.vocab_size());
+
+  std::vector<std::string> type_names;
+  std::vector<int> type_sizes;
+  std::vector<hin::EntityDoc> entity_docs;
+  data::EntityAttachments attachments;
+  if (!entities_path.empty()) {
+    auto loaded = data::LoadEntityAttachments(entities_path, corpus.num_docs());
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n", loaded.status().message().c_str());
+      return 1;
+    }
+    attachments = std::move(loaded.value());
+    type_names = attachments.type_names;
+    type_sizes = attachments.TypeSizes();
+    entity_docs = attachments.entity_docs;
+    std::fprintf(stderr, "loaded %zu entity types\n", type_names.size());
+  }
+
+  api::PipelineOptions opt;
+  opt.build.levels_k = levels;
+  opt.build.max_depth = static_cast<int>(levels.size());
+  opt.build.cluster.weight_mode = learn_weights
+                                      ? core::LinkWeightMode::kLearned
+                                      : core::LinkWeightMode::kEqual;
+  opt.build.cluster.seed = seed;
+  opt.miner.min_support = min_support;
+  api::MinedHierarchy mined = api::MineTopicalHierarchy(
+      corpus, type_names, type_sizes, entity_docs, opt);
+
+  phrase::KertOptions kopt;
+  std::printf("%s", mined.RenderTree(kopt, 5).c_str());
+
+  if (!json_path.empty()) {
+    auto namer = [&](int type, int id) -> std::string {
+      if (type == 0) return corpus.vocab().Token(id);
+      return attachments.entity_names[type - 1].Token(id);
+    };
+    Status s = data::WriteFile(json_path,
+                               core::HierarchyToJson(mined.tree(), namer));
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.message().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  }
+  if (!save_path.empty()) {
+    Status s = data::WriteFile(save_path,
+                               core::SerializeHierarchy(mined.tree()));
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.message().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s\n", save_path.c_str());
+  }
+  return 0;
+}
