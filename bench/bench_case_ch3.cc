@@ -60,9 +60,15 @@ int main() {
   popt.build.cluster.max_iters = 60;
   popt.build.cluster.seed = 5;
   popt.miner.min_support = 5;
-  api::MinedHierarchy mined = api::MineTopicalHierarchy(
-      ds.corpus, ds.entity_type_names, ds.entity_type_sizes, ds.entity_docs,
-      popt);
+  popt.exec.num_threads = 0;
+  latent::StatusOr<api::MinedHierarchy> mined_or =
+      api::Mine(api::PipelineInput(
+                    ds.corpus,
+                    api::EntitySchema(ds.entity_type_names,
+                                      ds.entity_type_sizes),
+                    ds.entity_docs),
+                popt);
+  const api::MinedHierarchy& mined = mined_or.value();
 
   phrase::KertOptions kopt;
   std::printf("=== CATHYHIN hierarchy (Figure 3.4 analogue) ===\n%s\n",

@@ -29,9 +29,16 @@ int main() {
   opt.build.cluster.max_iters = 60;
   opt.build.cluster.seed = 21;
   opt.miner.min_support = 5;
-  api::MinedHierarchy mined = api::MineTopicalHierarchy(
-      ds.corpus, ds.entity_type_names, ds.entity_type_sizes, ds.entity_docs,
-      opt);
+  opt.exec.num_threads = 0;  // use all cores; bit-identical to serial
+  api::PipelineInput input(
+      ds.corpus, api::EntitySchema(ds.entity_type_names, ds.entity_type_sizes),
+      ds.entity_docs);
+  latent::StatusOr<api::MinedHierarchy> result = api::Mine(input, opt);
+  if (!result.ok()) {
+    std::printf("pipeline rejected: %s\n", result.status().message().c_str());
+    return 1;
+  }
+  const api::MinedHierarchy& mined = result.value();
 
   // The "campaign brief": a few keywords from planted subarea 5.
   std::vector<int> query_words;

@@ -4,46 +4,200 @@
 
 namespace latent::api {
 
+namespace {
+std::string Sprintf2(const char* what, long long got) {
+  return std::string(what) + " (got " + std::to_string(got) + ")";
+}
+}  // namespace
+
+Status PipelineOptions::Validate() const {
+  const core::BuildOptions& b = build;
+  for (size_t i = 0; i < b.levels_k.size(); ++i) {
+    // <= 0 entries mean "choose by BIC" and are legal.
+    if (b.levels_k[i] > 0 && b.levels_k[i] < 1) {
+      return Status::InvalidArgument("levels_k entries must be >= 1 or <= 0");
+    }
+  }
+  if (b.k_min < 1) {
+    return Status::InvalidArgument(Sprintf2("k_min must be >= 1", b.k_min));
+  }
+  if (b.k_max < b.k_min) {
+    return Status::InvalidArgument("k_max must be >= k_min");
+  }
+  if (b.max_depth < 0) {
+    return Status::InvalidArgument(
+        Sprintf2("max_depth must be >= 0", b.max_depth));
+  }
+  if (b.min_network_weight < 0.0) {
+    return Status::InvalidArgument("min_network_weight must be >= 0");
+  }
+  if (b.subnetwork_min_weight < 0.0) {
+    return Status::InvalidArgument("subnetwork_min_weight must be >= 0");
+  }
+  const core::ClusterOptions& c = b.cluster;
+  if (c.num_topics < 1) {
+    return Status::InvalidArgument(
+        Sprintf2("cluster.num_topics must be >= 1", c.num_topics));
+  }
+  if (c.max_iters < 1) {
+    return Status::InvalidArgument(
+        Sprintf2("cluster.max_iters must be >= 1", c.max_iters));
+  }
+  if (c.tol < 0.0) {
+    return Status::InvalidArgument("cluster.tol must be >= 0");
+  }
+  if (c.restarts < 1) {
+    return Status::InvalidArgument(
+        Sprintf2("cluster.restarts must be >= 1", c.restarts));
+  }
+  if (c.alpha_update_every < 1) {
+    return Status::InvalidArgument("cluster.alpha_update_every must be >= 1");
+  }
+  if (miner.min_support < 1) {
+    return Status::InvalidArgument(
+        Sprintf2("miner.min_support must be >= 1", miner.min_support));
+  }
+  if (miner.max_length < 1) {
+    return Status::InvalidArgument(
+        Sprintf2("miner.max_length must be >= 1", miner.max_length));
+  }
+  if (kert.gamma < 0.0 || kert.gamma > 1.0) {
+    return Status::InvalidArgument("kert.gamma must be in [0, 1]");
+  }
+  if (kert.omega < 0.0 || kert.omega > 1.0) {
+    return Status::InvalidArgument("kert.omega must be in [0, 1]");
+  }
+  if (kert.min_topical_support < 0.0) {
+    return Status::InvalidArgument("kert.min_topical_support must be >= 0");
+  }
+  if (exec.num_threads < 0) {
+    return Status::InvalidArgument(
+        Sprintf2("exec.num_threads must be >= 0", exec.num_threads));
+  }
+  return Status::Ok();
+}
+
+Status PipelineInput::Validate() const {
+  if (corpus == nullptr) {
+    return Status::InvalidArgument("PipelineInput.corpus must be non-null");
+  }
+  if (schema.names.size() != schema.sizes.size()) {
+    return Status::InvalidArgument(
+        "EntitySchema: names and sizes must have equal length (" +
+        std::to_string(schema.names.size()) + " names vs " +
+        std::to_string(schema.sizes.size()) + " sizes)");
+  }
+  for (size_t t = 0; t < schema.sizes.size(); ++t) {
+    if (schema.sizes[t] < 0) {
+      return Status::InvalidArgument("EntitySchema.sizes[" +
+                                     std::to_string(t) + "] is negative");
+    }
+  }
+  if (entity_docs != nullptr && !entity_docs->empty()) {
+    if (static_cast<int>(entity_docs->size()) != corpus->num_docs()) {
+      return Status::InvalidArgument(
+          "entity_docs must have one entry per corpus document (" +
+          std::to_string(entity_docs->size()) + " entries vs " +
+          std::to_string(corpus->num_docs()) + " documents)");
+    }
+    for (const hin::EntityDoc& ed : *entity_docs) {
+      if (ed.entities.size() > schema.names.size()) {
+        return Status::InvalidArgument(
+            "an EntityDoc attaches more entity types than the schema "
+            "declares");
+      }
+      for (size_t t = 0; t < ed.entities.size(); ++t) {
+        for (int id : ed.entities[t]) {
+          if (id < 0 || id >= schema.sizes[t]) {
+            return Status::InvalidArgument(
+                "entity id " + std::to_string(id) + " out of range for type " +
+                std::to_string(t) + " (size " +
+                std::to_string(schema.sizes[t]) + ")");
+          }
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
 MinedHierarchy::MinedHierarchy(const text::Corpus& corpus,
                                core::TopicHierarchy tree,
-                               phrase::PhraseDict dict, int word_type)
-    : corpus_(&corpus), tree_(std::move(tree)), dict_(std::move(dict)) {
-  kert_ = std::make_unique<phrase::KertScorer>(corpus, dict_, tree_,
-                                               word_type);
+                               phrase::PhraseDict dict, int word_type,
+                               std::shared_ptr<exec::Executor> exec)
+    : corpus_(&corpus),
+      tree_(std::make_unique<core::TopicHierarchy>(std::move(tree))),
+      dict_(std::make_unique<phrase::PhraseDict>(std::move(dict))),
+      exec_(std::move(exec)) {
+  kert_ = std::make_unique<phrase::KertScorer>(corpus, *dict_, *tree_,
+                                               word_type, exec_.get());
 }
 
 std::vector<Scored<int>> MinedHierarchy::TopPhrases(
     int node, const phrase::KertOptions& opt, size_t k) const {
-  return kert_->RankTopic(node, opt, k);
+  return kert().RankTopic(node, opt, k);
 }
 
 std::vector<Scored<int>> MinedHierarchy::TopEntities(int node,
                                                      int entity_type,
                                                      size_t k) const {
-  return TopKDense(tree_.node(node).phi[entity_type], k);
+  return TopKDense(tree().node(node).phi[entity_type], k);
 }
 
 std::string MinedHierarchy::RenderNode(int node,
                                        const phrase::KertOptions& opt,
                                        size_t k) const {
-  if (node == tree_.root()) return "(root)";
+  if (node == tree().root()) return "(root)";
   std::string out;
   for (const auto& [p, score] : TopPhrases(node, opt, k)) {
     if (!out.empty()) out += " / ";
-    out += dict_.ToString(p, corpus_->vocab());
+    out += dict_->ToString(p, corpus_->vocab());
   }
   return out.empty() ? "(empty)" : out;
 }
 
 std::string MinedHierarchy::RenderTree(const phrase::KertOptions& opt,
                                        size_t phrases_per_node) const {
+  std::vector<std::vector<Scored<int>>> ranked =
+      kert().RankAllTopics(opt, phrases_per_node, exec_.get());
   std::string out;
-  for (int id = 0; id < tree_.num_nodes(); ++id) {
-    const core::TopicNode& n = tree_.node(id);
-    out += std::string(2 * n.level, ' ') + n.path + ": " +
-           RenderNode(id, opt, phrases_per_node) + "\n";
+  for (int id = 0; id < tree_->num_nodes(); ++id) {
+    const core::TopicNode& n = tree_->node(id);
+    std::string line;
+    if (id == tree_->root()) {
+      line = "(root)";
+    } else {
+      for (const auto& [p, score] : ranked[id]) {
+        if (!line.empty()) line += " / ";
+        line += dict_->ToString(p, corpus_->vocab());
+      }
+      if (line.empty()) line = "(empty)";
+    }
+    out += std::string(2 * n.level, ' ') + n.path + ": " + line + "\n";
   }
   return out;
+}
+
+StatusOr<MinedHierarchy> Mine(const PipelineInput& input,
+                              const PipelineOptions& options) {
+  if (Status s = input.Validate(); !s.ok()) return s;
+  if (Status s = options.Validate(); !s.ok()) return s;
+
+  auto executor = std::make_shared<exec::Executor>(options.exec);
+  exec::Executor* ex = executor->num_threads() > 1 ? executor.get() : nullptr;
+
+  static const std::vector<hin::EntityDoc> kNoEntityDocs;
+  const std::vector<hin::EntityDoc>& entity_docs =
+      input.entity_docs != nullptr ? *input.entity_docs : kNoEntityDocs;
+
+  hin::HeteroNetwork net = hin::BuildCollapsedNetwork(
+      *input.corpus, input.schema.names, input.schema.sizes, entity_docs,
+      options.collapse);
+  core::TopicHierarchy tree = core::BuildHierarchy(net, options.build, ex);
+  phrase::PhraseDict dict =
+      phrase::MineFrequentPhrases(*input.corpus, options.miner, ex);
+  return MinedHierarchy(*input.corpus, std::move(tree), std::move(dict), 0,
+                        std::move(executor));
 }
 
 MinedHierarchy MineTopicalHierarchy(
@@ -52,12 +206,13 @@ MinedHierarchy MineTopicalHierarchy(
     const std::vector<int>& entity_type_sizes,
     const std::vector<hin::EntityDoc>& entity_docs,
     const PipelineOptions& options) {
-  hin::HeteroNetwork net = hin::BuildCollapsedNetwork(
-      corpus, entity_type_names, entity_type_sizes, entity_docs,
-      options.collapse);
-  core::TopicHierarchy tree = core::BuildHierarchy(net, options.build);
-  phrase::PhraseDict dict = phrase::MineFrequentPhrases(corpus, options.miner);
-  return MinedHierarchy(corpus, std::move(tree), std::move(dict), 0);
+  PipelineInput input;
+  input.corpus = &corpus;
+  input.schema = EntitySchema(entity_type_names, entity_type_sizes);
+  input.entity_docs = &entity_docs;
+  StatusOr<MinedHierarchy> result = Mine(input, options);
+  LATENT_CHECK_MSG(result.ok(), result.status().message().c_str());
+  return std::move(result.value());
 }
 
 }  // namespace latent::api

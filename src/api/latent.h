@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"
+#include "common/status.h"
 #include "core/builder.h"
 #include "core/hierarchy.h"
 #include "hin/collapse.h"
@@ -25,17 +27,85 @@ struct PipelineOptions {
   phrase::MinerOptions miner;
   phrase::KertOptions kert;
   hin::CollapseOptions collapse;
+  /// Execution-layer knobs: worker count (0 = hardware concurrency, 1 =
+  /// fully serial) and the determinism guarantee (see common/parallel.h).
+  exec::ExecOptions exec;
+
+  /// Checks every knob for well-formedness (positive topic counts, sane
+  /// [k_min, k_max], non-negative thresholds/tolerances, KERT weights in
+  /// [0, 1], ...). Called by Mine() before any work starts.
+  Status Validate() const;
+};
+
+/// Names and per-type universe sizes of the entity types attached to a
+/// corpus. names[x] labels type x; sizes[x] is the number of distinct
+/// type-x entities (entity ids in EntityDoc must lie in [0, sizes[x])).
+struct EntitySchema {
+  std::vector<std::string> names;
+  std::vector<int> sizes;
+
+  EntitySchema() = default;
+  EntitySchema(std::vector<std::string> n, std::vector<int> s)
+      : names(std::move(n)), sizes(std::move(s)) {}
+
+  int num_types() const { return static_cast<int>(names.size()); }
+};
+
+/// Everything Mine() consumes, bundled. The corpus (and entity docs, when
+/// given) are referenced, not copied — they must outlive the call AND the
+/// returned MinedHierarchy (see MinedHierarchy's lifetime contract).
+struct PipelineInput {
+  /// Required. Text side of the network (words / phrases).
+  const text::Corpus* corpus = nullptr;
+  /// Entity types linked to documents; empty schema = text-only CATHY.
+  EntitySchema schema;
+  /// Per-document entity attachments; null or empty = text-only CATHY.
+  /// When non-null, must hold exactly corpus->num_docs() entries.
+  const std::vector<hin::EntityDoc>* entity_docs = nullptr;
+
+  PipelineInput() = default;
+  /// Text-only pipeline (plain CATHY on the word co-occurrence network).
+  explicit PipelineInput(const text::Corpus& c) : corpus(&c) {}
+  /// Text + entities pipeline (CATHYHIN on the collapsed heterogeneous
+  /// network).
+  PipelineInput(const text::Corpus& c, EntitySchema s,
+                const std::vector<hin::EntityDoc>& docs)
+      : corpus(&c), schema(std::move(s)), entity_docs(&docs) {}
+
+  /// Structural well-formedness: corpus present, schema names/sizes agree,
+  /// entity docs (if any) match the corpus document count.
+  Status Validate() const;
 };
 
 /// A mined hierarchy bundled with its phrase scorer and rendering helpers.
+///
+/// Lifetime contract: MinedHierarchy keeps a raw pointer to the input
+/// corpus (the KERT scorer indexes it in place; copying a production-scale
+/// corpus per result is off the table). The corpus passed to Mine() must
+/// therefore strictly outlive every MinedHierarchy mined from it. Accessors
+/// LATENT_CHECK-fail on a default-constructed (corpus-less) instance, which
+/// exists only as the empty slot inside an errored StatusOr.
 class MinedHierarchy {
  public:
-  MinedHierarchy(const text::Corpus& corpus, core::TopicHierarchy tree,
-                 phrase::PhraseDict dict, int word_type);
+  /// Empty shell for StatusOr's error slot; every accessor check-fails.
+  MinedHierarchy() = default;
 
-  const core::TopicHierarchy& tree() const { return tree_; }
-  const phrase::PhraseDict& dict() const { return dict_; }
-  const phrase::KertScorer& kert() const { return *kert_; }
+  MinedHierarchy(const text::Corpus& corpus, core::TopicHierarchy tree,
+                 phrase::PhraseDict dict, int word_type,
+                 std::shared_ptr<exec::Executor> exec = nullptr);
+
+  const core::TopicHierarchy& tree() const {
+    LATENT_CHECK_MSG(tree_ != nullptr, "empty MinedHierarchy");
+    return *tree_;
+  }
+  const phrase::PhraseDict& dict() const {
+    LATENT_CHECK_MSG(dict_ != nullptr, "empty MinedHierarchy");
+    return *dict_;
+  }
+  const phrase::KertScorer& kert() const {
+    LATENT_CHECK_MSG(kert_ != nullptr, "empty MinedHierarchy");
+    return *kert_;
+  }
 
   /// Top phrases of a (non-root) topic under the configured KERT options.
   std::vector<Scored<int>> TopPhrases(int node, const phrase::KertOptions& opt,
@@ -49,20 +119,36 @@ class MinedHierarchy {
   std::string RenderNode(int node, const phrase::KertOptions& opt,
                          size_t k) const;
 
-  /// Renders the whole tree, indented by level.
+  /// Renders the whole tree, indented by level. Per-topic rankings run on
+  /// the pipeline's executor when one was attached by Mine().
   std::string RenderTree(const phrase::KertOptions& opt,
                          size_t phrases_per_node) const;
 
  private:
-  const text::Corpus* corpus_;
-  core::TopicHierarchy tree_;
-  phrase::PhraseDict dict_;
+  const text::Corpus* corpus_ = nullptr;
+  // Heap-held so the KERT scorer's internal pointers to them survive moves
+  // of this object (e.g. into/out of a StatusOr).
+  std::unique_ptr<core::TopicHierarchy> tree_;
+  std::unique_ptr<phrase::PhraseDict> dict_;
   std::unique_ptr<phrase::KertScorer> kert_;
+  std::shared_ptr<exec::Executor> exec_;
 };
 
-/// Mines a topical hierarchy from text + entities (CATHYHIN when
-/// `entity_docs` is non-empty, CATHY otherwise), then attaches a KERT
-/// phrase scorer.
+/// Runs the full pipeline: collapse text+entities into a heterogeneous
+/// network, build the CATHY/CATHYHIN hierarchy, mine frequent phrases, and
+/// attach a KERT scorer. Validates `input` and `options` up front and
+/// returns InvalidArgument instead of crashing on ill-formed requests.
+///
+/// All stages run on one executor sized by options.exec; with
+/// options.exec.deterministic (the default) the result is bit-identical for
+/// every num_threads value, including the serial num_threads == 1 path.
+StatusOr<MinedHierarchy> Mine(const PipelineInput& input,
+                              const PipelineOptions& options);
+
+/// Legacy entry point, superseded by Mine(PipelineInput, PipelineOptions).
+/// Forwards to Mine() and check-fails on invalid input (the historical
+/// behavior). New callers should use Mine() and handle the Status.
+[[deprecated("use api::Mine(PipelineInput, PipelineOptions)")]]
 MinedHierarchy MineTopicalHierarchy(
     const text::Corpus& corpus,
     const std::vector<std::string>& entity_type_names,

@@ -46,8 +46,21 @@ inline double PointwiseKl(double p, double q) {
   return p * (SafeLog(p) - SafeLog(q));
 }
 
+/// Thread-safe log-gamma. lgamma(3) writes the global `signgam`, which is a
+/// data race when parallel E-steps evaluate Poisson likelihood terms
+/// concurrently; use the reentrant lgamma_r where the libc provides it.
+#if defined(__GLIBC__) || defined(__APPLE__)
+extern "C" double lgamma_r(double, int*);
+inline double LogGamma(double x) {
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+}
+#else
+inline double LogGamma(double x) { return std::lgamma(x); }
+#endif
+
 /// log(n!) via lgamma.
-inline double LogFactorial(double n) { return std::lgamma(n + 1.0); }
+inline double LogFactorial(double n) { return LogGamma(n + 1.0); }
 
 /// Total variation distance between two distributions of equal length.
 double TotalVariation(const std::vector<double>& p, const std::vector<double>& q);

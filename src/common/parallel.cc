@@ -1,0 +1,119 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+
+namespace latent::exec {
+
+int ResolveNumThreads(int num_threads) {
+  LATENT_CHECK_GE(num_threads, 0);
+  if (num_threads > 0) return num_threads;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
+  LATENT_CHECK_GE(num_threads, 1);
+  workers_.reserve(num_threads - 1);
+  for (int i = 0; i + 1 < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::RunOneLocked(std::unique_lock<std::mutex>& lock) {
+  Item item = queue_.front();
+  queue_.pop_front();
+  lock.unlock();
+  (*item.fn)();
+  lock.lock();
+  if (--item.batch->remaining == 0) cv_.notify_all();
+}
+
+void ThreadPool::WorkLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    if (shutdown_) return;
+    RunOneLocked(lock);
+  }
+}
+
+void ThreadPool::RunAll(std::vector<std::function<void()>>& tasks) {
+  if (tasks.empty()) return;
+  if (workers_.empty() || tasks.size() == 1) {
+    for (auto& t : tasks) t();
+    return;
+  }
+  Batch batch;
+  batch.remaining = static_cast<int>(tasks.size());
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (auto& t : tasks) queue_.push_back(Item{&t, &batch});
+  }
+  cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  while (batch.remaining > 0) {
+    if (!queue_.empty()) {
+      // Help: run any queued task (ours or a nested batch's) rather than
+      // blocking a thread the queue could use.
+      RunOneLocked(lock);
+    } else {
+      cv_.wait(lock,
+               [&] { return batch.remaining == 0 || !queue_.empty(); });
+    }
+  }
+}
+
+Executor::Executor(const ExecOptions& options)
+    : options_(options), num_threads_(ResolveNumThreads(options.num_threads)) {
+  if (num_threads_ > 1) pool_ = std::make_unique<ThreadPool>(num_threads_);
+}
+
+void Executor::RunTasks(std::vector<std::function<void()>> tasks) {
+  if (!pool_ || tasks.size() <= 1) {
+    for (auto& t : tasks) t();
+    return;
+  }
+  pool_->RunAll(tasks);
+}
+
+int Executor::NumShards(long long n, long long grain) const {
+  if (n <= 0) return 0;
+  const long long g = std::max<long long>(grain, 1);
+  const long long by_grain = (n + g - 1) / g;
+  const long long cap = options_.deterministic
+                            ? static_cast<long long>(kDeterministicShardCap)
+                            : static_cast<long long>(num_threads_);
+  return static_cast<int>(std::min(by_grain, std::max<long long>(cap, 1)));
+}
+
+void Executor::ParallelFor(
+    long long n, long long grain,
+    const std::function<void(long long, long long, int)>& body) {
+  const int shards = NumShards(n, grain);
+  if (shards <= 0) return;
+  if (shards == 1) {
+    body(0, n, 0);
+    return;
+  }
+  const long long chunk = (n + shards - 1) / shards;
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(shards);
+  for (int s = 0; s < shards; ++s) {
+    const long long begin = static_cast<long long>(s) * chunk;
+    const long long end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    tasks.push_back([&body, begin, end, s] { body(begin, end, s); });
+  }
+  RunTasks(std::move(tasks));
+}
+
+}  // namespace latent::exec

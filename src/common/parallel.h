@@ -1,0 +1,150 @@
+// latent::exec — the parallel-execution layer every compute-heavy stage
+// (CATHYHIN EM, hierarchy construction, phrase mining, KERT scoring) runs
+// on. Three pieces:
+//
+//   * ThreadPool — a reusable pool with a shared task queue. Batches may be
+//     submitted from worker threads (nested parallelism); a thread waiting
+//     for its batch helps drain the queue instead of blocking, so recursive
+//     fan-out (sibling subtrees spawning restart tasks spawning E-step
+//     tasks) cannot deadlock.
+//   * Executor — ExecOptions + an optional pool. `num_threads == 0` means
+//     hardware concurrency, `1` runs everything inline on the caller's
+//     thread (the serial path). ParallelFor applies static chunking; in
+//     deterministic mode the chunk decomposition depends only on the range,
+//     never on the thread count.
+//   * TreeReduce — merges per-shard accumulators pairwise in a fixed
+//     index order. Because both the shard boundaries (deterministic mode)
+//     and the merge pairing are functions of the range alone, floating-point
+//     reductions are bit-reproducible regardless of how many threads ran.
+//
+// Determinism contract: every parallel stage in the library either (a)
+// partitions OUTPUT slots so each accumulator entry is written by exactly
+// one task in serial order (the EM E-step), (b) reduces per-shard partials
+// with TreeReduce over a thread-count-independent decomposition, or (c) is
+// embarrassingly parallel with a deterministic final ordering. Under
+// ExecOptions::deterministic the full pipeline is bit-identical for any
+// num_threads.
+#ifndef LATENT_COMMON_PARALLEL_H_
+#define LATENT_COMMON_PARALLEL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+
+namespace latent::exec {
+
+/// Parallelism knobs, plumbed through api::PipelineOptions down to every
+/// stage. The defaults reproduce the serial behavior exactly.
+struct ExecOptions {
+  /// Worker threads to use; 0 = std::thread::hardware_concurrency(),
+  /// 1 = serial (no pool, everything inline on the calling thread).
+  int num_threads = 1;
+  /// When true, results are bit-identical for every num_threads setting
+  /// (fixed chunk decompositions + fixed-order reductions). When false,
+  /// chunking may follow the thread count; only stages whose reductions are
+  /// order-insensitive (integer counts) remain exactly reproducible.
+  bool deterministic = true;
+};
+
+/// Resolves the num_threads convention (0 -> hardware concurrency, >= 1
+/// verbatim; a zero hardware_concurrency report falls back to 1).
+int ResolveNumThreads(int num_threads);
+
+/// Reusable pool. `num_threads` is the TOTAL concurrency: the pool spawns
+/// num_threads - 1 workers and the thread calling RunAll participates.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs every task and returns when all have finished. The caller helps
+  /// execute queued tasks (its own batch or others'), so RunAll may be
+  /// called from inside a task.
+  void RunAll(std::vector<std::function<void()>>& tasks);
+
+ private:
+  struct Batch {
+    int remaining = 0;
+  };
+  struct Item {
+    std::function<void()>* fn;
+    Batch* batch;
+  };
+
+  void WorkLoop();
+  /// Pops and runs one queued item. `lock` must be held; it is released
+  /// while the task runs and re-acquired afterwards.
+  void RunOneLocked(std::unique_lock<std::mutex>& lock);
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Item> queue_;
+  bool shutdown_ = false;
+};
+
+/// ExecOptions bound to a (lazily absent) pool; the object every parallel
+/// stage receives. A null Executor* everywhere means "serial".
+class Executor {
+ public:
+  explicit Executor(const ExecOptions& options);
+  Executor(Executor&&) = default;
+  Executor& operator=(Executor&&) = default;
+
+  int num_threads() const { return num_threads_; }
+  bool deterministic() const { return options_.deterministic; }
+  const ExecOptions& options() const { return options_; }
+
+  /// Runs the tasks (in parallel when a pool exists, inline in order
+  /// otherwise) and returns when all are done. Tasks must be independent.
+  void RunTasks(std::vector<std::function<void()>> tasks);
+
+  /// Number of contiguous shards ParallelFor splits [0, n) into when each
+  /// shard should hold at least `grain` items. Deterministic mode caps at a
+  /// fixed constant so the decomposition never depends on the thread count.
+  int NumShards(long long n, long long grain) const;
+
+  /// Static chunking over [0, n): calls body(begin, end, shard) for each
+  /// contiguous shard. Empty ranges produce no calls. Shards are processed
+  /// in parallel; `body` must tolerate any execution order.
+  void ParallelFor(long long n, long long grain,
+                   const std::function<void(long long, long long, int)>& body);
+
+ private:
+  ExecOptions options_;
+  int num_threads_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+/// Fixed shard cap in deterministic mode (see Executor::NumShards).
+inline constexpr int kDeterministicShardCap = 32;
+
+/// Merges `shards` pairwise with stride doubling — merge(shards[i],
+/// shards[i + stride]) for i = 0, 2*stride, ... — leaving the total in
+/// shards->front(). The pairing depends only on shards->size(), so
+/// floating-point merges are reproducible whenever the shard decomposition
+/// is (deterministic mode). No-op on empty input.
+template <typename T, typename Merge>
+void TreeReduce(std::vector<T>* shards, const Merge& merge) {
+  const size_t n = shards->size();
+  for (size_t stride = 1; stride < n; stride *= 2) {
+    for (size_t i = 0; i + stride < n; i += 2 * stride) {
+      merge(&(*shards)[i], &(*shards)[i + stride]);
+    }
+  }
+}
+
+}  // namespace latent::exec
+
+#endif  // LATENT_COMMON_PARALLEL_H_

@@ -1,14 +1,40 @@
 #include "core/builder.h"
 
+#include <cstdint>
+#include <functional>
 #include <utility>
 
 namespace latent::core {
 
 namespace {
 
-// Splits the topic `node_id`, whose network is `net`, and recurses.
-void Grow(const hin::HeteroNetwork& net, int node_id, int level,
-          const BuildOptions& options, TopicHierarchy* tree) {
+// Intermediate form of a topic subtree, assembled independently of the
+// final arena so sibling subtrees can be mined as concurrent pool tasks.
+// The arena commit happens afterwards in one serial DFS that replays the
+// exact AddChild order of the historical recursive builder, so node ids and
+// paths are identical no matter how many threads built the tree.
+struct BuiltNode {
+  double rho_in_parent = 0.0;
+  std::vector<std::vector<double>> phi;
+  double network_weight = 0.0;
+  double rho_background = 0.0;
+  std::vector<BuiltNode> children;
+};
+
+// Seed salt for the topic reached from its parent's salt via child index z.
+// Derived from the PATH rather than the (build-order-dependent) node id so
+// sibling subtrees can be expanded concurrently yet reproducibly; the root
+// salt 0 keeps the root fit identical to the historical derivation.
+uint64_t ChildSalt(uint64_t salt, int z) {
+  return salt * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(z) + 1;
+}
+
+// Splits the topic whose network is `net` and recurses; sibling subtrees
+// are dispatched as independent pool tasks.
+void Expand(const hin::HeteroNetwork& net, BuiltNode* node, int level,
+            uint64_t salt,
+            const std::vector<std::vector<double>>& parent_phi,
+            const BuildOptions& options, exec::Executor* ex) {
   if (level >= options.max_depth) return;
   if (net.TotalWeight() < options.min_network_weight) return;
 
@@ -18,36 +44,64 @@ void Grow(const hin::HeteroNetwork& net, int node_id, int level,
   }
 
   ClusterOptions copt = options.cluster;
-  copt.seed = options.cluster.seed + static_cast<uint64_t>(node_id) * 104729;
-  const std::vector<std::vector<double>> parent_phi =
-      tree->node(node_id).phi;
+  copt.seed = options.cluster.seed + salt * 104729;
 
   ClusterResult model;
   if (k > 0) {
     copt.num_topics = k;
-    model = FitCluster(net, parent_phi, copt);
+    model = FitCluster(net, parent_phi, copt, ex);
   } else {
-    model = SelectAndFit(net, parent_phi, copt, options.k_min, options.k_max);
+    model = SelectAndFit(net, parent_phi, copt, options.k_min, options.k_max,
+                         ex);
   }
-  tree->mutable_node(node_id).rho_background = model.rho_bg;
+  node->rho_background = model.rho_bg;
 
-  for (int z = 0; z < model.k; ++z) {
+  node->children.resize(model.k);
+  auto build_child = [&](int z) {
     hin::HeteroNetwork sub =
         ExtractSubnetwork(net, model, z, options.subnetwork_min_weight);
-    int child = tree->AddChild(node_id, model.rho[z], model.phi[z],
-                               sub.TotalWeight());
-    Grow(sub, child, level + 1, options, tree);
+    BuiltNode* child = &node->children[z];
+    child->rho_in_parent = model.rho[z];
+    child->phi = model.phi[z];
+    child->network_weight = sub.TotalWeight();
+    Expand(sub, child, level + 1, ChildSalt(salt, z), model.phi[z], options,
+           ex);
+  };
+  if (ex != nullptr && ex->num_threads() > 1 && model.k > 1) {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(model.k);
+    for (int z = 0; z < model.k; ++z) {
+      tasks.push_back([&build_child, z] { build_child(z); });
+    }
+    ex->RunTasks(std::move(tasks));
+  } else {
+    for (int z = 0; z < model.k; ++z) build_child(z);
+  }
+}
+
+// Serial arena commit, interleaving AddChild with descent exactly as the
+// historical recursive builder did, so ids/paths match the serial output.
+void Commit(BuiltNode* built, int node_id, TopicHierarchy* tree) {
+  tree->mutable_node(node_id).rho_background = built->rho_background;
+  for (BuiltNode& child : built->children) {
+    int id = tree->AddChild(node_id, child.rho_in_parent,
+                            std::move(child.phi), child.network_weight);
+    Commit(&child, id, tree);
   }
 }
 
 }  // namespace
 
 TopicHierarchy BuildHierarchy(const hin::HeteroNetwork& root_network,
-                              const BuildOptions& options) {
+                              const BuildOptions& options,
+                              exec::Executor* ex) {
   TopicHierarchy tree(root_network.type_names(), root_network.type_sizes());
   tree.AddRoot(DegreeDistributions(root_network),
                root_network.TotalWeight());
-  Grow(root_network, tree.root(), 0, options, &tree);
+  BuiltNode root;
+  Expand(root_network, &root, 0, /*salt=*/0, tree.node(tree.root()).phi,
+         options, ex);
+  Commit(&root, tree.root(), &tree);
   return tree;
 }
 

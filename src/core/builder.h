@@ -30,8 +30,15 @@ struct BuildOptions {
 
 /// Builds a topical hierarchy from the root network. The root's phi is the
 /// normalized weighted-degree distribution.
+///
+/// With a non-null `ex`, sibling subtrees are mined as independent pool
+/// tasks (and each node's clustering parallelizes its restarts and E-step;
+/// see clusterer.h). Per-node clustering seeds derive from the topic's PATH
+/// in the tree, so the result is identical for every thread count; node ids
+/// and paths always follow the serial depth-first order.
 TopicHierarchy BuildHierarchy(const hin::HeteroNetwork& root_network,
-                              const BuildOptions& options);
+                              const BuildOptions& options,
+                              exec::Executor* ex = nullptr);
 
 }  // namespace latent::core
 

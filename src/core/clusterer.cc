@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <limits>
+#include <utility>
 
 #include "common/check.h"
 #include "common/math_util.h"
@@ -27,11 +29,22 @@ std::vector<std::vector<int>> PresentNodes(const hin::HeteroNetwork& net) {
 
 // One EM run from a random start. Returns the fitted result (alpha fixed or
 // periodically relearned according to options).
+//
+// Parallelization strategy (latent::exec): the E-step partitions OUTPUT
+// slots — each worker owns a contiguous slice of subtopics z and accumulates
+// only new_rho[z] / new_phi[z]; the lead worker additionally owns the
+// log-likelihood, sigma, and background accumulators. Every worker walks the
+// links in the same order and recomputes the (cheap) per-link soft
+// assignment s[z], so each accumulator entry receives its contributions in
+// exactly the serial order. Results are therefore bit-identical to the
+// single-threaded path for every thread count, with no per-thread buffers
+// and no reduction step at all.
 ClusterResult RunEm(const hin::HeteroNetwork& net,
                     const std::vector<std::vector<double>>& parent_phi,
                     const ClusterOptions& options,
                     const std::vector<std::vector<int>>& present,
-                    std::vector<double> alpha, Rng* rng) {
+                    std::vector<double> alpha, Rng* rng,
+                    exec::Executor* ex) {
   const int k = options.num_topics;
   const int m = net.num_types();
   const int num_lt = net.num_link_types();
@@ -94,6 +107,12 @@ ClusterResult RunEm(const hin::HeteroNetwork& net,
       k, std::vector<std::vector<double>>(m));
   std::vector<std::vector<double>> new_phi_bg(m);
 
+  // E-step workers: only engage the pool when there are at least two
+  // subtopic slices to hand out (the threshold does not affect results).
+  const int e_workers =
+      (ex != nullptr && ex->num_threads() > 1) ? std::min(ex->num_threads(), k)
+                                               : 1;
+
   for (int iter = 0; iter < options.max_iters; ++iter) {
     // Scaled totals under the current alpha.
     double big_m = 0.0;
@@ -113,53 +132,73 @@ ClusterResult RunEm(const hin::HeteroNetwork& net,
     // sigma accumulators for alpha learning (Eq. 3.38).
     std::vector<double> sigma(num_lt, 0.0);
 
-    std::vector<double> s(k);
-    for (int lt = 0; lt < num_lt; ++lt) {
-      const hin::LinkType& t = net.link_type(lt);
-      const int x = t.type_x, y = t.type_y;
-      const double a = alpha[lt];
-      if (a <= 0.0 || t.links.empty()) continue;
-      for (const hin::Link& l : t.links) {
-        const double aw = a * l.weight;
-        double denom = 0.0;
-        for (int z = 0; z < k; ++z) {
-          s[z] = r.rho[z] * r.phi[z][x][l.i] * r.phi[z][y][l.j];
-          denom += s[z];
-        }
-        double s_bg_i = 0.0, s_bg_j = 0.0;
-        if (bg) {
-          s_bg_i = 0.5 * r.rho_bg * r.phi_bg[x][l.i] * parent_phi[y][l.j];
-          s_bg_j = 0.5 * r.rho_bg * r.phi_bg[y][l.j] * parent_phi[x][l.i];
-          denom += s_bg_i + s_bg_j;
-        }
-        if (denom <= 0.0) {
-          // Unexplainable link under current support: assign uniformly.
-          denom = 1.0;
-          for (int z = 0; z < k; ++z) s[z] = 1.0 / (k + (bg ? 1 : 0));
-          if (bg) s_bg_i = s_bg_j = 0.5 / (k + 1);
-        }
-        // Full Poisson log-likelihood term: rate = alpha * M_xy_raw * s.
-        const double rate = a * raw_total[lt] * denom;
-        ll += aw * std::log(rate) - std::lgamma(aw + 1.0);
-        // sigma for alpha learning uses raw weights and raw rates.
-        sigma[lt] +=
-            l.weight * (std::log(l.weight) - std::log(raw_total[lt] * denom));
-
-        const double inv = aw / denom;
-        for (int z = 0; z < k; ++z) {
-          const double ehat = s[z] * inv;
-          new_rho[z] += ehat;
-          new_phi[z][x][l.i] += ehat;
-          new_phi[z][y][l.j] += ehat;
-        }
-        if (bg) {
-          const double ehat_i = s_bg_i * inv;
-          const double ehat_j = s_bg_j * inv;
-          new_rho_bg += ehat_i + ehat_j;
-          new_phi_bg[x][l.i] += ehat_i;
-          new_phi_bg[y][l.j] += ehat_j;
+    // One E-step pass over the links, accumulating subtopics [z_begin,
+    // z_end). The lead worker also accumulates ll, sigma, and background.
+    auto e_step = [&](int z_begin, int z_end, bool lead) {
+      std::vector<double> s(k);
+      for (int lt = 0; lt < num_lt; ++lt) {
+        const hin::LinkType& t = net.link_type(lt);
+        const int x = t.type_x, y = t.type_y;
+        const double a = alpha[lt];
+        if (a <= 0.0 || t.links.empty()) continue;
+        for (const hin::Link& l : t.links) {
+          const double aw = a * l.weight;
+          double denom = 0.0;
+          for (int z = 0; z < k; ++z) {
+            s[z] = r.rho[z] * r.phi[z][x][l.i] * r.phi[z][y][l.j];
+            denom += s[z];
+          }
+          double s_bg_i = 0.0, s_bg_j = 0.0;
+          if (bg) {
+            s_bg_i = 0.5 * r.rho_bg * r.phi_bg[x][l.i] * parent_phi[y][l.j];
+            s_bg_j = 0.5 * r.rho_bg * r.phi_bg[y][l.j] * parent_phi[x][l.i];
+            denom += s_bg_i + s_bg_j;
+          }
+          if (denom <= 0.0) {
+            // Unexplainable link under current support: assign uniformly.
+            denom = 1.0;
+            for (int z = 0; z < k; ++z) s[z] = 1.0 / (k + (bg ? 1 : 0));
+            if (bg) s_bg_i = s_bg_j = 0.5 / (k + 1);
+          }
+          if (lead) {
+            // Full Poisson log-likelihood term: rate = alpha * M_xy_raw * s.
+            const double rate = a * raw_total[lt] * denom;
+            ll += aw * std::log(rate) - LogGamma(aw + 1.0);
+            // sigma for alpha learning uses raw weights and raw rates.
+            sigma[lt] += l.weight * (std::log(l.weight) -
+                                     std::log(raw_total[lt] * denom));
+          }
+          const double inv = aw / denom;
+          for (int z = z_begin; z < z_end; ++z) {
+            const double ehat = s[z] * inv;
+            new_rho[z] += ehat;
+            new_phi[z][x][l.i] += ehat;
+            new_phi[z][y][l.j] += ehat;
+          }
+          if (lead && bg) {
+            const double ehat_i = s_bg_i * inv;
+            const double ehat_j = s_bg_j * inv;
+            new_rho_bg += ehat_i + ehat_j;
+            new_phi_bg[x][l.i] += ehat_i;
+            new_phi_bg[y][l.j] += ehat_j;
+          }
         }
       }
+    };
+
+    if (e_workers <= 1) {
+      e_step(0, k, /*lead=*/true);
+    } else {
+      std::vector<std::function<void()>> tasks;
+      tasks.reserve(e_workers);
+      for (int w = 0; w < e_workers; ++w) {
+        const int zb = static_cast<int>(
+            static_cast<long long>(w) * k / e_workers);
+        const int ze = static_cast<int>(
+            static_cast<long long>(w + 1) * k / e_workers);
+        tasks.push_back([&e_step, zb, ze, w] { e_step(zb, ze, w == 0); });
+      }
+      ex->RunTasks(std::move(tasks));
     }
 
     // M step.
@@ -238,7 +277,7 @@ std::vector<std::vector<double>> DegreeDistributions(
 
 ClusterResult FitCluster(const hin::HeteroNetwork& net,
                          const std::vector<std::vector<double>>& parent_phi,
-                         const ClusterOptions& options) {
+                         const ClusterOptions& options, exec::Executor* ex) {
   LATENT_CHECK_GE(options.num_topics, 1);
   LATENT_CHECK_EQ(static_cast<int>(parent_phi.size()), net.num_types());
   LATENT_CHECK_GT(net.num_link_types(), 0);
@@ -266,14 +305,42 @@ ClusterResult FitCluster(const hin::HeteroNetwork& net,
   }
 
   std::vector<std::vector<int>> present = PresentNodes(net);
+
+  // Restarts are independent EM runs; each gets its own pre-forked Rng
+  // stream (forked in restart order, exactly as the serial loop did), so
+  // they can be dispatched concurrently without changing any draw. The
+  // best-likelihood winner is picked in restart order (first wins ties),
+  // matching the serial selection bit for bit.
   Rng rng(options.seed);
+  const int restarts = std::max(1, options.restarts);
+  std::vector<Rng> streams;
+  streams.reserve(restarts);
+  for (int restart = 0; restart < restarts; ++restart) {
+    streams.push_back(rng.Fork());
+  }
+  std::vector<ClusterResult> results(restarts);
+  if (ex != nullptr && ex->num_threads() > 1 && restarts > 1) {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(restarts);
+    for (int restart = 0; restart < restarts; ++restart) {
+      tasks.push_back([&, restart] {
+        results[restart] = RunEm(net, parent_phi, options, present, alpha,
+                                 &streams[restart], ex);
+      });
+    }
+    ex->RunTasks(std::move(tasks));
+  } else {
+    for (int restart = 0; restart < restarts; ++restart) {
+      results[restart] = RunEm(net, parent_phi, options, present, alpha,
+                               &streams[restart], ex);
+    }
+  }
+
   ClusterResult best;
   bool have = false;
-  for (int restart = 0; restart < std::max(1, options.restarts); ++restart) {
-    Rng child = rng.Fork();
-    ClusterResult r = RunEm(net, parent_phi, options, present, alpha, &child);
-    if (!have || r.log_likelihood > best.log_likelihood) {
-      best = std::move(r);
+  for (int restart = 0; restart < restarts; ++restart) {
+    if (!have || results[restart].log_likelihood > best.log_likelihood) {
+      best = std::move(results[restart]);
       have = true;
     }
   }
@@ -315,18 +382,33 @@ hin::HeteroNetwork ExtractSubnetwork(const hin::HeteroNetwork& net,
 ClusterResult SelectAndFit(const hin::HeteroNetwork& net,
                            const std::vector<std::vector<double>>& parent_phi,
                            const ClusterOptions& options, int k_min,
-                           int k_max) {
+                           int k_max, exec::Executor* ex) {
   LATENT_CHECK_GE(k_min, 1);
   LATENT_CHECK_LE(k_min, k_max);
+  const int num_k = k_max - k_min + 1;
+  std::vector<ClusterResult> results(num_k);
+  auto fit_k = [&](int idx) {
+    ClusterOptions opt = options;
+    opt.num_topics = k_min + idx;
+    opt.seed = options.seed + static_cast<uint64_t>(k_min + idx) * 7919;
+    results[idx] = FitCluster(net, parent_phi, opt, ex);
+  };
+  if (ex != nullptr && ex->num_threads() > 1 && num_k > 1) {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(num_k);
+    for (int idx = 0; idx < num_k; ++idx) {
+      tasks.push_back([&fit_k, idx] { fit_k(idx); });
+    }
+    ex->RunTasks(std::move(tasks));
+  } else {
+    for (int idx = 0; idx < num_k; ++idx) fit_k(idx);
+  }
+  // BIC winner in k order (first wins ties), as in the serial loop.
   ClusterResult best;
   bool have = false;
-  for (int k = k_min; k <= k_max; ++k) {
-    ClusterOptions opt = options;
-    opt.num_topics = k;
-    opt.seed = options.seed + static_cast<uint64_t>(k) * 7919;
-    ClusterResult r = FitCluster(net, parent_phi, opt);
-    if (!have || r.bic_score > best.bic_score) {
-      best = std::move(r);
+  for (int idx = 0; idx < num_k; ++idx) {
+    if (!have || results[idx].bic_score > best.bic_score) {
+      best = std::move(results[idx]);
       have = true;
     }
   }

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/parallel.h"
 #include "hin/network.h"
 
 namespace latent::core {
@@ -81,9 +82,16 @@ std::vector<std::vector<double>> DegreeDistributions(
 /// Fits the model to `net`. `parent_phi[x]` is the parent topic's node
 /// distribution for type x (use DegreeDistributions for the root). Requires
 /// num_topics >= 1 and a non-empty network.
+///
+/// When `ex` is non-null the random restarts run as concurrent pool tasks
+/// (each on its own pre-forked Rng stream) and each EM run partitions its
+/// E/M-step accumulation across workers by subtopic. Both are bit-identical
+/// to the serial path for every thread count (see parallel.h, determinism
+/// contract); `ex == nullptr` is the plain serial path.
 ClusterResult FitCluster(const hin::HeteroNetwork& net,
                          const std::vector<std::vector<double>>& parent_phi,
-                         const ClusterOptions& options);
+                         const ClusterOptions& options,
+                         exec::Executor* ex = nullptr);
 
 /// Extracts the subtopic-z subnetwork: link weights become the expected
 /// topic-z weight e-hat (Eq. 3.23); links below `min_weight` are dropped
@@ -93,10 +101,12 @@ hin::HeteroNetwork ExtractSubnetwork(const hin::HeteroNetwork& net,
                                      double min_weight = 1.0);
 
 /// Chooses the number of subtopics in [k_min, k_max] by the BIC score
-/// (Section 3.2.3), returning the winning fitted model.
+/// (Section 3.2.3), returning the winning fitted model. Candidate k values
+/// are fitted as concurrent pool tasks when `ex` is non-null.
 ClusterResult SelectAndFit(const hin::HeteroNetwork& net,
                            const std::vector<std::vector<double>>& parent_phi,
-                           const ClusterOptions& options, int k_min, int k_max);
+                           const ClusterOptions& options, int k_min, int k_max,
+                           exec::Executor* ex = nullptr);
 
 }  // namespace latent::core
 

@@ -1,11 +1,14 @@
 #include "phrase/frequent_miner.h"
 
+#include <algorithm>
 #include <unordered_map>
 #include <utility>
 
 namespace latent::phrase {
 
 namespace {
+
+using CountMap = std::unordered_map<std::vector<int>, long long, PhraseHash>;
 
 // For each token position, the end (exclusive) of its segment.
 std::vector<int> SegmentEnds(const text::Document& doc) {
@@ -21,15 +24,33 @@ std::vector<int> SegmentEnds(const text::Document& doc) {
 }  // namespace
 
 PhraseDict MineFrequentPhrases(const text::Corpus& corpus,
-                               const MinerOptions& options) {
+                               const MinerOptions& options,
+                               exec::Executor* ex) {
   PhraseDict dict;
   const int num_docs = corpus.num_docs();
 
-  // Pass 1: unigram counts.
-  std::vector<long long> word_counts(corpus.vocab_size(), 0);
-  for (const text::Document& d : corpus.docs()) {
-    for (int w : d.tokens) ++word_counts[w];
+  // Pass 1: unigram counts, sharded over documents. Counts are integers, so
+  // the fixed-order shard merge is exact regardless of the decomposition.
+  const int uni_shards =
+      ex != nullptr ? std::max(ex->NumShards(num_docs, 64), 1) : 1;
+  std::vector<std::vector<long long>> shard_word_counts(
+      uni_shards, std::vector<long long>(corpus.vocab_size(), 0));
+  auto count_unigrams = [&](long long begin, long long end, int shard) {
+    std::vector<long long>& wc = shard_word_counts[shard];
+    for (long long d = begin; d < end; ++d) {
+      for (int w : corpus.docs()[d].tokens) ++wc[w];
+    }
+  };
+  if (ex != nullptr) {
+    ex->ParallelFor(num_docs, 64, count_unigrams);
+  } else if (num_docs > 0) {
+    count_unigrams(0, num_docs, 0);
   }
+  exec::TreeReduce(&shard_word_counts,
+                   [](std::vector<long long>* a, std::vector<long long>* b) {
+                     for (size_t w = 0; w < a->size(); ++w) (*a)[w] += (*b)[w];
+                   });
+  const std::vector<long long>& word_counts = shard_word_counts[0];
   for (int w = 0; w < corpus.vocab_size(); ++w) {
     if (word_counts[w] == 0) continue;
     if (options.keep_all_unigrams || word_counts[w] >= options.min_support) {
@@ -56,48 +77,89 @@ PhraseDict MineFrequentPhrases(const text::Corpus& corpus,
     if (!active[d].empty()) live_docs.push_back(d);
   }
 
-  std::unordered_map<std::vector<int>, long long, PhraseHash> counts;
-  std::vector<int> key;
   for (int n = 2; n <= options.max_length && !live_docs.empty(); ++n) {
-    counts.clear();
-    // Count level-n candidates: i active and i+1 active at level n-1, and
-    // the n-gram stays inside the segment.
-    for (int d : live_docs) {
-      const text::Document& doc = corpus.docs()[d];
-      const std::vector<int>& act = active[d];
-      for (size_t a = 0; a + 1 < act.size(); ++a) {
-        int i = act[a];
-        if (act[a + 1] != i + 1) continue;
-        if (i + n > seg_ends[d][i]) continue;
-        key.assign(doc.tokens.begin() + i, doc.tokens.begin() + i + n);
-        ++counts[key];
-      }
-    }
-    // Record frequent n-grams; recompute active positions.
-    std::vector<int> next_live;
-    for (int d : live_docs) {
-      const text::Document& doc = corpus.docs()[d];
-      std::vector<int> next_active;
-      const std::vector<int>& act = active[d];
-      for (size_t a = 0; a + 1 < act.size(); ++a) {
-        int i = act[a];
-        if (act[a + 1] != i + 1) continue;
-        if (i + n > seg_ends[d][i]) continue;
-        key.assign(doc.tokens.begin() + i, doc.tokens.begin() + i + n);
-        auto it = counts.find(key);
-        if (it != counts.end() && it->second >= options.min_support) {
-          next_active.push_back(i);
+    const long long num_live = static_cast<long long>(live_docs.size());
+    // Count level-n candidates (i active and i+1 active at level n-1, and
+    // the n-gram stays inside the segment), sharded over live documents
+    // with one count map per shard merged in fixed order.
+    const int shards =
+        ex != nullptr ? std::max(ex->NumShards(num_live, 8), 1) : 1;
+    std::vector<CountMap> shard_counts(shards);
+    auto count_candidates = [&](long long begin, long long end, int shard) {
+      CountMap& counts = shard_counts[shard];
+      std::vector<int> key;
+      for (long long idx = begin; idx < end; ++idx) {
+        const int d = live_docs[idx];
+        const text::Document& doc = corpus.docs()[d];
+        const std::vector<int>& act = active[d];
+        for (size_t a = 0; a + 1 < act.size(); ++a) {
+          int i = act[a];
+          if (act[a + 1] != i + 1) continue;
+          if (i + n > seg_ends[d][i]) continue;
+          key.assign(doc.tokens.begin() + i, doc.tokens.begin() + i + n);
+          ++counts[key];
         }
       }
-      active[d] = std::move(next_active);
-      if (!active[d].empty()) next_live.push_back(d);
+    };
+    if (ex != nullptr) {
+      ex->ParallelFor(num_live, 8, count_candidates);
+    } else {
+      count_candidates(0, num_live, 0);
+    }
+    exec::TreeReduce(&shard_counts, [](CountMap* a, CountMap* b) {
+      for (auto& [words, c] : *b) (*a)[words] += c;
+      b->clear();
+    });
+    const CountMap& counts = shard_counts[0];
+
+    // Recompute active positions against the merged counts (read-only, so
+    // the per-document pass is safely parallel), then the live-doc list.
+    auto refresh_active = [&](long long begin, long long end, int shard) {
+      for (long long idx = begin; idx < end; ++idx) {
+        const int d = live_docs[idx];
+        const text::Document& doc = corpus.docs()[d];
+        std::vector<int> next_active;
+        const std::vector<int>& act = active[d];
+        std::vector<int> key;
+        for (size_t a = 0; a + 1 < act.size(); ++a) {
+          int i = act[a];
+          if (act[a + 1] != i + 1) continue;
+          if (i + n > seg_ends[d][i]) continue;
+          key.assign(doc.tokens.begin() + i, doc.tokens.begin() + i + n);
+          auto it = counts.find(key);
+          if (it != counts.end() && it->second >= options.min_support) {
+            next_active.push_back(i);
+          }
+        }
+        active[d] = std::move(next_active);
+      }
+    };
+    if (ex != nullptr) {
+      ex->ParallelFor(num_live, 8, refresh_active);
+    } else {
+      refresh_active(0, num_live, 0);
+    }
+    std::vector<int> next_live;
+    for (long long idx = 0; idx < num_live; ++idx) {
+      if (!active[live_docs[idx]].empty()) {
+        next_live.push_back(live_docs[idx]);
+      }
     }
     live_docs = std::move(next_live);
+
+    // Record frequent n-grams in lexicographic word order, so phrase ids
+    // never depend on hash-map iteration order or on the shard count.
+    std::vector<const std::vector<int>*> frequent;
     for (const auto& [words, c] : counts) {
-      if (c >= options.min_support) {
-        int id = dict.Intern(words);
-        dict.SetCount(id, c);
-      }
+      if (c >= options.min_support) frequent.push_back(&words);
+    }
+    std::sort(frequent.begin(), frequent.end(),
+              [](const std::vector<int>* a, const std::vector<int>* b) {
+                return *a < *b;
+              });
+    for (const std::vector<int>* words : frequent) {
+      int id = dict.Intern(*words);
+      dict.SetCount(id, counts.at(*words));
     }
   }
   return dict;

@@ -9,6 +9,7 @@
 #ifndef LATENT_PHRASE_FREQUENT_MINER_H_
 #define LATENT_PHRASE_FREQUENT_MINER_H_
 
+#include "common/parallel.h"
 #include "phrase/phrase_dict.h"
 #include "text/corpus.h"
 
@@ -25,9 +26,14 @@ struct MinerOptions {
 };
 
 /// Mines all frequent contiguous phrases of the corpus. Counts in the
-/// returned dictionary are raw corpus frequencies.
+/// returned dictionary are raw corpus frequencies. Candidate counting and
+/// active-position maintenance shard over documents when `ex` is non-null;
+/// shard count maps merge in fixed order (integer counts, so the merge is
+/// exact) and n-grams of each length intern in lexicographic word order, so
+/// the dictionary — ids included — is identical for every thread count.
 PhraseDict MineFrequentPhrases(const text::Corpus& corpus,
-                               const MinerOptions& options);
+                               const MinerOptions& options,
+                               exec::Executor* ex = nullptr);
 
 }  // namespace latent::phrase
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <utility>
 
 #include "common/math_util.h"
 #include "phrase/occurrences.h"
@@ -9,7 +11,8 @@
 namespace latent::phrase {
 
 KertScorer::KertScorer(const text::Corpus& corpus, const PhraseDict& dict,
-                       const core::TopicHierarchy& hierarchy, int word_type)
+                       const core::TopicHierarchy& hierarchy, int word_type,
+                       exec::Executor* ex)
     : corpus_(&corpus),
       dict_(&dict),
       hierarchy_(&hierarchy),
@@ -20,14 +23,34 @@ KertScorer::KertScorer(const text::Corpus& corpus, const PhraseDict& dict,
     max_phrase_len_ = std::max(max_phrase_len_, dict.Length(p));
   }
 
-  word_counts_.assign(corpus.vocab_size(), 0);
-  for (const text::Document& d : corpus.docs()) {
-    for (int w : d.tokens) ++word_counts_[w];
+  // Global word counts, sharded over documents; integer sums, so the
+  // fixed-order shard merge is exact.
+  const int num_docs = corpus.num_docs();
+  const int wc_shards =
+      ex != nullptr ? std::max(ex->NumShards(num_docs, 64), 1) : 1;
+  std::vector<std::vector<long long>> shard_wc(
+      wc_shards, std::vector<long long>(corpus.vocab_size(), 0));
+  auto count_words = [&](long long begin, long long end, int shard) {
+    std::vector<long long>& wc = shard_wc[shard];
+    for (long long d = begin; d < end; ++d) {
+      for (int w : corpus.docs()[d].tokens) ++wc[w];
+    }
+  };
+  if (ex != nullptr) {
+    ex->ParallelFor(num_docs, 64, count_words);
+  } else if (num_docs > 0) {
+    count_words(0, num_docs, 0);
   }
+  exec::TreeReduce(&shard_wc,
+                   [](std::vector<long long>* a, std::vector<long long>* b) {
+                     for (size_t w = 0; w < a->size(); ++w) (*a)[w] += (*b)[w];
+                   });
+  word_counts_ = std::move(shard_wc[0]);
 
-  doc_occurrences_ = DocPhraseOccurrences(corpus, dict, max_phrase_len_);
+  doc_occurrences_ = DocPhraseOccurrences(corpus, dict, max_phrase_len_, ex);
 
   // max count over single-word extensions (prefix or suffix) per phrase.
+  // Serial: cheap (one dict pass) and it scatters into arbitrary slots.
   max_super_count_.assign(dict.size(), 0);
   std::vector<int> sub;
   for (int p = 0; p < dict.size(); ++p) {
@@ -46,35 +69,44 @@ KertScorer::KertScorer(const text::Corpus& corpus, const PhraseDict& dict,
     }
   }
 
-  // Topical frequencies, top-down (Eq. 4.3).
+  // Topical frequencies, top-down (Eq. 4.3). Levels must go in order
+  // (parent before child) but within a node every phrase is independent and
+  // owns the [child][p] slots it writes, so the phrase loop parallelizes
+  // without changing a single bit.
   topical_freq_.assign(hierarchy.num_nodes(), {});
   topical_freq_[hierarchy.root()].resize(dict.size());
   for (int p = 0; p < dict.size(); ++p) {
     topical_freq_[hierarchy.root()][p] = static_cast<double>(dict.Count(p));
   }
   // Nodes are created parent-before-child, so a single id-ordered pass works.
-  std::vector<double> w;
   for (int node = 0; node < hierarchy.num_nodes(); ++node) {
     const core::TopicNode& t = hierarchy.node(node);
     if (t.children.empty()) continue;
     const int k = static_cast<int>(t.children.size());
     for (int c : t.children) topical_freq_[c].assign(dict.size(), 0.0);
-    w.resize(k);
-    for (int p = 0; p < dict.size(); ++p) {
-      double fp = topical_freq_[node][p];
-      if (fp <= 0.0) continue;
-      double denom = 0.0;
-      for (int ci = 0; ci < k; ++ci) {
-        const core::TopicNode& child = hierarchy.node(t.children[ci]);
-        double prod = child.rho_in_parent;
-        for (int v : dict_->Words(p)) prod *= child.phi[word_type_][v];
-        w[ci] = prod;
-        denom += prod;
+    auto split_phrases = [&](long long begin, long long end, int /*shard*/) {
+      std::vector<double> w(k);
+      for (long long p = begin; p < end; ++p) {
+        double fp = topical_freq_[node][p];
+        if (fp <= 0.0) continue;
+        double denom = 0.0;
+        for (int ci = 0; ci < k; ++ci) {
+          const core::TopicNode& child = hierarchy.node(t.children[ci]);
+          double prod = child.rho_in_parent;
+          for (int v : dict_->Words(p)) prod *= child.phi[word_type_][v];
+          w[ci] = prod;
+          denom += prod;
+        }
+        if (denom <= 0.0) continue;
+        for (int ci = 0; ci < k; ++ci) {
+          topical_freq_[t.children[ci]][p] = fp * w[ci] / denom;
+        }
       }
-      if (denom <= 0.0) continue;
-      for (int ci = 0; ci < k; ++ci) {
-        topical_freq_[t.children[ci]][p] = fp * w[ci] / denom;
-      }
+    };
+    if (ex != nullptr) {
+      ex->ParallelFor(dict.size(), 256, split_phrases);
+    } else if (dict.size() > 0) {
+      split_phrases(0, dict.size(), 0);
     }
   }
 }
@@ -88,13 +120,18 @@ long long PairKey(int a, int b) {
 }  // namespace
 
 double KertScorer::TopicDocCount(int node, double min_support) const {
-  if (cache_mu_ != min_support) {
-    doc_count_cache_.clear();
-    cache_mu_ = min_support;
-  }
   long long key = PairKey(node, node);
-  auto it = doc_count_cache_.find(key);
-  if (it != doc_count_cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (cache_mu_ != min_support) {
+      doc_count_cache_.clear();
+      cache_mu_ = min_support;
+    }
+    auto it = doc_count_cache_.find(key);
+    if (it != doc_count_cache_.end()) return it->second;
+  }
+  // Compute outside the lock so concurrent rankings overlap; a duplicate
+  // computation by a racing thread produces the identical value.
   double n = 0.0;
   for (const std::vector<int>& occ : doc_occurrences_) {
     for (int p : occ) {
@@ -104,19 +141,23 @@ double KertScorer::TopicDocCount(int node, double min_support) const {
       }
     }
   }
-  doc_count_cache_.emplace(key, n);
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  if (cache_mu_ == min_support) doc_count_cache_.emplace(key, n);
   return n;
 }
 
 double KertScorer::PairDocCount(int node_a, int node_b,
                                 double min_support) const {
-  if (cache_mu_ != min_support) {
-    doc_count_cache_.clear();
-    cache_mu_ = min_support;
-  }
   long long key = PairKey(node_a, node_b);
-  auto it = doc_count_cache_.find(key);
-  if (it != doc_count_cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (cache_mu_ != min_support) {
+      doc_count_cache_.clear();
+      cache_mu_ = min_support;
+    }
+    auto it = doc_count_cache_.find(key);
+    if (it != doc_count_cache_.end()) return it->second;
+  }
   double n = 0.0;
   for (const std::vector<int>& occ : doc_occurrences_) {
     for (int p : occ) {
@@ -127,7 +168,8 @@ double KertScorer::PairDocCount(int node_a, int node_b,
       }
     }
   }
-  doc_count_cache_.emplace(key, n);
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  if (cache_mu_ == min_support) doc_count_cache_.emplace(key, n);
   return n;
 }
 
@@ -193,6 +235,29 @@ std::vector<Scored<int>> KertScorer::RankTopic(int node,
     scores.emplace_back(p, quality);
   }
   return TopK(std::move(scores), top_k);
+}
+
+std::vector<std::vector<Scored<int>>> KertScorer::RankAllTopics(
+    const KertOptions& options, size_t top_k, exec::Executor* ex) const {
+  std::vector<std::vector<Scored<int>>> ranked(hierarchy_->num_nodes());
+  std::vector<int> topics;
+  for (int node = 0; node < hierarchy_->num_nodes(); ++node) {
+    if (node != hierarchy_->root()) topics.push_back(node);
+  }
+  auto rank_one = [&](int node) {
+    ranked[node] = RankTopic(node, options, top_k);
+  };
+  if (ex != nullptr && ex->num_threads() > 1 && topics.size() > 1) {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(topics.size());
+    for (int node : topics) {
+      tasks.push_back([&rank_one, node] { rank_one(node); });
+    }
+    ex->RunTasks(std::move(tasks));
+  } else {
+    for (int node : topics) rank_one(node);
+  }
+  return ranked;
 }
 
 }  // namespace latent::phrase

@@ -16,9 +16,11 @@
 #ifndef LATENT_PHRASE_KERT_H_
 #define LATENT_PHRASE_KERT_H_
 
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/top_k.h"
 #include "core/hierarchy.h"
 #include "phrase/phrase_dict.h"
@@ -43,8 +45,14 @@ struct KertOptions {
 class KertScorer {
  public:
   /// `dict` must hold frequent phrases of `corpus` (counts = frequencies).
+  /// With a non-null `ex`, construction (word counts, occurrence indexing,
+  /// topical-frequency propagation) shards over documents/phrases; every
+  /// parallel pass either owns disjoint output slots or merges integer
+  /// shards in fixed order, so the scorer is bit-identical to serial
+  /// construction for every thread count.
   KertScorer(const text::Corpus& corpus, const PhraseDict& dict,
-             const core::TopicHierarchy& hierarchy, int word_type = 0);
+             const core::TopicHierarchy& hierarchy, int word_type = 0,
+             exec::Executor* ex = nullptr);
 
   /// f_t(P): estimated topical frequency of phrase `phrase_id` in topic
   /// `node` (Definition 3 / Eq. 4.3).
@@ -59,9 +67,20 @@ class KertScorer {
   double PairDocCount(int node_a, int node_b, double min_support) const;
 
   /// Quality_t(P) for all phrases of topic `node` (must be non-root),
-  /// returned as the `top_k` best (phrase id, quality).
+  /// returned as the `top_k` best (phrase id, quality). Thread-safe: the
+  /// doc-count cache it shares with TopicDocCount/PairDocCount is mutex-
+  /// guarded (counts computed outside the lock, so concurrent rankings
+  /// overlap).
   std::vector<Scored<int>> RankTopic(int node, const KertOptions& options,
                                      size_t top_k) const;
+
+  /// RankTopic for every non-root topic, indexed by node id (the root's
+  /// entry is empty). Topics rank as concurrent pool tasks when `ex` is
+  /// non-null; each topic owns its output slot and per-topic scores do not
+  /// depend on evaluation order, so the result matches the serial loop.
+  std::vector<std::vector<Scored<int>>> RankAllTopics(
+      const KertOptions& options, size_t top_k,
+      exec::Executor* ex = nullptr) const;
 
   /// Individual criteria (exposed for tests and ablation benches).
   double Popularity(int node, int phrase_id, double mu) const;
@@ -89,6 +108,8 @@ class KertScorer {
   /// Per-document frequent-phrase occurrence lists.
   std::vector<std::vector<int>> doc_occurrences_;
   /// Doc-count caches, valid for cache_mu_ (recomputed when mu changes).
+  /// Guarded by cache_mutex_ so concurrent RankTopic calls are safe.
+  mutable std::mutex cache_mutex_;
   mutable double cache_mu_ = -1.0;
   mutable std::unordered_map<long long, double> doc_count_cache_;
   /// 1 - completeness numerator: max count of any one-word extension.

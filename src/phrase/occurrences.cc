@@ -4,24 +4,33 @@ namespace latent::phrase {
 
 std::vector<std::vector<int>> DocPhraseOccurrences(const text::Corpus& corpus,
                                                    const PhraseDict& dict,
-                                                   int max_length) {
+                                                   int max_length,
+                                                   exec::Executor* ex) {
   std::vector<std::vector<int>> out(corpus.num_docs());
-  std::vector<int> window;
-  for (int d = 0; d < corpus.num_docs(); ++d) {
-    const text::Document& doc = corpus.docs()[d];
-    for (size_t s = 0; s < doc.segment_starts.size(); ++s) {
-      int begin = doc.segment_starts[s];
-      int end = (s + 1 < doc.segment_starts.size()) ? doc.segment_starts[s + 1]
-                                                    : doc.size();
-      for (int i = begin; i < end; ++i) {
-        window.clear();
-        for (int n = 1; n <= max_length && i + n <= end; ++n) {
-          window.push_back(doc.tokens[i + n - 1]);
-          int id = dict.Lookup(window);
-          if (id >= 0) out[d].push_back(id);
+  auto scan_docs = [&](long long begin, long long end, int /*shard*/) {
+    std::vector<int> window;
+    for (long long d = begin; d < end; ++d) {
+      const text::Document& doc = corpus.docs()[d];
+      for (size_t s = 0; s < doc.segment_starts.size(); ++s) {
+        int from = doc.segment_starts[s];
+        int to = (s + 1 < doc.segment_starts.size())
+                     ? doc.segment_starts[s + 1]
+                     : doc.size();
+        for (int i = from; i < to; ++i) {
+          window.clear();
+          for (int n = 1; n <= max_length && i + n <= to; ++n) {
+            window.push_back(doc.tokens[i + n - 1]);
+            int id = dict.Lookup(window);
+            if (id >= 0) out[d].push_back(id);
+          }
         }
       }
     }
+  };
+  if (ex != nullptr) {
+    ex->ParallelFor(corpus.num_docs(), 32, scan_docs);
+  } else if (corpus.num_docs() > 0) {
+    scan_docs(0, corpus.num_docs(), 0);
   }
   return out;
 }

@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "common/parallel.h"
 #include "phrase/phrase_dict.h"
 #include "text/corpus.h"
 
@@ -13,10 +14,13 @@ namespace latent::phrase {
 /// (every contiguous window that matches a dict entry, one id per
 /// occurrence; windows never cross segment boundaries). Multi-word matches
 /// suppress their sub-windows' unigram hits is NOT applied — KERT counts raw
-/// occurrences (Definition 3).
+/// occurrences (Definition 3). Documents scan in parallel when `ex` is
+/// non-null; each document owns its output slot, so the result is identical
+/// for every thread count.
 std::vector<std::vector<int>> DocPhraseOccurrences(const text::Corpus& corpus,
                                                    const PhraseDict& dict,
-                                                   int max_length);
+                                                   int max_length,
+                                                   exec::Executor* ex = nullptr);
 
 }  // namespace latent::phrase
 

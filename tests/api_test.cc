@@ -1,5 +1,9 @@
-// Tests for the one-call convenience API (src/api).
+// Tests for the one-call convenience API (src/api): the Mine() entry point,
+// input/option validation, the MinedHierarchy lifetime contract, and the
+// deprecated MineTopicalHierarchy shim.
 #include <gtest/gtest.h>
+
+#include <utility>
 
 #include "api/latent.h"
 #include "data/synthetic_hin.h"
@@ -25,12 +29,17 @@ PipelineOptions SmallOptions() {
   return opt;
 }
 
+PipelineInput InputOf(const data::HinDataset& ds) {
+  return PipelineInput(
+      ds.corpus, EntitySchema(ds.entity_type_names, ds.entity_type_sizes),
+      ds.entity_docs);
+}
+
 TEST(ApiTest, MinesFullHierarchyWithEntities) {
   data::HinDataset ds = SmallDs();
-  MinedHierarchy mined =
-      MineTopicalHierarchy(ds.corpus, ds.entity_type_names,
-                           ds.entity_type_sizes, ds.entity_docs,
-                           SmallOptions());
+  StatusOr<MinedHierarchy> result = Mine(InputOf(ds), SmallOptions());
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  const MinedHierarchy& mined = result.value();
   EXPECT_EQ(mined.tree().node(0).children.size(), 3u);
   EXPECT_EQ(mined.tree().Height(), 2);
   EXPECT_GT(mined.dict().size(), 0);
@@ -46,8 +55,10 @@ TEST(ApiTest, MinesFullHierarchyWithEntities) {
 
 TEST(ApiTest, TextOnlyPipelineWorks) {
   data::HinDataset ds = SmallDs();
-  MinedHierarchy mined =
-      MineTopicalHierarchy(ds.corpus, {}, {}, {}, SmallOptions());
+  StatusOr<MinedHierarchy> result =
+      Mine(PipelineInput(ds.corpus), SmallOptions());
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  const MinedHierarchy& mined = result.value();
   EXPECT_EQ(mined.tree().num_types(), 1);
   phrase::KertOptions kopt;
   std::string tree = mined.RenderTree(kopt, 3);
@@ -57,14 +68,159 @@ TEST(ApiTest, TextOnlyPipelineWorks) {
 
 TEST(ApiTest, RenderNodeHandlesRootAndLeaves) {
   data::HinDataset ds = SmallDs();
-  MinedHierarchy mined =
-      MineTopicalHierarchy(ds.corpus, {}, {}, {}, SmallOptions());
+  StatusOr<MinedHierarchy> result =
+      Mine(PipelineInput(ds.corpus), SmallOptions());
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  const MinedHierarchy& mined = result.value();
   phrase::KertOptions kopt;
   EXPECT_EQ(mined.RenderNode(mined.tree().root(), kopt, 3), "(root)");
   for (int leaf : mined.tree().Leaves()) {
     std::string rendered = mined.RenderNode(leaf, kopt, 3);
     EXPECT_FALSE(rendered.empty());
   }
+}
+
+TEST(ApiTest, DeprecatedShimStillWorks) {
+  data::HinDataset ds = SmallDs();
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  MinedHierarchy mined =
+      MineTopicalHierarchy(ds.corpus, ds.entity_type_names,
+                           ds.entity_type_sizes, ds.entity_docs,
+                           SmallOptions());
+#pragma GCC diagnostic pop
+  EXPECT_EQ(mined.tree().node(0).children.size(), 3u);
+  EXPECT_GT(mined.dict().size(), 0);
+}
+
+TEST(ApiValidationTest, OptionDefaultsAreValid) {
+  EXPECT_TRUE(PipelineOptions().Validate().ok());
+}
+
+TEST(ApiValidationTest, RejectsBadOptions) {
+  auto expect_rejected = [](PipelineOptions opt) {
+    Status s = opt.Validate();
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+    EXPECT_FALSE(s.message().empty());
+  };
+  PipelineOptions opt;
+  opt.build.cluster.num_topics = 0;
+  expect_rejected(opt);
+
+  opt = PipelineOptions();
+  opt.build.k_min = 0;
+  expect_rejected(opt);
+
+  opt = PipelineOptions();
+  opt.build.k_min = 5;
+  opt.build.k_max = 3;
+  expect_rejected(opt);
+
+  opt = PipelineOptions();
+  opt.build.max_depth = -1;
+  expect_rejected(opt);
+
+  opt = PipelineOptions();
+  opt.build.min_network_weight = -2.0;
+  expect_rejected(opt);
+
+  opt = PipelineOptions();
+  opt.build.cluster.tol = -1e-6;
+  expect_rejected(opt);
+
+  opt = PipelineOptions();
+  opt.build.cluster.restarts = 0;
+  expect_rejected(opt);
+
+  opt = PipelineOptions();
+  opt.miner.min_support = 0;
+  expect_rejected(opt);
+
+  opt = PipelineOptions();
+  opt.miner.max_length = 0;
+  expect_rejected(opt);
+
+  opt = PipelineOptions();
+  opt.kert.gamma = 1.5;
+  expect_rejected(opt);
+
+  opt = PipelineOptions();
+  opt.kert.omega = -0.1;
+  expect_rejected(opt);
+
+  opt = PipelineOptions();
+  opt.kert.min_topical_support = -1.0;
+  expect_rejected(opt);
+
+  opt = PipelineOptions();
+  opt.exec.num_threads = -2;
+  expect_rejected(opt);
+}
+
+TEST(ApiValidationTest, RejectsBadInput) {
+  data::HinDataset ds = SmallDs();
+
+  PipelineInput no_corpus;
+  EXPECT_FALSE(no_corpus.Validate().ok());
+
+  // names/sizes length mismatch.
+  PipelineInput mismatched = InputOf(ds);
+  mismatched.schema.sizes.pop_back();
+  EXPECT_FALSE(mismatched.Validate().ok());
+
+  // Negative universe size.
+  PipelineInput negative = InputOf(ds);
+  negative.schema.sizes[0] = -1;
+  EXPECT_FALSE(negative.Validate().ok());
+
+  // Wrong number of entity docs.
+  std::vector<hin::EntityDoc> short_docs(ds.corpus.num_docs() - 1);
+  PipelineInput short_input(
+      ds.corpus, EntitySchema(ds.entity_type_names, ds.entity_type_sizes),
+      short_docs);
+  EXPECT_FALSE(short_input.Validate().ok());
+
+  // Entity id outside its declared universe.
+  PipelineInput narrowed = InputOf(ds);
+  narrowed.schema.sizes[0] = 1;
+  EXPECT_FALSE(narrowed.Validate().ok());
+
+  EXPECT_TRUE(InputOf(ds).Validate().ok());
+}
+
+TEST(ApiValidationTest, MineReturnsStatusInsteadOfCrashing) {
+  data::HinDataset ds = SmallDs();
+  PipelineOptions opt = SmallOptions();
+  opt.build.cluster.num_topics = 0;
+  StatusOr<MinedHierarchy> result = Mine(InputOf(ds), opt);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+
+  PipelineInput bad;
+  StatusOr<MinedHierarchy> no_corpus = Mine(bad, SmallOptions());
+  EXPECT_FALSE(no_corpus.ok());
+}
+
+// Lifetime contract: a default-constructed MinedHierarchy (the empty slot
+// inside an errored StatusOr) has no corpus; accessors must check-fail
+// rather than dereference null.
+TEST(ApiDeathTest, EmptyHierarchyAccessorsCheckFail) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  MinedHierarchy empty;
+  EXPECT_DEATH({ (void)empty.tree(); }, "empty MinedHierarchy");
+  EXPECT_DEATH({ (void)empty.kert(); }, "empty MinedHierarchy");
+  EXPECT_DEATH({ (void)empty.dict(); }, "empty MinedHierarchy");
+}
+
+TEST(ApiDeathTest, ErroredStatusOrValueCheckFails) {
+  data::HinDataset ds = SmallDs();
+  PipelineOptions opt = SmallOptions();
+  opt.miner.min_support = 0;
+  StatusOr<MinedHierarchy> result = Mine(InputOf(ds), opt);
+  ASSERT_FALSE(result.ok());
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH({ (void)result.value(); }, "min_support");
 }
 
 }  // namespace

@@ -1,0 +1,178 @@
+// Tests for latent::exec (src/common/parallel.h): ThreadPool, Executor
+// chunking/edge cases, TreeReduce ordering, and nested parallelism.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <numeric>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace latent::exec {
+namespace {
+
+TEST(ExecOptionsTest, ResolveNumThreads) {
+  EXPECT_EQ(ResolveNumThreads(1), 1);
+  EXPECT_EQ(ResolveNumThreads(4), 4);
+  EXPECT_GE(ResolveNumThreads(0), 1);  // hardware concurrency, at least 1
+}
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> ran(100);
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 100; ++i) {
+    tasks.push_back([&ran, i] { ran[i].fetch_add(1); });
+  }
+  pool.RunAll(tasks);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ran[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, EmptyAndSingleBatches) {
+  ThreadPool pool(3);
+  std::vector<std::function<void()>> none;
+  pool.RunAll(none);  // no-op, must not hang
+  int hits = 0;
+  std::vector<std::function<void()>> one;
+  one.push_back([&hits] { ++hits; });
+  pool.RunAll(one);
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(ThreadPoolTest, NestedRunAllDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_runs{0};
+  std::vector<std::function<void()>> outer;
+  for (int i = 0; i < 4; ++i) {
+    outer.push_back([&pool, &inner_runs] {
+      std::vector<std::function<void()>> inner;
+      for (int j = 0; j < 4; ++j) {
+        inner.push_back([&inner_runs] { inner_runs.fetch_add(1); });
+      }
+      pool.RunAll(inner);
+    });
+  }
+  pool.RunAll(outer);
+  EXPECT_EQ(inner_runs.load(), 16);
+}
+
+TEST(ExecutorTest, SerialExecutorRunsInline) {
+  Executor ex(ExecOptions{.num_threads = 1});
+  EXPECT_EQ(ex.num_threads(), 1);
+  std::vector<int> order;
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 5; ++i) {
+    tasks.push_back([&order, i] { order.push_back(i); });
+  }
+  ex.RunTasks(std::move(tasks));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ExecutorTest, ParallelForEmptyRange) {
+  Executor ex(ExecOptions{.num_threads = 4});
+  std::atomic<int> calls{0};
+  ex.ParallelFor(0, 10, [&](long long, long long, int) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ExecutorTest, ParallelForRangeSmallerThanThreadCount) {
+  Executor ex(ExecOptions{.num_threads = 8});
+  std::vector<std::atomic<int>> seen(3);
+  ex.ParallelFor(3, 1, [&](long long begin, long long end, int) {
+    for (long long i = begin; i < end; ++i) seen[i].fetch_add(1);
+  });
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(seen[i].load(), 1) << i;
+}
+
+TEST(ExecutorTest, ParallelForCoversRangeExactlyOnce) {
+  for (int threads : {1, 2, 5}) {
+    Executor ex(ExecOptions{.num_threads = threads});
+    std::vector<std::atomic<int>> seen(1000);
+    ex.ParallelFor(1000, 7, [&](long long begin, long long end, int) {
+      for (long long i = begin; i < end; ++i) seen[i].fetch_add(1);
+    });
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_EQ(seen[i].load(), 1) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(ExecutorTest, DeterministicShardingIgnoresThreadCount) {
+  Executor a(ExecOptions{.num_threads = 2, .deterministic = true});
+  Executor b(ExecOptions{.num_threads = 7, .deterministic = true});
+  for (long long n : {0LL, 1LL, 31LL, 32LL, 1000LL, 100000LL}) {
+    for (long long grain : {1LL, 8LL, 64LL}) {
+      EXPECT_EQ(a.NumShards(n, grain), b.NumShards(n, grain))
+          << "n=" << n << " grain=" << grain;
+    }
+  }
+  EXPECT_LE(a.NumShards(1 << 20, 1), kDeterministicShardCap);
+}
+
+TEST(ExecutorTest, ShardIndicesArePartitionIndices) {
+  Executor ex(ExecOptions{.num_threads = 4});
+  const int shards = ex.NumShards(100, 5);
+  std::vector<std::atomic<int>> used(shards);
+  ex.ParallelFor(100, 5, [&](long long, long long, int shard) {
+    ASSERT_GE(shard, 0);
+    ASSERT_LT(shard, shards);
+    used[shard].fetch_add(1);
+  });
+  for (int s = 0; s < shards; ++s) EXPECT_EQ(used[s].load(), 1) << s;
+}
+
+TEST(TreeReduceTest, SumsAllShards) {
+  std::vector<long long> shards = {1, 2, 3, 4, 5, 6, 7};
+  TreeReduce(&shards, [](long long* a, long long* b) { *a += *b; });
+  EXPECT_EQ(shards[0], 28);
+
+  std::vector<long long> empty;
+  TreeReduce(&empty, [](long long* a, long long* b) { *a += *b; });  // no-op
+
+  std::vector<long long> single = {9};
+  TreeReduce(&single, [](long long* a, long long* b) { *a += *b; });
+  EXPECT_EQ(single[0], 9);
+}
+
+TEST(TreeReduceTest, FloatingPointSumIsReproducible) {
+  // The same shard values must reduce to the same bits every time; the
+  // pairing is a pure function of the shard count.
+  std::vector<double> values(kDeterministicShardCap);
+  for (int i = 0; i < kDeterministicShardCap; ++i) {
+    values[i] = 1.0 / (3.0 + i);  // not exactly representable
+  }
+  auto reduce_once = [&]() {
+    std::vector<double> shards = values;
+    TreeReduce(&shards, [](double* a, double* b) { *a += *b; });
+    return shards[0];
+  };
+  const double first = reduce_once();
+  for (int rep = 0; rep < 5; ++rep) {
+    EXPECT_EQ(reduce_once(), first);  // bitwise, not approximate
+  }
+}
+
+TEST(ExecutorTest, ParallelFloatSumMatchesAcrossThreadCounts) {
+  // End-to-end determinism of the shard + TreeReduce pattern: identical
+  // bits at 1, 2, and 8 threads.
+  const long long n = 10000;
+  auto sum_with = [n](int threads) {
+    Executor ex(ExecOptions{.num_threads = threads, .deterministic = true});
+    const int shards = std::max(ex.NumShards(n, 64), 1);
+    std::vector<double> partial(shards, 0.0);
+    ex.ParallelFor(n, 64, [&](long long begin, long long end, int shard) {
+      for (long long i = begin; i < end; ++i) {
+        partial[shard] += 1.0 / (1.0 + static_cast<double>(i));
+      }
+    });
+    TreeReduce(&partial, [](double* a, double* b) { *a += *b; });
+    return partial[0];
+  };
+  const double serial = sum_with(1);
+  EXPECT_EQ(sum_with(2), serial);
+  EXPECT_EQ(sum_with(8), serial);
+}
+
+}  // namespace
+}  // namespace latent::exec

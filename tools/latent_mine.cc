@@ -39,8 +39,11 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: latent_mine --corpus FILE [--entities FILE] [--levels 6,4]\n"
-      "                   [--min-support N] [--seed N] [--json FILE]\n"
-      "                   [--save FILE] [--stem] [--equal-weights]\n");
+      "                   [--min-support N] [--seed N] [--threads N]\n"
+      "                   [--json FILE] [--save FILE] [--stem]\n"
+      "                   [--equal-weights]\n"
+      "  --threads N   worker threads (0 = all cores, 1 = serial; results\n"
+      "                are identical either way)\n");
   return 2;
 }
 
@@ -52,6 +55,7 @@ int main(int argc, char** argv) {
   std::vector<int> levels = {5, 3};
   long long min_support = 5;
   uint64_t seed = 42;
+  int num_threads = 0;
   bool stem = false;
   bool learn_weights = true;
 
@@ -70,6 +74,8 @@ int main(int argc, char** argv) {
       if (const char* v = next()) min_support = std::atoll(v);
     } else if (arg == "--seed") {
       if (const char* v = next()) seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--threads") {
+      if (const char* v = next()) num_threads = std::atoi(v);
     } else if (arg == "--json") {
       if (const char* v = next()) json_path = v;
     } else if (arg == "--save") {
@@ -121,8 +127,15 @@ int main(int argc, char** argv) {
                                       : core::LinkWeightMode::kEqual;
   opt.build.cluster.seed = seed;
   opt.miner.min_support = min_support;
-  api::MinedHierarchy mined = api::MineTopicalHierarchy(
-      corpus, type_names, type_sizes, entity_docs, opt);
+  opt.exec.num_threads = num_threads;
+  api::PipelineInput input(
+      corpus, api::EntitySchema(type_names, type_sizes), entity_docs);
+  StatusOr<api::MinedHierarchy> result = api::Mine(input, opt);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().message().c_str());
+    return 1;
+  }
+  const api::MinedHierarchy& mined = result.value();
 
   phrase::KertOptions kopt;
   std::printf("%s", mined.RenderTree(kopt, 5).c_str());
