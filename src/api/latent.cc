@@ -74,6 +74,14 @@ Status PipelineOptions::Validate() const {
     return Status::InvalidArgument(
         Sprintf2("exec.num_threads must be >= 0", exec.num_threads));
   }
+  if (deadline_ms < 0) {
+    return Status::InvalidArgument(
+        Sprintf2("deadline_ms must be >= 0", deadline_ms));
+  }
+  if (work_budget < 0) {
+    return Status::InvalidArgument(
+        Sprintf2("work_budget must be >= 0", work_budget));
+  }
   return Status::Ok();
 }
 
@@ -183,21 +191,56 @@ StatusOr<MinedHierarchy> Mine(const PipelineInput& input,
   if (Status s = input.Validate(); !s.ok()) return s;
   if (Status s = options.Validate(); !s.ok()) return s;
 
+  // Run-control scope for this call. A null rc (no deadline, no token, no
+  // budget) is the unbounded fast path: no stage ever polls state that
+  // could stop it, so results are untouched.
+  run::RunContext ctx;
+  const bool bounded = options.deadline_ms > 0 || options.cancel != nullptr ||
+                       options.work_budget > 0;
+  if (options.deadline_ms > 0) ctx.SetDeadlineAfterMs(options.deadline_ms);
+  if (options.cancel != nullptr) ctx.set_cancel_token(options.cancel);
+  if (options.work_budget > 0) ctx.set_work_budget(options.work_budget);
+  const run::RunContext* rc = bounded ? &ctx : nullptr;
+
   auto executor = std::make_shared<exec::Executor>(options.exec);
   exec::Executor* ex = executor->num_threads() > 1 ? executor.get() : nullptr;
+  // The context lives on this stack frame, so it MUST be detached from the
+  // (shared, possibly outliving) executor on every return path.
+  struct CtxGuard {
+    exec::Executor* ex;
+    ~CtxGuard() {
+      if (ex != nullptr) ex->set_run_context(nullptr);
+    }
+  } guard{ex};
+  if (ex != nullptr) ex->set_run_context(rc);
+
+  // Stopped before any work (pre-cancelled token, already-expired
+  // deadline): report why instead of returning an empty result.
+  if (Status s = run::CheckRun(rc); !s.ok()) return s;
 
   static const std::vector<hin::EntityDoc> kNoEntityDocs;
   const std::vector<hin::EntityDoc>& entity_docs =
       input.entity_docs != nullptr ? *input.entity_docs : kNoEntityDocs;
 
-  hin::HeteroNetwork net = hin::BuildCollapsedNetwork(
+  StatusOr<hin::HeteroNetwork> net = hin::TryBuildCollapsedNetwork(
       *input.corpus, input.schema.names, input.schema.sizes, entity_docs,
       options.collapse);
-  core::TopicHierarchy tree = core::BuildHierarchy(net, options.build, ex);
+  if (!net.ok()) return net.status();
+  StatusOr<core::TopicHierarchy> tree =
+      core::TryBuildHierarchy(net.value(), options.build, ex, rc);
+  if (!tree.ok()) return tree.status();
   phrase::PhraseDict dict =
-      phrase::MineFrequentPhrases(*input.corpus, options.miner, ex);
-  return MinedHierarchy(*input.corpus, std::move(tree), std::move(dict), 0,
-                        std::move(executor));
+      phrase::MineFrequentPhrases(*input.corpus, options.miner, ex, rc);
+  // The run may have stopped during phrase mining (after a complete
+  // build); flag the result partial so the caller knows something was cut.
+  if (run::ShouldStop(rc)) tree.value().set_partial(true);
+
+  // Detach the context BEFORE constructing the result: the KERT scorer
+  // must index the (possibly partial) tree completely, and rendering after
+  // Mine() returns is the caller's time, not this run's.
+  if (ex != nullptr) ex->set_run_context(nullptr);
+  return MinedHierarchy(*input.corpus, std::move(tree.value()),
+                        std::move(dict), 0, std::move(executor));
 }
 
 MinedHierarchy MineTopicalHierarchy(

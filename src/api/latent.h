@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/run_context.h"
 #include "common/status.h"
 #include "core/builder.h"
 #include "core/hierarchy.h"
@@ -30,6 +31,18 @@ struct PipelineOptions {
   /// Execution-layer knobs: worker count (0 = hardware concurrency, 1 =
   /// fully serial) and the determinism guarantee (see common/parallel.h).
   exec::ExecOptions exec;
+
+  /// Run-control knobs (see common/run_context.h). `deadline_ms` bounds the
+  /// whole Mine() call with a monotonic deadline (0 = unbounded); `cancel`
+  /// lets the caller stop the run from another thread; `work_budget` caps
+  /// total EM iterations (0 = unlimited). When a bounded run stops early,
+  /// Mine() still returns a valid hierarchy — the deepest fully-converged
+  /// frontier — flagged via MinedHierarchy::partial(); a run stopped before
+  /// any work happened returns the run-control Status instead. Leaving all
+  /// three unset changes nothing (bit-identical results, no polling cost).
+  long long deadline_ms = 0;
+  std::shared_ptr<const run::CancelToken> cancel;
+  long long work_budget = 0;
 
   /// Checks every knob for well-formedness (positive topic counts, sane
   /// [k_min, k_max], non-negative thresholds/tolerances, KERT weights in
@@ -107,6 +120,12 @@ class MinedHierarchy {
     return *kert_;
   }
 
+  /// True when the run stopped early (deadline / cancellation / budget)
+  /// and the hierarchy is the deepest fully-converged frontier rather than
+  /// the complete tree. Phrase mining may likewise have stopped at a
+  /// shorter maximum length. The result is still fully usable.
+  bool partial() const { return tree().partial(); }
+
   /// Top phrases of a (non-root) topic under the configured KERT options.
   std::vector<Scored<int>> TopPhrases(int node, const phrase::KertOptions& opt,
                                       size_t k) const;
@@ -142,6 +161,13 @@ class MinedHierarchy {
 /// All stages run on one executor sized by options.exec; with
 /// options.exec.deterministic (the default) the result is bit-identical for
 /// every num_threads value, including the serial num_threads == 1 path.
+///
+/// Run control: options.deadline_ms / cancel / work_budget bound the call
+/// cooperatively (polled at iteration-scale boundaries, so the call returns
+/// within a small multiple of the deadline). A run stopped mid-way returns
+/// ok with MinedHierarchy::partial() == true; a run stopped before any
+/// stage completed returns kDeadlineExceeded / kCancelled /
+/// kResourceExhausted. Unrecoverable EM divergence returns kInternal.
 StatusOr<MinedHierarchy> Mine(const PipelineInput& input,
                               const PipelineOptions& options);
 

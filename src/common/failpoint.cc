@@ -1,0 +1,62 @@
+#include "common/failpoint.h"
+
+#include <mutex>
+#include <unordered_map>
+
+namespace latent::run::failpoint {
+
+namespace {
+
+struct SiteState {
+  int count = -1;  // fires remaining; < 0 = unlimited
+  int skip = 0;    // hits to let pass before firing
+  int hits = 0;
+  int fired = 0;
+};
+
+std::mutex& RegistryMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::unordered_map<std::string, SiteState>& Registry() {
+  static std::unordered_map<std::string, SiteState> sites;
+  return sites;
+}
+
+}  // namespace
+
+void Arm(const std::string& name, int count, int skip) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  Registry()[name] = SiteState{count, skip, 0, 0};
+}
+
+void Disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  Registry().erase(name);
+}
+
+void DisarmAll() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  Registry().clear();
+}
+
+int HitCount(const std::string& name) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().find(name);
+  return it == Registry().end() ? 0 : it->second.hits;
+}
+
+bool ShouldFail(const char* name) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().find(name);
+  if (it == Registry().end()) return false;
+  SiteState& s = it->second;
+  ++s.hits;
+  if (s.hits <= s.skip) return false;
+  if (s.count >= 0 && s.fired >= s.count) return false;
+  ++s.fired;
+  return true;
+}
+
+}  // namespace latent::run::failpoint

@@ -1,0 +1,64 @@
+// Compile-time-gated fail-point registry for fault-injection testing.
+//
+// Production code marks named failure sites:
+//
+//   LATENT_FAILPOINT("io.read", return Status::Internal("injected error"));
+//
+// and tests arm them:
+//
+//   run::failpoint::Arm("io.read", /*count=*/1);   // fail the next hit
+//   ... exercise the code path, assert the clean Status ...
+//   run::failpoint::DisarmAll();
+//
+// The action is arbitrary code (early return, value poisoning, simulated
+// partial write); sites that are never armed do one mutex-guarded hash
+// lookup. When the repository is configured with -DLATENT_FAILPOINTS=OFF
+// the macro compiles to nothing and the sites vanish entirely.
+//
+// Registered site names (keep this list current when adding sites):
+//   io.read            data::ReadFile / LoadCorpusFromFile — fail the read
+//   io.write.open      data::WriteFile — fail opening the temp file
+//   io.write.mid       data::WriteFile — simulated crash after a partial
+//                      write of the temp file (destination stays intact)
+//   em.nan             core EM iteration — poison the log-likelihood with
+//                      NaN (exercises divergence detection + seed retry)
+//   deserialize.alloc  core::DeserializeHierarchy — allocation-style
+//                      failure before the phi buffers are built
+#ifndef LATENT_COMMON_FAILPOINT_H_
+#define LATENT_COMMON_FAILPOINT_H_
+
+#include <string>
+
+namespace latent::run::failpoint {
+
+/// Arms `name`: after skipping its first `skip` hits, the next `count` hits
+/// fire (count < 0 = every hit fires, forever). Re-arming resets counters.
+void Arm(const std::string& name, int count = -1, int skip = 0);
+
+/// Disarms one site / every site (tests call DisarmAll in teardown).
+void Disarm(const std::string& name);
+void DisarmAll();
+
+/// Hits recorded for an armed site since it was armed (0 when not armed).
+int HitCount(const std::string& name);
+
+/// Used by the LATENT_FAILPOINT macro: records a hit on an armed site and
+/// reports whether the site should fire. Unarmed sites never fire.
+bool ShouldFail(const char* name);
+
+}  // namespace latent::run::failpoint
+
+#if defined(LATENT_FAILPOINTS_ENABLED)
+#define LATENT_FAILPOINT(name, ...)                  \
+  do {                                               \
+    if (::latent::run::failpoint::ShouldFail(name)) { \
+      __VA_ARGS__;                                   \
+    }                                                \
+  } while (0)
+#else
+#define LATENT_FAILPOINT(name, ...) \
+  do {                              \
+  } while (0)
+#endif
+
+#endif  // LATENT_COMMON_FAILPOINT_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/run_context.h"
+
 namespace latent::exec {
 
 int ResolveNumThreads(int num_threads) {
@@ -31,9 +33,14 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::RunOneLocked(std::unique_lock<std::mutex>& lock) {
   Item item = queue_.front();
   queue_.pop_front();
-  lock.unlock();
-  (*item.fn)();
-  lock.lock();
+  // A cancelled/expired scope drops its queued-but-unstarted tasks instead
+  // of running them; the batch still completes so RunAll can return.
+  const bool drop = item.batch->ctx != nullptr && item.batch->ctx->ShouldStop();
+  if (!drop) {
+    lock.unlock();
+    (*item.fn)();
+    lock.lock();
+  }
   if (--item.batch->remaining == 0) cv_.notify_all();
 }
 
@@ -46,14 +53,19 @@ void ThreadPool::WorkLoop() {
   }
 }
 
-void ThreadPool::RunAll(std::vector<std::function<void()>>& tasks) {
+void ThreadPool::RunAll(std::vector<std::function<void()>>& tasks,
+                        const run::RunContext* ctx) {
   if (tasks.empty()) return;
   if (workers_.empty() || tasks.size() == 1) {
-    for (auto& t : tasks) t();
+    for (auto& t : tasks) {
+      if (ctx != nullptr && ctx->ShouldStop()) return;
+      t();
+    }
     return;
   }
   Batch batch;
   batch.remaining = static_cast<int>(tasks.size());
+  batch.ctx = ctx;
   {
     std::unique_lock<std::mutex> lock(mu_);
     for (auto& t : tasks) queue_.push_back(Item{&t, &batch});
@@ -77,12 +89,17 @@ Executor::Executor(const ExecOptions& options)
   if (num_threads_ > 1) pool_ = std::make_unique<ThreadPool>(num_threads_);
 }
 
+bool Executor::Stopped() const { return run::ShouldStop(ctx_); }
+
 void Executor::RunTasks(std::vector<std::function<void()>> tasks) {
   if (!pool_ || tasks.size() <= 1) {
-    for (auto& t : tasks) t();
+    for (auto& t : tasks) {
+      if (Stopped()) return;
+      t();
+    }
     return;
   }
-  pool_->RunAll(tasks);
+  pool_->RunAll(tasks, ctx_);
 }
 
 int Executor::NumShards(long long n, long long grain) const {

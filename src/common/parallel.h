@@ -37,6 +37,10 @@
 
 #include "common/check.h"
 
+namespace latent::run {
+class RunContext;
+}  // namespace latent::run
+
 namespace latent::exec {
 
 /// Parallelism knobs, plumbed through api::PipelineOptions down to every
@@ -70,11 +74,19 @@ class ThreadPool {
   /// Runs every task and returns when all have finished. The caller helps
   /// execute queued tasks (its own batch or others'), so RunAll may be
   /// called from inside a task.
-  void RunAll(std::vector<std::function<void()>>& tasks);
+  ///
+  /// With a non-null `ctx`, every queued-but-unstarted task of this batch
+  /// is DROPPED (popped without running) once ctx->ShouldStop() turns true,
+  /// so a cancelled or expired scope drains its queue promptly instead of
+  /// finishing every pending task. Tasks already running are never
+  /// interrupted; they poll the context themselves.
+  void RunAll(std::vector<std::function<void()>>& tasks,
+              const run::RunContext* ctx = nullptr);
 
  private:
   struct Batch {
     int remaining = 0;
+    const run::RunContext* ctx = nullptr;
   };
   struct Item {
     std::function<void()>* fn;
@@ -106,8 +118,22 @@ class Executor {
   bool deterministic() const { return options_.deterministic; }
   const ExecOptions& options() const { return options_; }
 
+  /// Attaches (or detaches, with nullptr) the run context that bounds every
+  /// subsequent RunTasks/ParallelFor call: once the context reports
+  /// ShouldStop(), not-yet-started tasks are dropped. The context must
+  /// outlive its attachment; api::Mine attaches its per-call context and
+  /// detaches it before returning, so a kept Executor never references a
+  /// dead scope. Unset (the default) nothing is ever dropped.
+  void set_run_context(const run::RunContext* ctx) { ctx_ = ctx; }
+  const run::RunContext* run_context() const { return ctx_; }
+
+  /// True once the attached context (if any) wants the run to stop.
+  bool Stopped() const;
+
   /// Runs the tasks (in parallel when a pool exists, inline in order
   /// otherwise) and returns when all are done. Tasks must be independent.
+  /// Under an attached stopped run context, remaining tasks are dropped;
+  /// callers that commit results must re-check the context afterwards.
   void RunTasks(std::vector<std::function<void()>> tasks);
 
   /// Number of contiguous shards ParallelFor splits [0, n) into when each
@@ -125,6 +151,7 @@ class Executor {
   ExecOptions options_;
   int num_threads_;
   std::unique_ptr<ThreadPool> pool_;
+  const run::RunContext* ctx_ = nullptr;
 };
 
 /// Fixed shard cap in deterministic mode (see Executor::NumShards).

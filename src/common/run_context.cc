@@ -1,0 +1,28 @@
+#include "common/run_context.h"
+
+namespace latent::run {
+
+bool RunContext::ShouldStop() const {
+  if (cancel_ != nullptr && cancel_->cancelled()) return true;
+  if (work_budget_ > 0 &&
+      work_used_.load(std::memory_order_relaxed) > work_budget_) {
+    return true;
+  }
+  return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
+}
+
+Status RunContext::Check() const {
+  if (cancel_ != nullptr && cancel_->cancelled()) {
+    return Status::Cancelled("run cancelled");
+  }
+  if (work_budget_ > 0 &&
+      work_used_.load(std::memory_order_relaxed) > work_budget_) {
+    return Status::ResourceExhausted("work budget exhausted");
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    return Status::DeadlineExceeded("deadline exceeded");
+  }
+  return Status::Ok();
+}
+
+}  // namespace latent::run

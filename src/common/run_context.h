@@ -1,0 +1,103 @@
+// latent::run — run control for long-running mining pipelines.
+//
+// A RunContext bounds a run three ways, all cooperative:
+//
+//   * a monotonic deadline (steady_clock, immune to wall-clock jumps),
+//   * a CancelToken the caller may trip from any thread,
+//   * a work budget in coarse units (one unit = one EM iteration).
+//
+// Compute stages poll ShouldStop() at iteration-scale boundaries (between
+// EM iterations and restarts, between builder nodes, between miner levels,
+// before each queued pool task) and wind down instead of aborting: the
+// hierarchy builder commits the deepest fully-converged frontier and marks
+// the tree partial(). Check() reports WHY a run stopped as a Status
+// (kDeadlineExceeded / kCancelled / kResourceExhausted).
+//
+// A null RunContext* anywhere means "unbounded"; polling an unbounded
+// context never stops and costs a couple of loads.
+#ifndef LATENT_COMMON_RUN_CONTEXT_H_
+#define LATENT_COMMON_RUN_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "common/status.h"
+
+namespace latent::run {
+
+/// Cooperative cancellation flag shared between the caller (who may
+/// Cancel() from any thread at any time) and the pipeline (which polls).
+class CancelToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Deadline + cancellation + work budget for one run. Configure before the
+/// run starts; polling (ShouldStop / Check / ChargeWork) is thread-safe.
+/// Not copyable: stages hold a const pointer to the caller's instance.
+class RunContext {
+ public:
+  RunContext() = default;
+  RunContext(const RunContext&) = delete;
+  RunContext& operator=(const RunContext&) = delete;
+
+  /// Sets the deadline `deadline_ms` milliseconds from now (monotonic).
+  /// Non-positive values mean "already expired".
+  void SetDeadlineAfterMs(long long deadline_ms) {
+    has_deadline_ = true;
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(deadline_ms);
+  }
+
+  void set_cancel_token(std::shared_ptr<const CancelToken> token) {
+    cancel_ = std::move(token);
+  }
+
+  /// Total work units the run may spend (0 = unlimited). One unit is one
+  /// EM iteration; budget exhaustion stops the run exactly like a deadline.
+  void set_work_budget(long long units) { work_budget_ = units; }
+
+  bool has_deadline() const { return has_deadline_; }
+
+  /// Records `units` of work. Returns false once the budget is exceeded
+  /// (the caller should stop); always true on an unlimited budget.
+  bool ChargeWork(long long units = 1) const {
+    if (work_budget_ <= 0) return true;
+    const long long used =
+        work_used_.fetch_add(units, std::memory_order_relaxed) + units;
+    return used <= work_budget_;
+  }
+
+  /// Cheap poll: should the run wind down now, for any reason?
+  bool ShouldStop() const;
+
+  /// Why the run should stop, as a Status; Ok while unconstrained.
+  /// Cancellation wins over budget, budget over deadline.
+  Status Check() const;
+
+ private:
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+  std::shared_ptr<const CancelToken> cancel_;
+  long long work_budget_ = 0;
+  mutable std::atomic<long long> work_used_{0};
+};
+
+/// Null-tolerant helpers: a null context is unbounded.
+inline bool ShouldStop(const RunContext* ctx) {
+  return ctx != nullptr && ctx->ShouldStop();
+}
+inline Status CheckRun(const RunContext* ctx) {
+  return ctx == nullptr ? Status::Ok() : ctx->Check();
+}
+
+}  // namespace latent::run
+
+#endif  // LATENT_COMMON_RUN_CONTEXT_H_

@@ -17,6 +17,12 @@ enum class StatusCode {
   kNotFound,
   kFailedPrecondition,
   kInternal,
+  /// Run-control outcomes (see common/run_context.h): the monotonic
+  /// deadline passed, the caller tripped the CancelToken, or the run's
+  /// work budget was spent.
+  kDeadlineExceeded,
+  kCancelled,
+  kResourceExhausted,
 };
 
 /// Lightweight error-or-success result, modeled on absl::Status.
@@ -38,6 +44,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,7 +1,9 @@
 #include "core/builder.h"
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <utility>
 
 namespace latent::core {
@@ -19,6 +21,30 @@ struct BuiltNode {
   double network_weight = 0.0;
   double rho_background = 0.0;
   std::vector<BuiltNode> children;
+  /// Set once rho/phi/weight are assigned; children left unfilled (their
+  /// task was dropped or their fit never finished under run control) are
+  /// skipped at commit time and the tree is flagged partial.
+  bool filled = false;
+};
+
+// Shared build-wide state: the run context bounding the build, whether any
+// subtree was abandoned (partial result), and the first hard error (EM
+// divergence) to surface.
+struct BuildState {
+  exec::Executor* ex = nullptr;
+  const run::RunContext* ctx = nullptr;
+  std::atomic<bool> partial{false};
+  std::mutex mu;
+  Status error;
+
+  void RecordError(Status s) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (error.ok()) error = std::move(s);
+  }
+  Status TakeError() {
+    std::lock_guard<std::mutex> lock(mu);
+    return error;
+  }
 };
 
 // Seed salt for the topic reached from its parent's salt via child index z.
@@ -34,9 +60,14 @@ uint64_t ChildSalt(uint64_t salt, int z) {
 void Expand(const hin::HeteroNetwork& net, BuiltNode* node, int level,
             uint64_t salt,
             const std::vector<std::vector<double>>& parent_phi,
-            const BuildOptions& options, exec::Executor* ex) {
+            const BuildOptions& options, BuildState* state) {
   if (level >= options.max_depth) return;
   if (net.TotalWeight() < options.min_network_weight) return;
+  if (run::ShouldStop(state->ctx)) {
+    // Out of time before this topic could be split: its subtree is absent.
+    state->partial.store(true, std::memory_order_relaxed);
+    return;
+  }
 
   int k = 0;
   if (level < static_cast<int>(options.levels_k.size())) {
@@ -49,31 +80,49 @@ void Expand(const hin::HeteroNetwork& net, BuiltNode* node, int level,
   ClusterResult model;
   if (k > 0) {
     copt.num_topics = k;
-    model = FitCluster(net, parent_phi, copt, ex);
+    model = FitCluster(net, parent_phi, copt, state->ex, state->ctx);
   } else {
     model = SelectAndFit(net, parent_phi, copt, options.k_min, options.k_max,
-                         ex);
+                         state->ex, state->ctx);
+  }
+  if (model.k == 0) {
+    // No restart/candidate finished before the run stopped.
+    state->partial.store(true, std::memory_order_relaxed);
+    return;
+  }
+  if (model.diverged) {
+    state->RecordError(Status::Internal(
+        "EM diverged (non-finite or degenerate parameters) at hierarchy "
+        "level " +
+        std::to_string(level) + " after seed-bumped retries"));
+    return;
   }
   node->rho_background = model.rho_bg;
 
   node->children.resize(model.k);
   auto build_child = [&](int z) {
+    BuiltNode* child = &node->children[z];
+    if (run::ShouldStop(state->ctx)) {
+      // Leave the child unfilled; Commit skips it and flags the tree.
+      state->partial.store(true, std::memory_order_relaxed);
+      return;
+    }
     hin::HeteroNetwork sub =
         ExtractSubnetwork(net, model, z, options.subnetwork_min_weight);
-    BuiltNode* child = &node->children[z];
     child->rho_in_parent = model.rho[z];
     child->phi = model.phi[z];
     child->network_weight = sub.TotalWeight();
+    child->filled = true;
     Expand(sub, child, level + 1, ChildSalt(salt, z), model.phi[z], options,
-           ex);
+           state);
   };
-  if (ex != nullptr && ex->num_threads() > 1 && model.k > 1) {
+  if (state->ex != nullptr && state->ex->num_threads() > 1 && model.k > 1) {
     std::vector<std::function<void()>> tasks;
     tasks.reserve(model.k);
     for (int z = 0; z < model.k; ++z) {
       tasks.push_back([&build_child, z] { build_child(z); });
     }
-    ex->RunTasks(std::move(tasks));
+    state->ex->RunTasks(std::move(tasks));
   } else {
     for (int z = 0; z < model.k; ++z) build_child(z);
   }
@@ -81,28 +130,51 @@ void Expand(const hin::HeteroNetwork& net, BuiltNode* node, int level,
 
 // Serial arena commit, interleaving AddChild with descent exactly as the
 // historical recursive builder did, so ids/paths match the serial output.
-void Commit(BuiltNode* built, int node_id, TopicHierarchy* tree) {
+// Children never filled (their task was dropped under run control) are
+// skipped and reported via `partial`.
+void Commit(BuiltNode* built, int node_id, TopicHierarchy* tree,
+            bool* partial) {
   tree->mutable_node(node_id).rho_background = built->rho_background;
   for (BuiltNode& child : built->children) {
+    if (!child.filled) {
+      *partial = true;
+      continue;
+    }
     int id = tree->AddChild(node_id, child.rho_in_parent,
                             std::move(child.phi), child.network_weight);
-    Commit(&child, id, tree);
+    Commit(&child, id, tree, partial);
   }
 }
 
 }  // namespace
 
-TopicHierarchy BuildHierarchy(const hin::HeteroNetwork& root_network,
-                              const BuildOptions& options,
-                              exec::Executor* ex) {
+StatusOr<TopicHierarchy> TryBuildHierarchy(
+    const hin::HeteroNetwork& root_network, const BuildOptions& options,
+    exec::Executor* ex, const run::RunContext* ctx) {
   TopicHierarchy tree(root_network.type_names(), root_network.type_sizes());
   tree.AddRoot(DegreeDistributions(root_network),
                root_network.TotalWeight());
+  BuildState state;
+  state.ex = ex;
+  state.ctx = ctx;
   BuiltNode root;
+  root.filled = true;
   Expand(root_network, &root, 0, /*salt=*/0, tree.node(tree.root()).phi,
-         options, ex);
-  Commit(&root, tree.root(), &tree);
+         options, &state);
+  Status error = state.TakeError();
+  if (!error.ok()) return error;
+  bool partial = state.partial.load(std::memory_order_relaxed);
+  Commit(&root, tree.root(), &tree, &partial);
+  tree.set_partial(partial);
   return tree;
+}
+
+TopicHierarchy BuildHierarchy(const hin::HeteroNetwork& root_network,
+                              const BuildOptions& options,
+                              exec::Executor* ex) {
+  StatusOr<TopicHierarchy> tree = TryBuildHierarchy(root_network, options, ex);
+  LATENT_CHECK_MSG(tree.ok(), tree.status().message().c_str());
+  return std::move(tree.value());
 }
 
 }  // namespace latent::core

@@ -6,6 +6,8 @@
 
 #include <vector>
 
+#include "common/run_context.h"
+#include "common/status.h"
 #include "core/clusterer.h"
 #include "core/hierarchy.h"
 #include "hin/network.h"
@@ -36,6 +38,18 @@ struct BuildOptions {
 /// see clusterer.h). Per-node clustering seeds derive from the topic's PATH
 /// in the tree, so the result is identical for every thread count; node ids
 /// and paths always follow the serial depth-first order.
+///
+/// Run control: a non-null `ctx` bounds the build. When the run stops
+/// mid-construction the deepest fully-converged frontier is committed and
+/// the returned tree is flagged partial(); subtrees whose fit never
+/// finished are simply absent. Unrecoverable EM divergence (after the
+/// clusterer's seed-bumped retries) surfaces as an Internal Status.
+StatusOr<TopicHierarchy> TryBuildHierarchy(
+    const hin::HeteroNetwork& root_network, const BuildOptions& options,
+    exec::Executor* ex = nullptr, const run::RunContext* ctx = nullptr);
+
+/// Unbounded variant; CHECK-fails on EM divergence (historical behavior,
+/// kept for call sites that cannot handle a Status).
 TopicHierarchy BuildHierarchy(const hin::HeteroNetwork& root_network,
                               const BuildOptions& options,
                               exec::Executor* ex = nullptr);

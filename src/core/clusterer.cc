@@ -7,12 +7,42 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "common/math_util.h"
 #include "common/rng.h"
 
 namespace latent::core {
 
 namespace {
+
+// True when a fitted result carries non-finite or degenerate parameters
+// (EM divergence): such a model must not be committed to the hierarchy.
+// A default (k == 0, never-ran) result is not "diverged".
+bool EmDiverged(const ClusterResult& r) {
+  if (r.k <= 0) return false;
+  if (!std::isfinite(r.log_likelihood) || !std::isfinite(r.rho_bg)) {
+    return true;
+  }
+  double rho_sum = r.rho_bg;
+  for (double v : r.rho) {
+    if (!std::isfinite(v)) return true;
+    rho_sum += v;
+  }
+  if (rho_sum <= 0.0) return true;  // every topic empty: degenerate
+  for (const auto& per_type : r.phi) {
+    for (const auto& dist : per_type) {
+      for (double v : dist) {
+        if (!std::isfinite(v)) return true;
+      }
+    }
+  }
+  for (const auto& dist : r.phi_bg) {
+    for (double v : dist) {
+      if (!std::isfinite(v)) return true;
+    }
+  }
+  return false;
+}
 
 // Nodes of each type that carry any link weight; initialization puts mass
 // only on these, so disconnected universe entries stay at probability 0.
@@ -44,7 +74,7 @@ ClusterResult RunEm(const hin::HeteroNetwork& net,
                     const ClusterOptions& options,
                     const std::vector<std::vector<int>>& present,
                     std::vector<double> alpha, Rng* rng,
-                    exec::Executor* ex) {
+                    exec::Executor* ex, const run::RunContext* ctx) {
   const int k = options.num_topics;
   const int m = net.num_types();
   const int num_lt = net.num_link_types();
@@ -113,7 +143,16 @@ ClusterResult RunEm(const hin::HeteroNetwork& net,
       (ex != nullptr && ex->num_threads() > 1) ? std::min(ex->num_threads(), k)
                                                : 1;
 
+  bool stopped_early = false;
+  int iters_done = 0;
+
   for (int iter = 0; iter < options.max_iters; ++iter) {
+    // Each iteration charges one work unit; stop between iterations when
+    // the run is out of time, cancelled, or out of budget.
+    if (ctx != nullptr && (ctx->ShouldStop() || !ctx->ChargeWork())) {
+      stopped_early = true;
+      break;
+    }
     // Scaled totals under the current alpha.
     double big_m = 0.0;
     for (int lt = 0; lt < num_lt; ++lt) big_m += alpha[lt] * raw_total[lt];
@@ -201,6 +240,23 @@ ClusterResult RunEm(const hin::HeteroNetwork& net,
       ex->RunTasks(std::move(tasks));
     }
 
+    // If the run stopped mid-E-step (the pool drops queued slices), the
+    // accumulators may be incomplete; keep the previous iteration's
+    // parameters rather than committing a mangled M-step.
+    if (ctx != nullptr && ctx->ShouldStop()) {
+      stopped_early = true;
+      break;
+    }
+
+    LATENT_FAILPOINT("em.nan",
+                     ll = std::numeric_limits<double>::quiet_NaN());
+    if (!std::isfinite(ll)) {
+      // Numerical blow-up: surface it via the diverged flag instead of
+      // iterating on garbage.
+      r.log_likelihood = ll;
+      break;
+    }
+
     // M step.
     for (int z = 0; z < k; ++z) r.rho[z] = new_rho[z] / big_m;
     r.rho_bg = bg ? new_rho_bg / big_m : 0.0;
@@ -247,11 +303,19 @@ ClusterResult RunEm(const hin::HeteroNetwork& net,
     }
 
     r.log_likelihood = ll;
+    ++iters_done;
     if (iter > 0 && std::abs(ll - prev_ll) <=
                         options.tol * (std::abs(prev_ll) + 1.0)) {
       break;
     }
     prev_ll = ll;
+  }
+
+  // A restart stopped before completing a single iteration has no
+  // likelihood at all; make sure it can never win restart selection over a
+  // restart that did real work.
+  if (stopped_early && iters_done == 0) {
+    r.log_likelihood = -std::numeric_limits<double>::infinity();
   }
 
   // BIC score (Section 3.2.3): logL - 0.5 * #free-params * log(#links).
@@ -277,7 +341,8 @@ std::vector<std::vector<double>> DegreeDistributions(
 
 ClusterResult FitCluster(const hin::HeteroNetwork& net,
                          const std::vector<std::vector<double>>& parent_phi,
-                         const ClusterOptions& options, exec::Executor* ex) {
+                         const ClusterOptions& options, exec::Executor* ex,
+                         const run::RunContext* ctx) {
   LATENT_CHECK_GE(options.num_topics, 1);
   LATENT_CHECK_EQ(static_cast<int>(parent_phi.size()), net.num_types());
   LATENT_CHECK_GT(net.num_link_types(), 0);
@@ -319,32 +384,57 @@ ClusterResult FitCluster(const hin::HeteroNetwork& net,
     streams.push_back(rng.Fork());
   }
   std::vector<ClusterResult> results(restarts);
+  // One restart: run EM; on divergence retry from a seed-bumped fresh
+  // stream (fault recovery), up to max_em_retries extra attempts. The
+  // retry streams are keyed on (restart, attempt) so recoveries stay
+  // deterministic and independent across restarts.
+  auto run_restart = [&](int restart) {
+    ClusterResult res = RunEm(net, parent_phi, options, present, alpha,
+                              &streams[restart], ex, ctx);
+    for (int attempt = 1;
+         EmDiverged(res) && attempt <= options.max_em_retries &&
+         !run::ShouldStop(ctx);
+         ++attempt) {
+      Rng retry(options.seed ^
+                (0x9e3779b97f4a7c15ULL *
+                 static_cast<uint64_t>(restart * 97 + attempt)));
+      res = RunEm(net, parent_phi, options, present, alpha, &retry, ex, ctx);
+    }
+    res.diverged = EmDiverged(res);
+    results[restart] = std::move(res);
+  };
   if (ex != nullptr && ex->num_threads() > 1 && restarts > 1) {
     std::vector<std::function<void()>> tasks;
     tasks.reserve(restarts);
     for (int restart = 0; restart < restarts; ++restart) {
-      tasks.push_back([&, restart] {
-        results[restart] = RunEm(net, parent_phi, options, present, alpha,
-                                 &streams[restart], ex);
-      });
+      tasks.push_back([&run_restart, restart] { run_restart(restart); });
     }
     ex->RunTasks(std::move(tasks));
   } else {
     for (int restart = 0; restart < restarts; ++restart) {
-      results[restart] = RunEm(net, parent_phi, options, present, alpha,
-                               &streams[restart], ex);
+      if (run::ShouldStop(ctx)) break;
+      run_restart(restart);
     }
   }
 
+  // Best-likelihood winner in restart order (first wins ties). Restarts
+  // that never ran (dropped under run control) have k == 0 and are
+  // skipped; a converged restart always beats a diverged one.
   ClusterResult best;
   bool have = false;
   for (int restart = 0; restart < restarts; ++restart) {
-    if (!have || results[restart].log_likelihood > best.log_likelihood) {
-      best = std::move(results[restart]);
+    ClusterResult& r = results[restart];
+    if (r.k == 0) continue;
+    const bool better =
+        !have || (!r.diverged && best.diverged) ||
+        (r.diverged == best.diverged &&
+         r.log_likelihood > best.log_likelihood);
+    if (better) {
+      best = std::move(r);
       have = true;
     }
   }
-  return best;
+  return best;  // default (k == 0) when no restart finished
 }
 
 hin::HeteroNetwork ExtractSubnetwork(const hin::HeteroNetwork& net,
@@ -382,7 +472,8 @@ hin::HeteroNetwork ExtractSubnetwork(const hin::HeteroNetwork& net,
 ClusterResult SelectAndFit(const hin::HeteroNetwork& net,
                            const std::vector<std::vector<double>>& parent_phi,
                            const ClusterOptions& options, int k_min,
-                           int k_max, exec::Executor* ex) {
+                           int k_max, exec::Executor* ex,
+                           const run::RunContext* ctx) {
   LATENT_CHECK_GE(k_min, 1);
   LATENT_CHECK_LE(k_min, k_max);
   const int num_k = k_max - k_min + 1;
@@ -391,7 +482,7 @@ ClusterResult SelectAndFit(const hin::HeteroNetwork& net,
     ClusterOptions opt = options;
     opt.num_topics = k_min + idx;
     opt.seed = options.seed + static_cast<uint64_t>(k_min + idx) * 7919;
-    results[idx] = FitCluster(net, parent_phi, opt, ex);
+    results[idx] = FitCluster(net, parent_phi, opt, ex, ctx);
   };
   if (ex != nullptr && ex->num_threads() > 1 && num_k > 1) {
     std::vector<std::function<void()>> tasks;
@@ -401,18 +492,28 @@ ClusterResult SelectAndFit(const hin::HeteroNetwork& net,
     }
     ex->RunTasks(std::move(tasks));
   } else {
-    for (int idx = 0; idx < num_k; ++idx) fit_k(idx);
+    for (int idx = 0; idx < num_k; ++idx) {
+      if (run::ShouldStop(ctx)) break;
+      fit_k(idx);
+    }
   }
   // BIC winner in k order (first wins ties), as in the serial loop.
+  // Candidates skipped under run control (k == 0) are excluded; converged
+  // candidates beat diverged ones.
   ClusterResult best;
   bool have = false;
   for (int idx = 0; idx < num_k; ++idx) {
-    if (!have || results[idx].bic_score > best.bic_score) {
-      best = std::move(results[idx]);
+    ClusterResult& r = results[idx];
+    if (r.k == 0) continue;
+    const bool better =
+        !have || (!r.diverged && best.diverged) ||
+        (r.diverged == best.diverged && r.bic_score > best.bic_score);
+    if (better) {
+      best = std::move(r);
       have = true;
     }
   }
-  return best;
+  return best;  // default (k == 0) when no candidate finished
 }
 
 }  // namespace latent::core

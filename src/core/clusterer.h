@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/run_context.h"
 #include "hin/network.h"
 
 namespace latent::core {
@@ -50,6 +51,11 @@ struct ClusterOptions {
   /// draws the initial rho from Dirichlet(concentration), so small values
   /// seed skewed hierarchies.
   double rho_init_concentration = 0.0;
+  /// When a restart's EM run diverges (non-finite likelihood or
+  /// parameters, or a degenerate all-empty solution), retry it from a
+  /// seed-bumped initialization up to this many extra attempts before
+  /// reporting the restart as diverged. 0 disables recovery.
+  int max_em_retries = 2;
 };
 
 /// Fitted model for one topic node's network.
@@ -72,6 +78,10 @@ struct ClusterResult {
   std::vector<double> alpha;
   /// The parent-topic node distributions used for background generation.
   std::vector<std::vector<double>> parent_phi;
+  /// True when every attempt of every restart diverged (non-finite or
+  /// degenerate parameters); the fields above are then the last attempt's
+  /// values and must not be trusted. Callers surface this as a Status.
+  bool diverged = false;
 };
 
 /// Normalized weighted-degree distributions per node type; the default
@@ -88,10 +98,17 @@ std::vector<std::vector<double>> DegreeDistributions(
 /// E/M-step accumulation across workers by subtopic. Both are bit-identical
 /// to the serial path for every thread count (see parallel.h, determinism
 /// contract); `ex == nullptr` is the plain serial path.
+///
+/// A non-null `ctx` bounds the fit: EM checks the context between
+/// iterations (each iteration charges one work unit) and between restarts,
+/// returning the best result finished so far — possibly a default
+/// ClusterResult with k == 0 when nothing completed. A null ctx never
+/// changes the result.
 ClusterResult FitCluster(const hin::HeteroNetwork& net,
                          const std::vector<std::vector<double>>& parent_phi,
                          const ClusterOptions& options,
-                         exec::Executor* ex = nullptr);
+                         exec::Executor* ex = nullptr,
+                         const run::RunContext* ctx = nullptr);
 
 /// Extracts the subtopic-z subnetwork: link weights become the expected
 /// topic-z weight e-hat (Eq. 3.23); links below `min_weight` are dropped
@@ -102,11 +119,14 @@ hin::HeteroNetwork ExtractSubnetwork(const hin::HeteroNetwork& net,
 
 /// Chooses the number of subtopics in [k_min, k_max] by the BIC score
 /// (Section 3.2.3), returning the winning fitted model. Candidate k values
-/// are fitted as concurrent pool tasks when `ex` is non-null.
+/// are fitted as concurrent pool tasks when `ex` is non-null. Candidates
+/// skipped because `ctx` stopped the run are excluded from selection; when
+/// none finished the result has k == 0.
 ClusterResult SelectAndFit(const hin::HeteroNetwork& net,
                            const std::vector<std::vector<double>>& parent_phi,
                            const ClusterOptions& options, int k_min, int k_max,
-                           exec::Executor* ex = nullptr);
+                           exec::Executor* ex = nullptr,
+                           const run::RunContext* ctx = nullptr);
 
 }  // namespace latent::core
 

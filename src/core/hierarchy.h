@@ -69,6 +69,12 @@ class TopicHierarchy {
   const std::vector<std::string>& type_names() const { return type_names_; }
   const std::vector<int>& type_sizes() const { return type_sizes_; }
 
+  /// True when construction stopped early (deadline, cancellation, or
+  /// budget exhaustion): the tree is the deepest fully-converged frontier
+  /// reached, not the complete hierarchy. Preserved by serialization.
+  bool partial() const { return partial_; }
+  void set_partial(bool partial) { partial_ = partial; }
+
   /// Node ids of all leaves, in id order.
   std::vector<int> Leaves() const;
 
@@ -86,6 +92,7 @@ class TopicHierarchy {
   std::vector<std::string> type_names_;
   std::vector<int> type_sizes_;
   std::vector<TopicNode> nodes_;
+  bool partial_ = false;
 };
 
 }  // namespace latent::core

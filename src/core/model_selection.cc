@@ -57,14 +57,18 @@ ClusterResult SelectByCrossValidation(
     const hin::HeteroNetwork& net,
     const std::vector<std::vector<double>>& parent_phi,
     const ClusterOptions& options, int k_min, int k_max,
-    const CrossValidationOptions& cv) {
+    const CrossValidationOptions& cv, const run::RunContext* ctx) {
   LATENT_CHECK_GE(k_min, 1);
   LATENT_CHECK_LE(k_min, k_max);
   int best_k = k_min;
+  bool scored_any = false;
   double best_score = -std::numeric_limits<double>::infinity();
   for (int k = k_min; k <= k_max; ++k) {
+    if (run::ShouldStop(ctx)) break;
     double total = 0.0;
+    int folds_done = 0;
     for (int fold = 0; fold < cv.folds; ++fold) {
+      if (run::ShouldStop(ctx)) break;
       hin::HeteroNetwork train, holdout;
       SplitLinks(net, cv.holdout_fraction,
                  cv.seed + static_cast<uint64_t>(fold) * 101, &train,
@@ -72,18 +76,23 @@ ClusterResult SelectByCrossValidation(
       ClusterOptions opt = options;
       opt.num_topics = k;
       opt.seed = options.seed + static_cast<uint64_t>(k) * 13 + fold;
-      ClusterResult model = FitCluster(train, parent_phi, opt);
+      ClusterResult model = FitCluster(train, parent_phi, opt, nullptr, ctx);
+      if (model.k == 0) break;  // fit stopped before any restart finished
       total += HeldOutLogLikelihood(holdout, model);
+      ++folds_done;
     }
+    if (folds_done < cv.folds) break;  // incomplete average: don't compare
     double avg = total / cv.folds;
+    scored_any = true;
     if (avg > best_score) {
       best_score = avg;
       best_k = k;
     }
   }
+  if (!scored_any && run::ShouldStop(ctx)) return ClusterResult();
   ClusterOptions opt = options;
   opt.num_topics = best_k;
-  return FitCluster(net, parent_phi, opt);
+  return FitCluster(net, parent_phi, opt, nullptr, ctx);
 }
 
 double AicScore(const hin::HeteroNetwork& net, const ClusterResult& model) {

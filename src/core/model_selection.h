@@ -38,12 +38,15 @@ double HeldOutLogLikelihood(const hin::HeteroNetwork& holdout,
                             const ClusterResult& model);
 
 /// Chooses k in [k_min, k_max] by average held-out likelihood and returns
-/// the winning k fitted on the FULL network.
+/// the winning k fitted on the FULL network. A non-null `ctx` is checked
+/// between folds and candidate k values; when the run stops early the best
+/// k found so far is fitted (or a default k == 0 result is returned if no
+/// fold finished).
 ClusterResult SelectByCrossValidation(
     const hin::HeteroNetwork& net,
     const std::vector<std::vector<double>>& parent_phi,
     const ClusterOptions& options, int k_min, int k_max,
-    const CrossValidationOptions& cv);
+    const CrossValidationOptions& cv, const run::RunContext* ctx = nullptr);
 
 /// AIC score for a fitted model: logL - #params (larger is better, like
 /// bic_score). BIC penalizes more, AIC less; the dissertation recommends

@@ -1,13 +1,126 @@
 #include "core/serialize.h"
 
+#include <cstdint>
 #include <cstdio>
 #include <sstream>
 
+#include "common/failpoint.h"
 #include "common/top_k.h"
 
 namespace latent::core {
 
 namespace {
+
+// Sanity caps for declared sizes in serialized input. Inputs exceeding
+// them are rejected up front so a corrupt or hostile blob can never make
+// the parser allocate unbounded memory.
+constexpr int kMaxTypes = 1 << 16;
+constexpr long long kMaxUniverse = 1LL << 28;   // total node-universe size
+constexpr int kMaxNodes = 1 << 22;              // topics in one hierarchy
+constexpr long long kMaxTotalPhi = 1LL << 28;   // num_nodes * universe cells
+
+uint64_t Fnv1a64(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string HexU64(uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+// Parses the body shared by the v1 and v2 formats: type table, node count,
+// then per-node header + sparse phi rows. `expect_partial_trailer` is true
+// for v2, which appends a "partial <0|1>" line.
+StatusOr<TopicHierarchy> ParseBody(std::istringstream& in,
+                                   bool expect_partial_trailer) {
+  int num_types = 0;
+  in >> num_types;
+  if (!in || num_types <= 0 || num_types > kMaxTypes) {
+    return Status::InvalidArgument("bad type count");
+  }
+  std::vector<std::string> names(num_types);
+  std::vector<int> sizes(num_types);
+  long long universe = 0;
+  for (int x = 0; x < num_types; ++x) {
+    in >> names[x] >> sizes[x];
+    if (!in || names[x].empty() || sizes[x] < 0) {
+      return Status::InvalidArgument("bad type table entry");
+    }
+    universe += sizes[x];
+    if (universe > kMaxUniverse) {
+      return Status::InvalidArgument("declared node universe too large");
+    }
+  }
+  int num_nodes = 0;
+  in >> num_nodes;
+  if (!in || num_nodes < 0 || num_nodes > kMaxNodes) {
+    return Status::InvalidArgument("bad node count");
+  }
+  if (static_cast<long long>(num_nodes) * universe > kMaxTotalPhi) {
+    return Status::InvalidArgument(
+        "declared hierarchy too large (nodes x universe)");
+  }
+  LATENT_FAILPOINT("deserialize.alloc",
+                   return Status::ResourceExhausted(
+                       "injected allocation failure (deserialize.alloc)"));
+
+  TopicHierarchy tree(names, sizes);
+  for (int id = 0; id < num_nodes; ++id) {
+    int parent;
+    double rho, rho_bg, weight;
+    in >> parent >> rho >> rho_bg >> weight;
+    if (!in) return Status::InvalidArgument("truncated node header");
+    std::vector<std::vector<double>> phi(num_types);
+    for (int x = 0; x < num_types; ++x) {
+      phi[x].assign(sizes[x], 0.0);
+      int nnz;
+      in >> nnz;
+      if (!in || nnz < 0 || nnz > sizes[x]) {
+        return Status::InvalidArgument("bad phi nnz count");
+      }
+      for (int e = 0; e < nnz; ++e) {
+        int idx;
+        double v;
+        in >> idx >> v;
+        if (!in || idx < 0 || idx >= sizes[x]) {
+          return Status::InvalidArgument("bad phi entry");
+        }
+        phi[x][idx] = v;
+      }
+    }
+    if (parent < 0) {
+      // Only the first node may be the root; a second parentless node
+      // would trip AddRoot's invariant, so reject it as input error.
+      if (id != 0) return Status::InvalidArgument("multiple root nodes");
+      tree.AddRoot(std::move(phi), weight);
+      tree.mutable_node(0).rho_background = rho_bg;
+    } else {
+      if (id == 0) return Status::InvalidArgument("first node must be root");
+      if (parent >= tree.num_nodes()) {
+        return Status::InvalidArgument("parent after child");
+      }
+      int new_id = tree.AddChild(parent, rho, std::move(phi), weight);
+      tree.mutable_node(new_id).rho_background = rho_bg;
+    }
+  }
+  if (expect_partial_trailer) {
+    std::string tag;
+    int flag = 0;
+    in >> tag >> flag;
+    if (!in || tag != "partial" || (flag != 0 && flag != 1)) {
+      return Status::InvalidArgument("bad partial trailer");
+    }
+    tree.set_partial(flag == 1);
+  }
+  return tree;
+}
 
 void AppendJsonEscaped(const std::string& s, std::string* out) {
   for (char c : s) {
@@ -79,7 +192,6 @@ std::string HierarchyToJson(const TopicHierarchy& tree, const NodeNamer& namer,
 std::string SerializeHierarchy(const TopicHierarchy& tree) {
   std::ostringstream out;
   out.precision(17);
-  out << "latent-hierarchy-v1\n";
   out << tree.num_types() << "\n";
   for (int x = 0; x < tree.num_types(); ++x) {
     out << tree.type_names()[x] << " " << tree.type_sizes()[x] << "\n";
@@ -102,61 +214,58 @@ std::string SerializeHierarchy(const TopicHierarchy& tree) {
       out << "\n";
     }
   }
-  return out.str();
+  out << "partial " << (tree.partial() ? 1 : 0) << "\n";
+
+  // v2 envelope: "<magic> <payload-bytes> <fnv1a-64-hex>\n<payload>". The
+  // exact byte length catches truncation (every strict prefix of a valid
+  // blob is invalid); the checksum catches corruption in place.
+  const std::string payload = out.str();
+  std::ostringstream framed;
+  framed << "latent-hierarchy-v2 " << payload.size() << " "
+         << HexU64(Fnv1a64(payload)) << "\n"
+         << payload;
+  return framed.str();
 }
 
 StatusOr<TopicHierarchy> DeserializeHierarchy(const std::string& data) {
+  if (data.find('\0') != std::string::npos) {
+    return Status::InvalidArgument("embedded NUL byte in serialized data");
+  }
+  constexpr char kMagicV2[] = "latent-hierarchy-v2";
+  constexpr char kMagicV1[] = "latent-hierarchy-v1";
   std::istringstream in(data);
   std::string magic;
   in >> magic;
-  if (magic != "latent-hierarchy-v1") {
+  if (magic == kMagicV1) {
+    // Legacy unframed format (no checksum, no partial trailer).
+    return ParseBody(in, /*expect_partial_trailer=*/false);
+  }
+  if (magic != kMagicV2) {
     return Status::InvalidArgument("bad magic: " + magic);
   }
-  int num_types = 0;
-  in >> num_types;
-  if (!in || num_types <= 0) {
-    return Status::InvalidArgument("bad type count");
-  }
-  std::vector<std::string> names(num_types);
-  std::vector<int> sizes(num_types);
-  for (int x = 0; x < num_types; ++x) in >> names[x] >> sizes[x];
-  int num_nodes = 0;
-  in >> num_nodes;
-  if (!in || num_nodes < 0) return Status::InvalidArgument("bad node count");
 
-  TopicHierarchy tree(names, sizes);
-  for (int id = 0; id < num_nodes; ++id) {
-    int parent;
-    double rho, rho_bg, weight;
-    in >> parent >> rho >> rho_bg >> weight;
-    if (!in) return Status::InvalidArgument("truncated node header");
-    std::vector<std::vector<double>> phi(num_types);
-    for (int x = 0; x < num_types; ++x) {
-      phi[x].assign(sizes[x], 0.0);
-      int nnz;
-      in >> nnz;
-      for (int e = 0; e < nnz; ++e) {
-        int idx;
-        double v;
-        in >> idx >> v;
-        if (!in || idx < 0 || idx >= sizes[x]) {
-          return Status::InvalidArgument("bad phi entry");
-        }
-        phi[x][idx] = v;
-      }
-    }
-    int new_id;
-    if (parent < 0) {
-      new_id = tree.AddRoot(std::move(phi), weight);
-    } else {
-      if (parent >= tree.num_nodes()) {
-        return Status::InvalidArgument("parent after child");
-      }
-      new_id = tree.AddChild(parent, rho, std::move(phi), weight);
-    }
-    tree.mutable_node(new_id).rho_background = rho_bg;
+  long long declared_bytes = -1;
+  std::string checksum_hex;
+  in >> declared_bytes >> checksum_hex;
+  if (!in || declared_bytes < 0) {
+    return Status::InvalidArgument("bad v2 header");
   }
-  return tree;
+  // The payload is everything after the header's newline; its length must
+  // match the declaration exactly.
+  const size_t nl = data.find('\n');
+  if (nl == std::string::npos) {
+    return Status::InvalidArgument("truncated v2 header");
+  }
+  const std::string payload = data.substr(nl + 1);
+  if (static_cast<long long>(payload.size()) != declared_bytes) {
+    return Status::InvalidArgument(
+        "payload length mismatch (truncated or padded data)");
+  }
+  if (HexU64(Fnv1a64(payload)) != checksum_hex) {
+    return Status::InvalidArgument("checksum mismatch (corrupt data)");
+  }
+  std::istringstream body(payload);
+  return ParseBody(body, /*expect_partial_trailer=*/true);
 }
 
 }  // namespace latent::core

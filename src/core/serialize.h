@@ -26,8 +26,18 @@ struct JsonOptions {
 std::string HierarchyToJson(const TopicHierarchy& tree, const NodeNamer& namer,
                             const JsonOptions& options = JsonOptions());
 
-/// Full-fidelity text round trip (phi vectors included).
+/// Full-fidelity text round trip (phi vectors included, partial() flag
+/// preserved). The output is a self-verifying v2 frame:
+/// "latent-hierarchy-v2 <payload-bytes> <fnv1a64-hex>\n<payload>" — the
+/// exact byte count rejects any truncation and the checksum rejects
+/// in-place corruption.
 std::string SerializeHierarchy(const TopicHierarchy& tree);
+
+/// Parses either a v2 frame or the legacy unframed v1 format. Hardened
+/// against untrusted input: truncated, corrupted, or absurdly-sized data
+/// (huge declared type/node/universe counts, nnz out of range, multiple
+/// roots, forward parent references) returns InvalidArgument without
+/// crashing or allocating more than the declared-and-capped sizes.
 StatusOr<TopicHierarchy> DeserializeHierarchy(const std::string& data);
 
 }  // namespace latent::core

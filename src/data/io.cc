@@ -1,26 +1,110 @@
 #include "data/io.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
+#include "common/failpoint.h"
+
 namespace latent::data {
+
+namespace {
+
+// Longest line accepted by the loaders; anything above this is far outside
+// any real dataset and almost certainly a corrupt or hostile file.
+constexpr size_t kMaxLineBytes = 1 << 20;
+
+// Per-line sanity shared by the text loaders. Returns an error naming the
+// line on an overlong line or an embedded NUL byte (text formats have no
+// legitimate NULs; their presence means binary garbage).
+Status CheckLine(const std::string& line, int line_no) {
+  if (line.size() > kMaxLineBytes) {
+    return Status::InvalidArgument(
+        "line " + std::to_string(line_no) + " exceeds " +
+        std::to_string(kMaxLineBytes) + " bytes");
+  }
+  if (line.find('\0') != std::string::npos) {
+    return Status::InvalidArgument("embedded NUL byte at line " +
+                                   std::to_string(line_no));
+  }
+  return Status::Ok();
+}
+
+// Strict base-10 integer parse: optional '-', then digits only, no
+// trailing junk, no overflow past int range. std::stoi would accept
+// "12abc" and leading whitespace, which a strict TSV loader should not.
+bool ParseIntStrict(const std::string& s, int* out) {
+  if (s.empty()) return false;
+  size_t pos = 0;
+  bool negative = false;
+  if (s[0] == '-') {
+    negative = true;
+    pos = 1;
+    if (s.size() == 1) return false;
+  }
+  long long value = 0;
+  for (; pos < s.size(); ++pos) {
+    if (s[pos] < '0' || s[pos] > '9') return false;
+    value = value * 10 + (s[pos] - '0');
+    if (value > 1LL << 33) return false;  // early out before overflow
+  }
+  if (negative) value = -value;
+  if (value < INT32_MIN || value > INT32_MAX) return false;
+  *out = static_cast<int>(value);
+  return true;
+}
+
+// fsync the directory containing `path` so the rename itself is durable.
+void SyncParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
 
 StatusOr<text::Corpus> LoadCorpusFromFile(
     const std::string& path, const text::TokenizeOptions& options) {
   std::ifstream in(path);
   if (!in) return Status::NotFound("cannot open corpus file: " + path);
+  LATENT_FAILPOINT("io.read",
+                   return Status::Internal("injected read failure (io.read): " +
+                                           path));
   text::Corpus corpus;
   std::string line;
+  int line_no = 0;
   while (std::getline(in, line)) {
+    ++line_no;
+    if (Status s = CheckLine(line, line_no); !s.ok()) return s;
     corpus.AddDocument(line, options);
+  }
+  if (in.bad()) {
+    return Status::Internal("read error in corpus file: " + path);
   }
   return corpus;
 }
 
 StatusOr<EntityAttachments> LoadEntityAttachments(const std::string& path,
                                                   int num_docs) {
+  if (num_docs < 0) {
+    return Status::InvalidArgument("num_docs must be >= 0");
+  }
   std::ifstream in(path);
   if (!in) return Status::NotFound("cannot open entity file: " + path);
+  LATENT_FAILPOINT("io.read",
+                   return Status::Internal("injected read failure (io.read): " +
+                                           path));
   EntityAttachments out;
   out.entity_docs.resize(num_docs);
   text::Vocabulary type_index;
@@ -28,6 +112,7 @@ StatusOr<EntityAttachments> LoadEntityAttachments(const std::string& path,
   int line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
+    if (Status s = CheckLine(line, line_no); !s.ok()) return s;
     if (line.empty() || line[0] == '#') continue;
     std::istringstream row(line);
     std::string doc_field, type_name, entity_name;
@@ -37,16 +122,19 @@ StatusOr<EntityAttachments> LoadEntityAttachments(const std::string& path,
       return Status::InvalidArgument("malformed TSV at line " +
                                      std::to_string(line_no));
     }
-    int doc = -1;
-    try {
-      doc = std::stoi(doc_field);
-    } catch (...) {
-      return Status::InvalidArgument("bad doc index at line " +
+    if (doc_field.empty() || type_name.empty() || entity_name.empty()) {
+      return Status::InvalidArgument("empty TSV field at line " +
                                      std::to_string(line_no));
     }
+    int doc = -1;
+    if (!ParseIntStrict(doc_field, &doc)) {
+      return Status::InvalidArgument("bad doc index '" + doc_field +
+                                     "' at line " + std::to_string(line_no));
+    }
     if (doc < 0 || doc >= num_docs) {
-      return Status::InvalidArgument("doc index out of range at line " +
-                                     std::to_string(line_no));
+      return Status::InvalidArgument(
+          "doc index " + std::to_string(doc) + " out of range [0, " +
+          std::to_string(num_docs) + ") at line " + std::to_string(line_no));
     }
     int type = type_index.Intern(type_name);
     if (type == static_cast<int>(out.type_names.size())) {
@@ -60,6 +148,9 @@ StatusOr<EntityAttachments> LoadEntityAttachments(const std::string& path,
     }
     out.entity_docs[doc].entities[type].push_back(entity);
   }
+  if (in.bad()) {
+    return Status::Internal("read error in entity file: " + path);
+  }
   // Equalize per-doc entity-type arity.
   for (hin::EntityDoc& ed : out.entity_docs) {
     ed.entities.resize(out.type_names.size());
@@ -68,18 +159,69 @@ StatusOr<EntityAttachments> LoadEntityAttachments(const std::string& path,
 }
 
 Status WriteFile(const std::string& path, const std::string& content) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return Status::NotFound("cannot open for writing: " + path);
-  out << content;
-  return out.good() ? Status::Ok()
-                    : Status::Internal("write failed: " + path);
+  // Crash-safe write: everything goes to a temp file that is fsync'd and
+  // atomically renamed over the destination, so a crash (or injected
+  // failure) at ANY point leaves either the old file or the new file,
+  // never a torn mix.
+  const std::string tmp = path + ".tmp";
+  LATENT_FAILPOINT("io.write.open",
+                   return Status::Internal(
+                       "injected open failure (io.write.open): " + tmp));
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::NotFound("cannot open for writing: " + tmp + " (" +
+                            std::strerror(errno) + ")");
+  }
+
+  // "Crash" mid-write: leave a half-written temp file behind and never
+  // rename, so the pre-existing destination stays intact.
+  bool truncate_midway = false;
+  LATENT_FAILPOINT("io.write.mid", truncate_midway = true);
+  const size_t to_write =
+      truncate_midway ? content.size() / 2 : content.size();
+
+  size_t written = 0;
+  while (written < to_write) {
+    ssize_t n = ::write(fd, content.data() + written, to_write - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      return Status::Internal("write failed: " + tmp + " (" + err + ")");
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (truncate_midway) {
+    ::close(fd);
+    return Status::Internal("injected mid-write crash (io.write.mid): " +
+                            tmp);
+  }
+  if (::fsync(fd) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("fsync failed: " + tmp + " (" + err + ")");
+  }
+  if (::close(fd) != 0) {
+    return Status::Internal("close failed: " + tmp + " (" +
+                            std::strerror(errno) + ")");
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Internal("rename failed: " + tmp + " -> " + path + " (" +
+                            std::strerror(errno) + ")");
+  }
+  SyncParentDir(path);
+  return Status::Ok();
 }
 
 StatusOr<std::string> ReadFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::NotFound("cannot open: " + path);
+  LATENT_FAILPOINT("io.read",
+                   return Status::Internal("injected read failure (io.read): " +
+                                           path));
   std::ostringstream ss;
   ss << in.rdbuf();
+  if (in.bad()) return Status::Internal("read error: " + path);
   return ss.str();
 }
 

@@ -15,7 +15,9 @@
 
 namespace latent::data {
 
-/// Reads a corpus from a text file with one document per line.
+/// Reads a corpus from a text file with one document per line. Rejects
+/// binary garbage (embedded NUL bytes) and absurdly long lines (> 1 MiB)
+/// with an InvalidArgument naming the line.
 StatusOr<text::Corpus> LoadCorpusFromFile(const std::string& path,
                                           const text::TokenizeOptions& options);
 
@@ -35,10 +37,16 @@ struct EntityAttachments {
   }
 };
 
+/// Malformed rows (missing or empty fields, non-numeric or out-of-range
+/// doc index, embedded NULs, overlong lines) yield InvalidArgument with
+/// the 1-based line number; the loader never crashes on bad input.
 StatusOr<EntityAttachments> LoadEntityAttachments(const std::string& path,
                                                   int num_docs);
 
-/// Writes `content` to `path` (overwrite).
+/// Writes `content` to `path` crash-safely: the data goes to `path + ".tmp"`,
+/// is fsync'd, and is atomically renamed over the destination (parent
+/// directory fsync'd too). An interrupted write leaves any pre-existing
+/// file at `path` fully intact.
 Status WriteFile(const std::string& path, const std::string& content);
 
 /// Reads a whole file.

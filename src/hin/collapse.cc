@@ -1,6 +1,8 @@
 #include "hin/collapse.h"
 
 #include <algorithm>
+#include <string>
+#include <utility>
 
 namespace latent::hin {
 
@@ -16,14 +18,50 @@ std::vector<int> UniqueWords(const text::Document& doc) {
 
 }  // namespace
 
-HeteroNetwork BuildCollapsedNetwork(
+StatusOr<HeteroNetwork> TryBuildCollapsedNetwork(
     const text::Corpus& corpus,
     const std::vector<std::string>& entity_type_names,
     const std::vector<int>& entity_type_sizes,
     const std::vector<EntityDoc>& entity_docs, const CollapseOptions& options) {
-  LATENT_CHECK_EQ(entity_type_names.size(), entity_type_sizes.size());
-  LATENT_CHECK(entity_docs.empty() ||
-               static_cast<int>(entity_docs.size()) == corpus.num_docs());
+  if (entity_type_names.size() != entity_type_sizes.size()) {
+    return Status::InvalidArgument(
+        "entity type name/size tables disagree: " +
+        std::to_string(entity_type_names.size()) + " names vs " +
+        std::to_string(entity_type_sizes.size()) + " sizes");
+  }
+  for (size_t t = 0; t < entity_type_sizes.size(); ++t) {
+    if (entity_type_sizes[t] < 0) {
+      return Status::InvalidArgument("negative universe size for entity type '" +
+                                     entity_type_names[t] + "'");
+    }
+  }
+  if (!entity_docs.empty() &&
+      static_cast<int>(entity_docs.size()) != corpus.num_docs()) {
+    return Status::InvalidArgument(
+        "entity_docs has " + std::to_string(entity_docs.size()) +
+        " entries but the corpus has " + std::to_string(corpus.num_docs()) +
+        " documents");
+  }
+  for (size_t d = 0; d < entity_docs.size(); ++d) {
+    const EntityDoc& ed = entity_docs[d];
+    if (ed.entities.size() > entity_type_names.size()) {
+      return Status::InvalidArgument(
+          "document " + std::to_string(d) + " attaches " +
+          std::to_string(ed.entities.size()) + " entity types but only " +
+          std::to_string(entity_type_names.size()) + " are declared");
+    }
+    for (size_t t = 0; t < ed.entities.size(); ++t) {
+      for (int e : ed.entities[t]) {
+        if (e < 0 || e >= entity_type_sizes[t]) {
+          return Status::InvalidArgument(
+              "document " + std::to_string(d) + ": entity id " +
+              std::to_string(e) + " out of range for type '" +
+              entity_type_names[t] + "' (size " +
+              std::to_string(entity_type_sizes[t]) + ")");
+        }
+      }
+    }
+  }
 
   std::vector<std::string> type_names = {"term"};
   std::vector<int> type_sizes = {corpus.vocab_size()};
@@ -67,8 +105,7 @@ HeteroNetwork BuildCollapsedNetwork(
     }
 
     if (entity_docs.empty()) continue;
-    const EntityDoc& ed = entity_docs[d];
-    LATENT_CHECK_LE(ed.entities.size(), static_cast<size_t>(num_entity_types));
+    const EntityDoc& ed = entity_docs[d];  // validated above
 
     if (options.term_entity) {
       for (size_t t = 0; t < ed.entities.size(); ++t) {
@@ -104,6 +141,17 @@ HeteroNetwork BuildCollapsedNetwork(
   // when every paper has exactly one venue) by zeroing is unnecessary: the
   // model handles empty link types gracefully, so we keep indices stable.
   return net;
+}
+
+HeteroNetwork BuildCollapsedNetwork(
+    const text::Corpus& corpus,
+    const std::vector<std::string>& entity_type_names,
+    const std::vector<int>& entity_type_sizes,
+    const std::vector<EntityDoc>& entity_docs, const CollapseOptions& options) {
+  StatusOr<HeteroNetwork> net = TryBuildCollapsedNetwork(
+      corpus, entity_type_names, entity_type_sizes, entity_docs, options);
+  LATENT_CHECK_MSG(net.ok(), net.status().message().c_str());
+  return std::move(net.value());
 }
 
 HeteroNetwork BuildTermCooccurrenceNetwork(const text::Corpus& corpus) {

@@ -33,6 +33,18 @@ struct CollapseOptions {
 /// describe the entity universes; `entity_docs` must be empty or have one
 /// entry per corpus document. The returned network has node type 0 = "term"
 /// with the corpus vocabulary as its universe.
+///
+/// Input validation (mismatched name/size tables, wrong entity_docs length,
+/// attachments for unknown entity types, entity ids outside their declared
+/// universe) yields InvalidArgument naming the offending document.
+StatusOr<HeteroNetwork> TryBuildCollapsedNetwork(
+    const text::Corpus& corpus,
+    const std::vector<std::string>& entity_type_names,
+    const std::vector<int>& entity_type_sizes,
+    const std::vector<EntityDoc>& entity_docs,
+    const CollapseOptions& options = CollapseOptions());
+
+/// CHECK-failing variant for pre-validated input (historical API).
 HeteroNetwork BuildCollapsedNetwork(
     const text::Corpus& corpus,
     const std::vector<std::string>& entity_type_names,

@@ -19,6 +19,17 @@ int HeteroNetwork::AddLinkType(int type_x, int type_y) {
   return static_cast<int>(link_types_.size()) - 1;
 }
 
+StatusOr<int> HeteroNetwork::TryAddLinkType(int type_x, int type_y) {
+  if (type_x > type_y) std::swap(type_x, type_y);
+  if (type_x < 0 || type_y >= num_types()) {
+    return Status::InvalidArgument(
+        "link type (" + std::to_string(type_x) + ", " +
+        std::to_string(type_y) + ") out of range for " +
+        std::to_string(num_types()) + " node types");
+  }
+  return AddLinkType(type_x, type_y);
+}
+
 int HeteroNetwork::FindLinkType(int type_x, int type_y) const {
   if (type_x > type_y) std::swap(type_x, type_y);
   for (size_t i = 0; i < link_types_.size(); ++i) {
@@ -39,6 +50,27 @@ void HeteroNetwork::AddLink(int lt, int i, int j, double weight) {
   LATENT_CHECK_LT(j, type_sizes_[t.type_y]);
   if (t.type_x == t.type_y && i > j) std::swap(i, j);
   t.links.push_back({i, j, weight});
+}
+
+Status HeteroNetwork::TryAddLink(int lt, int i, int j, double weight) {
+  if (lt < 0 || lt >= num_link_types()) {
+    return Status::InvalidArgument("unknown link type " + std::to_string(lt));
+  }
+  const LinkType& t = link_types_[lt];
+  if (i < 0 || i >= type_sizes_[t.type_x]) {
+    return Status::InvalidArgument(
+        "node id " + std::to_string(i) + " out of range for type '" +
+        type_names_[t.type_x] + "' (size " +
+        std::to_string(type_sizes_[t.type_x]) + ")");
+  }
+  if (j < 0 || j >= type_sizes_[t.type_y]) {
+    return Status::InvalidArgument(
+        "node id " + std::to_string(j) + " out of range for type '" +
+        type_names_[t.type_y] + "' (size " +
+        std::to_string(type_sizes_[t.type_y]) + ")");
+  }
+  AddLink(lt, i, j, weight);
+  return Status::Ok();
 }
 
 void HeteroNetwork::Coalesce() {

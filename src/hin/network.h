@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/status.h"
 
 namespace latent::hin {
 
@@ -55,7 +56,13 @@ class HeteroNetwork {
 
   /// Registers a link type (x <= y after normalization) and returns its
   /// index. Duplicate registrations return the existing index.
+  /// Precondition (CHECK): both type ids are in [0, num_types()); use
+  /// TryAddLinkType when the ids come from untrusted input.
   int AddLinkType(int type_x, int type_y);
+
+  /// Status-returning variant of AddLinkType for unvalidated input:
+  /// out-of-range type ids yield InvalidArgument instead of aborting.
+  StatusOr<int> TryAddLinkType(int type_x, int type_y);
 
   /// Finds the link-type index for (x, y) in either order, or -1.
   int FindLinkType(int type_x, int type_y) const;
@@ -63,7 +70,13 @@ class HeteroNetwork {
   /// Adds weight to the link (i, j) of link type `lt`. For same-type links
   /// the pair is canonicalized to i <= j. No per-pair dedup is performed;
   /// callers should aggregate, or call Coalesce() when done.
+  /// Precondition (CHECK): `lt` is a registered link type and i/j are in
+  /// range for its node types; use TryAddLink for untrusted input.
   void AddLink(int lt, int i, int j, double weight);
+
+  /// Status-returning variant of AddLink for unvalidated input: a bad link
+  /// type or out-of-range node id yields InvalidArgument, never an abort.
+  Status TryAddLink(int lt, int i, int j, double weight);
 
   /// Merges duplicate (i, j) entries within every link type.
   void Coalesce();

@@ -25,7 +25,8 @@ std::vector<int> SegmentEnds(const text::Document& doc) {
 
 PhraseDict MineFrequentPhrases(const text::Corpus& corpus,
                                const MinerOptions& options,
-                               exec::Executor* ex) {
+                               exec::Executor* ex,
+                               const run::RunContext* ctx) {
   PhraseDict dict;
   const int num_docs = corpus.num_docs();
 
@@ -78,6 +79,9 @@ PhraseDict MineFrequentPhrases(const text::Corpus& corpus,
   }
 
   for (int n = 2; n <= options.max_length && !live_docs.empty(); ++n) {
+    // Each completed level is a self-contained dictionary extension, so a
+    // stopped run simply keeps the phrases mined so far.
+    if (run::ShouldStop(ctx)) break;
     const long long num_live = static_cast<long long>(live_docs.size());
     // Count level-n candidates (i active and i+1 active at level n-1, and
     // the n-gram stays inside the segment), sharded over live documents

@@ -10,6 +10,7 @@
 #define LATENT_PHRASE_FREQUENT_MINER_H_
 
 #include "common/parallel.h"
+#include "common/run_context.h"
 #include "phrase/phrase_dict.h"
 #include "text/corpus.h"
 
@@ -31,9 +32,14 @@ struct MinerOptions {
 /// shard count maps merge in fixed order (integer counts, so the merge is
 /// exact) and n-grams of each length intern in lexicographic word order, so
 /// the dictionary — ids included — is identical for every thread count.
+///
+/// A non-null `ctx` is checked between length levels: when the run stops,
+/// mining ends after the last completed level, leaving a valid dictionary
+/// of shorter phrases (every level is self-contained).
 PhraseDict MineFrequentPhrases(const text::Corpus& corpus,
                                const MinerOptions& options,
-                               exec::Executor* ex = nullptr);
+                               exec::Executor* ex = nullptr,
+                               const run::RunContext* ctx = nullptr);
 
 }  // namespace latent::phrase
 

@@ -238,13 +238,16 @@ std::vector<Scored<int>> KertScorer::RankTopic(int node,
 }
 
 std::vector<std::vector<Scored<int>>> KertScorer::RankAllTopics(
-    const KertOptions& options, size_t top_k, exec::Executor* ex) const {
+    const KertOptions& options, size_t top_k, exec::Executor* ex,
+    const run::RunContext* ctx) const {
   std::vector<std::vector<Scored<int>>> ranked(hierarchy_->num_nodes());
   std::vector<int> topics;
   for (int node = 0; node < hierarchy_->num_nodes(); ++node) {
     if (node != hierarchy_->root()) topics.push_back(node);
   }
   auto rank_one = [&](int node) {
+    // A stopped run leaves this topic's entry empty rather than ranking.
+    if (run::ShouldStop(ctx)) return;
     ranked[node] = RankTopic(node, options, top_k);
   };
   if (ex != nullptr && ex->num_threads() > 1 && topics.size() > 1) {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/run_context.h"
 #include "common/top_k.h"
 #include "core/hierarchy.h"
 #include "phrase/phrase_dict.h"
@@ -78,9 +79,10 @@ class KertScorer {
   /// entry is empty). Topics rank as concurrent pool tasks when `ex` is
   /// non-null; each topic owns its output slot and per-topic scores do not
   /// depend on evaluation order, so the result matches the serial loop.
+  /// Topics skipped because `ctx` stopped the run keep empty entries.
   std::vector<std::vector<Scored<int>>> RankAllTopics(
-      const KertOptions& options, size_t top_k,
-      exec::Executor* ex = nullptr) const;
+      const KertOptions& options, size_t top_k, exec::Executor* ex = nullptr,
+      const run::RunContext* ctx = nullptr) const;
 
   /// Individual criteria (exposed for tests and ablation benches).
   double Popularity(int node, int phrase_id, double mu) const;

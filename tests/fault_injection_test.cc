@@ -1,0 +1,439 @@
+// Fault-injection tests: the fail-point registry itself, injected I/O and
+// EM failures (clean Status out, never a crash), crash-safe WriteFile
+// semantics, and the hardened serialized-hierarchy parser against
+// truncation, bit flips, and absurd declared sizes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "api/latent.h"
+#include "common/failpoint.h"
+#include "core/serialize.h"
+#include "data/io.h"
+#include "data/synthetic_hin.h"
+
+namespace latent {
+namespace {
+
+#if defined(LATENT_FAILPOINTS_ENABLED)
+constexpr bool kFailpointsCompiledIn = true;
+#else
+constexpr bool kFailpointsCompiledIn = false;
+#endif
+
+// Every test disarms all sites on the way out so an assertion failure in
+// one test cannot poison the rest of the binary.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!kFailpointsCompiledIn) {
+      GTEST_SKIP() << "built with -DLATENT_FAILPOINTS=OFF";
+    }
+    run::failpoint::DisarmAll();
+  }
+  void TearDown() override { run::failpoint::DisarmAll(); }
+};
+
+// ---------------------------------------------------------------------------
+// Registry semantics.
+// ---------------------------------------------------------------------------
+
+using RegistryTest = FailpointTest;
+
+TEST_F(RegistryTest, UnarmedSiteNeverFires) {
+  EXPECT_FALSE(run::failpoint::ShouldFail("registry.test"));
+  EXPECT_EQ(run::failpoint::HitCount("registry.test"), 0);
+}
+
+TEST_F(RegistryTest, CountAndSkipAreHonored) {
+  run::failpoint::Arm("registry.test", /*count=*/2, /*skip=*/1);
+  EXPECT_FALSE(run::failpoint::ShouldFail("registry.test"));  // skipped
+  EXPECT_TRUE(run::failpoint::ShouldFail("registry.test"));   // fires
+  EXPECT_TRUE(run::failpoint::ShouldFail("registry.test"));   // fires
+  EXPECT_FALSE(run::failpoint::ShouldFail("registry.test"));  // exhausted
+  EXPECT_EQ(run::failpoint::HitCount("registry.test"), 4);
+}
+
+TEST_F(RegistryTest, NegativeCountFiresForever) {
+  run::failpoint::Arm("registry.test");
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(run::failpoint::ShouldFail("registry.test"));
+  }
+}
+
+TEST_F(RegistryTest, DisarmStopsFiringAndResetsHits) {
+  run::failpoint::Arm("registry.test");
+  EXPECT_TRUE(run::failpoint::ShouldFail("registry.test"));
+  run::failpoint::Disarm("registry.test");
+  EXPECT_FALSE(run::failpoint::ShouldFail("registry.test"));
+  EXPECT_EQ(run::failpoint::HitCount("registry.test"), 0);
+}
+
+TEST_F(RegistryTest, RearmingResetsCounters) {
+  run::failpoint::Arm("registry.test", /*count=*/1);
+  EXPECT_TRUE(run::failpoint::ShouldFail("registry.test"));
+  EXPECT_FALSE(run::failpoint::ShouldFail("registry.test"));
+  run::failpoint::Arm("registry.test", /*count=*/1);
+  EXPECT_TRUE(run::failpoint::ShouldFail("registry.test"));
+}
+
+// ---------------------------------------------------------------------------
+// Injected I/O failures.
+// ---------------------------------------------------------------------------
+
+using IoFaultTest = FailpointTest;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST_F(IoFaultTest, InjectedReadFailureIsACleanStatusAndRecovers) {
+  const std::string path = TempPath("fault_corpus.txt");
+  ASSERT_TRUE(data::WriteFile(path, "alpha beta\ngamma delta\n").ok());
+
+  run::failpoint::Arm("io.read", /*count=*/1);
+  text::TokenizeOptions topt;
+  auto failed = data::LoadCorpusFromFile(path, topt);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kInternal);
+  EXPECT_NE(failed.status().message().find("io.read"), std::string::npos);
+
+  // count=1 is spent: the retry succeeds without touching the registry.
+  auto retried = data::LoadCorpusFromFile(path, topt);
+  ASSERT_TRUE(retried.ok()) << retried.status().message();
+  EXPECT_EQ(retried.value().num_docs(), 2);
+}
+
+TEST_F(IoFaultTest, MidWriteCrashLeavesExistingFileIntact) {
+  const std::string path = TempPath("fault_write.txt");
+  ASSERT_TRUE(data::WriteFile(path, "original contents\n").ok());
+
+  run::failpoint::Arm("io.write.mid", /*count=*/1);
+  const std::string replacement(4096, 'x');
+  Status s = data::WriteFile(path, replacement);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("io.write.mid"), std::string::npos);
+
+  // The destination still holds the OLD bytes: the torn write only ever
+  // touched the temp file, which was never renamed into place.
+  auto after = data::ReadFile(path);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value(), "original contents\n");
+
+  // And a clean retry replaces it atomically.
+  ASSERT_TRUE(data::WriteFile(path, replacement).ok());
+  auto replaced = data::ReadFile(path);
+  ASSERT_TRUE(replaced.ok());
+  EXPECT_EQ(replaced.value(), replacement);
+}
+
+TEST_F(IoFaultTest, OpenFailureCreatesNothing) {
+  const std::string path = TempPath("fault_never_created.txt");
+  std::remove(path.c_str());
+  run::failpoint::Arm("io.write.open", /*count=*/1);
+  Status s = data::WriteFile(path, "should never land");
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(data::ReadFile(path).ok());  // no file appeared
+}
+
+// ---------------------------------------------------------------------------
+// Injected EM divergence: one poisoned iteration is absorbed by the
+// seed-bumped retry; a permanently poisoned EM surfaces as kInternal.
+// ---------------------------------------------------------------------------
+
+data::HinDataset SmallDs() {
+  data::HinDatasetOptions opt = data::DblpLikeOptions(800, 55);
+  opt.num_areas = 3;
+  opt.subareas_per_area = 2;
+  return data::GenerateHinDataset(opt);
+}
+
+api::PipelineOptions SmallOptions() {
+  api::PipelineOptions opt;
+  opt.build.levels_k = {3, 2};
+  opt.build.max_depth = 2;
+  opt.build.cluster.restarts = 2;
+  opt.build.cluster.max_iters = 50;
+  opt.build.cluster.seed = 7;
+  opt.miner.min_support = 4;
+  return opt;
+}
+
+using EmFaultTest = FailpointTest;
+
+TEST_F(EmFaultTest, SingleNanInjectionRecoversViaSeedRetry) {
+  data::HinDataset ds = SmallDs();
+  run::failpoint::Arm("em.nan", /*count=*/1);
+  api::PipelineInput input(
+      ds.corpus, api::EntitySchema(ds.entity_type_names, ds.entity_type_sizes),
+      ds.entity_docs);
+  StatusOr<api::MinedHierarchy> result = api::Mine(input, SmallOptions());
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_GT(run::failpoint::HitCount("em.nan"), 0);  // it really fired
+  EXPECT_FALSE(result.value().partial());
+  EXPECT_EQ(result.value().tree().node(0).children.size(), 3u);
+}
+
+TEST_F(EmFaultTest, PersistentNanSurfacesAsInternalError) {
+  data::HinDataset ds = SmallDs();
+  run::failpoint::Arm("em.nan");  // every EM run diverges, retries included
+  api::PipelineInput input(
+      ds.corpus, api::EntitySchema(ds.entity_type_names, ds.entity_type_sizes),
+      ds.entity_docs);
+  StatusOr<api::MinedHierarchy> result = api::Mine(input, SmallOptions());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_NE(result.status().message().find("diverged"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Serialized-hierarchy hardening.
+// ---------------------------------------------------------------------------
+
+core::TopicHierarchy SmallTree() {
+  core::TopicHierarchy tree({"term", "author"}, {3, 2});
+  tree.AddRoot({{0.5, 0.3, 0.2}, {0.6, 0.4}}, 10.0);
+  int c1 = tree.AddChild(0, 0.7, {{1.0, 0.0, 0.0}, {1.0, 0.0}}, 7.0);
+  tree.AddChild(0, 0.3, {{0.0, 0.5, 0.5}, {0.0, 1.0}}, 3.0);
+  tree.AddChild(c1, 1.0, {{1.0, 0.0, 0.0}, {1.0, 0.0}}, 2.0);
+  tree.mutable_node(c1).rho_background = 0.1;
+  return tree;
+}
+
+// Mirrors the on-disk v2 envelope so tests can frame hand-crafted payloads
+// with a VALID length and checksum — proving the body validation itself
+// rejects them, not just the framing.
+uint64_t TestFnv1a64(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string FrameV2(const std::string& payload) {
+  char hex[20];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(TestFnv1a64(payload)));
+  return "latent-hierarchy-v2 " + std::to_string(payload.size()) + " " + hex +
+         "\n" + payload;
+}
+
+TEST(SerializeHardeningTest, RoundTripPreservesPartialFlag) {
+  core::TopicHierarchy tree = SmallTree();
+  tree.set_partial(true);
+  auto restored = core::DeserializeHierarchy(core::SerializeHierarchy(tree));
+  ASSERT_TRUE(restored.ok()) << restored.status().message();
+  EXPECT_TRUE(restored.value().partial());
+  EXPECT_EQ(restored.value().num_nodes(), tree.num_nodes());
+
+  tree.set_partial(false);
+  auto complete = core::DeserializeHierarchy(core::SerializeHierarchy(tree));
+  ASSERT_TRUE(complete.ok());
+  EXPECT_FALSE(complete.value().partial());
+}
+
+TEST(SerializeHardeningTest, EveryTruncationIsRejected) {
+  const std::string blob = core::SerializeHierarchy(SmallTree());
+  ASSERT_TRUE(core::DeserializeHierarchy(blob).ok());
+  // Every strict prefix — cutting inside the header, at any field
+  // boundary, or mid-number — must fail cleanly: the declared byte length
+  // never matches a shortened payload.
+  for (size_t len = 0; len < blob.size(); ++len) {
+    EXPECT_FALSE(core::DeserializeHierarchy(blob.substr(0, len)).ok())
+        << "prefix of length " << len << " was accepted";
+  }
+}
+
+TEST(SerializeHardeningTest, EveryByteFlipIsRejected) {
+  const std::string blob = core::SerializeHierarchy(SmallTree());
+  for (size_t i = 0; i < blob.size(); ++i) {
+    std::string corrupt = blob;
+    corrupt[i] ^= 0x01;
+    EXPECT_FALSE(core::DeserializeHierarchy(corrupt).ok())
+        << "flip at byte " << i << " was accepted";
+  }
+}
+
+TEST(SerializeHardeningTest, AbsurdDeclaredSizesAreRejectedUpFront) {
+  auto expect_invalid = [](const std::string& payload, const char* what) {
+    auto r = core::DeserializeHierarchy(FrameV2(payload));
+    EXPECT_FALSE(r.ok()) << what;
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << what;
+    }
+  };
+  // Huge type count (over the 2^16 cap).
+  expect_invalid("999999999\n", "type count");
+  // One type whose declared universe exceeds the 2^28 cap.
+  expect_invalid("1\nterm 999999999\n0\npartial 0\n", "universe size");
+  // Negative universe size.
+  expect_invalid("1\nterm -5\n0\npartial 0\n", "negative size");
+  // Huge node count.
+  expect_invalid("1\nterm 3\n999999999\npartial 0\n", "node count");
+  // nodes x universe over the total-phi cap even though each is in range.
+  expect_invalid("1\nterm 100000000\n100\npartial 0\n", "total phi");
+  // Negative / oversized phi nnz counts.
+  expect_invalid("1\nterm 3\n1\n-1 0.5 0.0 1.0\n-2\npartial 0\n",
+                 "negative nnz");
+  expect_invalid("1\nterm 3\n1\n-1 0.5 0.0 1.0\n7 0 1.0\npartial 0\n",
+                 "nnz over size");
+  // Phi index outside the declared universe.
+  expect_invalid("1\nterm 3\n1\n-1 0.5 0.0 1.0\n1 9 1.0\npartial 0\n",
+                 "phi index");
+  // Two parentless nodes (a second root).
+  expect_invalid(
+      "1\nterm 2\n2\n-1 0.5 0.0 1.0\n0\n-1 0.5 0.0 1.0\n0\npartial 0\n",
+      "multiple roots");
+  // First node is not the root.
+  expect_invalid("1\nterm 2\n1\n0 0.5 0.0 1.0\n0\npartial 0\n",
+                 "first node not root");
+  // Parent id referencing a node that does not exist yet.
+  expect_invalid(
+      "1\nterm 2\n2\n-1 0.5 0.0 1.0\n0\n5 0.5 0.0 1.0\n0\npartial 0\n",
+      "forward parent");
+  // Garbage / missing partial trailer.
+  expect_invalid("1\nterm 2\n1\n-1 0.5 0.0 1.0\n0\n", "missing trailer");
+  expect_invalid("1\nterm 2\n1\n-1 0.5 0.0 1.0\n0\npartial 7\n",
+                 "bad trailer flag");
+}
+
+TEST(SerializeHardeningTest, EmbeddedNulAndBadMagicAreRejected) {
+  EXPECT_FALSE(core::DeserializeHierarchy("garbage").ok());
+  EXPECT_FALSE(core::DeserializeHierarchy("").ok());
+  std::string with_nul = core::SerializeHierarchy(SmallTree());
+  with_nul[with_nul.size() / 2] = '\0';
+  EXPECT_FALSE(core::DeserializeHierarchy(with_nul).ok());
+}
+
+TEST(SerializeHardeningTest, LegacyV1BlobStillParses) {
+  // v1 = the bare body with no envelope and no partial trailer.
+  core::TopicHierarchy tree = SmallTree();
+  std::string v2 = core::SerializeHierarchy(tree);
+  std::string payload = v2.substr(v2.find('\n') + 1);
+  const std::string trailer = "partial 0\n";
+  ASSERT_EQ(payload.substr(payload.size() - trailer.size()), trailer);
+  payload.resize(payload.size() - trailer.size());
+  auto restored =
+      core::DeserializeHierarchy("latent-hierarchy-v1\n" + payload);
+  ASSERT_TRUE(restored.ok()) << restored.status().message();
+  EXPECT_EQ(restored.value().num_nodes(), tree.num_nodes());
+  EXPECT_FALSE(restored.value().partial());
+}
+
+using DeserializeFaultTest = FailpointTest;
+
+TEST_F(DeserializeFaultTest, InjectedAllocationFailureIsResourceExhausted) {
+  const std::string blob = core::SerializeHierarchy(SmallTree());
+  run::failpoint::Arm("deserialize.alloc", /*count=*/1);
+  auto r = core::DeserializeHierarchy(blob);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  // And the very next parse works.
+  EXPECT_TRUE(core::DeserializeHierarchy(blob).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Loader hardening: malformed real-world input files.
+// ---------------------------------------------------------------------------
+
+class LoaderHardeningTest : public ::testing::Test {
+ protected:
+  std::string WriteTemp(const std::string& name, const std::string& content) {
+    const std::string path = TempPath(name);
+    EXPECT_TRUE(data::WriteFile(path, content).ok());
+    return path;
+  }
+};
+
+TEST_F(LoaderHardeningTest, ValidTsvLoadsAndSkipsComments) {
+  const std::string path = WriteTemp(
+      "loader_ok.tsv",
+      "# comment line\n0\tauthor\tknuth\n1\tauthor\tlamport\n"
+      "1\tvenue\tsigmod\n");
+  auto loaded = data::LoadEntityAttachments(path, 2);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_EQ(loaded.value().type_names.size(), 2u);
+  EXPECT_EQ(loaded.value().entity_docs.size(), 2u);
+}
+
+TEST_F(LoaderHardeningTest, MissingFieldNamesTheLine) {
+  const std::string path =
+      WriteTemp("loader_missing.tsv", "0\tauthor\tknuth\n1\tauthor\n");
+  auto loaded = data::LoadEntityAttachments(path, 2);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("line 2"), std::string::npos);
+}
+
+TEST_F(LoaderHardeningTest, EmptyFieldIsRejected) {
+  const std::string path =
+      WriteTemp("loader_empty.tsv", "0\t\tknuth\n");
+  auto loaded = data::LoadEntityAttachments(path, 2);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("line 1"), std::string::npos);
+}
+
+TEST_F(LoaderHardeningTest, NonNumericDocIndexIsRejected) {
+  const std::string path =
+      WriteTemp("loader_nonnum.tsv", "12abc\tauthor\tknuth\n");
+  auto loaded = data::LoadEntityAttachments(path, 2);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("12abc"), std::string::npos);
+  EXPECT_NE(loaded.status().message().find("line 1"), std::string::npos);
+}
+
+TEST_F(LoaderHardeningTest, OutOfRangeDocIndexIsRejected) {
+  const std::string path = WriteTemp(
+      "loader_range.tsv", "0\tauthor\tknuth\n7\tauthor\tlamport\n");
+  auto loaded = data::LoadEntityAttachments(path, 2);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("out of range"), std::string::npos);
+  EXPECT_NE(loaded.status().message().find("line 2"), std::string::npos);
+
+  const std::string neg =
+      WriteTemp("loader_negative.tsv", "-3\tauthor\tknuth\n");
+  EXPECT_FALSE(data::LoadEntityAttachments(neg, 2).ok());
+}
+
+TEST_F(LoaderHardeningTest, HugeDocIndexDoesNotOverflow) {
+  const std::string path = WriteTemp(
+      "loader_huge.tsv", "99999999999999999999\tauthor\tknuth\n");
+  auto loaded = data::LoadEntityAttachments(path, 2);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(LoaderHardeningTest, EmbeddedNulByteIsRejectedWithLineNumber) {
+  std::string content = "0\tauthor\tknuth\n1\tauthor\tla";
+  content.push_back('\0');
+  content += "mport\n";
+  const std::string path = WriteTemp("loader_nul.tsv", content);
+  auto loaded = data::LoadEntityAttachments(path, 2);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("NUL"), std::string::npos);
+  EXPECT_NE(loaded.status().message().find("line 2"), std::string::npos);
+
+  const std::string corpus_path = WriteTemp("corpus_nul.txt", content);
+  text::TokenizeOptions topt;
+  EXPECT_FALSE(data::LoadCorpusFromFile(corpus_path, topt).ok());
+}
+
+TEST_F(LoaderHardeningTest, OverlongLineIsRejected) {
+  std::string content = "short line\n";
+  content += std::string((1 << 20) + 1, 'a');
+  content += "\n";
+  const std::string path = WriteTemp("corpus_long.txt", content);
+  text::TokenizeOptions topt;
+  auto loaded = data::LoadCorpusFromFile(path, topt);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("line 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace latent

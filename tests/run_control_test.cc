@@ -1,0 +1,331 @@
+// Tests for the run-control layer (src/common/run_context): deadlines,
+// cooperative cancellation, work budgets, task dropping in the execution
+// layer, and the api::Mine() partial-result contract under bounded runs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "api/latent.h"
+#include "common/parallel.h"
+#include "common/run_context.h"
+#include "data/synthetic_hin.h"
+
+namespace latent {
+namespace {
+
+using std::chrono::duration_cast;
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+// ---------------------------------------------------------------------------
+// RunContext unit tests.
+// ---------------------------------------------------------------------------
+
+TEST(RunContextTest, UnconstrainedContextNeverStops) {
+  run::RunContext ctx;
+  EXPECT_FALSE(ctx.ShouldStop());
+  EXPECT_TRUE(ctx.Check().ok());
+  EXPECT_TRUE(ctx.ChargeWork(1000000));
+  EXPECT_FALSE(ctx.ShouldStop());
+}
+
+TEST(RunContextTest, NullContextHelpersAreUnbounded) {
+  EXPECT_FALSE(run::ShouldStop(nullptr));
+  EXPECT_TRUE(run::CheckRun(nullptr).ok());
+}
+
+TEST(RunContextTest, ExpiredDeadlineStopsWithDeadlineExceeded) {
+  run::RunContext ctx;
+  ctx.SetDeadlineAfterMs(0);  // already expired
+  EXPECT_TRUE(ctx.ShouldStop());
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(RunContextTest, FutureDeadlineDoesNotStopYet) {
+  run::RunContext ctx;
+  ctx.SetDeadlineAfterMs(60'000);
+  EXPECT_FALSE(ctx.ShouldStop());
+  EXPECT_TRUE(ctx.Check().ok());
+}
+
+TEST(RunContextTest, CancelTokenStopsWithCancelled) {
+  auto token = std::make_shared<run::CancelToken>();
+  run::RunContext ctx;
+  ctx.set_cancel_token(token);
+  EXPECT_FALSE(ctx.ShouldStop());
+  token->Cancel();
+  EXPECT_TRUE(ctx.ShouldStop());
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(RunContextTest, WorkBudgetExhaustsWithResourceExhausted) {
+  run::RunContext ctx;
+  ctx.set_work_budget(3);
+  EXPECT_TRUE(ctx.ChargeWork());  // 1
+  EXPECT_TRUE(ctx.ChargeWork());  // 2
+  EXPECT_TRUE(ctx.ChargeWork());  // 3 — still within budget
+  EXPECT_FALSE(ctx.ShouldStop());
+  EXPECT_FALSE(ctx.ChargeWork());  // 4 — over
+  EXPECT_TRUE(ctx.ShouldStop());
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(RunContextTest, CancellationWinsOverBudgetAndDeadline) {
+  auto token = std::make_shared<run::CancelToken>();
+  token->Cancel();
+  run::RunContext ctx;
+  ctx.set_cancel_token(token);
+  ctx.SetDeadlineAfterMs(0);
+  ctx.set_work_budget(1);
+  ctx.ChargeWork(5);
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(RunContextTest, BudgetWinsOverDeadline) {
+  run::RunContext ctx;
+  ctx.SetDeadlineAfterMs(0);
+  ctx.set_work_budget(1);
+  ctx.ChargeWork(5);
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kResourceExhausted);
+}
+
+// ---------------------------------------------------------------------------
+// Executor: queued-but-unstarted tasks are dropped once the attached
+// context stops.
+// ---------------------------------------------------------------------------
+
+TEST(ExecutorDropTest, PreStoppedContextDropsEveryPoolTask) {
+  exec::ExecOptions opt;
+  opt.num_threads = 4;
+  exec::Executor ex(opt);
+  auto token = std::make_shared<run::CancelToken>();
+  run::RunContext ctx;
+  ctx.set_cancel_token(token);
+  token->Cancel();
+  ex.set_run_context(&ctx);
+
+  std::atomic<int> ran{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 64; ++i) {
+    tasks.push_back([&ran] { ran.fetch_add(1); });
+  }
+  ex.RunTasks(std::move(tasks));  // must return promptly, running nothing
+  EXPECT_EQ(ran.load(), 0);
+  EXPECT_TRUE(ex.Stopped());
+}
+
+TEST(ExecutorDropTest, EarlyCancelDropsMostOfALongQueue) {
+  exec::ExecOptions opt;
+  opt.num_threads = 4;
+  exec::Executor ex(opt);
+  auto token = std::make_shared<run::CancelToken>();
+  run::RunContext ctx;
+  ctx.set_cancel_token(token);
+  ex.set_run_context(&ctx);
+
+  constexpr int kTasks = 400;
+  std::atomic<int> ran{0};
+  std::vector<std::function<void()>> tasks;
+  // The first task trips the token; every task takes ~1ms, so with 4
+  // threads only a handful can start before the cancellation is visible
+  // and the rest of the queue is dropped.
+  tasks.push_back([&] {
+    token->Cancel();
+    ran.fetch_add(1);
+  });
+  for (int i = 1; i < kTasks; ++i) {
+    tasks.push_back([&ran] {
+      std::this_thread::sleep_for(milliseconds(1));
+      ran.fetch_add(1);
+    });
+  }
+  ex.RunTasks(std::move(tasks));
+  EXPECT_GE(ran.load(), 1);
+  EXPECT_LT(ran.load(), kTasks / 2) << "queue was not dropped after cancel";
+}
+
+TEST(ExecutorDropTest, InlinePathDropsRemainingTasksAfterCancel) {
+  exec::ExecOptions opt;
+  opt.num_threads = 1;  // serial: tasks run inline in order
+  exec::Executor ex(opt);
+  auto token = std::make_shared<run::CancelToken>();
+  run::RunContext ctx;
+  ctx.set_cancel_token(token);
+  ex.set_run_context(&ctx);
+
+  int ran = 0;
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 10; ++i) {
+    tasks.push_back([&, i] {
+      ++ran;
+      if (i == 2) token->Cancel();
+    });
+  }
+  ex.RunTasks(std::move(tasks));
+  EXPECT_EQ(ran, 3);  // tasks 0..2 ran; 3..9 were dropped
+}
+
+TEST(ExecutorDropTest, DetachingTheContextRestoresNormalExecution) {
+  exec::ExecOptions opt;
+  opt.num_threads = 2;
+  exec::Executor ex(opt);
+  auto token = std::make_shared<run::CancelToken>();
+  token->Cancel();
+  run::RunContext ctx;
+  ctx.set_cancel_token(token);
+  ex.set_run_context(&ctx);
+  EXPECT_TRUE(ex.Stopped());
+
+  ex.set_run_context(nullptr);
+  EXPECT_FALSE(ex.Stopped());
+  std::atomic<int> ran{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 16; ++i) tasks.push_back([&ran] { ran.fetch_add(1); });
+  ex.RunTasks(std::move(tasks));
+  EXPECT_EQ(ran.load(), 16);
+}
+
+// ---------------------------------------------------------------------------
+// api::Mine under run control.
+// ---------------------------------------------------------------------------
+
+data::HinDataset SmallDs() {
+  data::HinDatasetOptions opt = data::DblpLikeOptions(800, 55);
+  opt.num_areas = 3;
+  opt.subareas_per_area = 2;
+  return data::GenerateHinDataset(opt);
+}
+
+api::PipelineInput InputOf(const data::HinDataset& ds) {
+  return api::PipelineInput(
+      ds.corpus,
+      api::EntitySchema(ds.entity_type_names, ds.entity_type_sizes),
+      ds.entity_docs);
+}
+
+api::PipelineOptions QuickOptions() {
+  api::PipelineOptions opt;
+  opt.build.levels_k = {3, 2};
+  opt.build.max_depth = 2;
+  opt.build.cluster.restarts = 2;
+  opt.build.cluster.max_iters = 50;
+  opt.build.cluster.seed = 7;
+  opt.miner.min_support = 4;
+  return opt;
+}
+
+// Deliberately expensive EM settings so a bounded run reliably has work
+// left to cut when the deadline / budget trips.
+api::PipelineOptions HeavyOptions() {
+  api::PipelineOptions opt = QuickOptions();
+  opt.build.cluster.restarts = 6;
+  opt.build.cluster.max_iters = 5000;
+  opt.build.cluster.tol = 0.0;  // never converge early
+  return opt;
+}
+
+TEST(ApiRunControlTest, ShortDeadlineReturnsPromptly) {
+  data::HinDataset ds = SmallDs();
+  api::PipelineOptions opt = HeavyOptions();
+  opt.deadline_ms = 100;
+
+  const auto t0 = steady_clock::now();
+  StatusOr<api::MinedHierarchy> result = api::Mine(InputOf(ds), opt);
+  const long long elapsed_ms =
+      duration_cast<milliseconds>(steady_clock::now() - t0).count();
+
+  // Polling happens at EM-iteration granularity, so the call must come
+  // back within a small multiple of the deadline (generous bound for
+  // loaded CI machines), either as a usable partial result or as a clean
+  // deadline error — never hang until full convergence.
+  EXPECT_LT(elapsed_ms, 2000) << "deadline was not honored";
+  if (result.ok()) {
+    EXPECT_TRUE(result.value().partial());
+    EXPECT_GE(result.value().tree().num_nodes(), 1);
+  } else {
+    EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  }
+}
+
+TEST(ApiRunControlTest, PreCancelledTokenReturnsCancelled) {
+  data::HinDataset ds = SmallDs();
+  auto token = std::make_shared<run::CancelToken>();
+  token->Cancel();
+  api::PipelineOptions opt = QuickOptions();
+  opt.cancel = token;
+  StatusOr<api::MinedHierarchy> result = api::Mine(InputOf(ds), opt);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+TEST(ApiRunControlTest, CancelFromAnotherThreadStopsTheRun) {
+  data::HinDataset ds = SmallDs();
+  auto token = std::make_shared<run::CancelToken>();
+  api::PipelineOptions opt = HeavyOptions();
+  opt.cancel = token;
+
+  std::thread canceller([&token] {
+    std::this_thread::sleep_for(milliseconds(30));
+    token->Cancel();
+  });
+  const auto t0 = steady_clock::now();
+  StatusOr<api::MinedHierarchy> result = api::Mine(InputOf(ds), opt);
+  const long long elapsed_ms =
+      duration_cast<milliseconds>(steady_clock::now() - t0).count();
+  canceller.join();
+
+  EXPECT_LT(elapsed_ms, 2000) << "cancellation was not honored";
+  if (result.ok()) {
+    EXPECT_TRUE(result.value().partial());
+  } else {
+    EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  }
+}
+
+TEST(ApiRunControlTest, TinyWorkBudgetYieldsPartialOrExhausted) {
+  data::HinDataset ds = SmallDs();
+  api::PipelineOptions opt = HeavyOptions();
+  opt.work_budget = 5;  // five EM iterations total — far too few
+  StatusOr<api::MinedHierarchy> result = api::Mine(InputOf(ds), opt);
+  if (result.ok()) {
+    EXPECT_TRUE(result.value().partial());
+  } else {
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  }
+}
+
+TEST(ApiRunControlTest, GenerousDeadlineCompletesWithoutPartial) {
+  data::HinDataset ds = SmallDs();
+  api::PipelineOptions plain = QuickOptions();
+  api::PipelineOptions bounded = QuickOptions();
+  bounded.deadline_ms = 600'000;
+
+  StatusOr<api::MinedHierarchy> a = api::Mine(InputOf(ds), plain);
+  StatusOr<api::MinedHierarchy> b = api::Mine(InputOf(ds), bounded);
+  ASSERT_TRUE(a.ok()) << a.status().message();
+  ASSERT_TRUE(b.ok()) << b.status().message();
+  EXPECT_FALSE(a.value().partial());
+  EXPECT_FALSE(b.value().partial());
+
+  // A deadline that never trips must not perturb the result: the rendered
+  // trees of the bounded and unbounded runs are identical.
+  phrase::KertOptions kopt;
+  EXPECT_EQ(a.value().RenderTree(kopt, 5), b.value().RenderTree(kopt, 5));
+}
+
+TEST(ApiRunControlTest, NegativeRunControlKnobsAreRejected) {
+  api::PipelineOptions opt;
+  opt.deadline_ms = -1;
+  EXPECT_EQ(opt.Validate().code(), StatusCode::kInvalidArgument);
+  opt = api::PipelineOptions();
+  opt.work_budget = -5;
+  EXPECT_EQ(opt.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace latent

@@ -40,10 +40,12 @@ int Usage() {
       stderr,
       "usage: latent_mine --corpus FILE [--entities FILE] [--levels 6,4]\n"
       "                   [--min-support N] [--seed N] [--threads N]\n"
-      "                   [--json FILE] [--save FILE] [--stem]\n"
-      "                   [--equal-weights]\n"
+      "                   [--timeout-s N] [--json FILE] [--save FILE]\n"
+      "                   [--stem] [--equal-weights]\n"
       "  --threads N   worker threads (0 = all cores, 1 = serial; results\n"
-      "                are identical either way)\n");
+      "                are identical either way)\n"
+      "  --timeout-s N stop mining after ~N seconds and print whatever\n"
+      "                fully-converged partial hierarchy was reached\n");
   return 2;
 }
 
@@ -56,6 +58,7 @@ int main(int argc, char** argv) {
   long long min_support = 5;
   uint64_t seed = 42;
   int num_threads = 0;
+  long long timeout_s = 0;
   bool stem = false;
   bool learn_weights = true;
 
@@ -76,6 +79,8 @@ int main(int argc, char** argv) {
       if (const char* v = next()) seed = std::strtoull(v, nullptr, 10);
     } else if (arg == "--threads") {
       if (const char* v = next()) num_threads = std::atoi(v);
+    } else if (arg == "--timeout-s") {
+      if (const char* v = next()) timeout_s = std::atoll(v);
     } else if (arg == "--json") {
       if (const char* v = next()) json_path = v;
     } else if (arg == "--save") {
@@ -128,6 +133,7 @@ int main(int argc, char** argv) {
   opt.build.cluster.seed = seed;
   opt.miner.min_support = min_support;
   opt.exec.num_threads = num_threads;
+  if (timeout_s > 0) opt.deadline_ms = timeout_s * 1000;
   api::PipelineInput input(
       corpus, api::EntitySchema(type_names, type_sizes), entity_docs);
   StatusOr<api::MinedHierarchy> result = api::Mine(input, opt);
@@ -136,6 +142,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   const api::MinedHierarchy& mined = result.value();
+  if (mined.partial()) {
+    std::fprintf(stderr,
+                 "warning: deadline hit; printing the partial hierarchy "
+                 "(deepest fully-converged frontier)\n");
+  }
 
   phrase::KertOptions kopt;
   std::printf("%s", mined.RenderTree(kopt, 5).c_str());
