@@ -7,15 +7,23 @@
 // Paper shape to reproduce: STROD's error decreases with sample size with a
 // theoretical guarantee and ZERO run-to-run variance given the data (it is
 // deterministic up to seeded probes); Gibbs error varies across chains.
+//
+// Also measures the run-control robustness layer itself: wall-clock
+// overhead of hierarchy-build checkpointing at several snapshot cadences,
+// and resume-from-checkpoint speedup over mining from scratch.
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "api/latent.h"
 #include "baselines/lda_gibbs.h"
 #include "bench_util.h"
 #include "common/math_util.h"
 #include "data/lda_gen.h"
+#include "data/synthetic_hin.h"
 #include "strod/strod.h"
 
 namespace latent {
@@ -31,6 +39,80 @@ data::LdaDataset MakeData(int docs, uint64_t seed) {
   gopt.topic_sparsity = 0.05;
   gopt.seed = seed;
   return data::GenerateLdaDataset(gopt);
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// One full pipeline run; returns wall-clock seconds.
+double TimedMine(const data::HinDataset& ds, const api::PipelineOptions& opt) {
+  api::PipelineInput input(
+      ds.corpus, api::EntitySchema(ds.entity_type_names, ds.entity_type_sizes),
+      ds.entity_docs);
+  auto t0 = std::chrono::steady_clock::now();
+  StatusOr<api::MinedHierarchy> r = api::Mine(input, opt);
+  double secs = SecondsSince(t0);
+  if (!r.ok()) {
+    std::fprintf(stderr, "bench run failed: %s\n",
+                 r.status().message().c_str());
+    std::exit(1);
+  }
+  return secs;
+}
+
+void BenchCheckpointing() {
+  std::printf("\n== Checkpoint overhead & resume speedup (CATHYHIN) ==\n");
+  data::HinDatasetOptions dopt = data::DblpLikeOptions(2000, 55);
+  dopt.num_areas = 4;
+  dopt.subareas_per_area = 3;
+  data::HinDataset ds = data::GenerateHinDataset(dopt);
+
+  api::PipelineOptions base;
+  base.build.levels_k = {4, 3};
+  base.build.max_depth = 2;
+  base.build.cluster.seed = 7;
+  base.miner.min_support = 4;
+  base.exec.num_threads = 1;  // serial: overhead is not hidden by idle cores
+
+  const std::string dir = "/tmp/latent_bench_ckpt";
+  const int kReps = 3;  // best-of to damp filesystem noise
+  auto best_of = [&](const api::PipelineOptions& opt) {
+    double best = 1e100;
+    for (int rep = 0; rep < kReps; ++rep) {
+      ::system(("rm -rf " + dir).c_str());
+      best = std::min(best, TimedMine(ds, opt));
+    }
+    return best;
+  };
+
+  const double scratch = best_of(base);
+  bench::PrintHeader({"configuration", "wall s", "overhead %"}, 12);
+  bench::PrintRow("no checkpointing", {scratch, 0.0});
+  for (int every : {1, 8, 64}) {
+    api::PipelineOptions opt = base;
+    opt.checkpoint_dir = dir;
+    opt.checkpoint_every_nodes = every;
+    const double secs = best_of(opt);
+    bench::PrintRow("checkpoint every " + std::to_string(every) + " nodes",
+                    {secs, 100.0 * (secs - scratch) / scratch});
+  }
+
+  // Resume speedup: leave a full checkpoint behind, then mine again with
+  // --resume semantics (every node fit replays from the snapshot).
+  ::system(("rm -rf " + dir).c_str());
+  api::PipelineOptions ckpt = base;
+  ckpt.checkpoint_dir = dir;
+  ckpt.checkpoint_every_nodes = 8;
+  const double cold = TimedMine(ds, ckpt);
+  api::PipelineOptions resume = ckpt;
+  resume.resume = true;
+  const double warm = TimedMine(ds, resume);
+  ::system(("rm -rf " + dir).c_str());
+  std::printf("\nresume vs scratch: scratch %.3fs, resumed %.3fs "
+              "(%.1fx speedup; the resumed build replays every fit)\n",
+              cold, warm, cold / warm);
 }
 
 }  // namespace
@@ -100,5 +182,7 @@ int main() {
   run("range finder 6 iters", false, 6, 1.0);
   std::printf("\nPaper shape: error shrinks with data; STROD stable across "
               "seeds; wrong alpha0 hurts and learning recovers it.\n");
+
+  BenchCheckpointing();
   return 0;
 }

@@ -1,12 +1,49 @@
 #include "api/latent.h"
 
+#include <memory>
+#include <sstream>
 #include <utility>
+
+#include "ckpt/checkpoint.h"
 
 namespace latent::api {
 
 namespace {
 std::string Sprintf2(const char* what, long long got) {
   return std::string(what) + " (got " + std::to_string(got) + ")";
+}
+
+// Identity of a (input, options) pair for checkpoint compatibility: every
+// knob that shapes the tree — corpus dimensions, entity schema, collapse
+// toggles, and the full build/cluster configuration — goes into one FNV
+// hash. A snapshot recorded under a different fingerprint must never be
+// resumed from (same tree paths, different fits).
+uint64_t CheckpointFingerprint(const PipelineInput& input,
+                               const PipelineOptions& options) {
+  std::ostringstream s;
+  s.precision(17);
+  s << "corpus " << input.corpus->num_docs() << " "
+    << input.corpus->vocab_size() << " " << input.corpus->total_tokens()
+    << "\nschema";
+  for (int t = 0; t < input.schema.num_types(); ++t) {
+    s << " " << input.schema.names[t] << ":" << input.schema.sizes[t];
+  }
+  const bool with_entities =
+      input.entity_docs != nullptr && !input.entity_docs->empty();
+  s << "\nentities " << (with_entities ? 1 : 0);
+  s << "\ncollapse " << options.collapse.term_term << " "
+    << options.collapse.term_entity << " " << options.collapse.entity_entity;
+  const core::BuildOptions& b = options.build;
+  s << "\nbuild";
+  for (int k : b.levels_k) s << " " << k;
+  s << " | " << b.k_min << " " << b.k_max << " " << b.max_depth << " "
+    << b.min_network_weight << " " << b.subnetwork_min_weight;
+  const core::ClusterOptions& c = b.cluster;
+  s << "\ncluster " << c.num_topics << " " << c.background << " "
+    << static_cast<int>(c.weight_mode) << " " << c.max_iters << " " << c.tol
+    << " " << c.restarts << " " << c.seed << " " << c.alpha_update_every
+    << " " << c.rho_init_concentration << " " << c.max_em_retries;
+  return ckpt::Fnv1a64(s.str());
 }
 }  // namespace
 
@@ -75,12 +112,26 @@ Status PipelineOptions::Validate() const {
         Sprintf2("exec.num_threads must be >= 0", exec.num_threads));
   }
   if (deadline_ms < 0) {
-    return Status::InvalidArgument(
-        Sprintf2("deadline_ms must be >= 0", deadline_ms));
+    return Status::InvalidArgument(Sprintf2(
+        "deadline_ms must be >= 0 (0 = unbounded)", deadline_ms));
   }
   if (work_budget < 0) {
+    return Status::InvalidArgument(Sprintf2(
+        "work_budget must be >= 0 (0 = unlimited)", work_budget));
+  }
+  if (checkpoint_every_nodes < 0) {
     return Status::InvalidArgument(
-        Sprintf2("work_budget must be >= 0", work_budget));
+        Sprintf2("checkpoint_every_nodes must be >= 0 (0 = final flush "
+                 "only)",
+                 checkpoint_every_nodes));
+  }
+  if (checkpoint_every_ms < 0) {
+    return Status::InvalidArgument(Sprintf2(
+        "checkpoint_every_ms must be >= 0 (0 = off)", checkpoint_every_ms));
+  }
+  if (resume && checkpoint_dir.empty()) {
+    return Status::InvalidArgument(
+        "resume requires a checkpoint_dir to resume from");
   }
   return Status::Ok();
 }
@@ -226,9 +277,32 @@ StatusOr<MinedHierarchy> Mine(const PipelineInput& input,
       *input.corpus, input.schema.names, input.schema.sizes, entity_docs,
       options.collapse);
   if (!net.ok()) return net.status();
-  StatusOr<core::TopicHierarchy> tree =
-      core::TryBuildHierarchy(net.value(), options.build, ex, rc);
+
+  // Durable checkpointing of the hierarchy build. Resume restores the
+  // newest valid snapshot up front; an unusable snapshot (torn, stale,
+  // wrong fingerprint) silently degrades to a clean restart — correctness
+  // never depends on checkpoint health, only wall-clock does.
+  std::unique_ptr<ckpt::Checkpointer> checkpointer;
+  if (!options.checkpoint_dir.empty()) {
+    ckpt::CheckpointOptions copt;
+    copt.dir = options.checkpoint_dir;
+    copt.every_nodes = options.checkpoint_every_nodes;
+    copt.every_ms = options.checkpoint_every_ms;
+    copt.fingerprint = CheckpointFingerprint(input, options);
+    checkpointer = std::make_unique<ckpt::Checkpointer>(
+        copt, net.value().type_sizes());
+    if (options.resume) {
+      if (Status s = checkpointer->Load(); !s.ok()) return s;
+    }
+  }
+
+  StatusOr<core::TopicHierarchy> tree = core::TryBuildHierarchy(
+      net.value(), options.build, ex, rc, checkpointer.get());
   if (!tree.ok()) return tree.status();
+  // Final snapshot: a bounded run that stopped mid-build leaves its whole
+  // frontier durable even when the cadence never triggered. Failures only
+  // surface as a warning on the result.
+  if (checkpointer != nullptr) checkpointer->Flush();
   phrase::PhraseDict dict =
       phrase::MineFrequentPhrases(*input.corpus, options.miner, ex, rc);
   // The run may have stopped during phrase mining (after a complete
@@ -239,8 +313,12 @@ StatusOr<MinedHierarchy> Mine(const PipelineInput& input,
   // must index the (possibly partial) tree completely, and rendering after
   // Mine() returns is the caller's time, not this run's.
   if (ex != nullptr) ex->set_run_context(nullptr);
-  return MinedHierarchy(*input.corpus, std::move(tree.value()),
-                        std::move(dict), 0, std::move(executor));
+  MinedHierarchy mined(*input.corpus, std::move(tree.value()),
+                       std::move(dict), 0, std::move(executor));
+  if (checkpointer != nullptr) {
+    mined.set_checkpoint_warning(checkpointer->warning());
+  }
+  return mined;
 }
 
 MinedHierarchy MineTopicalHierarchy(

@@ -44,9 +44,25 @@ struct PipelineOptions {
   std::shared_ptr<const run::CancelToken> cancel;
   long long work_budget = 0;
 
+  /// Checkpoint/resume knobs (see ckpt/checkpoint.h). A non-empty
+  /// `checkpoint_dir` makes the hierarchy builder snapshot its completed
+  /// fits there every `checkpoint_every_nodes` fits and/or every
+  /// `checkpoint_every_ms` milliseconds (plus once at the end of the
+  /// build), crash-safely and checksummed. With `resume` set, Mine() first
+  /// restores the newest valid snapshot and re-fits only the missing
+  /// nodes — the result is byte-identical to an uninterrupted run at any
+  /// thread count. Checkpoint write failures degrade gracefully: the run
+  /// continues un-checkpointed and reports via
+  /// MinedHierarchy::checkpoint_warning().
+  std::string checkpoint_dir;
+  int checkpoint_every_nodes = 8;
+  long long checkpoint_every_ms = 0;
+  bool resume = false;
+
   /// Checks every knob for well-formedness (positive topic counts, sane
   /// [k_min, k_max], non-negative thresholds/tolerances, KERT weights in
-  /// [0, 1], ...). Called by Mine() before any work starts.
+  /// [0, 1], non-negative run-control bounds, resume only with a
+  /// checkpoint_dir, ...). Called by Mine() before any work starts.
   Status Validate() const;
 };
 
@@ -126,6 +142,17 @@ class MinedHierarchy {
   /// shorter maximum length. The result is still fully usable.
   bool partial() const { return tree().partial(); }
 
+  /// Non-empty when checkpointing degraded during the run (snapshot or
+  /// manifest writes kept failing after retries, a snapshot was torn or
+  /// stale at resume, ...). The mined result itself is unaffected; the
+  /// message says what robustness was lost.
+  const std::string& checkpoint_warning() const {
+    return checkpoint_warning_;
+  }
+  void set_checkpoint_warning(std::string warning) {
+    checkpoint_warning_ = std::move(warning);
+  }
+
   /// Top phrases of a (non-root) topic under the configured KERT options.
   std::vector<Scored<int>> TopPhrases(int node, const phrase::KertOptions& opt,
                                       size_t k) const;
@@ -151,6 +178,7 @@ class MinedHierarchy {
   std::unique_ptr<phrase::PhraseDict> dict_;
   std::unique_ptr<phrase::KertScorer> kert_;
   std::shared_ptr<exec::Executor> exec_;
+  std::string checkpoint_warning_;
 };
 
 /// Runs the full pipeline: collapse text+entities into a heterogeneous

@@ -1,0 +1,464 @@
+#include "ckpt/checkpoint.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "data/io.h"
+
+namespace latent::ckpt {
+
+namespace {
+
+constexpr char kSnapshotMagic[] = "latent-ckpt-v1";
+constexpr char kManifestMagic[] = "latent-ckpt-manifest-v1";
+constexpr char kManifestFile[] = "MANIFEST";
+
+// Sanity caps mirroring core/serialize.cc: a corrupt snapshot must never
+// make the parser allocate unbounded memory.
+constexpr int kMaxFits = 1 << 22;
+constexpr int kMaxK = 1 << 12;
+
+std::string HexU64(uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+bool ParseHexU64(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(s.c_str(), &end, 16);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+std::string SnapshotFileName(long long generation) {
+  return "ckpt-" + std::to_string(generation) + ".ckpt";
+}
+
+// Creates `dir` (one level) if absent; an existing directory is fine.
+Status EnsureDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) {
+    return Status::Ok();
+  }
+  return Status::Internal("cannot create checkpoint dir: " + dir + " (" +
+                          std::strerror(errno) + ")");
+}
+
+void WriteSparseRow(const std::vector<double>& row, std::ostringstream* out) {
+  int nnz = 0;
+  for (double v : row) {
+    if (v != 0.0) ++nnz;
+  }
+  *out << nnz;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i] != 0.0) *out << " " << i << " " << row[i];
+  }
+  *out << "\n";
+}
+
+bool ReadSparseRow(std::istringstream* in, int size,
+                   std::vector<double>* row) {
+  row->assign(size, 0.0);
+  int nnz = 0;
+  *in >> nnz;
+  if (!*in || nnz < 0 || nnz > size) return false;
+  for (int e = 0; e < nnz; ++e) {
+    int idx;
+    double v;
+    *in >> idx >> v;
+    if (!*in || idx < 0 || idx >= size) return false;
+    (*row)[idx] = v;
+  }
+  return true;
+}
+
+}  // namespace
+
+uint64_t Fnv1a64(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+Checkpointer::Checkpointer(CheckpointOptions options,
+                           std::vector<int> type_sizes)
+    : options_(std::move(options)),
+      type_sizes_(std::move(type_sizes)),
+      last_flush_(std::chrono::steady_clock::now()) {}
+
+std::string Checkpointer::SerializeFits() const {
+  // Caller holds mu_. Snapshot = everything restored at Load() plus
+  // everything recorded since (recorded wins on a path collision), so a
+  // resumed-then-crashed run never loses the fits it inherited.
+  std::map<std::string, const SavedFit*> merged;
+  for (const auto& [path, fit] : restored_) merged[path] = &fit;
+  for (const auto& [path, fit] : fits_) merged[path] = &fit;
+
+  std::ostringstream out;
+  out.precision(17);
+  out << "types " << type_sizes_.size() << "\n";
+  for (size_t x = 0; x < type_sizes_.size(); ++x) {
+    out << (x ? " " : "") << type_sizes_[x];
+  }
+  out << "\n";
+  out << "fits " << merged.size() << "\n";
+  for (const auto& [path, fit] : merged) {
+    const core::ClusterResult& m = fit->model;
+    out << path << " " << fit->level << " " << HexU64(m.seed_used) << " "
+        << m.k << " " << (m.background ? 1 : 0) << " " << m.log_likelihood
+        << " " << m.bic_score << " " << m.rho_bg << "\n";
+    for (int z = 0; z < m.k; ++z) {
+      out << (z ? " " : "") << m.rho[z];
+    }
+    out << "\n";
+    out << m.alpha.size();
+    for (double a : m.alpha) out << " " << a;
+    out << "\n";
+    for (int z = 0; z < m.k; ++z) {
+      for (size_t x = 0; x < type_sizes_.size(); ++x) {
+        WriteSparseRow(m.phi[z][x], &out);
+      }
+    }
+    if (m.background) {
+      for (size_t x = 0; x < type_sizes_.size(); ++x) {
+        WriteSparseRow(m.phi_bg[x], &out);
+      }
+    }
+  }
+  return out.str();
+}
+
+Status Checkpointer::ParseFits(const std::string& payload,
+                               std::map<std::string, SavedFit>* out) const {
+  std::istringstream in(payload);
+  std::string tag;
+  size_t num_types = 0;
+  in >> tag >> num_types;
+  if (!in || tag != "types" || num_types != type_sizes_.size()) {
+    return Status::InvalidArgument("snapshot type table mismatch");
+  }
+  for (size_t x = 0; x < num_types; ++x) {
+    int size = 0;
+    in >> size;
+    if (!in || size != type_sizes_[x]) {
+      return Status::InvalidArgument("snapshot type size mismatch");
+    }
+  }
+  int num_fits = 0;
+  in >> tag >> num_fits;
+  if (!in || tag != "fits" || num_fits < 0 || num_fits > kMaxFits) {
+    return Status::InvalidArgument("bad snapshot fit count");
+  }
+  for (int f = 0; f < num_fits; ++f) {
+    std::string path, seed_hex;
+    SavedFit fit;
+    core::ClusterResult& m = fit.model;
+    int background = 0;
+    in >> path >> fit.level >> seed_hex >> m.k >> background >>
+        m.log_likelihood >> m.bic_score >> m.rho_bg;
+    if (!in || path.empty() || fit.level < 0 || m.k < 1 || m.k > kMaxK ||
+        (background != 0 && background != 1) ||
+        !ParseHexU64(seed_hex, &m.seed_used)) {
+      return Status::InvalidArgument("bad snapshot fit header");
+    }
+    m.background = background == 1;
+    m.rho.resize(m.k);
+    for (int z = 0; z < m.k; ++z) {
+      in >> m.rho[z];
+    }
+    size_t num_alpha = 0;
+    in >> num_alpha;
+    if (!in || num_alpha > (1u << 20)) {
+      return Status::InvalidArgument("bad snapshot alpha count");
+    }
+    m.alpha.resize(num_alpha);
+    for (size_t a = 0; a < num_alpha; ++a) {
+      in >> m.alpha[a];
+    }
+    if (!in) return Status::InvalidArgument("truncated snapshot fit");
+    m.phi.assign(m.k, std::vector<std::vector<double>>(type_sizes_.size()));
+    for (int z = 0; z < m.k; ++z) {
+      for (size_t x = 0; x < type_sizes_.size(); ++x) {
+        if (!ReadSparseRow(&in, type_sizes_[x], &m.phi[z][x])) {
+          return Status::InvalidArgument("bad snapshot phi row");
+        }
+      }
+    }
+    if (m.background) {
+      m.phi_bg.resize(type_sizes_.size());
+      for (size_t x = 0; x < type_sizes_.size(); ++x) {
+        if (!ReadSparseRow(&in, type_sizes_[x], &m.phi_bg[x])) {
+          return Status::InvalidArgument("bad snapshot phi_bg row");
+        }
+      }
+    }
+    if (!out->emplace(path, std::move(fit)).second) {
+      return Status::InvalidArgument("duplicate snapshot path: " + path);
+    }
+  }
+  return Status::Ok();
+}
+
+void Checkpointer::AppendWarning(const std::string& w) {
+  if (!warning_.empty()) warning_ += "; ";
+  warning_ += w;
+}
+
+Status Checkpointer::Load() {
+  std::lock_guard<std::mutex> flush_lock(flush_mu_);
+  if (Status s = EnsureDir(options_.dir); !s.ok()) return s;
+
+  StatusOr<std::string> manifest =
+      data::ReadFile(options_.dir + "/" + kManifestFile);
+  if (!manifest.ok()) {
+    // Nothing to resume from: clean start.
+    return Status::Ok();
+  }
+  std::istringstream in(manifest.value());
+  std::string magic, fp_hex;
+  in >> magic >> fp_hex;
+  uint64_t manifest_fp = 0;
+  if (!in || magic != kManifestMagic || !ParseHexU64(fp_hex, &manifest_fp)) {
+    AppendWarning("corrupt checkpoint manifest; clean restart");
+    return Status::Ok();
+  }
+  if (manifest_fp != options_.fingerprint) {
+    AppendWarning(
+        "checkpoint fingerprint mismatch (different corpus or options); "
+        "clean restart");
+    return Status::Ok();
+  }
+  std::map<long long, ManifestEntry> entries;
+  long long gen = 0;
+  while (in >> gen) {
+    ManifestEntry e;
+    std::string checksum;
+    in >> e.file >> e.bytes >> checksum;
+    if (!in || gen <= 0 || e.file.empty() ||
+        e.file.find('/') != std::string::npos) {
+      AppendWarning("corrupt checkpoint manifest entry; clean restart");
+      return Status::Ok();
+    }
+    e.checksum_hex = checksum;
+    entries[gen] = std::move(e);
+  }
+  if (entries.empty()) return Status::Ok();
+  manifest_ = entries;
+  next_generation_ = entries.rbegin()->first + 1;
+
+  // Newest generation first; the first snapshot that fully verifies wins.
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    const long long g = it->first;
+    const ManifestEntry& e = it->second;
+    const std::string snapshot_path = options_.dir + "/" + e.file;
+    StatusOr<std::string> framed_or = [&]() -> StatusOr<std::string> {
+      LATENT_FAILPOINT("ckpt.read",
+                       return Status::Internal(
+                           "injected checkpoint read failure (ckpt.read): " +
+                           snapshot_path));
+      return data::ReadFile(snapshot_path);
+    }();
+    auto reject = [&](const std::string& why) {
+      AppendWarning("checkpoint generation " + std::to_string(g) + " " +
+                    why + "; falling back");
+    };
+    if (!framed_or.ok()) {
+      reject("unreadable (" + framed_or.status().message() + ")");
+      continue;
+    }
+    const std::string& framed = framed_or.value();
+    std::istringstream header(framed);
+    std::string snap_magic, snap_fp_hex, snap_checksum;
+    long long snap_gen = 0;
+    long long declared_bytes = -1;
+    header >> snap_magic >> snap_gen >> snap_fp_hex >> declared_bytes >>
+        snap_checksum;
+    const size_t nl = framed.find('\n');
+    if (!header || snap_magic != kSnapshotMagic ||
+        nl == std::string::npos || declared_bytes < 0) {
+      reject("has a corrupt header");
+      continue;
+    }
+    const std::string payload = framed.substr(nl + 1);
+    if (static_cast<long long>(payload.size()) != declared_bytes ||
+        payload.size() != e.bytes) {
+      reject("is torn (payload length mismatch)");
+      continue;
+    }
+    const std::string checksum = HexU64(Fnv1a64(payload));
+    if (checksum != snap_checksum || checksum != e.checksum_hex) {
+      reject("is corrupt (checksum mismatch)");
+      continue;
+    }
+    if (snap_gen != g) {
+      reject("is stale (embedded generation " + std::to_string(snap_gen) +
+             " does not match)");
+      continue;
+    }
+    uint64_t snap_fp = 0;
+    if (!ParseHexU64(snap_fp_hex, &snap_fp) ||
+        snap_fp != options_.fingerprint) {
+      reject("has a mismatched fingerprint");
+      continue;
+    }
+    std::map<std::string, SavedFit> fits;
+    if (Status s = ParseFits(payload, &fits); !s.ok()) {
+      reject("failed to parse (" + s.message() + ")");
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    restored_ = std::move(fits);
+    resumed_generation_ = g;
+    return Status::Ok();
+  }
+  AppendWarning("no valid checkpoint generation; clean restart");
+  return Status::Ok();
+}
+
+bool Checkpointer::Lookup(const std::string& path,
+                          core::ClusterResult* model) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = fits_.find(path);
+  if (it == fits_.end()) {
+    it = restored_.find(path);
+    if (it == restored_.end()) return false;
+  }
+  *model = it->second.model;
+  ++hits_;
+  return true;
+}
+
+void Checkpointer::Record(const std::string& path, int level,
+                          const core::ClusterResult& model) {
+  bool flush_now = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SavedFit fit;
+    fit.level = level;
+    fit.model = model;
+    // parent_phi is reinstated by the builder on lookup; dropping it here
+    // keeps snapshots (and resident memory) roughly half the size.
+    fit.model.parent_phi.clear();
+    fits_[path] = std::move(fit);
+    ++unflushed_;
+    if (disabled_) return;
+    if (options_.every_nodes > 0 && unflushed_ >= options_.every_nodes) {
+      flush_now = true;
+    }
+    if (options_.every_ms > 0 &&
+        std::chrono::steady_clock::now() - last_flush_ >=
+            std::chrono::milliseconds(options_.every_ms)) {
+      flush_now = true;
+    }
+  }
+  if (flush_now) Flush();  // best effort; a failure degrades inside Flush
+}
+
+Status Checkpointer::WriteSnapshot(long long generation,
+                                   const std::string& framed) {
+  const std::string path =
+      options_.dir + "/" + SnapshotFileName(generation);
+  return io::WithRetry(options_.retry, [&]() -> Status {
+    LATENT_FAILPOINT("ckpt.write",
+                     return Status::Internal(
+                         "injected checkpoint write failure (ckpt.write): " +
+                         path));
+    return data::WriteFile(path, framed);
+  });
+}
+
+Status Checkpointer::WriteManifest() {
+  std::ostringstream out;
+  out << kManifestMagic << " " << HexU64(options_.fingerprint) << "\n";
+  for (const auto& [gen, e] : manifest_) {
+    out << gen << " " << e.file << " " << e.bytes << " " << e.checksum_hex
+        << "\n";
+  }
+  const std::string path = options_.dir + "/" + kManifestFile;
+  return io::WithRetry(options_.retry, [&]() -> Status {
+    LATENT_FAILPOINT("ckpt.manifest",
+                     return Status::Internal(
+                         "injected manifest write failure (ckpt.manifest): " +
+                         path));
+    return data::WriteFile(path, out.str());
+  });
+}
+
+Status Checkpointer::Flush() {
+  std::lock_guard<std::mutex> flush_lock(flush_mu_);
+  std::string payload;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (disabled_) {
+      return Status::FailedPrecondition(
+          "checkpointing disabled after an earlier failure");
+    }
+    // Nothing new since the last durable snapshot: skip the write (but a
+    // first-ever flush with restored-only content is also skippable only
+    // because that content already sits on disk).
+    if (unflushed_ == 0 && (!manifest_.empty() || fits_.empty())) {
+      return Status::Ok();
+    }
+    payload = SerializeFits();
+    unflushed_ = 0;
+  }
+  const long long generation = next_generation_;
+  std::ostringstream framed;
+  framed << kSnapshotMagic << " " << generation << " "
+         << HexU64(options_.fingerprint) << " " << payload.size() << " "
+         << HexU64(Fnv1a64(payload)) << "\n"
+         << payload;
+
+  auto degrade = [&](const Status& s) {
+    std::lock_guard<std::mutex> lock(mu_);
+    disabled_ = true;
+    AppendWarning("checkpointing disabled: " + s.message());
+  };
+  if (Status s = EnsureDir(options_.dir); !s.ok()) {
+    degrade(s);
+    return s;
+  }
+  if (Status s = WriteSnapshot(generation, framed.str()); !s.ok()) {
+    degrade(s);
+    return s;
+  }
+  ManifestEntry entry;
+  entry.file = SnapshotFileName(generation);
+  entry.bytes = payload.size();
+  entry.checksum_hex = HexU64(Fnv1a64(payload));
+  manifest_[generation] = std::move(entry);
+  // Prune to the retention window BEFORE the manifest write so the
+  // manifest never references a file this flush is about to delete; the
+  // files themselves are removed only after the new manifest is durable.
+  std::vector<std::string> doomed;
+  const int keep = std::max(1, options_.keep_generations);
+  while (static_cast<int>(manifest_.size()) > keep) {
+    doomed.push_back(options_.dir + "/" + manifest_.begin()->second.file);
+    manifest_.erase(manifest_.begin());
+  }
+  if (Status s = WriteManifest(); !s.ok()) {
+    degrade(s);
+    return s;
+  }
+  for (const std::string& path : doomed) ::remove(path.c_str());
+  next_generation_ = generation + 1;
+  last_flush_ = std::chrono::steady_clock::now();
+  return Status::Ok();
+}
+
+}  // namespace latent::ckpt

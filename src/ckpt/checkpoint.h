@@ -1,0 +1,148 @@
+// latent::ckpt — durable checkpoint/resume for hierarchy builds.
+//
+// The hierarchy builder's per-node fits are pure functions of the pipeline
+// options and the node's parent chain (per-node EM seeds derive from the
+// node's PATH in the tree — see core/builder.h). A checkpoint is therefore
+// a snapshot of the completed fits, keyed by path: resuming replays the
+// recorded fits bit-exactly and re-fits only the missing frontier, which
+// reproduces the uninterrupted tree byte for byte at any thread count.
+//
+// On-disk layout (everything written via the crash-safe data::WriteFile —
+// tmp + fsync + atomic rename — and retried under io::RetryPolicy):
+//
+//   <dir>/MANIFEST        newest-wins index of snapshot generations:
+//                           latent-ckpt-manifest-v1 <fingerprint-hex>
+//                           <gen> <file> <payload-bytes> <fnv1a64-hex>
+//                           ...
+//   <dir>/ckpt-<gen>.ckpt one snapshot, framed like the hierarchy v2
+//                         envelope:
+//                           latent-ckpt-v1 <gen> <fingerprint-hex>
+//                             <payload-bytes> <fnv1a64-hex>\n<payload>
+//
+// Load() walks the manifest newest-generation-first and takes the first
+// snapshot whose byte length, checksum, embedded generation, and options
+// fingerprint all verify — a torn or stale snapshot silently falls back to
+// the previous generation, and a missing/corrupt manifest (or a fingerprint
+// from a different corpus/options) degrades to a clean restart. A wrong
+// tree is never produced; the worst case is recomputation.
+//
+// Snapshot cadence: a flush happens every `every_nodes` newly recorded
+// fits and/or every `every_ms` milliseconds, plus one final flush at the
+// end of the build. Flush failures (after retries) permanently disable
+// checkpointing for the run and record a warning — the build itself
+// continues unharmed.
+#ifndef LATENT_CKPT_CHECKPOINT_H_
+#define LATENT_CKPT_CHECKPOINT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/retry.h"
+#include "common/status.h"
+#include "core/builder.h"
+#include "core/clusterer.h"
+
+namespace latent::ckpt {
+
+struct CheckpointOptions {
+  /// Checkpoint directory; created (one level) if absent.
+  std::string dir;
+  /// Flush after this many newly recorded fits (0 = only the final flush).
+  int every_nodes = 8;
+  /// Also flush when this many milliseconds passed since the last flush
+  /// (0 = no time-based flushes).
+  long long every_ms = 0;
+  /// Snapshot generations retained on disk (older ones are pruned).
+  int keep_generations = 2;
+  /// Identity of the pipeline (corpus shape + tree-shaping options). A
+  /// snapshot recorded under a different fingerprint is never resumed from.
+  uint64_t fingerprint = 0;
+  /// Retry policy for snapshot/manifest writes. Reads are not retried —
+  /// generation fallback is the recovery path for a bad snapshot.
+  io::RetryPolicy retry;
+};
+
+/// FNV-1a 64 over a byte string; shared by the snapshot framing, the
+/// manifest, and the options fingerprint.
+uint64_t Fnv1a64(const std::string& s);
+
+/// Durable core::FitCache. Thread-safe: the builder records fits from
+/// concurrent pool tasks.
+class Checkpointer : public core::FitCache {
+ public:
+  /// `type_sizes` are the node-universe sizes of the collapsed network; a
+  /// snapshot recorded under different sizes fails validation at Load().
+  Checkpointer(CheckpointOptions options, std::vector<int> type_sizes);
+
+  /// Restores the newest valid snapshot from options.dir. Returns Ok even
+  /// when nothing (valid) was found — that is a clean restart, reported via
+  /// resumed_generation() == 0 and possibly a warning(). Only an unusable
+  /// directory is an error.
+  Status Load();
+
+  /// Writes a snapshot of every recorded fit now (no cadence check). Safe
+  /// to call concurrently with Record(); returns the write Status (also
+  /// remembered: a failure disables future flushes).
+  Status Flush();
+
+  // core::FitCache:
+  bool Lookup(const std::string& path, core::ClusterResult* model) override;
+  void Record(const std::string& path, int level,
+              const core::ClusterResult& model) override;
+
+  /// Generation restored by Load() (0 = clean start / nothing valid).
+  long long resumed_generation() const { return resumed_generation_; }
+  /// Fits restored by Load().
+  int resumed_fits() const { return static_cast<int>(restored_.size()); }
+  /// Cache hits served to the builder since construction.
+  int hits() const { return hits_; }
+  /// Non-empty once checkpointing degraded (flush failed after retries) or
+  /// Load() fell back past an invalid snapshot / manifest. The build result
+  /// is unaffected either way.
+  const std::string& warning() const { return warning_; }
+
+ private:
+  struct SavedFit {
+    int level = 0;
+    core::ClusterResult model;
+  };
+
+  // Serialization of the fit map (payload only, no envelope).
+  std::string SerializeFits() const;
+  Status ParseFits(const std::string& payload,
+                   std::map<std::string, SavedFit>* out) const;
+  Status WriteSnapshot(long long generation, const std::string& framed);
+  Status WriteManifest();
+  void AppendWarning(const std::string& w);
+
+  CheckpointOptions options_;
+  std::vector<int> type_sizes_;
+
+  mutable std::mutex mu_;  // guards fits_, restored_, counters
+  std::map<std::string, SavedFit> fits_;      // recorded this run
+  std::map<std::string, SavedFit> restored_;  // loaded from disk
+  int unflushed_ = 0;
+  int hits_ = 0;
+
+  std::mutex flush_mu_;  // serializes whole flushes
+  std::chrono::steady_clock::time_point last_flush_;
+  long long next_generation_ = 1;
+  /// gen -> (file, payload bytes, checksum hex) of retained snapshots.
+  struct ManifestEntry {
+    std::string file;
+    size_t bytes = 0;
+    std::string checksum_hex;
+  };
+  std::map<long long, ManifestEntry> manifest_;
+  bool disabled_ = false;
+  long long resumed_generation_ = 0;
+  std::string warning_;
+};
+
+}  // namespace latent::ckpt
+
+#endif  // LATENT_CKPT_CHECKPOINT_H_

@@ -24,6 +24,11 @@
 //                      NaN (exercises divergence detection + seed retry)
 //   deserialize.alloc  core::DeserializeHierarchy — allocation-style
 //                      failure before the phi buffers are built
+//   ckpt.write         ckpt::Checkpointer — fail writing a snapshot payload
+//                      (retried; exhaustion degrades to un-checkpointed)
+//   ckpt.manifest      ckpt::Checkpointer — fail writing the MANIFEST
+//   ckpt.read          ckpt::Checkpointer::Load — fail reading a snapshot
+//                      payload (falls back to the previous generation)
 #ifndef LATENT_COMMON_FAILPOINT_H_
 #define LATENT_COMMON_FAILPOINT_H_
 

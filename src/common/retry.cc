@@ -1,0 +1,43 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace latent::io {
+
+bool IsTransient(const Status& status) {
+  return status.code() == StatusCode::kInternal;
+}
+
+long long BackoffMs(const RetryPolicy& policy, int attempt, Rng* rng) {
+  double base = static_cast<double>(policy.initial_backoff_ms) *
+                std::pow(policy.multiplier, attempt);
+  base = std::min(base, static_cast<double>(policy.max_backoff_ms));
+  if (policy.jitter > 0.0 && rng != nullptr) {
+    base *= rng->Uniform(1.0 - policy.jitter, 1.0 + policy.jitter);
+  }
+  return std::max(0LL, static_cast<long long>(base));
+}
+
+Status WithRetry(const RetryPolicy& policy, const std::function<Status()>& op,
+                 const run::RunContext* ctx) {
+  Rng rng(policy.seed);
+  const int attempts = std::max(1, policy.max_attempts);
+  Status last = Status::Ok();
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(BackoffMs(policy, attempt - 1, &rng)));
+    }
+    // A stopped run outranks the I/O failure: report why the run ended
+    // instead of burning the remaining attempts.
+    if (Status s = run::CheckRun(ctx); !s.ok()) return s;
+    last = op();
+    if (last.ok() || !IsTransient(last)) return last;
+  }
+  return last;
+}
+
+}  // namespace latent::io

@@ -1,0 +1,57 @@
+// latent::io — bounded retry with exponential backoff for I/O operations.
+//
+// Checkpoint and final-output writes go through WithRetry(): transient
+// failures (I/O-layer kInternal, e.g. a flaky filesystem or an injected
+// fail point) are retried up to RetryPolicy::max_attempts with exponential
+// backoff; permanent failures (invalid input, missing files, run-control
+// stops) return immediately. Backoff is jittered by a DETERMINISTIC seeded
+// Rng so retry schedules are reproducible run to run — the same policy and
+// seed always sleeps the same sequence of delays.
+#ifndef LATENT_COMMON_RETRY_H_
+#define LATENT_COMMON_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.h"
+#include "common/run_context.h"
+#include "common/status.h"
+
+namespace latent::io {
+
+/// Bounded exponential backoff: attempt n (0-based) sleeps
+///   min(initial_backoff_ms * multiplier^n, max_backoff_ms)
+/// scaled by a jitter factor drawn uniformly from [1 - jitter, 1 + jitter].
+struct RetryPolicy {
+  /// Total attempts including the first (1 = no retries).
+  int max_attempts = 4;
+  long long initial_backoff_ms = 10;
+  long long max_backoff_ms = 1000;
+  double multiplier = 2.0;
+  /// Jitter fraction in [0, 1); 0 disables jitter.
+  double jitter = 0.5;
+  /// Seed of the deterministic jitter stream.
+  uint64_t seed = 0x5ca1ab1e;
+};
+
+/// Transient-vs-permanent classification. Only kInternal is transient: the
+/// I/O layer reports environmental failures (short writes, fsync errors,
+/// injected faults) as kInternal, while every other code — bad arguments,
+/// missing files, exhausted budgets, cancellation — names a condition a
+/// retry cannot fix.
+bool IsTransient(const Status& status);
+
+/// Backoff before retry number `attempt` (0-based), jittered from `rng`.
+/// Exposed for tests; WithRetry() uses it internally.
+long long BackoffMs(const RetryPolicy& policy, int attempt, Rng* rng);
+
+/// Runs `op` until it succeeds, fails permanently, the attempt budget is
+/// spent, or `ctx` stops the run (checked between attempts; the run-control
+/// status wins so a cancelled run never sits out a backoff sleep). Returns
+/// the last Status observed.
+Status WithRetry(const RetryPolicy& policy, const std::function<Status()>& op,
+                 const run::RunContext* ctx = nullptr);
+
+}  // namespace latent::io
+
+#endif  // LATENT_COMMON_RETRY_H_

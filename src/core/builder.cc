@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <utility>
 
 namespace latent::core {
@@ -27,12 +28,13 @@ struct BuiltNode {
   bool filled = false;
 };
 
-// Shared build-wide state: the run context bounding the build, whether any
-// subtree was abandoned (partial result), and the first hard error (EM
-// divergence) to surface.
+// Shared build-wide state: the run context bounding the build, the fit
+// cache backing checkpoint/resume, whether any subtree was abandoned
+// (partial result), and the first hard error (EM divergence) to surface.
 struct BuildState {
   exec::Executor* ex = nullptr;
   const run::RunContext* ctx = nullptr;
+  FitCache* cache = nullptr;
   std::atomic<bool> partial{false};
   std::mutex mu;
   Status error;
@@ -56,9 +58,10 @@ uint64_t ChildSalt(uint64_t salt, int z) {
 }
 
 // Splits the topic whose network is `net` and recurses; sibling subtrees
-// are dispatched as independent pool tasks.
+// are dispatched as independent pool tasks. `path` is the node's tree path
+// ("o", "o/1", ...) — the durable key under which its fit is cached.
 void Expand(const hin::HeteroNetwork& net, BuiltNode* node, int level,
-            uint64_t salt,
+            uint64_t salt, const std::string& path,
             const std::vector<std::vector<double>>& parent_phi,
             const BuildOptions& options, BuildState* state) {
   if (level >= options.max_depth) return;
@@ -77,13 +80,32 @@ void Expand(const hin::HeteroNetwork& net, BuiltNode* node, int level,
   ClusterOptions copt = options.cluster;
   copt.seed = options.cluster.seed + salt * 104729;
 
+  // A cached fit replays the recorded model instead of re-running EM. The
+  // recorded seed must match the one this node would fit with (SelectAndFit
+  // bumps the base seed by the chosen k), else the entry predates a seed or
+  // derivation change and is stale; parent_phi is reinstated from the live
+  // parent — it is bit-identical to what the original fit saw, since the
+  // whole parent chain is itself replayed or re-derived.
   ClusterResult model;
-  if (k > 0) {
-    copt.num_topics = k;
-    model = FitCluster(net, parent_phi, copt, state->ex, state->ctx);
-  } else {
-    model = SelectAndFit(net, parent_phi, copt, options.k_min, options.k_max,
-                         state->ex, state->ctx);
+  bool cached = false;
+  if (state->cache != nullptr) {
+    cached = state->cache->Lookup(path, &model);
+    if (cached) {
+      const uint64_t expected_seed =
+          k > 0 ? copt.seed
+                : copt.seed + static_cast<uint64_t>(model.k) * 7919;
+      if (model.seed_used != expected_seed) cached = false;
+    }
+    if (cached) model.parent_phi = parent_phi;
+  }
+  if (!cached) {
+    if (k > 0) {
+      copt.num_topics = k;
+      model = FitCluster(net, parent_phi, copt, state->ex, state->ctx);
+    } else {
+      model = SelectAndFit(net, parent_phi, copt, options.k_min,
+                           options.k_max, state->ex, state->ctx);
+    }
   }
   if (model.k == 0) {
     // No restart/candidate finished before the run stopped.
@@ -96,6 +118,15 @@ void Expand(const hin::HeteroNetwork& net, BuiltNode* node, int level,
         "level " +
         std::to_string(level) + " after seed-bumped retries"));
     return;
+  }
+  if (!cached && state->cache != nullptr &&
+      !run::ShouldStop(state->ctx)) {
+    // Record only fits that provably ran to completion: stop conditions are
+    // monotonic, so a clean context here means the fit never cut a restart
+    // short. A fit truncated by the deadline/budget may be usable for THIS
+    // bounded run but must not be replayed by a resumed (unbounded) run,
+    // which has to reproduce the fully-restarted fit bit for bit.
+    state->cache->Record(path, level, model);
   }
   node->rho_background = model.rho_bg;
 
@@ -113,8 +144,9 @@ void Expand(const hin::HeteroNetwork& net, BuiltNode* node, int level,
     child->phi = model.phi[z];
     child->network_weight = sub.TotalWeight();
     child->filled = true;
-    Expand(sub, child, level + 1, ChildSalt(salt, z), model.phi[z], options,
-           state);
+    // Child paths mirror TopicHierarchy::AddChild (1-based child index).
+    Expand(sub, child, level + 1, ChildSalt(salt, z),
+           path + "/" + std::to_string(z + 1), model.phi[z], options, state);
   };
   if (state->ex != nullptr && state->ex->num_threads() > 1 && model.k > 1) {
     std::vector<std::function<void()>> tasks;
@@ -150,17 +182,18 @@ void Commit(BuiltNode* built, int node_id, TopicHierarchy* tree,
 
 StatusOr<TopicHierarchy> TryBuildHierarchy(
     const hin::HeteroNetwork& root_network, const BuildOptions& options,
-    exec::Executor* ex, const run::RunContext* ctx) {
+    exec::Executor* ex, const run::RunContext* ctx, FitCache* cache) {
   TopicHierarchy tree(root_network.type_names(), root_network.type_sizes());
   tree.AddRoot(DegreeDistributions(root_network),
                root_network.TotalWeight());
   BuildState state;
   state.ex = ex;
   state.ctx = ctx;
+  state.cache = cache;
   BuiltNode root;
   root.filled = true;
-  Expand(root_network, &root, 0, /*salt=*/0, tree.node(tree.root()).phi,
-         options, &state);
+  Expand(root_network, &root, 0, /*salt=*/0, /*path=*/"o",
+         tree.node(tree.root()).phi, options, &state);
   Status error = state.TakeError();
   if (!error.ok()) return error;
   bool partial = state.partial.load(std::memory_order_relaxed);

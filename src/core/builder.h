@@ -30,6 +30,31 @@ struct BuildOptions {
   ClusterOptions cluster;
 };
 
+/// Memoizing cache of completed per-node fits, consulted by
+/// TryBuildHierarchy. Each node's fit is a pure function of the options and
+/// its parent chain (per-node seeds derive from the node's PATH), so
+/// replaying a recorded fit bit-exactly and re-fitting only the missing
+/// nodes reproduces the uninterrupted tree bit for bit — this is the
+/// contract the ckpt::Checkpointer resume path is built on.
+///
+/// Implementations must be thread-safe: sibling subtrees are expanded as
+/// concurrent pool tasks.
+class FitCache {
+ public:
+  virtual ~FitCache() = default;
+
+  /// Fills `*model` with the recorded fit of the node at `path` and returns
+  /// true on a hit. The returned model's parent_phi may be left empty — the
+  /// builder reinstates it from the live parent. The builder cross-checks
+  /// the model's seed_used against the seed it would fit this node with and
+  /// discards stale entries itself.
+  virtual bool Lookup(const std::string& path, ClusterResult* model) = 0;
+
+  /// Records the completed (non-diverged, k > 0) fit of the node at `path`.
+  virtual void Record(const std::string& path, int level,
+                      const ClusterResult& model) = 0;
+};
+
 /// Builds a topical hierarchy from the root network. The root's phi is the
 /// normalized weighted-degree distribution.
 ///
@@ -44,9 +69,16 @@ struct BuildOptions {
 /// the returned tree is flagged partial(); subtrees whose fit never
 /// finished are simply absent. Unrecoverable EM divergence (after the
 /// clusterer's seed-bumped retries) surfaces as an Internal Status.
+///
+/// Checkpoint/resume: a non-null `cache` is consulted before every per-node
+/// fit — a hit replays the recorded model (bit-exact) instead of running
+/// EM, and every completed fit is recorded back. With a durable cache
+/// (ckpt::Checkpointer) a killed build resumes from its last snapshot and
+/// still produces the uninterrupted tree byte for byte.
 StatusOr<TopicHierarchy> TryBuildHierarchy(
     const hin::HeteroNetwork& root_network, const BuildOptions& options,
-    exec::Executor* ex = nullptr, const run::RunContext* ctx = nullptr);
+    exec::Executor* ex = nullptr, const run::RunContext* ctx = nullptr,
+    FitCache* cache = nullptr);
 
 /// Unbounded variant; CHECK-fails on EM divergence (historical behavior,
 /// kept for call sites that cannot handle a Status).

@@ -85,6 +85,7 @@ ClusterResult RunEm(const hin::HeteroNetwork& net,
   r.background = bg;
   r.parent_phi = parent_phi;
   r.alpha = alpha;
+  r.seed_used = options.seed;
 
   // Initialize phi with Dirichlet draws over present nodes.
   r.phi.assign(k, std::vector<std::vector<double>>(m));
@@ -312,10 +313,14 @@ ClusterResult RunEm(const hin::HeteroNetwork& net,
   }
 
   // A restart stopped before completing a single iteration has no
-  // likelihood at all; make sure it can never win restart selection over a
-  // restart that did real work.
+  // likelihood at all. Report it as "never ran" (k == 0): restart selection
+  // skips it and the builder marks the subtree partial. Reporting a -inf
+  // likelihood instead would read as EM divergence (non-finite parameters)
+  // and turn a clean run-control stop into a spurious kInternal when every
+  // restart of a node happened to stop at iteration zero.
   if (stopped_early && iters_done == 0) {
-    r.log_likelihood = -std::numeric_limits<double>::infinity();
+    r.k = 0;
+    return r;
   }
 
   // BIC score (Section 3.2.3): logL - 0.5 * #free-params * log(#links).

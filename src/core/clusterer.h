@@ -78,6 +78,11 @@ struct ClusterResult {
   std::vector<double> alpha;
   /// The parent-topic node distributions used for background generation.
   std::vector<std::vector<double>> parent_phi;
+  /// The ClusterOptions::seed this fit actually ran with (SelectAndFit bumps
+  /// it per candidate k). Captured so a checkpointed fit can be validated
+  /// against the seed the resuming builder would derive: a mismatch marks
+  /// the recorded fit stale (see ckpt/checkpoint.h).
+  uint64_t seed_used = 0;
   /// True when every attempt of every restart diverged (non-finite or
   /// degenerate parameters); the fields above are then the last attempt's
   /// values and must not be trusted. Callers surface this as a Status.

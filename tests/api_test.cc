@@ -156,6 +156,28 @@ TEST(ApiValidationTest, RejectsBadOptions) {
   opt = PipelineOptions();
   opt.exec.num_threads = -2;
   expect_rejected(opt);
+
+  // Run-control bounds: negative values are never "unbounded".
+  opt = PipelineOptions();
+  opt.deadline_ms = -1;
+  expect_rejected(opt);
+
+  opt = PipelineOptions();
+  opt.work_budget = -7;
+  expect_rejected(opt);
+
+  // Checkpoint knobs.
+  opt = PipelineOptions();
+  opt.checkpoint_every_nodes = -1;
+  expect_rejected(opt);
+
+  opt = PipelineOptions();
+  opt.checkpoint_every_ms = -100;
+  expect_rejected(opt);
+
+  opt = PipelineOptions();
+  opt.resume = true;  // nothing to resume FROM
+  expect_rejected(opt);
 }
 
 TEST(ApiValidationTest, RejectsBadInput) {

@@ -1,0 +1,427 @@
+// Checkpoint/resume subsystem: the Checkpointer's durable round trip, the
+// newest-valid-generation resume contract, fingerprint gating, retention
+// pruning, and the end-to-end guarantee that a run interrupted by its work
+// budget and then resumed produces a byte-identical tree to an
+// uninterrupted run — at any thread count.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/latent.h"
+#include "ckpt/checkpoint.h"
+#include "core/serialize.h"
+#include "data/io.h"
+#include "data/synthetic_hin.h"
+
+namespace latent {
+namespace {
+
+std::string TempDirFor(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  // Start every test from an empty directory: remove any snapshot files a
+  // previous run of the same test left behind.
+  ::system(("rm -rf " + dir).c_str());
+  return dir;
+}
+
+// ---------------------------------------------------------------------------
+// Checksum primitive.
+// ---------------------------------------------------------------------------
+
+TEST(Fnv1a64Test, MatchesTheRepoWideChecksumConvention) {
+  // The empty-string hash is the offset basis used across the repo (the
+  // v2 hierarchy envelope in core/serialize.cc uses the same constant);
+  // snapshots checksummed by one layer must verify in the other.
+  EXPECT_EQ(ckpt::Fnv1a64(""), 1469598103934665603ULL);
+  // Deterministic, and sensitive to every byte.
+  EXPECT_EQ(ckpt::Fnv1a64("checkpoint"), ckpt::Fnv1a64("checkpoint"));
+  EXPECT_NE(ckpt::Fnv1a64("checkpoint"), ckpt::Fnv1a64("checkpoinT"));
+  EXPECT_NE(ckpt::Fnv1a64("ab"), ckpt::Fnv1a64("ba"));
+  // Embedded NUL bytes count too.
+  EXPECT_NE(ckpt::Fnv1a64(std::string("a")), ckpt::Fnv1a64(std::string("a\0", 2)));
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointer unit tests on hand-crafted fits.
+// ---------------------------------------------------------------------------
+
+core::ClusterResult MakeFit(uint64_t seed_used) {
+  core::ClusterResult m;
+  m.k = 2;
+  m.background = true;
+  m.log_likelihood = -123.0 / 7.0;  // not exactly representable in decimal
+  m.bic_score = -456.0 / 11.0;
+  m.rho = {2.0 / 3.0, 1.0 / 3.0};
+  m.rho_bg = 1.0 / 9.0;
+  m.phi = {{{0.5, 0.25, 0.25}, {1.0 / 7.0, 6.0 / 7.0}},
+           {{0.0, 1.0 / 3.0, 2.0 / 3.0}, {0.0, 1.0}}};
+  m.phi_bg = {{1.0 / 13.0, 0.0, 12.0 / 13.0}, {0.5, 0.5}};
+  m.alpha = {1.0, 1.0 / 17.0, 0.25};
+  m.parent_phi = {{0.9, 0.1, 0.0}, {1.0, 0.0}};  // dropped by Record
+  m.seed_used = seed_used;
+  return m;
+}
+
+void ExpectFitEq(const core::ClusterResult& a, const core::ClusterResult& b) {
+  EXPECT_EQ(a.k, b.k);
+  EXPECT_EQ(a.background, b.background);
+  EXPECT_EQ(a.log_likelihood, b.log_likelihood);  // bit-exact, not near
+  EXPECT_EQ(a.bic_score, b.bic_score);
+  EXPECT_EQ(a.rho, b.rho);
+  EXPECT_EQ(a.rho_bg, b.rho_bg);
+  EXPECT_EQ(a.phi, b.phi);
+  EXPECT_EQ(a.phi_bg, b.phi_bg);
+  EXPECT_EQ(a.alpha, b.alpha);
+  EXPECT_EQ(a.seed_used, b.seed_used);
+}
+
+ckpt::CheckpointOptions DirOptions(const std::string& dir,
+                                   uint64_t fingerprint = 0x1234) {
+  ckpt::CheckpointOptions opt;
+  opt.dir = dir;
+  opt.fingerprint = fingerprint;
+  opt.retry.max_attempts = 1;  // unit tests never want backoff sleeps
+  return opt;
+}
+
+TEST(CheckpointerTest, RecordFlushLoadRoundTripIsBitExact) {
+  const std::string dir = TempDirFor("ckpt_roundtrip");
+  const std::vector<int> sizes = {3, 2};
+
+  ckpt::Checkpointer writer(DirOptions(dir), sizes);
+  writer.Record("o", 0, MakeFit(101));
+  writer.Record("o/1", 1, MakeFit(202));
+  ASSERT_TRUE(writer.Flush().ok());
+
+  ckpt::Checkpointer reader(DirOptions(dir), sizes);
+  ASSERT_TRUE(reader.Load().ok());
+  EXPECT_EQ(reader.resumed_generation(), 1);
+  EXPECT_EQ(reader.resumed_fits(), 2);
+  EXPECT_TRUE(reader.warning().empty()) << reader.warning();
+
+  core::ClusterResult got;
+  ASSERT_TRUE(reader.Lookup("o", &got));
+  ExpectFitEq(got, MakeFit(101));
+  EXPECT_TRUE(got.parent_phi.empty());  // reinstated by the builder, not us
+  ASSERT_TRUE(reader.Lookup("o/1", &got));
+  ExpectFitEq(got, MakeFit(202));
+  EXPECT_FALSE(reader.Lookup("o/2", &got));
+  EXPECT_EQ(reader.hits(), 2);
+}
+
+TEST(CheckpointerTest, LoadFromEmptyDirIsACleanStart) {
+  const std::string dir = TempDirFor("ckpt_empty");
+  ckpt::Checkpointer reader(DirOptions(dir), {3, 2});
+  ASSERT_TRUE(reader.Load().ok());
+  EXPECT_EQ(reader.resumed_generation(), 0);
+  EXPECT_EQ(reader.resumed_fits(), 0);
+  EXPECT_TRUE(reader.warning().empty());
+}
+
+TEST(CheckpointerTest, FingerprintMismatchDegradesToCleanRestart) {
+  const std::string dir = TempDirFor("ckpt_fp");
+  ckpt::Checkpointer writer(DirOptions(dir, /*fingerprint=*/1), {3, 2});
+  writer.Record("o", 0, MakeFit(7));
+  ASSERT_TRUE(writer.Flush().ok());
+
+  ckpt::Checkpointer reader(DirOptions(dir, /*fingerprint=*/2), {3, 2});
+  ASSERT_TRUE(reader.Load().ok());  // not an error — just nothing usable
+  EXPECT_EQ(reader.resumed_generation(), 0);
+  EXPECT_EQ(reader.resumed_fits(), 0);
+  EXPECT_NE(reader.warning().find("fingerprint"), std::string::npos);
+}
+
+TEST(CheckpointerTest, TypeSizeMismatchRejectsTheSnapshot) {
+  const std::string dir = TempDirFor("ckpt_sizes");
+  ckpt::Checkpointer writer(DirOptions(dir), {3, 2});
+  writer.Record("o", 0, MakeFit(7));
+  ASSERT_TRUE(writer.Flush().ok());
+
+  // Same fingerprint, different node universes: the snapshot's phi rows no
+  // longer mean anything. Parse fails, Load degrades to a clean restart.
+  ckpt::Checkpointer reader(DirOptions(dir), {4, 2});
+  ASSERT_TRUE(reader.Load().ok());
+  EXPECT_EQ(reader.resumed_fits(), 0);
+  EXPECT_FALSE(reader.warning().empty());
+}
+
+TEST(CheckpointerTest, RetentionPrunesOldGenerations) {
+  const std::string dir = TempDirFor("ckpt_retention");
+  ckpt::CheckpointOptions opt = DirOptions(dir);
+  opt.keep_generations = 2;
+  ckpt::Checkpointer writer(opt, {3, 2});
+  for (int g = 1; g <= 5; ++g) {
+    writer.Record("o/" + std::to_string(g), 1, MakeFit(g));
+    ASSERT_TRUE(writer.Flush().ok());
+  }
+  // Generations 1..3 were pruned; 4 and 5 remain and 5 is the one resumed.
+  struct ::stat st;
+  EXPECT_NE(::stat((dir + "/ckpt-1.ckpt").c_str(), &st), 0);
+  EXPECT_NE(::stat((dir + "/ckpt-3.ckpt").c_str(), &st), 0);
+  EXPECT_EQ(::stat((dir + "/ckpt-4.ckpt").c_str(), &st), 0);
+  EXPECT_EQ(::stat((dir + "/ckpt-5.ckpt").c_str(), &st), 0);
+
+  ckpt::Checkpointer reader(opt, {3, 2});
+  ASSERT_TRUE(reader.Load().ok());
+  EXPECT_EQ(reader.resumed_generation(), 5);
+  EXPECT_EQ(reader.resumed_fits(), 5);  // snapshots accumulate all fits
+}
+
+TEST(CheckpointerTest, ResumedFitsSurviveTheNextCrash) {
+  const std::string dir = TempDirFor("ckpt_inherit");
+  ckpt::Checkpointer first(DirOptions(dir), {3, 2});
+  first.Record("o", 0, MakeFit(1));
+  ASSERT_TRUE(first.Flush().ok());
+
+  // Second run resumes, records one more fit, snapshots, and "crashes".
+  ckpt::Checkpointer second(DirOptions(dir), {3, 2});
+  ASSERT_TRUE(second.Load().ok());
+  second.Record("o/1", 1, MakeFit(2));
+  ASSERT_TRUE(second.Flush().ok());
+
+  // Third run must see BOTH fits — the inherited one was re-snapshotted.
+  ckpt::Checkpointer third(DirOptions(dir), {3, 2});
+  ASSERT_TRUE(third.Load().ok());
+  EXPECT_EQ(third.resumed_fits(), 2);
+  core::ClusterResult got;
+  EXPECT_TRUE(third.Lookup("o", &got));
+  EXPECT_TRUE(third.Lookup("o/1", &got));
+}
+
+TEST(CheckpointerTest, CorruptNewestGenerationFallsBackToPrevious) {
+  const std::string dir = TempDirFor("ckpt_fallback");
+  ckpt::Checkpointer writer(DirOptions(dir), {3, 2});
+  writer.Record("o", 0, MakeFit(1));
+  ASSERT_TRUE(writer.Flush().ok());  // generation 1: just "o"
+  writer.Record("o/1", 1, MakeFit(2));
+  ASSERT_TRUE(writer.Flush().ok());  // generation 2: "o" + "o/1"
+
+  // Flip one payload byte of generation 2 (past the header line).
+  auto blob = data::ReadFile(dir + "/ckpt-2.ckpt");
+  ASSERT_TRUE(blob.ok());
+  std::string corrupt = blob.value();
+  corrupt[corrupt.find('\n') + corrupt.size() / 2] ^= 0x01;
+  ASSERT_TRUE(data::WriteFile(dir + "/ckpt-2.ckpt", corrupt).ok());
+
+  ckpt::Checkpointer reader(DirOptions(dir), {3, 2});
+  ASSERT_TRUE(reader.Load().ok());
+  EXPECT_EQ(reader.resumed_generation(), 1);  // fell back
+  EXPECT_EQ(reader.resumed_fits(), 1);
+  EXPECT_NE(reader.warning().find("falling back"), std::string::npos);
+  // The next flush must not clobber generation 2's slot with a lower id.
+  reader.Record("o/2", 1, MakeFit(3));
+  ASSERT_TRUE(reader.Flush().ok());
+  ckpt::Checkpointer again(DirOptions(dir), {3, 2});
+  ASSERT_TRUE(again.Load().ok());
+  EXPECT_EQ(again.resumed_generation(), 3);
+  EXPECT_EQ(again.resumed_fits(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: interrupted pipeline runs resume to byte-identical trees.
+// ---------------------------------------------------------------------------
+
+data::HinDataset SmallDs() {
+  data::HinDatasetOptions opt = data::DblpLikeOptions(800, 55);
+  opt.num_areas = 3;
+  opt.subareas_per_area = 2;
+  return data::GenerateHinDataset(opt);
+}
+
+api::PipelineOptions SmallOptions(int num_threads = 1) {
+  api::PipelineOptions opt;
+  opt.build.levels_k = {3, 2};
+  opt.build.max_depth = 2;
+  opt.build.cluster.restarts = 2;
+  opt.build.cluster.max_iters = 50;
+  opt.build.cluster.seed = 7;
+  opt.miner.min_support = 4;
+  opt.exec.num_threads = num_threads;
+  return opt;
+}
+
+api::PipelineInput MakeInput(const data::HinDataset& ds) {
+  return api::PipelineInput(
+      ds.corpus, api::EntitySchema(ds.entity_type_names, ds.entity_type_sizes),
+      ds.entity_docs);
+}
+
+std::string TreeBytes(const api::MinedHierarchy& mined) {
+  return core::SerializeHierarchy(mined.tree());
+}
+
+class ResumeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ResumeTest, BudgetInterruptedRunResumesBitIdentical) {
+  const int threads = GetParam();
+  const std::string dir =
+      TempDirFor("ckpt_resume_t" + std::to_string(threads));
+  data::HinDataset ds = SmallDs();
+  api::PipelineInput input = MakeInput(ds);
+
+  // Reference: one uninterrupted, un-checkpointed run.
+  StatusOr<api::MinedHierarchy> ref = api::Mine(input, SmallOptions(threads));
+  ASSERT_TRUE(ref.ok()) << ref.status().message();
+  const std::string want = TreeBytes(ref.value());
+
+  // Interrupted run: stop mid-build on a small work budget, snapshotting
+  // every completed fit. The budget is sized to land between "root fit
+  // done" and "whole tree done" — but the resume contract below holds
+  // wherever it lands.
+  api::PipelineOptions stopped = SmallOptions(threads);
+  stopped.checkpoint_dir = dir;
+  stopped.checkpoint_every_nodes = 1;
+  stopped.work_budget = 150;
+  StatusOr<api::MinedHierarchy> partial = api::Mine(input, stopped);
+  ASSERT_TRUE(partial.ok()) << partial.status().message();
+  EXPECT_TRUE(partial.value().partial());
+
+  // Resume without the budget: must complete to the reference tree.
+  api::PipelineOptions resumed = SmallOptions(threads);
+  resumed.checkpoint_dir = dir;
+  resumed.checkpoint_every_nodes = 1;
+  resumed.resume = true;
+  StatusOr<api::MinedHierarchy> full = api::Mine(input, resumed);
+  ASSERT_TRUE(full.ok()) << full.status().message();
+  EXPECT_FALSE(full.value().partial());
+  EXPECT_TRUE(full.value().checkpoint_warning().empty())
+      << full.value().checkpoint_warning();
+  EXPECT_EQ(TreeBytes(full.value()), want);
+}
+
+TEST_P(ResumeTest, ResumeFromACompleteRunReplaysBitIdentical) {
+  const int threads = GetParam();
+  const std::string dir =
+      TempDirFor("ckpt_replay_t" + std::to_string(threads));
+  data::HinDataset ds = SmallDs();
+  api::PipelineInput input = MakeInput(ds);
+
+  api::PipelineOptions opt = SmallOptions(threads);
+  opt.checkpoint_dir = dir;
+  StatusOr<api::MinedHierarchy> first = api::Mine(input, opt);
+  ASSERT_TRUE(first.ok()) << first.status().message();
+
+  opt.resume = true;
+  StatusOr<api::MinedHierarchy> second = api::Mine(input, opt);
+  ASSERT_TRUE(second.ok()) << second.status().message();
+  EXPECT_EQ(TreeBytes(second.value()), TreeBytes(first.value()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ResumeTest, ::testing::Values(1, 8));
+
+TEST(ResumeOptionsTest, ChangedSeedInvalidatesTheCheckpoint) {
+  const std::string dir = TempDirFor("ckpt_seedchange");
+  data::HinDataset ds = SmallDs();
+  api::PipelineInput input = MakeInput(ds);
+
+  api::PipelineOptions opt = SmallOptions(1);
+  opt.checkpoint_dir = dir;
+  ASSERT_TRUE(api::Mine(input, opt).ok());
+
+  // Same dir, different clustering seed: the fingerprint differs, so the
+  // resumed run must ignore the snapshot and match a scratch run at the
+  // NEW seed.
+  api::PipelineOptions changed = SmallOptions(1);
+  changed.build.cluster.seed = 8;
+  StatusOr<api::MinedHierarchy> scratch = api::Mine(input, changed);
+  ASSERT_TRUE(scratch.ok());
+
+  changed.checkpoint_dir = dir;
+  changed.resume = true;
+  StatusOr<api::MinedHierarchy> resumed = api::Mine(input, changed);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().message();
+  EXPECT_EQ(TreeBytes(resumed.value()), TreeBytes(scratch.value()));
+  EXPECT_NE(resumed.value().checkpoint_warning().find("fingerprint"),
+            std::string::npos)
+      << resumed.value().checkpoint_warning();
+}
+
+TEST(ResumeOptionsTest, CorruptNewestSnapshotStillResumesIdentically) {
+  const std::string dir = TempDirFor("ckpt_e2e_fallback");
+  data::HinDataset ds = SmallDs();
+  api::PipelineInput input = MakeInput(ds);
+
+  api::PipelineOptions opt = SmallOptions(1);
+  opt.checkpoint_dir = dir;
+  opt.checkpoint_every_nodes = 1;  // many generations on disk
+  StatusOr<api::MinedHierarchy> ref = api::Mine(input, opt);
+  ASSERT_TRUE(ref.ok());
+  const std::string want = TreeBytes(ref.value());
+
+  // Corrupt the newest retained snapshot (highest generation number).
+  auto manifest = data::ReadFile(dir + "/MANIFEST");
+  ASSERT_TRUE(manifest.ok());
+  std::istringstream in(manifest.value());
+  std::string magic, fp;
+  in >> magic >> fp;
+  long long gen = 0, newest = 0;
+  std::string file, newest_file;
+  size_t bytes = 0;
+  std::string checksum;
+  while (in >> gen >> file >> bytes >> checksum) {
+    if (gen > newest) {
+      newest = gen;
+      newest_file = file;
+    }
+  }
+  ASSERT_GT(newest, 0);
+  auto blob = data::ReadFile(dir + "/" + newest_file);
+  ASSERT_TRUE(blob.ok());
+  std::string corrupt = blob.value();
+  corrupt[corrupt.size() - 2] ^= 0x01;
+  ASSERT_TRUE(data::WriteFile(dir + "/" + newest_file, corrupt).ok());
+
+  api::PipelineOptions resumed = SmallOptions(1);
+  resumed.checkpoint_dir = dir;
+  resumed.resume = true;
+  StatusOr<api::MinedHierarchy> again = api::Mine(input, resumed);
+  ASSERT_TRUE(again.ok()) << again.status().message();
+  EXPECT_EQ(TreeBytes(again.value()), want);
+  EXPECT_NE(again.value().checkpoint_warning().find("falling back"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Partial trees through the save/load/resume path (regression: the partial
+// trailer must survive a round trip of a budget-stopped tree).
+// ---------------------------------------------------------------------------
+
+TEST(PartialRoundTripTest, PartialFlagSurvivesSaveLoadResave) {
+  const std::string dir = TempDirFor("ckpt_partial");
+  data::HinDataset ds = SmallDs();
+  api::PipelineInput input = MakeInput(ds);
+
+  api::PipelineOptions stopped = SmallOptions(1);
+  stopped.checkpoint_dir = dir;
+  stopped.checkpoint_every_nodes = 1;
+  stopped.work_budget = 150;
+  StatusOr<api::MinedHierarchy> partial = api::Mine(input, stopped);
+  ASSERT_TRUE(partial.ok()) << partial.status().message();
+  ASSERT_TRUE(partial.value().partial());
+
+  // partial -> save -> load -> partial, twice (save of a LOADED partial
+  // tree must re-emit the trailer, not drop it).
+  const std::string path = ::testing::TempDir() + "/ckpt_partial_tree.bin";
+  ASSERT_TRUE(
+      data::WriteFile(path, TreeBytes(partial.value())).ok());
+  auto blob = data::ReadFile(path);
+  ASSERT_TRUE(blob.ok());
+  auto loaded = core::DeserializeHierarchy(blob.value());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_TRUE(loaded.value().partial());
+  auto reloaded =
+      core::DeserializeHierarchy(core::SerializeHierarchy(loaded.value()));
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_TRUE(reloaded.value().partial());
+  EXPECT_EQ(reloaded.value().num_nodes(), partial.value().tree().num_nodes());
+}
+
+}  // namespace
+}  // namespace latent

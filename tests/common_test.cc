@@ -1,5 +1,6 @@
 // Unit tests for the numerics substrate (src/common).
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -7,7 +8,10 @@
 #include "common/dense.h"
 #include "common/eigen.h"
 #include "common/math_util.h"
+#include "common/retry.h"
 #include "common/rng.h"
+#include "common/run_context.h"
+#include "common/status.h"
 #include "common/top_k.h"
 
 namespace latent {
@@ -250,6 +254,107 @@ TEST(EigenTest, RandomizedMatchesJacobiOnLowRankOperator) {
   for (int j = 0; j < k; ++j) {
     EXPECT_NEAR(approx.values[j], exact.values[j], 1e-6 * (1 + exact.values[j]));
   }
+}
+
+// ---------------------------------------------------------------------------
+// I/O retry policy.
+// ---------------------------------------------------------------------------
+
+io::RetryPolicy FastPolicy() {
+  io::RetryPolicy p;
+  p.max_attempts = 4;
+  p.initial_backoff_ms = 0;  // tests never actually want to sleep
+  p.max_backoff_ms = 0;
+  return p;
+}
+
+TEST(RetryTest, OnlyInternalIsTransient) {
+  EXPECT_TRUE(io::IsTransient(Status::Internal("flaky disk")));
+  EXPECT_FALSE(io::IsTransient(Status::Ok()));
+  EXPECT_FALSE(io::IsTransient(Status::InvalidArgument("bad")));
+  EXPECT_FALSE(io::IsTransient(Status::NotFound("gone")));
+  EXPECT_FALSE(io::IsTransient(Status::Cancelled("stop")));
+  EXPECT_FALSE(io::IsTransient(Status::ResourceExhausted("budget")));
+  EXPECT_FALSE(io::IsTransient(Status::DeadlineExceeded("late")));
+}
+
+TEST(RetryTest, TransientFailureRecoversWithinAttemptBudget) {
+  int calls = 0;
+  Status s = io::WithRetry(FastPolicy(), [&]() -> Status {
+    return ++calls < 3 ? Status::Internal("transient") : Status::Ok();
+  });
+  EXPECT_TRUE(s.ok()) << s.message();
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryTest, PermanentFailureIsNotRetried) {
+  int calls = 0;
+  Status s = io::WithRetry(FastPolicy(), [&]() -> Status {
+    ++calls;
+    return Status::InvalidArgument("never retry this");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, AttemptBudgetBoundsTheCallsAndReturnsLastStatus) {
+  int calls = 0;
+  Status s = io::WithRetry(FastPolicy(), [&]() -> Status {
+    return Status::Internal("still failing #" + std::to_string(++calls));
+  });
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_EQ(calls, 4);
+  EXPECT_NE(s.message().find("#4"), std::string::npos);
+}
+
+TEST(RetryTest, StoppedRunContextWinsOverTheIoFailure) {
+  run::RunContext ctx;
+  ctx.set_work_budget(1);
+  ctx.ChargeWork(5);  // exhausted before the retry loop starts
+  int calls = 0;
+  Status s = io::WithRetry(
+      FastPolicy(),
+      [&]() -> Status {
+        ++calls;
+        return Status::Internal("transient");
+      },
+      &ctx);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(calls, 0);  // never even attempted
+}
+
+TEST(RetryTest, BackoffGrowsExponentiallyAndCaps) {
+  io::RetryPolicy p;
+  p.initial_backoff_ms = 10;
+  p.max_backoff_ms = 50;
+  p.multiplier = 2.0;
+  p.jitter = 0.0;  // exact schedule
+  EXPECT_EQ(io::BackoffMs(p, 0, nullptr), 10);
+  EXPECT_EQ(io::BackoffMs(p, 1, nullptr), 20);
+  EXPECT_EQ(io::BackoffMs(p, 2, nullptr), 40);
+  EXPECT_EQ(io::BackoffMs(p, 3, nullptr), 50);  // capped
+  EXPECT_EQ(io::BackoffMs(p, 9, nullptr), 50);
+}
+
+TEST(RetryTest, JitterIsDeterministicPerSeedAndBounded) {
+  io::RetryPolicy p;
+  p.initial_backoff_ms = 100;
+  p.max_backoff_ms = 1000;
+  p.jitter = 0.5;
+  Rng a(p.seed), b(p.seed), c(p.seed + 1);
+  bool any_diff = false;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const long long da = io::BackoffMs(p, attempt, &a);
+    const long long db = io::BackoffMs(p, attempt, &b);
+    const long long dc = io::BackoffMs(p, attempt, &c);
+    EXPECT_EQ(da, db);  // same seed, same schedule
+    any_diff = any_diff || da != dc;
+    // Jittered delay stays within [0.5, 1.5] x the un-jittered base.
+    const long long base = io::BackoffMs(p, attempt, nullptr);
+    EXPECT_GE(da, base / 2);
+    EXPECT_LE(da, base + base / 2);
+  }
+  EXPECT_TRUE(any_diff);  // a different seed gives a different schedule
 }
 
 }  // namespace

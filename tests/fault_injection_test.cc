@@ -9,6 +9,7 @@
 #include <string>
 
 #include "api/latent.h"
+#include "ckpt/checkpoint.h"
 #include "common/failpoint.h"
 #include "core/serialize.h"
 #include "data/io.h"
@@ -334,6 +335,213 @@ TEST_F(DeserializeFaultTest, InjectedAllocationFailureIsResourceExhausted) {
   EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
   // And the very next parse works.
   EXPECT_TRUE(core::DeserializeHierarchy(blob).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint fault injection: injected snapshot/manifest/read failures
+// (ckpt.write, ckpt.manifest, ckpt.read) plus hand-crafted torn, stale,
+// and corrupt checkpoint state. The invariant under every fault: the mined
+// tree is never wrong — the worst case is recomputation plus a warning.
+// ---------------------------------------------------------------------------
+
+std::string FreshCkptDir(const std::string& name) {
+  const std::string dir = TempPath(name);
+  ::system(("rm -rf " + dir).c_str());
+  return dir;
+}
+
+api::PipelineOptions CkptOptions(const std::string& dir, bool resume = false) {
+  api::PipelineOptions opt = SmallOptions();
+  opt.checkpoint_dir = dir;
+  opt.checkpoint_every_nodes = 1;
+  opt.resume = resume;
+  return opt;
+}
+
+std::string MineTreeBytes(const data::HinDataset& ds,
+                          const api::PipelineOptions& opt,
+                          std::string* warning = nullptr) {
+  api::PipelineInput input(
+      ds.corpus, api::EntitySchema(ds.entity_type_names, ds.entity_type_sizes),
+      ds.entity_docs);
+  StatusOr<api::MinedHierarchy> result = api::Mine(input, opt);
+  EXPECT_TRUE(result.ok()) << result.status().message();
+  if (!result.ok()) return "";
+  if (warning != nullptr) *warning = result.value().checkpoint_warning();
+  return core::SerializeHierarchy(result.value().tree());
+}
+
+using CkptFaultTest = FailpointTest;
+
+TEST_F(CkptFaultTest, SnapshotWriteFailureDegradesToUncheckpointedRun) {
+  data::HinDataset ds = SmallDs();
+  const std::string want = MineTreeBytes(ds, SmallOptions());
+
+  const std::string dir = FreshCkptDir("ckpt_fault_write");
+  api::PipelineOptions opt = CkptOptions(dir);
+  run::failpoint::Arm("ckpt.write");  // every snapshot write fails, retries too
+  std::string warning;
+  const std::string got = MineTreeBytes(ds, opt, &warning);
+  // Retries really happened before degrading (initial try + 3 retries).
+  // Read the counter BEFORE disarming — Disarm resets hit counts.
+  EXPECT_GE(run::failpoint::HitCount("ckpt.write"), 4);
+  run::failpoint::DisarmAll();
+
+  EXPECT_EQ(got, want);  // the run itself is untouched
+  EXPECT_NE(warning.find("checkpointing disabled"), std::string::npos)
+      << warning;
+  // Nothing durable appeared, so a resume is a clean (still correct) start.
+  EXPECT_FALSE(data::ReadFile(dir + "/MANIFEST").ok());
+  EXPECT_EQ(MineTreeBytes(ds, CkptOptions(dir, /*resume=*/true)), want);
+}
+
+TEST_F(CkptFaultTest, ManifestWriteFailureDegradesToUncheckpointedRun) {
+  data::HinDataset ds = SmallDs();
+  const std::string want = MineTreeBytes(ds, SmallOptions());
+
+  const std::string dir = FreshCkptDir("ckpt_fault_manifest");
+  run::failpoint::Arm("ckpt.manifest");
+  std::string warning;
+  const std::string got = MineTreeBytes(ds, CkptOptions(dir), &warning);
+  run::failpoint::DisarmAll();
+
+  EXPECT_EQ(got, want);
+  EXPECT_NE(warning.find("checkpointing disabled"), std::string::npos);
+  // The orphaned snapshot file is harmless: without a manifest the resume
+  // path sees nothing and cleanly recomputes the same tree.
+  EXPECT_FALSE(data::ReadFile(dir + "/MANIFEST").ok());
+  EXPECT_EQ(MineTreeBytes(ds, CkptOptions(dir, /*resume=*/true)), want);
+}
+
+TEST_F(CkptFaultTest, UnreadableNewestSnapshotFallsBackToPreviousGeneration) {
+  data::HinDataset ds = SmallDs();
+  const std::string dir = FreshCkptDir("ckpt_fault_read");
+  const std::string want = MineTreeBytes(ds, CkptOptions(dir));
+
+  // The newest generation's read fails once; Load() must fall back to the
+  // previous generation and the resumed run must still match bit for bit.
+  run::failpoint::Arm("ckpt.read", /*count=*/1);
+  std::string warning;
+  const std::string got =
+      MineTreeBytes(ds, CkptOptions(dir, /*resume=*/true), &warning);
+  run::failpoint::DisarmAll();
+  EXPECT_EQ(got, want);
+  EXPECT_NE(warning.find("unreadable"), std::string::npos) << warning;
+  EXPECT_NE(warning.find("falling back"), std::string::npos) << warning;
+}
+
+// The crafted-state tests below need no fail points — they damage real
+// files — so they run in every build configuration.
+
+core::ClusterResult CkptFit(uint64_t seed_used) {
+  core::ClusterResult m;
+  m.k = 2;
+  m.background = false;
+  m.log_likelihood = -1.5;
+  m.bic_score = -2.5;
+  m.rho = {0.75, 0.25};
+  m.phi = {{{0.5, 0.5, 0.0}, {1.0, 0.0}}, {{0.0, 0.0, 1.0}, {0.0, 1.0}}};
+  m.alpha = {1.0};
+  m.seed_used = seed_used;
+  return m;
+}
+
+ckpt::CheckpointOptions CkptDirOptions(const std::string& dir) {
+  ckpt::CheckpointOptions opt;
+  opt.dir = dir;
+  opt.fingerprint = 0xfeed;
+  opt.retry.max_attempts = 1;
+  return opt;
+}
+
+TEST(CkptCraftedFaultTest, TornSnapshotFallsBackToPreviousGeneration) {
+  const std::string dir = FreshCkptDir("ckpt_torn");
+  const std::vector<int> sizes = {3, 2};
+  ckpt::Checkpointer writer(CkptDirOptions(dir), sizes);
+  writer.Record("o", 0, CkptFit(1));
+  ASSERT_TRUE(writer.Flush().ok());  // generation 1
+  writer.Record("o/1", 1, CkptFit(2));
+  ASSERT_TRUE(writer.Flush().ok());  // generation 2
+
+  // Tear generation 2: drop its tail, as a crashed non-atomic writer would.
+  auto blob = data::ReadFile(dir + "/ckpt-2.ckpt");
+  ASSERT_TRUE(blob.ok());
+  ASSERT_TRUE(data::WriteFile(dir + "/ckpt-2.ckpt",
+                              blob.value().substr(0, blob.value().size() - 10))
+                  .ok());
+
+  ckpt::Checkpointer reader(CkptDirOptions(dir), sizes);
+  ASSERT_TRUE(reader.Load().ok());
+  EXPECT_EQ(reader.resumed_generation(), 1);
+  EXPECT_EQ(reader.resumed_fits(), 1);
+  EXPECT_NE(reader.warning().find("torn"), std::string::npos)
+      << reader.warning();
+}
+
+TEST(CkptCraftedFaultTest, StaleGenerationIsRejectedByEmbeddedGeneration) {
+  const std::string dir = FreshCkptDir("ckpt_stale");
+  const std::vector<int> sizes = {3, 2};
+  ckpt::Checkpointer writer(CkptDirOptions(dir), sizes);
+  writer.Record("o", 0, CkptFit(1));
+  ASSERT_TRUE(writer.Flush().ok());  // generation 1
+
+  // Forge a "generation 7" manifest entry pointing at a byte-for-byte copy
+  // of generation 1 (correct length AND checksum, so only the embedded
+  // generation number can expose the lie).
+  auto snap = data::ReadFile(dir + "/ckpt-1.ckpt");
+  ASSERT_TRUE(snap.ok());
+  ASSERT_TRUE(data::WriteFile(dir + "/ckpt-7.ckpt", snap.value()).ok());
+  auto manifest = data::ReadFile(dir + "/MANIFEST");
+  ASSERT_TRUE(manifest.ok());
+  std::string forged = manifest.value();
+  const std::string gen1_line = forged.substr(forged.find('\n') + 1);
+  const std::string prefix = "1 ckpt-1.ckpt ";
+  ASSERT_EQ(gen1_line.substr(0, prefix.size()), prefix);
+  forged += "7 ckpt-7.ckpt " + gen1_line.substr(prefix.size());
+  ASSERT_TRUE(data::WriteFile(dir + "/MANIFEST", forged).ok());
+
+  ckpt::Checkpointer reader(CkptDirOptions(dir), sizes);
+  ASSERT_TRUE(reader.Load().ok());
+  EXPECT_EQ(reader.resumed_generation(), 1);  // fell past the stale entry
+  EXPECT_NE(reader.warning().find("stale"), std::string::npos)
+      << reader.warning();
+}
+
+TEST(CkptCraftedFaultTest, CorruptManifestMeansCleanRestart) {
+  const std::string dir = FreshCkptDir("ckpt_badmanifest");
+  const std::vector<int> sizes = {3, 2};
+  ckpt::Checkpointer writer(CkptDirOptions(dir), sizes);
+  writer.Record("o", 0, CkptFit(1));
+  ASSERT_TRUE(writer.Flush().ok());
+
+  ASSERT_TRUE(data::WriteFile(dir + "/MANIFEST", "not a manifest at all").ok());
+  ckpt::Checkpointer reader(CkptDirOptions(dir), sizes);
+  ASSERT_TRUE(reader.Load().ok());  // degraded, not an error
+  EXPECT_EQ(reader.resumed_generation(), 0);
+  EXPECT_EQ(reader.resumed_fits(), 0);
+  EXPECT_NE(reader.warning().find("corrupt checkpoint manifest"),
+            std::string::npos);
+}
+
+TEST(CkptCraftedFaultTest, ManifestPathTraversalIsRejected) {
+  const std::string dir = FreshCkptDir("ckpt_traversal");
+  const std::vector<int> sizes = {3, 2};
+  ckpt::Checkpointer writer(CkptDirOptions(dir), sizes);
+  writer.Record("o", 0, CkptFit(1));
+  ASSERT_TRUE(writer.Flush().ok());
+
+  // A manifest naming a file outside the checkpoint dir must be refused
+  // wholesale (clean restart), never dereferenced.
+  ASSERT_TRUE(data::WriteFile(
+                  dir + "/MANIFEST",
+                  "latent-ckpt-manifest-v1 000000000000feed\n"
+                  "1 ../../etc/passwd 10 0123456789abcdef\n")
+                  .ok());
+  ckpt::Checkpointer reader(CkptDirOptions(dir), sizes);
+  ASSERT_TRUE(reader.Load().ok());
+  EXPECT_EQ(reader.resumed_generation(), 0);
+  EXPECT_NE(reader.warning().find("corrupt checkpoint manifest entry"),
+            std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,222 @@
+// Torture harness: kill-and-resume crash recovery for the latent_mine CLI.
+//
+// Spawns real `latent_mine` processes against a synthetic HIN corpus with
+// checkpointing enabled, SIGKILLs them at staggered points mid-run, resumes
+// with --resume after every kill, and finally byte-compares the saved tree
+// against an uninterrupted reference run. Thread counts are alternated
+// across attempts (and differ from the reference run) so the comparison
+// also exercises the cross-thread-count determinism contract.
+//
+// Registered with ctest under the "torture" label (see tests/CMakeLists.txt):
+//   ctest -L torture
+// Usage: torture_kill_resume_test <path-to-latent_mine>
+// A missing/invalid binary path skips the test (exit 0) so the harness
+// never breaks builds that do not produce the tool.
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "data/io.h"
+#include "data/synthetic_hin.h"
+
+namespace {
+
+using namespace latent;
+
+std::string g_dir;
+
+std::string Path(const std::string& name) { return g_dir + "/" + name; }
+
+int Fail(const std::string& why) {
+  std::fprintf(stderr, "FAIL: %s\n", why.c_str());
+  return 1;
+}
+
+// Spawns `latent_mine` with stdout/stderr appended to a log file. Returns
+// the child pid, or -1 on fork failure.
+pid_t Spawn(const std::vector<std::string>& args) {
+  pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  int fd = ::open(Path("mine.log").c_str(), O_WRONLY | O_CREAT | O_APPEND,
+                  0644);
+  if (fd >= 0) {
+    ::dup2(fd, 1);
+    ::dup2(fd, 2);
+    ::close(fd);
+  }
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (const std::string& a : args) {
+    argv.push_back(const_cast<char*>(a.c_str()));
+  }
+  argv.push_back(nullptr);
+  ::execv(argv[0], argv.data());
+  _exit(127);
+}
+
+struct WaitResult {
+  bool exited = false;  // normal exit (vs signal)
+  int code = -1;        // exit code when exited
+  bool killed_by_us = false;
+};
+
+// Waits for `pid`, killing it with SIGKILL after `kill_after_ms` (< 0 =
+// never kill, wait for completion).
+WaitResult AwaitOrKill(pid_t pid, long long kill_after_ms) {
+  WaitResult r;
+  if (kill_after_ms >= 0) {
+    // Poll in 5ms steps so a fast child is reaped promptly.
+    long long waited = 0;
+    while (waited < kill_after_ms) {
+      int status = 0;
+      pid_t done = ::waitpid(pid, &status, WNOHANG);
+      if (done == pid) {
+        r.exited = WIFEXITED(status);
+        r.code = r.exited ? WEXITSTATUS(status) : -1;
+        return r;
+      }
+      ::usleep(5000);
+      waited += 5;
+    }
+    ::kill(pid, SIGKILL);
+    r.killed_by_us = true;
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  if (!r.killed_by_us) {
+    r.exited = WIFEXITED(status);
+    r.code = r.exited ? WEXITSTATUS(status) : -1;
+  }
+  return r;
+}
+
+std::vector<std::string> MineArgs(const std::string& mine,
+                                  const std::string& out, int threads,
+                                  bool checkpoint) {
+  std::vector<std::string> args = {
+      mine,           "--corpus",      Path("corpus.txt"),
+      "--entities",   Path("entities.tsv"),
+      "--levels",     "3,2",
+      "--min-support", "4",
+      "--seed",       "7",
+      "--threads",    std::to_string(threads),
+      "--save",       out,
+  };
+  if (checkpoint) {
+    args.insert(args.end(), {"--checkpoint-dir", Path("ckpt"),
+                             "--checkpoint-every", "1", "--resume"});
+  }
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || ::access(argv[1], X_OK) != 0) {
+    std::fprintf(stderr, "SKIP: latent_mine binary not given/executable\n");
+    return 0;
+  }
+  const std::string mine = argv[1];
+  const char* tmp = std::getenv("TMPDIR");
+  g_dir = std::string(tmp != nullptr ? tmp : "/tmp") + "/latent_torture";
+  ::system(("rm -rf " + g_dir).c_str());
+  if (::mkdir(g_dir.c_str(), 0755) != 0) return Fail("cannot mkdir " + g_dir);
+
+  // Synthesize a corpus + entity attachments and write them in the formats
+  // latent_mine loads (one document per line; doc \t type \t entity TSV).
+  data::HinDatasetOptions dopt = data::DblpLikeOptions(1200, 55);
+  dopt.num_areas = 3;
+  dopt.subareas_per_area = 2;
+  data::HinDataset ds = data::GenerateHinDataset(dopt);
+  {
+    std::string corpus_txt;
+    for (const text::Document& doc : ds.corpus.docs()) {
+      std::string line;
+      for (int id : doc.tokens) {
+        if (!line.empty()) line += " ";
+        line += ds.corpus.vocab().Token(id);
+      }
+      corpus_txt += line + "\n";
+    }
+    if (!data::WriteFile(Path("corpus.txt"), corpus_txt).ok()) {
+      return Fail("cannot write corpus");
+    }
+    std::string tsv;
+    for (size_t d = 0; d < ds.entity_docs.size(); ++d) {
+      const auto& types = ds.entity_docs[d].entities;
+      for (size_t t = 0; t < types.size(); ++t) {
+        for (int id : types[t]) {
+          tsv += std::to_string(d) + "\t" + ds.entity_type_names[t] + "\te" +
+                 std::to_string(t) + "_" + std::to_string(id) + "\n";
+        }
+      }
+    }
+    if (!data::WriteFile(Path("entities.tsv"), tsv).ok()) {
+      return Fail("cannot write entities");
+    }
+  }
+
+  // Reference: one uninterrupted, checkpoint-free run.
+  {
+    WaitResult r = AwaitOrKill(
+        Spawn(MineArgs(mine, Path("ref.bin"), /*threads=*/1,
+                       /*checkpoint=*/false)),
+        /*kill_after_ms=*/-1);
+    if (!r.exited || r.code != 0) {
+      return Fail("reference run failed (see " + Path("mine.log") + ")");
+    }
+  }
+  auto ref = data::ReadFile(Path("ref.bin"));
+  if (!ref.ok()) return Fail("reference tree missing");
+
+  // Kill-and-resume loop: SIGKILL at staggered delays, alternating thread
+  // counts, resuming each time. Stops as soon as one attempt survives to
+  // completion.
+  int kills = 0;
+  bool completed = false;
+  const int kMaxAttempts = 12;
+  for (int attempt = 0; attempt < kMaxAttempts && !completed; ++attempt) {
+    const int threads = attempt % 2 == 0 ? 1 : 8;
+    const long long delay_ms = 40 + 60LL * attempt;  // staggered kill points
+    WaitResult r = AwaitOrKill(
+        Spawn(MineArgs(mine, Path("out.bin"), threads, /*checkpoint=*/true)),
+        delay_ms);
+    if (r.killed_by_us) {
+      ++kills;
+      continue;
+    }
+    if (!r.exited || r.code != 0) {
+      return Fail("interrupted run exited with an error (attempt " +
+                  std::to_string(attempt) + ")");
+    }
+    completed = true;
+  }
+  if (!completed) {
+    // Every staggered attempt was killed first; one final uninterrupted
+    // resume must finish the job.
+    WaitResult r = AwaitOrKill(
+        Spawn(MineArgs(mine, Path("out.bin"), /*threads=*/8,
+                       /*checkpoint=*/true)),
+        /*kill_after_ms=*/-1);
+    if (!r.exited || r.code != 0) return Fail("final resume run failed");
+  }
+
+  auto out = data::ReadFile(Path("out.bin"));
+  if (!out.ok()) return Fail("resumed tree missing");
+  if (out.value() != ref.value()) {
+    return Fail("resumed tree differs from the uninterrupted reference (" +
+                std::to_string(kills) + " kills)");
+  }
+  std::fprintf(stderr,
+               "PASS: byte-identical tree after %d SIGKILL interruption(s)\n",
+               kills);
+  return 0;
+}

@@ -2,12 +2,16 @@
 //
 //   latent_mine --corpus docs.txt [--entities links.tsv]
 //               [--levels 6,4] [--min-support 5] [--seed 42]
+//               [--checkpoint-dir DIR] [--resume]
 //               [--json out.json] [--save tree.bin] [--stem]
 //
 // Reads a corpus (one document per line) and optional entity attachments
 // (TSV: doc_index \t type_name \t entity_name), mines a phrase-represented
 // entity-enriched topical hierarchy, prints it, and optionally exports JSON
-// or a reloadable serialized tree.
+// or a reloadable serialized tree. With --checkpoint-dir the build
+// periodically snapshots its progress; after a crash, rerunning with
+// --resume continues from the newest valid snapshot and produces the same
+// tree an uninterrupted run would have.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -15,6 +19,7 @@
 #include <vector>
 
 #include "api/latent.h"
+#include "common/retry.h"
 #include "core/serialize.h"
 #include "data/io.h"
 
@@ -35,17 +40,41 @@ std::vector<int> ParseLevels(const std::string& spec) {
   return out;
 }
 
+// Strict signed-integer parse: the whole string must be a number. Returns
+// false on trailing junk or empty input so "--timeout-s abc" is an error
+// instead of silently becoming 0.
+bool ParseInt(const char* s, long long* out) {
+  if (s == nullptr || *s == '\0') return false;
+  char* end = nullptr;
+  long long v = std::strtoll(s, &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
       "usage: latent_mine --corpus FILE [--entities FILE] [--levels 6,4]\n"
       "                   [--min-support N] [--seed N] [--threads N]\n"
-      "                   [--timeout-s N] [--json FILE] [--save FILE]\n"
+      "                   [--timeout-s N] [--work-budget N]\n"
+      "                   [--checkpoint-dir DIR] [--checkpoint-every N]\n"
+      "                   [--resume] [--json FILE] [--save FILE]\n"
       "                   [--stem] [--equal-weights]\n"
-      "  --threads N   worker threads (0 = all cores, 1 = serial; results\n"
-      "                are identical either way)\n"
-      "  --timeout-s N stop mining after ~N seconds and print whatever\n"
-      "                fully-converged partial hierarchy was reached\n");
+      "  --threads N          worker threads (0 = all cores, 1 = serial;\n"
+      "                       results are identical either way)\n"
+      "  --timeout-s N        stop mining after ~N seconds and print\n"
+      "                       whatever fully-converged partial hierarchy\n"
+      "                       was reached (N must be > 0)\n"
+      "  --work-budget N      stop mining after ~N EM iterations of work\n"
+      "                       (N must be > 0)\n"
+      "  --checkpoint-dir DIR periodically snapshot build progress into\n"
+      "                       DIR (crash-safe, checksummed)\n"
+      "  --checkpoint-every N snapshot every N completed node fits\n"
+      "                       (default 8; 0 = only a final snapshot)\n"
+      "  --resume             restore the newest valid snapshot from\n"
+      "                       --checkpoint-dir before building; the result\n"
+      "                       is identical to an uninterrupted run\n");
   return 2;
 }
 
@@ -54,11 +83,17 @@ int Usage() {
 int main(int argc, char** argv) {
   using namespace latent;
   std::string corpus_path, entities_path, json_path, save_path;
+  std::string checkpoint_dir;
   std::vector<int> levels = {5, 3};
   long long min_support = 5;
   uint64_t seed = 42;
   int num_threads = 0;
   long long timeout_s = 0;
+  bool timeout_set = false;
+  long long work_budget = 0;
+  bool work_budget_set = false;
+  long long checkpoint_every = 8;
+  bool resume = false;
   bool stem = false;
   bool learn_weights = true;
 
@@ -67,6 +102,14 @@ int main(int argc, char** argv) {
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
+    auto next_int = [&](long long* out) {
+      const char* v = next();
+      if (!ParseInt(v, out)) {
+        std::fprintf(stderr, "error: %s needs an integer argument\n",
+                     arg.c_str());
+        std::exit(2);
+      }
+    };
     if (arg == "--corpus") {
       if (const char* v = next()) corpus_path = v;
     } else if (arg == "--entities") {
@@ -74,13 +117,25 @@ int main(int argc, char** argv) {
     } else if (arg == "--levels") {
       if (const char* v = next()) levels = ParseLevels(v);
     } else if (arg == "--min-support") {
-      if (const char* v = next()) min_support = std::atoll(v);
+      next_int(&min_support);
     } else if (arg == "--seed") {
       if (const char* v = next()) seed = std::strtoull(v, nullptr, 10);
     } else if (arg == "--threads") {
-      if (const char* v = next()) num_threads = std::atoi(v);
+      long long v = 0;
+      next_int(&v);
+      num_threads = static_cast<int>(v);
     } else if (arg == "--timeout-s") {
-      if (const char* v = next()) timeout_s = std::atoll(v);
+      next_int(&timeout_s);
+      timeout_set = true;
+    } else if (arg == "--work-budget") {
+      next_int(&work_budget);
+      work_budget_set = true;
+    } else if (arg == "--checkpoint-dir") {
+      if (const char* v = next()) checkpoint_dir = v;
+    } else if (arg == "--checkpoint-every") {
+      next_int(&checkpoint_every);
+    } else if (arg == "--resume") {
+      resume = true;
     } else if (arg == "--json") {
       if (const char* v = next()) json_path = v;
     } else if (arg == "--save") {
@@ -133,7 +188,14 @@ int main(int argc, char** argv) {
   opt.build.cluster.seed = seed;
   opt.miner.min_support = min_support;
   opt.exec.num_threads = num_threads;
-  if (timeout_s > 0) opt.deadline_ms = timeout_s * 1000;
+  // Explicit --timeout-s 0 / --work-budget 0 (and all negatives) must fail
+  // validation rather than silently meaning "unbounded" — map the explicit
+  // non-positive value to a sentinel Validate() rejects.
+  if (timeout_set) opt.deadline_ms = timeout_s > 0 ? timeout_s * 1000 : -1;
+  if (work_budget_set) opt.work_budget = work_budget > 0 ? work_budget : -1;
+  opt.checkpoint_dir = checkpoint_dir;
+  opt.checkpoint_every_nodes = static_cast<int>(checkpoint_every);
+  opt.resume = resume;
   api::PipelineInput input(
       corpus, api::EntitySchema(type_names, type_sizes), entity_docs);
   StatusOr<api::MinedHierarchy> result = api::Mine(input, opt);
@@ -144,20 +206,27 @@ int main(int argc, char** argv) {
   const api::MinedHierarchy& mined = result.value();
   if (mined.partial()) {
     std::fprintf(stderr,
-                 "warning: deadline hit; printing the partial hierarchy "
+                 "warning: run budget hit; printing the partial hierarchy "
                  "(deepest fully-converged frontier)\n");
+  }
+  if (!mined.checkpoint_warning().empty()) {
+    std::fprintf(stderr, "warning: %s\n", mined.checkpoint_warning().c_str());
   }
 
   phrase::KertOptions kopt;
   std::printf("%s", mined.RenderTree(kopt, 5).c_str());
 
+  // Final exports ride the same transient-failure retry policy the
+  // checkpointer uses: a busy filesystem shouldn't discard a long run.
+  const io::RetryPolicy retry;
   if (!json_path.empty()) {
     auto namer = [&](int type, int id) -> std::string {
       if (type == 0) return corpus.vocab().Token(id);
       return attachments.entity_names[type - 1].Token(id);
     };
-    Status s = data::WriteFile(json_path,
-                               core::HierarchyToJson(mined.tree(), namer));
+    const std::string json = core::HierarchyToJson(mined.tree(), namer);
+    Status s = io::WithRetry(
+        retry, [&] { return data::WriteFile(json_path, json); });
     if (!s.ok()) {
       std::fprintf(stderr, "error: %s\n", s.message().c_str());
       return 1;
@@ -165,8 +234,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "wrote %s\n", json_path.c_str());
   }
   if (!save_path.empty()) {
-    Status s = data::WriteFile(save_path,
-                               core::SerializeHierarchy(mined.tree()));
+    const std::string blob = core::SerializeHierarchy(mined.tree());
+    Status s = io::WithRetry(
+        retry, [&] { return data::WriteFile(save_path, blob); });
     if (!s.ok()) {
       std::fprintf(stderr, "error: %s\n", s.message().c_str());
       return 1;
