@@ -1,5 +1,6 @@
 #include "api/latent.h"
 
+#include <chrono>
 #include <memory>
 #include <sstream>
 #include <utility>
@@ -133,6 +134,11 @@ Status PipelineOptions::Validate() const {
     return Status::InvalidArgument(
         "resume requires a checkpoint_dir to resume from");
   }
+  if (progress_every_ms < 0) {
+    return Status::InvalidArgument(Sprintf2(
+        "progress_every_ms must be >= 0 (0 = unthrottled)",
+        progress_every_ms));
+  }
   return Status::Ok();
 }
 
@@ -253,17 +259,41 @@ StatusOr<MinedHierarchy> Mine(const PipelineInput& input,
   if (options.work_budget > 0) ctx.set_work_budget(options.work_budget);
   const run::RunContext* rc = bounded ? &ctx : nullptr;
 
+  // Observability scope for this call. options.progress without a caller
+  // registry is backed by a local one (the callback needs live stats to
+  // read); both the scope and a local registry live on this stack frame,
+  // so — like the run context below — they MUST be detached from the
+  // (shared, possibly outliving) executor on every return path.
+  obs::Registry local_registry;
+  obs::Registry* metrics = options.metrics;
+  if (metrics == nullptr && options.progress) metrics = &local_registry;
+  if (metrics != nullptr) obs::PreRegisterPipelineMetrics(metrics);
+  std::unique_ptr<obs::ProgressSink> progress_sink;
+  if (options.progress) {
+    progress_sink = std::make_unique<obs::ProgressSink>(
+        metrics, options.progress, options.progress_every_ms);
+  }
+  obs::Scope obs_scope(metrics, progress_sink.get());
+  const obs::Scope* ob = metrics != nullptr ? &obs_scope : nullptr;
+#if defined(LATENT_OBS_ENABLED)
+  const auto mine_start = std::chrono::steady_clock::now();
+#endif
+
   auto executor = std::make_shared<exec::Executor>(options.exec);
   exec::Executor* ex = executor->num_threads() > 1 ? executor.get() : nullptr;
-  // The context lives on this stack frame, so it MUST be detached from the
-  // (shared, possibly outliving) executor on every return path.
   struct CtxGuard {
     exec::Executor* ex;
     ~CtxGuard() {
-      if (ex != nullptr) ex->set_run_context(nullptr);
+      if (ex != nullptr) {
+        ex->set_run_context(nullptr);
+        ex->set_obs(nullptr);
+      }
     }
   } guard{ex};
-  if (ex != nullptr) ex->set_run_context(rc);
+  if (ex != nullptr) {
+    ex->set_run_context(rc);
+    LATENT_OBS(ex->set_obs(metrics));
+  }
 
   // Stopped before any work (pre-cancelled token, already-expired
   // deadline): report why instead of returning an empty result.
@@ -273,9 +303,15 @@ StatusOr<MinedHierarchy> Mine(const PipelineInput& input,
   const std::vector<hin::EntityDoc>& entity_docs =
       input.entity_docs != nullptr ? *input.entity_docs : kNoEntityDocs;
 
-  StatusOr<hin::HeteroNetwork> net = hin::TryBuildCollapsedNetwork(
-      *input.corpus, input.schema.names, input.schema.sizes, entity_docs,
-      options.collapse);
+  // Stage phases are timed with immediately-invoked lambdas so each span
+  // closes (and records) before the next stage starts — and before the
+  // end-of-run report is read.
+  StatusOr<hin::HeteroNetwork> net = [&] {
+    LATENT_OBS_SPAN(span, obs::RegistryOf(ob), "collapse");
+    return hin::TryBuildCollapsedNetwork(*input.corpus, input.schema.names,
+                                         input.schema.sizes, entity_docs,
+                                         options.collapse);
+  }();
   if (!net.ok()) return net.status();
 
   // Durable checkpointing of the hierarchy build. Resume restores the
@@ -291,20 +327,26 @@ StatusOr<MinedHierarchy> Mine(const PipelineInput& input,
     copt.fingerprint = CheckpointFingerprint(input, options);
     checkpointer = std::make_unique<ckpt::Checkpointer>(
         copt, net.value().type_sizes());
+    LATENT_OBS(checkpointer->set_obs(ob));
     if (options.resume) {
       if (Status s = checkpointer->Load(); !s.ok()) return s;
     }
   }
 
-  StatusOr<core::TopicHierarchy> tree = core::TryBuildHierarchy(
-      net.value(), options.build, ex, rc, checkpointer.get());
+  StatusOr<core::TopicHierarchy> tree = [&] {
+    LATENT_OBS_SPAN(span, obs::RegistryOf(ob), "build");
+    return core::TryBuildHierarchy(net.value(), options.build, ex, rc,
+                                   checkpointer.get(), ob);
+  }();
   if (!tree.ok()) return tree.status();
   // Final snapshot: a bounded run that stopped mid-build leaves its whole
   // frontier durable even when the cadence never triggered. Failures only
   // surface as a warning on the result.
   if (checkpointer != nullptr) checkpointer->Flush();
-  phrase::PhraseDict dict =
-      phrase::MineFrequentPhrases(*input.corpus, options.miner, ex, rc);
+  phrase::PhraseDict dict = [&] {
+    LATENT_OBS_SPAN(span, obs::RegistryOf(ob), "phrases");
+    return phrase::MineFrequentPhrases(*input.corpus, options.miner, ex, rc);
+  }();
   // The run may have stopped during phrase mining (after a complete
   // build); flag the result partial so the caller knows something was cut.
   if (run::ShouldStop(rc)) tree.value().set_partial(true);
@@ -318,6 +360,18 @@ StatusOr<MinedHierarchy> Mine(const PipelineInput& input,
   if (checkpointer != nullptr) {
     mined.set_checkpoint_warning(checkpointer->warning());
   }
+#if defined(LATENT_OBS_ENABLED)
+  if (metrics != nullptr) {
+    metrics->histogram("trace.mine.ms")
+        ->Observe(std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - mine_start)
+                      .count());
+    // One final (unthrottled) progress report with the end-of-run stats,
+    // then the report snapshot the caller reads via run_report().
+    if (progress_sink != nullptr) progress_sink->ForceReport();
+    mined.set_run_report(obs::ReportFromRegistry(*metrics));
+  }
+#endif
   return mined;
 }
 

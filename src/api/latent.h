@@ -16,6 +16,7 @@
 #include "core/builder.h"
 #include "core/hierarchy.h"
 #include "hin/collapse.h"
+#include "obs/obs.h"
 #include "phrase/frequent_miner.h"
 #include "phrase/kert.h"
 #include "role/role_analysis.h"
@@ -23,10 +24,19 @@
 
 namespace latent::api {
 
+/// Every knob of the one-call pipeline, grouped by stage. The defaults run
+/// a small, fully-deterministic mine; see docs/OPERATIONS.md for the
+/// field-by-field operator reference.
 struct PipelineOptions {
+  /// Hierarchy shape + EM knobs (levels_k, max_depth, cluster seed/
+  /// restarts/tolerance/model selection — see core/builder.h).
   core::BuildOptions build;
+  /// Frequent-phrase mining thresholds (min_support, max_len).
   phrase::MinerOptions miner;
+  /// Phrase-ranking criteria weights (popularity/purity/concordance/
+  /// completeness — see phrase/kert.h).
   phrase::KertOptions kert;
+  /// Heterogeneous-network collapse toggles (see hin/collapse.h).
   hin::CollapseOptions collapse;
   /// Execution-layer knobs: worker count (0 = hardware concurrency, 1 =
   /// fully serial) and the determinism guarantee (see common/parallel.h).
@@ -59,6 +69,26 @@ struct PipelineOptions {
   long long checkpoint_every_ms = 0;
   bool resume = false;
 
+  /// Observability (see obs/obs.h and docs/METRICS.md). A non-null
+  /// `metrics` registry receives every pipeline metric — EM iterations and
+  /// per-iteration latency, node fits and cache hits, thread-pool queue
+  /// depth and idle time, checkpoint bytes and flush latency, retry
+  /// backoff — plus per-phase trace histograms; dump it with
+  /// Registry::ToJson(). The registry must outlive the Mine() call (it is
+  /// detached from the kept executor before Mine returns). Metrics are
+  /// observation-only: results are bit-identical with metrics on, off, or
+  /// compiled out (-DLATENT_OBS=OFF leaves the pointer accepted but the
+  /// instrumentation sites empty).
+  obs::Registry* metrics = nullptr;
+  /// Throttled progress callback, invoked at most once per
+  /// `progress_every_ms` (first call immediate, one final report before
+  /// Mine returns; 0 = unthrottled, every poll fires). Runs on whichever
+  /// pipeline thread hits the reporting slot, so it must be thread-safe
+  /// and fast. Works with or without `metrics`: when no registry is given
+  /// an internal one feeds the callback. Null = no progress reporting.
+  obs::ProgressFn progress;
+  long long progress_every_ms = 1000;
+
   /// Checks every knob for well-formedness (positive topic counts, sane
   /// [k_min, k_max], non-negative thresholds/tolerances, KERT weights in
   /// [0, 1], non-negative run-control bounds, resume only with a
@@ -70,7 +100,9 @@ struct PipelineOptions {
 /// corpus. names[x] labels type x; sizes[x] is the number of distinct
 /// type-x entities (entity ids in EntityDoc must lie in [0, sizes[x])).
 struct EntitySchema {
+  /// Label of each entity type, in type order.
   std::vector<std::string> names;
+  /// Distinct entities per type (same order as `names`).
   std::vector<int> sizes;
 
   EntitySchema() = default;
@@ -119,18 +151,24 @@ class MinedHierarchy {
   /// Empty shell for StatusOr's error slot; every accessor check-fails.
   MinedHierarchy() = default;
 
+  /// Bundles a mined tree + phrase dictionary with a KERT scorer built over
+  /// `corpus`. `word_type` is the collapsed-network node type of words;
+  /// `exec` (optional) parallelizes later per-topic rankings.
   MinedHierarchy(const text::Corpus& corpus, core::TopicHierarchy tree,
                  phrase::PhraseDict dict, int word_type,
                  std::shared_ptr<exec::Executor> exec = nullptr);
 
+  /// The mined topic hierarchy (topics, phi vectors, tree structure).
   const core::TopicHierarchy& tree() const {
     LATENT_CHECK_MSG(tree_ != nullptr, "empty MinedHierarchy");
     return *tree_;
   }
+  /// Frequent phrases mined from the corpus (ids used by TopPhrases()).
   const phrase::PhraseDict& dict() const {
     LATENT_CHECK_MSG(dict_ != nullptr, "empty MinedHierarchy");
     return *dict_;
   }
+  /// The KERT scorer backing TopPhrases()/RenderNode()/RenderTree().
   const phrase::KertScorer& kert() const {
     LATENT_CHECK_MSG(kert_ != nullptr, "empty MinedHierarchy");
     return *kert_;
@@ -149,9 +187,19 @@ class MinedHierarchy {
   const std::string& checkpoint_warning() const {
     return checkpoint_warning_;
   }
+  /// Set by Mine() when checkpointing degrades.
   void set_checkpoint_warning(std::string warning) {
     checkpoint_warning_ = std::move(warning);
   }
+
+  /// End-of-run totals (nodes fitted / cached, EM iterations and retries,
+  /// checkpoint flushes and generation, thread-pool activity, wall time).
+  /// All zeros unless PipelineOptions::metrics or ::progress was set, or
+  /// when the library was built with -DLATENT_OBS=OFF. Safe on an empty
+  /// MinedHierarchy.
+  const obs::RunReport& run_report() const { return run_report_; }
+  /// Set by Mine() from the run's metric registry.
+  void set_run_report(const obs::RunReport& report) { run_report_ = report; }
 
   /// Top phrases of a (non-root) topic under the configured KERT options.
   std::vector<Scored<int>> TopPhrases(int node, const phrase::KertOptions& opt,
@@ -179,6 +227,7 @@ class MinedHierarchy {
   std::unique_ptr<phrase::KertScorer> kert_;
   std::shared_ptr<exec::Executor> exec_;
   std::string checkpoint_warning_;
+  obs::RunReport run_report_;
 };
 
 /// Runs the full pipeline: collapse text+entities into a heterogeneous

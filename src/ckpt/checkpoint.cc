@@ -324,10 +324,19 @@ Status Checkpointer::Load() {
     std::lock_guard<std::mutex> lock(mu_);
     restored_ = std::move(fits);
     resumed_generation_ = g;
+    LATENT_OBS(
+        obs::Count(obs_, "ckpt.resume.fits",
+                   static_cast<uint64_t>(restored_.size()));
+        obs::SetGauge(obs_, "ckpt.generation", resumed_generation_));
     return Status::Ok();
   }
   AppendWarning("no valid checkpoint generation; clean restart");
   return Status::Ok();
+}
+
+void Checkpointer::set_obs(const obs::Scope* obs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  obs_ = obs;
 }
 
 bool Checkpointer::Lookup(const std::string& path,
@@ -336,10 +345,14 @@ bool Checkpointer::Lookup(const std::string& path,
   auto it = fits_.find(path);
   if (it == fits_.end()) {
     it = restored_.find(path);
-    if (it == restored_.end()) return false;
+    if (it == restored_.end()) {
+      LATENT_OBS(obs::Count(obs_, "ckpt.lookup.misses"));
+      return false;
+    }
   }
   *model = it->second.model;
   ++hits_;
+  LATENT_OBS(obs::Count(obs_, "ckpt.lookup.hits"));
   return true;
 }
 
@@ -356,6 +369,7 @@ void Checkpointer::Record(const std::string& path, int level,
     fit.model.parent_phi.clear();
     fits_[path] = std::move(fit);
     ++unflushed_;
+    LATENT_OBS(obs::Count(obs_, "ckpt.records"));
     if (disabled_) return;
     if (options_.every_nodes > 0 && unflushed_ >= options_.every_nodes) {
       flush_now = true;
@@ -373,13 +387,16 @@ Status Checkpointer::WriteSnapshot(long long generation,
                                    const std::string& framed) {
   const std::string path =
       options_.dir + "/" + SnapshotFileName(generation);
-  return io::WithRetry(options_.retry, [&]() -> Status {
-    LATENT_FAILPOINT("ckpt.write",
-                     return Status::Internal(
-                         "injected checkpoint write failure (ckpt.write): " +
-                         path));
-    return data::WriteFile(path, framed);
-  });
+  return io::WithRetry(
+      options_.retry,
+      [&]() -> Status {
+        LATENT_FAILPOINT(
+            "ckpt.write",
+            return Status::Internal(
+                "injected checkpoint write failure (ckpt.write): " + path));
+        return data::WriteFile(path, framed);
+      },
+      /*ctx=*/nullptr, obs_);
 }
 
 Status Checkpointer::WriteManifest() {
@@ -390,17 +407,23 @@ Status Checkpointer::WriteManifest() {
         << "\n";
   }
   const std::string path = options_.dir + "/" + kManifestFile;
-  return io::WithRetry(options_.retry, [&]() -> Status {
-    LATENT_FAILPOINT("ckpt.manifest",
-                     return Status::Internal(
-                         "injected manifest write failure (ckpt.manifest): " +
-                         path));
-    return data::WriteFile(path, out.str());
-  });
+  return io::WithRetry(
+      options_.retry,
+      [&]() -> Status {
+        LATENT_FAILPOINT(
+            "ckpt.manifest",
+            return Status::Internal(
+                "injected manifest write failure (ckpt.manifest): " + path));
+        return data::WriteFile(path, out.str());
+      },
+      /*ctx=*/nullptr, obs_);
 }
 
 Status Checkpointer::Flush() {
   std::lock_guard<std::mutex> flush_lock(flush_mu_);
+#if defined(LATENT_OBS_ENABLED)
+  const auto flush_start = std::chrono::steady_clock::now();
+#endif
   std::string payload;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -427,6 +450,7 @@ Status Checkpointer::Flush() {
   auto degrade = [&](const Status& s) {
     std::lock_guard<std::mutex> lock(mu_);
     disabled_ = true;
+    LATENT_OBS(obs::Count(obs_, "ckpt.flush.failures"));
     AppendWarning("checkpointing disabled: " + s.message());
   };
   if (Status s = EnsureDir(options_.dir); !s.ok()) {
@@ -458,6 +482,14 @@ Status Checkpointer::Flush() {
   for (const std::string& path : doomed) ::remove(path.c_str());
   next_generation_ = generation + 1;
   last_flush_ = std::chrono::steady_clock::now();
+  LATENT_OBS(
+      obs::Count(obs_, "ckpt.flushes");
+      obs::Count(obs_, "ckpt.bytes", static_cast<uint64_t>(payload.size()));
+      obs::SetGauge(obs_, "ckpt.generation", generation);
+      obs::Observe(obs_, "ckpt.flush.ms",
+                   std::chrono::duration<double, std::milli>(last_flush_ -
+                                                             flush_start)
+                       .count()));
   return Status::Ok();
 }
 

@@ -45,6 +45,7 @@
 #include "common/status.h"
 #include "core/builder.h"
 #include "core/clusterer.h"
+#include "obs/obs.h"
 
 namespace latent::ckpt {
 
@@ -94,6 +95,15 @@ class Checkpointer : public core::FitCache {
   void Record(const std::string& path, int level,
               const core::ClusterResult& model) override;
 
+  /// Attaches (or detaches, with nullptr) an observability scope. While
+  /// attached the checkpointer records ckpt.lookup.hits / .misses,
+  /// ckpt.records, ckpt.flushes / .bytes / .flush.failures counters, the
+  /// ckpt.flush.ms histogram, the ckpt.generation gauge, and (via Load)
+  /// ckpt.resume.fits. Attach before Load()/the build; the scope must
+  /// outlive this object. Observation only — never changes what is
+  /// written, read, or resumed.
+  void set_obs(const obs::Scope* obs);
+
   /// Generation restored by Load() (0 = clean start / nothing valid).
   long long resumed_generation() const { return resumed_generation_; }
   /// Fits restored by Load().
@@ -121,6 +131,7 @@ class Checkpointer : public core::FitCache {
 
   CheckpointOptions options_;
   std::vector<int> type_sizes_;
+  const obs::Scope* obs_ = nullptr;  // set before the build, never mid-run
 
   mutable std::mutex mu_;  // guards fits_, restored_, counters
   std::map<std::string, SavedFit> fits_;      // recorded this run

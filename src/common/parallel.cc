@@ -1,8 +1,10 @@
 #include "common/parallel.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/run_context.h"
+#include "obs/obs.h"
 
 namespace latent::exec {
 
@@ -30,12 +32,33 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
+void ThreadPool::set_obs(obs::Registry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (registry == nullptr) {
+    obs_tasks_run_ = nullptr;
+    obs_tasks_dropped_ = nullptr;
+    obs_queue_depth_ = nullptr;
+    obs_idle_ms_ = nullptr;
+    return;
+  }
+  obs_tasks_run_ = registry->counter("exec.pool.tasks.run");
+  obs_tasks_dropped_ = registry->counter("exec.pool.tasks.dropped");
+  obs_queue_depth_ = registry->gauge("exec.pool.queue.depth");
+  obs_idle_ms_ = registry->histogram("exec.pool.idle.ms");
+}
+
 void ThreadPool::RunOneLocked(std::unique_lock<std::mutex>& lock) {
   Item item = queue_.front();
   queue_.pop_front();
+  LATENT_OBS(if (obs_queue_depth_ != nullptr) {
+    obs_queue_depth_->Set(static_cast<long long>(queue_.size()));
+  });
   // A cancelled/expired scope drops its queued-but-unstarted tasks instead
   // of running them; the batch still completes so RunAll can return.
   const bool drop = item.batch->ctx != nullptr && item.batch->ctx->ShouldStop();
+  LATENT_OBS(if (drop) {
+    if (obs_tasks_dropped_ != nullptr) obs_tasks_dropped_->Add(1);
+  } else if (obs_tasks_run_ != nullptr) { obs_tasks_run_->Add(1); });
   if (!drop) {
     lock.unlock();
     (*item.fn)();
@@ -47,7 +70,23 @@ void ThreadPool::RunOneLocked(std::unique_lock<std::mutex>& lock) {
 void ThreadPool::WorkLoop() {
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
+#if defined(LATENT_OBS_ENABLED)
+    // Idle time = how long this worker sat in cv_.wait with no task. The
+    // attached registry may change while we sleep (set_obs holds mu_, and
+    // so do we outside the wait), so re-check the member after waking
+    // instead of caching the histogram across the wait.
+    const bool timing = obs_idle_ms_ != nullptr;
+    const auto wait_start = timing ? std::chrono::steady_clock::now()
+                                   : std::chrono::steady_clock::time_point();
+#endif
     cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+#if defined(LATENT_OBS_ENABLED)
+    if (timing && obs_idle_ms_ != nullptr) {
+      obs_idle_ms_->Observe(std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - wait_start)
+                                .count());
+    }
+#endif
     if (shutdown_) return;
     RunOneLocked(lock);
   }
@@ -69,6 +108,9 @@ void ThreadPool::RunAll(std::vector<std::function<void()>>& tasks,
   {
     std::unique_lock<std::mutex> lock(mu_);
     for (auto& t : tasks) queue_.push_back(Item{&t, &batch});
+    LATENT_OBS(if (obs_queue_depth_ != nullptr) {
+      obs_queue_depth_->Set(static_cast<long long>(queue_.size()));
+    });
   }
   cv_.notify_all();
   std::unique_lock<std::mutex> lock(mu_);
@@ -90,6 +132,10 @@ Executor::Executor(const ExecOptions& options)
 }
 
 bool Executor::Stopped() const { return run::ShouldStop(ctx_); }
+
+void Executor::set_obs(obs::Registry* registry) {
+  if (pool_) pool_->set_obs(registry);
+}
 
 void Executor::RunTasks(std::vector<std::function<void()>> tasks) {
   if (!pool_ || tasks.size() <= 1) {

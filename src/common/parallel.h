@@ -41,6 +41,13 @@ namespace latent::run {
 class RunContext;
 }  // namespace latent::run
 
+namespace latent::obs {
+class Counter;
+class Gauge;
+class Histogram;
+class Registry;
+}  // namespace latent::obs
+
 namespace latent::exec {
 
 /// Parallelism knobs, plumbed through api::PipelineOptions down to every
@@ -70,6 +77,14 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   int num_threads() const { return num_threads_; }
+
+  /// Attaches (or detaches, with nullptr) a metric registry. While
+  /// attached the pool maintains `exec.pool.tasks.run` / `.tasks.dropped`
+  /// counters, the `exec.pool.queue.depth` gauge (peak via its max), and
+  /// the `exec.pool.idle.ms` worker-wait histogram. The registry must
+  /// outlive its attachment; api::Mine detaches before returning. Purely
+  /// observational — scheduling decisions never read the metrics.
+  void set_obs(obs::Registry* registry);
 
   /// Runs every task and returns when all have finished. The caller helps
   /// execute queued tasks (its own batch or others'), so RunAll may be
@@ -104,6 +119,13 @@ class ThreadPool {
   std::condition_variable cv_;
   std::deque<Item> queue_;
   bool shutdown_ = false;
+  // Cached instrument pointers, resolved once in set_obs so the hot path
+  // never takes the registry's name-lookup mutex. Guarded by mu_ (all
+  // readers already hold it); null when no registry is attached.
+  obs::Counter* obs_tasks_run_ = nullptr;
+  obs::Counter* obs_tasks_dropped_ = nullptr;
+  obs::Gauge* obs_queue_depth_ = nullptr;
+  obs::Histogram* obs_idle_ms_ = nullptr;
 };
 
 /// ExecOptions bound to a (lazily absent) pool; the object every parallel
@@ -126,6 +148,11 @@ class Executor {
   /// dead scope. Unset (the default) nothing is ever dropped.
   void set_run_context(const run::RunContext* ctx) { ctx_ = ctx; }
   const run::RunContext* run_context() const { return ctx_; }
+
+  /// Attaches (or detaches, with nullptr) a metric registry to the
+  /// underlying pool (no-op when serial — there is no pool to observe).
+  /// Same lifetime contract as set_run_context.
+  void set_obs(obs::Registry* registry);
 
   /// True once the attached context (if any) wants the run to stop.
   bool Stopped() const;

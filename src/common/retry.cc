@@ -22,21 +22,26 @@ long long BackoffMs(const RetryPolicy& policy, int attempt, Rng* rng) {
 }
 
 Status WithRetry(const RetryPolicy& policy, const std::function<Status()>& op,
-                 const run::RunContext* ctx) {
+                 const run::RunContext* ctx, const obs::Scope* obs) {
   Rng rng(policy.seed);
   const int attempts = std::max(1, policy.max_attempts);
   Status last = Status::Ok();
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(BackoffMs(policy, attempt - 1, &rng)));
+      const long long backoff = BackoffMs(policy, attempt - 1, &rng);
+      LATENT_OBS(obs::Count(obs, "retry.sleeps");
+                 obs::Observe(obs, "retry.backoff.ms",
+                              static_cast<double>(backoff)));
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
     }
     // A stopped run outranks the I/O failure: report why the run ended
     // instead of burning the remaining attempts.
     if (Status s = run::CheckRun(ctx); !s.ok()) return s;
+    LATENT_OBS(obs::Count(obs, "retry.attempts"));
     last = op();
     if (last.ok() || !IsTransient(last)) return last;
   }
+  LATENT_OBS(if (!last.ok()) obs::Count(obs, "retry.giveups"));
   return last;
 }
 

@@ -16,6 +16,7 @@
 #include "common/rng.h"
 #include "common/run_context.h"
 #include "common/status.h"
+#include "obs/obs.h"
 
 namespace latent::io {
 
@@ -49,8 +50,14 @@ long long BackoffMs(const RetryPolicy& policy, int attempt, Rng* rng);
 /// spent, or `ctx` stops the run (checked between attempts; the run-control
 /// status wins so a cancelled run never sits out a backoff sleep). Returns
 /// the last Status observed.
+///
+/// A non-null `obs` records retry.attempts / retry.sleeps / retry.giveups
+/// counters and the retry.backoff.ms histogram. Observation only: the
+/// retry schedule (and its deterministic jitter) is identical with or
+/// without metrics.
 Status WithRetry(const RetryPolicy& policy, const std::function<Status()>& op,
-                 const run::RunContext* ctx = nullptr);
+                 const run::RunContext* ctx = nullptr,
+                 const obs::Scope* obs = nullptr);
 
 }  // namespace latent::io
 

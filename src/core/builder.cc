@@ -35,6 +35,7 @@ struct BuildState {
   exec::Executor* ex = nullptr;
   const run::RunContext* ctx = nullptr;
   FitCache* cache = nullptr;
+  const obs::Scope* obs = nullptr;
   std::atomic<bool> partial{false};
   std::mutex mu;
   Status error;
@@ -99,14 +100,26 @@ void Expand(const hin::HeteroNetwork& net, BuiltNode* node, int level,
     if (cached) model.parent_phi = parent_phi;
   }
   if (!cached) {
+#if defined(LATENT_OBS_ENABLED)
+    obs::TraceSpan fit_span(obs::RegistryOf(state->obs),
+                            "build.fit.L" + std::to_string(level));
+#endif
     if (k > 0) {
       copt.num_topics = k;
-      model = FitCluster(net, parent_phi, copt, state->ex, state->ctx);
+      model = FitCluster(net, parent_phi, copt, state->ex, state->ctx,
+                         state->obs);
     } else {
       model = SelectAndFit(net, parent_phi, copt, options.k_min,
-                           options.k_max, state->ex, state->ctx);
+                           options.k_max, state->ex, state->ctx, state->obs);
     }
+    LATENT_OBS(if (model.k > 0) {
+      obs::Count(state->obs, "build.fit.nodes");
+      obs::Observe(state->obs, "build.fit.ms", fit_span.ElapsedMs());
+    });
+  } else {
+    LATENT_OBS(obs::Count(state->obs, "build.fit.cached"));
   }
+  LATENT_OBS(obs::Tick(state->obs));
   if (model.k == 0) {
     // No restart/candidate finished before the run stopped.
     state->partial.store(true, std::memory_order_relaxed);
@@ -131,6 +144,9 @@ void Expand(const hin::HeteroNetwork& net, BuiltNode* node, int level,
   node->rho_background = model.rho_bg;
 
   node->children.resize(model.k);
+  LATENT_OBS(obs::Count(state->obs,
+                        "build.fanout.level" + std::to_string(level),
+                        static_cast<uint64_t>(model.k)));
   auto build_child = [&](int z) {
     BuiltNode* child = &node->children[z];
     if (run::ShouldStop(state->ctx)) {
@@ -182,7 +198,8 @@ void Commit(BuiltNode* built, int node_id, TopicHierarchy* tree,
 
 StatusOr<TopicHierarchy> TryBuildHierarchy(
     const hin::HeteroNetwork& root_network, const BuildOptions& options,
-    exec::Executor* ex, const run::RunContext* ctx, FitCache* cache) {
+    exec::Executor* ex, const run::RunContext* ctx, FitCache* cache,
+    const obs::Scope* obs) {
   TopicHierarchy tree(root_network.type_names(), root_network.type_sizes());
   tree.AddRoot(DegreeDistributions(root_network),
                root_network.TotalWeight());
@@ -190,6 +207,7 @@ StatusOr<TopicHierarchy> TryBuildHierarchy(
   state.ex = ex;
   state.ctx = ctx;
   state.cache = cache;
+  state.obs = obs;
   BuiltNode root;
   root.filled = true;
   Expand(root_network, &root, 0, /*salt=*/0, /*path=*/"o",

@@ -75,10 +75,15 @@ class FitCache {
 /// EM, and every completed fit is recorded back. With a durable cache
 /// (ckpt::Checkpointer) a killed build resumes from its last snapshot and
 /// still produces the uninterrupted tree byte for byte.
+///
+/// Observability: a non-null `obs` records build.fit.nodes / .cached
+/// counters, per-level fan-out counters (build.fanout.levelN), the
+/// build.fit.ms histogram, and per-level trace spans; the progress sink is
+/// ticked after every node fit. Observation only — never changes the tree.
 StatusOr<TopicHierarchy> TryBuildHierarchy(
     const hin::HeteroNetwork& root_network, const BuildOptions& options,
     exec::Executor* ex = nullptr, const run::RunContext* ctx = nullptr,
-    FitCache* cache = nullptr);
+    FitCache* cache = nullptr, const obs::Scope* obs = nullptr);
 
 /// Unbounded variant; CHECK-fails on EM divergence (historical behavior,
 /// kept for call sites that cannot handle a Status).

@@ -1,6 +1,7 @@
 #include "core/clusterer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <functional>
 #include <limits>
@@ -74,7 +75,8 @@ ClusterResult RunEm(const hin::HeteroNetwork& net,
                     const ClusterOptions& options,
                     const std::vector<std::vector<int>>& present,
                     std::vector<double> alpha, Rng* rng,
-                    exec::Executor* ex, const run::RunContext* ctx) {
+                    exec::Executor* ex, const run::RunContext* ctx,
+                    const obs::Scope* obs_scope = nullptr) {
   const int k = options.num_topics;
   const int m = net.num_types();
   const int num_lt = net.num_link_types();
@@ -147,6 +149,20 @@ ClusterResult RunEm(const hin::HeteroNetwork& net,
   bool stopped_early = false;
   int iters_done = 0;
 
+#if defined(LATENT_OBS_ENABLED)
+  // Instrument pointers resolved once per EM run; the per-iteration cost
+  // is then a few relaxed atomic ops plus two clock reads.
+  obs::Registry* const oreg = obs::RegistryOf(obs_scope);
+  obs::Counter* const o_iters =
+      oreg != nullptr ? oreg->counter("em.iterations") : nullptr;
+  obs::Histogram* const o_iter_ms =
+      oreg != nullptr ? oreg->histogram("em.iteration.ms") : nullptr;
+  obs::Histogram* const o_delta =
+      oreg != nullptr ? oreg->histogram("em.loglik.delta",
+                                        obs::ExponentialBuckets(1e-6, 10.0, 12))
+                      : nullptr;
+#endif
+
   for (int iter = 0; iter < options.max_iters; ++iter) {
     // Each iteration charges one work unit; stop between iterations when
     // the run is out of time, cancelled, or out of budget.
@@ -154,6 +170,11 @@ ClusterResult RunEm(const hin::HeteroNetwork& net,
       stopped_early = true;
       break;
     }
+#if defined(LATENT_OBS_ENABLED)
+    const auto obs_iter_start = o_iter_ms != nullptr
+                                    ? std::chrono::steady_clock::now()
+                                    : std::chrono::steady_clock::time_point();
+#endif
     // Scaled totals under the current alpha.
     double big_m = 0.0;
     for (int lt = 0; lt < num_lt; ++lt) big_m += alpha[lt] * raw_total[lt];
@@ -305,6 +326,18 @@ ClusterResult RunEm(const hin::HeteroNetwork& net,
 
     r.log_likelihood = ll;
     ++iters_done;
+#if defined(LATENT_OBS_ENABLED)
+    if (o_iters != nullptr) {
+      o_iters->Add(1);
+      o_iter_ms->Observe(std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - obs_iter_start)
+                             .count());
+      if (iter > 0 && std::isfinite(ll) && std::isfinite(prev_ll)) {
+        o_delta->Observe(std::abs(ll - prev_ll));
+      }
+    }
+    obs::Tick(obs_scope);
+#endif
     if (iter > 0 && std::abs(ll - prev_ll) <=
                         options.tol * (std::abs(prev_ll) + 1.0)) {
       break;
@@ -347,7 +380,7 @@ std::vector<std::vector<double>> DegreeDistributions(
 ClusterResult FitCluster(const hin::HeteroNetwork& net,
                          const std::vector<std::vector<double>>& parent_phi,
                          const ClusterOptions& options, exec::Executor* ex,
-                         const run::RunContext* ctx) {
+                         const run::RunContext* ctx, const obs::Scope* obs) {
   LATENT_CHECK_GE(options.num_topics, 1);
   LATENT_CHECK_EQ(static_cast<int>(parent_phi.size()), net.num_types());
   LATENT_CHECK_GT(net.num_link_types(), 0);
@@ -394,16 +427,19 @@ ClusterResult FitCluster(const hin::HeteroNetwork& net,
   // retry streams are keyed on (restart, attempt) so recoveries stay
   // deterministic and independent across restarts.
   auto run_restart = [&](int restart) {
+    LATENT_OBS(obs::Count(obs, "em.restarts"));
     ClusterResult res = RunEm(net, parent_phi, options, present, alpha,
-                              &streams[restart], ex, ctx);
+                              &streams[restart], ex, ctx, obs);
     for (int attempt = 1;
          EmDiverged(res) && attempt <= options.max_em_retries &&
          !run::ShouldStop(ctx);
          ++attempt) {
+      LATENT_OBS(obs::Count(obs, "em.retries"));
       Rng retry(options.seed ^
                 (0x9e3779b97f4a7c15ULL *
                  static_cast<uint64_t>(restart * 97 + attempt)));
-      res = RunEm(net, parent_phi, options, present, alpha, &retry, ex, ctx);
+      res = RunEm(net, parent_phi, options, present, alpha, &retry, ex, ctx,
+                  obs);
     }
     res.diverged = EmDiverged(res);
     results[restart] = std::move(res);
@@ -478,7 +514,7 @@ ClusterResult SelectAndFit(const hin::HeteroNetwork& net,
                            const std::vector<std::vector<double>>& parent_phi,
                            const ClusterOptions& options, int k_min,
                            int k_max, exec::Executor* ex,
-                           const run::RunContext* ctx) {
+                           const run::RunContext* ctx, const obs::Scope* obs) {
   LATENT_CHECK_GE(k_min, 1);
   LATENT_CHECK_LE(k_min, k_max);
   const int num_k = k_max - k_min + 1;
@@ -487,7 +523,7 @@ ClusterResult SelectAndFit(const hin::HeteroNetwork& net,
     ClusterOptions opt = options;
     opt.num_topics = k_min + idx;
     opt.seed = options.seed + static_cast<uint64_t>(k_min + idx) * 7919;
-    results[idx] = FitCluster(net, parent_phi, opt, ex, ctx);
+    results[idx] = FitCluster(net, parent_phi, opt, ex, ctx, obs);
   };
   if (ex != nullptr && ex->num_threads() > 1 && num_k > 1) {
     std::vector<std::function<void()>> tasks;

@@ -21,6 +21,7 @@
 #include "common/parallel.h"
 #include "common/run_context.h"
 #include "hin/network.h"
+#include "obs/obs.h"
 
 namespace latent::core {
 
@@ -109,11 +110,18 @@ std::vector<std::vector<double>> DegreeDistributions(
 /// returning the best result finished so far — possibly a default
 /// ClusterResult with k == 0 when nothing completed. A null ctx never
 /// changes the result.
+///
+/// A non-null `obs` records em.iterations / em.restarts / em.retries
+/// counters and the em.iteration.ms / em.loglik.delta histograms, and
+/// ticks the progress sink between iterations. Observation only: metrics
+/// never influence the fit (results stay bit-identical with obs on, off,
+/// or compiled out).
 ClusterResult FitCluster(const hin::HeteroNetwork& net,
                          const std::vector<std::vector<double>>& parent_phi,
                          const ClusterOptions& options,
                          exec::Executor* ex = nullptr,
-                         const run::RunContext* ctx = nullptr);
+                         const run::RunContext* ctx = nullptr,
+                         const obs::Scope* obs = nullptr);
 
 /// Extracts the subtopic-z subnetwork: link weights become the expected
 /// topic-z weight e-hat (Eq. 3.23); links below `min_weight` are dropped
@@ -131,7 +139,8 @@ ClusterResult SelectAndFit(const hin::HeteroNetwork& net,
                            const std::vector<std::vector<double>>& parent_phi,
                            const ClusterOptions& options, int k_min, int k_max,
                            exec::Executor* ex = nullptr,
-                           const run::RunContext* ctx = nullptr);
+                           const run::RunContext* ctx = nullptr,
+                           const obs::Scope* obs = nullptr);
 
 }  // namespace latent::core
 

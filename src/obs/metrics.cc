@@ -1,0 +1,234 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace latent::obs {
+namespace {
+
+// Round-robin stripe assignment: each new thread claims the next slot, so
+// up to kStripes concurrent threads write disjoint cache lines. More
+// threads than stripes simply share (still exact, just contended).
+std::atomic<unsigned> g_next_stripe{0};
+
+// JSON number formatting: shortest round-trip representation is overkill
+// here; 17 significant digits round-trips doubles and keeps dumps diffable.
+std::string JsonDouble(double v) {
+  if (!std::isfinite(v)) return "0";
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+int Counter::ThreadStripe() {
+  thread_local const int stripe = static_cast<int>(
+      g_next_stripe.fetch_add(1, std::memory_order_relaxed) % kStripes);
+  return stripe;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(bounds.empty() ? DefaultLatencyBucketsMs() : std::move(bounds)),
+      buckets_(bounds_.size() + 1),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  // Upper bounds must be strictly increasing for cumulative `le` semantics.
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+}
+
+void Histogram::Observe(double v) {
+  const size_t i =
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&sum_, v);
+  AtomicMinDouble(&min_, v);
+  AtomicMaxDouble(&max_, v);
+}
+
+double Histogram::Min() const {
+  const double m = min_.load(std::memory_order_relaxed);
+  return std::isfinite(m) ? m : 0.0;
+}
+
+double Histogram::Max() const {
+  const double m = max_.load(std::memory_order_relaxed);
+  return std::isfinite(m) ? m : 0.0;
+}
+
+const std::vector<double>& DefaultLatencyBucketsMs() {
+  static const std::vector<double>* kBuckets = new std::vector<double>{
+      0.05, 0.1, 0.25, 0.5, 1,    2.5,  5,     10,    25,   50,
+      100,  250, 500,  1000, 2500, 5000, 10000, 30000};
+  return *kBuckets;
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       int count) {
+  std::vector<double> b;
+  b.reserve(count > 0 ? count : 0);
+  double v = start;
+  for (int i = 0; i < count; ++i) {
+    b.push_back(v);
+    v *= factor;
+  }
+  return b;
+}
+
+std::vector<double> LinearBuckets(double start, double width, int count) {
+  std::vector<double> b;
+  b.reserve(count > 0 ? count : 0);
+  for (int i = 0; i < count; ++i) b.push_back(start + width * i);
+  return b;
+}
+
+Counter* Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::histogram(const std::string& name,
+                               const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(bounds);
+  return slot.get();
+}
+
+uint64_t Registry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->Value();
+}
+
+long long Registry::GaugeValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second->Value();
+}
+
+double Registry::HistogramSum(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? 0.0 : it->second->Sum();
+}
+
+MetricsSnapshot Registry::Scrape() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->Value();
+  for (const auto& [name, g] : gauges_) {
+    GaugeSnapshot gs;
+    gs.value = g->Value();
+    gs.max = g->Max();
+    snap.gauges[name] = gs;
+  }
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.count = h->Count();
+    hs.sum = h->Sum();
+    hs.min = h->Min();
+    hs.max = h->Max();
+    const auto& bounds = h->bounds();
+    uint64_t cum = 0;
+    for (size_t i = 0; i < bounds.size(); ++i) {
+      cum += h->BucketCount(i);
+      hs.buckets.emplace_back(bounds[i], cum);
+    }
+    cum += h->BucketCount(bounds.size());
+    hs.buckets.emplace_back(std::numeric_limits<double>::infinity(), cum);
+    snap.histograms[name] = hs;
+  }
+  return snap;
+}
+
+std::string Registry::ToJson() const { return SnapshotToJson(Scrape()); }
+
+std::string SnapshotToJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : snapshot.counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + JsonString(name) + ": " + std::to_string(v);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : snapshot.gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + JsonString(name) + ": {\"value\": " +
+           std::to_string(g.value) + ", \"max\": " + std::to_string(g.max) +
+           "}";
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + JsonString(name) + ": {\"count\": " +
+           std::to_string(h.count) + ", \"sum\": " + JsonDouble(h.sum) +
+           ", \"min\": " + JsonDouble(h.min) +
+           ", \"max\": " + JsonDouble(h.max) + ", \"buckets\": [";
+    bool bfirst = true;
+    for (const auto& [le, cum] : h.buckets) {
+      if (!bfirst) out += ", ";
+      bfirst = false;
+      out += "{\"le\": ";
+      out += std::isfinite(le) ? JsonDouble(le) : std::string("\"+inf\"");
+      out += ", \"count\": " + std::to_string(cum) + "}";
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace latent::obs

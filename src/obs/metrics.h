@@ -1,0 +1,250 @@
+// latent::obs — structured metrics for long-running mining pipelines.
+//
+// Three instrument kinds, all thread-safe with a lock-free fast path:
+//
+//   * Counter   — monotonically increasing event count, striped across
+//                 cache lines so concurrent writers do not bounce one
+//                 atomic; the stripes merge EXACTLY at scrape time.
+//   * Gauge     — last-set value plus a running maximum (queue depths,
+//                 checkpoint generations).
+//   * Histogram — fixed upper-bound buckets (Prometheus-style cumulative
+//                 `le` semantics) plus exact count / sum / min / max.
+//
+// A Registry owns every instrument by name. Name lookup takes a mutex, so
+// hot loops resolve their instrument pointers ONCE up front and then update
+// through plain atomics; the pointers stay valid for the registry's
+// lifetime (instruments are never removed). Scrape() and ToJson() read a
+// consistent-enough snapshot without stopping writers: every individual
+// value is an atomic read, and counters sum their stripes exactly.
+//
+// Updating a metric never branches the computation being measured — the
+// determinism contract of common/parallel.h is untouched (see DESIGN §9).
+// Instrumentation SITES throughout the library are additionally gated by
+// the LATENT_OBS() macro (obs/obs.h) and vanish under -DLATENT_OBS=OFF;
+// this registry itself always compiles so the API surface is stable.
+#ifndef LATENT_OBS_METRICS_H_
+#define LATENT_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace latent::obs {
+
+/// Adds `v` to an atomic double via a CAS loop (std::atomic<double> has no
+/// portable fetch_add before C++20's FP specializations are universal).
+inline void AtomicAddDouble(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (!a->compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+/// Lowers an atomic double towards `v` (keeps the minimum ever offered).
+inline void AtomicMinDouble(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+/// Raises an atomic double towards `v` (keeps the maximum ever offered).
+inline void AtomicMaxDouble(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+/// Monotonically increasing event counter. Writers pick a stripe by a
+/// cheap per-thread slot, so concurrent Add() calls from different threads
+/// usually touch different cache lines; Value() sums every stripe, which
+/// is exact because each stripe is itself an atomic.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  /// Records `n` events. Lock-free; safe from any thread.
+  void Add(uint64_t n = 1) {
+    cells_[ThreadStripe()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Exact total of every Add() so far (sums the stripes at read time).
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> v{0};
+  };
+  static constexpr int kStripes = 16;
+
+  static int ThreadStripe();
+
+  Cell cells_[kStripes];
+};
+
+/// Last-set value plus a running maximum. Add()/Set() are lock-free.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  /// Sets the current value (and raises the running maximum).
+  void Set(long long v) {
+    value_.store(v, std::memory_order_relaxed);
+    RaiseMax(v);
+  }
+
+  /// Adjusts the current value by `delta` (may be negative); the running
+  /// maximum tracks the highest value ever reached.
+  void Add(long long delta) {
+    const long long now =
+        value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    RaiseMax(now);
+  }
+
+  long long Value() const { return value_.load(std::memory_order_relaxed); }
+  /// Highest value ever Set()/reached via Add() (0 if never set).
+  long long Max() const { return max_.load(std::memory_order_relaxed); }
+
+ private:
+  void RaiseMax(long long v) {
+    long long cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<long long> value_{0};
+  std::atomic<long long> max_{0};
+};
+
+/// Fixed-bucket histogram. `bounds` are sorted upper bounds; a value v
+/// lands in the first bucket with v <= bound, or the implicit +inf
+/// overflow bucket. Observe() is lock-free (bucket pick + atomic adds).
+class Histogram {
+ public:
+  /// An empty `bounds` falls back to DefaultLatencyBucketsMs().
+  explicit Histogram(std::vector<double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Records one observation. Lock-free; safe from any thread.
+  void Observe(double v);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Smallest / largest observation (0 when Count() == 0).
+  double Min() const;
+  double Max() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Observations in bucket `i` (i == bounds().size() is the +inf bucket).
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// Default latency buckets in milliseconds: 0.05 ms .. 30 s, roughly
+/// 1-2.5-5 per decade.
+const std::vector<double>& DefaultLatencyBucketsMs();
+
+/// `count` bounds starting at `start`, each `factor` times the previous
+/// (Prometheus ExponentialBuckets). Requires start > 0, factor > 1.
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       int count);
+
+/// `count` bounds starting at `start`, each `width` apart.
+std::vector<double> LinearBuckets(double start, double width, int count);
+
+/// Point-in-time copy of one histogram, for scraping and JSON export.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  /// (upper bound, CUMULATIVE count <= bound); the final entry is the
+  /// +inf bucket whose count equals `count`.
+  std::vector<std::pair<double, uint64_t>> buckets;
+};
+
+/// Point-in-time copy of one gauge.
+struct GaugeSnapshot {
+  long long value = 0;
+  long long max = 0;
+};
+
+/// Point-in-time copy of a whole registry, name-sorted (std::map), so two
+/// snapshots of equivalent runs serialize to diffable JSON.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, GaugeSnapshot> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+/// Owns every instrument by name. Get-or-create lookups are mutex-guarded;
+/// the returned pointers are stable for the registry's lifetime, so hot
+/// paths resolve them once and then update lock-free. A Registry must
+/// outlive every pipeline run it is attached to.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Get-or-create. The pointer never dangles while the registry lives.
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  /// Get-or-create; `bounds` only applies on creation (first caller wins;
+  /// empty = DefaultLatencyBucketsMs()).
+  Histogram* histogram(const std::string& name,
+                       const std::vector<double>& bounds = {});
+
+  /// Current counter value, 0 when the counter was never created. Does not
+  /// create the instrument (usable on a const registry).
+  uint64_t CounterValue(const std::string& name) const;
+  /// Current gauge value, 0 when never created.
+  long long GaugeValue(const std::string& name) const;
+  /// Sum of a histogram's observations, 0 when never created.
+  double HistogramSum(const std::string& name) const;
+
+  /// Exact point-in-time copy of every instrument (counters merge their
+  /// stripes at this moment).
+  MetricsSnapshot Scrape() const;
+
+  /// Stable, name-sorted JSON dump of Scrape() — the `--metrics-json`
+  /// text format. Keys: "counters", "gauges", "histograms"; histogram
+  /// buckets are cumulative with a final `"le": "+inf"` entry.
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Renders any MetricsSnapshot as the stable JSON text format (ToJson()
+/// uses this; exposed so tests and tools can format saved snapshots).
+std::string SnapshotToJson(const MetricsSnapshot& snapshot);
+
+}  // namespace latent::obs
+
+#endif  // LATENT_OBS_METRICS_H_

@@ -1,0 +1,53 @@
+#include "obs/obs.h"
+
+namespace latent::obs {
+
+RunReport ReportFromRegistry(const Registry& r) {
+  RunReport rep;
+  rep.nodes_fitted = r.CounterValue("build.fit.nodes");
+  rep.nodes_cached = r.CounterValue("build.fit.cached");
+  rep.em_iterations = r.CounterValue("em.iterations");
+  rep.em_restarts = r.CounterValue("em.restarts");
+  rep.em_retries = r.CounterValue("em.retries");
+  rep.io_retry_sleeps = r.CounterValue("retry.sleeps");
+  rep.checkpoint_flushes = r.CounterValue("ckpt.flushes");
+  rep.checkpoint_bytes = r.CounterValue("ckpt.bytes");
+  rep.checkpoint_generation = r.GaugeValue("ckpt.generation");
+  rep.pool_tasks_run = r.CounterValue("exec.pool.tasks.run");
+  rep.pool_tasks_dropped = r.CounterValue("exec.pool.tasks.dropped");
+  rep.pool_max_queue_depth = 0;
+  {
+    MetricsSnapshot snap = r.Scrape();
+    auto it = snap.gauges.find("exec.pool.queue.depth");
+    if (it != snap.gauges.end()) rep.pool_max_queue_depth = it->second.max;
+  }
+  rep.total_ms = r.HistogramSum("trace.mine.ms");
+  return rep;
+}
+
+void PreRegisterPipelineMetrics(Registry* r) {
+  if (r == nullptr) return;
+  // Counters.
+  for (const char* name :
+       {"build.fit.nodes", "build.fit.cached", "em.iterations", "em.restarts",
+        "em.retries", "exec.pool.tasks.run", "exec.pool.tasks.dropped",
+        "retry.attempts", "retry.sleeps", "retry.giveups", "ckpt.lookup.hits",
+        "ckpt.lookup.misses", "ckpt.records", "ckpt.flushes", "ckpt.bytes",
+        "ckpt.flush.failures", "ckpt.resume.fits"}) {
+    r->counter(name);
+  }
+  // Gauges.
+  for (const char* name : {"exec.pool.queue.depth", "ckpt.generation"}) {
+    r->gauge(name);
+  }
+  // Histograms (default latency buckets unless noted).
+  for (const char* name :
+       {"em.iteration.ms", "build.fit.ms", "exec.pool.idle.ms",
+        "ckpt.flush.ms", "retry.backoff.ms", "trace.mine.ms"}) {
+    r->histogram(name);
+  }
+  // Log-likelihood improvements span many decades; dimensionless.
+  r->histogram("em.loglik.delta", ExponentialBuckets(1e-6, 10.0, 12));
+}
+
+}  // namespace latent::obs

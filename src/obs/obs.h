@@ -1,0 +1,155 @@
+// Entry point of the observability layer: the per-run Scope handed
+// through the pipeline, the compile-time gate for instrumentation sites,
+// and the end-of-run RunReport summary.
+//
+// Production code marks instrumentation sites with the LATENT_OBS macro:
+//
+//   LATENT_OBS(obs::Count(scope, "em.iterations"));
+//   LATENT_OBS_SPAN(span, obs::RegistryOf(scope), "build");
+//
+// Sites cost nothing when the scope is null (a pointer test) and vanish
+// entirely when the repository is configured with -DLATENT_OBS=OFF —
+// mirroring common/failpoint.h. Instrumentation is observation-only by
+// contract: it must never branch the computation being measured, so
+// results stay bit-identical with metrics on, off, or compiled out
+// (verified by determinism_test).
+//
+// The full metric inventory (names, types, units, when each moves) lives
+// in docs/METRICS.md; keep it current when adding sites.
+#ifndef LATENT_OBS_OBS_H_
+#define LATENT_OBS_OBS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
+
+namespace latent::obs {
+
+/// Per-run bundle of observability state, threaded through pipeline
+/// layers as `const obs::Scope*` (null = observability off, like the
+/// run-control `const run::RunContext*`). Does not own the registry or
+/// sink; both must outlive the run.
+class Scope {
+ public:
+  /// Either pointer may be null; a Scope with a null registry records
+  /// nothing but is still safe to pass around.
+  explicit Scope(Registry* registry, ProgressSink* progress = nullptr)
+      : registry_(registry), progress_(progress) {}
+
+  /// Metric registry for this run, or null.
+  Registry* registry() const { return registry_; }
+  /// Throttled progress sink for this run, or null.
+  ProgressSink* progress() const { return progress_; }
+
+ private:
+  Registry* registry_;
+  ProgressSink* progress_;
+};
+
+/// Registry of a maybe-null scope (null in, null out) — for call sites
+/// that need the registry itself (TraceSpan, histogram pointer caching).
+inline Registry* RegistryOf(const Scope* s) {
+  return s != nullptr ? s->registry() : nullptr;
+}
+
+/// Adds `n` to counter `name`; no-op on a null scope/registry.
+inline void Count(const Scope* s, const std::string& name, uint64_t n = 1) {
+  Registry* r = RegistryOf(s);
+  if (r != nullptr) r->counter(name)->Add(n);
+}
+
+/// Sets gauge `name` to `v`; no-op on a null scope/registry.
+inline void SetGauge(const Scope* s, const std::string& name, long long v) {
+  Registry* r = RegistryOf(s);
+  if (r != nullptr) r->gauge(name)->Set(v);
+}
+
+/// Adjusts gauge `name` by `delta`; no-op on a null scope/registry.
+inline void AddGauge(const Scope* s, const std::string& name,
+                     long long delta) {
+  Registry* r = RegistryOf(s);
+  if (r != nullptr) r->gauge(name)->Add(delta);
+}
+
+/// Records `v` into histogram `name`; no-op on a null scope/registry.
+inline void Observe(const Scope* s, const std::string& name, double v) {
+  Registry* r = RegistryOf(s);
+  if (r != nullptr) r->histogram(name)->Observe(v);
+}
+
+/// Gives the throttled progress sink a chance to fire; no-op on a null
+/// scope or sink. Call from per-unit-of-work boundaries (after an EM
+/// iteration, after a node fit), never from inner numeric loops.
+inline void Tick(const Scope* s) {
+  if (s != nullptr && s->progress() != nullptr) s->progress()->MaybeReport();
+}
+
+/// End-of-run totals surfaced by api::MinedHierarchy::run_report().
+/// Every field is an exact sum over the run (counters merge their stripes
+/// at read time); all zeros when metrics were not attached or the build
+/// was configured with -DLATENT_OBS=OFF.
+struct RunReport {
+  /// Hierarchy nodes whose cluster model was fitted this run.
+  uint64_t nodes_fitted = 0;
+  /// Node fits satisfied from a checkpoint (FitCache hits).
+  uint64_t nodes_cached = 0;
+  /// EM iterations across all restarts and candidate-k fits.
+  uint64_t em_iterations = 0;
+  /// EM restarts attempted (including the first attempt of each fit).
+  uint64_t em_restarts = 0;
+  /// EM divergence retries (seed-bumped reruns after non-finite loglik).
+  uint64_t em_retries = 0;
+  /// Transient-I/O retry sleeps (attempts beyond the first).
+  uint64_t io_retry_sleeps = 0;
+  /// Checkpoint snapshots flushed to disk.
+  uint64_t checkpoint_flushes = 0;
+  /// Bytes of the checkpoint snapshots written (sum over flushes).
+  uint64_t checkpoint_bytes = 0;
+  /// Newest checkpoint generation written (0 = checkpointing off).
+  long long checkpoint_generation = 0;
+  /// Thread-pool tasks executed / dropped by a stopped run scope.
+  uint64_t pool_tasks_run = 0;
+  uint64_t pool_tasks_dropped = 0;
+  /// Peak thread-pool queue depth observed.
+  long long pool_max_queue_depth = 0;
+  /// Wall time of the whole Mine() call in milliseconds.
+  double total_ms = 0.0;
+};
+
+/// Builds a RunReport from the well-known pipeline metric names in `r`.
+/// Metrics that never moved read as zero.
+RunReport ReportFromRegistry(const Registry& r);
+
+/// Creates every well-known pipeline metric in `r` at its zero value, so
+/// a --metrics-json dump always has the full key set even when a stage
+/// never ran (e.g. exec.* on a single-threaded run) — keeping dumps
+/// diffable across configurations.
+void PreRegisterPipelineMetrics(Registry* r);
+
+}  // namespace latent::obs
+
+#if defined(LATENT_OBS_ENABLED)
+/// Executes the instrumentation statement(s) `...`; compiled out under
+/// -DLATENT_OBS=OFF. Keep every obs-only local inside the macro.
+#define LATENT_OBS(...) \
+  do {                  \
+    __VA_ARGS__;        \
+  } while (0)
+/// Declares a scope-lifetime TraceSpan named `var`; compiled out (along
+/// with `var`) under -DLATENT_OBS=OFF, so only reference `var` inside
+/// LATENT_OBS(...).
+#define LATENT_OBS_SPAN(var, registry, name) \
+  ::latent::obs::TraceSpan var((registry), (name))
+#else
+#define LATENT_OBS(...) \
+  do {                  \
+  } while (0)
+#define LATENT_OBS_SPAN(var, registry, name) \
+  do {                                       \
+  } while (0)
+#endif
+
+#endif  // LATENT_OBS_OBS_H_

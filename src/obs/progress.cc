@@ -1,0 +1,54 @@
+#include "obs/progress.h"
+
+#include <chrono>
+#include <utility>
+
+namespace latent::obs {
+
+ProgressSink::ProgressSink(Registry* registry, ProgressFn fn,
+                           long long every_ms)
+    : registry_(registry), fn_(std::move(fn)), every_ms_(every_ms) {
+  start_ms_ = NowMs();
+  // First MaybeReport() is immediately due.
+  next_due_ms_.store(start_ms_, std::memory_order_relaxed);
+}
+
+int64_t ProgressSink::NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+ProgressEvent ProgressSink::Snapshot() const {
+  ProgressEvent ev;
+  ev.elapsed_ms = static_cast<double>(NowMs() - start_ms_);
+  ev.nodes_fitted = registry_->CounterValue("build.fit.nodes");
+  ev.nodes_cached = registry_->CounterValue("build.fit.cached");
+  ev.em_iterations = registry_->CounterValue("em.iterations");
+  ev.retries = registry_->CounterValue("em.retries") +
+               registry_->CounterValue("retry.sleeps");
+  ev.checkpoint_generation = registry_->GaugeValue("ckpt.generation");
+  return ev;
+}
+
+void ProgressSink::MaybeReport() {
+  if (inert()) return;
+  if (every_ms_ > 0) {
+    const int64_t now = NowMs();
+    int64_t due = next_due_ms_.load(std::memory_order_relaxed);
+    if (now < due) return;
+    // Claim this reporting slot; losers skip rather than queue up.
+    if (!next_due_ms_.compare_exchange_strong(due, now + every_ms_,
+                                              std::memory_order_relaxed)) {
+      return;
+    }
+  }
+  fn_(Snapshot());
+}
+
+void ProgressSink::ForceReport() {
+  if (inert()) return;
+  fn_(Snapshot());
+}
+
+}  // namespace latent::obs

@@ -1,0 +1,85 @@
+// Throttled progress reporting for long pipeline runs.
+//
+// The pipeline cannot afford to invoke a user callback on every EM
+// iteration, so ProgressSink rate-limits: MaybeReport() is called freely
+// from hot paths (a couple of atomic loads when throttled) and invokes the
+// callback at most once per `every_ms`, reading live stats out of the
+// attached Registry. Throttle claims use a CAS on the next-due timestamp,
+// so under concurrency exactly one caller wins each reporting slot and the
+// callback itself is never run from two threads at once for the same slot.
+//
+// Reporting is observation-only: whether the callback fires never changes
+// what the pipeline computes, preserving bit-determinism.
+#ifndef LATENT_OBS_PROGRESS_H_
+#define LATENT_OBS_PROGRESS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "obs/metrics.h"
+
+namespace latent::obs {
+
+/// One throttled progress snapshot handed to the user callback.
+struct ProgressEvent {
+  /// Milliseconds since the pipeline run started.
+  double elapsed_ms = 0.0;
+  /// Hierarchy nodes whose cluster model has been fitted so far
+  /// (counter `build.fit.nodes`).
+  uint64_t nodes_fitted = 0;
+  /// Node fits satisfied from a checkpoint instead of refitted
+  /// (counter `build.fit.cached`).
+  uint64_t nodes_cached = 0;
+  /// Total EM iterations across all restarts (counter `em.iterations`).
+  uint64_t em_iterations = 0;
+  /// EM divergence retries (counter `em.retries`) plus transient-I/O
+  /// retry attempts beyond the first (counter `retry.sleeps`).
+  uint64_t retries = 0;
+  /// Newest checkpoint generation written, 0 when checkpointing is off
+  /// (gauge `ckpt.generation`).
+  long long checkpoint_generation = 0;
+};
+
+/// User callback type; invoked from whichever pipeline thread wins the
+/// reporting slot, so it must be thread-safe. Keep it fast — the pipeline
+/// blocks on it for the winning caller.
+using ProgressFn = std::function<void(const ProgressEvent&)>;
+
+/// Rate-limited bridge from hot-path code to a user ProgressFn.
+class ProgressSink {
+ public:
+  /// `every_ms <= 0` disables throttling (every MaybeReport() fires —
+  /// useful in tests). A null `fn` or null `registry` makes the sink
+  /// inert. The first MaybeReport() after construction always fires.
+  ProgressSink(Registry* registry, ProgressFn fn, long long every_ms);
+
+  ProgressSink(const ProgressSink&) = delete;
+  ProgressSink& operator=(const ProgressSink&) = delete;
+
+  /// Invokes the callback with fresh stats iff the throttle interval has
+  /// elapsed (or throttling is disabled). Cheap when throttled; safe from
+  /// any thread.
+  void MaybeReport();
+
+  /// Invokes the callback unconditionally (end-of-run final report).
+  /// No-op for an inert sink.
+  void ForceReport();
+
+  /// True when this sink will never invoke a callback.
+  bool inert() const { return fn_ == nullptr || registry_ == nullptr; }
+
+ private:
+  ProgressEvent Snapshot() const;
+  static int64_t NowMs();
+
+  Registry* registry_;
+  ProgressFn fn_;
+  long long every_ms_;
+  int64_t start_ms_ = 0;
+  std::atomic<int64_t> next_due_ms_{0};
+};
+
+}  // namespace latent::obs
+
+#endif  // LATENT_OBS_PROGRESS_H_

@@ -1,0 +1,45 @@
+#include "obs/trace.h"
+
+namespace latent::obs {
+namespace {
+
+// Innermost live span path per thread. Stored as a pointer to the span's
+// own path string: spans are strictly stack-ordered within a thread
+// (non-movable RAII), so the pointed-to string outlives every child.
+thread_local const std::string* t_current_path = nullptr;
+
+const std::string& EmptyPath() {
+  static const std::string* kEmpty = new std::string();
+  return *kEmpty;
+}
+
+}  // namespace
+
+TraceSpan::TraceSpan(Registry* registry, const std::string& name)
+    : registry_(registry), parent_(t_current_path) {
+  if (registry_ == nullptr) return;
+  path_ = (parent_ != nullptr && !parent_->empty()) ? *parent_ + "/" + name
+                                                    : name;
+  t_current_path = &path_;
+  start_ = std::chrono::steady_clock::now();
+}
+
+TraceSpan::~TraceSpan() {
+  if (registry_ == nullptr) return;
+  registry_->histogram("trace." + path_ + ".ms")->Observe(ElapsedMs());
+  registry_->counter("trace." + path_ + ".calls")->Add(1);
+  t_current_path = parent_;
+}
+
+double TraceSpan::ElapsedMs() const {
+  if (registry_ == nullptr) return 0.0;
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+const std::string& TraceSpan::CurrentPath() {
+  return t_current_path != nullptr ? *t_current_path : EmptyPath();
+}
+
+}  // namespace latent::obs

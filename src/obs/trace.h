@@ -1,0 +1,56 @@
+// RAII phase timers. A TraceSpan measures the wall time between its
+// construction and destruction and records it into a `trace.<name>.ms`
+// histogram of the attached Registry. Spans nest: each thread keeps a
+// stack of live spans, so a span opened while another is live becomes its
+// child and its full path ("mine/build/fit.L1") names the histogram —
+// mirroring the hierarchy build tree without unbounded cardinality
+// (names come from a fixed set of phase labels plus the level number,
+// never from per-node ids).
+//
+// A span with a null registry is inert (no clock reads, no recording), so
+// call sites pass their maybe-null registry straight through.
+#ifndef LATENT_OBS_TRACE_H_
+#define LATENT_OBS_TRACE_H_
+
+#include <chrono>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace latent::obs {
+
+/// RAII wall-clock timer for one pipeline phase. On destruction records
+/// elapsed milliseconds into the registry histogram
+/// `trace.<parent-path/><name>.ms` and bumps the matching `.calls`
+/// counter. Non-copyable, non-movable: bind it to a scope.
+class TraceSpan {
+ public:
+  /// Opens a span named `name` under the innermost live span of this
+  /// thread (if any). A null `registry` makes the span a no-op.
+  TraceSpan(Registry* registry, const std::string& name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Full slash-joined path of this span ("mine/build/fit.L1"); empty for
+  /// an inert span.
+  const std::string& path() const { return path_; }
+
+  /// Elapsed milliseconds so far (0 for an inert span).
+  double ElapsedMs() const;
+
+  /// Innermost live span path of the calling thread, or "" when none.
+  /// Child spans on worker threads do not see parents from other threads.
+  static const std::string& CurrentPath();
+
+ private:
+  Registry* registry_;  // null => inert
+  std::string path_;
+  const std::string* parent_;  // previous thread-local top, to restore
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace latent::obs
+
+#endif  // LATENT_OBS_TRACE_H_

@@ -3,6 +3,7 @@
 // deprecated MineTopicalHierarchy shim.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <utility>
 
 #include "api/latent.h"
@@ -78,6 +79,79 @@ TEST(ApiTest, RenderNodeHandlesRootAndLeaves) {
     std::string rendered = mined.RenderNode(leaf, kopt, 3);
     EXPECT_FALSE(rendered.empty());
   }
+}
+
+TEST(ApiTest, RunReportTotalsMatchObservableWork) {
+  data::HinDataset ds = SmallDs();
+  PipelineOptions opt = SmallOptions();
+  obs::Registry registry;
+  opt.metrics = &registry;
+  StatusOr<MinedHierarchy> result = Mine(InputOf(ds), opt);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  const obs::RunReport& rep = result.value().run_report();
+#if defined(LATENT_OBS_ENABLED)
+  // Every internal (expanded) node of the final tree corresponds to exactly
+  // one fresh fit — no checkpointing in this run, so nothing came cached.
+  uint64_t internal_nodes = 0;
+  const core::TopicHierarchy& tree = result.value().tree();
+  for (int id = 0; id < tree.num_nodes(); ++id) {
+    if (!tree.node(id).children.empty()) ++internal_nodes;
+  }
+  EXPECT_EQ(rep.nodes_fitted, internal_nodes);
+  EXPECT_EQ(rep.nodes_cached, 0u);
+  // EM ran (iterations, at least one restart per fit) and the whole call
+  // was timed.
+  EXPECT_GT(rep.em_iterations, 0u);
+  EXPECT_GE(rep.em_restarts, rep.nodes_fitted);
+  EXPECT_GT(rep.total_ms, 0.0);
+  // No checkpointing configured.
+  EXPECT_EQ(rep.checkpoint_flushes, 0u);
+  EXPECT_EQ(rep.checkpoint_generation, 0);
+  // The report is a view of the caller's registry.
+  EXPECT_EQ(rep.em_iterations, registry.CounterValue("em.iterations"));
+  EXPECT_EQ(rep.nodes_fitted, registry.CounterValue("build.fit.nodes"));
+#else
+  EXPECT_EQ(rep.em_iterations, 0u);
+  EXPECT_EQ(rep.nodes_fitted, 0u);
+#endif
+  // An empty shell reports zeros rather than check-failing.
+  MinedHierarchy empty;
+  EXPECT_EQ(empty.run_report().em_iterations, 0u);
+}
+
+TEST(ApiTest, ProgressCallbackSeesMonotoneTotals) {
+  data::HinDataset ds = SmallDs();
+  PipelineOptions opt = SmallOptions();
+  opt.progress_every_ms = 0;  // unthrottled
+  opt.exec.num_threads = 1;   // serialize callbacks so totals are ordered
+  std::atomic<uint64_t> calls{0};
+  std::atomic<uint64_t> last_iters{0};
+  std::atomic<bool> monotone{true};
+  opt.progress = [&](const obs::ProgressEvent& ev) {
+    calls.fetch_add(1);
+    uint64_t prev = last_iters.exchange(ev.em_iterations);
+    if (ev.em_iterations < prev) monotone.store(false);
+  };
+  StatusOr<MinedHierarchy> result = Mine(InputOf(ds), opt);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+#if defined(LATENT_OBS_ENABLED)
+  // Fires during the run (works without an explicit registry) plus the
+  // forced final report; totals never go backwards.
+  EXPECT_GT(calls.load(), 1u);
+  EXPECT_TRUE(monotone.load());
+  EXPECT_GT(last_iters.load(), 0u);
+#else
+  EXPECT_EQ(calls.load(), 0u);
+#endif
+}
+
+TEST(ApiTest, ValidateRejectsNegativeProgressInterval) {
+  data::HinDataset ds = SmallDs();
+  PipelineOptions opt = SmallOptions();
+  opt.progress_every_ms = -1;
+  StatusOr<MinedHierarchy> result = Mine(InputOf(ds), opt);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(ApiTest, DeprecatedShimStillWorks) {

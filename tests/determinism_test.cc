@@ -4,6 +4,7 @@
 // (the ISSUE's contract: {1, 2, 8} all agree).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <vector>
 
 #include "api/latent.h"
@@ -117,6 +118,36 @@ TEST(DeterminismTest, RepeatedParallelRunsAgree) {
   StatusOr<MinedHierarchy> second = Mine(input, OptionsWithThreads(4));
   ASSERT_TRUE(first.ok() && second.ok());
   ExpectIdentical(first.value(), second.value(), ds);
+}
+
+TEST(DeterminismTest, MetricsAndProgressDoNotPerturbResults) {
+  // The observability contract: attaching a registry and an unthrottled
+  // progress callback must leave the mined result bit-identical to a bare
+  // run, at every thread count.
+  data::HinDataset ds = SmallDs();
+  PipelineInput input(
+      ds.corpus, EntitySchema(ds.entity_type_names, ds.entity_type_sizes),
+      ds.entity_docs);
+  StatusOr<MinedHierarchy> bare = Mine(input, OptionsWithThreads(1));
+  ASSERT_TRUE(bare.ok()) << bare.status().message();
+  for (int threads : {1, 2, 8}) {
+    PipelineOptions opt = OptionsWithThreads(threads);
+    obs::Registry registry;
+    opt.metrics = &registry;
+    std::atomic<uint64_t> progress_calls{0};
+    opt.progress = [&progress_calls](const obs::ProgressEvent&) {
+      progress_calls.fetch_add(1, std::memory_order_relaxed);
+    };
+    opt.progress_every_ms = 0;  // unthrottled: maximum observation pressure
+    StatusOr<MinedHierarchy> observed = Mine(input, opt);
+    ASSERT_TRUE(observed.ok()) << observed.status().message();
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ExpectIdentical(bare.value(), observed.value(), ds);
+#if defined(LATENT_OBS_ENABLED)
+    EXPECT_GT(registry.CounterValue("em.iterations"), 0u);
+    EXPECT_GT(progress_calls.load(), 0u);
+#endif
+  }
 }
 
 TEST(DeterminismTest, BicModelSelectionIsThreadCountInvariant) {

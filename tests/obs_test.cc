@@ -1,0 +1,361 @@
+// Tests for the observability layer (src/obs): exact counter merging under
+// concurrency, histogram bucket boundary semantics, trace-span nesting,
+// progress throttling, registry snapshots/JSON, and the LATENT_OBS
+// compile-time gate (this file must build and pass under -DLATENT_OBS=OFF
+// as well — gate-dependent assertions branch on LATENT_OBS_ENABLED).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace latent::obs {
+namespace {
+
+TEST(CounterTest, MergesExactlyAcrossEightThreads) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kAddsPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (uint64_t i = 0; i < kAddsPerThread; ++i) c.Add();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.Value(), kThreads * kAddsPerThread);
+}
+
+TEST(CounterTest, AddWithArgumentAccumulates) {
+  Counter c;
+  c.Add(3);
+  c.Add(0);
+  c.Add(39);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(GaugeTest, TracksValueAndPeak) {
+  Gauge g;
+  g.Set(5);
+  g.Add(7);   // 12 — new peak
+  g.Add(-10); // 2
+  EXPECT_EQ(g.Value(), 2);
+  EXPECT_EQ(g.Max(), 12);
+  g.Set(1);
+  EXPECT_EQ(g.Value(), 1);
+  EXPECT_EQ(g.Max(), 12);
+}
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  Histogram h({1.0, 2.0, 5.0});
+  // v <= bound lands in that bucket; above the last bound -> +inf bucket.
+  h.Observe(0.5);  // le=1
+  h.Observe(1.0);  // le=1 (boundary is inclusive)
+  h.Observe(1.5);  // le=2
+  h.Observe(2.0);  // le=2
+  h.Observe(5.0);  // le=5
+  h.Observe(6.0);  // +inf
+  EXPECT_EQ(h.BucketCount(0), 2u);
+  EXPECT_EQ(h.BucketCount(1), 2u);
+  EXPECT_EQ(h.BucketCount(2), 1u);
+  EXPECT_EQ(h.BucketCount(3), 1u);  // overflow bucket
+  EXPECT_EQ(h.Count(), 6u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.5 + 1.0 + 1.5 + 2.0 + 5.0 + 6.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.Max(), 6.0);
+}
+
+TEST(HistogramTest, EmptyHistogramReportsZeros) {
+  Histogram h({1.0});
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 0.0);
+}
+
+TEST(HistogramTest, UnsortedBoundsAreSortedAndDeduped) {
+  Histogram h({5.0, 1.0, 2.0, 2.0});
+  ASSERT_EQ(h.bounds().size(), 3u);
+  EXPECT_DOUBLE_EQ(h.bounds()[0], 1.0);
+  EXPECT_DOUBLE_EQ(h.bounds()[1], 2.0);
+  EXPECT_DOUBLE_EQ(h.bounds()[2], 5.0);
+}
+
+TEST(HistogramTest, ConcurrentObservationsStayExact) {
+  Histogram h({10.0, 100.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.Observe(1.0);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.Count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(h.Sum(), static_cast<double>(kThreads) * kPerThread);
+  EXPECT_EQ(h.BucketCount(0), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(BucketHelpersTest, ExponentialAndLinear) {
+  std::vector<double> e = ExponentialBuckets(1.0, 10.0, 4);
+  ASSERT_EQ(e.size(), 4u);
+  EXPECT_DOUBLE_EQ(e[0], 1.0);
+  EXPECT_DOUBLE_EQ(e[3], 1000.0);
+  std::vector<double> l = LinearBuckets(2.0, 3.0, 3);
+  ASSERT_EQ(l.size(), 3u);
+  EXPECT_DOUBLE_EQ(l[0], 2.0);
+  EXPECT_DOUBLE_EQ(l[2], 8.0);
+}
+
+TEST(RegistryTest, GetOrCreateReturnsStablePointers) {
+  Registry r;
+  Counter* c = r.counter("x");
+  EXPECT_EQ(r.counter("x"), c);
+  Gauge* g = r.gauge("x");  // same name, different kind: distinct namespace
+  EXPECT_EQ(r.gauge("x"), g);
+  Histogram* h = r.histogram("x", {1.0});
+  EXPECT_EQ(r.histogram("x"), h);
+  // Bounds only apply at creation (first caller wins).
+  EXPECT_EQ(r.histogram("x", {99.0})->bounds().size(), 1u);
+  EXPECT_DOUBLE_EQ(r.histogram("x")->bounds()[0], 1.0);
+}
+
+TEST(RegistryTest, ConstReadersDoNotCreate) {
+  Registry r;
+  EXPECT_EQ(r.CounterValue("never"), 0u);
+  EXPECT_EQ(r.GaugeValue("never"), 0);
+  EXPECT_DOUBLE_EQ(r.HistogramSum("never"), 0.0);
+  MetricsSnapshot snap = r.Scrape();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+}
+
+TEST(RegistryTest, ScrapeBuildsCumulativeBucketsWithInfTail) {
+  Registry r;
+  Histogram* h = r.histogram("lat", {1.0, 2.0});
+  h->Observe(0.5);
+  h->Observe(1.5);
+  h->Observe(9.0);
+  MetricsSnapshot snap = r.Scrape();
+  const HistogramSnapshot& hs = snap.histograms.at("lat");
+  ASSERT_EQ(hs.buckets.size(), 3u);
+  EXPECT_EQ(hs.buckets[0].second, 1u);  // <= 1.0
+  EXPECT_EQ(hs.buckets[1].second, 2u);  // <= 2.0 (cumulative)
+  EXPECT_TRUE(std::isinf(hs.buckets[2].first));
+  EXPECT_EQ(hs.buckets[2].second, hs.count);
+}
+
+TEST(RegistryTest, ToJsonIsStableAndComplete) {
+  Registry r;
+  r.counter("b.count")->Add(2);
+  r.counter("a.count")->Add(1);
+  r.gauge("depth")->Set(3);
+  r.histogram("lat", {1.0})->Observe(0.5);
+  const std::string json = r.ToJson();
+  // Name-sorted keys -> "a.count" precedes "b.count".
+  EXPECT_LT(json.find("\"a.count\": 1"), json.find("\"b.count\": 2"));
+  EXPECT_NE(json.find("\"depth\""), std::string::npos);
+  EXPECT_NE(json.find("\"max\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"le\": \"+inf\""), std::string::npos);
+  // Two scrapes of an untouched registry serialize identically.
+  EXPECT_EQ(json, r.ToJson());
+}
+
+TEST(TraceSpanTest, NestsPathsPerThread) {
+  Registry r;
+  {
+    TraceSpan outer(&r, "mine");
+    EXPECT_EQ(outer.path(), "mine");
+    EXPECT_EQ(TraceSpan::CurrentPath(), "mine");
+    {
+      TraceSpan inner(&r, "build");
+      EXPECT_EQ(inner.path(), "mine/build");
+      EXPECT_EQ(TraceSpan::CurrentPath(), "mine/build");
+    }
+    // Sibling after the child closed nests under the outer span again.
+    TraceSpan sibling(&r, "phrases");
+    EXPECT_EQ(sibling.path(), "mine/phrases");
+  }
+  EXPECT_EQ(TraceSpan::CurrentPath(), "");
+  MetricsSnapshot snap = r.Scrape();
+  EXPECT_EQ(snap.counters.at("trace.mine.calls"), 1u);
+  EXPECT_EQ(snap.counters.at("trace.mine/build.calls"), 1u);
+  EXPECT_EQ(snap.counters.at("trace.mine/phrases.calls"), 1u);
+  EXPECT_EQ(snap.histograms.at("trace.mine.ms").count, 1u);
+}
+
+TEST(TraceSpanTest, WorkerThreadsDoNotInheritParents) {
+  Registry r;
+  TraceSpan outer(&r, "mine");
+  std::string worker_path;
+  std::thread worker([&r, &worker_path] {
+    TraceSpan span(&r, "fit");
+    worker_path = span.path();
+  });
+  worker.join();
+  EXPECT_EQ(worker_path, "fit");  // no cross-thread nesting
+  EXPECT_EQ(TraceSpan::CurrentPath(), "mine");
+}
+
+TEST(TraceSpanTest, NullRegistryIsInert) {
+  TraceSpan span(nullptr, "mine");
+  EXPECT_EQ(span.path(), "");
+  EXPECT_DOUBLE_EQ(span.ElapsedMs(), 0.0);
+  EXPECT_EQ(TraceSpan::CurrentPath(), "");
+}
+
+TEST(ProgressSinkTest, UnthrottledFiresEveryTime) {
+  Registry r;
+  int calls = 0;
+  ProgressSink sink(
+      &r, [&calls](const ProgressEvent&) { ++calls; }, /*every_ms=*/0);
+  ASSERT_FALSE(sink.inert());
+  for (int i = 0; i < 5; ++i) sink.MaybeReport();
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(ProgressSinkTest, ThrottleAdmitsFirstCallThenBlocks) {
+  Registry r;
+  int calls = 0;
+  // An hour-long interval: only the first MaybeReport and the forced final
+  // report may fire within this test.
+  ProgressSink sink(
+      &r, [&calls](const ProgressEvent&) { ++calls; },
+      /*every_ms=*/3600 * 1000);
+  for (int i = 0; i < 100; ++i) sink.MaybeReport();
+  EXPECT_EQ(calls, 1);
+  sink.ForceReport();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(ProgressSinkTest, EventReadsLiveRegistryTotals) {
+  Registry r;
+  r.counter("build.fit.nodes")->Add(4);
+  r.counter("build.fit.cached")->Add(2);
+  r.counter("em.iterations")->Add(123);
+  r.counter("em.retries")->Add(1);
+  r.counter("retry.sleeps")->Add(2);
+  r.gauge("ckpt.generation")->Set(7);
+  ProgressEvent got;
+  ProgressSink sink(
+      &r, [&got](const ProgressEvent& ev) { got = ev; }, /*every_ms=*/0);
+  sink.MaybeReport();
+  EXPECT_EQ(got.nodes_fitted, 4u);
+  EXPECT_EQ(got.nodes_cached, 2u);
+  EXPECT_EQ(got.em_iterations, 123u);
+  EXPECT_EQ(got.retries, 3u);  // em.retries + retry.sleeps
+  EXPECT_EQ(got.checkpoint_generation, 7);
+  EXPECT_GE(got.elapsed_ms, 0.0);
+}
+
+TEST(ProgressSinkTest, NullPiecesMakeItInert) {
+  Registry r;
+  ProgressSink no_fn(&r, nullptr, 0);
+  EXPECT_TRUE(no_fn.inert());
+  no_fn.MaybeReport();  // must not crash
+  no_fn.ForceReport();
+  int calls = 0;
+  ProgressSink no_registry(
+      nullptr, [&calls](const ProgressEvent&) { ++calls; }, 0);
+  EXPECT_TRUE(no_registry.inert());
+  no_registry.MaybeReport();
+  no_registry.ForceReport();
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ScopeTest, NullTolerantHelpers) {
+  // All helpers must be safe on a null scope...
+  Count(nullptr, "c");
+  SetGauge(nullptr, "g", 1);
+  AddGauge(nullptr, "g", 1);
+  Observe(nullptr, "h", 1.0);
+  Tick(nullptr);
+  // ...and on a scope with a null registry.
+  Scope empty(nullptr);
+  Count(&empty, "c");
+  EXPECT_EQ(RegistryOf(&empty), nullptr);
+  EXPECT_EQ(RegistryOf(nullptr), nullptr);
+
+  Registry r;
+  Scope scope(&r);
+  Count(&scope, "c", 2);
+  SetGauge(&scope, "g", 5);
+  Observe(&scope, "h", 1.0);
+  EXPECT_EQ(r.CounterValue("c"), 2u);
+  EXPECT_EQ(r.GaugeValue("g"), 5);
+  EXPECT_EQ(r.Scrape().histograms.at("h").count, 1u);
+}
+
+TEST(RunReportTest, ReadsWellKnownNames) {
+  Registry r;
+  PreRegisterPipelineMetrics(&r);
+  r.counter("build.fit.nodes")->Add(9);
+  r.counter("em.iterations")->Add(500);
+  r.counter("ckpt.flushes")->Add(2);
+  r.gauge("ckpt.generation")->Set(2);
+  r.gauge("exec.pool.queue.depth")->Set(6);
+  r.gauge("exec.pool.queue.depth")->Set(1);
+  r.histogram("trace.mine.ms")->Observe(12.5);
+  RunReport rep = ReportFromRegistry(r);
+  EXPECT_EQ(rep.nodes_fitted, 9u);
+  EXPECT_EQ(rep.em_iterations, 500u);
+  EXPECT_EQ(rep.checkpoint_flushes, 2u);
+  EXPECT_EQ(rep.checkpoint_generation, 2);
+  EXPECT_EQ(rep.pool_max_queue_depth, 6);  // peak, not last
+  EXPECT_DOUBLE_EQ(rep.total_ms, 12.5);
+}
+
+TEST(RunReportTest, PreRegisterGivesCompleteKeySchema) {
+  Registry r;
+  PreRegisterPipelineMetrics(&r);
+  MetricsSnapshot snap = r.Scrape();
+  // Every well-known name is present at zero, so --metrics-json dumps are
+  // diffable across configurations that exercise different stages.
+  for (const char* name :
+       {"em.iterations", "em.restarts", "em.retries", "build.fit.nodes",
+        "build.fit.cached", "exec.pool.tasks.run", "exec.pool.tasks.dropped",
+        "retry.attempts", "retry.sleeps", "retry.giveups", "ckpt.flushes",
+        "ckpt.bytes", "ckpt.resume.fits"}) {
+    EXPECT_EQ(snap.counters.count(name), 1u) << name;
+    EXPECT_EQ(snap.counters.at(name), 0u) << name;
+  }
+  EXPECT_EQ(snap.gauges.count("exec.pool.queue.depth"), 1u);
+  EXPECT_EQ(snap.gauges.count("ckpt.generation"), 1u);
+  for (const char* name : {"em.iteration.ms", "build.fit.ms",
+                           "exec.pool.idle.ms", "ckpt.flush.ms",
+                           "retry.backoff.ms", "trace.mine.ms",
+                           "em.loglik.delta"}) {
+    EXPECT_EQ(snap.histograms.count(name), 1u) << name;
+  }
+  PreRegisterPipelineMetrics(nullptr);  // null-tolerant
+}
+
+TEST(ObsMacroTest, SitesCompileUnderBothGateSettings) {
+  // This test exists mostly to be compiled with -DLATENT_OBS=OFF: the
+  // macros must expand to nothing without breaking the surrounding code.
+  Registry r;
+  Scope scope(&r);
+  const Scope* s = &scope;
+  (void)s;  // only referenced inside the gate
+  LATENT_OBS(Count(s, "gated.counter"); Observe(s, "gated.ms", 1.0));
+  {
+    LATENT_OBS_SPAN(span, RegistryOf(s), "gated.phase");
+    LATENT_OBS(Observe(s, "gated.span.ms", span.ElapsedMs()));
+  }
+#if defined(LATENT_OBS_ENABLED)
+  EXPECT_EQ(r.CounterValue("gated.counter"), 1u);
+  EXPECT_EQ(r.CounterValue("trace.gated.phase.calls"), 1u);
+#else
+  EXPECT_EQ(r.CounterValue("gated.counter"), 0u);
+  EXPECT_EQ(r.CounterValue("trace.gated.phase.calls"), 0u);
+#endif
+}
+
+}  // namespace
+}  // namespace latent::obs

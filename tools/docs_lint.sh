@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Docs lint: the operator guide must document the complete operator
+# surface. Fails (exit 1) listing anything missing when
+#   * a latent_mine command-line flag parsed in tools/latent_mine.cc, or
+#   * a PipelineOptions field declared in src/api/latent.h
+# does not appear in docs/OPERATIONS.md. Registered with ctest as
+# `docs.lint` (label: docs); run directly as tools/docs_lint.sh [repo-root].
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+mine_cc="$root/tools/latent_mine.cc"
+api_h="$root/src/api/latent.h"
+ops_md="$root/docs/OPERATIONS.md"
+
+fail=0
+for f in "$mine_cc" "$api_h" "$ops_md"; do
+  if [ ! -f "$f" ]; then
+    echo "docs_lint: missing $f" >&2
+    exit 1
+  fi
+done
+
+# Every string-literal flag the CLI compares against.
+flags=$(grep -o '"--[a-z-]*"' "$mine_cc" | tr -d '"' | sort -u)
+
+# Every field of struct PipelineOptions: strip comments, keep
+# declaration lines (trailing ';', no parens => not Validate()), drop any
+# default initializer, take the last identifier.
+fields=$(awk '/^struct PipelineOptions \{/,/^\};/' "$api_h" \
+  | sed -e 's|//.*||' \
+  | grep -E ';[[:space:]]*$' \
+  | grep -v '(' \
+  | grep -vE '^[[:space:]]*\};[[:space:]]*$' \
+  | sed -E 's/[[:space:]]*=[[:space:]]*[^;]*;//; s/;//; s/.*[ *]//' \
+  | sort -u)
+
+if [ -z "$flags" ] || [ -z "$fields" ]; then
+  echo "docs_lint: extraction came up empty (flags or fields) —" \
+       "the lint itself is broken, refusing to pass vacuously" >&2
+  exit 1
+fi
+
+for flag in $flags; do
+  if ! grep -q -- "$flag" "$ops_md"; then
+    echo "docs_lint: latent_mine flag $flag is not documented in" \
+         "docs/OPERATIONS.md" >&2
+    fail=1
+  fi
+done
+
+for field in $fields; do
+  if ! grep -qw -- "$field" "$ops_md"; then
+    echo "docs_lint: PipelineOptions::$field is not documented in" \
+         "docs/OPERATIONS.md" >&2
+    fail=1
+  fi
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "docs_lint: OK ($(echo "$flags" | wc -l) flags," \
+       "$(echo "$fields" | wc -l) fields documented)"
+fi
+exit "$fail"

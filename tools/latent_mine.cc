@@ -60,6 +60,7 @@ int Usage() {
       "                   [--timeout-s N] [--work-budget N]\n"
       "                   [--checkpoint-dir DIR] [--checkpoint-every N]\n"
       "                   [--resume] [--json FILE] [--save FILE]\n"
+      "                   [--metrics-json FILE] [--progress]\n"
       "                   [--stem] [--equal-weights]\n"
       "  --threads N          worker threads (0 = all cores, 1 = serial;\n"
       "                       results are identical either way)\n"
@@ -74,7 +75,13 @@ int Usage() {
       "                       (default 8; 0 = only a final snapshot)\n"
       "  --resume             restore the newest valid snapshot from\n"
       "                       --checkpoint-dir before building; the result\n"
-      "                       is identical to an uninterrupted run\n");
+      "                       is identical to an uninterrupted run\n"
+      "  --metrics-json FILE  dump every pipeline metric (EM iterations,\n"
+      "                       node fits, thread-pool and checkpoint\n"
+      "                       activity, phase timings) as JSON to FILE\n"
+      "                       after the run; see docs/METRICS.md\n"
+      "  --progress           print a throttled progress line to stderr\n"
+      "                       (~1/s) while mining\n");
   return 2;
 }
 
@@ -83,7 +90,8 @@ int Usage() {
 int main(int argc, char** argv) {
   using namespace latent;
   std::string corpus_path, entities_path, json_path, save_path;
-  std::string checkpoint_dir;
+  std::string checkpoint_dir, metrics_json_path;
+  bool progress = false;
   std::vector<int> levels = {5, 3};
   long long min_support = 5;
   uint64_t seed = 42;
@@ -140,6 +148,10 @@ int main(int argc, char** argv) {
       if (const char* v = next()) json_path = v;
     } else if (arg == "--save") {
       if (const char* v = next()) save_path = v;
+    } else if (arg == "--metrics-json") {
+      if (const char* v = next()) metrics_json_path = v;
+    } else if (arg == "--progress") {
+      progress = true;
     } else if (arg == "--stem") {
       stem = true;
     } else if (arg == "--equal-weights") {
@@ -196,6 +208,24 @@ int main(int argc, char** argv) {
   opt.checkpoint_dir = checkpoint_dir;
   opt.checkpoint_every_nodes = static_cast<int>(checkpoint_every);
   opt.resume = resume;
+  // Observability: --metrics-json attaches a registry (dumped after the
+  // run), --progress adds a ~1/s stderr progress line fed by the same
+  // stats. Neither changes the mined result.
+  obs::Registry metrics;
+  if (!metrics_json_path.empty()) opt.metrics = &metrics;
+  if (progress) {
+    opt.progress = [](const obs::ProgressEvent& ev) {
+      std::fprintf(stderr,
+                   "progress: %.1fs  nodes=%llu (+%llu cached)  em-iters=%llu"
+                   "  retries=%llu  ckpt-gen=%lld\n",
+                   ev.elapsed_ms / 1000.0,
+                   static_cast<unsigned long long>(ev.nodes_fitted),
+                   static_cast<unsigned long long>(ev.nodes_cached),
+                   static_cast<unsigned long long>(ev.em_iterations),
+                   static_cast<unsigned long long>(ev.retries),
+                   ev.checkpoint_generation);
+    };
+  }
   api::PipelineInput input(
       corpus, api::EntitySchema(type_names, type_sizes), entity_docs);
   StatusOr<api::MinedHierarchy> result = api::Mine(input, opt);
@@ -242,6 +272,16 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::fprintf(stderr, "wrote %s\n", save_path.c_str());
+  }
+  if (!metrics_json_path.empty()) {
+    Status s = io::WithRetry(retry, [&] {
+      return data::WriteFile(metrics_json_path, metrics.ToJson());
+    });
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.message().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s\n", metrics_json_path.c_str());
   }
   return 0;
 }
