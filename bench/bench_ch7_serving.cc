@@ -1,0 +1,150 @@
+// Serving-throughput bench for the latent::serve read path (the ROADMAP's
+// "serve heavy traffic" north star): queries/sec over one immutable
+// HierarchyIndex snapshot, single- vs 8-threaded batch fan-out, cold vs
+// warm result cache, and with the cache disabled — same table shape as the
+// other ch7 benches.
+//
+// Expected shape: warm-cache throughput should beat cold by a wide margin
+// (hits skip rendering entirely), cache-off should sit near cold, and the
+// 8-thread rows scale with available cores (on a single-core container
+// they measure the same work plus pool overhead; answers are
+// byte-identical in every configuration by construction).
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/latent.h"
+#include "bench_util.h"
+#include "common/check.h"
+#include "common/parallel.h"
+#include "common/timer.h"
+#include "data/synthetic_hin.h"
+#include "serve/engine.h"
+
+using namespace latent;
+
+namespace {
+
+// One deterministic mixed workload over the index, with no duplicate
+// requests: every topic looked up and walked, every 2nd phrase searched by
+// its own text, every entity of each type resolved. Because each request
+// is unique, a single pass on a fresh engine never hits the cache (cold)
+// while a repeat of the same batch always does (warm).
+std::vector<serve::Request> BuildWorkload(const serve::HierarchyIndex& index) {
+  std::vector<serve::Request> out;
+  for (int id = 0; id < index.num_topics(); ++id) {
+    out.push_back({serve::RequestKind::kLookup, index.topic(id).path, -1});
+    out.push_back({serve::RequestKind::kSubtree, index.topic(id).path, 1});
+  }
+  for (int p = 0; p < index.num_phrases(); p += 2) {
+    out.push_back({serve::RequestKind::kSearch, index.phrase_text(p), 10});
+  }
+  for (int type = 1; type < index.num_types(); ++type) {
+    const std::string& type_name = index.type_names()[type];
+    for (int e = 0; e < index.type_sizes()[type]; ++e) {
+      out.push_back({serve::RequestKind::kEntity,
+                     type_name + ":" + index.name(type, e), 10});
+    }
+  }
+  return out;
+}
+
+struct RunResult {
+  double cold_qps = 0.0;
+  double warm_qps = 0.0;
+};
+
+RunResult Measure(const api::MinedHierarchy& mined,
+                  const std::vector<serve::Request>& workload, int threads,
+                  long long cache_bytes) {
+  exec::ExecOptions eopt;
+  eopt.num_threads = threads;
+  exec::Executor ex(eopt);
+  serve::QueryOptions qopt;
+  qopt.cache_bytes = cache_bytes;
+
+  // Cold: each round gets a fresh engine (empty cache), built outside the
+  // timed region; only the first-touch batch is measured.
+  constexpr int kColdRounds = 5;
+  std::vector<std::unique_ptr<serve::QueryEngine>> engines;
+  for (int r = 0; r < kColdRounds; ++r) {
+    StatusOr<serve::HierarchyIndex> index = mined.MakeIndex();
+    LATENT_CHECK_MSG(index.ok(), "bench index must build");
+    auto engine =
+        serve::QueryEngine::Create(std::move(index.value()), qopt, &ex);
+    LATENT_CHECK_MSG(engine.ok(), "bench engine must build");
+    engines.push_back(std::move(engine.value()));
+  }
+  RunResult result;
+  WallTimer timer;
+  for (auto& engine : engines) engine->RunBatch(workload);
+  result.cold_qps = kColdRounds * workload.size() / timer.Seconds();
+
+  // Warm: repeat the identical batch on one engine; with a cache every
+  // request is a hit, without one this re-measures the render path.
+  constexpr int kWarmRounds = 15;
+  timer.Restart();
+  for (int r = 0; r < kWarmRounds; ++r) engines[0]->RunBatch(workload);
+  result.warm_qps = kWarmRounds * workload.size() / timer.Seconds();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Serving throughput over one mined hierarchy snapshot\n"
+              "(queries/sec; warm = repeat of the same batch, so with a\n"
+              "cache it measures the hit path)\n\n");
+
+  data::HinDatasetOptions gopt;
+  gopt.num_areas = 4;
+  gopt.subareas_per_area = 3;
+  gopt.num_docs = 1500;
+  gopt.seed = 77;
+  data::HinDataset ds = data::GenerateHinDataset(gopt);
+
+  api::PipelineOptions opt;
+  opt.build.levels_k = {4, 3};
+  opt.build.max_depth = 2;
+  opt.miner.min_support = 5;
+  api::PipelineInput input(
+      ds.corpus,
+      api::EntitySchema(ds.entity_type_names, ds.entity_type_sizes),
+      ds.entity_docs);
+  WallTimer mine_timer;
+  StatusOr<api::MinedHierarchy> mined = api::Mine(input, opt);
+  LATENT_CHECK_MSG(mined.ok(), "bench corpus must mine");
+  const double mine_s = mine_timer.Seconds();
+
+  WallTimer index_timer;
+  StatusOr<serve::HierarchyIndex> probe = mined.value().MakeIndex();
+  LATENT_CHECK_MSG(probe.ok(), "bench index must build");
+  const double index_s = index_timer.Seconds();
+  std::printf("mined %d topics in %.2fs; index build %.3fs "
+              "(%d phrases, %d types)\n\n",
+              probe.value().num_topics(), mine_s, index_s,
+              probe.value().num_phrases(), probe.value().num_types());
+
+  const std::vector<serve::Request> workload = BuildWorkload(probe.value());
+  std::printf("workload: %zu distinct queries "
+              "(lookup/subtree/search/entity mix)\n\n",
+              workload.size());
+
+  bench::PrintHeader({"configuration", "cold q/s", "warm q/s"}, 14);
+  for (int threads : {1, 8}) {
+    for (long long cache_bytes : {0ll, 16ll << 20}) {
+      RunResult r =
+          Measure(mined.value(), workload, threads, cache_bytes);
+      const std::string name = std::to_string(threads) + " thread" +
+                               (threads > 1 ? "s" : "") +
+                               (cache_bytes > 0 ? ", cache 16MB" :
+                                                  ", cache off");
+      bench::PrintRow(name, {r.cold_qps, r.warm_qps}, 14, "%-*.0f");
+    }
+  }
+  std::printf("\nAnswers are byte-identical across every row "
+              "(serve_test pins this); only the wall time moves.\n");
+  return 0;
+}

@@ -243,6 +243,17 @@ std::string MinedHierarchy::RenderTree(const phrase::KertOptions& opt,
   return out;
 }
 
+StatusOr<serve::HierarchyIndex> MinedHierarchy::MakeIndex(
+    const serve::IndexOptions& options) const {
+  serve::IndexSource source;
+  source.corpus = corpus_;
+  source.tree = &tree();
+  source.dict = &dict();
+  source.kert = &kert();
+  source.word_type = kert().word_type();
+  return serve::HierarchyIndex::Build(source, options, exec_.get());
+}
+
 StatusOr<MinedHierarchy> Mine(const PipelineInput& input,
                               const PipelineOptions& options) {
   if (Status s = input.Validate(); !s.ok()) return s;
@@ -373,21 +384,6 @@ StatusOr<MinedHierarchy> Mine(const PipelineInput& input,
   }
 #endif
   return mined;
-}
-
-MinedHierarchy MineTopicalHierarchy(
-    const text::Corpus& corpus,
-    const std::vector<std::string>& entity_type_names,
-    const std::vector<int>& entity_type_sizes,
-    const std::vector<hin::EntityDoc>& entity_docs,
-    const PipelineOptions& options) {
-  PipelineInput input;
-  input.corpus = &corpus;
-  input.schema = EntitySchema(entity_type_names, entity_type_sizes);
-  input.entity_docs = &entity_docs;
-  StatusOr<MinedHierarchy> result = Mine(input, options);
-  LATENT_CHECK_MSG(result.ok(), result.status().message().c_str());
-  return std::move(result.value());
 }
 
 }  // namespace latent::api

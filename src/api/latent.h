@@ -20,6 +20,7 @@
 #include "phrase/frequent_miner.h"
 #include "phrase/kert.h"
 #include "role/role_analysis.h"
+#include "serve/index.h"
 #include "text/corpus.h"
 
 namespace latent::api {
@@ -218,6 +219,16 @@ class MinedHierarchy {
   std::string RenderTree(const phrase::KertOptions& opt,
                          size_t phrases_per_node) const;
 
+  /// Builds a serve::HierarchyIndex snapshot of this result — the read
+  /// path's immutable, thread-safe query index (see serve/index.h) — with
+  /// the word_type/dict/scorer plumbing filled in, so callers never
+  /// re-derive it by hand. Index builds run on the pipeline's executor
+  /// when one was attached by Mine(). The returned index copies what it
+  /// needs: it stays valid after this MinedHierarchy (and the corpus) are
+  /// gone. Check-fails on an empty MinedHierarchy.
+  StatusOr<serve::HierarchyIndex> MakeIndex(
+      const serve::IndexOptions& options = {}) const;
+
  private:
   const text::Corpus* corpus_ = nullptr;
   // Heap-held so the KERT scorer's internal pointers to them survive moves
@@ -247,17 +258,6 @@ class MinedHierarchy {
 /// kResourceExhausted. Unrecoverable EM divergence returns kInternal.
 StatusOr<MinedHierarchy> Mine(const PipelineInput& input,
                               const PipelineOptions& options);
-
-/// Legacy entry point, superseded by Mine(PipelineInput, PipelineOptions).
-/// Forwards to Mine() and check-fails on invalid input (the historical
-/// behavior). New callers should use Mine() and handle the Status.
-[[deprecated("use api::Mine(PipelineInput, PipelineOptions)")]]
-MinedHierarchy MineTopicalHierarchy(
-    const text::Corpus& corpus,
-    const std::vector<std::string>& entity_type_names,
-    const std::vector<int>& entity_type_sizes,
-    const std::vector<hin::EntityDoc>& entity_docs,
-    const PipelineOptions& options);
 
 }  // namespace latent::api
 

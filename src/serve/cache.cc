@@ -1,0 +1,86 @@
+#include "serve/cache.h"
+
+#include <functional>
+#include <utility>
+
+namespace latent::serve {
+
+namespace {
+// Rough per-entry bookkeeping charge (list node + map slot + iterators),
+// so tiny entries cannot make the resident set unbounded in entry count.
+constexpr long long kEntryOverheadBytes = 64;
+}  // namespace
+
+ResultCache::ResultCache(int shards, long long capacity_bytes)
+    : capacity_bytes_(capacity_bytes < 0 ? 0 : capacity_bytes) {
+  if (shards < 1) shards = 1;
+  shards_.reserve(shards);
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  shard_capacity_ = capacity_bytes_ / shards;
+}
+
+long long ResultCache::CostOf(const Entry& e) {
+  return static_cast<long long>(e.key.size()) +
+         static_cast<long long>(e.value.size()) + kEntryOverheadBytes;
+}
+
+ResultCache::Shard& ResultCache::ShardFor(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+bool ResultCache::Get(const std::string& key, std::string* value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return false;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  if (value != nullptr) *value = it->second->value;
+  return true;
+}
+
+int ResultCache::Put(const std::string& key, std::string value) {
+  Entry entry{key, std::move(value)};
+  const long long cost = CostOf(entry);
+  if (cost > shard_capacity_) return 0;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (auto it = shard.index.find(key); it != shard.index.end()) {
+    shard.bytes -= CostOf(*it->second);
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+  }
+  int evicted = 0;
+  while (shard.bytes + cost > shard_capacity_ && !shard.lru.empty()) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= CostOf(victim);
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    ++evicted;
+  }
+  shard.lru.push_front(std::move(entry));
+  shard.index.emplace(shard.lru.front().key, shard.lru.begin());
+  shard.bytes += cost;
+  return evicted;
+}
+
+long long ResultCache::bytes() const {
+  long long total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->bytes;
+  }
+  return total;
+}
+
+long long ResultCache::entries() const {
+  long long total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += static_cast<long long>(shard->lru.size());
+  }
+  return total;
+}
+
+}  // namespace latent::serve

@@ -1,0 +1,78 @@
+// Sharded LRU result cache for the query engine. Keys and values are
+// opaque byte strings; the engine stores fully-rendered response text, so
+// a hit returns exactly the bytes a recompute would produce and caching
+// can never change observable results (pinned by serve_test /
+// determinism-style batch comparisons).
+//
+// Sharding bounds contention, not semantics: a key always maps to the
+// same shard, each shard is an independent LRU over its slice of the byte
+// budget, and all state is guarded by the shard mutex — safe for any
+// number of concurrent readers and writers.
+#ifndef LATENT_SERVE_CACHE_H_
+#define LATENT_SERVE_CACHE_H_
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace latent::serve {
+
+/// Thread-safe sharded LRU cache with a total byte budget split evenly
+/// across shards. Entries are charged key + value + a fixed bookkeeping
+/// constant; an entry larger than one shard's budget is simply not stored.
+class ResultCache {
+ public:
+  /// `shards` must be >= 1 (validated upstream by QueryOptions);
+  /// `capacity_bytes` <= 0 makes every Put a no-op.
+  ResultCache(int shards, long long capacity_bytes);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Looks `key` up; on a hit copies the value into `*value` (unless null)
+  /// and marks the entry most-recently-used.
+  bool Get(const std::string& key, std::string* value);
+
+  /// Inserts or refreshes `key`, evicting least-recently-used entries of
+  /// the same shard until the entry fits. Returns how many entries were
+  /// evicted (0 when nothing had to go, including the too-big-to-store
+  /// and zero-capacity no-op cases).
+  int Put(const std::string& key, std::string value);
+
+  /// Bytes currently charged across all shards (approximate only in the
+  /// sense that concurrent writers may move it while summing).
+  long long bytes() const;
+  /// Entries currently resident across all shards.
+  long long entries() const;
+
+  long long capacity_bytes() const { return capacity_bytes_; }
+  int shards() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recently used.
+    std::list<Entry> lru;
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    long long bytes = 0;
+  };
+
+  static long long CostOf(const Entry& e);
+  Shard& ShardFor(const std::string& key);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  long long capacity_bytes_;
+  /// Per-shard slice of the budget.
+  long long shard_capacity_;
+};
+
+}  // namespace latent::serve
+
+#endif  // LATENT_SERVE_CACHE_H_

@@ -1,0 +1,279 @@
+#include "serve/engine.h"
+
+#include <cstdio>
+#include <functional>
+#include <utility>
+
+namespace latent::serve {
+
+namespace {
+
+std::string Got(const char* what, long long got) {
+  return std::string(what) + " (got " + std::to_string(got) + ")";
+}
+
+// Byte-stable number rendering shared by every response line; the cache
+// stores rendered text, so this is part of the wire contract.
+std::string Num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+const std::string& TypeLabel(const HierarchyIndex& index, int type,
+                             std::string* scratch) {
+  const std::vector<std::string>& names = index.type_names();
+  if (type < static_cast<int>(names.size()) && !names[type].empty()) {
+    return names[type];
+  }
+  *scratch = std::to_string(type);
+  return *scratch;
+}
+
+void AppendView(const HierarchyIndex& index, const TopicView& view,
+                std::string* out) {
+  const TopicMeta& m = view.meta;
+  *out += "topic " + m.path + " id=" + std::to_string(m.id) +
+          " level=" + std::to_string(m.level) +
+          " children=" + std::to_string(m.children.size()) +
+          " rho=" + Num(m.rho_in_parent) + "\n";
+  for (const auto& [text, quality] : view.phrases) {
+    *out += "  phrase\t" + text + "\t" + Num(quality) + "\n";
+  }
+  std::string scratch;
+  for (int x = 0; x < static_cast<int>(view.entities.size()); ++x) {
+    const std::string& label = TypeLabel(index, x, &scratch);
+    for (const auto& [name, score] : view.entities[x]) {
+      *out += "  " + label + "\t" + name + "\t" + Num(score) + "\n";
+    }
+  }
+}
+
+}  // namespace
+
+Status QueryOptions::Validate() const {
+  if (default_k < 1) {
+    return Status::InvalidArgument(Got("default_k must be >= 1", default_k));
+  }
+  if (default_depth < 0) {
+    return Status::InvalidArgument(
+        Got("default_depth must be >= 0", default_depth));
+  }
+  if (deadline_ms < 0) {
+    return Status::InvalidArgument(
+        Got("deadline_ms must be >= 0", deadline_ms));
+  }
+  if (cache_bytes < 0) {
+    return Status::InvalidArgument(
+        Got("cache_bytes must be >= 0", cache_bytes));
+  }
+  if (cache_shards < 1) {
+    return Status::InvalidArgument(
+        Got("cache_shards must be >= 1", cache_shards));
+  }
+  return Status::Ok();
+}
+
+QueryEngine::QueryEngine(HierarchyIndex index, const QueryOptions& options,
+                         exec::Executor* ex)
+    : index_(std::move(index)),
+      options_(options),
+      ex_(ex),
+      cache_(options.cache_bytes > 0
+                 ? std::make_unique<ResultCache>(options.cache_shards,
+                                                 options.cache_bytes)
+                 : nullptr),
+      scope_(options.metrics) {}
+
+StatusOr<std::unique_ptr<QueryEngine>> QueryEngine::Create(
+    HierarchyIndex index, const QueryOptions& options, exec::Executor* ex) {
+  if (Status s = options.Validate(); !s.ok()) return s;
+  std::unique_ptr<QueryEngine> engine(
+      new QueryEngine(std::move(index), options, ex));
+  LATENT_OBS(
+      PreRegisterServeMetrics(options.metrics);
+      obs::SetGauge(&engine->scope_, "serve.index.topics",
+                    engine->index_.num_topics());
+      obs::SetGauge(&engine->scope_, "serve.index.phrases",
+                    engine->index_.num_phrases());
+      obs::SetGauge(&engine->scope_, "serve.index.types",
+                    engine->index_.num_types()));
+  return StatusOr<std::unique_ptr<QueryEngine>>(std::move(engine));
+}
+
+std::string QueryEngine::CacheKey(RequestKind kind, const std::string& arg,
+                                  int k) {
+  return std::to_string(static_cast<int>(kind)) + '\x1f' + arg + '\x1f' +
+         std::to_string(k);
+}
+
+Response QueryEngine::Execute(RequestKind kind, const std::string& arg,
+                              int k, const run::RunContext* ctx) const {
+  Response resp;
+  auto fail = [&resp](const Status& s) {
+    resp.code = s.code();
+    resp.message = s.message();
+  };
+  switch (kind) {
+    case RequestKind::kLookup: {
+      StatusOr<TopicView> view = index_.Lookup(arg);
+      if (!view.ok()) {
+        fail(view.status());
+        break;
+      }
+      AppendView(index_, view.value(), &resp.text);
+      break;
+    }
+    case RequestKind::kSearch: {
+      for (const PhraseHit& hit :
+           index_.SearchPhrases(arg, static_cast<size_t>(k))) {
+        resp.text += "phrase\t" + hit.text +
+                     "\tmatched=" + std::to_string(hit.matched_tokens) +
+                     "\tscore=" + Num(hit.score) + "\tbest=" +
+                     (hit.best_node >= 0 ? hit.best_path : "-") + "\n";
+      }
+      break;
+    }
+    case RequestKind::kEntity: {
+      StatusOr<std::vector<TopicScore>> topics =
+          index_.EntityTopics(arg, static_cast<size_t>(k));
+      if (!topics.ok()) {
+        fail(topics.status());
+        break;
+      }
+      for (const TopicScore& t : topics.value()) {
+        resp.text += "topic\t" + t.path + "\t" + Num(t.score) + "\n";
+      }
+      break;
+    }
+    case RequestKind::kSubtree: {
+      StatusOr<std::vector<TopicView>> views = index_.Subtree(arg, k, ctx);
+      if (!views.ok()) {
+        fail(views.status());
+        break;
+      }
+      for (const TopicView& view : views.value()) {
+        AppendView(index_, view, &resp.text);
+      }
+      break;
+    }
+  }
+  return resp;
+}
+
+Response QueryEngine::Run(const Request& request,
+                          const run::RunContext* ctx) const {
+  LATENT_OBS_SPAN(span, obs::RegistryOf(&scope_), "serve.query");
+  LATENT_OBS(obs::Count(&scope_, "serve.queries"));
+  const int k = request.k >= 0 ? request.k
+                : request.kind == RequestKind::kSubtree
+                    ? options_.default_depth
+                    : options_.default_k;
+  // Per-query run control: an explicit context wins; otherwise the engine
+  // options build one (fresh each query, so the deadline restarts).
+  run::RunContext local;
+  const run::RunContext* use = ctx;
+  if (use == nullptr &&
+      (options_.deadline_ms > 0 || options_.cancel != nullptr)) {
+    if (options_.deadline_ms > 0) local.SetDeadlineAfterMs(options_.deadline_ms);
+    if (options_.cancel != nullptr) local.set_cancel_token(options_.cancel);
+    use = &local;
+  }
+  Response resp;
+  if (Status s = run::CheckRun(use); !s.ok()) {
+    resp.code = s.code();
+    resp.message = s.message();
+    LATENT_OBS(obs::Count(&scope_, "serve.queries.errors"));
+    return resp;
+  }
+  std::string key;
+  if (cache_ != nullptr) {
+    key = CacheKey(request.kind, request.arg, k);
+    std::string hit;
+    if (cache_->Get(key, &hit)) {
+      LATENT_OBS(obs::Count(&scope_, "serve.cache.hits"));
+      resp.text = std::move(hit);
+      resp.cached = true;
+      return resp;
+    }
+    LATENT_OBS(obs::Count(&scope_, "serve.cache.misses"));
+  }
+  resp = Execute(request.kind, request.arg, k, use);
+  if (resp.code != StatusCode::kOk) {
+    LATENT_OBS(obs::Count(&scope_, "serve.queries.errors"));
+  } else if (cache_ != nullptr) {
+    const int evicted = cache_->Put(key, resp.text);
+    LATENT_OBS(
+        if (evicted > 0) {
+          obs::Count(&scope_, "serve.cache.evictions",
+                     static_cast<uint64_t>(evicted));
+        }
+        obs::SetGauge(&scope_, "serve.cache.bytes", cache_->bytes());
+        obs::SetGauge(&scope_, "serve.cache.entries", cache_->entries()));
+  }
+  return resp;
+}
+
+std::vector<Response> QueryEngine::RunBatch(
+    const std::vector<Request>& batch, const run::RunContext* ctx) const {
+  LATENT_OBS(obs::Count(&scope_, "serve.batches"));
+  std::vector<Response> out(batch.size());
+  if (ex_ != nullptr && batch.size() > 1) {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      tasks.push_back(
+          [this, &batch, &out, ctx, i] { out[i] = Run(batch[i], ctx); });
+    }
+    ex_->RunTasks(std::move(tasks));
+  } else {
+    for (size_t i = 0; i < batch.size(); ++i) out[i] = Run(batch[i], ctx);
+  }
+  return out;
+}
+
+namespace {
+StatusOr<std::string> AsStatusOr(Response resp) {
+  if (resp.code != StatusCode::kOk) {
+    return Status(resp.code, std::move(resp.message));
+  }
+  return StatusOr<std::string>(std::move(resp.text));
+}
+}  // namespace
+
+StatusOr<std::string> QueryEngine::Lookup(const std::string& path) const {
+  return AsStatusOr(Run({RequestKind::kLookup, path, -1}));
+}
+
+StatusOr<std::string> QueryEngine::SearchPhrases(const std::string& query,
+                                                 int k) const {
+  return AsStatusOr(Run({RequestKind::kSearch, query, k}));
+}
+
+StatusOr<std::string> QueryEngine::EntityTopics(const std::string& entity,
+                                                int k) const {
+  return AsStatusOr(Run({RequestKind::kEntity, entity, k}));
+}
+
+StatusOr<std::string> QueryEngine::Subtree(const std::string& path,
+                                           int depth) const {
+  return AsStatusOr(Run({RequestKind::kSubtree, path, depth}));
+}
+
+void PreRegisterServeMetrics(obs::Registry* r) {
+  if (r == nullptr) return;
+  for (const char* name :
+       {"serve.queries", "serve.queries.errors", "serve.batches",
+        "serve.cache.hits", "serve.cache.misses", "serve.cache.evictions",
+        "trace.serve.query.calls"}) {
+    r->counter(name);
+  }
+  for (const char* name :
+       {"serve.cache.bytes", "serve.cache.entries", "serve.index.topics",
+        "serve.index.phrases", "serve.index.types"}) {
+    r->gauge(name);
+  }
+  r->histogram("trace.serve.query.ms");
+}
+
+}  // namespace latent::serve

@@ -1,0 +1,152 @@
+// serve::QueryEngine — the batched, cached, run-controlled front end over
+// a HierarchyIndex snapshot.
+//
+// The engine owns one immutable index and renders query answers to
+// byte-stable text (fixed field order, "%.6g" numbers). Because the cache
+// stores that exact rendered text, and batch execution gives every request
+// its own output slot, the same request batch produces byte-identical
+// responses at any thread count, with or without the cache (pinned by
+// serve_test). Per-query bounds come from the standard run-control
+// surface: QueryOptions::{deadline_ms, cancel} build a per-query
+// run::RunContext, or callers pass their own context to Run/RunBatch.
+//
+// Instrumented through latent::obs when QueryOptions::metrics is set:
+// serve.queries/.queries.errors/.batches, serve.cache.hits/.misses/
+// .evictions + serve.cache.bytes/.entries gauges, serve.index.* shape
+// gauges, and a per-query latency histogram trace.serve.query.ms (via the
+// standard TraceSpan). Every site compiles out under -DLATENT_OBS=OFF.
+#ifndef LATENT_SERVE_ENGINE_H_
+#define LATENT_SERVE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/run_context.h"
+#include "common/status.h"
+#include "obs/obs.h"
+#include "serve/cache.h"
+#include "serve/index.h"
+
+namespace latent::serve {
+
+/// Engine-level knobs. Validated by QueryEngine::Create() with the same
+/// Status codes and wording conventions as api::PipelineOptions.
+struct QueryOptions {
+  /// Result count when a request does not ask for one (k < 0).
+  int default_k = 10;
+  /// Subtree descent depth when a request does not ask for one (k < 0).
+  int default_depth = 2;
+  /// Per-query deadline in milliseconds; 0 disables (run to completion).
+  long long deadline_ms = 0;
+  /// Optional cooperative cancel shared by every query on this engine.
+  std::shared_ptr<const run::CancelToken> cancel;
+  /// Result-cache byte budget; 0 disables the cache entirely.
+  long long cache_bytes = 64ll << 20;
+  /// LRU shard count (>= 1); the byte budget splits evenly across shards.
+  int cache_shards = 8;
+  /// Metric registry; null = no instrumentation.
+  obs::Registry* metrics = nullptr;
+
+  /// Rejects nonsensical knobs (non-positive default k, negative depth /
+  /// deadline / cache bytes, zero cache shards) with kInvalidArgument,
+  /// mirroring api::PipelineOptions::Validate().
+  Status Validate() const;
+};
+
+enum class RequestKind {
+  kLookup,   ///< arg = topic path; full TopicView.
+  kSearch,   ///< arg = free-text query; top-k phrase hits.
+  kEntity,   ///< arg = "type:name" or unique bare name; top-k topics.
+  kSubtree,  ///< arg = topic path; pre-order walk, k = depth.
+};
+
+/// One query. `k` is the result count (descent depth for kSubtree);
+/// negative means "use the engine default".
+struct Request {
+  RequestKind kind = RequestKind::kLookup;
+  std::string arg;
+  int k = -1;
+};
+
+/// One answer. `code` is kOk on success, otherwise the failure Status code
+/// with its message in `message` and `text` empty. `cached` reports
+/// whether the text came from the result cache (the bytes are identical
+/// either way).
+struct Response {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  std::string text;
+  bool cached = false;
+};
+
+/// Thread-safe query front end over one HierarchyIndex snapshot. All
+/// methods are const and safe to call concurrently; internal mutability is
+/// confined to the sharded cache and the metric instruments, both
+/// thread-safe by construction.
+class QueryEngine {
+ public:
+  /// Validates `options`, takes ownership of `index`, and sizes the cache.
+  /// A non-null `ex` fans RunBatch out as pool tasks; queries themselves
+  /// never spawn work. Publishes serve.index.* shape gauges and
+  /// pre-registers every serve.* instrument when metrics are attached.
+  static StatusOr<std::unique_ptr<QueryEngine>> Create(
+      HierarchyIndex index, const QueryOptions& options = {},
+      exec::Executor* ex = nullptr);
+
+  /// Answers one request. A non-null `ctx` replaces the per-query context
+  /// the engine would build from QueryOptions::{deadline_ms, cancel}.
+  Response Run(const Request& request,
+               const run::RunContext* ctx = nullptr) const;
+
+  /// Answers a batch; responses[i] always corresponds to batch[i]. With an
+  /// executor the requests run as concurrent pool tasks, each owning its
+  /// response slot — the response bytes match the serial loop exactly.
+  std::vector<Response> RunBatch(const std::vector<Request>& batch,
+                                 const run::RunContext* ctx = nullptr) const;
+
+  // Typed single-query conveniences over Run(); an error Response comes
+  // back as its Status.
+  StatusOr<std::string> Lookup(const std::string& path) const;
+  StatusOr<std::string> SearchPhrases(const std::string& query,
+                                      int k = -1) const;
+  StatusOr<std::string> EntityTopics(const std::string& entity,
+                                     int k = -1) const;
+  StatusOr<std::string> Subtree(const std::string& path,
+                                int depth = -1) const;
+
+  const HierarchyIndex& index() const { return index_; }
+  const QueryOptions& options() const { return options_; }
+  /// Null when the cache is disabled (cache_bytes = 0).
+  const ResultCache* cache() const { return cache_.get(); }
+
+ private:
+  QueryEngine(HierarchyIndex index, const QueryOptions& options,
+              exec::Executor* ex);
+
+  /// Cache-key of a normalized request (kind, arg, effective k).
+  static std::string CacheKey(RequestKind kind, const std::string& arg,
+                              int k);
+  /// Uncached execution + rendering.
+  Response Execute(RequestKind kind, const std::string& arg, int k,
+                   const run::RunContext* ctx) const;
+
+  HierarchyIndex index_;
+  QueryOptions options_;
+  exec::Executor* ex_;
+  std::unique_ptr<ResultCache> cache_;
+  /// Scope over options_.metrics (inert when null); mutable instruments
+  /// live behind it, all thread-safe.
+  obs::Scope scope_;
+};
+
+/// Creates every serve.* metric (and the trace.serve.query latency
+/// histogram) at its zero value, so --metrics-json dumps keep a complete,
+/// diffable key set even before the first query. Mirrors
+/// obs::PreRegisterPipelineMetrics.
+void PreRegisterServeMetrics(obs::Registry* r);
+
+}  // namespace latent::serve
+
+#endif  // LATENT_SERVE_ENGINE_H_

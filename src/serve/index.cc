@@ -1,0 +1,510 @@
+#include "serve/index.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "text/tokenizer.h"
+
+namespace latent::serve {
+
+namespace {
+std::string Got(const char* what, long long got) {
+  return std::string(what) + " (got " + std::to_string(got) + ")";
+}
+
+// Sort key shared by every posting list: best score first, node id as the
+// deterministic tiebreaker.
+bool PostingLess(const std::pair<int, double>& a,
+                 const std::pair<int, double>& b) {
+  if (a.second != b.second) return a.second > b.second;
+  return a.first < b.first;
+}
+}  // namespace
+
+Status IndexOptions::Validate() const {
+  if (top_phrases_per_topic < 0) {
+    return Status::InvalidArgument(
+        Got("top_phrases_per_topic must be >= 0", top_phrases_per_topic));
+  }
+  if (top_entities_per_topic < 0) {
+    return Status::InvalidArgument(
+        Got("top_entities_per_topic must be >= 0", top_entities_per_topic));
+  }
+  if (kert.gamma < 0.0 || kert.gamma > 1.0) {
+    return Status::InvalidArgument("kert.gamma must be in [0, 1]");
+  }
+  if (kert.omega < 0.0 || kert.omega > 1.0) {
+    return Status::InvalidArgument("kert.omega must be in [0, 1]");
+  }
+  if (kert.min_topical_support < 0.0) {
+    return Status::InvalidArgument("kert.min_topical_support must be >= 0");
+  }
+  return Status::Ok();
+}
+
+void HierarchyIndex::BuildPhraseSide(const IndexSource& source,
+                                     const IndexOptions& options,
+                                     exec::Executor* ex,
+                                     HierarchyIndex* out) {
+  const phrase::PhraseDict& dict = *source.dict;
+  const phrase::KertScorer& kert = *source.kert;
+  const int num_phrases = dict.size();
+  const int num_nodes = out->num_topics();
+
+  // Phrase texts (space-joined tokens; id fallback without a corpus).
+  out->phrase_text_.resize(num_phrases);
+  for (int p = 0; p < num_phrases; ++p) {
+    if (source.corpus != nullptr) {
+      out->phrase_text_[p] = dict.ToString(p, source.corpus->vocab());
+    } else {
+      std::string text;
+      for (int w : dict.Words(p)) {
+        if (!text.empty()) text += ' ';
+        text += '#';
+        text += std::to_string(w);
+      }
+      out->phrase_text_[p] = std::move(text);
+    }
+  }
+
+  // Token -> phrase postings (ascending phrase id, deduped). Serial: the
+  // dictionary iteration order is already deterministic.
+  const int vocab = out->type_sizes_[out->word_type_];
+  std::vector<std::vector<int>> by_word(vocab);
+  for (int p = 0; p < num_phrases; ++p) {
+    int prev = -1;
+    std::vector<int> words = dict.Words(p);
+    std::sort(words.begin(), words.end());
+    for (int w : words) {
+      if (w == prev || w < 0 || w >= vocab) continue;
+      by_word[w].push_back(p);
+      prev = w;
+    }
+  }
+  out->word_offsets_.assign(vocab + 1, 0);
+  for (int w = 0; w < vocab; ++w) {
+    out->word_offsets_[w + 1] = out->word_offsets_[w] + by_word[w].size();
+  }
+  out->word_phrases_.resize(out->word_offsets_[vocab]);
+  for (int w = 0; w < vocab; ++w) {
+    std::copy(by_word[w].begin(), by_word[w].end(),
+              out->word_phrases_.begin() +
+                  static_cast<long>(out->word_offsets_[w]));
+  }
+
+  // Phrase -> topic postings from the scorer's topical frequencies
+  // (Eq. 4.3); the root is a mixture aggregate, not a topic, and is
+  // excluded. Two passes (count, fill) so shards own disjoint slots.
+  std::vector<size_t> counts(num_phrases, 0);
+  auto count_pass = [&](long long begin, long long end, int) {
+    for (long long p = begin; p < end; ++p) {
+      size_t c = 0;
+      for (int n = 1; n < num_nodes; ++n) {
+        if (kert.TopicalFrequency(n, static_cast<int>(p)) > 0.0) ++c;
+      }
+      counts[p] = c;
+    }
+  };
+  if (ex != nullptr) {
+    ex->ParallelFor(num_phrases, 64, count_pass);
+  } else {
+    count_pass(0, num_phrases, 0);
+  }
+  out->phrase_offsets_.assign(num_phrases + 1, 0);
+  for (int p = 0; p < num_phrases; ++p) {
+    out->phrase_offsets_[p + 1] = out->phrase_offsets_[p] + counts[p];
+  }
+  out->phrase_postings_.resize(out->phrase_offsets_[num_phrases]);
+  auto fill_pass = [&](long long begin, long long end, int) {
+    std::vector<std::pair<int, double>> row;
+    for (long long p = begin; p < end; ++p) {
+      row.clear();
+      for (int n = 1; n < num_nodes; ++n) {
+        const double f = kert.TopicalFrequency(n, static_cast<int>(p));
+        if (f > 0.0) row.emplace_back(n, f);
+      }
+      std::sort(row.begin(), row.end(), PostingLess);
+      size_t at = out->phrase_offsets_[p];
+      for (const auto& [n, f] : row) out->phrase_postings_[at++] = {n, f};
+    }
+  };
+  if (ex != nullptr) {
+    ex->ParallelFor(num_phrases, 64, fill_pass);
+  } else {
+    fill_pass(0, num_phrases, 0);
+  }
+
+  // Per-topic top-k phrase rankings (KERT quality). RankAllTopics is
+  // bit-deterministic for every thread count; the root entry stays empty.
+  out->topic_phrases_ = kert.RankAllTopics(
+      options.kert, static_cast<size_t>(options.top_phrases_per_topic), ex);
+}
+
+void HierarchyIndex::BuildEntitySide(const IndexSource& source,
+                                     const IndexOptions& options,
+                                     exec::Executor* ex,
+                                     HierarchyIndex* out) {
+  const core::TopicHierarchy& tree = *source.tree;
+  const int num_nodes = out->num_topics();
+  const int num_types = out->num_types();
+
+  // phi value of entity (x, e) in node n, tolerating short phi vectors on
+  // partial trees.
+  auto phi_of = [&](int n, int x, int e) -> double {
+    const std::vector<std::vector<double>>& phi = tree.node(n).phi;
+    if (x >= static_cast<int>(phi.size())) return 0.0;
+    if (e >= static_cast<int>(phi[x].size())) return 0.0;
+    return phi[x][e];
+  };
+
+  out->ent_offsets_.resize(num_types);
+  out->ent_postings_.resize(num_types);
+  for (int x = 0; x < num_types; ++x) {
+    const int universe = out->type_sizes_[x];
+    std::vector<size_t> counts(universe, 0);
+    auto count_pass = [&](long long begin, long long end, int) {
+      for (long long e = begin; e < end; ++e) {
+        size_t c = 0;
+        for (int n = 1; n < num_nodes; ++n) {
+          if (phi_of(n, x, static_cast<int>(e)) > 0.0) ++c;
+        }
+        counts[e] = c;
+      }
+    };
+    if (ex != nullptr) {
+      ex->ParallelFor(universe, 256, count_pass);
+    } else {
+      count_pass(0, universe, 0);
+    }
+    std::vector<size_t>& offsets = out->ent_offsets_[x];
+    offsets.assign(universe + 1, 0);
+    for (int e = 0; e < universe; ++e) {
+      offsets[e + 1] = offsets[e] + counts[e];
+    }
+    out->ent_postings_[x].resize(offsets[universe]);
+    auto fill_pass = [&](long long begin, long long end, int) {
+      std::vector<std::pair<int, double>> row;
+      for (long long e = begin; e < end; ++e) {
+        row.clear();
+        for (int n = 1; n < num_nodes; ++n) {
+          const double v = phi_of(n, x, static_cast<int>(e));
+          if (v > 0.0) row.emplace_back(n, v);
+        }
+        std::sort(row.begin(), row.end(), PostingLess);
+        size_t at = offsets[e];
+        for (const auto& [n, v] : row) out->ent_postings_[x][at++] = {n, v};
+      }
+    };
+    if (ex != nullptr) {
+      ex->ParallelFor(universe, 256, fill_pass);
+    } else {
+      fill_pass(0, universe, 0);
+    }
+  }
+
+  // Per-topic entity rankings (root included: its phi is the global
+  // distribution, which is a useful "whole corpus" answer).
+  const size_t k = static_cast<size_t>(options.top_entities_per_topic);
+  out->topic_entities_.assign(
+      num_nodes, std::vector<std::vector<Scored<int>>>(num_types));
+  auto rank_pass = [&](long long begin, long long end, int) {
+    for (long long n = begin; n < end; ++n) {
+      const std::vector<std::vector<double>>& phi = tree.node(n).phi;
+      for (int x = 0; x < num_types && x < static_cast<int>(phi.size());
+           ++x) {
+        out->topic_entities_[n][x] = TopKDense(phi[x], k);
+      }
+    }
+  };
+  if (ex != nullptr) {
+    ex->ParallelFor(num_nodes, 4, rank_pass);
+  } else {
+    rank_pass(0, num_nodes, 0);
+  }
+}
+
+StatusOr<HierarchyIndex> HierarchyIndex::Build(const IndexSource& source,
+                                               const IndexOptions& options,
+                                               exec::Executor* ex) {
+  if (Status s = options.Validate(); !s.ok()) return s;
+  if (source.tree == nullptr) {
+    return Status::InvalidArgument("IndexSource.tree must be non-null");
+  }
+  const core::TopicHierarchy& tree = *source.tree;
+  if (tree.empty()) {
+    return Status::InvalidArgument(
+        "cannot index an empty hierarchy (no nodes)");
+  }
+  if ((source.dict == nullptr) != (source.kert == nullptr)) {
+    return Status::InvalidArgument(
+        "IndexSource.dict and IndexSource.kert must be given together");
+  }
+  if (source.word_type < 0 || source.word_type >= tree.num_types()) {
+    return Status::InvalidArgument(
+        Got("IndexSource.word_type out of range", source.word_type));
+  }
+
+  HierarchyIndex out;
+  out.partial_ = tree.partial();
+  out.type_names_ = tree.type_names();
+  out.type_sizes_ = tree.type_sizes();
+  out.word_type_ = source.word_type;
+
+  // Topic structure + path resolution.
+  out.nodes_.resize(tree.num_nodes());
+  for (int id = 0; id < tree.num_nodes(); ++id) {
+    const core::TopicNode& n = tree.node(id);
+    TopicMeta& m = out.nodes_[id];
+    m.id = id;
+    m.parent = n.parent;
+    m.level = n.level;
+    m.path = n.path;
+    m.children = n.children;
+    m.rho_in_parent = n.rho_in_parent;
+    out.by_path_.emplace(m.path, id);
+  }
+
+  // Display names, resolved once. The namer wins; otherwise the word type
+  // reads the corpus vocabulary and entity types fall back to "#<id>".
+  out.names_.resize(out.num_types());
+  for (int x = 0; x < out.num_types(); ++x) {
+    const int universe = out.type_sizes_[x];
+    out.names_[x].resize(universe);
+    const bool vocab_ok = x == out.word_type_ && source.corpus != nullptr &&
+                          source.corpus->vocab_size() == universe;
+    for (int e = 0; e < universe; ++e) {
+      if (options.namer) {
+        out.names_[x][e] = options.namer(x, e);
+      } else if (vocab_ok) {
+        out.names_[x][e] = source.corpus->vocab().Token(e);
+      } else {
+        out.names_[x][e] = "#" + std::to_string(e);
+      }
+    }
+  }
+  // Name -> entity resolution: "type:name" always works; a bare name works
+  // when it is unique across every type (ambiguous names keep a sentinel
+  // so EntityTopics can say so).
+  for (int x = 0; x < out.num_types(); ++x) {
+    const std::string type_prefix =
+        (x < static_cast<int>(out.type_names_.size()) &&
+         !out.type_names_[x].empty())
+            ? out.type_names_[x]
+            : std::to_string(x);
+    for (int e = 0; e < out.type_sizes_[x]; ++e) {
+      const std::string& name = out.names_[x][e];
+      out.entity_by_qualified_.emplace(type_prefix + ":" + name,
+                                       std::make_pair(x, e));
+      auto [it, inserted] =
+          out.entity_by_bare_.emplace(name, std::make_pair(x, e));
+      if (!inserted) it->second = {-1, -1};
+    }
+  }
+
+  // Token -> word resolution for SearchPhrases.
+  if (source.corpus != nullptr) {
+    const text::Vocabulary& vocab = source.corpus->vocab();
+    out.word_id_.reserve(vocab.size());
+    for (int w = 0; w < vocab.size(); ++w) {
+      out.word_id_.emplace(vocab.Token(w), w);
+    }
+  }
+
+  if (source.dict != nullptr) {
+    BuildPhraseSide(source, options, ex, &out);
+  } else {
+    out.topic_phrases_.assign(out.num_topics(), {});
+    out.word_offsets_.assign(out.type_sizes_[out.word_type_] + 1, 0);
+    out.phrase_offsets_.assign(1, 0);
+  }
+  BuildEntitySide(source, options, ex, &out);
+  return out;
+}
+
+StatusOr<HierarchyIndex> HierarchyIndex::Load(const std::string& serialized,
+                                              const text::Corpus& corpus,
+                                              const phrase::MinerOptions& miner,
+                                              const IndexOptions& options,
+                                              exec::Executor* ex) {
+  StatusOr<core::TopicHierarchy> tree =
+      core::DeserializeHierarchy(serialized);
+  if (!tree.ok()) return tree.status();
+  if (tree.value().num_types() < 1 ||
+      tree.value().type_sizes()[0] != corpus.vocab_size()) {
+    return Status::InvalidArgument(
+        "artifact word universe (" +
+        (tree.value().num_types() < 1
+             ? std::string("none")
+             : std::to_string(tree.value().type_sizes()[0])) +
+        ") does not match the corpus vocabulary (" +
+        std::to_string(corpus.vocab_size()) +
+        ") — was the corpus loaded with the same tokenization flags it was "
+        "mined with?");
+  }
+  // Rebuild the phrase surface the artifact does not carry: frequent
+  // phrases are re-mined (deterministic for a given corpus + options) and
+  // a KERT scorer recomputes the topical frequencies over the loaded tree.
+  phrase::PhraseDict dict = phrase::MineFrequentPhrases(corpus, miner, ex);
+  phrase::KertScorer kert(corpus, dict, tree.value(), /*word_type=*/0, ex);
+  IndexSource source;
+  source.corpus = &corpus;
+  source.tree = &tree.value();
+  source.dict = &dict;
+  source.kert = &kert;
+  source.word_type = 0;
+  return Build(source, options, ex);
+}
+
+StatusOr<int> HierarchyIndex::ResolvePath(const std::string& path) const {
+  auto it = by_path_.find(path);
+  if (it == by_path_.end()) {
+    return Status::NotFound("topic path \"" + path + "\" not found");
+  }
+  return it->second;
+}
+
+TopicView HierarchyIndex::View(int id) const {
+  TopicView view;
+  view.meta = topic(id);
+  view.phrases.reserve(topic_phrases_[id].size());
+  for (const auto& [p, quality] : topic_phrases_[id]) {
+    view.phrases.emplace_back(phrase_text_[p], quality);
+  }
+  view.entities.resize(num_types());
+  for (int x = 0; x < num_types(); ++x) {
+    const std::vector<Scored<int>>& ranked = topic_entities_[id][x];
+    view.entities[x].reserve(ranked.size());
+    for (const auto& [e, score] : ranked) {
+      view.entities[x].emplace_back(names_[x][e], score);
+    }
+  }
+  return view;
+}
+
+StatusOr<TopicView> HierarchyIndex::Lookup(const std::string& path) const {
+  StatusOr<int> id = ResolvePath(path);
+  if (!id.ok()) return id.status();
+  return View(id.value());
+}
+
+StatusOr<std::vector<TopicView>> HierarchyIndex::Subtree(
+    const std::string& path, int depth, const run::RunContext* ctx) const {
+  if (depth < 0) {
+    return Status::InvalidArgument(Got("subtree depth must be >= 0", depth));
+  }
+  StatusOr<int> root = ResolvePath(path);
+  if (!root.ok()) return root.status();
+  const int base_level = nodes_[root.value()].level;
+  std::vector<TopicView> out;
+  // Pre-order walk, children in tree order.
+  std::vector<int> stack = {root.value()};
+  while (!stack.empty()) {
+    if (Status s = run::CheckRun(ctx); !s.ok()) return s;
+    const int id = stack.back();
+    stack.pop_back();
+    out.push_back(View(id));
+    if (nodes_[id].level - base_level < depth) {
+      const std::vector<int>& children = nodes_[id].children;
+      for (auto it = children.rbegin(); it != children.rend(); ++it) {
+        stack.push_back(*it);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<PhraseHit> HierarchyIndex::SearchPhrases(const std::string& query,
+                                                     size_t k) const {
+  std::vector<PhraseHit> hits;
+  if (k == 0) return hits;
+  // Resolve query tokens to word ids (distinct, unknown tokens dropped).
+  std::vector<int> words;
+  for (const std::string& token : text::Tokenize(query)) {
+    auto it = word_id_.find(token);
+    if (it == word_id_.end()) continue;
+    if (std::find(words.begin(), words.end(), it->second) == words.end()) {
+      words.push_back(it->second);
+    }
+  }
+  if (words.empty()) return hits;
+
+  // Union the postings, counting distinct matched tokens per phrase.
+  std::unordered_map<int, int> matched;
+  for (int w : words) {
+    if (w + 1 >= static_cast<int>(word_offsets_.size())) continue;
+    for (size_t i = word_offsets_[w]; i < word_offsets_[w + 1]; ++i) {
+      ++matched[word_phrases_[i]];
+    }
+  }
+  hits.reserve(matched.size());
+  for (const auto& [p, m] : matched) {
+    PhraseHit hit;
+    hit.phrase = p;
+    hit.text = phrase_text_[p];
+    hit.matched_tokens = m;
+    if (phrase_offsets_[p] < phrase_offsets_[p + 1]) {
+      const NodeScore& best = phrase_postings_[phrase_offsets_[p]];
+      hit.score = best.score;
+      hit.best_node = best.node;
+      hit.best_path = nodes_[best.node].path;
+    }
+    hits.push_back(std::move(hit));
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const PhraseHit& a, const PhraseHit& b) {
+              if (a.matched_tokens != b.matched_tokens) {
+                return a.matched_tokens > b.matched_tokens;
+              }
+              if (a.score != b.score) return a.score > b.score;
+              return a.phrase < b.phrase;
+            });
+  if (hits.size() > k) hits.resize(k);
+  return hits;
+}
+
+std::vector<TopicScore> HierarchyIndex::PostingsTopK(
+    const std::vector<NodeScore>& items, size_t begin, size_t end,
+    size_t k) const {
+  std::vector<TopicScore> out;
+  out.reserve(std::min(k, end - begin));
+  for (size_t i = begin; i < end && out.size() < k; ++i) {
+    out.push_back({items[i].node, nodes_[items[i].node].path,
+                   items[i].score});
+  }
+  return out;
+}
+
+std::vector<TopicScore> HierarchyIndex::PhraseTopics(int phrase,
+                                                     size_t k) const {
+  LATENT_CHECK_GE(phrase, 0);
+  LATENT_CHECK_LT(phrase, num_phrases());
+  return PostingsTopK(phrase_postings_, phrase_offsets_[phrase],
+                      phrase_offsets_[phrase + 1], k);
+}
+
+StatusOr<std::vector<TopicScore>> HierarchyIndex::EntityTopics(
+    const std::string& entity, size_t k) const {
+  std::pair<int, int> who{-1, -1};
+  auto qualified = entity_by_qualified_.find(entity);
+  if (qualified != entity_by_qualified_.end()) {
+    who = qualified->second;
+  } else {
+    auto bare = entity_by_bare_.find(entity);
+    if (bare == entity_by_bare_.end()) {
+      return Status::NotFound("entity \"" + entity + "\" not found");
+    }
+    if (bare->second.first < 0) {
+      return Status::InvalidArgument(
+          "entity name \"" + entity +
+          "\" is ambiguous across types; qualify it as type:name");
+    }
+    who = bare->second;
+  }
+  const auto& [x, e] = who;
+  return PostingsTopK(ent_postings_[x], ent_offsets_[x][e],
+                      ent_offsets_[x][e + 1], k);
+}
+
+}  // namespace latent::serve

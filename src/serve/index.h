@@ -1,0 +1,289 @@
+// latent::serve — the read path over mined hierarchies.
+//
+// A HierarchyIndex is an immutable, self-contained, thread-safe snapshot
+// of one mined hierarchy, built once (from a live api::MinedHierarchy via
+// MinedHierarchy::MakeIndex(), or from a serialized `latent-hierarchy-v2`
+// artifact via Load()) and then queried concurrently without any locking:
+// every query is a pure read over precomputed postings and rankings, so an
+// arbitrary number of threads can serve from one index with no
+// synchronization at all. Precomputed at build time:
+//
+//   * topic metadata + the path ("o/1/2") -> node resolution map,
+//   * phrase -> topic postings (topical frequency, Eq. 4.3), sorted,
+//   * entity -> topic postings (per-type phi), sorted,
+//   * per-topic top-k phrase rankings (KERT quality) and entity rankings,
+//   * token -> phrase postings and the name -> entity resolution maps.
+//
+// The index copies everything it needs — after Build()/Load() return it
+// holds no pointers into the corpus, dictionary, scorer, or tree it was
+// built from (snapshot semantics: a rebuilt pipeline never mutates a
+// served index; swap whole indexes instead). Mutating queries do not
+// exist. See DESIGN §10 for the snapshot/index contract and
+// serve/engine.h for the batched, cached, run-controlled front end.
+#ifndef LATENT_SERVE_INDEX_H_
+#define LATENT_SERVE_INDEX_H_
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/run_context.h"
+#include "common/status.h"
+#include "common/top_k.h"
+#include "core/hierarchy.h"
+#include "core/serialize.h"
+#include "phrase/frequent_miner.h"
+#include "phrase/kert.h"
+#include "phrase/phrase_dict.h"
+#include "text/corpus.h"
+
+namespace latent::serve {
+
+/// Build-time knobs of the snapshot. Validated by Build()/Load() with the
+/// same Status conventions as api::PipelineOptions::Validate().
+struct IndexOptions {
+  /// Per-topic phrase ranking depth precomputed at build time (KERT
+  /// quality order). Lookup/Subtree responses are clamped to this depth.
+  int top_phrases_per_topic = 20;
+  /// Per-topic entity ranking depth precomputed per node type (phi order).
+  int top_entities_per_topic = 20;
+  /// Ranking criteria for the precomputed per-topic phrase lists.
+  phrase::KertOptions kert;
+  /// Optional (type, id) -> display name resolver, e.g. entity
+  /// vocabularies loaded alongside the corpus. When unset, word-type names
+  /// come from the corpus vocabulary and other types render as "#<id>".
+  core::NodeNamer namer;
+
+  /// Rejects nonsensical knobs (negative ranking depths, KERT weights
+  /// outside [0, 1]) with kInvalidArgument, mirroring
+  /// api::PipelineOptions::Validate().
+  Status Validate() const;
+};
+
+/// What Build() consumes: the live pipeline objects an api::MinedHierarchy
+/// bundles. Only `tree` is required; a null dict/kert builds an index with
+/// no phrase surface (entity/topic queries still work), a null corpus
+/// drops the token -> word map (SearchPhrases then matches nothing).
+struct IndexSource {
+  const text::Corpus* corpus = nullptr;
+  const core::TopicHierarchy* tree = nullptr;
+  const phrase::PhraseDict* dict = nullptr;
+  const phrase::KertScorer* kert = nullptr;
+  /// Collapsed-network node type of words (0 in pipeline output).
+  int word_type = 0;
+};
+
+/// One (topic, score) posting, e.g. "entity e belongs to topic o/1/2 with
+/// phi 0.31" or "phrase P has topical frequency 12.0 in o/2".
+struct TopicScore {
+  int node = -1;
+  std::string path;
+  double score = 0.0;
+};
+
+/// One SearchPhrases() hit.
+struct PhraseHit {
+  /// Dense phrase id within this index.
+  int phrase = -1;
+  /// Space-joined phrase text.
+  std::string text;
+  /// Distinct query tokens the phrase contains (primary rank key).
+  int matched_tokens = 0;
+  /// Best topical frequency across topics (secondary rank key).
+  double score = 0.0;
+  /// Topic of that best topical frequency (-1 when the phrase has no
+  /// topic posting).
+  int best_node = -1;
+  std::string best_path;
+};
+
+/// Structural metadata of one topic, copied out of the tree at build time.
+struct TopicMeta {
+  int id = -1;
+  int parent = -1;
+  int level = 0;
+  std::string path;
+  std::vector<int> children;
+  double rho_in_parent = 1.0;
+};
+
+/// One fully-rendered topic answer: metadata plus the precomputed top
+/// phrases and per-type top entities (names resolved at build time).
+struct TopicView {
+  TopicMeta meta;
+  /// (phrase text, KERT quality), best first; empty for the root.
+  std::vector<Scored<std::string>> phrases;
+  /// entities[x] = (entity name, phi) for node type x, best first.
+  std::vector<std::vector<Scored<std::string>>> entities;
+};
+
+/// The immutable snapshot. Every const method is safe to call from any
+/// number of threads concurrently — there is no internal locking because
+/// there is no internal mutation after Build()/Load().
+class HierarchyIndex {
+ public:
+  HierarchyIndex() = default;
+  HierarchyIndex(HierarchyIndex&&) = default;
+  HierarchyIndex& operator=(HierarchyIndex&&) = default;
+  HierarchyIndex(const HierarchyIndex&) = delete;
+  HierarchyIndex& operator=(const HierarchyIndex&) = delete;
+
+  /// Builds the snapshot from live pipeline objects. With a non-null `ex`
+  /// the posting/ranking passes shard over phrases and entities; every
+  /// shard owns its output slots, so the index is bit-identical for every
+  /// thread count. The sources are only read during this call — the
+  /// returned index keeps no pointers into them.
+  static StatusOr<HierarchyIndex> Build(const IndexSource& source,
+                                        const IndexOptions& options = {},
+                                        exec::Executor* ex = nullptr);
+
+  /// Builds the snapshot from a serialized hierarchy (`latent-hierarchy-v2`
+  /// or legacy v1 blob, as written by latent_mine --save) plus the corpus
+  /// it was mined from: the phrase dictionary is re-mined with `miner` and
+  /// a KERT scorer is rebuilt, so the loaded index answers exactly like an
+  /// index built from the original Mine() result. Rejects an artifact
+  /// whose word universe does not match the corpus vocabulary.
+  static StatusOr<HierarchyIndex> Load(const std::string& serialized,
+                                       const text::Corpus& corpus,
+                                       const phrase::MinerOptions& miner,
+                                       const IndexOptions& options = {},
+                                       exec::Executor* ex = nullptr);
+
+  // ---- Shape -------------------------------------------------------------
+
+  int num_topics() const { return static_cast<int>(nodes_.size()); }
+  int num_phrases() const { return static_cast<int>(phrase_text_.size()); }
+  int num_types() const { return static_cast<int>(type_sizes_.size()); }
+  int word_type() const { return word_type_; }
+  /// True when the source hierarchy was a partial (budget-stopped) build.
+  bool partial() const { return partial_; }
+  const std::vector<std::string>& type_names() const { return type_names_; }
+  const std::vector<int>& type_sizes() const { return type_sizes_; }
+
+  const TopicMeta& topic(int id) const {
+    LATENT_CHECK_GE(id, 0);
+    LATENT_CHECK_LT(id, num_topics());
+    return nodes_[id];
+  }
+  const std::string& phrase_text(int phrase) const {
+    LATENT_CHECK_GE(phrase, 0);
+    LATENT_CHECK_LT(phrase, num_phrases());
+    return phrase_text_[phrase];
+  }
+  /// Display name of node `id` of type `type` (resolved at build time).
+  const std::string& name(int type, int id) const {
+    LATENT_CHECK_GE(type, 0);
+    LATENT_CHECK_LT(type, num_types());
+    LATENT_CHECK_GE(id, 0);
+    LATENT_CHECK_LT(id, static_cast<int>(names_[type].size()));
+    return names_[type][id];
+  }
+
+  /// Precomputed (phrase id, quality) ranking of a topic, best first,
+  /// clamped to IndexOptions::top_phrases_per_topic. Empty for the root.
+  const std::vector<Scored<int>>& topic_phrases(int id) const {
+    LATENT_CHECK_GE(id, 0);
+    LATENT_CHECK_LT(id, num_topics());
+    return topic_phrases_[id];
+  }
+  /// Precomputed (entity id, phi) ranking of a topic for one node type.
+  const std::vector<Scored<int>>& topic_entities(int id, int type) const {
+    LATENT_CHECK_GE(id, 0);
+    LATENT_CHECK_LT(id, num_topics());
+    LATENT_CHECK_GE(type, 0);
+    LATENT_CHECK_LT(type, num_types());
+    return topic_entities_[id][type];
+  }
+
+  // ---- Queries (lock-free reads) -----------------------------------------
+
+  /// Resolves "o/1/2" to a node id; kNotFound for an unknown path.
+  StatusOr<int> ResolvePath(const std::string& path) const;
+
+  /// Full precomputed answer for one topic.
+  TopicView View(int id) const;
+
+  /// View() by path.
+  StatusOr<TopicView> Lookup(const std::string& path) const;
+
+  /// Pre-order walk of the subtree rooted at `path`, descending at most
+  /// `depth` levels below it (0 = just the node itself). A non-null `ctx`
+  /// is polled between nodes; a stopped run returns its Status.
+  StatusOr<std::vector<TopicView>> Subtree(
+      const std::string& path, int depth,
+      const run::RunContext* ctx = nullptr) const;
+
+  /// Ranks phrases against a free-text query: tokens are lowercased,
+  /// split on non-alphanumerics, and matched against the phrase postings;
+  /// candidates rank by (distinct tokens matched desc, best topical
+  /// frequency desc, phrase id asc). Unknown tokens match nothing; an
+  /// empty or fully-unknown query returns no hits.
+  std::vector<PhraseHit> SearchPhrases(const std::string& query,
+                                       size_t k) const;
+
+  /// Topics of one phrase by topical frequency, best first.
+  std::vector<TopicScore> PhraseTopics(int phrase, size_t k) const;
+
+  /// Topics of one entity by phi, best first. `entity` is either
+  /// "type_name:entity_name" or a bare entity name (accepted when unique
+  /// across every type; ambiguous bare names return kInvalidArgument
+  /// asking for qualification, unknown names return kNotFound).
+  StatusOr<std::vector<TopicScore>> EntityTopics(const std::string& entity,
+                                                 size_t k) const;
+
+ private:
+  // (node, score) posting entry; postings are stored flattened (CSR) and
+  // sorted by score desc then node asc within each source item.
+  struct NodeScore {
+    int node;
+    double score;
+  };
+
+  static void BuildPhraseSide(const IndexSource& source,
+                              const IndexOptions& options, exec::Executor* ex,
+                              HierarchyIndex* out);
+  static void BuildEntitySide(const IndexSource& source,
+                              const IndexOptions& options, exec::Executor* ex,
+                              HierarchyIndex* out);
+
+  std::vector<TopicScore> PostingsTopK(const std::vector<NodeScore>& items,
+                                       size_t begin, size_t end,
+                                       size_t k) const;
+
+  // Topic structure.
+  std::vector<TopicMeta> nodes_;
+  std::unordered_map<std::string, int> by_path_;
+  bool partial_ = false;
+  std::vector<std::string> type_names_;
+  std::vector<int> type_sizes_;
+  int word_type_ = 0;
+
+  // Display names, resolved once at build: names_[type][id].
+  std::vector<std::vector<std::string>> names_;
+  // "type_name:entity_name" -> (type, id).
+  std::unordered_map<std::string, std::pair<int, int>> entity_by_qualified_;
+  // Bare name -> (type, id), or (-1, -1) when the name is ambiguous.
+  std::unordered_map<std::string, std::pair<int, int>> entity_by_bare_;
+
+  // Phrase surface.
+  std::vector<std::string> phrase_text_;
+  std::unordered_map<std::string, int> word_id_;
+  std::vector<size_t> word_offsets_;  // word -> [offset) into word_phrases_
+  std::vector<int> word_phrases_;    // ascending, deduped per word
+  std::vector<size_t> phrase_offsets_;     // phrase -> [offset) postings
+  std::vector<NodeScore> phrase_postings_;  // topical frequency > 0
+  // Entity postings per type: ent_offsets_[x][e] .. [e+1] into
+  // ent_postings_[x] (phi > 0, root excluded).
+  std::vector<std::vector<size_t>> ent_offsets_;
+  std::vector<std::vector<NodeScore>> ent_postings_;
+
+  // Per-topic precomputed rankings.
+  std::vector<std::vector<Scored<int>>> topic_phrases_;
+  std::vector<std::vector<std::vector<Scored<int>>>> topic_entities_;
+};
+
+}  // namespace latent::serve
+
+#endif  // LATENT_SERVE_INDEX_H_

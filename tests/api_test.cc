@@ -1,6 +1,6 @@
 // Tests for the one-call convenience API (src/api): the Mine() entry point,
 // input/option validation, the MinedHierarchy lifetime contract, and the
-// deprecated MineTopicalHierarchy shim.
+// MakeIndex() bridge into the serving layer.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -154,17 +154,21 @@ TEST(ApiTest, ValidateRejectsNegativeProgressInterval) {
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
 
-TEST(ApiTest, DeprecatedShimStillWorks) {
+TEST(ApiTest, MakeIndexBridgesToServe) {
   data::HinDataset ds = SmallDs();
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  MinedHierarchy mined =
-      MineTopicalHierarchy(ds.corpus, ds.entity_type_names,
-                           ds.entity_type_sizes, ds.entity_docs,
-                           SmallOptions());
-#pragma GCC diagnostic pop
-  EXPECT_EQ(mined.tree().node(0).children.size(), 3u);
-  EXPECT_GT(mined.dict().size(), 0);
+  StatusOr<MinedHierarchy> mined = Mine(InputOf(ds), SmallOptions());
+  ASSERT_TRUE(mined.ok()) << mined.status().message();
+  StatusOr<serve::HierarchyIndex> index = mined.value().MakeIndex();
+  ASSERT_TRUE(index.ok()) << index.status().message();
+  EXPECT_EQ(index.value().num_topics(), mined.value().tree().num_nodes());
+  EXPECT_EQ(index.value().num_phrases(), mined.value().dict().size());
+  EXPECT_EQ(index.value().word_type(), mined.value().kert().word_type());
+  // The snapshot answers without the pipeline objects: root lookup works
+  // and carries the tree's child count.
+  StatusOr<serve::TopicView> root = index.value().Lookup("o");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root.value().meta.children.size(),
+            mined.value().tree().node(0).children.size());
 }
 
 TEST(ApiValidationTest, OptionDefaultsAreValid) {

@@ -1,0 +1,788 @@
+// Tests for the serving layer (src/serve): HierarchyIndex correctness
+// against brute-force recomputation over the bundled examples/data corpus,
+// the Load()-equals-Build() snapshot contract, QueryEngine batching /
+// caching / run-control, metric accounting, edge cases (root-only index,
+// partial hierarchy), and an 8-thread concurrent-query smoke case (also
+// run under TSan via the tsan.serve ctest job).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "api/latent.h"
+#include "core/serialize.h"
+#include "data/io.h"
+#include "obs/metrics.h"
+#include "serve/engine.h"
+#include "serve/index.h"
+#include "text/tokenizer.h"
+
+namespace latent {
+namespace {
+
+using api::MinedHierarchy;
+using serve::HierarchyIndex;
+using serve::IndexOptions;
+using serve::IndexSource;
+using serve::QueryEngine;
+using serve::QueryOptions;
+using serve::Request;
+using serve::RequestKind;
+using serve::Response;
+using serve::TopicScore;
+using serve::TopicView;
+
+#ifndef LATENT_EXAMPLES_DATA
+#error "LATENT_EXAMPLES_DATA must point at the bundled examples/data dir"
+#endif
+
+// One mined pipeline over the bundled corpus, shared by every test (mining
+// once keeps the suite fast; everything here only reads it).
+struct Pipeline {
+  text::Corpus corpus;
+  data::EntityAttachments attachments;
+  MinedHierarchy mined;
+  core::NodeNamer namer;
+};
+
+const Pipeline& SharedPipeline() {
+  static const Pipeline* pipeline = [] {
+    auto* p = new Pipeline;
+    const std::string dir = LATENT_EXAMPLES_DATA;
+    auto corpus = data::LoadCorpusFromFile(dir + "/papers.txt", {});
+    LATENT_CHECK_MSG(corpus.ok(), "examples corpus must load");
+    p->corpus = std::move(corpus.value());
+    auto attachments = data::LoadEntityAttachments(
+        dir + "/papers_entities.tsv", p->corpus.num_docs());
+    LATENT_CHECK_MSG(attachments.ok(), "examples entities must load");
+    p->attachments = std::move(attachments.value());
+
+    api::PipelineOptions opt;
+    opt.build.levels_k = {2, 2};
+    opt.build.max_depth = 2;
+    opt.miner.min_support = 3;
+    api::PipelineInput input(
+        p->corpus,
+        api::EntitySchema(p->attachments.type_names,
+                          p->attachments.TypeSizes()),
+        p->attachments.entity_docs);
+    StatusOr<MinedHierarchy> mined = api::Mine(input, opt);
+    LATENT_CHECK_MSG(mined.ok(), "examples corpus must mine");
+    p->mined = std::move(mined.value());
+    p->namer = [p](int type, int id) -> std::string {
+      if (type == 0) return p->corpus.vocab().Token(id);
+      return p->attachments.entity_names[type - 1].Token(id);
+    };
+    return p;
+  }();
+  return *pipeline;
+}
+
+IndexOptions NamedOptions() {
+  IndexOptions opt;
+  opt.namer = SharedPipeline().namer;
+  return opt;
+}
+
+const HierarchyIndex& SharedIndex() {
+  static const HierarchyIndex* index = [] {
+    StatusOr<HierarchyIndex> built =
+        SharedPipeline().mined.MakeIndex(NamedOptions());
+    LATENT_CHECK_MSG(built.ok(), "shared index must build");
+    return new HierarchyIndex(std::move(built.value()));
+  }();
+  return *index;
+}
+
+// A standalone root-only hierarchy (no dict/kert/corpus): the smallest
+// index Build() accepts.
+core::TopicHierarchy RootOnlyTree() {
+  core::TopicHierarchy tree({"word", "author"}, {4, 2});
+  tree.AddRoot({{0.4, 0.3, 0.2, 0.1}, {0.7, 0.3}}, 1.0);
+  return tree;
+}
+
+// ---- Options validation ----------------------------------------------------
+
+TEST(ServeValidationTest, IndexOptionDefaultsAreValid) {
+  EXPECT_TRUE(IndexOptions().Validate().ok());
+}
+
+TEST(ServeValidationTest, IndexOptionsRejectBadKnobs) {
+  auto expect_rejected = [](IndexOptions opt) {
+    Status s = opt.Validate();
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  };
+  {
+    IndexOptions opt;
+    opt.top_phrases_per_topic = -1;
+    expect_rejected(opt);
+  }
+  {
+    IndexOptions opt;
+    opt.top_entities_per_topic = -3;
+    expect_rejected(opt);
+  }
+  {
+    IndexOptions opt;
+    opt.kert.gamma = 1.5;
+    expect_rejected(opt);
+  }
+  {
+    IndexOptions opt;
+    opt.kert.omega = -0.1;
+    expect_rejected(opt);
+  }
+}
+
+TEST(ServeValidationTest, QueryOptionDefaultsAreValid) {
+  EXPECT_TRUE(QueryOptions().Validate().ok());
+}
+
+TEST(ServeValidationTest, QueryOptionsRejectBadKnobs) {
+  // Same convention as PipelineOptions::Validate(): kInvalidArgument with
+  // the offending value echoed as "(got N)".
+  auto expect_rejected = [](QueryOptions opt) {
+    Status s = opt.Validate();
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(s.message().find("(got "), std::string::npos) << s.message();
+  };
+  {
+    QueryOptions opt;
+    opt.default_k = 0;
+    expect_rejected(opt);
+  }
+  {
+    QueryOptions opt;
+    opt.default_k = -5;
+    expect_rejected(opt);
+  }
+  {
+    QueryOptions opt;
+    opt.default_depth = -1;
+    expect_rejected(opt);
+  }
+  {
+    QueryOptions opt;
+    opt.deadline_ms = -1;
+    expect_rejected(opt);
+  }
+  {
+    QueryOptions opt;
+    opt.cache_bytes = -1;
+    expect_rejected(opt);
+  }
+  {
+    QueryOptions opt;
+    opt.cache_shards = 0;
+    expect_rejected(opt);
+  }
+}
+
+TEST(ServeValidationTest, CreateValidatesOptions) {
+  QueryOptions opt;
+  opt.cache_shards = 0;
+  auto engine = QueryEngine::Create(HierarchyIndex(), opt);
+  EXPECT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServeValidationTest, BuildRejectsBadSources) {
+  {
+    IndexSource source;  // no tree
+    EXPECT_EQ(HierarchyIndex::Build(source).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    core::TopicHierarchy empty;
+    IndexSource source;
+    source.tree = &empty;
+    EXPECT_EQ(HierarchyIndex::Build(source).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    core::TopicHierarchy tree = RootOnlyTree();
+    IndexSource source;
+    source.tree = &tree;
+    source.word_type = 7;  // out of range
+    EXPECT_EQ(HierarchyIndex::Build(source).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    // dict without kert (and vice versa) is a plumbing bug, not a mode.
+    const Pipeline& p = SharedPipeline();
+    IndexSource source;
+    source.tree = &p.mined.tree();
+    source.dict = &p.mined.dict();
+    EXPECT_EQ(HierarchyIndex::Build(source).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+}
+
+// ---- Index correctness vs. brute force -------------------------------------
+
+TEST(HierarchyIndexTest, ShapeMatchesSource) {
+  const Pipeline& p = SharedPipeline();
+  const HierarchyIndex& index = SharedIndex();
+  EXPECT_EQ(index.num_topics(), p.mined.tree().num_nodes());
+  EXPECT_EQ(index.num_phrases(), p.mined.dict().size());
+  EXPECT_EQ(index.num_types(), p.mined.tree().num_types());
+  EXPECT_EQ(index.word_type(), p.mined.kert().word_type());
+  EXPECT_EQ(index.type_names(), p.mined.tree().type_names());
+  EXPECT_EQ(index.type_sizes(), p.mined.tree().type_sizes());
+  EXPECT_FALSE(index.partial());
+}
+
+TEST(HierarchyIndexTest, ResolvePathAndLookup) {
+  const HierarchyIndex& index = SharedIndex();
+  StatusOr<int> root = index.ResolvePath("o");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root.value(), 0);
+  for (int id = 0; id < index.num_topics(); ++id) {
+    StatusOr<int> resolved = index.ResolvePath(index.topic(id).path);
+    ASSERT_TRUE(resolved.ok());
+    EXPECT_EQ(resolved.value(), id);
+  }
+  EXPECT_EQ(index.ResolvePath("o/99").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(index.Lookup("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(HierarchyIndexTest, TopicPhrasesMatchBruteForce) {
+  const Pipeline& p = SharedPipeline();
+  const HierarchyIndex& index = SharedIndex();
+  const IndexOptions opt = NamedOptions();
+  for (int id = 1; id < index.num_topics(); ++id) {
+    const std::vector<Scored<int>> expected = p.mined.kert().RankTopic(
+        id, opt.kert, static_cast<size_t>(opt.top_phrases_per_topic));
+    EXPECT_EQ(index.topic_phrases(id), expected) << "node " << id;
+  }
+  EXPECT_TRUE(index.topic_phrases(0).empty());
+}
+
+TEST(HierarchyIndexTest, PhrasePostingsMatchBruteForce) {
+  const Pipeline& p = SharedPipeline();
+  const HierarchyIndex& index = SharedIndex();
+  const core::TopicHierarchy& tree = p.mined.tree();
+  for (int phrase = 0; phrase < index.num_phrases(); ++phrase) {
+    std::vector<TopicScore> got =
+        index.PhraseTopics(phrase, static_cast<size_t>(index.num_topics()));
+    // Brute force: every non-root node with positive topical frequency,
+    // sorted score desc then node asc.
+    std::vector<std::pair<int, double>> expected;
+    for (int n = 1; n < tree.num_nodes(); ++n) {
+      const double f = p.mined.kert().TopicalFrequency(n, phrase);
+      if (f > 0.0) expected.emplace_back(n, f);
+    }
+    std::sort(expected.begin(), expected.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+    ASSERT_EQ(got.size(), expected.size()) << "phrase " << phrase;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].node, expected[i].first);
+      EXPECT_EQ(got[i].score, expected[i].second);
+      EXPECT_EQ(got[i].path, tree.node(got[i].node).path);
+    }
+  }
+}
+
+TEST(HierarchyIndexTest, EntityPostingsMatchBruteForce) {
+  const Pipeline& p = SharedPipeline();
+  const HierarchyIndex& index = SharedIndex();
+  const core::TopicHierarchy& tree = p.mined.tree();
+  for (int type = 1; type < index.num_types(); ++type) {
+    const std::string& type_name = index.type_names()[type];
+    for (int e = 0; e < index.type_sizes()[type]; ++e) {
+      const std::string qualified = type_name + ":" + index.name(type, e);
+      StatusOr<std::vector<TopicScore>> got = index.EntityTopics(
+          qualified, static_cast<size_t>(index.num_topics()));
+      ASSERT_TRUE(got.ok()) << qualified;
+      std::vector<std::pair<int, double>> expected;
+      for (int n = 1; n < tree.num_nodes(); ++n) {
+        const double v = tree.node(n).phi[type][e];
+        if (v > 0.0) expected.emplace_back(n, v);
+      }
+      std::sort(expected.begin(), expected.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.second != b.second) return a.second > b.second;
+                  return a.first < b.first;
+                });
+      ASSERT_EQ(got.value().size(), expected.size()) << qualified;
+      for (size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(got.value()[i].node, expected[i].first);
+        EXPECT_EQ(got.value()[i].score, expected[i].second);
+      }
+    }
+  }
+}
+
+TEST(HierarchyIndexTest, SearchPhrasesMatchesBruteForce) {
+  const Pipeline& p = SharedPipeline();
+  const HierarchyIndex& index = SharedIndex();
+  for (const std::string query :
+       {"topic models", "frequent pattern mining", "database", "Topic, MODELS!"}) {
+    const std::vector<serve::PhraseHit> got =
+        index.SearchPhrases(query, static_cast<size_t>(index.num_phrases()));
+    // Brute force over every phrase: count distinct matched query tokens,
+    // score by the best topical frequency, same ordering rules.
+    std::vector<int> words;
+    for (const std::string& token : text::Tokenize(query)) {
+      const int w = p.corpus.vocab().Lookup(token);
+      if (w >= 0 && std::find(words.begin(), words.end(), w) == words.end()) {
+        words.push_back(w);
+      }
+    }
+    struct Hit {
+      int phrase;
+      int matched;
+      double score;
+    };
+    std::vector<Hit> expected;
+    for (int phrase = 0; phrase < index.num_phrases(); ++phrase) {
+      const std::vector<int>& pw = p.mined.dict().Words(phrase);
+      int matched = 0;
+      for (int w : words) {
+        if (std::find(pw.begin(), pw.end(), w) != pw.end()) ++matched;
+      }
+      if (matched == 0) continue;
+      double best = 0.0;
+      for (int n = 1; n < index.num_topics(); ++n) {
+        best = std::max(best, p.mined.kert().TopicalFrequency(n, phrase));
+      }
+      expected.push_back({phrase, matched, best});
+    }
+    std::sort(expected.begin(), expected.end(), [](const Hit& a, const Hit& b) {
+      if (a.matched != b.matched) return a.matched > b.matched;
+      if (a.score != b.score) return a.score > b.score;
+      return a.phrase < b.phrase;
+    });
+    ASSERT_EQ(got.size(), expected.size()) << query;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].phrase, expected[i].phrase) << query << " hit " << i;
+      EXPECT_EQ(got[i].matched_tokens, expected[i].matched);
+      EXPECT_EQ(got[i].score, expected[i].score);
+    }
+  }
+}
+
+TEST(HierarchyIndexTest, SearchEdgeCases) {
+  const HierarchyIndex& index = SharedIndex();
+  EXPECT_TRUE(index.SearchPhrases("", 10).empty());
+  EXPECT_TRUE(index.SearchPhrases("zzzunknownzzz qqq", 10).empty());
+  EXPECT_TRUE(index.SearchPhrases("topic", 0).empty());
+  EXPECT_EQ(index.SearchPhrases("topic", 1).size(), 1u);
+}
+
+TEST(HierarchyIndexTest, EntityNameResolution) {
+  const HierarchyIndex& index = SharedIndex();
+  // Bare names in the bundled data are unique across types, so both forms
+  // resolve to the same postings.
+  const std::string name = index.name(1, 0);
+  StatusOr<std::vector<TopicScore>> bare = index.EntityTopics(name, 5);
+  StatusOr<std::vector<TopicScore>> qualified =
+      index.EntityTopics(index.type_names()[1] + ":" + name, 5);
+  ASSERT_TRUE(bare.ok());
+  ASSERT_TRUE(qualified.ok());
+  ASSERT_EQ(bare.value().size(), qualified.value().size());
+  for (size_t i = 0; i < bare.value().size(); ++i) {
+    EXPECT_EQ(bare.value()[i].node, qualified.value()[i].node);
+    EXPECT_EQ(bare.value()[i].score, qualified.value()[i].score);
+  }
+  EXPECT_EQ(index.EntityTopics("no_such_entity_anywhere", 5).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(HierarchyIndexTest, AmbiguousBareNameNeedsQualification) {
+  // Two types whose entity 0 shares the display name "dup".
+  core::TopicHierarchy tree({"a", "b"}, {1, 1});
+  tree.AddRoot({{1.0}, {1.0}}, 1.0);
+  tree.AddChild(0, 1.0, {{1.0}, {1.0}}, 1.0);
+  IndexOptions opt;
+  opt.namer = [](int, int) { return std::string("dup"); };
+  IndexSource source;
+  source.tree = &tree;
+  StatusOr<HierarchyIndex> index = HierarchyIndex::Build(source, opt);
+  ASSERT_TRUE(index.ok()) << index.status().message();
+  EXPECT_EQ(index.value().EntityTopics("dup", 5).status().code(),
+            StatusCode::kInvalidArgument);
+  StatusOr<std::vector<TopicScore>> qualified =
+      index.value().EntityTopics("a:dup", 5);
+  ASSERT_TRUE(qualified.ok());
+  ASSERT_EQ(qualified.value().size(), 1u);
+  EXPECT_EQ(qualified.value()[0].node, 1);
+}
+
+TEST(HierarchyIndexTest, SubtreeWalksPreOrder) {
+  const HierarchyIndex& index = SharedIndex();
+  // Depth 0: just the node.
+  StatusOr<std::vector<TopicView>> root_only = index.Subtree("o", 0);
+  ASSERT_TRUE(root_only.ok());
+  ASSERT_EQ(root_only.value().size(), 1u);
+  EXPECT_EQ(root_only.value()[0].meta.id, 0);
+  // Unlimited depth from the root: every node, parents before children,
+  // children in tree order.
+  StatusOr<std::vector<TopicView>> all = index.Subtree("o", 99);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value().size(), static_cast<size_t>(index.num_topics()));
+  std::vector<bool> seen(index.num_topics(), false);
+  for (const TopicView& view : all.value()) {
+    const int parent = view.meta.parent;
+    if (parent >= 0) EXPECT_TRUE(seen[parent]) << "child before parent";
+    seen[view.meta.id] = true;
+  }
+  // Errors.
+  EXPECT_EQ(index.Subtree("o/99", 1).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(index.Subtree("o", -1).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(HierarchyIndexTest, SubtreeHonorsRunContext) {
+  const HierarchyIndex& index = SharedIndex();
+  auto cancel = std::make_shared<run::CancelToken>();
+  cancel->Cancel();
+  run::RunContext ctx;
+  ctx.set_cancel_token(cancel);
+  EXPECT_EQ(index.Subtree("o", 99, &ctx).status().code(),
+            StatusCode::kCancelled);
+}
+
+// ---- Load() == Build() -----------------------------------------------------
+
+TEST(HierarchyIndexTest, LoadMatchesBuild) {
+  const Pipeline& p = SharedPipeline();
+  const HierarchyIndex& built = SharedIndex();
+  const std::string blob = core::SerializeHierarchy(p.mined.tree());
+  phrase::MinerOptions miner;
+  miner.min_support = 3;
+  StatusOr<HierarchyIndex> loaded =
+      HierarchyIndex::Load(blob, p.corpus, miner, NamedOptions());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  ASSERT_EQ(loaded.value().num_topics(), built.num_topics());
+  ASSERT_EQ(loaded.value().num_phrases(), built.num_phrases());
+  // The loaded snapshot answers exactly like the built one.
+  for (int id = 0; id < built.num_topics(); ++id) {
+    EXPECT_EQ(loaded.value().topic_phrases(id), built.topic_phrases(id));
+    for (int type = 0; type < built.num_types(); ++type) {
+      EXPECT_EQ(loaded.value().topic_entities(id, type),
+                built.topic_entities(id, type));
+    }
+  }
+  const auto got = loaded.value().SearchPhrases("topic models", 10);
+  const auto want = built.SearchPhrases("topic models", 10);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].phrase, want[i].phrase);
+    EXPECT_EQ(got[i].score, want[i].score);
+  }
+}
+
+TEST(HierarchyIndexTest, LoadRejectsMismatchedCorpus) {
+  const Pipeline& p = SharedPipeline();
+  const std::string blob = core::SerializeHierarchy(p.mined.tree());
+  text::Corpus other;
+  other.AddTokenizedDocument({"alpha", "beta"});
+  StatusOr<HierarchyIndex> loaded =
+      HierarchyIndex::Load(blob, other, phrase::MinerOptions());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HierarchyIndexTest, LoadRejectsCorruptArtifact) {
+  EXPECT_FALSE(HierarchyIndex::Load("not a serialized tree",
+                                    SharedPipeline().corpus,
+                                    phrase::MinerOptions())
+                   .ok());
+}
+
+// ---- Edge cases ------------------------------------------------------------
+
+TEST(HierarchyIndexTest, RootOnlyIndexWithoutPhraseSurface) {
+  core::TopicHierarchy tree = RootOnlyTree();
+  IndexSource source;
+  source.tree = &tree;
+  StatusOr<HierarchyIndex> index = HierarchyIndex::Build(source);
+  ASSERT_TRUE(index.ok()) << index.status().message();
+  EXPECT_EQ(index.value().num_topics(), 1);
+  EXPECT_EQ(index.value().num_phrases(), 0);
+  StatusOr<TopicView> root = index.value().Lookup("o");
+  ASSERT_TRUE(root.ok());
+  EXPECT_TRUE(root.value().phrases.empty());
+  // Root phi is still served as the global entity ranking.
+  ASSERT_EQ(root.value().entities.size(), 2u);
+  EXPECT_EQ(root.value().entities[1].size(), 2u);
+  EXPECT_TRUE(index.value().SearchPhrases("anything", 5).empty());
+  // Entities resolve by their "#<id>" fallback names.
+  StatusOr<std::vector<TopicScore>> topics =
+      index.value().EntityTopics("author:#0", 5);
+  ASSERT_TRUE(topics.ok()) << topics.status().message();
+  EXPECT_TRUE(topics.value().empty());  // no non-root topics to post to
+}
+
+TEST(HierarchyIndexTest, PartialHierarchyIsServedAndFlagged) {
+  core::TopicHierarchy tree = RootOnlyTree();
+  tree.AddChild(0, 0.8, {{0.7, 0.3, 0.0, 0.0}, {1.0, 0.0}}, 0.5);
+  tree.set_partial(true);
+  IndexSource source;
+  source.tree = &tree;
+  StatusOr<HierarchyIndex> index = HierarchyIndex::Build(source);
+  ASSERT_TRUE(index.ok());
+  EXPECT_TRUE(index.value().partial());
+  StatusOr<TopicView> child = index.value().Lookup("o/1");
+  ASSERT_TRUE(child.ok());
+  EXPECT_EQ(child.value().meta.level, 1);
+  // Round-trip through serialization keeps the flag.
+  StatusOr<core::TopicHierarchy> reloaded =
+      core::DeserializeHierarchy(core::SerializeHierarchy(tree));
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_TRUE(reloaded.value().partial());
+}
+
+// ---- QueryEngine -----------------------------------------------------------
+
+std::unique_ptr<QueryEngine> MakeEngine(const QueryOptions& opt,
+                                        exec::Executor* ex = nullptr) {
+  StatusOr<HierarchyIndex> index =
+      SharedPipeline().mined.MakeIndex(NamedOptions());
+  LATENT_CHECK_MSG(index.ok(), "index must build");
+  auto engine = QueryEngine::Create(std::move(index.value()), opt, ex);
+  LATENT_CHECK_MSG(engine.ok(), "engine must build");
+  return std::move(engine.value());
+}
+
+std::vector<Request> MixedBatch() {
+  const HierarchyIndex& index = SharedIndex();
+  std::vector<Request> batch;
+  for (int id = 0; id < index.num_topics(); ++id) {
+    batch.push_back({RequestKind::kLookup, index.topic(id).path, -1});
+    batch.push_back({RequestKind::kSubtree, index.topic(id).path, 1});
+  }
+  batch.push_back({RequestKind::kSearch, "topic models", 5});
+  batch.push_back({RequestKind::kSearch, "frequent pattern", -1});
+  batch.push_back({RequestKind::kEntity, index.name(1, 0), 4});
+  batch.push_back({RequestKind::kEntity, "venue:" + index.name(2, 0), -1});
+  batch.push_back({RequestKind::kLookup, "o/404", -1});  // NotFound
+  // Repeats make cache hits possible on the second pass.
+  batch.push_back({RequestKind::kLookup, "o", -1});
+  batch.push_back({RequestKind::kSearch, "topic models", 5});
+  return batch;
+}
+
+TEST(QueryEngineTest, TypedWrappersMatchIndex) {
+  std::unique_ptr<QueryEngine> engine = MakeEngine({});
+  StatusOr<std::string> root = engine->Lookup("o");
+  ASSERT_TRUE(root.ok());
+  EXPECT_NE(root.value().find("topic o id=0"), std::string::npos);
+  StatusOr<std::string> search = engine->SearchPhrases("topic models", 3);
+  ASSERT_TRUE(search.ok());
+  EXPECT_NE(search.value().find("phrase\t"), std::string::npos);
+  StatusOr<std::string> missing = engine->Lookup("o/404");
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  StatusOr<std::string> subtree = engine->Subtree("o", 1);
+  ASSERT_TRUE(subtree.ok());
+  EXPECT_NE(subtree.value().find("topic o/1"), std::string::npos);
+}
+
+TEST(QueryEngineTest, BatchResponsesAreSlotAligned) {
+  std::unique_ptr<QueryEngine> engine = MakeEngine({});
+  const std::vector<Request> batch = MixedBatch();
+  const std::vector<Response> responses = engine->RunBatch(batch);
+  ASSERT_EQ(responses.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].kind == RequestKind::kLookup && batch[i].arg == "o/404") {
+      EXPECT_EQ(responses[i].code, StatusCode::kNotFound);
+    } else {
+      EXPECT_EQ(responses[i].code, StatusCode::kOk) << responses[i].message;
+    }
+  }
+}
+
+// The tentpole determinism contract: the same batch returns byte-identical
+// responses at 1/2/8 threads, with and without the cache.
+TEST(QueryEngineTest, BatchBytesInvariantAcrossThreadsAndCache) {
+  const std::vector<Request> batch = MixedBatch();
+  std::vector<std::vector<std::string>> renders;
+  for (int threads : {1, 2, 8}) {
+    for (long long cache_bytes : {0ll, 1ll << 20}) {
+      exec::ExecOptions eopt;
+      eopt.num_threads = threads;
+      exec::Executor ex(eopt);
+      QueryOptions qopt;
+      qopt.cache_bytes = cache_bytes;
+      std::unique_ptr<QueryEngine> engine = MakeEngine(qopt, &ex);
+      // Two passes: the second hits the cache when one is attached.
+      engine->RunBatch(batch);
+      const std::vector<Response> responses = engine->RunBatch(batch);
+      std::vector<std::string> texts;
+      for (const Response& r : responses) {
+        texts.push_back(r.text + "\x1e" + r.message);
+      }
+      renders.push_back(std::move(texts));
+    }
+  }
+  for (size_t i = 1; i < renders.size(); ++i) {
+    EXPECT_EQ(renders[i], renders[0]) << "configuration " << i;
+  }
+}
+
+TEST(QueryEngineTest, DeadlineAndCancelPaths) {
+  std::unique_ptr<QueryEngine> engine = MakeEngine({});
+  {
+    // Pre-expired deadline: every query reports kDeadlineExceeded.
+    run::RunContext ctx;
+    ctx.SetDeadlineAfterMs(-1);
+    Response resp = engine->Run({RequestKind::kLookup, "o", -1}, &ctx);
+    EXPECT_EQ(resp.code, StatusCode::kDeadlineExceeded);
+    EXPECT_TRUE(resp.text.empty());
+  }
+  {
+    // Pre-tripped cancel token.
+    auto cancel = std::make_shared<run::CancelToken>();
+    cancel->Cancel();
+    run::RunContext ctx;
+    ctx.set_cancel_token(cancel);
+    Response resp = engine->Run({RequestKind::kSearch, "topic", -1}, &ctx);
+    EXPECT_EQ(resp.code, StatusCode::kCancelled);
+  }
+  {
+    // Engine-level cancel from QueryOptions applies to every query.
+    auto cancel = std::make_shared<run::CancelToken>();
+    QueryOptions qopt;
+    qopt.cancel = cancel;
+    std::unique_ptr<QueryEngine> cancelled = MakeEngine(qopt);
+    EXPECT_EQ(cancelled->Run({RequestKind::kLookup, "o", -1}).code,
+              StatusCode::kOk);
+    cancel->Cancel();
+    EXPECT_EQ(cancelled->Run({RequestKind::kLookup, "o", -1}).code,
+              StatusCode::kCancelled);
+  }
+}
+
+TEST(QueryEngineTest, CacheHitsAndMetrics) {
+  obs::Registry metrics;
+  QueryOptions qopt;
+  qopt.metrics = &metrics;
+  std::unique_ptr<QueryEngine> engine = MakeEngine(qopt);
+  const Request req{RequestKind::kLookup, "o", -1};
+  Response first = engine->Run(req);
+  Response second = engine->Run(req);
+  EXPECT_EQ(first.code, StatusCode::kOk);
+  EXPECT_FALSE(first.cached);
+  EXPECT_TRUE(second.cached);
+  EXPECT_EQ(first.text, second.text);  // cache returns the exact bytes
+#if defined(LATENT_OBS_ENABLED)
+  EXPECT_EQ(metrics.counter("serve.queries")->Value(), 2u);
+  EXPECT_EQ(metrics.counter("serve.cache.hits")->Value(), 1u);
+  EXPECT_EQ(metrics.counter("serve.cache.misses")->Value(), 1u);
+  EXPECT_GT(metrics.gauge("serve.cache.bytes")->Value(), 0);
+  EXPECT_EQ(metrics.gauge("serve.index.topics")->Value(),
+            SharedIndex().num_topics());
+#endif
+}
+
+TEST(QueryEngineTest, TinyCacheEvicts) {
+  obs::Registry metrics;
+  QueryOptions qopt;
+  qopt.metrics = &metrics;
+  // One shard and a budget of roughly two entries forces LRU churn.
+  qopt.cache_shards = 1;
+  qopt.cache_bytes = 2048;
+  std::unique_ptr<QueryEngine> engine = MakeEngine(qopt);
+  const HierarchyIndex& index = engine->index();
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int id = 0; id < index.num_topics(); ++id) {
+      EXPECT_EQ(engine->Run({RequestKind::kLookup, index.topic(id).path, -1})
+                    .code,
+                StatusCode::kOk);
+    }
+  }
+  ASSERT_NE(engine->cache(), nullptr);
+  EXPECT_LE(engine->cache()->bytes(), 2048);
+#if defined(LATENT_OBS_ENABLED)
+  EXPECT_GT(metrics.counter("serve.cache.evictions")->Value(), 0u);
+#endif
+}
+
+TEST(QueryEngineTest, ErrorsAreNotCached) {
+  std::unique_ptr<QueryEngine> engine = MakeEngine({});
+  Response first = engine->Run({RequestKind::kLookup, "o/404", -1});
+  Response second = engine->Run({RequestKind::kLookup, "o/404", -1});
+  EXPECT_EQ(first.code, StatusCode::kNotFound);
+  EXPECT_EQ(second.code, StatusCode::kNotFound);
+  EXPECT_FALSE(second.cached);
+}
+
+TEST(QueryEngineTest, EmptyIndexEngineAnswers) {
+  core::TopicHierarchy tree = RootOnlyTree();
+  IndexSource source;
+  source.tree = &tree;
+  StatusOr<HierarchyIndex> index = HierarchyIndex::Build(source);
+  ASSERT_TRUE(index.ok());
+  auto engine = QueryEngine::Create(std::move(index.value()), {});
+  ASSERT_TRUE(engine.ok());
+  EXPECT_TRUE(engine.value()->Lookup("o").ok());
+  StatusOr<std::string> search = engine.value()->SearchPhrases("anything");
+  ASSERT_TRUE(search.ok());
+  EXPECT_TRUE(search.value().empty());
+  EXPECT_EQ(engine.value()->EntityTopics("ghost").status().code(),
+            StatusCode::kNotFound);
+}
+
+// 8 real threads hammering one engine (cache + metrics attached): every
+// response must match the serial reference. Also the tsan.serve payload.
+TEST(QueryEngineTest, ConcurrentQuerySmoke) {
+  obs::Registry metrics;
+  QueryOptions qopt;
+  qopt.metrics = &metrics;
+  qopt.cache_shards = 4;
+  qopt.cache_bytes = 1 << 16;  // small enough that eviction churns too
+  std::unique_ptr<QueryEngine> engine = MakeEngine(qopt);
+  const std::vector<Request> batch = MixedBatch();
+  // Serial reference (fresh engine so the cache state cannot leak in).
+  std::vector<std::string> expected;
+  {
+    std::unique_ptr<QueryEngine> reference = MakeEngine({});
+    for (const Request& req : batch) {
+      Response resp = reference->Run(req);
+      expected.push_back(resp.text + "\x1e" + resp.message);
+    }
+  }
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 25;
+  std::vector<std::vector<std::string>> got(kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (size_t i = 0; i < batch.size(); ++i) {
+          Response resp = engine->Run(batch[i]);
+          if (round == 0) {
+            got[t].push_back(resp.text + "\x1e" + resp.message);
+          } else {
+            // Later rounds only check stability against round 0.
+            if (got[t][i] != resp.text + "\x1e" + resp.message) {
+              got[t][i] = "MISMATCH";
+            }
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(got[t], expected) << "thread " << t;
+  }
+#if defined(LATENT_OBS_ENABLED)
+  EXPECT_EQ(metrics.counter("serve.queries")->Value(),
+            static_cast<uint64_t>(kThreads) * kRounds * batch.size());
+#endif
+}
+
+}  // namespace
+}  // namespace latent

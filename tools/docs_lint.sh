@@ -1,63 +1,80 @@
 #!/usr/bin/env bash
 # Docs lint: the operator guide must document the complete operator
 # surface. Fails (exit 1) listing anything missing when
-#   * a latent_mine command-line flag parsed in tools/latent_mine.cc, or
-#   * a PipelineOptions field declared in src/api/latent.h
+#   * a latent_mine command-line flag parsed in tools/latent_mine.cc,
+#   * a latent_serve command-line flag parsed in tools/latent_serve.cc,
+#   * a PipelineOptions field declared in src/api/latent.h, or
+#   * a QueryOptions field declared in src/serve/engine.h
 # does not appear in docs/OPERATIONS.md. Registered with ctest as
 # `docs.lint` (label: docs); run directly as tools/docs_lint.sh [repo-root].
 set -u
 
 root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
 mine_cc="$root/tools/latent_mine.cc"
+serve_cc="$root/tools/latent_serve.cc"
 api_h="$root/src/api/latent.h"
+engine_h="$root/src/serve/engine.h"
 ops_md="$root/docs/OPERATIONS.md"
 
 fail=0
-for f in "$mine_cc" "$api_h" "$ops_md"; do
+for f in "$mine_cc" "$serve_cc" "$api_h" "$engine_h" "$ops_md"; do
   if [ ! -f "$f" ]; then
     echo "docs_lint: missing $f" >&2
     exit 1
   fi
 done
 
-# Every string-literal flag the CLI compares against.
-flags=$(grep -o '"--[a-z-]*"' "$mine_cc" | tr -d '"' | sort -u)
+# Every string-literal flag a CLI compares against.
+cli_flags() {
+  grep -o '"--[a-z-]*"' "$1" | tr -d '"' | sort -u
+}
 
-# Every field of struct PipelineOptions: strip comments, keep
-# declaration lines (trailing ';', no parens => not Validate()), drop any
-# default initializer, take the last identifier.
-fields=$(awk '/^struct PipelineOptions \{/,/^\};/' "$api_h" \
-  | sed -e 's|//.*||' \
-  | grep -E ';[[:space:]]*$' \
-  | grep -v '(' \
-  | grep -vE '^[[:space:]]*\};[[:space:]]*$' \
-  | sed -E 's/[[:space:]]*=[[:space:]]*[^;]*;//; s/;//; s/.*[ *]//' \
-  | sort -u)
+# Every field of a struct: strip comments, keep declaration lines
+# (trailing ';', no parens => not Validate()), drop any default
+# initializer, take the last identifier.
+struct_fields() {
+  awk "/^struct $2 \\{/,/^\\};/" "$1" \
+    | sed -e 's|//.*||' \
+    | grep -E ';[[:space:]]*$' \
+    | grep -v '(' \
+    | grep -vE '^[[:space:]]*\};[[:space:]]*$' \
+    | sed -E 's/[[:space:]]*=[[:space:]]*[^;]*;//; s/;//; s/.*[ *]//' \
+    | sort -u
+}
 
-if [ -z "$flags" ] || [ -z "$fields" ]; then
-  echo "docs_lint: extraction came up empty (flags or fields) —" \
-       "the lint itself is broken, refusing to pass vacuously" >&2
-  exit 1
-fi
-
-for flag in $flags; do
-  if ! grep -q -- "$flag" "$ops_md"; then
-    echo "docs_lint: latent_mine flag $flag is not documented in" \
-         "docs/OPERATIONS.md" >&2
-    fail=1
+# check_surface <label> <items> — every item must appear in OPERATIONS.md.
+# (Called directly, not in a subshell, so it can set the global `fail`.)
+check_surface() {
+  local label="$1" items="$2"
+  if [ -z "$items" ]; then
+    echo "docs_lint: extraction came up empty ($label) —" \
+         "the lint itself is broken, refusing to pass vacuously" >&2
+    exit 1
   fi
-done
+  local item
+  for item in $items; do
+    if ! grep -qw -- "$item" "$ops_md"; then
+      echo "docs_lint: $label $item is not documented in" \
+           "docs/OPERATIONS.md" >&2
+      fail=1
+    fi
+  done
+}
 
-for field in $fields; do
-  if ! grep -qw -- "$field" "$ops_md"; then
-    echo "docs_lint: PipelineOptions::$field is not documented in" \
-         "docs/OPERATIONS.md" >&2
-    fail=1
-  fi
-done
+mine_flags=$(cli_flags "$mine_cc")
+serve_flags=$(cli_flags "$serve_cc")
+popt_fields=$(struct_fields "$api_h" PipelineOptions)
+qopt_fields=$(struct_fields "$engine_h" QueryOptions)
+
+check_surface "latent_mine flag" "$mine_flags"
+check_surface "latent_serve flag" "$serve_flags"
+check_surface "PipelineOptions field" "$popt_fields"
+check_surface "QueryOptions field" "$qopt_fields"
 
 if [ "$fail" -eq 0 ]; then
-  echo "docs_lint: OK ($(echo "$flags" | wc -l) flags," \
-       "$(echo "$fields" | wc -l) fields documented)"
+  echo "docs_lint: OK" \
+       "($(echo "$mine_flags" | wc -l) + $(echo "$serve_flags" | wc -l)" \
+       "flags, $(echo "$popt_fields" | wc -l) +" \
+       "$(echo "$qopt_fields" | wc -l) option fields documented)"
 fi
 exit "$fail"

@@ -1,0 +1,69 @@
+// Strict flag-value parsing shared by the latent_* CLIs (latent_mine,
+// latent_serve). Every parser accepts the value only when the WHOLE string
+// is a well-formed base-10 number that fits the output type: trailing
+// junk, empty input, and overflow all return false, so "--seed abc",
+// "--threads 99999999999999999999" and "--levels 6,,4" are usage errors
+// (exit 2) instead of silently becoming 0 or wrapping.
+#ifndef LATENT_TOOLS_FLAGS_H_
+#define LATENT_TOOLS_FLAGS_H_
+
+#include <cerrno>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace latent::tools {
+
+/// Strict signed parse of the whole string; rejects empty input, trailing
+/// junk, and values outside [LLONG_MIN, LLONG_MAX].
+inline bool ParseInt(const char* s, long long* out) {
+  if (s == nullptr || *s == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s, &end, 10);
+  if (end == nullptr || *end != '\0' || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+/// Strict unsigned parse. A '-' anywhere is rejected up front because
+/// strtoull would silently wrap "-1" to ULLONG_MAX.
+inline bool ParseUInt(const char* s, unsigned long long* out) {
+  if (s == nullptr || *s == '\0') return false;
+  for (const char* p = s; *p != '\0'; ++p) {
+    if (*p == '-') return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == nullptr || *end != '\0' || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+/// Strict parse of a comma-separated int list ("6,4" -> {6, 4}). Empty
+/// items ("6,,4"), non-numeric items, out-of-int-range items, and an empty
+/// spec are all rejected.
+inline bool ParseIntList(const std::string& spec, std::vector<int>* out) {
+  out->clear();
+  std::string item;
+  for (size_t i = 0; i <= spec.size(); ++i) {
+    const char c = i < spec.size() ? spec[i] : ',';
+    if (c != ',') {
+      item.push_back(c);
+      continue;
+    }
+    long long v = 0;
+    if (!ParseInt(item.c_str(), &v) || v < -2147483648LL ||
+        v > 2147483647LL) {
+      return false;
+    }
+    out->push_back(static_cast<int>(v));
+    item.clear();
+  }
+  return !out->empty();
+}
+
+}  // namespace latent::tools
+
+#endif  // LATENT_TOOLS_FLAGS_H_

@@ -22,35 +22,9 @@
 #include "common/retry.h"
 #include "core/serialize.h"
 #include "data/io.h"
+#include "flags.h"
 
 namespace {
-
-// Parses "6,4" into {6, 4}.
-std::vector<int> ParseLevels(const std::string& spec) {
-  std::vector<int> out;
-  std::string cur;
-  for (char c : spec + ",") {
-    if (c == ',') {
-      if (!cur.empty()) out.push_back(std::atoi(cur.c_str()));
-      cur.clear();
-    } else {
-      cur.push_back(c);
-    }
-  }
-  return out;
-}
-
-// Strict signed-integer parse: the whole string must be a number. Returns
-// false on trailing junk or empty input so "--timeout-s abc" is an error
-// instead of silently becoming 0.
-bool ParseInt(const char* s, long long* out) {
-  if (s == nullptr || *s == '\0') return false;
-  char* end = nullptr;
-  long long v = std::strtoll(s, &end, 10);
-  if (end == nullptr || *end != '\0') return false;
-  *out = v;
-  return true;
-}
 
 int Usage() {
   std::fprintf(
@@ -112,7 +86,7 @@ int main(int argc, char** argv) {
     };
     auto next_int = [&](long long* out) {
       const char* v = next();
-      if (!ParseInt(v, out)) {
+      if (!tools::ParseInt(v, out)) {
         std::fprintf(stderr, "error: %s needs an integer argument\n",
                      arg.c_str());
         std::exit(2);
@@ -123,11 +97,22 @@ int main(int argc, char** argv) {
     } else if (arg == "--entities") {
       if (const char* v = next()) entities_path = v;
     } else if (arg == "--levels") {
-      if (const char* v = next()) levels = ParseLevels(v);
+      const char* v = next();
+      if (v == nullptr || !tools::ParseIntList(v, &levels)) {
+        std::fprintf(stderr,
+                     "error: --levels needs a comma-separated integer list\n");
+        std::exit(2);
+      }
     } else if (arg == "--min-support") {
       next_int(&min_support);
     } else if (arg == "--seed") {
-      if (const char* v = next()) seed = std::strtoull(v, nullptr, 10);
+      unsigned long long v = 0;
+      if (!tools::ParseUInt(next(), &v)) {
+        std::fprintf(stderr,
+                     "error: --seed needs a non-negative integer argument\n");
+        std::exit(2);
+      }
+      seed = v;
     } else if (arg == "--threads") {
       long long v = 0;
       next_int(&v);

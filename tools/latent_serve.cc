@@ -1,0 +1,380 @@
+// latent_serve: command-line query server over a mined hierarchy.
+//
+//   latent_serve --corpus docs.txt [--entities links.tsv]
+//                [--tree tree.bin | --levels 5,3 --seed 42]
+//                [--threads N] [--cache-mb N] [--cache-shards N]
+//                [--top-k N] [--deadline-ms N]
+//                [--requests FILE] [--metrics-json FILE] [--stem]
+//
+// Loads a corpus and either a serialized hierarchy artifact (--tree, as
+// written by latent_mine --save) or mines one in-process, builds an
+// immutable serve::HierarchyIndex snapshot, and answers queries through a
+// serve::QueryEngine — batched from a request file (--requests, one query
+// per line) or interactively from a stdin REPL. Query grammar, one per
+// line ('#' starts a comment):
+//
+//   lookup PATH            full topic view, e.g. `lookup o/1/2`
+//   search WORDS...        top-k phrases matching the words
+//   entity NAME            top-k topics of an entity ("type:name" or a
+//                          unique bare name), e.g. `entity author:smith`
+//   subtree PATH [DEPTH]   pre-order walk DEPTH levels below PATH
+//   quit                   end the REPL
+//
+// Exit codes follow latent_mine: 0 ok (per-query errors are reported in
+// the output, not the exit code), 1 runtime error, 2 usage error.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/latent.h"
+#include "common/retry.h"
+#include "data/io.h"
+#include "flags.h"
+#include "serve/engine.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: latent_serve --corpus FILE [--entities FILE] [--tree FILE]\n"
+      "                    [--levels 5,3] [--min-support N] [--seed N]\n"
+      "                    [--threads N] [--cache-mb N] [--cache-shards N]\n"
+      "                    [--top-k N] [--deadline-ms N] [--requests FILE]\n"
+      "                    [--metrics-json FILE] [--stem]\n"
+      "  --tree FILE          serialized hierarchy (latent_mine --save);\n"
+      "                       without it the hierarchy is mined in-process\n"
+      "                       from --corpus using --levels/--min-support/\n"
+      "                       --seed (latent_mine defaults)\n"
+      "  --threads N          worker threads for batch fan-out and index\n"
+      "                       building (0 = all cores, 1 = serial; the\n"
+      "                       answers are byte-identical either way)\n"
+      "  --cache-mb N         result-cache budget in MiB (default 64;\n"
+      "                       0 disables the cache — answers unchanged)\n"
+      "  --cache-shards N     LRU shard count (default 8)\n"
+      "  --top-k N            default result count per query (default 10)\n"
+      "  --deadline-ms N      per-query deadline (default 0 = none)\n"
+      "  --requests FILE      answer the queries in FILE (one per line,\n"
+      "                       '#' comments) and exit; without it, a stdin\n"
+      "                       REPL\n"
+      "  --metrics-json FILE  dump every serve.* metric (queries, cache\n"
+      "                       hits/evictions, latency histogram) as JSON\n"
+      "                       to FILE on exit; see docs/METRICS.md\n");
+  return 2;
+}
+
+// Parses one request line; empty/comment lines return false with an empty
+// error, malformed lines return false with a message.
+bool ParseRequestLine(const std::string& line, latent::serve::Request* req,
+                      std::string* err) {
+  err->clear();
+  size_t begin = line.find_first_not_of(" \t\r");
+  if (begin == std::string::npos || line[begin] == '#') return false;
+  size_t end = line.find_last_not_of(" \t\r");
+  const std::string trimmed = line.substr(begin, end - begin + 1);
+  const size_t space = trimmed.find_first_of(" \t");
+  const std::string cmd = trimmed.substr(0, space);
+  std::string rest;
+  if (space != std::string::npos) {
+    const size_t arg_begin = trimmed.find_first_not_of(" \t", space);
+    if (arg_begin != std::string::npos) rest = trimmed.substr(arg_begin);
+  }
+  req->k = -1;
+  if (cmd == "lookup") {
+    req->kind = latent::serve::RequestKind::kLookup;
+  } else if (cmd == "search") {
+    req->kind = latent::serve::RequestKind::kSearch;
+  } else if (cmd == "entity") {
+    req->kind = latent::serve::RequestKind::kEntity;
+  } else if (cmd == "subtree") {
+    req->kind = latent::serve::RequestKind::kSubtree;
+    const size_t sep = rest.find_first_of(" \t");
+    if (sep != std::string::npos) {
+      const size_t depth_begin = rest.find_first_not_of(" \t", sep);
+      long long depth = 0;
+      if (depth_begin == std::string::npos ||
+          !latent::tools::ParseInt(rest.c_str() + depth_begin, &depth) ||
+          depth < 0) {
+        *err = "subtree depth must be a non-negative integer";
+        return false;
+      }
+      req->k = static_cast<int>(depth);
+      rest = rest.substr(0, rest.find_last_not_of(" \t", sep) + 1);
+    }
+  } else {
+    *err = "unknown command \"" + cmd +
+           "\" (expected lookup/search/entity/subtree)";
+    return false;
+  }
+  if (rest.empty()) {
+    *err = cmd + " needs an argument";
+    return false;
+  }
+  req->arg = std::move(rest);
+  return true;
+}
+
+void PrintResponse(const std::string& line,
+                   const latent::serve::Response& resp) {
+  std::printf("= %s\n", line.c_str());
+  if (resp.code != latent::StatusCode::kOk) {
+    std::printf("error: %s\n", resp.message.c_str());
+  } else if (resp.text.empty()) {
+    std::printf("(no results)\n");
+  } else {
+    std::printf("%s", resp.text.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace latent;
+  std::string corpus_path, entities_path, tree_path, requests_path;
+  std::string metrics_json_path;
+  std::vector<int> levels = {5, 3};
+  long long min_support = 5;
+  uint64_t seed = 42;
+  int num_threads = 0;
+  long long cache_mb = 64;
+  long long cache_shards = 8;
+  long long top_k = 10;
+  long long deadline_ms = 0;
+  bool stem = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    auto next_int = [&](long long* out) {
+      const char* v = next();
+      if (!tools::ParseInt(v, out)) {
+        std::fprintf(stderr, "error: %s needs an integer argument\n",
+                     arg.c_str());
+        std::exit(2);
+      }
+    };
+    if (arg == "--corpus") {
+      if (const char* v = next()) corpus_path = v;
+    } else if (arg == "--entities") {
+      if (const char* v = next()) entities_path = v;
+    } else if (arg == "--tree") {
+      if (const char* v = next()) tree_path = v;
+    } else if (arg == "--levels") {
+      const char* v = next();
+      if (v == nullptr || !tools::ParseIntList(v, &levels)) {
+        std::fprintf(stderr,
+                     "error: --levels needs a comma-separated integer list\n");
+        return 2;
+      }
+    } else if (arg == "--min-support") {
+      next_int(&min_support);
+    } else if (arg == "--seed") {
+      unsigned long long v = 0;
+      if (!tools::ParseUInt(next(), &v)) {
+        std::fprintf(stderr,
+                     "error: --seed needs a non-negative integer argument\n");
+        return 2;
+      }
+      seed = v;
+    } else if (arg == "--threads") {
+      long long v = 0;
+      next_int(&v);
+      num_threads = static_cast<int>(v);
+    } else if (arg == "--cache-mb") {
+      next_int(&cache_mb);
+    } else if (arg == "--cache-shards") {
+      next_int(&cache_shards);
+    } else if (arg == "--top-k") {
+      next_int(&top_k);
+    } else if (arg == "--deadline-ms") {
+      next_int(&deadline_ms);
+    } else if (arg == "--requests") {
+      if (const char* v = next()) requests_path = v;
+    } else if (arg == "--metrics-json") {
+      if (const char* v = next()) metrics_json_path = v;
+    } else if (arg == "--stem") {
+      stem = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (corpus_path.empty()) return Usage();
+
+  text::TokenizeOptions topt;
+  topt.stem = stem;
+  auto corpus_or = data::LoadCorpusFromFile(corpus_path, topt);
+  if (!corpus_or.ok()) {
+    std::fprintf(stderr, "error: %s\n", corpus_or.status().message().c_str());
+    return 1;
+  }
+  const text::Corpus& corpus = corpus_or.value();
+  std::fprintf(stderr, "loaded %d docs, %d unique words\n", corpus.num_docs(),
+               corpus.vocab_size());
+
+  data::EntityAttachments attachments;
+  bool have_entities = false;
+  if (!entities_path.empty()) {
+    auto loaded = data::LoadEntityAttachments(entities_path, corpus.num_docs());
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n", loaded.status().message().c_str());
+      return 1;
+    }
+    attachments = std::move(loaded.value());
+    have_entities = true;
+    std::fprintf(stderr, "loaded %zu entity types\n",
+                 attachments.type_names.size());
+  }
+
+  exec::ExecOptions eopt;
+  eopt.num_threads = num_threads;
+  exec::Executor ex(eopt);
+
+  serve::IndexOptions iopt;
+  if (have_entities) {
+    iopt.namer = [&corpus, &attachments](int type, int id) -> std::string {
+      if (type == 0) {
+        if (id < corpus.vocab_size()) return corpus.vocab().Token(id);
+      } else if (type - 1 < static_cast<int>(attachments.entity_names.size())) {
+        const text::Vocabulary& names = attachments.entity_names[type - 1];
+        if (id < names.size()) return names.Token(id);
+      }
+      std::string fallback = "#";
+      fallback += std::to_string(id);
+      return fallback;
+    };
+  }
+
+  phrase::MinerOptions miner;
+  miner.min_support = min_support;
+
+  serve::HierarchyIndex index;
+  if (!tree_path.empty()) {
+    // Serving an artifact: re-mine the phrase surface over the corpus the
+    // tree was mined from, then snapshot.
+    StatusOr<std::string> blob = data::ReadFile(tree_path);
+    if (!blob.ok()) {
+      std::fprintf(stderr, "error: %s\n", blob.status().message().c_str());
+      return 1;
+    }
+    StatusOr<serve::HierarchyIndex> loaded =
+        serve::HierarchyIndex::Load(blob.value(), corpus, miner, iopt, &ex);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n", loaded.status().message().c_str());
+      return 1;
+    }
+    index = std::move(loaded.value());
+  } else {
+    api::PipelineOptions opt;
+    opt.build.levels_k = levels;
+    opt.build.max_depth = static_cast<int>(levels.size());
+    opt.build.cluster.seed = seed;
+    opt.miner.min_support = min_support;
+    opt.exec.num_threads = num_threads;
+    api::PipelineInput input(
+        corpus,
+        api::EntitySchema(attachments.type_names, attachments.TypeSizes()),
+        attachments.entity_docs);
+    StatusOr<api::MinedHierarchy> mined = api::Mine(input, opt);
+    if (!mined.ok()) {
+      std::fprintf(stderr, "error: %s\n", mined.status().message().c_str());
+      return 1;
+    }
+    StatusOr<serve::HierarchyIndex> built = mined.value().MakeIndex(iopt);
+    if (!built.ok()) {
+      std::fprintf(stderr, "error: %s\n", built.status().message().c_str());
+      return 1;
+    }
+    index = std::move(built.value());
+  }
+  std::fprintf(stderr, "index ready: %d topics, %d phrases, %d types\n",
+               index.num_topics(), index.num_phrases(), index.num_types());
+
+  obs::Registry metrics;
+  serve::QueryOptions qopt;
+  qopt.default_k = static_cast<int>(top_k);
+  qopt.deadline_ms = deadline_ms;
+  qopt.cache_bytes = cache_mb > 0 ? cache_mb << 20 : 0;
+  qopt.cache_shards = static_cast<int>(cache_shards);
+  if (!metrics_json_path.empty()) qopt.metrics = &metrics;
+  StatusOr<std::unique_ptr<serve::QueryEngine>> engine_or =
+      serve::QueryEngine::Create(std::move(index), qopt, &ex);
+  if (!engine_or.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 engine_or.status().message().c_str());
+    return 2;
+  }
+  const serve::QueryEngine& engine = *engine_or.value();
+
+  int exit_code = 0;
+  if (!requests_path.empty()) {
+    StatusOr<std::string> file = data::ReadFile(requests_path);
+    if (!file.ok()) {
+      std::fprintf(stderr, "error: %s\n", file.status().message().c_str());
+      return 1;
+    }
+    std::vector<std::string> lines;
+    std::vector<serve::Request> batch;
+    std::string line;
+    int lineno = 0;
+    for (size_t i = 0; i <= file.value().size(); ++i) {
+      if (i < file.value().size() && file.value()[i] != '\n') {
+        line.push_back(file.value()[i]);
+        continue;
+      }
+      ++lineno;
+      serve::Request req;
+      std::string err;
+      if (ParseRequestLine(line, &req, &err)) {
+        lines.push_back(line);
+        batch.push_back(std::move(req));
+      } else if (!err.empty()) {
+        std::fprintf(stderr, "error: %s:%d: %s\n", requests_path.c_str(),
+                     lineno, err.c_str());
+        return 2;
+      }
+      line.clear();
+    }
+    const std::vector<serve::Response> responses = engine.RunBatch(batch);
+    for (size_t i = 0; i < responses.size(); ++i) {
+      PrintResponse(lines[i], responses[i]);
+    }
+    std::fprintf(stderr, "answered %zu queries\n", responses.size());
+  } else {
+    // Stdin REPL: one query per line, answers to stdout, `quit` ends.
+    char buf[4096];
+    std::fprintf(stderr, "ready (lookup/search/entity/subtree, quit ends)\n");
+    while (std::fgets(buf, sizeof(buf), stdin) != nullptr) {
+      std::string line(buf);
+      while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+        line.pop_back();
+      }
+      if (line == "quit" || line == "exit") break;
+      serve::Request req;
+      std::string err;
+      if (!ParseRequestLine(line, &req, &err)) {
+        if (!err.empty()) std::fprintf(stderr, "error: %s\n", err.c_str());
+        continue;
+      }
+      PrintResponse(line, engine.Run(req));
+      std::fflush(stdout);
+    }
+  }
+
+  if (!metrics_json_path.empty()) {
+    const io::RetryPolicy retry;
+    Status s = io::WithRetry(retry, [&] {
+      return data::WriteFile(metrics_json_path, metrics.ToJson());
+    });
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.message().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s\n", metrics_json_path.c_str());
+  }
+  return exit_code;
+}
