@@ -107,7 +107,7 @@ int main() {
     data::LdaDataset smooth = make(0.8, 992);
 
     auto run_strod = [&](const data::LdaDataset& ds) {
-      strod::StrodOptions opt;
+      core::SpectralOptions opt;
       opt.num_topics = 4;
       opt.seed = 3;
       return MatchedL1Error(

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "ckpt/checkpoint.h"
+#include "strod/spectral_backend.h"
 
 namespace latent::api {
 
@@ -44,6 +45,18 @@ uint64_t CheckpointFingerprint(const PipelineInput& input,
     << static_cast<int>(c.weight_mode) << " " << c.max_iters << " " << c.tol
     << " " << c.restarts << " " << c.seed << " " << c.alpha_update_every
     << " " << c.rho_init_concentration << " " << c.max_em_retries;
+  // The inference backend shapes every fit, so switching backends (or any
+  // spectral knob the builder consumes) must invalidate old snapshots.
+  // SpectralOptions::num_topics and ::seed are excluded: the pipeline
+  // overrides both per node (levels_k / path-derived seeds).
+  const core::InferenceOptions& inf = options.inference;
+  const core::SpectralOptions& sp = inf.spectral;
+  s << "\ninference " << static_cast<int>(inf.backend) << " "
+    << inf.auto_min_docs << " | " << sp.alpha0 << " " << sp.learn_alpha0
+    << " " << sp.power_restarts << " " << sp.power_iters << " "
+    << sp.oversample << " " << sp.subspace_iters << " " << sp.split_em_iters
+    << " " << sp.split_min_count << " " << sp.split_min_doc_length << " "
+    << sp.min_docs;
   return ckpt::Fnv1a64(s.str());
 }
 }  // namespace
@@ -90,6 +103,55 @@ Status PipelineOptions::Validate() const {
   }
   if (c.alpha_update_every < 1) {
     return Status::InvalidArgument("cluster.alpha_update_every must be >= 1");
+  }
+  if (inference.auto_min_docs < 1) {
+    return Status::InvalidArgument(Sprintf2(
+        "inference.auto_min_docs must be >= 1", inference.auto_min_docs));
+  }
+  const core::SpectralOptions& sp = inference.spectral;
+  if (sp.num_topics < 1) {
+    return Status::InvalidArgument(
+        Sprintf2("inference.spectral.num_topics must be >= 1",
+                 sp.num_topics));
+  }
+  if (!(sp.alpha0 > 0.0)) {
+    return Status::InvalidArgument("inference.spectral.alpha0 must be > 0");
+  }
+  if (sp.power_restarts < 1) {
+    return Status::InvalidArgument(
+        Sprintf2("inference.spectral.power_restarts must be >= 1",
+                 sp.power_restarts));
+  }
+  if (sp.power_iters < 1) {
+    return Status::InvalidArgument(Sprintf2(
+        "inference.spectral.power_iters must be >= 1", sp.power_iters));
+  }
+  if (sp.oversample < 0) {
+    return Status::InvalidArgument(
+        Sprintf2("inference.spectral.oversample must be >= 0",
+                 sp.oversample));
+  }
+  if (sp.subspace_iters < 0) {
+    return Status::InvalidArgument(
+        Sprintf2("inference.spectral.subspace_iters must be >= 0",
+                 sp.subspace_iters));
+  }
+  if (sp.split_em_iters < 1) {
+    return Status::InvalidArgument(
+        Sprintf2("inference.spectral.split_em_iters must be >= 1",
+                 sp.split_em_iters));
+  }
+  if (sp.split_min_count < 0.0) {
+    return Status::InvalidArgument(
+        "inference.spectral.split_min_count must be >= 0");
+  }
+  if (sp.split_min_doc_length < 0.0) {
+    return Status::InvalidArgument(
+        "inference.spectral.split_min_doc_length must be >= 0");
+  }
+  if (sp.min_docs < 1) {
+    return Status::InvalidArgument(
+        Sprintf2("inference.spectral.min_docs must be >= 1", sp.min_docs));
   }
   if (miner.min_support < 1) {
     return Status::InvalidArgument(
@@ -344,10 +406,30 @@ StatusOr<MinedHierarchy> Mine(const PipelineInput& input,
     }
   }
 
+  // Inference plan: a non-EM backend threads per-document evidence down
+  // the tree (split fractionally among subtopics at each level) and
+  // dispatches node fits to the spectral backend. The default kEm
+  // configuration passes no plan, preserving the historical EM-only build
+  // bit for bit — and skipping the evidence extraction entirely.
+  core::NodeEvidence root_evidence;
+  std::unique_ptr<strod::SpectralBackend> spectral;
+  core::InferencePlan plan;
+  const core::InferencePlan* plan_ptr = nullptr;
+  if (options.inference.backend != core::InferenceBackendKind::kEm) {
+    root_evidence = core::EvidenceFromCorpus(*input.corpus);
+    spectral = std::make_unique<strod::SpectralBackend>(
+        options.inference.spectral, &entity_docs);
+    plan.options = options.inference;
+    plan.spectral = spectral.get();
+    plan.root_evidence = &root_evidence;
+    plan.word_type = 0;
+    plan_ptr = &plan;
+  }
+
   StatusOr<core::TopicHierarchy> tree = [&] {
     LATENT_OBS_SPAN(span, obs::RegistryOf(ob), "build");
     return core::TryBuildHierarchy(net.value(), options.build, ex, rc,
-                                   checkpointer.get(), ob);
+                                   checkpointer.get(), ob, plan_ptr);
   }();
   if (!tree.ok()) return tree.status();
   // Final snapshot: a bounded run that stopped mid-build leaves its whole

@@ -32,6 +32,15 @@ struct PipelineOptions {
   /// Hierarchy shape + EM knobs (levels_k, max_depth, cluster seed/
   /// restarts/tolerance/model selection — see core/builder.h).
   core::BuildOptions build;
+  /// Which backend fits the per-node topic models (see core/inference.h):
+  /// kEm (default) is the CATHYHIN link-clustering EM; kSpectral is the
+  /// STROD moment-tensor inference of Chapter 7 (orders of magnitude
+  /// faster on large nodes); kAuto picks spectral for nodes with at least
+  /// inference.auto_min_docs usable documents and EM below that. Every
+  /// backend honors the full pipeline contract — thread-count-invariant
+  /// results, run control, checkpoint/resume (the fingerprint covers the
+  /// backend, so switching invalidates old snapshots), and obs metrics.
+  core::InferenceOptions inference;
   /// Frequent-phrase mining thresholds (min_support, max_len).
   phrase::MinerOptions miner;
   /// Phrase-ranking criteria weights (popularity/purity/concordance/

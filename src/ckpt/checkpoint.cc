@@ -17,7 +17,9 @@ namespace latent::ckpt {
 
 namespace {
 
-constexpr char kSnapshotMagic[] = "latent-ckpt-v1";
+// v2 added the inference-backend tag and the recovered Dirichlet prior to
+// every fit record; v1 snapshots are rejected wholesale (clean restart).
+constexpr char kSnapshotMagic[] = "latent-ckpt-v2";
 constexpr char kManifestMagic[] = "latent-ckpt-manifest-v1";
 constexpr char kManifestFile[] = "MANIFEST";
 
@@ -120,14 +122,18 @@ std::string Checkpointer::SerializeFits() const {
   for (const auto& [path, fit] : merged) {
     const core::ClusterResult& m = fit->model;
     out << path << " " << fit->level << " " << HexU64(m.seed_used) << " "
-        << m.k << " " << (m.background ? 1 : 0) << " " << m.log_likelihood
-        << " " << m.bic_score << " " << m.rho_bg << "\n";
+        << m.k << " " << (m.background ? 1 : 0) << " "
+        << static_cast<int>(m.backend) << " " << m.log_likelihood << " "
+        << m.bic_score << " " << m.rho_bg << "\n";
     for (int z = 0; z < m.k; ++z) {
       out << (z ? " " : "") << m.rho[z];
     }
     out << "\n";
     out << m.alpha.size();
     for (double a : m.alpha) out << " " << a;
+    out << "\n";
+    out << m.dirichlet_alpha.size();
+    for (double a : m.dirichlet_alpha) out << " " << a;
     out << "\n";
     for (int z = 0; z < m.k; ++z) {
       for (size_t x = 0; x < type_sizes_.size(); ++x) {
@@ -169,14 +175,17 @@ Status Checkpointer::ParseFits(const std::string& payload,
     SavedFit fit;
     core::ClusterResult& m = fit.model;
     int background = 0;
-    in >> path >> fit.level >> seed_hex >> m.k >> background >>
+    int backend = 0;
+    in >> path >> fit.level >> seed_hex >> m.k >> background >> backend >>
         m.log_likelihood >> m.bic_score >> m.rho_bg;
     if (!in || path.empty() || fit.level < 0 || m.k < 1 || m.k > kMaxK ||
         (background != 0 && background != 1) ||
+        (backend != 0 && backend != 1) ||
         !ParseHexU64(seed_hex, &m.seed_used)) {
       return Status::InvalidArgument("bad snapshot fit header");
     }
     m.background = background == 1;
+    m.backend = static_cast<core::FitBackend>(backend);
     m.rho.resize(m.k);
     for (int z = 0; z < m.k; ++z) {
       in >> m.rho[z];
@@ -189,6 +198,15 @@ Status Checkpointer::ParseFits(const std::string& payload,
     m.alpha.resize(num_alpha);
     for (size_t a = 0; a < num_alpha; ++a) {
       in >> m.alpha[a];
+    }
+    size_t num_dirichlet = 0;
+    in >> num_dirichlet;
+    if (!in || num_dirichlet > static_cast<size_t>(kMaxK)) {
+      return Status::InvalidArgument("bad snapshot dirichlet count");
+    }
+    m.dirichlet_alpha.resize(num_dirichlet);
+    for (size_t a = 0; a < num_dirichlet; ++a) {
+      in >> m.dirichlet_alpha[a];
     }
     if (!in) return Status::InvalidArgument("truncated snapshot fit");
     m.phi.assign(m.k, std::vector<std::vector<double>>(type_sizes_.size()));

@@ -16,8 +16,13 @@
 //                           ...
 //   <dir>/ckpt-<gen>.ckpt one snapshot, framed like the hierarchy v2
 //                         envelope:
-//                           latent-ckpt-v1 <gen> <fingerprint-hex>
+//                           latent-ckpt-v2 <gen> <fingerprint-hex>
 //                             <payload-bytes> <fnv1a64-hex>\n<payload>
+//
+// Snapshot v2 extends every fit record with the inference backend that
+// produced it (em = 0, spectral = 1) and the recovered Dirichlet prior
+// used for spectral document splitting; v1 snapshots fail the magic check
+// and degrade to a clean restart.
 //
 // Load() walks the manifest newest-generation-first and takes the first
 // snapshot whose byte length, checksum, embedded generation, and options

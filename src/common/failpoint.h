@@ -22,6 +22,9 @@
 //                      write of the temp file (destination stays intact)
 //   em.nan             core EM iteration — poison the log-likelihood with
 //                      NaN (exercises divergence detection + seed retry)
+//   spectral.nan       strod tensor power method — poison the leading
+//                      tensor eigenvalue with NaN (exercises the spectral
+//                      backend's divergence detection + seed retry)
 //   deserialize.alloc  core::DeserializeHierarchy — allocation-style
 //                      failure before the phi buffers are built
 //   ckpt.write         ckpt::Checkpointer — fail writing a snapshot payload

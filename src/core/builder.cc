@@ -1,5 +1,6 @@
 #include "core/builder.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -29,13 +30,16 @@ struct BuiltNode {
 };
 
 // Shared build-wide state: the run context bounding the build, the fit
-// cache backing checkpoint/resume, whether any subtree was abandoned
-// (partial result), and the first hard error (EM divergence) to surface.
+// cache backing checkpoint/resume, the inference plan (null = EM only),
+// whether any subtree was abandoned (partial result), and the first hard
+// error (EM/spectral divergence) to surface.
 struct BuildState {
   exec::Executor* ex = nullptr;
   const run::RunContext* ctx = nullptr;
   FitCache* cache = nullptr;
   const obs::Scope* obs = nullptr;
+  const InferencePlan* plan = nullptr;
+  EmBackend em;
   std::atomic<bool> partial{false};
   std::mutex mu;
   Status error;
@@ -50,6 +54,31 @@ struct BuildState {
   }
 };
 
+// Which backend fits the node holding `evidence`. Deterministic in the
+// node's evidence (itself a pure function of options and the parent
+// chain), so thread count and resume cannot change the choice. Under
+// kAuto, document evidence only shrinks down the tree: once a subtree
+// drops below auto_min_docs it switches to EM and stays there.
+InferenceBackend* ChooseBackend(BuildState* state,
+                                const NodeEvidence* evidence) {
+  if (state->plan == nullptr || state->plan->spectral == nullptr) {
+    return &state->em;
+  }
+  switch (state->plan->options.backend) {
+    case InferenceBackendKind::kEm:
+      return &state->em;
+    case InferenceBackendKind::kSpectral:
+      return state->plan->spectral;
+    case InferenceBackendKind::kAuto: {
+      const int usable = evidence != nullptr ? UsableDocCount(*evidence) : 0;
+      return usable >= state->plan->options.auto_min_docs
+                 ? state->plan->spectral
+                 : &state->em;
+    }
+  }
+  return &state->em;
+}
+
 // Seed salt for the topic reached from its parent's salt via child index z.
 // Derived from the PATH rather than the (build-order-dependent) node id so
 // sibling subtrees can be expanded concurrently yet reproducibly; the root
@@ -61,8 +90,11 @@ uint64_t ChildSalt(uint64_t salt, int z) {
 // Splits the topic whose network is `net` and recurses; sibling subtrees
 // are dispatched as independent pool tasks. `path` is the node's tree path
 // ("o", "o/1", ...) — the durable key under which its fit is cached.
-void Expand(const hin::HeteroNetwork& net, BuiltNode* node, int level,
-            uint64_t salt, const std::string& path,
+// `evidence` is the node's fractional document evidence (null outside
+// document-threading plans; see builder.h).
+void Expand(const hin::HeteroNetwork& net, const NodeEvidence* evidence,
+            BuiltNode* node, int level, uint64_t salt,
+            const std::string& path,
             const std::vector<std::vector<double>>& parent_phi,
             const BuildOptions& options, BuildState* state) {
   if (level >= options.max_depth) return;
@@ -81,20 +113,31 @@ void Expand(const hin::HeteroNetwork& net, BuiltNode* node, int level,
   ClusterOptions copt = options.cluster;
   copt.seed = options.cluster.seed + salt * 104729;
 
-  // A cached fit replays the recorded model instead of re-running EM. The
-  // recorded seed must match the one this node would fit with (SelectAndFit
-  // bumps the base seed by the chosen k), else the entry predates a seed or
-  // derivation change and is stale; parent_phi is reinstated from the live
-  // parent — it is bit-identical to what the original fit saw, since the
-  // whole parent chain is itself replayed or re-derived.
+  InferenceBackend* backend = ChooseBackend(state, evidence);
+  if (backend->kind() == FitBackend::kSpectral) {
+    // Third moments need a minimum of document evidence; below it the node
+    // stays a leaf (a deterministic structural decision, not an error).
+    const int min_docs =
+        std::max(1, state->plan->options.spectral.min_docs);
+    if (evidence == nullptr || UsableDocCount(*evidence) < min_docs) return;
+  }
+
+  // A cached fit replays the recorded model instead of re-running
+  // inference. The recorded backend and seed must match the ones this node
+  // would fit with (selection bumps the base seed by the chosen k; the
+  // spectral backend derives from a tagged seed), else the entry predates
+  // an options, seed, or derivation change and is stale; parent_phi is
+  // reinstated from the live parent — it is bit-identical to what the
+  // original fit saw, since the whole parent chain is itself replayed or
+  // re-derived.
   ClusterResult model;
   bool cached = false;
   if (state->cache != nullptr) {
     cached = state->cache->Lookup(path, &model);
+    if (cached && model.backend != backend->kind()) cached = false;
     if (cached) {
       const uint64_t expected_seed =
-          k > 0 ? copt.seed
-                : copt.seed + static_cast<uint64_t>(model.k) * 7919;
+          backend->ExpectedSeed(copt.seed, model.k, /*selected=*/k <= 0);
       if (model.seed_used != expected_seed) cached = false;
     }
     if (cached) model.parent_phi = parent_phi;
@@ -104,16 +147,31 @@ void Expand(const hin::HeteroNetwork& net, BuiltNode* node, int level,
     obs::TraceSpan fit_span(obs::RegistryOf(state->obs),
                             "build.fit.L" + std::to_string(level));
 #endif
-    if (k > 0) {
-      copt.num_topics = k;
-      model = FitCluster(net, parent_phi, copt, state->ex, state->ctx,
-                         state->obs);
-    } else {
-      model = SelectAndFit(net, parent_phi, copt, options.k_min,
-                           options.k_max, state->ex, state->ctx, state->obs);
+    FitRequest req;
+    req.net = &net;
+    req.evidence = evidence;
+    req.parent_phi = &parent_phi;
+    req.cluster = copt;
+    req.fixed_k = k;
+    req.k_min = options.k_min;
+    req.k_max = options.k_max;
+    req.level = level;
+    req.word_type = state->plan != nullptr ? state->plan->word_type : 0;
+    req.spectral =
+        state->plan != nullptr ? &state->plan->options.spectral : nullptr;
+    req.ex = state->ex;
+    req.ctx = state->ctx;
+    req.obs = state->obs;
+    StatusOr<ClusterResult> fit = backend->FitNode(req);
+    if (!fit.ok()) {
+      state->RecordError(fit.status());
+      return;
     }
+    model = std::move(fit.value());
     LATENT_OBS(if (model.k > 0) {
       obs::Count(state->obs, "build.fit.nodes");
+      obs::Count(state->obs, std::string("infer.") + backend->name() +
+                                 ".fits");
       obs::Observe(state->obs, "build.fit.ms", fit_span.ElapsedMs());
     });
   } else {
@@ -123,13 +181,6 @@ void Expand(const hin::HeteroNetwork& net, BuiltNode* node, int level,
   if (model.k == 0) {
     // No restart/candidate finished before the run stopped.
     state->partial.store(true, std::memory_order_relaxed);
-    return;
-  }
-  if (model.diverged) {
-    state->RecordError(Status::Internal(
-        "EM diverged (non-finite or degenerate parameters) at hierarchy "
-        "level " +
-        std::to_string(level) + " after seed-bumped retries"));
     return;
   }
   if (!cached && state->cache != nullptr &&
@@ -142,6 +193,22 @@ void Expand(const hin::HeteroNetwork& net, BuiltNode* node, int level,
     state->cache->Record(path, level, model);
   }
   node->rho_background = model.rho_bg;
+
+  // Document threading: a spectral node's evidence is fractionally split
+  // among its subtopics by the fitted model (Section 7.2). The mixtures are
+  // recomputed from the model even on a cache hit — InferEvidenceMixtures
+  // is deterministic in the model, and checkpointed models round-trip bit
+  // for bit, so a resumed build splits documents identically. EM nodes
+  // thread no evidence down: under kAuto the subtree stays EM (document
+  // counts only shrink), and pure-EM plans never consume evidence.
+  std::vector<std::vector<double>> theta;
+  const bool split_docs = evidence != nullptr &&
+                          model.backend == FitBackend::kSpectral &&
+                          level + 1 < options.max_depth;
+  if (split_docs) {
+    theta = InferEvidenceMixtures(*evidence, model, state->plan->word_type,
+                                  state->plan->options.spectral.split_em_iters);
+  }
 
   node->children.resize(model.k);
   LATENT_OBS(obs::Count(state->obs,
@@ -160,9 +227,17 @@ void Expand(const hin::HeteroNetwork& net, BuiltNode* node, int level,
     child->phi = model.phi[z];
     child->network_weight = sub.TotalWeight();
     child->filled = true;
+    NodeEvidence child_evidence;
+    if (split_docs) {
+      child_evidence = SplitEvidence(
+          *evidence, theta, model, z, state->plan->word_type,
+          state->plan->options.spectral.split_min_count,
+          state->plan->options.spectral.split_min_doc_length);
+    }
     // Child paths mirror TopicHierarchy::AddChild (1-based child index).
-    Expand(sub, child, level + 1, ChildSalt(salt, z),
-           path + "/" + std::to_string(z + 1), model.phi[z], options, state);
+    Expand(sub, split_docs ? &child_evidence : nullptr, child, level + 1,
+           ChildSalt(salt, z), path + "/" + std::to_string(z + 1),
+           model.phi[z], options, state);
   };
   if (state->ex != nullptr && state->ex->num_threads() > 1 && model.k > 1) {
     std::vector<std::function<void()>> tasks;
@@ -199,7 +274,7 @@ void Commit(BuiltNode* built, int node_id, TopicHierarchy* tree,
 StatusOr<TopicHierarchy> TryBuildHierarchy(
     const hin::HeteroNetwork& root_network, const BuildOptions& options,
     exec::Executor* ex, const run::RunContext* ctx, FitCache* cache,
-    const obs::Scope* obs) {
+    const obs::Scope* obs, const InferencePlan* plan) {
   TopicHierarchy tree(root_network.type_names(), root_network.type_sizes());
   tree.AddRoot(DegreeDistributions(root_network),
                root_network.TotalWeight());
@@ -208,9 +283,12 @@ StatusOr<TopicHierarchy> TryBuildHierarchy(
   state.ctx = ctx;
   state.cache = cache;
   state.obs = obs;
+  state.plan = plan;
   BuiltNode root;
   root.filled = true;
-  Expand(root_network, &root, 0, /*salt=*/0, /*path=*/"o",
+  const NodeEvidence* root_evidence =
+      plan != nullptr ? plan->root_evidence : nullptr;
+  Expand(root_network, root_evidence, &root, 0, /*salt=*/0, /*path=*/"o",
          tree.node(tree.root()).phi, options, &state);
   Status error = state.TakeError();
   if (!error.ok()) return error;

@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "core/clusterer.h"
 #include "core/hierarchy.h"
+#include "core/inference.h"
 #include "hin/network.h"
 
 namespace latent::core {
@@ -77,13 +78,28 @@ class FitCache {
 /// still produces the uninterrupted tree byte for byte.
 ///
 /// Observability: a non-null `obs` records build.fit.nodes / .cached
-/// counters, per-level fan-out counters (build.fanout.levelN), the
-/// build.fit.ms histogram, and per-level trace spans; the progress sink is
-/// ticked after every node fit. Observation only — never changes the tree.
+/// counters, per-backend fit counters (infer.<backend>.fits), per-level
+/// fan-out counters (build.fanout.levelN), the build.fit.ms histogram, and
+/// per-level trace spans; the progress sink is ticked after every node fit.
+/// Observation only — never changes the tree.
+///
+/// Inference backends: a null `plan` (or a plan with backend == kEm) runs
+/// the historical EM-only build bit for bit. A plan selecting the spectral
+/// backend threads the plan's root document evidence down the tree —
+/// fractionally split among a node's subtopics by the fitted model — and
+/// dispatches each node's fit to plan->spectral (or, under kAuto, to EM
+/// once the node's usable-document count falls below auto_min_docs; it
+/// then stays EM for the whole subtree, since document evidence only
+/// shrinks downward). A spectral node whose evidence has fewer than
+/// spectral.min_docs usable documents becomes a leaf. Cached fits are
+/// cross-checked against the backend (and its seed derivation) the node
+/// would fit with, so switching PipelineOptions::inference invalidates
+/// recorded fits instead of replaying them.
 StatusOr<TopicHierarchy> TryBuildHierarchy(
     const hin::HeteroNetwork& root_network, const BuildOptions& options,
     exec::Executor* ex = nullptr, const run::RunContext* ctx = nullptr,
-    FitCache* cache = nullptr, const obs::Scope* obs = nullptr);
+    FitCache* cache = nullptr, const obs::Scope* obs = nullptr,
+    const InferencePlan* plan = nullptr);
 
 /// Unbounded variant; CHECK-fails on EM divergence (historical behavior,
 /// kept for call sites that cannot handle a Status).

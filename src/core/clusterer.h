@@ -59,6 +59,14 @@ struct ClusterOptions {
   int max_em_retries = 2;
 };
 
+/// Which inference backend produced a fit. Declared here (rather than in
+/// core/inference.h) so ClusterResult can carry the tag without an include
+/// cycle; the values are stable because checkpointed fits record them.
+enum class FitBackend {
+  kEm = 0,
+  kSpectral = 1,
+};
+
 /// Fitted model for one topic node's network.
 struct ClusterResult {
   int k = 0;
@@ -88,6 +96,15 @@ struct ClusterResult {
   /// degenerate parameters); the fields above are then the last attempt's
   /// values and must not be trusted. Callers surface this as a Status.
   bool diverged = false;
+  /// Which backend produced this fit. Checkpointed along with seed_used so
+  /// a resume under a different PipelineOptions::inference configuration
+  /// marks the recorded fit stale instead of replaying it.
+  FitBackend backend = FitBackend::kEm;
+  /// Recovered per-subtopic Dirichlet concentrations (spectral backend
+  /// only; sums to alpha0). Used as the smoothing prior when inferring
+  /// per-document mixtures for the fractional document split — persisted
+  /// so a resumed build splits documents bit-identically.
+  std::vector<double> dirichlet_alpha;
 };
 
 /// Normalized weighted-degree distributions per node type; the default

@@ -1,0 +1,129 @@
+#include "core/inference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/math_util.h"
+
+namespace latent::core {
+
+StatusOr<ClusterResult> EmBackend::FitNode(const FitRequest& req) {
+  ClusterOptions copt = req.cluster;
+  ClusterResult model;
+  if (req.fixed_k > 0) {
+    copt.num_topics = req.fixed_k;
+    model = FitCluster(*req.net, *req.parent_phi, copt, req.ex, req.ctx,
+                       req.obs);
+  } else {
+    model = SelectAndFit(*req.net, *req.parent_phi, copt, req.k_min,
+                         req.k_max, req.ex, req.ctx, req.obs);
+  }
+  // k == 0 means run control stopped the fit before any restart/candidate
+  // finished: an Ok partial result, per the backend protocol.
+  if (model.k != 0 && model.diverged) {
+    return Status::Internal(
+        "EM diverged (non-finite or degenerate parameters) at hierarchy "
+        "level " +
+        std::to_string(req.level) + " after seed-bumped retries");
+  }
+  model.backend = FitBackend::kEm;
+  return model;
+}
+
+NodeEvidence EvidenceFromCorpus(const text::Corpus& corpus) {
+  NodeEvidence out;
+  out.docs.resize(corpus.num_docs());
+  out.source.resize(corpus.num_docs());
+  std::vector<int> sorted;
+  for (int d = 0; d < corpus.num_docs(); ++d) {
+    out.source[d] = d;
+    sorted = corpus.docs()[d].tokens;
+    std::sort(sorted.begin(), sorted.end());
+    SparseDoc& doc = out.docs[d];
+    for (size_t i = 0; i < sorted.size();) {
+      size_t j = i;
+      while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+      doc.counts.emplace_back(sorted[i], static_cast<double>(j - i));
+      i = j;
+    }
+    doc.length = static_cast<double>(sorted.size());
+  }
+  return out;
+}
+
+int UsableDocCount(const NodeEvidence& evidence) {
+  int n = 0;
+  for (const SparseDoc& d : evidence.docs) {
+    if (d.length >= 3.0) ++n;
+  }
+  return n;
+}
+
+std::vector<std::vector<double>> InferEvidenceMixtures(
+    const NodeEvidence& evidence, const ClusterResult& model, int word_type,
+    int em_iters) {
+  const int k = model.k;
+  std::vector<std::vector<double>> theta(
+      evidence.docs.size(), std::vector<double>(k, 1.0 / k));
+  std::vector<double> acc(k);
+  for (size_t d = 0; d < evidence.docs.size(); ++d) {
+    for (int it = 0; it < em_iters; ++it) {
+      std::fill(acc.begin(), acc.end(), 0.0);
+      for (const auto& [w, c] : evidence.docs[d].counts) {
+        double denom = 0.0;
+        for (int z = 0; z < k; ++z) {
+          denom += theta[d][z] * model.phi[z][word_type][w];
+        }
+        if (denom <= 0.0) continue;
+        for (int z = 0; z < k; ++z) {
+          acc[z] += c * theta[d][z] * model.phi[z][word_type][w] / denom;
+        }
+      }
+      for (int z = 0; z < k; ++z) {
+        const double prior =
+            z < static_cast<int>(model.dirichlet_alpha.size()) &&
+                    model.dirichlet_alpha[z] > 0
+                ? model.dirichlet_alpha[z]
+                : 1e-3;
+        acc[z] += prior;
+      }
+      theta[d] = acc;
+      NormalizeInPlace(&theta[d]);
+    }
+  }
+  return theta;
+}
+
+NodeEvidence SplitEvidence(const NodeEvidence& evidence,
+                           const std::vector<std::vector<double>>& theta,
+                           const ClusterResult& model, int z, int word_type,
+                           double min_count, double min_doc_length) {
+  const int k = model.k;
+  NodeEvidence sub;
+  sub.docs.reserve(evidence.docs.size());
+  sub.source.reserve(evidence.docs.size());
+  for (size_t d = 0; d < evidence.docs.size(); ++d) {
+    SparseDoc sd;
+    for (const auto& [w, c] : evidence.docs[d].counts) {
+      double denom = 0.0;
+      for (int z2 = 0; z2 < k; ++z2) {
+        denom += theta[d][z2] * model.phi[z2][word_type][w];
+      }
+      if (denom <= 0.0) continue;
+      double frac = theta[d][z] * model.phi[z][word_type][w] / denom;
+      double cc = c * frac;
+      if (cc > min_count) {
+        sd.counts.emplace_back(w, cc);
+        sd.length += cc;
+      }
+    }
+    if (sd.length >= min_doc_length) {
+      sub.docs.push_back(std::move(sd));
+      sub.source.push_back(evidence.source[d]);
+    }
+  }
+  return sub;
+}
+
+}  // namespace latent::core

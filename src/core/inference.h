@@ -1,0 +1,211 @@
+// The inference-backend seam of the hierarchy builder. A backend fits one
+// topic node's model — from the node's subnetwork and/or its (fractional)
+// document evidence, under a path-derived seed — and returns the same
+// ClusterResult artifact the EM path produces, so everything downstream
+// (subnetwork extraction, checkpointing, serving) is backend-agnostic.
+//
+// Two implementations exist:
+//  * EmBackend (here) — the CATHY/CATHYHIN link-clustering EM of Chapter 3,
+//    wrapping FitCluster/SelectAndFit.
+//  * strod::SpectralBackend (src/strod/spectral_backend.h) — the STROD
+//    moment-tensor inference of Chapter 7, orders of magnitude faster on
+//    large nodes.
+// The pipeline selects between them via InferenceOptions: a fixed backend,
+// or `auto`, which uses spectral inference on document-rich nodes and EM on
+// the sparse tail.
+#ifndef LATENT_CORE_INFERENCE_H_
+#define LATENT_CORE_INFERENCE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/clusterer.h"
+#include "hin/network.h"
+#include "text/corpus.h"
+
+namespace latent::core {
+
+/// A document as sparse (word id, count) pairs; counts may be fractional
+/// once the builder splits documents among a node's subtopics.
+struct SparseDoc {
+  std::vector<std::pair<int, double>> counts;
+  double length = 0.0;
+};
+
+/// Per-node document evidence: the (fractional) sub-corpus reaching a
+/// hierarchy node, plus each entry's original corpus document index (so
+/// entity attachments can be attributed at any depth).
+struct NodeEvidence {
+  std::vector<SparseDoc> docs;
+  /// source[d] = index of docs[d] in the original corpus.
+  std::vector<int> source;
+
+  bool empty() const { return docs.empty(); }
+};
+
+/// Which backend fits the per-node topic models.
+enum class InferenceBackendKind {
+  kEm = 0,        ///< CATHY/CATHYHIN link-clustering EM (Chapter 3).
+  kSpectral = 1,  ///< STROD moment-tensor inference (Chapter 7).
+  kAuto = 2,      ///< Spectral on document-rich nodes, EM below the
+                  ///< auto_min_docs threshold.
+};
+
+/// Knobs of the spectral (STROD) backend. Collapses the former
+/// strod::StrodOptions / StrodTreeOptions pair into the one options struct
+/// nested under PipelineOptions (strod.h keeps thin deprecated aliases for
+/// one release).
+struct SpectralOptions {
+  /// Topic count for standalone FitStrod calls; the pipeline overrides it
+  /// per node from levels_k / backend model selection.
+  int num_topics = 5;
+  /// Dirichlet concentration alpha0 = sum_z alpha_z.
+  double alpha0 = 1.0;
+  /// Learn alpha0 from a small grid by tensor-residual minimization.
+  bool learn_alpha0 = false;
+  /// Tensor power method: random restarts per factor and iterations each.
+  int power_restarts = 10;
+  int power_iters = 40;
+  /// Randomized eigendecomposition parameters.
+  int oversample = 8;
+  int subspace_iters = 4;
+  /// Seed for standalone FitStrod calls; the pipeline derives per-node
+  /// seeds from the node's PATH instead (see core/builder.h).
+  uint64_t seed = 42;
+  /// Multinomial EM steps when inferring per-document topic mixtures for
+  /// the fractional document split between levels.
+  int split_em_iters = 20;
+  /// Fractional counts below this are dropped from split sub-corpora.
+  double split_min_count = 1e-4;
+  /// Split documents shorter (in fractional tokens) than this are dropped.
+  double split_min_doc_length = 3.0;
+  /// A node with fewer usable documents than this is not split by the
+  /// spectral backend (it stays a leaf); third moments need a minimum of
+  /// evidence to be meaningful.
+  int min_docs = 8;
+};
+
+/// Backend selection + backend config, nested under
+/// api::PipelineOptions::inference.
+struct InferenceOptions {
+  InferenceBackendKind backend = InferenceBackendKind::kEm;
+  /// `auto` threshold: nodes with at least this many usable documents
+  /// (length >= 3, the third-moment requirement) are fitted spectrally;
+  /// below it, EM. Document counts only shrink down the tree, so once a
+  /// subtree switches to EM it stays EM.
+  int auto_min_docs = 256;
+  SpectralOptions spectral;
+};
+
+/// Everything a backend needs to fit one node. The network view and the
+/// document view describe the same node; EM consumes the network, the
+/// spectral backend consumes the documents (and attributes entity types
+/// through them).
+struct FitRequest {
+  const hin::HeteroNetwork* net = nullptr;
+  /// Fractional document evidence at this node; null/empty when the plan
+  /// does not thread documents (pure-EM builds).
+  const NodeEvidence* evidence = nullptr;
+  const std::vector<std::vector<double>>* parent_phi = nullptr;
+  /// Node-seeded cluster options (cluster.seed is already path-derived).
+  ClusterOptions cluster;
+  /// > 0: fixed branching factor. <= 0: the backend selects k in
+  /// [k_min, k_max] (EM by BIC, spectral by the M2 eigenvalue spectrum).
+  int fixed_k = 0;
+  int k_min = 2;
+  int k_max = 8;
+  /// Hierarchy level of the node being split (for error messages/spans).
+  int level = 0;
+  /// Collapsed-network node type of words (InferencePlan::word_type).
+  int word_type = 0;
+  const SpectralOptions* spectral = nullptr;
+  exec::Executor* ex = nullptr;
+  const run::RunContext* ctx = nullptr;
+  const obs::Scope* obs = nullptr;
+};
+
+/// One per-node inference implementation. Implementations must be
+/// thread-safe (sibling subtrees fit concurrently) and deterministic given
+/// the request (bit-identical results at every thread count).
+///
+/// Status protocol, end to end: a hard numerical failure that survived the
+/// backend's seed-bumped retries (the EM/spectral equivalent of
+/// ClusterOptions::max_em_retries) is an Internal Status. A fit cut short
+/// by run control returns Ok with model.k == 0 — the builder flags the
+/// tree partial and never records the truncated fit.
+class InferenceBackend {
+ public:
+  virtual ~InferenceBackend() = default;
+
+  /// Stable name used in metrics ("em", "spectral").
+  virtual const char* name() const = 0;
+  /// Tag recorded in ClusterResult::backend / checkpointed fits.
+  virtual FitBackend kind() const = 0;
+
+  /// The seed_used a completed fit of this backend records for a node whose
+  /// path-derived base seed is `seed`. `selected` is true when the backend
+  /// chose `chosen_k` itself (fixed_k <= 0); both backends bump the base
+  /// seed by chosen_k * 7919 in that case so a cached fit recorded under a
+  /// different branching factor (or backend) is detected as stale.
+  virtual uint64_t ExpectedSeed(uint64_t seed, int chosen_k,
+                                bool selected) const = 0;
+
+  virtual StatusOr<ClusterResult> FitNode(const FitRequest& req) = 0;
+};
+
+/// The default backend: CATHY/CATHYHIN link-clustering EM over the node's
+/// subnetwork (FitCluster / SelectAndFit). Stateless and thread-safe.
+class EmBackend : public InferenceBackend {
+ public:
+  const char* name() const override { return "em"; }
+  FitBackend kind() const override { return FitBackend::kEm; }
+  uint64_t ExpectedSeed(uint64_t seed, int chosen_k,
+                        bool selected) const override {
+    return selected ? seed + static_cast<uint64_t>(chosen_k) * 7919 : seed;
+  }
+  StatusOr<ClusterResult> FitNode(const FitRequest& req) override;
+};
+
+/// How the builder runs a non-default inference configuration: the options,
+/// the spectral backend instance (owned by the caller — api::Mine wires in
+/// a strod::SpectralBackend), and the root document evidence. A null plan
+/// (or a kEm plan) reproduces the historical EM-only build bit for bit.
+struct InferencePlan {
+  InferenceOptions options;
+  InferenceBackend* spectral = nullptr;
+  const NodeEvidence* root_evidence = nullptr;
+  /// Collapsed-network node type of words (0 in the standard collapse).
+  int word_type = 0;
+};
+
+/// Root evidence from a tokenized corpus: one sparse count vector per
+/// document, source = identity.
+NodeEvidence EvidenceFromCorpus(const text::Corpus& corpus);
+
+/// Documents usable for third-moment inference (length >= 3; shorter ones
+/// contribute only to lower moments). This is the count the `auto`
+/// threshold and the spectral min_docs gate are compared against.
+int UsableDocCount(const NodeEvidence& evidence);
+
+/// Per-document topic mixtures of `evidence` under a fitted model, via
+/// `em_iters` multinomial EM steps against phi[z][word_type], smoothed by
+/// the model's recovered Dirichlet prior (dirichlet_alpha; 1e-3 when
+/// absent). Deterministic: recomputing from a checkpointed model yields
+/// bit-identical mixtures, which the resume contract relies on.
+std::vector<std::vector<double>> InferEvidenceMixtures(
+    const NodeEvidence& evidence, const ClusterResult& model, int word_type,
+    int em_iters);
+
+/// Fractional sub-corpus of subtopic z: c_d^z(w) = c_d(w) * p(z | d, w)
+/// (Section 7.2). Counts below `min_count` and resulting documents shorter
+/// than `min_doc_length` are dropped.
+NodeEvidence SplitEvidence(const NodeEvidence& evidence,
+                           const std::vector<std::vector<double>>& theta,
+                           const ClusterResult& model, int z, int word_type,
+                           double min_count, double min_doc_length);
+
+}  // namespace latent::core
+
+#endif  // LATENT_CORE_INFERENCE_H_

@@ -33,7 +33,9 @@ void PreRegisterPipelineMetrics(Registry* r) {
         "em.retries", "exec.pool.tasks.run", "exec.pool.tasks.dropped",
         "retry.attempts", "retry.sleeps", "retry.giveups", "ckpt.lookup.hits",
         "ckpt.lookup.misses", "ckpt.records", "ckpt.flushes", "ckpt.bytes",
-        "ckpt.flush.failures", "ckpt.resume.fits"}) {
+        "ckpt.flush.failures", "ckpt.resume.fits", "infer.em.fits",
+        "infer.spectral.fits", "infer.spectral.iterations",
+        "infer.spectral.retries"}) {
     r->counter(name);
   }
   // Gauges.

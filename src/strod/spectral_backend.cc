@@ -1,0 +1,224 @@
+#include "strod/spectral_backend.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "common/math_util.h"
+
+namespace latent::strod {
+
+namespace {
+
+// Distinguishes a node's spectral seed stream from its EM stream: both
+// derive from the same path-derived cluster seed, so without a tag a fit
+// cache entry recorded by one backend could masquerade as the other's.
+constexpr uint64_t kSpectralSeedTag = 0x53504543ULL;  // "SPEC"
+
+// Seed for divergence-retry attempt `a` (attempt 0 = the base seed). Same
+// golden-ratio bump family the EM retry path uses.
+uint64_t AttemptSeed(uint64_t base, int attempt) {
+  if (attempt == 0) return base;
+  return base ^ (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(attempt));
+}
+
+bool AllFinite(const std::vector<double>& v) {
+  for (double x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+// Non-finite recovered parameters mean the tensor decomposition diverged
+// (ill-conditioned whitening or a degenerate power-method fixed point).
+bool Diverged(const StrodResult& r) {
+  if (!AllFinite(r.lambda) || !AllFinite(r.alpha)) return true;
+  for (const std::vector<double>& row : r.topic_word) {
+    if (!AllFinite(row)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+uint64_t SpectralBackend::ExpectedSeed(uint64_t seed, int chosen_k,
+                                       bool selected) const {
+  uint64_t base = seed ^ kSpectralSeedTag;
+  if (selected) base += static_cast<uint64_t>(chosen_k) * 7919;
+  return base;
+}
+
+StatusOr<core::ClusterResult> SpectralBackend::FitNode(
+    const core::FitRequest& req) {
+  const core::NodeEvidence& evidence = *req.evidence;
+  core::SpectralOptions opt =
+      req.spectral != nullptr ? *req.spectral : defaults_;
+  const int vocab_size = req.net->type_size(req.word_type);
+
+  // Topic count: fixed from levels_k, else read off the M2 spectrum under
+  // the untagged-but-shifted seed derivation EM's SelectAndFit would use,
+  // so selection stays a pure function of the node path.
+  int k = req.fixed_k;
+  if (k <= 0) {
+    core::SpectralOptions sel = opt;
+    sel.seed = req.cluster.seed ^ kSpectralSeedTag;
+    k = SelectTopicCount(evidence.docs, vocab_size, sel, req.k_min,
+                         req.k_max);
+  }
+  const uint64_t base_seed =
+      ExpectedSeed(req.cluster.seed, k, /*selected=*/req.fixed_k <= 0);
+  opt.num_topics = k;
+
+  StrodResult fit;
+  bool converged = false;
+  const int attempts = 1 + std::max(0, req.cluster.max_em_retries);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    opt.seed = AttemptSeed(base_seed, attempt);
+    bool stopped = false;
+    fit = FitStrod(evidence.docs, vocab_size, opt, req.ctx, req.obs,
+                   &stopped);
+    if (stopped) {
+      // Run control cut the fit short: Ok + k == 0, per the backend
+      // protocol (the builder flags the tree partial, records nothing).
+      return core::ClusterResult();
+    }
+    if (!Diverged(fit)) {
+      converged = true;
+      break;
+    }
+    if (attempt + 1 < attempts) {
+      LATENT_OBS(obs::Count(req.obs, "infer.spectral.retries"));
+    }
+  }
+  if (!converged) {
+    return Status::Internal(
+        "spectral inference diverged (non-finite recovered parameters) at "
+        "hierarchy level " +
+        std::to_string(req.level) + " after seed-bumped retries");
+  }
+
+  // Package the STROD fit as the common fit artifact. Every derived
+  // quantity is a deterministic function of the recovered model, so a
+  // checkpointed ClusterResult replays bit for bit.
+  core::ClusterResult model;
+  model.k = k;
+  model.background = false;
+  model.rho_bg = 0.0;
+  model.backend = core::FitBackend::kSpectral;
+  model.seed_used = base_seed;
+  model.dirichlet_alpha = fit.alpha;
+  model.parent_phi = *req.parent_phi;
+  model.alpha.assign(req.net->num_link_types(), 1.0);
+
+  // rho from the recovered Dirichlet weights (uniform if degenerate).
+  model.rho.assign(k, 1.0 / k);
+  const double alpha_sum = Sum(fit.alpha);
+  if (alpha_sum > 0.0) {
+    for (int z = 0; z < k; ++z) model.rho[z] = fit.alpha[z] / alpha_sum;
+  }
+
+  const int num_types = req.net->num_types();
+  model.phi.assign(k, std::vector<std::vector<double>>(num_types));
+  for (int z = 0; z < k; ++z) {
+    for (int x = 0; x < num_types; ++x) {
+      model.phi[z][x].assign(req.net->type_size(x), 0.0);
+    }
+    model.phi[z][req.word_type] = fit.topic_word[z];
+  }
+
+  // Entity attribution and data likelihood both flow through the
+  // per-document mixtures — the same deterministic computation the builder
+  // uses to split documents among the children.
+  const std::vector<std::vector<double>> theta = core::InferEvidenceMixtures(
+      evidence, model, req.word_type, opt.split_em_iters);
+  if (entity_docs_ != nullptr && num_types > 1 && req.word_type == 0) {
+    // Standard collapse layout: type 0 = term, type x >= 1 = entity type
+    // x - 1 of the EntityDoc attachments.
+    for (size_t d = 0; d < evidence.docs.size(); ++d) {
+      const int src = evidence.source[d];
+      if (src < 0 || src >= static_cast<int>(entity_docs_->size())) continue;
+      const hin::EntityDoc& ed = (*entity_docs_)[src];
+      const double weight = evidence.docs[d].length;
+      for (int x = 1; x < num_types; ++x) {
+        const int et = x - 1;
+        if (et >= static_cast<int>(ed.entities.size())) continue;
+        for (int e : ed.entities[et]) {
+          if (e < 0 || e >= req.net->type_size(x)) continue;
+          for (int z = 0; z < k; ++z) {
+            model.phi[z][x][e] += theta[d][z] * weight;
+          }
+        }
+      }
+    }
+    for (int z = 0; z < k; ++z) {
+      for (int x = 0; x < num_types; ++x) {
+        if (x == req.word_type) continue;
+        if (Sum(model.phi[z][x]) > 0.0) NormalizeInPlace(&model.phi[z][x]);
+      }
+    }
+  }
+
+  // Multinomial data log-likelihood of the evidence under (theta, phi) and
+  // a BIC-style score on the same scale the EM path reports, so model
+  // diagnostics stay comparable across backends.
+  double ll = 0.0;
+  double total_mass = 0.0;
+  for (size_t d = 0; d < evidence.docs.size(); ++d) {
+    total_mass += evidence.docs[d].length;
+    for (const auto& [w, c] : evidence.docs[d].counts) {
+      double p = 0.0;
+      for (int z = 0; z < k; ++z) {
+        p += theta[d][z] * model.phi[z][req.word_type][w];
+      }
+      ll += c * std::log(std::max(p, 1e-300));
+    }
+  }
+  model.log_likelihood = ll;
+  const double params =
+      static_cast<double>(k) * (vocab_size - 1) + (k - 1);
+  model.bic_score = ll - 0.5 * params * std::log(std::max(1.0, total_mass));
+  return model;
+}
+
+StatusOr<core::TopicHierarchy> TryBuildSpectralHierarchy(
+    const std::vector<SparseDoc>& docs, int vocab_size,
+    const core::BuildOptions& options,
+    const core::InferenceOptions& inference, exec::Executor* ex,
+    const run::RunContext* ctx, core::FitCache* cache,
+    const obs::Scope* obs) {
+  // Term co-occurrence network over the documents, generalizing the
+  // hin::CollapseToNetwork pair convention to fractional counts: cross
+  // pairs contribute c_i * c_j, repeated words c * (c - 1) / 2.
+  hin::HeteroNetwork net({"term"}, {vocab_size});
+  const int lt = net.AddLinkType(0, 0);
+  for (const SparseDoc& d : docs) {
+    for (size_t a = 0; a < d.counts.size(); ++a) {
+      const auto& [wa, ca] = d.counts[a];
+      const double self = ca * (ca - 1.0) / 2.0;
+      if (self > 0.0) net.AddLink(lt, wa, wa, self);
+      for (size_t b = a + 1; b < d.counts.size(); ++b) {
+        const auto& [wb, cb] = d.counts[b];
+        net.AddLink(lt, wa, wb, ca * cb);
+      }
+    }
+  }
+  net.Coalesce();
+
+  core::NodeEvidence evidence;
+  evidence.docs = docs;
+  evidence.source.resize(docs.size());
+  for (size_t d = 0; d < docs.size(); ++d) {
+    evidence.source[d] = static_cast<int>(d);
+  }
+
+  SpectralBackend backend(inference.spectral);
+  core::InferencePlan plan;
+  plan.options = inference;
+  plan.spectral = &backend;
+  plan.root_evidence = &evidence;
+  plan.word_type = 0;
+  return core::TryBuildHierarchy(net, options, ex, ctx, cache, obs, &plan);
+}
+
+}  // namespace latent::strod

@@ -1,0 +1,72 @@
+// The spectral (STROD) implementation of the core inference-backend seam:
+// fits a hierarchy node's topic model by moment-tensor decomposition of the
+// node's fractional document evidence (Chapter 7) and returns the same
+// ClusterResult artifact the EM backend produces, so the builder's
+// expansion, caching, run control, and observability apply unchanged.
+//
+// Contract highlights (see core/inference.h for the seam itself):
+//  * Deterministic: the fit is a pure function of the request; the seed
+//    derives from the node's path-derived cluster seed under a
+//    backend-specific tag, so EM and spectral fits of the same node can
+//    never be confused by the fit cache.
+//  * Divergence (non-finite recovered parameters) retries from seed-bumped
+//    initializations up to ClusterOptions::max_em_retries times, then
+//    surfaces an Internal Status — mirroring the EM path.
+//  * Run control polls inside the tensor power iterations; a stopped fit
+//    returns Ok with k == 0 (partial), never an error.
+#ifndef LATENT_STROD_SPECTRAL_BACKEND_H_
+#define LATENT_STROD_SPECTRAL_BACKEND_H_
+
+#include <vector>
+
+#include "core/builder.h"
+#include "core/inference.h"
+#include "hin/collapse.h"
+#include "strod/strod.h"
+
+namespace latent::strod {
+
+class SpectralBackend : public core::InferenceBackend {
+ public:
+  /// `entity_docs` (may be empty) attributes entity attachments through the
+  /// per-document topic mixtures so spectral fits populate the entity-type
+  /// node distributions phi[z][x != word_type]; the reference must outlive
+  /// the backend. Options used for a fit come from FitRequest::spectral
+  /// when set, falling back to `defaults`.
+  explicit SpectralBackend(core::SpectralOptions defaults = {},
+                           const std::vector<hin::EntityDoc>* entity_docs =
+                               nullptr)
+      : defaults_(defaults), entity_docs_(entity_docs) {}
+
+  const char* name() const override { return "spectral"; }
+  core::FitBackend kind() const override {
+    return core::FitBackend::kSpectral;
+  }
+  uint64_t ExpectedSeed(uint64_t seed, int chosen_k,
+                        bool selected) const override;
+
+  StatusOr<core::ClusterResult> FitNode(
+      const core::FitRequest& req) override;
+
+ private:
+  core::SpectralOptions defaults_;
+  const std::vector<hin::EntityDoc>* entity_docs_;
+};
+
+/// Builds a word-type topic hierarchy from sparse documents with the
+/// spectral backend, under the full builder contract (StatusOr error
+/// reporting, run control, fit caching, obs). The term co-occurrence
+/// network backing the builder's weight gates and subnetwork extraction is
+/// assembled from the documents with the same pair-counting convention as
+/// hin::CollapseToNetwork. `inference.backend` should be kSpectral or
+/// kAuto; kEm degenerates to an EM build over the co-occurrence network.
+StatusOr<core::TopicHierarchy> TryBuildSpectralHierarchy(
+    const std::vector<SparseDoc>& docs, int vocab_size,
+    const core::BuildOptions& options,
+    const core::InferenceOptions& inference, exec::Executor* ex = nullptr,
+    const run::RunContext* ctx = nullptr, core::FitCache* cache = nullptr,
+    const obs::Scope* obs = nullptr);
+
+}  // namespace latent::strod
+
+#endif  // LATENT_STROD_SPECTRAL_BACKEND_H_

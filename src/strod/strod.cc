@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/check.h"
 #include "common/dense.h"
 #include "common/eigen.h"
+#include "common/failpoint.h"
 #include "common/math_util.h"
 #include "common/rng.h"
+#include "obs/trace.h"
+#include "strod/spectral_backend.h"
 
 namespace latent::strod {
 
@@ -188,21 +192,35 @@ void ApplyTensor(const std::vector<double>& t, int k,
 }
 
 // Robust tensor power method with deflation. Returns (values, vectors).
+// Run control: `ctx` is polled between trials and factors (one work unit
+// per trial); when it stops, `*stopped` is set and the caller must discard
+// the partial factors. Polling is between whole trials only, so a run that
+// is NOT stopped computes exactly what an unbounded run would.
 void TensorPowerMethod(const std::vector<double>& t, int k, int restarts,
                        int iters, Rng* rng,
+                       const run::RunContext* ctx, const obs::Scope* obs,
+                       bool* stopped,
                        std::vector<double>* values,
                        std::vector<std::vector<double>>* vectors) {
   values->clear();
   vectors->clear();
+  long long iterations = 0;
   std::vector<double> theta(k), next(k);
   for (int factor = 0; factor < k; ++factor) {
     double best_lambda = -1e30;
     std::vector<double> best_vec;
     for (int trial = 0; trial < restarts; ++trial) {
+      if (ctx != nullptr && !ctx->ChargeWork()) {
+        if (stopped != nullptr) *stopped = true;
+        LATENT_OBS(obs::Count(obs, "infer.spectral.iterations",
+                              static_cast<uint64_t>(iterations)));
+        return;
+      }
       for (int r = 0; r < k; ++r) theta[r] = rng->Normal();
       double norm = Norm2(theta);
       for (int r = 0; r < k; ++r) theta[r] /= norm;
       for (int it = 0; it < iters; ++it) {
+        ++iterations;
         ApplyTensor(t, k, theta, *vectors, *values, &next);
         norm = Norm2(next);
         if (norm <= 1e-300) break;
@@ -218,6 +236,7 @@ void TensorPowerMethod(const std::vector<double>& t, int k, int restarts,
     // A few extra polishing iterations on the winner.
     theta = best_vec;
     for (int it = 0; it < iters; ++it) {
+      ++iterations;
       ApplyTensor(t, k, theta, *vectors, *values, &next);
       double norm = Norm2(next);
       if (norm <= 1e-300) break;
@@ -227,6 +246,8 @@ void TensorPowerMethod(const std::vector<double>& t, int k, int restarts,
     values->push_back(std::max(Dot(theta, next), 1e-12));
     vectors->push_back(theta);
   }
+  LATENT_OBS(obs::Count(obs, "infer.spectral.iterations",
+                        static_cast<uint64_t>(iterations)));
 }
 
 // Residual norm estimate of the deflated tensor (for alpha0 learning).
@@ -247,7 +268,10 @@ double TensorResidual(const std::vector<double>& t, int k,
 }
 
 StrodResult FitStrodFixedAlpha(const std::vector<SparseDoc>& docs,
-                               int vocab_size, const StrodOptions& options,
+                               int vocab_size,
+                               const core::SpectralOptions& options,
+                               const run::RunContext* ctx,
+                               const obs::Scope* obs, bool* stopped,
                                double* residual_out) {
   const int k = options.num_topics;
   LATENT_CHECK_GT(k, 0);
@@ -257,9 +281,14 @@ StrodResult FitStrodFixedAlpha(const std::vector<SparseDoc>& docs,
   auto matvec = [&](const std::vector<double>& x, std::vector<double>* y) {
     engine.M2Times(x, y);
   };
-  EigenResult eig = RandomizedEigenSymmetric(
-      matvec, vocab_size, k, options.seed, options.oversample,
-      options.subspace_iters);
+  EigenResult eig;
+  {
+    LATENT_OBS_SPAN(whiten_span, obs::RegistryOf(obs),
+                    "infer.spectral.whiten");
+    eig = RandomizedEigenSymmetric(matvec, vocab_size, k, options.seed,
+                                   options.oversample,
+                                   options.subspace_iters);
+  }
 
   Matrix w(vocab_size, k);   // whitener: W = U diag(sigma^{-1/2})
   Matrix bw(vocab_size, k);  // un-whitener: B = U diag(sigma^{1/2})
@@ -277,8 +306,18 @@ StrodResult FitStrodFixedAlpha(const std::vector<SparseDoc>& docs,
   Rng rng(options.seed ^ 0xabcdef);
   std::vector<double> lambda;
   std::vector<std::vector<double>> vecs;
-  TensorPowerMethod(tensor, k, options.power_restarts, options.power_iters,
-                    &rng, &lambda, &vecs);
+  {
+    LATENT_OBS_SPAN(power_span, obs::RegistryOf(obs),
+                    "infer.spectral.power");
+    TensorPowerMethod(tensor, k, options.power_restarts, options.power_iters,
+                      &rng, ctx, obs, stopped, &lambda, &vecs);
+  }
+  if (stopped != nullptr && *stopped) return StrodResult();
+  // Fault-injection site: poison the leading tensor eigenvalue the way a
+  // genuinely ill-conditioned third moment would, exercising the spectral
+  // backend's divergence detection + seed-bumped retry path.
+  LATENT_FAILPOINT("spectral.nan",
+                   lambda[0] = std::numeric_limits<double>::quiet_NaN());
   if (residual_out != nullptr) {
     *residual_out = TensorResidual(tensor, k, vecs, lambda, &rng);
   }
@@ -312,27 +351,17 @@ StrodResult FitStrodFixedAlpha(const std::vector<SparseDoc>& docs,
 }  // namespace
 
 std::vector<SparseDoc> ToSparseDocs(const text::Corpus& corpus) {
-  std::vector<SparseDoc> out(corpus.num_docs());
-  std::vector<int> sorted;
-  for (int d = 0; d < corpus.num_docs(); ++d) {
-    sorted = corpus.docs()[d].tokens;
-    std::sort(sorted.begin(), sorted.end());
-    SparseDoc& doc = out[d];
-    for (size_t i = 0; i < sorted.size();) {
-      size_t j = i;
-      while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
-      doc.counts.emplace_back(sorted[i], static_cast<double>(j - i));
-      i = j;
-    }
-    doc.length = static_cast<double>(sorted.size());
-  }
-  return out;
+  return core::EvidenceFromCorpus(corpus).docs;
 }
 
 StrodResult FitStrod(const std::vector<SparseDoc>& docs, int vocab_size,
-                     const StrodOptions& options) {
+                     const core::SpectralOptions& options,
+                     const run::RunContext* ctx, const obs::Scope* obs,
+                     bool* stopped) {
+  if (stopped != nullptr) *stopped = false;
   if (!options.learn_alpha0) {
-    return FitStrodFixedAlpha(docs, vocab_size, options, nullptr);
+    return FitStrodFixedAlpha(docs, vocab_size, options, ctx, obs, stopped,
+                              nullptr);
   }
   // Section 7.3.3: pick alpha0 from a small grid by minimizing the deflated
   // tensor residual (how much third-moment structure the k factors leave
@@ -341,16 +370,47 @@ StrodResult FitStrod(const std::vector<SparseDoc>& docs, int vocab_size,
   StrodResult best;
   double best_residual = 1e300;
   for (double a0 : kGrid) {
-    StrodOptions opt = options;
+    if (run::ShouldStop(ctx)) {
+      if (stopped != nullptr) *stopped = true;
+      return StrodResult();
+    }
+    core::SpectralOptions opt = options;
     opt.alpha0 = a0;
     double residual = 0.0;
-    StrodResult r = FitStrodFixedAlpha(docs, vocab_size, opt, &residual);
+    StrodResult r = FitStrodFixedAlpha(docs, vocab_size, opt, ctx, obs,
+                                       stopped, &residual);
+    if (stopped != nullptr && *stopped) return StrodResult();
     if (residual < best_residual) {
       best_residual = residual;
       best = std::move(r);
     }
   }
   return best;
+}
+
+StrodResult FitStrod(const std::vector<SparseDoc>& docs, int vocab_size,
+                     const core::SpectralOptions& options) {
+  return FitStrod(docs, vocab_size, options, nullptr, nullptr, nullptr);
+}
+
+int SelectTopicCount(const std::vector<SparseDoc>& docs, int vocab_size,
+                     const core::SpectralOptions& options, int k_min,
+                     int k_max) {
+  if (k_min >= k_max) return k_min;
+  MomentEngine engine(docs, vocab_size, options.alpha0);
+  auto matvec = [&](const std::vector<double>& x, std::vector<double>* y) {
+    engine.M2Times(x, y);
+  };
+  const int probe_k = std::min(k_max, vocab_size);
+  EigenResult eig = RandomizedEigenSymmetric(matvec, vocab_size, probe_k,
+                                             options.seed, options.oversample,
+                                             options.subspace_iters);
+  int k = 0;
+  const double lead = eig.values.empty() ? 0.0 : eig.values[0];
+  for (double v : eig.values) {
+    if (v > 0.05 * lead && v > 0.0) ++k;
+  }
+  return std::clamp(k, k_min, k_max);
 }
 
 std::vector<std::vector<double>> InferDocTopics(
@@ -383,73 +443,21 @@ std::vector<std::vector<double>> InferDocTopics(
   return theta;
 }
 
-namespace {
-
-void GrowStrod(const std::vector<SparseDoc>& docs, int vocab_size, int node,
-               int level, const StrodTreeOptions& options,
-               core::TopicHierarchy* tree) {
-  if (level >= options.max_depth) return;
-  double mass = 0.0;
-  for (const SparseDoc& d : docs) mass += d.length;
-  if (mass < options.min_node_weight) return;
-
-  int k = level < static_cast<int>(options.levels_k.size())
-              ? options.levels_k[level]
-              : 0;
-  if (k <= 1) return;
-
-  StrodOptions opt = options.base;
-  opt.num_topics = k;
-  opt.seed = options.base.seed + static_cast<uint64_t>(node) * 40503;
-  StrodResult model = FitStrod(docs, vocab_size, opt);
-  std::vector<std::vector<double>> theta = InferDocTopics(docs, model);
-
-  double alpha_sum = Sum(model.alpha);
-  for (int z = 0; z < k; ++z) {
-    // Fractional sub-corpus: c_d^z(w) = c_d(w) p(z | d, w).
-    std::vector<SparseDoc> sub;
-    sub.reserve(docs.size());
-    for (size_t d = 0; d < docs.size(); ++d) {
-      SparseDoc sd;
-      for (const auto& [w, c] : docs[d].counts) {
-        double denom = 0.0;
-        for (int z2 = 0; z2 < k; ++z2) {
-          denom += theta[d][z2] * model.topic_word[z2][w];
-        }
-        if (denom <= 0.0) continue;
-        double frac = theta[d][z] * model.topic_word[z][w] / denom;
-        double cc = c * frac;
-        if (cc > 1e-4) {
-          sd.counts.emplace_back(w, cc);
-          sd.length += cc;
-        }
-      }
-      if (sd.length >= 3.0) sub.push_back(std::move(sd));
-    }
-    double rho = alpha_sum > 0.0 ? model.alpha[z] / alpha_sum : 1.0 / k;
-    double sub_mass = 0.0;
-    for (const SparseDoc& d : sub) sub_mass += d.length;
-    int child = tree->AddChild(node, rho, {model.topic_word[z]}, sub_mass);
-    GrowStrod(sub, vocab_size, child, level + 1, options, tree);
-  }
-}
-
-}  // namespace
-
 core::TopicHierarchy BuildStrodHierarchy(const std::vector<SparseDoc>& docs,
                                          int vocab_size,
                                          const StrodTreeOptions& options) {
-  core::TopicHierarchy tree({"term"}, {vocab_size});
-  std::vector<double> global(vocab_size, 0.0);
-  double mass = 0.0;
-  for (const SparseDoc& d : docs) {
-    for (const auto& [w, c] : d.counts) global[w] += c;
-    mass += d.length;
-  }
-  NormalizeInPlace(&global);
-  tree.AddRoot({global}, mass);
-  GrowStrod(docs, vocab_size, tree.root(), 0, options, &tree);
-  return tree;
+  core::BuildOptions build;
+  build.levels_k = options.levels_k;
+  build.max_depth = options.max_depth;
+  build.min_network_weight = options.min_node_weight;
+  build.cluster.seed = options.base.seed;
+  core::InferenceOptions inference;
+  inference.backend = core::InferenceBackendKind::kSpectral;
+  inference.spectral = options.base;
+  StatusOr<core::TopicHierarchy> tree =
+      TryBuildSpectralHierarchy(docs, vocab_size, build, inference);
+  LATENT_CHECK_MSG(tree.ok(), tree.status().message().c_str());
+  return std::move(tree.value());
 }
 
 }  // namespace latent::strod

@@ -1,5 +1,5 @@
 // STROD: Scalable and Robust Topic discovery by moment-based inference
-// (Chapter 7). Implements spectral inference for LDA with a topic tree:
+// (Chapter 7). Implements spectral inference for LDA:
 //
 //  1. Empirical word co-occurrence moments M2 and M3 of the Dirichlet topic
 //     model (Section 7.3.1), never materialized — only applied to vectors
@@ -11,9 +11,11 @@
 //     deterministically up to the random probes (seeded).
 //  4. Optional alpha0 hyperparameter learning by residual minimization
 //     (Section 7.3.3).
-//  5. Recursive application down a topic tree (Section 7.2): documents are
-//     fractionally split among a node's topics and each child is inferred
-//     from its weighted sub-corpus.
+//
+// Recursive application down a topic tree (Section 7.2) lives in
+// strod/spectral_backend.h: the spectral backend plugs into the core
+// hierarchy builder, which owns the tree expansion, document splitting,
+// seeding, run control, and checkpointing.
 #ifndef LATENT_STROD_STROD_H_
 #define LATENT_STROD_STROD_H_
 
@@ -21,35 +23,26 @@
 #include <utility>
 #include <vector>
 
+#include "common/run_context.h"
 #include "core/hierarchy.h"
+#include "core/inference.h"
+#include "obs/obs.h"
 #include "text/corpus.h"
 
 namespace latent::strod {
 
-/// A document as sparse (word id, count) pairs; counts may be fractional
-/// in recursive calls.
-struct SparseDoc {
-  std::vector<std::pair<int, double>> counts;
-  double length = 0.0;
-};
+/// Sparse documents now live in core (core/inference.h) so the builder can
+/// thread them down the tree; this alias preserves the historical name and
+/// type identity.
+using SparseDoc = core::SparseDoc;
 
 /// Converts a tokenized corpus to sparse count vectors.
 std::vector<SparseDoc> ToSparseDocs(const text::Corpus& corpus);
 
-struct StrodOptions {
-  int num_topics = 5;
-  /// Dirichlet concentration alpha0 = sum_i alpha_i.
-  double alpha0 = 1.0;
-  /// Learn alpha0 from a small grid by tensor-residual minimization.
-  bool learn_alpha0 = false;
-  /// Tensor power method: random restarts per factor and iterations each.
-  int power_restarts = 10;
-  int power_iters = 40;
-  /// Randomized eigendecomposition parameters.
-  int oversample = 8;
-  int subspace_iters = 4;
-  uint64_t seed = 42;
-};
+/// DEPRECATED alias, kept for one release: the STROD knobs are now
+/// core::SpectralOptions, nested under PipelineOptions::inference. The
+/// field set is identical (plus the document-split knobs the builder uses).
+using StrodOptions = core::SpectralOptions;
 
 struct StrodResult {
   /// topic_word[z][w]: recovered word distribution of topic z.
@@ -67,7 +60,28 @@ struct StrodResult {
 /// Runs moment-based inference. Requires documents of length >= 3 to exist
 /// (shorter ones contribute only to lower moments).
 StrodResult FitStrod(const std::vector<SparseDoc>& docs, int vocab_size,
-                     const StrodOptions& options);
+                     const core::SpectralOptions& options);
+
+/// Run-controlled variant used by the spectral backend. A non-null `ctx`
+/// is polled between tensor-power trials, factors, and alpha0 grid points
+/// (each power trial charges one work unit); when it stops the run,
+/// `*stopped` is set and the partially-computed result must be discarded.
+/// A non-null `obs` records the infer.spectral.iterations counter and the
+/// infer.spectral.whiten / infer.spectral.power trace spans. Neither
+/// changes the result of a run that completes (observation + monotonic
+/// stop conditions only).
+StrodResult FitStrod(const std::vector<SparseDoc>& docs, int vocab_size,
+                     const core::SpectralOptions& options,
+                     const run::RunContext* ctx, const obs::Scope* obs,
+                     bool* stopped);
+
+/// Picks a topic count in [k_min, k_max] from the spectrum of M2: rank
+/// k_max eigenvalues are computed once and counted while they stay above
+/// 5% of the leading eigenvalue (near-zero eigenvalues signal that k
+/// exceeds the intrinsic topic count). Deterministic given the seed.
+int SelectTopicCount(const std::vector<SparseDoc>& docs, int vocab_size,
+                     const core::SpectralOptions& options, int k_min,
+                     int k_max);
 
 /// Per-document topic mixtures under a fitted model, via a few multinomial
 /// EM steps (used for the recursive split and for evaluation).
@@ -75,17 +89,25 @@ std::vector<std::vector<double>> InferDocTopics(
     const std::vector<SparseDoc>& docs, const StrodResult& model,
     int em_iters = 20);
 
+/// DEPRECATED, kept for one release: tree shape knobs for the standalone
+/// BuildStrodHierarchy wrapper. New code passes core::BuildOptions +
+/// core::InferenceOptions to TryBuildSpectralHierarchy
+/// (strod/spectral_backend.h) — or simply sets
+/// PipelineOptions::inference.backend = kSpectral and calls api::Mine.
 struct StrodTreeOptions {
   /// Branching per level (like core::BuildOptions::levels_k).
   std::vector<int> levels_k = {4, 3};
   int max_depth = 2;
-  /// Minimum total (fractional) token mass for a node to be split.
+  /// Minimum total link weight (term co-occurrence mass) for a node to be
+  /// split; forwarded to core::BuildOptions::min_network_weight.
   double min_node_weight = 500.0;
-  StrodOptions base;
+  core::SpectralOptions base;
 };
 
-/// Recursive STROD: builds a word-type topic hierarchy (node type 0 =
-/// "term") by splitting documents fractionally among topics at each level.
+/// DEPRECATED, kept for one release: builds a word-type topic hierarchy
+/// (node type 0 = "term") with the spectral backend. CHECK-fails on
+/// unrecoverable numerical failure — call TryBuildSpectralHierarchy for a
+/// StatusOr and the full pipeline contract (run control, caching, obs).
 core::TopicHierarchy BuildStrodHierarchy(const std::vector<SparseDoc>& docs,
                                          int vocab_size,
                                          const StrodTreeOptions& options);

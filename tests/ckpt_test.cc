@@ -64,6 +64,8 @@ core::ClusterResult MakeFit(uint64_t seed_used) {
            {{0.0, 1.0 / 3.0, 2.0 / 3.0}, {0.0, 1.0}}};
   m.phi_bg = {{1.0 / 13.0, 0.0, 12.0 / 13.0}, {0.5, 0.5}};
   m.alpha = {1.0, 1.0 / 17.0, 0.25};
+  m.backend = core::FitBackend::kSpectral;
+  m.dirichlet_alpha = {0.4, 1.0 / 3.0};
   m.parent_phi = {{0.9, 0.1, 0.0}, {1.0, 0.0}};  // dropped by Record
   m.seed_used = seed_used;
   return m;
@@ -79,6 +81,8 @@ void ExpectFitEq(const core::ClusterResult& a, const core::ClusterResult& b) {
   EXPECT_EQ(a.phi, b.phi);
   EXPECT_EQ(a.phi_bg, b.phi_bg);
   EXPECT_EQ(a.alpha, b.alpha);
+  EXPECT_EQ(a.backend, b.backend);
+  EXPECT_EQ(a.dirichlet_alpha, b.dirichlet_alpha);
   EXPECT_EQ(a.seed_used, b.seed_used);
 }
 

@@ -150,6 +150,51 @@ TEST(DeterminismTest, MetricsAndProgressDoNotPerturbResults) {
   }
 }
 
+TEST(DeterminismTest, SpectralMineIsThreadCountInvariant) {
+  // The spectral (STROD) backend derives every fit seed from the node's
+  // path, exactly like EM, so --inference spectral must also be
+  // bit-identical at any thread count.
+  data::HinDataset ds = SmallDs();
+  PipelineInput input(
+      ds.corpus, EntitySchema(ds.entity_type_names, ds.entity_type_sizes),
+      ds.entity_docs);
+  auto spectral_opt = [](int threads) {
+    PipelineOptions opt = OptionsWithThreads(threads);
+    opt.inference.backend = core::InferenceBackendKind::kSpectral;
+    opt.inference.spectral.min_docs = 4;
+    return opt;
+  };
+  StatusOr<MinedHierarchy> serial = Mine(input, spectral_opt(1));
+  ASSERT_TRUE(serial.ok()) << serial.status().message();
+  for (int threads : {2, 8}) {
+    StatusOr<MinedHierarchy> parallel = Mine(input, spectral_opt(threads));
+    ASSERT_TRUE(parallel.ok()) << parallel.status().message();
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ExpectIdentical(serial.value(), parallel.value(), ds);
+  }
+}
+
+TEST(DeterminismTest, AutoBackendIsThreadCountInvariant) {
+  // kAuto chooses the backend from each node's usable-document count — a
+  // thread-count-independent quantity — so mixed trees must agree too.
+  data::HinDataset ds = SmallDs();
+  PipelineInput input(
+      ds.corpus, EntitySchema(ds.entity_type_names, ds.entity_type_sizes),
+      ds.entity_docs);
+  auto auto_opt = [](int threads) {
+    PipelineOptions opt = OptionsWithThreads(threads);
+    opt.inference.backend = core::InferenceBackendKind::kAuto;
+    opt.inference.auto_min_docs = 64;  // root spectral, small nodes EM
+    opt.inference.spectral.min_docs = 4;
+    return opt;
+  };
+  StatusOr<MinedHierarchy> serial = Mine(input, auto_opt(1));
+  ASSERT_TRUE(serial.ok()) << serial.status().message();
+  StatusOr<MinedHierarchy> parallel = Mine(input, auto_opt(8));
+  ASSERT_TRUE(parallel.ok()) << parallel.status().message();
+  ExpectIdentical(serial.value(), parallel.value(), ds);
+}
+
 TEST(DeterminismTest, BicModelSelectionIsThreadCountInvariant) {
   // Exercise the SelectAndFit parallel path (levels_k empty -> BIC chooses
   // the branching factor per node).

@@ -1,0 +1,369 @@
+// Inference-backend seam (DESIGN §11): EM vs spectral structural sanity on
+// the bundled example corpus, the kAuto per-node switchover, spectral
+// checkpoint/resume byte-identity under a work budget, fingerprint
+// invalidation when the backend changes, option validation, and the
+// spectral divergence -> seed-bumped-retry -> kInternal protocol.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "api/latent.h"
+#include "common/failpoint.h"
+#include "common/math_util.h"
+#include "core/serialize.h"
+#include "data/io.h"
+#include "data/synthetic_hin.h"
+
+#ifndef LATENT_EXAMPLES_DATA
+#error "LATENT_EXAMPLES_DATA must point at the bundled examples/data dir"
+#endif
+
+namespace latent {
+namespace {
+
+std::string TempDirFor(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  ::system(("rm -rf " + dir).c_str());
+  return dir;
+}
+
+std::string TreeBytes(const api::MinedHierarchy& mined) {
+  return core::SerializeHierarchy(mined.tree());
+}
+
+data::HinDataset SmallDs() {
+  data::HinDatasetOptions opt = data::DblpLikeOptions(800, 55);
+  opt.num_areas = 3;
+  opt.subareas_per_area = 2;
+  return data::GenerateHinDataset(opt);
+}
+
+api::PipelineInput MakeInput(const data::HinDataset& ds) {
+  return api::PipelineInput(
+      ds.corpus, api::EntitySchema(ds.entity_type_names, ds.entity_type_sizes),
+      ds.entity_docs);
+}
+
+api::PipelineOptions BaseOptions(core::InferenceBackendKind backend) {
+  api::PipelineOptions opt;
+  opt.build.levels_k = {3, 2};
+  opt.build.max_depth = 2;
+  opt.build.cluster.restarts = 2;
+  opt.build.cluster.max_iters = 50;
+  opt.build.cluster.seed = 7;
+  opt.miner.min_support = 4;
+  opt.exec.num_threads = 1;
+  opt.inference.backend = backend;
+  opt.inference.spectral.min_docs = 4;
+  return opt;
+}
+
+// Every node of a mined tree must carry normalized distributions no matter
+// which backend fitted it.
+void ExpectStructurallySane(const core::TopicHierarchy& tree) {
+  ASSERT_GE(tree.num_nodes(), 1);
+  for (int id = 0; id < tree.num_nodes(); ++id) {
+    const core::TopicNode& node = tree.node(id);
+    ASSERT_FALSE(node.phi.empty()) << "node " << id;
+    EXPECT_NEAR(Sum(node.phi[0]), 1.0, 1e-6) << "node " << id;
+    for (double v : node.phi[0]) EXPECT_GE(v, 0.0) << "node " << id;
+    if (id != tree.root()) {
+      EXPECT_GE(node.rho_in_parent, 0.0) << "node " << id;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// EM vs spectral on the bundled example corpus.
+// ---------------------------------------------------------------------------
+
+class ExampleCorpusTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const std::string dir = LATENT_EXAMPLES_DATA;
+    auto corpus = data::LoadCorpusFromFile(dir + "/papers.txt", {});
+    ASSERT_TRUE(corpus.ok()) << corpus.status().message();
+    corpus_ = std::move(corpus.value());
+    auto attachments = data::LoadEntityAttachments(
+        dir + "/papers_entities.tsv", corpus_.num_docs());
+    ASSERT_TRUE(attachments.ok()) << attachments.status().message();
+    attachments_ = std::move(attachments.value());
+  }
+
+  api::PipelineInput Input() {
+    return api::PipelineInput(
+        corpus_,
+        api::EntitySchema(attachments_.type_names, attachments_.TypeSizes()),
+        attachments_.entity_docs);
+  }
+
+  static api::PipelineOptions ExampleOptions(
+      core::InferenceBackendKind backend) {
+    api::PipelineOptions opt = BaseOptions(backend);
+    opt.build.levels_k = {3};
+    opt.build.max_depth = 1;
+    opt.miner.min_support = 3;
+    return opt;
+  }
+
+  text::Corpus corpus_;
+  data::EntityAttachments attachments_;
+};
+
+TEST_F(ExampleCorpusTest, EmAndSpectralBothMineValidHierarchies) {
+  StatusOr<api::MinedHierarchy> em =
+      api::Mine(Input(), ExampleOptions(core::InferenceBackendKind::kEm));
+  ASSERT_TRUE(em.ok()) << em.status().message();
+  StatusOr<api::MinedHierarchy> spectral = api::Mine(
+      Input(), ExampleOptions(core::InferenceBackendKind::kSpectral));
+  ASSERT_TRUE(spectral.ok()) << spectral.status().message();
+
+  // Same requested shape, independently sane distributions.
+  EXPECT_EQ(em.value().tree().node(em.value().tree().root()).children.size(),
+            3u);
+  EXPECT_EQ(spectral.value()
+                .tree()
+                .node(spectral.value().tree().root())
+                .children.size(),
+            3u);
+  ExpectStructurallySane(em.value().tree());
+  ExpectStructurallySane(spectral.value().tree());
+  // Different inference machinery must actually produce different numbers.
+  EXPECT_NE(TreeBytes(em.value()), TreeBytes(spectral.value()));
+}
+
+TEST_F(ExampleCorpusTest, SpectralRunIsRepeatable) {
+  const api::PipelineOptions opt =
+      ExampleOptions(core::InferenceBackendKind::kSpectral);
+  StatusOr<api::MinedHierarchy> a = api::Mine(Input(), opt);
+  StatusOr<api::MinedHierarchy> b = api::Mine(Input(), opt);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(TreeBytes(a.value()), TreeBytes(b.value()));
+}
+
+// ---------------------------------------------------------------------------
+// kAuto switchover.
+// ---------------------------------------------------------------------------
+
+TEST(AutoBackendTest, HighThresholdDegeneratesToPureEm) {
+  data::HinDataset ds = SmallDs();
+  api::PipelineInput input = MakeInput(ds);
+  StatusOr<api::MinedHierarchy> em =
+      api::Mine(input, BaseOptions(core::InferenceBackendKind::kEm));
+  ASSERT_TRUE(em.ok()) << em.status().message();
+
+  api::PipelineOptions opt = BaseOptions(core::InferenceBackendKind::kAuto);
+  opt.inference.auto_min_docs = 1 << 30;  // no node can reach it
+  StatusOr<api::MinedHierarchy> auto_run = api::Mine(input, opt);
+  ASSERT_TRUE(auto_run.ok()) << auto_run.status().message();
+  EXPECT_EQ(TreeBytes(auto_run.value()), TreeBytes(em.value()));
+}
+
+TEST(AutoBackendTest, LowThresholdDegeneratesToPureSpectral) {
+  data::HinDataset ds = SmallDs();
+  api::PipelineInput input = MakeInput(ds);
+  StatusOr<api::MinedHierarchy> spectral =
+      api::Mine(input, BaseOptions(core::InferenceBackendKind::kSpectral));
+  ASSERT_TRUE(spectral.ok()) << spectral.status().message();
+
+  api::PipelineOptions opt = BaseOptions(core::InferenceBackendKind::kAuto);
+  opt.inference.auto_min_docs = 1;  // every evidence-bearing node qualifies
+  StatusOr<api::MinedHierarchy> auto_run = api::Mine(input, opt);
+  ASSERT_TRUE(auto_run.ok()) << auto_run.status().message();
+  EXPECT_EQ(TreeBytes(auto_run.value()), TreeBytes(spectral.value()));
+}
+
+TEST(AutoBackendTest, MidThresholdMixesBackendsInOneTree) {
+  data::HinDataset ds = SmallDs();
+  api::PipelineInput input = MakeInput(ds);
+  api::PipelineOptions opt = BaseOptions(core::InferenceBackendKind::kAuto);
+  // Root (800 docs) goes spectral; its ~3-way split children drop below
+  // the threshold and fall back to EM.
+  opt.inference.auto_min_docs = 400;
+  obs::Registry metrics;
+  opt.metrics = &metrics;
+  StatusOr<api::MinedHierarchy> mixed = api::Mine(input, opt);
+  ASSERT_TRUE(mixed.ok()) << mixed.status().message();
+  ExpectStructurallySane(mixed.value().tree());
+#if defined(LATENT_OBS_ENABLED)
+  EXPECT_EQ(metrics.CounterValue("infer.spectral.fits"), 1u);
+  EXPECT_GT(metrics.CounterValue("infer.em.fits"), 0u);
+  EXPECT_GT(metrics.CounterValue("infer.spectral.iterations"), 0u);
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint/resume for spectral builds.
+// ---------------------------------------------------------------------------
+
+class SpectralResumeTest : public ::testing::TestWithParam<long long> {};
+
+TEST_P(SpectralResumeTest, BudgetInterruptedSpectralRunResumesBitIdentical) {
+  const long long budget = GetParam();
+  const std::string dir =
+      TempDirFor("infer_resume_b" + std::to_string(budget));
+  data::HinDataset ds = SmallDs();
+  api::PipelineInput input = MakeInput(ds);
+
+  // Reference: one uninterrupted, un-checkpointed spectral run.
+  StatusOr<api::MinedHierarchy> ref =
+      api::Mine(input, BaseOptions(core::InferenceBackendKind::kSpectral));
+  ASSERT_TRUE(ref.ok()) << ref.status().message();
+  const std::string want = TreeBytes(ref.value());
+
+  // Interrupted run: the work budget charges tensor power trials, so a
+  // small budget stops the build mid-tree wherever it lands.
+  api::PipelineOptions stopped =
+      BaseOptions(core::InferenceBackendKind::kSpectral);
+  stopped.checkpoint_dir = dir;
+  stopped.checkpoint_every_nodes = 1;
+  stopped.work_budget = budget;
+  StatusOr<api::MinedHierarchy> partial = api::Mine(input, stopped);
+  ASSERT_TRUE(partial.ok()) << partial.status().message();
+  EXPECT_TRUE(partial.value().partial());
+
+  // Resume without the budget: must complete to the reference tree.
+  api::PipelineOptions resumed =
+      BaseOptions(core::InferenceBackendKind::kSpectral);
+  resumed.checkpoint_dir = dir;
+  resumed.checkpoint_every_nodes = 1;
+  resumed.resume = true;
+  StatusOr<api::MinedHierarchy> full = api::Mine(input, resumed);
+  ASSERT_TRUE(full.ok()) << full.status().message();
+  EXPECT_FALSE(full.value().partial());
+  EXPECT_TRUE(full.value().checkpoint_warning().empty())
+      << full.value().checkpoint_warning();
+  EXPECT_EQ(TreeBytes(full.value()), want);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, SpectralResumeTest,
+                         ::testing::Values(1, 8, 40));
+
+TEST(BackendSwitchTest, SwitchingBackendsInvalidatesTheCheckpoint) {
+  const std::string dir = TempDirFor("infer_backend_switch");
+  data::HinDataset ds = SmallDs();
+  api::PipelineInput input = MakeInput(ds);
+
+  // Fill the directory with an EM run's fits.
+  api::PipelineOptions em = BaseOptions(core::InferenceBackendKind::kEm);
+  em.checkpoint_dir = dir;
+  ASSERT_TRUE(api::Mine(input, em).ok());
+
+  // Scratch spectral reference (no checkpointing involved).
+  StatusOr<api::MinedHierarchy> scratch =
+      api::Mine(input, BaseOptions(core::InferenceBackendKind::kSpectral));
+  ASSERT_TRUE(scratch.ok()) << scratch.status().message();
+
+  // Resuming with the spectral backend against the EM directory: the
+  // options fingerprint covers the backend, so the snapshot is ignored
+  // (clean restart + warning), never replayed into a wrong tree.
+  api::PipelineOptions spectral =
+      BaseOptions(core::InferenceBackendKind::kSpectral);
+  spectral.checkpoint_dir = dir;
+  spectral.resume = true;
+  StatusOr<api::MinedHierarchy> resumed = api::Mine(input, spectral);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().message();
+  EXPECT_NE(resumed.value().checkpoint_warning().find("fingerprint"),
+            std::string::npos)
+      << resumed.value().checkpoint_warning();
+  EXPECT_EQ(TreeBytes(resumed.value()), TreeBytes(scratch.value()));
+}
+
+// ---------------------------------------------------------------------------
+// Option validation (the PipelineOptions::Validate() "(got N)" contract).
+// ---------------------------------------------------------------------------
+
+TEST(InferenceOptionsTest, ValidateRejectsIllFormedKnobs) {
+  data::HinDataset ds = SmallDs();
+  api::PipelineInput input = MakeInput(ds);
+  {
+    api::PipelineOptions opt = BaseOptions(core::InferenceBackendKind::kAuto);
+    opt.inference.auto_min_docs = 0;
+    Status s = opt.Validate();
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(s.message().find("auto_min_docs"), std::string::npos);
+    EXPECT_NE(s.message().find("(got 0)"), std::string::npos) << s.message();
+    EXPECT_EQ(api::Mine(input, opt).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    api::PipelineOptions opt =
+        BaseOptions(core::InferenceBackendKind::kSpectral);
+    opt.inference.spectral.alpha0 = 0.0;
+    EXPECT_EQ(opt.Validate().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    api::PipelineOptions opt =
+        BaseOptions(core::InferenceBackendKind::kSpectral);
+    opt.inference.spectral.power_restarts = 0;
+    Status s = opt.Validate();
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(s.message().find("power_restarts"), std::string::npos);
+  }
+  {
+    api::PipelineOptions opt =
+        BaseOptions(core::InferenceBackendKind::kSpectral);
+    opt.inference.spectral.min_docs = 0;
+    EXPECT_EQ(opt.Validate().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Divergence protocol: seed-bumped retries, then kInternal — no silent
+// fallback to EM.
+// ---------------------------------------------------------------------------
+
+#if defined(LATENT_FAILPOINTS_ENABLED)
+constexpr bool kFailpointsCompiledIn = true;
+#else
+constexpr bool kFailpointsCompiledIn = false;
+#endif
+
+class SpectralDivergenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!kFailpointsCompiledIn) {
+      GTEST_SKIP() << "built with -DLATENT_FAILPOINTS=OFF";
+    }
+    run::failpoint::DisarmAll();
+  }
+  void TearDown() override { run::failpoint::DisarmAll(); }
+};
+
+TEST_F(SpectralDivergenceTest, OneDivergenceIsRetriedToSuccess) {
+  data::HinDataset ds = SmallDs();
+  api::PipelineInput input = MakeInput(ds);
+  StatusOr<api::MinedHierarchy> ref =
+      api::Mine(input, BaseOptions(core::InferenceBackendKind::kSpectral));
+  ASSERT_TRUE(ref.ok()) << ref.status().message();
+
+  run::failpoint::Arm("spectral.nan", /*count=*/1);
+  api::PipelineOptions opt = BaseOptions(core::InferenceBackendKind::kSpectral);
+  obs::Registry metrics;
+  opt.metrics = &metrics;
+  StatusOr<api::MinedHierarchy> retried = api::Mine(input, opt);
+  ASSERT_TRUE(retried.ok()) << retried.status().message();
+#if defined(LATENT_OBS_ENABLED)
+  EXPECT_GE(metrics.CounterValue("infer.spectral.retries"), 1u);
+#endif
+  // The retried fit used a bumped seed, so its numbers legitimately differ
+  // from the clean reference — but the tree is still structurally sound.
+  ExpectStructurallySane(retried.value().tree());
+}
+
+TEST_F(SpectralDivergenceTest, ExhaustedRetriesFailTheRunWithInternal) {
+  data::HinDataset ds = SmallDs();
+  api::PipelineInput input = MakeInput(ds);
+  run::failpoint::Arm("spectral.nan", /*count=*/-1);  // every attempt
+  StatusOr<api::MinedHierarchy> result =
+      api::Mine(input, BaseOptions(core::InferenceBackendKind::kSpectral));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_NE(result.status().message().find("spectral"), std::string::npos)
+      << result.status().message();
+}
+
+}  // namespace
+}  // namespace latent

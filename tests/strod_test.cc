@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include "common/math_util.h"
+#include "core/serialize.h"
 #include "data/lda_gen.h"
+#include "strod/spectral_backend.h"
 #include "strod/strod.h"
 
 namespace latent::strod {
@@ -23,8 +25,8 @@ data::LdaDataset SmallDataset(uint64_t seed = 7, int docs = 3000) {
   return data::GenerateLdaDataset(opt);
 }
 
-StrodOptions DefaultOptions(int k = 3) {
-  StrodOptions opt;
+core::SpectralOptions DefaultOptions(int k = 3) {
+  core::SpectralOptions opt;
   opt.num_topics = k;
   opt.alpha0 = 0.9;
   opt.seed = 13;
@@ -69,7 +71,8 @@ TEST(StrodTest, ErrorShrinksWithSampleSize) {
 
 TEST(StrodTest, M2EigenvaluesRevealTopicCount) {
   data::LdaDataset ds = SmallDataset();
-  StrodOptions opt = DefaultOptions(5);  // ask for more topics than planted
+  // Ask for more topics than planted.
+  core::SpectralOptions opt = DefaultOptions(5);
   StrodResult r = FitStrod(ds.docs, ds.vocab_size, opt);
   ASSERT_EQ(r.m2_eigenvalues.size(), 5u);
   // The top-3 eigenvalues dominate the 4th/5th.
@@ -85,7 +88,7 @@ TEST(StrodTest, AlphaSumsToAlpha0) {
 
 TEST(StrodTest, LearnAlpha0PicksReasonableValue) {
   data::LdaDataset ds = SmallDataset();
-  StrodOptions opt = DefaultOptions();
+  core::SpectralOptions opt = DefaultOptions();
   opt.learn_alpha0 = true;
   StrodResult r = FitStrod(ds.docs, ds.vocab_size, opt);
   // True alpha0 = 0.9; grid should not run to the extremes.
@@ -123,19 +126,53 @@ TEST(StrodTest, HierarchyBuildsRequestedShape) {
   gopt.doc_length = 25;
   gopt.seed = 31;
   data::LdaDataset ds = data::GenerateLdaDataset(gopt);
-  StrodTreeOptions topt;
-  topt.levels_k = {4, 2};
-  topt.max_depth = 2;
-  topt.min_node_weight = 200.0;
-  topt.base.seed = 17;
-  core::TopicHierarchy tree = BuildStrodHierarchy(ds.docs, ds.vocab_size,
-                                                  topt);
+  core::BuildOptions bopt;
+  bopt.levels_k = {4, 2};
+  bopt.max_depth = 2;
+  bopt.min_network_weight = 200.0;
+  bopt.cluster.seed = 17;
+  core::InferenceOptions iopt;
+  iopt.backend = core::InferenceBackendKind::kSpectral;
+  iopt.spectral.seed = 17;
+  auto tree_or =
+      TryBuildSpectralHierarchy(ds.docs, ds.vocab_size, bopt, iopt);
+  ASSERT_TRUE(tree_or.ok()) << tree_or.status().message();
+  const core::TopicHierarchy& tree = tree_or.value();
   EXPECT_EQ(tree.node(tree.root()).children.size(), 4u);
   EXPECT_GE(tree.num_nodes(), 5);
   // Every node's word distribution is a distribution.
   for (int id = 0; id < tree.num_nodes(); ++id) {
     EXPECT_NEAR(Sum(tree.node(id).phi[0]), 1.0, 1e-6) << id;
   }
+}
+
+TEST(StrodTest, DeprecatedTreeWrapperMatchesNewEntryPoint) {
+  data::LdaGenOptions gopt;
+  gopt.num_topics = 3;
+  gopt.vocab_size = 50;
+  gopt.num_docs = 1200;
+  gopt.doc_length = 20;
+  gopt.seed = 5;
+  data::LdaDataset ds = data::GenerateLdaDataset(gopt);
+  StrodTreeOptions topt;
+  topt.levels_k = {3};
+  topt.max_depth = 1;
+  topt.base.seed = 11;
+  core::TopicHierarchy legacy =
+      BuildStrodHierarchy(ds.docs, ds.vocab_size, topt);
+  core::BuildOptions bopt;
+  bopt.levels_k = {3};
+  bopt.max_depth = 1;
+  bopt.min_network_weight = topt.min_node_weight;
+  bopt.cluster.seed = 11;
+  core::InferenceOptions iopt;
+  iopt.backend = core::InferenceBackendKind::kSpectral;
+  iopt.spectral = topt.base;
+  iopt.spectral.seed = 11;
+  auto fresh = TryBuildSpectralHierarchy(ds.docs, ds.vocab_size, bopt, iopt);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().message();
+  EXPECT_EQ(core::SerializeHierarchy(legacy),
+            core::SerializeHierarchy(fresh.value()));
 }
 
 class StrodSampleSizeTest : public ::testing::TestWithParam<int> {};

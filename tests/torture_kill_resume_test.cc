@@ -100,7 +100,9 @@ WaitResult AwaitOrKill(pid_t pid, long long kill_after_ms) {
 
 std::vector<std::string> MineArgs(const std::string& mine,
                                   const std::string& out, int threads,
-                                  bool checkpoint) {
+                                  bool checkpoint,
+                                  const std::string& inference = "",
+                                  const std::string& ckpt_dir = "ckpt") {
   std::vector<std::string> args = {
       mine,           "--corpus",      Path("corpus.txt"),
       "--entities",   Path("entities.tsv"),
@@ -110,8 +112,11 @@ std::vector<std::string> MineArgs(const std::string& mine,
       "--threads",    std::to_string(threads),
       "--save",       out,
   };
+  if (!inference.empty()) {
+    args.insert(args.end(), {"--inference", inference});
+  }
   if (checkpoint) {
-    args.insert(args.end(), {"--checkpoint-dir", Path("ckpt"),
+    args.insert(args.end(), {"--checkpoint-dir", Path(ckpt_dir),
                              "--checkpoint-every", "1", "--resume"});
   }
   return args;
@@ -215,8 +220,62 @@ int main(int argc, char** argv) {
     return Fail("resumed tree differs from the uninterrupted reference (" +
                 std::to_string(kills) + " kills)");
   }
+
+  // CLI contract: an unknown --inference value is a usage error (exit 2),
+  // not a silent fallback to a default backend.
+  {
+    WaitResult r = AwaitOrKill(
+        Spawn({mine, "--corpus", Path("corpus.txt"), "--inference", "bogus"}),
+        /*kill_after_ms=*/-1);
+    if (!r.exited || r.code != 2) {
+      return Fail("--inference bogus should exit 2, got " +
+                  std::to_string(r.code));
+    }
+  }
+
+  // Spectral smoke: the same kill/resume contract with the STROD backend.
+  // One uninterrupted reference, one SIGKILLed checkpointed run, one
+  // uninterrupted resume; the final tree must match the reference.
+  int spectral_kills = 0;
+  {
+    WaitResult r = AwaitOrKill(
+        Spawn(MineArgs(mine, Path("sref.bin"), /*threads=*/1,
+                       /*checkpoint=*/false, "spectral")),
+        /*kill_after_ms=*/-1);
+    if (!r.exited || r.code != 0) {
+      return Fail("spectral reference run failed (see " + Path("mine.log") +
+                  ")");
+    }
+  }
+  auto sref = data::ReadFile(Path("sref.bin"));
+  if (!sref.ok()) return Fail("spectral reference tree missing");
+  {
+    WaitResult r = AwaitOrKill(
+        Spawn(MineArgs(mine, Path("sout.bin"), /*threads=*/8,
+                       /*checkpoint=*/true, "spectral", "sckpt")),
+        /*kill_after_ms=*/25);
+    if (r.killed_by_us) {
+      ++spectral_kills;
+    } else if (!r.exited || r.code != 0) {
+      return Fail("interrupted spectral run exited with an error");
+    }
+    if (r.killed_by_us) {
+      r = AwaitOrKill(
+          Spawn(MineArgs(mine, Path("sout.bin"), /*threads=*/1,
+                         /*checkpoint=*/true, "spectral", "sckpt")),
+          /*kill_after_ms=*/-1);
+      if (!r.exited || r.code != 0) return Fail("spectral resume run failed");
+    }
+  }
+  auto sout = data::ReadFile(Path("sout.bin"));
+  if (!sout.ok()) return Fail("resumed spectral tree missing");
+  if (sout.value() != sref.value()) {
+    return Fail("resumed spectral tree differs from its reference");
+  }
+
   std::fprintf(stderr,
-               "PASS: byte-identical tree after %d SIGKILL interruption(s)\n",
-               kills);
+               "PASS: byte-identical trees after %d EM and %d spectral "
+               "SIGKILL interruption(s)\n",
+               kills, spectral_kills);
   return 0;
 }

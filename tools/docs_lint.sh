@@ -3,7 +3,9 @@
 # surface. Fails (exit 1) listing anything missing when
 #   * a latent_mine command-line flag parsed in tools/latent_mine.cc,
 #   * a latent_serve command-line flag parsed in tools/latent_serve.cc,
-#   * a PipelineOptions field declared in src/api/latent.h, or
+#   * a PipelineOptions field declared in src/api/latent.h,
+#   * an InferenceOptions or SpectralOptions field declared in
+#     src/core/inference.h, or
 #   * a QueryOptions field declared in src/serve/engine.h
 # does not appear in docs/OPERATIONS.md. Registered with ctest as
 # `docs.lint` (label: docs); run directly as tools/docs_lint.sh [repo-root].
@@ -13,11 +15,13 @@ root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
 mine_cc="$root/tools/latent_mine.cc"
 serve_cc="$root/tools/latent_serve.cc"
 api_h="$root/src/api/latent.h"
+inference_h="$root/src/core/inference.h"
 engine_h="$root/src/serve/engine.h"
 ops_md="$root/docs/OPERATIONS.md"
 
 fail=0
-for f in "$mine_cc" "$serve_cc" "$api_h" "$engine_h" "$ops_md"; do
+for f in "$mine_cc" "$serve_cc" "$api_h" "$inference_h" "$engine_h" \
+         "$ops_md"; do
   if [ ! -f "$f" ]; then
     echo "docs_lint: missing $f" >&2
     exit 1
@@ -64,17 +68,23 @@ check_surface() {
 mine_flags=$(cli_flags "$mine_cc")
 serve_flags=$(cli_flags "$serve_cc")
 popt_fields=$(struct_fields "$api_h" PipelineOptions)
+iopt_fields=$(struct_fields "$inference_h" InferenceOptions)
+sopt_fields=$(struct_fields "$inference_h" SpectralOptions)
 qopt_fields=$(struct_fields "$engine_h" QueryOptions)
 
 check_surface "latent_mine flag" "$mine_flags"
 check_surface "latent_serve flag" "$serve_flags"
 check_surface "PipelineOptions field" "$popt_fields"
+check_surface "InferenceOptions field" "$iopt_fields"
+check_surface "SpectralOptions field" "$sopt_fields"
 check_surface "QueryOptions field" "$qopt_fields"
 
 if [ "$fail" -eq 0 ]; then
   echo "docs_lint: OK" \
        "($(echo "$mine_flags" | wc -l) + $(echo "$serve_flags" | wc -l)" \
        "flags, $(echo "$popt_fields" | wc -l) +" \
+       "$(echo "$iopt_fields" | wc -l) +" \
+       "$(echo "$sopt_fields" | wc -l) +" \
        "$(echo "$qopt_fields" | wc -l) option fields documented)"
 fi
 exit "$fail"

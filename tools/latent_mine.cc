@@ -31,6 +31,7 @@ int Usage() {
       stderr,
       "usage: latent_mine --corpus FILE [--entities FILE] [--levels 6,4]\n"
       "                   [--min-support N] [--seed N] [--threads N]\n"
+      "                   [--inference em|spectral|auto]\n"
       "                   [--timeout-s N] [--work-budget N]\n"
       "                   [--checkpoint-dir DIR] [--checkpoint-every N]\n"
       "                   [--resume] [--json FILE] [--save FILE]\n"
@@ -38,6 +39,11 @@ int Usage() {
       "                   [--stem] [--equal-weights]\n"
       "  --threads N          worker threads (0 = all cores, 1 = serial;\n"
       "                       results are identical either way)\n"
+      "  --inference MODE     per-node topic inference backend: em (default,\n"
+      "                       link-clustering EM), spectral (STROD moment\n"
+      "                       tensor decomposition), or auto (spectral on\n"
+      "                       document-rich nodes, EM elsewhere); see\n"
+      "                       docs/OPERATIONS.md\n"
       "  --timeout-s N        stop mining after ~N seconds and print\n"
       "                       whatever fully-converged partial hierarchy\n"
       "                       was reached (N must be > 0)\n"
@@ -78,6 +84,7 @@ int main(int argc, char** argv) {
   bool resume = false;
   bool stem = false;
   bool learn_weights = true;
+  core::InferenceBackendKind inference = core::InferenceBackendKind::kEm;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -117,6 +124,21 @@ int main(int argc, char** argv) {
       long long v = 0;
       next_int(&v);
       num_threads = static_cast<int>(v);
+    } else if (arg == "--inference") {
+      const char* v = next();
+      if (v != nullptr && std::strcmp(v, "em") == 0) {
+        inference = core::InferenceBackendKind::kEm;
+      } else if (v != nullptr && std::strcmp(v, "spectral") == 0) {
+        inference = core::InferenceBackendKind::kSpectral;
+      } else if (v != nullptr && std::strcmp(v, "auto") == 0) {
+        inference = core::InferenceBackendKind::kAuto;
+      } else {
+        std::fprintf(stderr,
+                     "error: --inference needs em, spectral, or auto (got "
+                     "%s)\n",
+                     v == nullptr ? "nothing" : v);
+        return Usage();
+      }
     } else if (arg == "--timeout-s") {
       next_int(&timeout_s);
       timeout_set = true;
@@ -183,6 +205,7 @@ int main(int argc, char** argv) {
                                       ? core::LinkWeightMode::kLearned
                                       : core::LinkWeightMode::kEqual;
   opt.build.cluster.seed = seed;
+  opt.inference.backend = inference;
   opt.miner.min_support = min_support;
   opt.exec.num_threads = num_threads;
   // Explicit --timeout-s 0 / --work-budget 0 (and all negatives) must fail
