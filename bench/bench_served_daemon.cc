@@ -1,0 +1,308 @@
+// Daemon-path serving bench: the latent::served stack measured over real
+// loopback TCP sockets (frame codecs, admission queue, worker dispatch,
+// per-request RunContext), not just the in-process engine of
+// bench_ch7_serving. Emits one JSON object on stdout — bench/run_bench.sh
+// folds it into BENCH_<n>.json:
+//
+//   * cold_qps / warm_qps — a client-thread pool replaying a distinct-query
+//     workload through the daemon; cold = first pass on a fresh snapshot
+//     (result cache empty), warm = repeats of the identical batch;
+//   * overload — a deliberately tiny daemon (1 worker, queue of 1) with the
+//     served.stall failpoint armed, hammered by short connections: shed
+//     rate and the mean time a shed connection waits for its
+//     kResourceExhausted answer (the load-shedding latency promise);
+//   * swap_pause_us — PublishSnapshot wall time over repeated hot swaps
+//     while a client thread keeps querying: the pause a swap could impose
+//     on traffic (the RCU publish is one atomic store, so this should stay
+//     microseconds, not milliseconds).
+#include <algorithm>
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "api/latent.h"
+#include "common/check.h"
+#include "common/failpoint.h"
+#include "common/parallel.h"
+#include "common/timer.h"
+#include "data/synthetic_hin.h"
+#include "served/protocol.h"
+#include "served/server.h"
+#include "served/snapshot.h"
+#include "serve/engine.h"
+
+using namespace latent;
+
+namespace {
+
+struct Workload {
+  std::vector<served::WireRequest> requests;
+};
+
+served::WireRequest Req(served::Verb verb, std::string arg, int k = -1) {
+  served::WireRequest req;
+  req.verb = verb;
+  req.arg = std::move(arg);
+  req.k = k;
+  return req;
+}
+
+// Same distinct-query mix as bench_ch7_serving's workload, rendered into
+// wire requests: every topic looked up and walked, every 2nd phrase
+// searched, every entity resolved.
+Workload BuildWorkload(const serve::HierarchyIndex& index) {
+  Workload w;
+  for (int id = 0; id < index.num_topics(); ++id) {
+    w.requests.push_back(Req(served::Verb::kLookup, index.topic(id).path));
+    w.requests.push_back(Req(served::Verb::kSubtree, index.topic(id).path, 1));
+  }
+  for (int p = 0; p < index.num_phrases(); p += 2) {
+    w.requests.push_back(Req(served::Verb::kSearch, index.phrase_text(p), 10));
+  }
+  for (int type = 1; type < index.num_types(); ++type) {
+    const std::string& type_name = index.type_names()[type];
+    for (int e = 0; e < index.type_sizes()[type]; ++e) {
+      w.requests.push_back(Req(served::Verb::kEntity,
+                               type_name + ":" + index.name(type, e), 10));
+    }
+  }
+  return w;
+}
+
+std::unique_ptr<const serve::QueryEngine> BuildEngine(
+    const api::MinedHierarchy& mined) {
+  StatusOr<serve::HierarchyIndex> index = mined.MakeIndex();
+  LATENT_CHECK_MSG(index.ok(), "bench index must build");
+  serve::QueryOptions qopt;
+  StatusOr<std::unique_ptr<serve::QueryEngine>> engine =
+      serve::QueryEngine::Create(std::move(index.value()), qopt, nullptr);
+  LATENT_CHECK_MSG(engine.ok(), "bench engine must build");
+  return std::move(engine.value());
+}
+
+// Replays the workload through `threads` persistent connections, striped
+// round-robin. Returns queries/sec; every response must be kOk.
+double Replay(int port, const Workload& w, int threads, int rounds) {
+  std::atomic<long long> errors{0};
+  WallTimer timer;
+  std::vector<std::thread> clients;
+  clients.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      served::Client client;
+      if (!client.Connect(port).ok()) {
+        errors.fetch_add(1);
+        return;
+      }
+      for (int r = 0; r < rounds; ++r) {
+        for (size_t i = t; i < w.requests.size(); i += threads) {
+          StatusOr<served::WireResponse> resp = client.Call(w.requests[i]);
+          if (!resp.ok() || resp.value().code != StatusCode::kOk) {
+            errors.fetch_add(1);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double seconds = timer.Seconds();
+  LATENT_CHECK_MSG(errors.load() == 0, "bench replay saw failed requests");
+  return rounds * w.requests.size() / seconds;
+}
+
+}  // namespace
+
+int main() {
+  std::signal(SIGPIPE, SIG_IGN);
+
+  data::HinDatasetOptions gopt;
+  gopt.num_areas = 4;
+  gopt.subareas_per_area = 3;
+  gopt.num_docs = 1500;
+  gopt.seed = 77;
+  data::HinDataset ds = data::GenerateHinDataset(gopt);
+
+  api::PipelineOptions opt;
+  opt.build.levels_k = {4, 3};
+  opt.build.max_depth = 2;
+  opt.miner.min_support = 5;
+  api::PipelineInput input(
+      ds.corpus, api::EntitySchema(ds.entity_type_names, ds.entity_type_sizes),
+      ds.entity_docs);
+  StatusOr<api::MinedHierarchy> mined = api::Mine(input, opt);
+  LATENT_CHECK_MSG(mined.ok(), "bench corpus must mine");
+
+  StatusOr<serve::HierarchyIndex> probe = mined.value().MakeIndex();
+  LATENT_CHECK_MSG(probe.ok(), "bench index must build");
+  const Workload workload = BuildWorkload(probe.value());
+
+  // ---- Cold / warm throughput over TCP ----------------------------------
+  constexpr int kClientThreads = 4;
+  double cold_qps = 0.0, warm_qps = 0.0;
+  {
+    exec::ExecOptions eopt;
+    eopt.num_threads = kClientThreads;
+    exec::Executor ex(eopt);
+    served::SnapshotHandle snapshots;
+    served::ServedOptions sopt;
+    sopt.max_inflight = kClientThreads;
+    sopt.max_queue = 64;
+    StatusOr<std::unique_ptr<served::Server>> server =
+        served::Server::Start(&snapshots, sopt, &ex);
+    LATENT_CHECK_MSG(server.ok(), "bench daemon must start");
+    LATENT_CHECK_MSG(
+        server.value()->PublishSnapshot(BuildEngine(mined.value())).ok(),
+        "bench publish must succeed");
+    // Cold: first pass on the fresh snapshot (empty result cache).
+    cold_qps = Replay(server.value()->port(), workload, kClientThreads, 1);
+    // Warm: repeats of the identical batch — cache-hit path + wire cost.
+    warm_qps = Replay(server.value()->port(), workload, kClientThreads, 5);
+    server.value()->RequestShutdown();
+    LATENT_CHECK_MSG(server.value()->Wait().ok(), "bench drain must be clean");
+  }
+
+  // ---- Shed rate + shed latency under overload --------------------------
+  long long offered = 0, served_ok = 0, shed = 0;
+  double shed_wait_total_ms = 0.0;
+#if defined(LATENT_FAILPOINTS_ENABLED)
+  {
+    exec::ExecOptions eopt;
+    eopt.num_threads = 1;
+    exec::Executor ex(eopt);
+    served::SnapshotHandle snapshots;
+    served::ServedOptions sopt;
+    sopt.max_inflight = 1;
+    sopt.max_queue = 1;
+    sopt.retry_after_ms = 25;
+    StatusOr<std::unique_ptr<served::Server>> server =
+        served::Server::Start(&snapshots, sopt, &ex);
+    LATENT_CHECK_MSG(server.ok(), "bench overload daemon must start");
+    LATENT_CHECK_MSG(
+        server.value()->PublishSnapshot(BuildEngine(mined.value())).ok(),
+        "bench publish must succeed");
+    // Every dispatched request stalls 25 ms, so one worker caps at ~40
+    // requests/sec while four threads offer far more: the rest must shed.
+    run::failpoint::Arm("served.stall", /*count=*/-1);
+    constexpr int kOverloadThreads = 4;
+    constexpr int kPerThread = 25;
+    std::atomic<long long> n_offered{0}, n_served{0}, n_shed{0};
+    std::atomic<long long> shed_wait_us{0};
+    std::vector<std::thread> clients;
+    for (int t = 0; t < kOverloadThreads; ++t) {
+      clients.emplace_back([&] {
+        for (int i = 0; i < kPerThread; ++i) {
+          served::Client client;
+          if (!client.Connect(server.value()->port()).ok()) continue;
+          n_offered.fetch_add(1);
+          WallTimer call_timer;
+          StatusOr<served::WireResponse> resp =
+              client.Call(workload.requests[i % workload.requests.size()]);
+          if (!resp.ok()) continue;
+          if (resp.value().code == StatusCode::kOk) {
+            n_served.fetch_add(1);
+          } else if (resp.value().code == StatusCode::kResourceExhausted) {
+            n_shed.fetch_add(1);
+            shed_wait_us.fetch_add(
+                static_cast<long long>(call_timer.Seconds() * 1e6));
+          }
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    run::failpoint::DisarmAll();
+    server.value()->RequestShutdown();
+    (void)server.value()->Wait();
+    offered = n_offered.load();
+    served_ok = n_served.load();
+    shed = n_shed.load();
+    shed_wait_total_ms = shed_wait_us.load() / 1000.0;
+  }
+#endif
+
+  // ---- Swap pause under live traffic ------------------------------------
+  constexpr int kSwaps = 30;
+  std::vector<double> swap_us;
+  {
+    exec::ExecOptions eopt;
+    eopt.num_threads = 2;
+    exec::Executor ex(eopt);
+    served::SnapshotHandle snapshots;
+    served::ServedOptions sopt;
+    sopt.max_inflight = 2;
+    sopt.max_queue = 16;
+    StatusOr<std::unique_ptr<served::Server>> server =
+        served::Server::Start(&snapshots, sopt, &ex);
+    LATENT_CHECK_MSG(server.ok(), "bench swap daemon must start");
+    LATENT_CHECK_MSG(
+        server.value()->PublishSnapshot(BuildEngine(mined.value())).ok(),
+        "bench publish must succeed");
+    std::atomic<bool> stop{false};
+    std::atomic<long long> traffic_errors{0};
+    std::thread traffic([&] {
+      served::Client client;
+      if (!client.Connect(server.value()->port()).ok()) return;
+      size_t i = 0;
+      while (!stop.load()) {
+        StatusOr<served::WireResponse> resp =
+            client.Call(workload.requests[i++ % workload.requests.size()]);
+        if (!resp.ok() || resp.value().code != StatusCode::kOk) {
+          traffic_errors.fetch_add(1);
+          return;
+        }
+      }
+    });
+    for (int s = 0; s < kSwaps; ++s) {
+      // Engine build happens outside the timed region: the pause under
+      // test is the publish, not the (background) index construction.
+      std::unique_ptr<const serve::QueryEngine> next =
+          BuildEngine(mined.value());
+      WallTimer timer;
+      LATENT_CHECK_MSG(
+          server.value()->PublishSnapshot(std::move(next)).ok(),
+          "bench swap must succeed");
+      swap_us.push_back(timer.Seconds() * 1e6);
+    }
+    stop.store(true);
+    traffic.join();
+    LATENT_CHECK_MSG(traffic_errors.load() == 0,
+                     "traffic failed during hot swaps");
+    server.value()->RequestShutdown();
+    (void)server.value()->Wait();
+  }
+  std::sort(swap_us.begin(), swap_us.end());
+  double swap_sum = 0.0;
+  for (double v : swap_us) swap_sum += v;
+  const double swap_mean_us = swap_sum / swap_us.size();
+  const double swap_max_us = swap_us.back();
+
+  std::printf(
+      "{\n"
+      "  \"workload_queries\": %zu,\n"
+      "  \"client_threads\": %d,\n"
+      "  \"cold_qps\": %.1f,\n"
+      "  \"warm_qps\": %.1f,\n"
+      "  \"overload\": {\n"
+      "    \"offered\": %lld,\n"
+      "    \"served\": %lld,\n"
+      "    \"shed\": %lld,\n"
+      "    \"shed_rate\": %.3f,\n"
+      "    \"shed_mean_wait_ms\": %.2f\n"
+      "  },\n"
+      "  \"swap\": {\n"
+      "    \"publishes\": %d,\n"
+      "    \"pause_mean_us\": %.1f,\n"
+      "    \"pause_max_us\": %.1f\n"
+      "  }\n"
+      "}\n",
+      workload.requests.size(), kClientThreads, cold_qps, warm_qps, offered,
+      served_ok, shed, offered > 0 ? static_cast<double>(shed) / offered : 0.0,
+      shed > 0 ? shed_wait_total_ms / shed : 0.0, kSwaps, swap_mean_us,
+      swap_max_us);
+  return 0;
+}

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Bench runner: executes the ch7 serving bench (in-process engine) and the
+# daemon bench (full TCP stack) and assembles one BENCH_<n>.json so the
+# repo carries a perf-trajectory baseline per PR (ROADMAP item 4).
+#
+# Usage: bench/run_bench.sh [build-dir] [out.json]
+# Defaults: build-dir = build, out.json = BENCH_7.json (in the repo root).
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$root/build}"
+out="${2:-$root/BENCH_7.json}"
+
+serving_bin="$build/bench/bench_ch7_serving"
+daemon_bin="$build/bench/bench_served_daemon"
+for bin in "$serving_bin" "$daemon_bin"; do
+  if [ ! -x "$bin" ]; then
+    echo "run_bench: $bin not built (cmake --build $build)" >&2
+    exit 1
+  fi
+done
+
+echo "run_bench: bench_ch7_serving (engine, in-process)..." >&2
+serving_txt="$("$serving_bin")"
+echo "run_bench: bench_served_daemon (daemon, TCP)..." >&2
+daemon_json="$("$daemon_bin")"
+
+SERVING_TXT="$serving_txt" DAEMON_JSON="$daemon_json" OUT="$out" \
+python3 - <<'EOF'
+import json, os, re
+
+serving_txt = os.environ["SERVING_TXT"]
+daemon = json.loads(os.environ["DAEMON_JSON"])
+
+# bench_ch7_serving rows: "<configuration (28 cols)><cold q/s><warm q/s>".
+engine = {}
+for line in serving_txt.splitlines():
+    m = re.match(r"(\d+ threads?, cache (?:off|\S+))\s+(\d+)\s+(\d+)\s*$",
+                 line.strip())
+    if m:
+        key = m.group(1).replace(", ", "_").replace(" ", "_")
+        engine[key] = {"cold_qps": int(m.group(2)),
+                       "warm_qps": int(m.group(3))}
+if not engine:
+    raise SystemExit("run_bench: no throughput rows parsed from "
+                     "bench_ch7_serving output")
+
+doc = {
+    "bench": "ch7 serving + latent_served daemon",
+    "engine_inprocess": engine,
+    "daemon_tcp": daemon,
+}
+with open(os.environ["OUT"], "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print("run_bench: wrote", os.environ["OUT"])
+EOF

@@ -32,6 +32,18 @@
 //   ckpt.manifest      ckpt::Checkpointer — fail writing the MANIFEST
 //   ckpt.read          ckpt::Checkpointer::Load — fail reading a snapshot
 //                      payload (falls back to the previous generation)
+//   served.accept      served::Server accept loop — fail accepting the next
+//                      connection (retried with backoff; the listener stays
+//                      up)
+//   served.read        served::ReadFrame — fail reading a frame (transient;
+//                      the server retries before closing the connection)
+//   served.write       served::WriteFrame — fail writing a frame (transient;
+//                      response writes go through io::WithRetry)
+//   served.swap        served::SnapshotHandle::Publish — fail a hot swap
+//                      (the previously published snapshot keeps serving)
+//   served.stall       served::Server request execution — sleep 25 ms before
+//                      running the query (drives deadline-propagation tests
+//                      and the overload bench)
 #ifndef LATENT_COMMON_FAILPOINT_H_
 #define LATENT_COMMON_FAILPOINT_H_
 

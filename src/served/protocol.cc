@@ -1,0 +1,351 @@
+#include "served/protocol.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/failpoint.h"
+
+namespace latent::served {
+
+namespace {
+
+// Strict base-10 parse of [begin, end) into a long long; the whole span
+// must be digits (one leading '-' allowed). Same strictness as
+// tools::ParseInt so a corrupt header never silently becomes 0.
+bool ParseSpan(const char* begin, const char* end, long long* out) {
+  if (begin == end) return false;
+  bool neg = false;
+  if (*begin == '-') {
+    neg = true;
+    ++begin;
+    if (begin == end) return false;
+  }
+  long long v = 0;
+  for (const char* p = begin; p != end; ++p) {
+    if (*p < '0' || *p > '9') return false;
+    if (v > (9223372036854775807LL - (*p - '0')) / 10) return false;
+    v = v * 10 + (*p - '0');
+  }
+  *out = neg ? -v : v;
+  return true;
+}
+
+const char* VerbToken(Verb verb) {
+  switch (verb) {
+    case Verb::kLookup:
+      return "lookup";
+    case Verb::kSearch:
+      return "search";
+    case Verb::kEntity:
+      return "entity";
+    case Verb::kSubtree:
+      return "subtree";
+    case Verb::kPing:
+      return "ping";
+  }
+  return "ping";
+}
+
+bool TokenToVerb(const std::string& token, Verb* verb) {
+  if (token == "lookup") {
+    *verb = Verb::kLookup;
+  } else if (token == "search") {
+    *verb = Verb::kSearch;
+  } else if (token == "entity") {
+    *verb = Verb::kEntity;
+  } else if (token == "subtree") {
+    *verb = Verb::kSubtree;
+  } else if (token == "ping") {
+    *verb = Verb::kPing;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// Splits the next space-delimited token of `s` starting at *pos; advances
+// *pos past the trailing space. Returns false when no token remains.
+bool NextToken(const std::string& s, size_t* pos, std::string* token) {
+  if (*pos >= s.size()) return false;
+  const size_t space = s.find(' ', *pos);
+  const size_t end = space == std::string::npos ? s.size() : space;
+  token->assign(s, *pos, end - *pos);
+  *pos = space == std::string::npos ? s.size() : space + 1;
+  return !token->empty();
+}
+
+Status Malformed(const char* what) {
+  return Status::InvalidArgument(std::string("malformed frame: ") + what);
+}
+
+// read() the exact byte count, retrying EINTR. Returns the bytes actually
+// read (short on EOF), or -1 with errno on a hard error.
+ssize_t ReadFully(int fd, char* buf, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t got = ::read(fd, buf + done, n - done);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (got == 0) break;
+    done += static_cast<size_t>(got);
+  }
+  return static_cast<ssize_t>(done);
+}
+
+}  // namespace
+
+serve::RequestKind VerbToRequestKind(Verb verb) {
+  switch (verb) {
+    case Verb::kLookup:
+      return serve::RequestKind::kLookup;
+    case Verb::kSearch:
+      return serve::RequestKind::kSearch;
+    case Verb::kEntity:
+      return serve::RequestKind::kEntity;
+    case Verb::kSubtree:
+      return serve::RequestKind::kSubtree;
+    case Verb::kPing:
+      break;
+  }
+  LATENT_CHECK_MSG(false, "kPing has no QueryEngine request kind");
+  return serve::RequestKind::kLookup;
+}
+
+std::string EncodeRequest(const WireRequest& req) {
+  std::string out = kProtocolMagic;
+  out += " q ";
+  out += std::to_string(req.deadline_ms);
+  out += ' ';
+  out += std::to_string(req.k);
+  out += ' ';
+  out += VerbToken(req.verb);
+  if (!req.arg.empty()) {
+    out += ' ';
+    out += req.arg;
+  }
+  return out;
+}
+
+Status DecodeRequest(const std::string& payload, WireRequest* req) {
+  size_t pos = 0;
+  std::string token;
+  if (!NextToken(payload, &pos, &token) || token != kProtocolMagic) {
+    return Malformed("bad magic (expected lsrv1)");
+  }
+  if (!NextToken(payload, &pos, &token) || token != "q") {
+    return Malformed("not a request frame");
+  }
+  long long deadline_ms = 0;
+  if (!NextToken(payload, &pos, &token) ||
+      !ParseSpan(token.data(), token.data() + token.size(), &deadline_ms) ||
+      deadline_ms < 0) {
+    return Malformed("deadline_ms must be a non-negative integer");
+  }
+  long long k = 0;
+  if (!NextToken(payload, &pos, &token) ||
+      !ParseSpan(token.data(), token.data() + token.size(), &k) || k < -1 ||
+      k > 2147483647LL) {
+    return Malformed("k must be an integer >= -1");
+  }
+  if (!NextToken(payload, &pos, &token)) return Malformed("missing verb");
+  Verb verb = Verb::kPing;
+  if (!TokenToVerb(token, &verb)) return Malformed("unknown verb");
+  std::string arg = pos < payload.size() ? payload.substr(pos) : "";
+  if (verb != Verb::kPing && arg.empty()) {
+    return Malformed("query verb needs an argument");
+  }
+  if (arg.find('\0') != std::string::npos) {
+    return Malformed("argument contains a NUL byte");
+  }
+  req->verb = verb;
+  req->arg = std::move(arg);
+  req->k = static_cast<int>(k);
+  req->deadline_ms = deadline_ms;
+  return Status::Ok();
+}
+
+std::string EncodeResponse(const WireResponse& resp) {
+  std::string out = kProtocolMagic;
+  out += " r ";
+  out += std::to_string(static_cast<int>(resp.code));
+  out += ' ';
+  out += std::to_string(resp.generation);
+  out += ' ';
+  out += std::to_string(resp.retry_after_ms);
+  out += '\n';
+  out += resp.body;
+  return out;
+}
+
+Status DecodeResponse(const std::string& payload, WireResponse* resp) {
+  const size_t nl = payload.find('\n');
+  if (nl == std::string::npos) return Malformed("missing header newline");
+  const std::string header = payload.substr(0, nl);
+  size_t pos = 0;
+  std::string token;
+  if (!NextToken(header, &pos, &token) || token != kProtocolMagic) {
+    return Malformed("bad magic (expected lsrv1)");
+  }
+  if (!NextToken(header, &pos, &token) || token != "r") {
+    return Malformed("not a response frame");
+  }
+  long long code = 0;
+  if (!NextToken(header, &pos, &token) ||
+      !ParseSpan(token.data(), token.data() + token.size(), &code) ||
+      code < 0 || code > static_cast<long long>(StatusCode::kResourceExhausted)) {
+    return Malformed("bad status code");
+  }
+  long long generation = 0;
+  if (!NextToken(header, &pos, &token) ||
+      !ParseSpan(token.data(), token.data() + token.size(), &generation) ||
+      generation < 0) {
+    return Malformed("bad generation");
+  }
+  long long retry_after_ms = 0;
+  if (!NextToken(header, &pos, &token) ||
+      !ParseSpan(token.data(), token.data() + token.size(), &retry_after_ms) ||
+      retry_after_ms < 0) {
+    return Malformed("bad retry_after_ms");
+  }
+  resp->code = static_cast<StatusCode>(code);
+  resp->generation = generation;
+  resp->retry_after_ms = retry_after_ms;
+  resp->body = payload.substr(nl + 1);
+  return Status::Ok();
+}
+
+Status WriteFrame(int fd, const std::string& payload) {
+  LATENT_FAILPOINT("served.write",
+                   return Status::Internal("injected served.write failure"));
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument(
+        "frame payload exceeds " + std::to_string(kMaxFrameBytes) +
+        " bytes (got " + std::to_string(payload.size()) + ")");
+  }
+  const uint32_t len = htonl(static_cast<uint32_t>(payload.size()));
+  std::string wire(reinterpret_cast<const char*>(&len), 4);
+  wire += payload;
+  size_t done = 0;
+  while (done < wire.size()) {
+    const ssize_t put = ::write(fd, wire.data() + done, wire.size() - done);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("socket write failed: ") +
+                              std::strerror(errno));
+    }
+    done += static_cast<size_t>(put);
+  }
+  return Status::Ok();
+}
+
+Status ReadFrame(int fd, std::string* payload, bool* eof) {
+  payload->clear();
+  *eof = false;
+  LATENT_FAILPOINT("served.read",
+                   return Status::Internal("injected served.read failure"));
+  uint32_t len_be = 0;
+  const ssize_t got =
+      ReadFully(fd, reinterpret_cast<char*>(&len_be), sizeof(len_be));
+  if (got < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::DeadlineExceeded("socket read timed out");
+    }
+    return Status::Internal(std::string("socket read failed: ") +
+                            std::strerror(errno));
+  }
+  if (got == 0) {
+    *eof = true;
+    return Status::Ok();
+  }
+  if (got < static_cast<ssize_t>(sizeof(len_be))) {
+    return Status::InvalidArgument("truncated frame (EOF in length prefix)");
+  }
+  const uint32_t len = ntohl(len_be);
+  if (len == 0 || len > kMaxFrameBytes) {
+    return Status::InvalidArgument(
+        "frame length out of bounds (got " + std::to_string(len) + ")");
+  }
+  payload->resize(len);
+  const ssize_t body = ReadFully(fd, payload->data(), len);
+  if (body < 0) {
+    payload->clear();
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::DeadlineExceeded("socket read timed out");
+    }
+    return Status::Internal(std::string("socket read failed: ") +
+                            std::strerror(errno));
+  }
+  if (body < static_cast<ssize_t>(len)) {
+    payload->clear();
+    return Status::InvalidArgument("truncated frame (EOF mid-payload)");
+  }
+  return Status::Ok();
+}
+
+Client::~Client() { Close(); }
+
+Status Client::Connect(int port) {
+  Close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket() failed: ") +
+                            std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Internal(std::string("connect failed: ") +
+                            std::strerror(err));
+  }
+  fd_ = fd;
+  return Status::Ok();
+}
+
+StatusOr<WireResponse> Client::Call(const WireRequest& req) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  if (Status s = WriteFrame(fd_, EncodeRequest(req)); !s.ok()) {
+    Close();
+    return s;
+  }
+  std::string payload;
+  bool eof = false;
+  if (Status s = ReadFrame(fd_, &payload, &eof); !s.ok()) {
+    Close();
+    return s;
+  }
+  if (eof) {
+    Close();
+    return Status::Internal("server closed the connection");
+  }
+  WireResponse resp;
+  if (Status s = DecodeResponse(payload, &resp); !s.ok()) {
+    Close();
+    return s;
+  }
+  return resp;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace latent::served

@@ -1,0 +1,149 @@
+// latent::served wire protocol — the length-prefixed request/response
+// framing the `latent_served` daemon and its clients speak over TCP.
+//
+// Every frame on the wire is a 4-byte big-endian payload length followed
+// by that many payload bytes. Payloads are text with a fixed header line:
+//
+//   request:   "lsrv1 q <deadline_ms> <k> <verb> <arg>"
+//   response:  "lsrv1 r <code> <generation> <retry_after_ms>\n<body>"
+//
+// `verb` is one of lookup/search/entity/subtree (the serve::QueryEngine
+// grammar) or ping (health probe answered without touching the snapshot).
+// `deadline_ms` rides every request and propagates into the per-query
+// run::RunContext on the server (0 = use the server default); `k` is the
+// result count / subtree depth (-1 = server default). Responses carry the
+// Status code of the answer, the generation of the snapshot that produced
+// it (so clients can detect hot swaps and group byte-identical answers),
+// and a retry-after hint that is non-zero exactly when the server shed the
+// request with kResourceExhausted.
+//
+// Frames are bounded by kMaxFrameBytes: an oversize length prefix is a
+// protocol error (kInvalidArgument), never an allocation. ReadFrame/
+// WriteFrame retry EINTR, detect truncation (mid-frame EOF is
+// kInvalidArgument; EOF on a frame boundary is a clean end-of-stream), and
+// carry the served.read / served.write failpoints so the fault-injection
+// suite can exercise the daemon's socket error handling.
+#ifndef LATENT_SERVED_PROTOCOL_H_
+#define LATENT_SERVED_PROTOCOL_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "serve/engine.h"
+
+namespace latent::served {
+
+/// Hard cap on one frame's payload bytes (requests and responses). Keeps a
+/// malicious or corrupt length prefix from turning into a huge allocation.
+inline constexpr size_t kMaxFrameBytes = 1u << 20;
+
+/// Magic + version token opening every payload.
+inline constexpr const char* kProtocolMagic = "lsrv1";
+
+/// What a request can ask for: the four QueryEngine verbs plus a health
+/// probe that is answered without touching the published snapshot.
+enum class Verb {
+  kLookup,
+  kSearch,
+  kEntity,
+  kSubtree,
+  kPing,
+};
+
+/// One decoded request frame.
+struct WireRequest {
+  Verb verb = Verb::kPing;
+  std::string arg;
+  /// Result count (subtree: descent depth); -1 = server default.
+  int k = -1;
+  /// Per-request deadline in ms, propagated into the server-side
+  /// run::RunContext; 0 = server default, which may itself be "none".
+  long long deadline_ms = 0;
+};
+
+/// One decoded response frame. `body` is the rendered answer on kOk and
+/// the error message otherwise.
+struct WireResponse {
+  StatusCode code = StatusCode::kOk;
+  /// Generation of the snapshot that answered. Pings and sheds report the
+  /// currently published generation; 0 = nothing published yet.
+  long long generation = 0;
+  /// Non-zero exactly when the server did not serve the request — a
+  /// kResourceExhausted shed or a kCancelled drain rejection: the suggested
+  /// client backoff before retrying (against a restarted or sibling
+  /// server).
+  long long retry_after_ms = 0;
+  std::string body;
+};
+
+/// Maps a query verb onto the engine request kind. kPing has no mapping
+/// (callers must branch on it first).
+serve::RequestKind VerbToRequestKind(Verb verb);
+
+// ---- Payload codecs --------------------------------------------------------
+
+/// Renders `req` as a request payload (no length prefix).
+std::string EncodeRequest(const WireRequest& req);
+
+/// Parses a request payload. Malformed headers (bad magic, non-numeric
+/// fields, unknown verb, negative deadline, missing argument for a query
+/// verb) return kInvalidArgument naming the defect.
+Status DecodeRequest(const std::string& payload, WireRequest* req);
+
+/// Renders `resp` as a response payload (no length prefix).
+std::string EncodeResponse(const WireResponse& resp);
+
+/// Parses a response payload with the same strictness as DecodeRequest.
+Status DecodeResponse(const std::string& payload, WireResponse* resp);
+
+// ---- Framed blocking I/O over a socket/pipe fd -----------------------------
+
+/// Writes one frame (length prefix + payload). Retries EINTR and short
+/// writes; a payload over kMaxFrameBytes is kInvalidArgument, a socket
+/// error is kInternal (transient by the io::WithRetry classification).
+/// Carries the served.write failpoint.
+Status WriteFrame(int fd, const std::string& payload);
+
+/// Reads one frame into `*payload`. A clean EOF before any byte of a frame
+/// sets `*eof` to true and returns Ok with an empty payload; EOF mid-frame
+/// is kInvalidArgument ("truncated frame"), an oversize or zero length
+/// prefix is kInvalidArgument, a receive timeout (SO_RCVTIMEO) is
+/// kDeadlineExceeded, any other socket error is kInternal (transient by
+/// the io::WithRetry classification). Carries the served.read failpoint.
+Status ReadFrame(int fd, std::string* payload, bool* eof);
+
+// ---- Client ----------------------------------------------------------------
+
+/// Minimal blocking client for tests, benches, and the torture harness:
+/// one TCP connection, sequential Call()s. Not thread-safe; give each
+/// client thread its own instance.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to 127.0.0.1:port. kInternal on connect failure.
+  Status Connect(int port);
+
+  /// Sends `req` and waits for its response. A connection torn down by the
+  /// server (EOF, reset) surfaces as a clean non-OK Status — never a hang
+  /// or a crash (SIGPIPE must be ignored by the process; the daemon, the
+  /// tests, and the bench all do).
+  StatusOr<WireResponse> Call(const WireRequest& req);
+
+  /// Closes the connection (idempotent).
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+  /// The raw socket, for tests that need to misbehave on purpose.
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace latent::served
+
+#endif  // LATENT_SERVED_PROTOCOL_H_

@@ -1,0 +1,481 @@
+#include "served/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "common/retry.h"
+
+namespace latent::served {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+// Socket-I/O retry schedule: short, bounded, jitter-free so the fault
+// suite's timing stays deterministic. Only kInternal (transient socket
+// errors and injected served.read/served.write faults) is retried.
+io::RetryPolicy SocketRetryPolicy() {
+  io::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_ms = 1;
+  policy.max_backoff_ms = 20;
+  policy.multiplier = 2.0;
+  policy.jitter = 0.0;
+  return policy;
+}
+
+// Drains whatever the peer already sent, without blocking. Called before
+// closing a connection whose request we never read (sheds, drain
+// rejections): closing with unread bytes in the receive buffer makes the
+// kernel send RST, which can destroy the response we just wrote before the
+// client reads it.
+void DrainPendingInput(int fd) {
+  char buf[4096];
+  for (int i = 0; i < 64; ++i) {
+    const ssize_t got = ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
+    if (got <= 0) break;
+  }
+}
+
+}  // namespace
+
+Status ServedOptions::Validate() const {
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("port must be in [0, 65535] (got " +
+                                   std::to_string(port) + ")");
+  }
+  if (max_inflight < 1) {
+    return Status::InvalidArgument("max_inflight must be >= 1 (got " +
+                                   std::to_string(max_inflight) + ")");
+  }
+  if (max_queue < 1) {
+    return Status::InvalidArgument("max_queue must be >= 1 (got " +
+                                   std::to_string(max_queue) + ")");
+  }
+  if (default_deadline_ms < 0) {
+    return Status::InvalidArgument(
+        "default_deadline_ms must be >= 0 (got " +
+        std::to_string(default_deadline_ms) + ")");
+  }
+  if (drain_deadline_ms < 0) {
+    return Status::InvalidArgument("drain_deadline_ms must be >= 0 (got " +
+                                   std::to_string(drain_deadline_ms) + ")");
+  }
+  if (retry_after_ms < 0) {
+    return Status::InvalidArgument("retry_after_ms must be >= 0 (got " +
+                                   std::to_string(retry_after_ms) + ")");
+  }
+  if (read_timeout_ms < 0) {
+    return Status::InvalidArgument("read_timeout_ms must be >= 0 (got " +
+                                   std::to_string(read_timeout_ms) + ")");
+  }
+  return Status::Ok();
+}
+
+Server::Server(SnapshotHandle* snapshots, const ServedOptions& options,
+               exec::Executor* ex)
+    : snapshots_(snapshots),
+      options_(options),
+      ex_(ex),
+      scope_(options.metrics) {}
+
+StatusOr<std::unique_ptr<Server>> Server::Start(SnapshotHandle* snapshots,
+                                                const ServedOptions& options,
+                                                exec::Executor* ex) {
+  if (snapshots == nullptr) {
+    return Status::InvalidArgument("Start() needs a non-null SnapshotHandle");
+  }
+  if (Status s = options.Validate(); !s.ok()) return s;
+  std::unique_ptr<Server> server(new Server(snapshots, options, ex));
+  if (options.metrics != nullptr) PreRegisterServedMetrics(options.metrics);
+  if (Status s = server->Bind(); !s.ok()) return s;
+  server->accept_thread_ = std::thread([srv = server.get()] {
+    srv->AcceptLoop();
+  });
+  server->runner_thread_ = std::thread([srv = server.get()] {
+    if (srv->ex_ != nullptr) {
+      std::vector<std::function<void()>> loops;
+      loops.reserve(static_cast<size_t>(srv->options_.max_inflight));
+      for (int i = 0; i < srv->options_.max_inflight; ++i) {
+        loops.emplace_back([srv] { srv->WorkerLoop(); });
+      }
+      srv->ex_->RunTasks(std::move(loops));
+    } else {
+      srv->WorkerLoop();
+    }
+  });
+  return server;
+}
+
+Server::~Server() {
+  RequestShutdown();
+  Wait();
+  if (!accept_thread_.joinable() && listen_fd_ >= 0) {
+    // Start() failed before the accept loop (its usual owner) took over.
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+}
+
+Status Server::Bind() {
+  if (::pipe(wake_pipe_) != 0) {
+    return Status::Internal(std::string("pipe() failed: ") +
+                            std::strerror(errno));
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket() failed: ") +
+                            std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Internal("bind(127.0.0.1:" +
+                            std::to_string(options_.port) +
+                            ") failed: " + std::strerror(err));
+  }
+  if (::listen(fd, 64) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Internal(std::string("listen() failed: ") +
+                            std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Internal(std::string("getsockname() failed: ") +
+                            std::strerror(err));
+  }
+  listen_fd_ = fd;
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+  return Status::Ok();
+}
+
+void Server::AcceptLoop() {
+  const io::RetryPolicy policy = SocketRetryPolicy();
+  while (!draining_.load(std::memory_order_acquire)) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      LATENT_OBS(obs::Count(&scope_, "served.accept.errors"));
+      break;
+    }
+    if (draining_.load(std::memory_order_acquire)) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    int cfd = -1;
+    const Status accepted = io::WithRetry(
+        policy,
+        [this, &cfd]() -> Status {
+          LATENT_FAILPOINT(
+              "served.accept",
+              return Status::Internal("injected served.accept failure"));
+          const int fd = ::accept(listen_fd_, nullptr, nullptr);
+          if (fd < 0) {
+            return Status::Internal(std::string("accept() failed: ") +
+                                    std::strerror(errno));
+          }
+          cfd = fd;
+          return Status::Ok();
+        },
+        nullptr, &scope_);
+    if (!accepted.ok()) {
+      if (draining_.load(std::memory_order_acquire)) break;
+      LATENT_OBS(obs::Count(&scope_, "served.accept.errors"));
+      continue;
+    }
+    LATENT_OBS(obs::Count(&scope_, "served.connections"));
+    if (draining_.load(std::memory_order_acquire)) {
+      RejectConnection(cfd, StatusCode::kCancelled, "server draining");
+      break;
+    }
+    bool shed = false;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (queue_.size() >= static_cast<size_t>(options_.max_queue)) {
+        shed = true;
+      } else {
+        queue_.emplace_back(cfd, Clock::now());
+        LATENT_OBS(obs::SetGauge(&scope_, "served.queue.depth",
+                                 static_cast<long long>(queue_.size())));
+      }
+    }
+    if (shed) {
+      LATENT_OBS(obs::Count(&scope_, "served.shed"));
+      RejectConnection(cfd, StatusCode::kResourceExhausted,
+                       "server overloaded: admission queue full");
+    } else {
+      cv_.notify_one();
+    }
+  }
+  // Closing the listener is the drain's first externally visible step: new
+  // connections are refused from here on.
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void Server::WorkerLoop() {
+  while (true) {
+    int fd = -1;
+    Clock::time_point enqueued;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      // wait_for (not wait): RequestShutdown is async-signal-safe and
+      // cannot notify a condition variable, so waiters poll the drain flag.
+      while (queue_.empty() && !draining_.load(std::memory_order_acquire)) {
+        cv_.wait_for(lk, std::chrono::milliseconds(50));
+      }
+      if (draining_.load(std::memory_order_acquire)) return;
+      fd = queue_.front().first;
+      enqueued = queue_.front().second;
+      queue_.pop_front();
+      LATENT_OBS(obs::SetGauge(&scope_, "served.queue.depth",
+                               static_cast<long long>(queue_.size())));
+      ++inflight_;
+      active_fds_.insert(fd);
+      LATENT_OBS(obs::SetGauge(&scope_, "served.inflight", inflight_));
+    }
+    LATENT_OBS(obs::Observe(&scope_, "served.queue.wait.ms", MsSince(enqueued)));
+    HandleConnection(fd);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      active_fds_.erase(fd);
+      --inflight_;
+      LATENT_OBS(obs::SetGauge(&scope_, "served.inflight", inflight_));
+    }
+    ::close(fd);
+    cv_.notify_all();  // a drain Wait() may be watching inflight_
+  }
+}
+
+void Server::HandleConnection(int fd) {
+  if (options_.read_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(options_.read_timeout_ms / 1000);
+    tv.tv_usec =
+        static_cast<suseconds_t>((options_.read_timeout_ms % 1000) * 1000);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  const io::RetryPolicy policy = SocketRetryPolicy();
+  while (true) {
+    std::string payload;
+    bool eof = false;
+    const Status read = io::WithRetry(
+        policy, [fd, &payload, &eof] { return ReadFrame(fd, &payload, &eof); },
+        nullptr, &scope_);
+    if (!read.ok()) {
+      LATENT_OBS(obs::Count(&scope_, "served.read.errors"));
+      // Tell the peer why it is being cut off when the stream is still
+      // writable (timeout / framing violation); best effort.
+      WireResponse resp;
+      resp.code = read.code();
+      resp.generation = snapshots_->generation();
+      resp.body = read.message();
+      (void)WriteFrame(fd, EncodeResponse(resp));
+      return;
+    }
+    if (eof) return;
+    WireRequest req;
+    if (Status decoded = DecodeRequest(payload, &req); !decoded.ok()) {
+      LATENT_OBS(obs::Count(&scope_, "served.requests"));
+      LATENT_OBS(obs::Count(&scope_, "served.requests.errors"));
+      WireResponse resp;
+      resp.code = decoded.code();
+      resp.generation = snapshots_->generation();
+      resp.body = decoded.message();
+      const Status written = io::WithRetry(
+          policy, [fd, &resp] { return WriteFrame(fd, EncodeResponse(resp)); },
+          nullptr, &scope_);
+      if (!written.ok()) {
+        LATENT_OBS(obs::Count(&scope_, "served.write.errors"));
+        return;
+      }
+      // Framing is length-prefixed, so the stream is still in sync after a
+      // malformed payload; keep serving the connection.
+      continue;
+    }
+    if (!AnswerRequest(fd, req)) return;
+    if (draining_.load(std::memory_order_acquire)) return;
+  }
+}
+
+bool Server::AnswerRequest(int fd, const WireRequest& req) {
+  LATENT_OBS(obs::Count(&scope_, "served.requests"));
+  const Clock::time_point t0 = Clock::now();
+  WireResponse resp;
+  if (req.verb == Verb::kPing) {
+    resp.code = StatusCode::kOk;
+    resp.generation = snapshots_->generation();
+    resp.body = "pong";
+  } else {
+    const std::shared_ptr<const ServingSnapshot> snap = snapshots_->Acquire();
+    if (snap == nullptr) {
+      resp.code = StatusCode::kFailedPrecondition;
+      resp.body = "no snapshot published";
+    } else {
+      run::RunContext ctx;
+      const long long deadline_ms =
+          req.deadline_ms > 0 ? req.deadline_ms : options_.default_deadline_ms;
+      if (deadline_ms > 0) ctx.SetDeadlineAfterMs(deadline_ms);
+      ctx.set_cancel_token(drain_cancel_);
+      LATENT_FAILPOINT(
+          "served.stall",
+          std::this_thread::sleep_for(std::chrono::milliseconds(25)));
+      serve::Request query;
+      query.kind = VerbToRequestKind(req.verb);
+      query.arg = req.arg;
+      query.k = req.k;
+      const serve::Response answer = snap->engine->Run(query, &ctx);
+      resp.code = answer.code;
+      resp.generation = snap->generation;
+      resp.body = answer.code == StatusCode::kOk ? answer.text : answer.message;
+    }
+  }
+  if (resp.code != StatusCode::kOk) {
+    LATENT_OBS(obs::Count(&scope_, "served.requests.errors"));
+  }
+  LATENT_OBS(obs::Observe(&scope_, "served.request.ms", MsSince(t0)));
+  const Status written = io::WithRetry(
+      SocketRetryPolicy(),
+      [fd, &resp] { return WriteFrame(fd, EncodeResponse(resp)); }, nullptr,
+      &scope_);
+  if (!written.ok()) {
+    LATENT_OBS(obs::Count(&scope_, "served.write.errors"));
+    return false;
+  }
+  return true;
+}
+
+void Server::RejectConnection(int fd, StatusCode code,
+                              const std::string& message) {
+  WireResponse resp;
+  resp.code = code;
+  resp.generation = snapshots_->generation();
+  resp.retry_after_ms = options_.retry_after_ms;
+  resp.body = message;
+  DrainPendingInput(fd);
+  (void)WriteFrame(fd, EncodeResponse(resp));
+  DrainPendingInput(fd);
+  ::close(fd);
+}
+
+StatusOr<long long> Server::PublishSnapshot(
+    std::unique_ptr<const serve::QueryEngine> engine) {
+  const Clock::time_point t0 = Clock::now();
+  StatusOr<long long> generation = snapshots_->Publish(std::move(engine));
+  if (!generation.ok()) return generation;
+  LATENT_OBS({
+    obs::Count(&scope_, "served.swaps");
+    obs::Observe(&scope_, "served.swap.ms", MsSince(t0));
+    obs::SetGauge(&scope_, "served.generation", generation.value());
+  });
+  return generation;
+}
+
+void Server::RequestShutdown() {
+  draining_.store(true, std::memory_order_release);
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 'x';
+    // Best effort; the pipe only shortcuts the accept loop's poll().
+    [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+Status Server::Wait() {
+  std::lock_guard<std::mutex> wait_lk(wait_mu_);
+  if (waited_) return wait_status_;
+  while (!draining_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  const Clock::time_point t0 = Clock::now();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Admitted-but-unstarted connections get an explicit drain response
+  // instead of silently vanishing with the process.
+  std::vector<int> unstarted;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& [fd, enqueued] : queue_) unstarted.push_back(fd);
+    queue_.clear();
+    LATENT_OBS(obs::SetGauge(&scope_, "served.queue.depth", 0));
+  }
+  for (const int fd : unstarted) {
+    RejectConnection(fd, StatusCode::kCancelled, "server draining");
+  }
+  // Let in-flight connections finish under the drain deadline.
+  int stragglers = 0;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    while (inflight_ > 0 && MsSince(t0) < options_.drain_deadline_ms) {
+      cv_.wait_for(lk, std::chrono::milliseconds(10));
+    }
+    stragglers = inflight_;
+  }
+  if (stragglers > 0) {
+    // Deadline passed: cancel the queries (their RunContexts share the
+    // drain token) and shut the sockets down so blocked reads wind down.
+    drain_cancel_->Cancel();
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (runner_thread_.joinable()) runner_thread_.join();
+  LATENT_OBS(obs::Observe(&scope_, "served.drain.ms", MsSince(t0)));
+  wait_status_ =
+      stragglers == 0
+          ? Status::Ok()
+          : Status::DeadlineExceeded(
+                "drain deadline exceeded; cancelled " +
+                std::to_string(stragglers) + " in-flight connection(s)");
+  waited_ = true;
+  return wait_status_;
+}
+
+void PreRegisterServedMetrics(obs::Registry* r) {
+  if (r == nullptr) return;
+  for (const char* name :
+       {"served.connections", "served.requests", "served.requests.errors",
+        "served.shed", "served.swaps", "served.accept.errors",
+        "served.read.errors", "served.write.errors"}) {
+    r->counter(name);
+  }
+  for (const char* name :
+       {"served.inflight", "served.queue.depth", "served.generation"}) {
+    r->gauge(name);
+  }
+  for (const char* name : {"served.queue.wait.ms", "served.request.ms",
+                           "served.swap.ms", "served.drain.ms"}) {
+    r->histogram(name);
+  }
+}
+
+}  // namespace latent::served

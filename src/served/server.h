@@ -1,0 +1,199 @@
+// latent::served — the crash-tolerant TCP serving daemon over the
+// latent::serve read path.
+//
+// A Server listens on a loopback TCP port, speaks the length-prefixed
+// protocol of served/protocol.h, and answers every query from the snapshot
+// currently published in a SnapshotHandle (served/snapshot.h). Robustness
+// is the headline contract:
+//
+//   * Admission control / load shedding. Accepted connections enter a
+//     bounded admission queue drained by `max_inflight` worker loops
+//     dispatched on an exec::Executor. When the queue is full the server
+//     answers kResourceExhausted immediately — with a retry-after hint —
+//     instead of letting latency collapse under unbounded queueing. Queue
+//     depth and in-flight count are exported as the served.queue.depth and
+//     served.inflight gauges (the admission decision reads the same
+//     values).
+//   * Graceful drain. RequestShutdown() is async-signal-safe (the daemon
+//     calls it from its SIGTERM/SIGINT handler): it flips the listener
+//     closed, queued-but-unstarted connections are answered with a
+//     kCancelled "draining" response, and in-flight requests get
+//     `drain_deadline_ms` to finish. Stragglers past the deadline are
+//     cancelled through the drain CancelToken wired into every request's
+//     run::RunContext, and their sockets are shut down so blocked reads
+//     wind down too. Wait() reports how the drain went.
+//   * Zero-downtime hot swap. PublishSnapshot() installs a new engine
+//     through the RCU handle while in-flight queries finish on the old
+//     snapshot; responses are generation-tagged so clients can tell which
+//     snapshot answered. A swap never fails or delays a request.
+//   * Fault injection. The served.accept / served.read / served.write /
+//     served.swap / served.stall failpoints plus bounded io::WithRetry on
+//     transient socket errors let the fault-injection suite drive every
+//     network failure path (see served_test).
+//
+// Every request carries its own deadline (frame header, falling back to
+// `default_deadline_ms`) that propagates into a per-query run::RunContext;
+// an expired or cancelled query answers with its Status code, the
+// connection stays usable, and the daemon never dies with a request.
+#ifndef LATENT_SERVED_SERVER_H_
+#define LATENT_SERVED_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/run_context.h"
+#include "common/status.h"
+#include "obs/obs.h"
+#include "served/protocol.h"
+#include "served/snapshot.h"
+
+namespace latent::served {
+
+/// Daemon knobs. Validated by Server::Start() with the same Status codes
+/// and "(got N)" wording as api::PipelineOptions / serve::QueryOptions.
+struct ServedOptions {
+  /// TCP port to listen on (loopback); 0 picks an ephemeral port, readable
+  /// afterwards via Server::port().
+  int port = 0;
+  /// Worker loops draining the admission queue == maximum connections
+  /// served concurrently. The executor handed to Start() must dedicate at
+  /// least this many threads to the server (a serial executor serves one
+  /// connection at a time regardless).
+  int max_inflight = 4;
+  /// Admission-queue bound: accepted connections waiting for a worker.
+  /// A connection arriving with the queue full is shed with
+  /// kResourceExhausted and `retry_after_ms`.
+  int max_queue = 16;
+  /// Deadline applied to requests whose frame says deadline_ms = 0;
+  /// 0 = unbounded.
+  long long default_deadline_ms = 0;
+  /// How long in-flight requests may keep running after RequestShutdown()
+  /// before the drain CancelToken trips and their sockets are shut down.
+  long long drain_deadline_ms = 2000;
+  /// Backoff hint stamped on shed (kResourceExhausted) and drain
+  /// (kCancelled) responses.
+  long long retry_after_ms = 50;
+  /// Per-socket receive timeout while waiting for the next request frame;
+  /// an idle or stalled client past it has its connection closed.
+  /// 0 = wait forever.
+  long long read_timeout_ms = 0;
+  /// Metric registry for every served.* instrument; null = none. Must
+  /// outlive the server.
+  obs::Registry* metrics = nullptr;
+
+  /// Rejects nonsensical knobs (port outside [0, 65535], non-positive
+  /// max_inflight/max_queue, negative deadlines/hints) with
+  /// kInvalidArgument.
+  Status Validate() const;
+};
+
+/// The daemon. Construction (Start) binds + listens and spins up the
+/// accept loop and worker loops; destruction drains (like RequestShutdown
+/// + Wait) if the caller has not already.
+class Server {
+ public:
+  /// Validates options, binds 127.0.0.1:`options.port`, and starts
+  /// serving whatever `snapshots` currently publishes (an empty handle
+  /// answers kFailedPrecondition until the first PublishSnapshot()).
+  /// `snapshots` must outlive the server. A null `ex` serves connections
+  /// on one internal thread; with an executor, `max_inflight` worker
+  /// loops run as one long-lived task batch on it — the executor must be
+  /// dedicated to this server until Wait() returns.
+  static StatusOr<std::unique_ptr<Server>> Start(SnapshotHandle* snapshots,
+                                                 const ServedOptions& options,
+                                                 exec::Executor* ex = nullptr);
+
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The port actually bound (== options.port unless that was 0).
+  int port() const { return port_; }
+
+  /// Publishes `engine` as the next snapshot generation through the
+  /// handle, counting served.swaps and timing served.swap.ms. In-flight
+  /// queries keep answering from the old snapshot; there is no pause.
+  StatusOr<long long> PublishSnapshot(
+      std::unique_ptr<const serve::QueryEngine> engine);
+
+  /// Begins a graceful drain. Async-signal-safe (atomic store + self-pipe
+  /// write): the daemon calls this directly from its SIGTERM/SIGINT
+  /// handler. Idempotent.
+  void RequestShutdown();
+
+  /// True once RequestShutdown() was called.
+  bool ShutdownRequested() const {
+    return draining_.load(std::memory_order_relaxed);
+  }
+
+  /// Blocks until the server has fully stopped: the listener is closed,
+  /// queued connections are answered with a drain response, in-flight
+  /// requests finish (or are cancelled at the drain deadline), and every
+  /// thread has joined. Returns Ok when everything finished inside the
+  /// deadline, kDeadlineExceeded naming the straggler count otherwise.
+  /// Call after RequestShutdown(); calling it first blocks until someone
+  /// requests the shutdown. Idempotent (the first caller's status is
+  /// remembered).
+  Status Wait();
+
+ private:
+  Server(SnapshotHandle* snapshots, const ServedOptions& options,
+         exec::Executor* ex);
+
+  Status Bind();
+  void AcceptLoop();
+  void WorkerLoop();
+  void HandleConnection(int fd);
+  /// Answers one decoded request (ping or query) on `fd`. Returns false
+  /// when the connection should close (write failure or drain).
+  bool AnswerRequest(int fd, const WireRequest& req);
+  /// Best-effort "not served" response + close (sheds and drain flushes).
+  void RejectConnection(int fd, StatusCode code, const std::string& message);
+
+  SnapshotHandle* snapshots_;
+  ServedOptions options_;
+  exec::Executor* ex_;
+  obs::Scope scope_;
+  std::shared_ptr<run::CancelToken> drain_cancel_ =
+      std::make_shared<run::CancelToken>();
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  int wake_pipe_[2] = {-1, -1};
+
+  std::thread accept_thread_;
+  /// Runs the worker-loop batch on ex_ (or inline when ex_ is null).
+  std::thread runner_thread_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  /// Admission queue: accepted fd + its enqueue time (for the queue-wait
+  /// histogram). Guarded by mu_.
+  std::deque<std::pair<int, std::chrono::steady_clock::time_point>> queue_;
+  int inflight_ = 0;  // guarded by mu_
+  /// Sockets currently being handled, so a drain-deadline can shut them
+  /// down and unblock their reads. Guarded by mu_.
+  std::set<int> active_fds_;
+
+  std::atomic<bool> draining_{false};
+  bool waited_ = false;          // guarded by wait_mu_
+  Status wait_status_;           // guarded by wait_mu_
+  std::mutex wait_mu_;
+};
+
+/// Creates every served.* metric at its zero value so --metrics-json dumps
+/// keep a complete, diffable key set before the first connection. Mirrors
+/// serve::PreRegisterServeMetrics.
+void PreRegisterServedMetrics(obs::Registry* r);
+
+}  // namespace latent::served
+
+#endif  // LATENT_SERVED_SERVER_H_

@@ -1,0 +1,28 @@
+#include "served/snapshot.h"
+
+#include <utility>
+
+#include "common/failpoint.h"
+
+namespace latent::served {
+
+StatusOr<long long> SnapshotHandle::Publish(
+    std::unique_ptr<const serve::QueryEngine> engine) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("Publish() needs a non-null engine");
+  }
+  LATENT_FAILPOINT("served.swap",
+                   return Status::Internal("injected served.swap failure"));
+  auto next = std::make_shared<ServingSnapshot>();
+  next->generation = generation_.load(std::memory_order_relaxed) + 1;
+  next->engine = std::move(engine);
+  const long long generation = next->generation;
+  // Store the generation first so generation() never lags Acquire(): a
+  // reader that sees the new snapshot also sees (at least) its generation.
+  generation_.store(generation, std::memory_order_relaxed);
+  current_.store(std::shared_ptr<const ServingSnapshot>(std::move(next)),
+                 std::memory_order_release);
+  return generation;
+}
+
+}  // namespace latent::served

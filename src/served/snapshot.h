@@ -1,0 +1,70 @@
+// latent::served snapshot publication — the RCU-style hot-swap point that
+// lets a freshly mined/loaded hierarchy replace the served one with zero
+// downtime.
+//
+// A ServingSnapshot bundles one immutable serve::QueryEngine (which owns
+// its HierarchyIndex) with the generation number it was published under.
+// SnapshotHandle holds the current snapshot in a
+// std::atomic<std::shared_ptr<const ServingSnapshot>>: readers Acquire() a
+// shared_ptr (one atomic ref-count bump, no lock held across the query)
+// and keep serving from that snapshot for as long as their request runs,
+// while Publish() atomically installs a successor. In-flight queries
+// finish on the snapshot they acquired; the old engine is destroyed when
+// the last such query drops its reference — classic read-copy-update, so
+// a swap never blocks or fails a request.
+//
+// Generations are monotonically increasing from 1 and tag every response
+// frame, so clients can group answers by snapshot and verify byte-identity
+// within a generation (pinned by served_test's swap-under-load case).
+#ifndef LATENT_SERVED_SNAPSHOT_H_
+#define LATENT_SERVED_SNAPSHOT_H_
+
+#include <atomic>
+#include <memory>
+
+#include "common/status.h"
+#include "serve/engine.h"
+
+namespace latent::served {
+
+/// One published snapshot: an immutable engine plus its generation tag.
+struct ServingSnapshot {
+  long long generation = 0;
+  std::unique_ptr<const serve::QueryEngine> engine;
+};
+
+/// Thread-safe publish point. Any number of threads may Acquire()
+/// concurrently with one Publish(); publishers must serialize among
+/// themselves (the daemon publishes from its main thread only).
+class SnapshotHandle {
+ public:
+  SnapshotHandle() = default;
+  SnapshotHandle(const SnapshotHandle&) = delete;
+  SnapshotHandle& operator=(const SnapshotHandle&) = delete;
+
+  /// Current snapshot, or null when nothing has been published yet. The
+  /// returned shared_ptr keeps the snapshot (and its engine) alive even if
+  /// a Publish() lands while the caller is still using it.
+  std::shared_ptr<const ServingSnapshot> Acquire() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  /// Atomically installs `engine` as the next generation and returns that
+  /// generation number. In-flight readers keep the previous snapshot alive
+  /// until they finish. Carries the served.swap failpoint (an injected
+  /// failure leaves the current snapshot untouched).
+  StatusOr<long long> Publish(std::unique_ptr<const serve::QueryEngine> engine);
+
+  /// Generation of the newest published snapshot (0 = none yet).
+  long long generation() const {
+    return generation_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::shared_ptr<const ServingSnapshot>> current_;
+  std::atomic<long long> generation_{0};
+};
+
+}  // namespace latent::served
+
+#endif  // LATENT_SERVED_SNAPSHOT_H_

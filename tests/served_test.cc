@@ -1,0 +1,699 @@
+// Tests for the serving daemon layer (src/served): wire-protocol codecs
+// and framing, the RCU SnapshotHandle, and the Server's robustness
+// contract — request/response correctness against a direct QueryEngine
+// run, zero-downtime hot swap under concurrent client load, admission
+// control (fast kResourceExhausted sheds instead of timeouts), graceful
+// drain with straggler cancellation, per-request deadline propagation, and
+// every served.* fault-injection site. Whole-binary runs are registered
+// under the `served` ctest label (plus tsan.served / asan.served in
+// sanitizer builds).
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "api/latent.h"
+#include "common/failpoint.h"
+#include "common/parallel.h"
+#include "common/retry.h"
+#include "data/io.h"
+#include "obs/metrics.h"
+#include "served/protocol.h"
+#include "served/server.h"
+#include "served/snapshot.h"
+#include "serve/engine.h"
+#include "serve/index.h"
+#include "text/tokenizer.h"
+
+namespace latent {
+namespace {
+
+using served::Client;
+using served::ServedOptions;
+using served::Server;
+using served::SnapshotHandle;
+using served::Verb;
+using served::WireRequest;
+using served::WireResponse;
+
+#ifndef LATENT_EXAMPLES_DATA
+#error "LATENT_EXAMPLES_DATA must point at the bundled examples/data dir"
+#endif
+
+#if defined(LATENT_FAILPOINTS_ENABLED)
+constexpr bool kFailpointsCompiledIn = true;
+#else
+constexpr bool kFailpointsCompiledIn = false;
+#endif
+
+// The server writes to sockets whose client may already be gone; without
+// this the first such write kills the whole test binary.
+struct SigpipeIgnored {
+  SigpipeIgnored() { std::signal(SIGPIPE, SIG_IGN); }
+} g_sigpipe_ignored;
+
+// One mined pipeline over the bundled corpus, shared by every test.
+struct Pipeline {
+  text::Corpus corpus;
+  data::EntityAttachments attachments;
+  api::MinedHierarchy mined;
+  serve::IndexOptions iopt;
+};
+
+const Pipeline& SharedPipeline() {
+  static const Pipeline* pipeline = [] {
+    auto* p = new Pipeline;
+    const std::string dir = LATENT_EXAMPLES_DATA;
+    auto corpus = data::LoadCorpusFromFile(dir + "/papers.txt", {});
+    LATENT_CHECK_MSG(corpus.ok(), "examples corpus must load");
+    p->corpus = std::move(corpus.value());
+    auto attachments = data::LoadEntityAttachments(
+        dir + "/papers_entities.tsv", p->corpus.num_docs());
+    LATENT_CHECK_MSG(attachments.ok(), "examples entities must load");
+    p->attachments = std::move(attachments.value());
+
+    api::PipelineOptions opt;
+    opt.build.levels_k = {2, 2};
+    opt.build.max_depth = 2;
+    opt.miner.min_support = 3;
+    api::PipelineInput input(
+        p->corpus,
+        api::EntitySchema(p->attachments.type_names,
+                          p->attachments.TypeSizes()),
+        p->attachments.entity_docs);
+    StatusOr<api::MinedHierarchy> mined = api::Mine(input, opt);
+    LATENT_CHECK_MSG(mined.ok(), "examples corpus must mine");
+    p->mined = std::move(mined.value());
+    p->iopt.namer = [p](int type, int id) -> std::string {
+      if (type == 0) return p->corpus.vocab().Token(id);
+      return p->attachments.entity_names[type - 1].Token(id);
+    };
+    return p;
+  }();
+  return *pipeline;
+}
+
+// Fresh engine over the shared hierarchy. `default_k` changes the rendered
+// bytes of k=-1 requests, so engines with different values make hot-swap
+// generations distinguishable byte-wise.
+std::unique_ptr<const serve::QueryEngine> MakeEngine(int default_k = 10) {
+  const Pipeline& p = SharedPipeline();
+  StatusOr<serve::HierarchyIndex> built = p.mined.MakeIndex(p.iopt);
+  LATENT_CHECK_MSG(built.ok(), "index must build");
+  serve::QueryOptions qopt;
+  qopt.default_k = default_k;
+  StatusOr<std::unique_ptr<serve::QueryEngine>> engine =
+      serve::QueryEngine::Create(std::move(built.value()), qopt, nullptr);
+  LATENT_CHECK_MSG(engine.ok(), "engine must build");
+  return std::move(engine.value());
+}
+
+// Server + its dependencies with test-friendly defaults. Declaration order
+// matters: the server must stop before the executor/handle/registry die.
+struct TestDaemon {
+  explicit TestDaemon(ServedOptions opt = {}, int executor_threads = 4) {
+    exec::ExecOptions eopt;
+    eopt.num_threads = executor_threads;
+    ex = std::make_unique<exec::Executor>(eopt);
+    opt.metrics = &metrics;
+    StatusOr<std::unique_ptr<Server>> started =
+        Server::Start(&snapshots, opt, ex.get());
+    LATENT_CHECK_MSG(started.ok(), started.status().message().c_str());
+    server = std::move(started.value());
+  }
+  ~TestDaemon() {
+    server->RequestShutdown();
+    (void)server->Wait();
+  }
+
+  obs::Registry metrics;
+  SnapshotHandle snapshots;
+  std::unique_ptr<exec::Executor> ex;
+  std::unique_ptr<Server> server;
+};
+
+WireRequest Req(Verb verb, const std::string& arg, int k = -1,
+                long long deadline_ms = 0) {
+  WireRequest req;
+  req.verb = verb;
+  req.arg = arg;
+  req.k = k;
+  req.deadline_ms = deadline_ms;
+  return req;
+}
+
+// ---- Options validation ----------------------------------------------------
+
+TEST(ServedOptionsTest, DefaultsAreValid) {
+  EXPECT_TRUE(ServedOptions().Validate().ok());
+}
+
+TEST(ServedOptionsTest, RejectsBadKnobs) {
+  auto expect_rejected = [](ServedOptions opt) {
+    Status s = opt.Validate();
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(s.message().find("(got "), std::string::npos) << s.message();
+  };
+  {
+    ServedOptions opt;
+    opt.port = 65536;
+    expect_rejected(opt);
+  }
+  {
+    ServedOptions opt;
+    opt.max_inflight = 0;
+    expect_rejected(opt);
+  }
+  {
+    ServedOptions opt;
+    opt.max_queue = 0;
+    expect_rejected(opt);
+  }
+  {
+    ServedOptions opt;
+    opt.drain_deadline_ms = -1;
+    expect_rejected(opt);
+  }
+  {
+    ServedOptions opt;
+    opt.retry_after_ms = -5;
+    expect_rejected(opt);
+  }
+}
+
+// ---- Protocol codecs -------------------------------------------------------
+
+TEST(ProtocolTest, RequestRoundTrip) {
+  const WireRequest req = Req(Verb::kSearch, "mining algorithms", 7, 250);
+  WireRequest decoded;
+  ASSERT_TRUE(served::DecodeRequest(served::EncodeRequest(req), &decoded).ok());
+  EXPECT_EQ(decoded.verb, Verb::kSearch);
+  EXPECT_EQ(decoded.arg, "mining algorithms");
+  EXPECT_EQ(decoded.k, 7);
+  EXPECT_EQ(decoded.deadline_ms, 250);
+}
+
+TEST(ProtocolTest, ResponseRoundTrip) {
+  WireResponse resp;
+  resp.code = StatusCode::kResourceExhausted;
+  resp.generation = 42;
+  resp.retry_after_ms = 50;
+  resp.body = "line one\nline two\n";
+  WireResponse decoded;
+  ASSERT_TRUE(
+      served::DecodeResponse(served::EncodeResponse(resp), &decoded).ok());
+  EXPECT_EQ(decoded.code, StatusCode::kResourceExhausted);
+  EXPECT_EQ(decoded.generation, 42);
+  EXPECT_EQ(decoded.retry_after_ms, 50);
+  EXPECT_EQ(decoded.body, "line one\nline two\n");
+}
+
+TEST(ProtocolTest, MalformedRequestsAreRejected) {
+  WireRequest req;
+  for (const char* payload : {
+           "",                          // empty
+           "nope q 0 -1 ping",          // bad magic
+           "lsrv1 r 0 -1 ping",         // not a request
+           "lsrv1 q x -1 ping",         // non-numeric deadline
+           "lsrv1 q -5 -1 ping",        // negative deadline
+           "lsrv1 q 0 -2 ping",         // k below -1
+           "lsrv1 q 0 -1 bogus x",      // unknown verb
+           "lsrv1 q 0 -1 search",       // missing argument
+       }) {
+    Status s = served::DecodeRequest(payload, &req);
+    EXPECT_FALSE(s.ok()) << payload;
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << payload;
+  }
+  const std::string nul_arg = std::string("lsrv1 q 0 -1 search a") + '\0' + "b";
+  EXPECT_FALSE(served::DecodeRequest(nul_arg, &req).ok());
+}
+
+TEST(ProtocolTest, FrameRoundTripOverSocketpair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::string payload = "lsrv1 q 0 -1 ping";
+  ASSERT_TRUE(served::WriteFrame(fds[0], payload).ok());
+  std::string got;
+  bool eof = true;
+  ASSERT_TRUE(served::ReadFrame(fds[1], &got, &eof).ok());
+  EXPECT_FALSE(eof);
+  EXPECT_EQ(got, payload);
+  // Clean EOF on a frame boundary.
+  ASSERT_EQ(::shutdown(fds[0], SHUT_WR), 0);
+  ASSERT_TRUE(served::ReadFrame(fds[1], &got, &eof).ok());
+  EXPECT_TRUE(eof);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(ProtocolTest, TruncatedAndOversizeFramesAreInvalid) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // Length prefix promising 100 bytes, then EOF after 3.
+  const unsigned char prefix[4] = {0, 0, 0, 100};
+  ASSERT_EQ(::write(fds[0], prefix, 4), 4);
+  ASSERT_EQ(::write(fds[0], "abc", 3), 3);
+  ::shutdown(fds[0], SHUT_WR);
+  std::string got;
+  bool eof = false;
+  Status s = served::ReadFrame(fds[1], &got, &eof);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  ::close(fds[0]);
+  ::close(fds[1]);
+
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // Length prefix far beyond kMaxFrameBytes must be rejected, not
+  // allocated.
+  const unsigned char huge[4] = {0xff, 0xff, 0xff, 0xff};
+  ASSERT_EQ(::write(fds[0], huge, 4), 4);
+  s = served::ReadFrame(fds[1], &got, &eof);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  // Oversize writes are rejected before touching the socket.
+  EXPECT_EQ(served::WriteFrame(fds[0],
+                               std::string(served::kMaxFrameBytes + 1, 'x'))
+                .code(),
+            StatusCode::kInvalidArgument);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// ---- SnapshotHandle --------------------------------------------------------
+
+TEST(SnapshotHandleTest, PublishesMonotonicGenerations) {
+  SnapshotHandle handle;
+  EXPECT_EQ(handle.Acquire(), nullptr);
+  EXPECT_EQ(handle.generation(), 0);
+  EXPECT_EQ(handle.Publish(nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+
+  StatusOr<long long> first = handle.Publish(MakeEngine(3));
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value(), 1);
+  std::shared_ptr<const served::ServingSnapshot> held = handle.Acquire();
+  ASSERT_NE(held, nullptr);
+  EXPECT_EQ(held->generation, 1);
+
+  StatusOr<long long> second = handle.Publish(MakeEngine(5));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value(), 2);
+  EXPECT_EQ(handle.generation(), 2);
+  // The old snapshot (and its engine) stays usable for in-flight readers.
+  EXPECT_EQ(held->generation, 1);
+  EXPECT_EQ(held->engine->options().default_k, 3);
+  EXPECT_EQ(handle.Acquire()->generation, 2);
+}
+
+// ---- Server behavior -------------------------------------------------------
+
+TEST(ServedServerTest, AnswersMatchDirectEngineRun) {
+  TestDaemon daemon;
+  std::unique_ptr<const serve::QueryEngine> reference = MakeEngine();
+  ASSERT_TRUE(daemon.server->PublishSnapshot(MakeEngine()).ok());
+
+  Client client;
+  ASSERT_TRUE(client.Connect(daemon.server->port()).ok());
+  const std::vector<std::pair<Verb, std::string>> queries = {
+      {Verb::kLookup, "o"},
+      {Verb::kSearch, "mining"},
+      {Verb::kEntity, SharedPipeline().attachments.type_names[0] + ":" +
+                          SharedPipeline()
+                              .attachments.entity_names[0]
+                              .Token(0)},
+      {Verb::kSubtree, "o"},
+  };
+  for (const auto& [verb, arg] : queries) {
+    StatusOr<WireResponse> resp = client.Call(Req(verb, arg));
+    ASSERT_TRUE(resp.ok()) << resp.status().message();
+    EXPECT_EQ(resp.value().generation, 1);
+    serve::Request direct;
+    direct.kind = served::VerbToRequestKind(verb);
+    direct.arg = arg;
+    direct.k = -1;
+    const serve::Response expected = reference->Run(direct);
+    EXPECT_EQ(resp.value().code, expected.code) << arg;
+    if (expected.code == StatusCode::kOk) {
+      EXPECT_EQ(resp.value().body, expected.text) << arg;
+    }
+  }
+  // Ping answers without a snapshot query; an unknown path is a clean
+  // kNotFound over the wire, connection still usable.
+  StatusOr<WireResponse> ping = client.Call(Req(Verb::kPing, ""));
+  ASSERT_TRUE(ping.ok());
+  EXPECT_EQ(ping.value().code, StatusCode::kOk);
+  EXPECT_EQ(ping.value().body, "pong");
+  StatusOr<WireResponse> missing = client.Call(Req(Verb::kLookup, "o/9/9/9"));
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing.value().code, StatusCode::kNotFound);
+  StatusOr<WireResponse> after = client.Call(Req(Verb::kPing, ""));
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().code, StatusCode::kOk);
+  EXPECT_GE(daemon.metrics.CounterValue("served.requests"), 7u);
+}
+
+TEST(ServedServerTest, NoSnapshotAnswersFailedPrecondition) {
+  TestDaemon daemon;
+  Client client;
+  ASSERT_TRUE(client.Connect(daemon.server->port()).ok());
+  StatusOr<WireResponse> resp = client.Call(Req(Verb::kLookup, "o"));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.value().code, StatusCode::kFailedPrecondition);
+  EXPECT_EQ(resp.value().generation, 0);
+}
+
+TEST(ServedServerTest, MalformedFrameAnswersErrorAndKeepsConnection) {
+  TestDaemon daemon;
+  ASSERT_TRUE(daemon.server->PublishSnapshot(MakeEngine()).ok());
+  Client client;
+  ASSERT_TRUE(client.Connect(daemon.server->port()).ok());
+  ASSERT_TRUE(served::WriteFrame(client.fd(), "lsrv1 q 0 -1 bogus x").ok());
+  std::string payload;
+  bool eof = false;
+  ASSERT_TRUE(served::ReadFrame(client.fd(), &payload, &eof).ok());
+  ASSERT_FALSE(eof);
+  WireResponse resp;
+  ASSERT_TRUE(served::DecodeResponse(payload, &resp).ok());
+  EXPECT_EQ(resp.code, StatusCode::kInvalidArgument);
+  EXPECT_NE(resp.body.find("unknown verb"), std::string::npos);
+  // Framing kept the stream in sync: the next request still works.
+  StatusOr<WireResponse> ok = client.Call(Req(Verb::kPing, ""));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value().code, StatusCode::kOk);
+}
+
+// The headline hot-swap contract: concurrent clients across repeated
+// publishes observe zero failures, and within one generation every
+// response is byte-identical.
+TEST(ServedServerTest, SwapUnderLoadZeroFailuresByteIdentityPerGeneration) {
+  ServedOptions opt;
+  opt.max_inflight = 4;
+  opt.max_queue = 32;
+  TestDaemon daemon(opt, /*executor_threads=*/4);
+  ASSERT_TRUE(daemon.server->PublishSnapshot(MakeEngine(3)).ok());
+
+  constexpr int kClientThreads = 4;
+  constexpr int kSwaps = 5;
+  constexpr int kRequestsPerThread = 40;
+  std::atomic<int> failures{0};
+  std::vector<std::vector<std::pair<long long, std::string>>> seen(
+      kClientThreads);
+  std::vector<std::thread> clients;
+  clients.reserve(kClientThreads);
+  for (int t = 0; t < kClientThreads; ++t) {
+    clients.emplace_back([&, t] {
+      Client client;
+      if (!client.Connect(daemon.server->port()).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        StatusOr<WireResponse> resp =
+            client.Call(Req(Verb::kSearch, "mining"));
+        if (!resp.ok() || resp.value().code != StatusCode::kOk) {
+          failures.fetch_add(1);
+          return;
+        }
+        seen[t].emplace_back(resp.value().generation, resp.value().body);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+  }
+  // Hot swaps while the clients hammer: alternate default_k so successive
+  // generations render different bytes.
+  for (int s = 0; s < kSwaps; ++s) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    StatusOr<long long> gen =
+        daemon.server->PublishSnapshot(MakeEngine(s % 2 == 0 ? 5 : 3));
+    ASSERT_TRUE(gen.ok());
+  }
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  // Byte-identity within each generation, across all clients.
+  std::map<long long, std::string> body_of_generation;
+  size_t total = 0;
+  for (const auto& thread_seen : seen) {
+    total += thread_seen.size();
+    for (const auto& [generation, body] : thread_seen) {
+      auto [it, inserted] = body_of_generation.emplace(generation, body);
+      EXPECT_EQ(it->second, body)
+          << "generation " << generation << " answered differing bytes";
+    }
+  }
+  EXPECT_EQ(total,
+            static_cast<size_t>(kClientThreads) * kRequestsPerThread);
+  // The load really did span snapshots, and distinct default_k engines
+  // rendered distinct bytes across adjacent generations.
+  EXPECT_GE(body_of_generation.size(), 2u);
+  EXPECT_EQ(daemon.metrics.CounterValue("served.swaps"),
+            static_cast<uint64_t>(kSwaps) + 1);
+  EXPECT_EQ(daemon.snapshots.generation(), kSwaps + 1);
+}
+
+// Admission control: with every worker pinned and the queue full, a new
+// connection is answered kResourceExhausted immediately — a fast shed with
+// a retry hint, not a timeout.
+TEST(ServedServerTest, OverloadShedsWithResourceExhausted) {
+  ServedOptions opt;
+  opt.max_inflight = 1;
+  opt.max_queue = 1;
+  opt.retry_after_ms = 75;
+  TestDaemon daemon(opt, /*executor_threads=*/1);
+  ASSERT_TRUE(daemon.server->PublishSnapshot(MakeEngine()).ok());
+
+  // Pin the only worker: a connection whose frame never completes.
+  Client staller;
+  ASSERT_TRUE(staller.Connect(daemon.server->port()).ok());
+  const unsigned char partial[4] = {0, 0, 0, 50};
+  ASSERT_EQ(::write(staller.fd(), partial, 4), 4);
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  // Fill the admission queue.
+  Client queued;
+  ASSERT_TRUE(queued.Connect(daemon.server->port()).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // The next connection must be shed, and fast.
+  const auto t0 = std::chrono::steady_clock::now();
+  Client shed;
+  ASSERT_TRUE(shed.Connect(daemon.server->port()).ok());
+  StatusOr<WireResponse> resp = shed.Call(Req(Verb::kLookup, "o"));
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  ASSERT_TRUE(resp.ok()) << resp.status().message();
+  EXPECT_EQ(resp.value().code, StatusCode::kResourceExhausted);
+  EXPECT_EQ(resp.value().retry_after_ms, 75);
+  EXPECT_NE(resp.value().body.find("overloaded"), std::string::npos);
+  EXPECT_LT(elapsed_ms, 2000.0);
+  EXPECT_GE(daemon.metrics.CounterValue("served.shed"), 1u);
+  EXPECT_EQ(daemon.metrics.GaugeValue("served.queue.depth"), 1);
+
+  // Unpin the worker (truncated frame -> clean connection teardown) and
+  // confirm the server still serves new work afterwards.
+  staller.Close();
+  queued.Close();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  Client after;
+  ASSERT_TRUE(after.Connect(daemon.server->port()).ok());
+  StatusOr<WireResponse> ok = after.Call(Req(Verb::kLookup, "o"));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value().code, StatusCode::kOk);
+}
+
+TEST(ServedServerTest, GracefulDrainFinishesInflightAndClosesListener) {
+  ServedOptions opt;
+  opt.drain_deadline_ms = 5000;
+  TestDaemon daemon(opt);
+  ASSERT_TRUE(daemon.server->PublishSnapshot(MakeEngine()).ok());
+
+  std::atomic<bool> got_response{false};
+  std::atomic<bool> response_ok{false};
+  std::thread client_thread([&] {
+    Client client;
+    if (!client.Connect(daemon.server->port()).ok()) return;
+    StatusOr<WireResponse> resp = client.Call(Req(Verb::kSearch, "mining"));
+    response_ok.store(resp.ok() && resp.value().code == StatusCode::kOk);
+    got_response.store(true);
+  });
+  // Wait until the request is actually in flight (or already done — both
+  // fine: drain must not lose it either way).
+  for (int i = 0; i < 200 && daemon.metrics.CounterValue("served.requests") == 0;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  daemon.server->RequestShutdown();
+  EXPECT_TRUE(daemon.server->ShutdownRequested());
+  Status drained = daemon.server->Wait();
+  EXPECT_TRUE(drained.ok()) << drained.message();
+  client_thread.join();
+  EXPECT_TRUE(got_response.load());
+  EXPECT_TRUE(response_ok.load());
+  // The listener is gone: new connections are refused.
+  Client late;
+  EXPECT_FALSE(late.Connect(daemon.server->port()).ok());
+}
+
+TEST(ServedServerTest, DrainDeadlineCancelsStragglers) {
+  ServedOptions opt;
+  opt.drain_deadline_ms = 100;
+  TestDaemon daemon(opt);
+  ASSERT_TRUE(daemon.server->PublishSnapshot(MakeEngine()).ok());
+
+  // A connection that never sends a frame pins its worker in ReadFrame.
+  Client straggler;
+  ASSERT_TRUE(straggler.Connect(daemon.server->port()).ok());
+  for (int i = 0;
+       i < 200 && daemon.metrics.GaugeValue("served.inflight") == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(daemon.metrics.GaugeValue("served.inflight"), 1);
+
+  daemon.server->RequestShutdown();
+  Status drained = daemon.server->Wait();
+  EXPECT_EQ(drained.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(drained.message().find("cancelled 1"), std::string::npos)
+      << drained.message();
+  // The straggler's socket was shut down: its read ends cleanly.
+  std::string payload;
+  bool eof = false;
+  Status read = served::ReadFrame(straggler.fd(), &payload, &eof);
+  EXPECT_TRUE(!read.ok() || eof);
+}
+
+// ---- Deadline propagation and fault injection ------------------------------
+
+class ServedFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!kFailpointsCompiledIn) {
+      GTEST_SKIP() << "built with -DLATENT_FAILPOINTS=OFF";
+    }
+    run::failpoint::DisarmAll();
+  }
+  void TearDown() override { run::failpoint::DisarmAll(); }
+};
+
+TEST_F(ServedFaultTest, RequestDeadlinePropagatesIntoQuery) {
+  TestDaemon daemon;
+  ASSERT_TRUE(daemon.server->PublishSnapshot(MakeEngine()).ok());
+  Client client;
+  ASSERT_TRUE(client.Connect(daemon.server->port()).ok());
+  // served.stall sleeps 25 ms between decode and execution, so a 1 ms
+  // request deadline is already spent when the query starts.
+  run::failpoint::Arm("served.stall", /*count=*/1);
+  StatusOr<WireResponse> resp =
+      client.Call(Req(Verb::kSearch, "mining", -1, /*deadline_ms=*/1));
+  ASSERT_TRUE(resp.ok()) << resp.status().message();
+  EXPECT_EQ(resp.value().code, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(run::failpoint::HitCount("served.stall"), 1);
+  // Without the stall the same request (same connection) succeeds: the
+  // deadline is per-request, and an expired one never poisons the next.
+  StatusOr<WireResponse> ok =
+      client.Call(Req(Verb::kSearch, "mining", -1, /*deadline_ms=*/5000));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value().code, StatusCode::kOk);
+}
+
+TEST_F(ServedFaultTest, InjectedSwapFailureKeepsServingOldSnapshot) {
+  TestDaemon daemon;
+  ASSERT_TRUE(daemon.server->PublishSnapshot(MakeEngine(3)).ok());
+  run::failpoint::Arm("served.swap", /*count=*/1);
+  StatusOr<long long> failed = daemon.server->PublishSnapshot(MakeEngine(5));
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kInternal);
+  // Generation unchanged; queries still answered by the old snapshot.
+  EXPECT_EQ(daemon.snapshots.generation(), 1);
+  Client client;
+  ASSERT_TRUE(client.Connect(daemon.server->port()).ok());
+  StatusOr<WireResponse> resp = client.Call(Req(Verb::kSearch, "mining"));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.value().code, StatusCode::kOk);
+  EXPECT_EQ(resp.value().generation, 1);
+  // The next (unarmed) swap succeeds and bumps the generation.
+  StatusOr<long long> retried = daemon.server->PublishSnapshot(MakeEngine(5));
+  ASSERT_TRUE(retried.ok());
+  EXPECT_EQ(retried.value(), 2);
+}
+
+TEST_F(ServedFaultTest, InjectedAcceptFailureIsRetriedAndStillServes) {
+  TestDaemon daemon;
+  ASSERT_TRUE(daemon.server->PublishSnapshot(MakeEngine()).ok());
+  // Only the server's accept loop carries served.accept, so arming it here
+  // is race-free: the kernel completes the TCP handshake into the listen
+  // backlog, the injected accept() failure is retried by io::WithRetry,
+  // and the connection is still served.
+  run::failpoint::Arm("served.accept", /*count=*/1);
+  Client client;
+  ASSERT_TRUE(client.Connect(daemon.server->port()).ok());
+  StatusOr<WireResponse> resp = client.Call(Req(Verb::kPing, ""));
+  ASSERT_TRUE(resp.ok()) << resp.status().message();
+  EXPECT_EQ(resp.value().code, StatusCode::kOk);
+  // Two site evaluations: the attempt that fired plus the retry that
+  // passed (HitCount counts evaluations while armed, fired or not).
+  EXPECT_EQ(run::failpoint::HitCount("served.accept"), 2);
+}
+
+// served.read / served.write live inside the shared frame codecs, so a
+// live-server test would race the client's own frame I/O for the
+// injection. Exercise the exact retry wrapper the server uses —
+// io::WithRetry around ReadFrame/WriteFrame — deterministically over a
+// socketpair instead.
+TEST_F(ServedFaultTest, TransientFrameFaultsAreRetriedByWithRetry) {
+  io::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_ms = 1;
+  policy.max_backoff_ms = 20;
+  policy.jitter = 0;
+
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::string frame = served::EncodeRequest(Req(Verb::kPing, ""));
+
+  // Injected write failure: first attempt fails kInternal, the retry
+  // delivers the frame.
+  run::failpoint::Arm("served.write", /*count=*/1);
+  Status wrote =
+      io::WithRetry(policy, [&] { return served::WriteFrame(fds[0], frame); });
+  EXPECT_TRUE(wrote.ok()) << wrote.message();
+  // HitCount counts evaluations while armed: the fired attempt + the
+  // passing retry.
+  EXPECT_EQ(run::failpoint::HitCount("served.write"), 2);
+
+  // Injected read failure on the other end: same story.
+  run::failpoint::Arm("served.read", /*count=*/1);
+  std::string payload;
+  bool eof = false;
+  Status read = io::WithRetry(
+      policy, [&] { return served::ReadFrame(fds[1], &payload, &eof); });
+  EXPECT_TRUE(read.ok()) << read.message();
+  EXPECT_EQ(run::failpoint::HitCount("served.read"), 2);
+  EXPECT_FALSE(eof);
+  EXPECT_EQ(payload, frame);
+
+  // Exhausting the attempt budget surfaces the injected kInternal. Arm
+  // resets the hit counter, so every evaluation here is a firing attempt.
+  run::failpoint::Arm("served.write", /*count=*/-1);
+  Status gave_up =
+      io::WithRetry(policy, [&] { return served::WriteFrame(fds[0], frame); });
+  EXPECT_EQ(gave_up.code(), StatusCode::kInternal);
+  EXPECT_EQ(run::failpoint::HitCount("served.write"), policy.max_attempts);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+}  // namespace
+}  // namespace latent

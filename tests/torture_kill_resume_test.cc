@@ -98,6 +98,30 @@ WaitResult AwaitOrKill(pid_t pid, long long kill_after_ms) {
   return r;
 }
 
+// Sends `sig` after `after_ms` and — unlike AwaitOrKill — records how the
+// child ultimately exited, so a graceful handler's exit code is visible.
+WaitResult SignalAndWait(pid_t pid, long long after_ms, int sig) {
+  WaitResult r;
+  long long waited = 0;
+  while (waited < after_ms) {
+    int status = 0;
+    if (::waitpid(pid, &status, WNOHANG) == pid) {
+      r.exited = WIFEXITED(status);
+      r.code = r.exited ? WEXITSTATUS(status) : -1;
+      return r;
+    }
+    ::usleep(5000);
+    waited += 5;
+  }
+  ::kill(pid, sig);
+  r.killed_by_us = true;
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  r.exited = WIFEXITED(status);
+  r.code = r.exited ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
 std::vector<std::string> MineArgs(const std::string& mine,
                                   const std::string& out, int threads,
                                   bool checkpoint,
@@ -273,9 +297,41 @@ int main(int argc, char** argv) {
     return Fail("resumed spectral tree differs from its reference");
   }
 
+  // Operator-kill contract (graceful, not SIGKILL): SIGTERM trips the
+  // run's CancelToken inside latent_mine, which commits the partial
+  // hierarchy frontier to --save and exits 0. Delays are staggered upward
+  // because a signal landing before the handlers are installed (during
+  // corpus load) still terminates the process the default way — that
+  // attempt retries with a longer fuse.
+  {
+    bool pinned = false;
+    for (long long delay_ms : {250LL, 500LL, 900LL, 1600LL}) {
+      ::unlink(Path("term.bin").c_str());
+      WaitResult r = SignalAndWait(
+          Spawn(MineArgs(mine, Path("term.bin"), /*threads=*/1,
+                         /*checkpoint=*/false)),
+          delay_ms, SIGTERM);
+      if (!r.exited || r.code != 0) continue;  // signal beat the handler
+      auto partial = data::ReadFile(Path("term.bin"));
+      if (!partial.ok() || partial.value().empty()) {
+        return Fail("SIGTERM run exited 0 but committed no tree to --save");
+      }
+      // An uninterrupted finish (child won the race) writes the full tree;
+      // it must then match the reference run byte for byte.
+      if (!r.killed_by_us && partial.value() != ref.value()) {
+        return Fail("uninterrupted SIGTERM-attempt tree differs from ref");
+      }
+      pinned = true;
+      break;
+    }
+    if (!pinned) {
+      return Fail("no SIGTERM attempt exited 0 with a committed tree");
+    }
+  }
+
   std::fprintf(stderr,
                "PASS: byte-identical trees after %d EM and %d spectral "
-               "SIGKILL interruption(s)\n",
+               "SIGKILL interruption(s); SIGTERM committed the frontier\n",
                kills, spectral_kills);
   return 0;
 }

@@ -1,0 +1,291 @@
+// Torture harness: SIGKILL crash-tolerance for the latent_served daemon.
+//
+// Spawns a real `latent_served` process over a synthetic HIN corpus,
+// records reference answers for a query set, then SIGKILLs the daemon in
+// the middle of a client request batch. The contract under test:
+//
+//   * every client call against the dying daemon surfaces a clean non-OK
+//     Status — never a hang, a crash, or a torn frame accepted as truth;
+//   * a restarted daemon (same corpus, seed, and options) serves
+//     byte-identical responses to the pre-kill answers, so a crash loses
+//     no served state that matters (the snapshot is rebuilt, not salvaged).
+//
+// Registered with ctest under the "torture" and "served" labels.
+// Usage: torture_served_kill_test <path-to-latent_served>
+// A missing/invalid binary path skips the test (exit 0).
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/io.h"
+#include "data/synthetic_hin.h"
+#include "served/protocol.h"
+
+namespace {
+
+using namespace latent;
+
+std::string g_dir;
+
+std::string Path(const std::string& name) { return g_dir + "/" + name; }
+
+int Fail(const std::string& why) {
+  std::fprintf(stderr, "FAIL: %s\n", why.c_str());
+  return 1;
+}
+
+pid_t Spawn(const std::vector<std::string>& args) {
+  pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  int fd = ::open(Path("served.log").c_str(), O_WRONLY | O_CREAT | O_APPEND,
+                  0644);
+  if (fd >= 0) {
+    ::dup2(fd, 1);
+    ::dup2(fd, 2);
+    ::close(fd);
+  }
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (const std::string& a : args) {
+    argv.push_back(const_cast<char*>(a.c_str()));
+  }
+  argv.push_back(nullptr);
+  ::execv(argv[0], argv.data());
+  _exit(127);
+}
+
+void KillAndReap(pid_t pid, int sig) {
+  ::kill(pid, sig);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+}
+
+// Waits for the daemon to write its port file (it does so only once bound
+// and serving). Returns the port, or -1 on timeout / a daemon that died
+// during startup.
+int AwaitPort(pid_t pid, const std::string& port_file, long long timeout_ms) {
+  long long waited = 0;
+  while (waited < timeout_ms) {
+    auto blob = data::ReadFile(port_file);
+    if (blob.ok() && !blob.value().empty()) {
+      return std::atoi(blob.value().c_str());
+    }
+    int status = 0;
+    if (::waitpid(pid, &status, WNOHANG) == pid) return -1;
+    ::usleep(20000);
+    waited += 20;
+  }
+  return -1;
+}
+
+std::vector<std::string> ServedArgs(const std::string& served,
+                                    const std::string& port_file) {
+  return {
+      served,          "--corpus",      Path("corpus.txt"),
+      "--entities",    Path("entities.tsv"),
+      "--levels",      "2,2",
+      "--min-support", "4",
+      "--seed",        "7",
+      "--threads",     "1",
+      "--port-file",   port_file,
+      "--max-inflight", "2",
+  };
+}
+
+served::WireRequest Query(served::Verb verb, const std::string& arg) {
+  served::WireRequest req;
+  req.verb = verb;
+  req.arg = arg;
+  req.k = -1;
+  req.deadline_ms = 0;
+  return req;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || ::access(argv[1], X_OK) != 0) {
+    std::fprintf(stderr, "SKIP: latent_served binary not given/executable\n");
+    return 0;
+  }
+  // The daemon can die mid-response; writes to its socket must not kill us.
+  ::signal(SIGPIPE, SIG_IGN);
+  const std::string served = argv[1];
+  const char* tmp = std::getenv("TMPDIR");
+  g_dir = std::string(tmp != nullptr ? tmp : "/tmp") + "/latent_served_torture";
+  ::system(("rm -rf " + g_dir).c_str());
+  if (::mkdir(g_dir.c_str(), 0755) != 0) return Fail("cannot mkdir " + g_dir);
+
+  // Synthesize a small corpus + entity attachments in the formats the
+  // daemon loads (kept small so the mine-at-startup stays fast).
+  data::HinDatasetOptions dopt = data::DblpLikeOptions(600, 40);
+  dopt.num_areas = 2;
+  dopt.subareas_per_area = 2;
+  data::HinDataset ds = data::GenerateHinDataset(dopt);
+  {
+    std::string corpus_txt;
+    for (const text::Document& doc : ds.corpus.docs()) {
+      std::string line;
+      for (int id : doc.tokens) {
+        if (!line.empty()) line += " ";
+        line += ds.corpus.vocab().Token(id);
+      }
+      corpus_txt += line + "\n";
+    }
+    if (!data::WriteFile(Path("corpus.txt"), corpus_txt).ok()) {
+      return Fail("cannot write corpus");
+    }
+    std::string tsv;
+    for (size_t d = 0; d < ds.entity_docs.size(); ++d) {
+      const auto& types = ds.entity_docs[d].entities;
+      for (size_t t = 0; t < types.size(); ++t) {
+        for (int id : types[t]) {
+          tsv += std::to_string(d) + "\t" + ds.entity_type_names[t] + "\te" +
+                 std::to_string(t) + "_" + std::to_string(id) + "\n";
+        }
+      }
+    }
+    if (!data::WriteFile(Path("entities.tsv"), tsv).ok()) {
+      return Fail("cannot write entities");
+    }
+  }
+
+  const std::vector<served::WireRequest> reference_queries = {
+      Query(served::Verb::kLookup, "o"),
+      Query(served::Verb::kSearch, ds.corpus.vocab().Token(0)),
+      Query(served::Verb::kSearch,
+            ds.corpus.vocab().Token(1) + " " + ds.corpus.vocab().Token(2)),
+      Query(served::Verb::kSubtree, "o"),
+  };
+
+  // ---- Round 1: start, record reference answers, SIGKILL mid-batch. ----
+  const std::string port_file_1 = Path("port.1");
+  pid_t pid = Spawn(ServedArgs(served, port_file_1));
+  const int port1 = AwaitPort(pid, port_file_1, /*timeout_ms=*/120000);
+  if (port1 <= 0) {
+    KillAndReap(pid, SIGKILL);
+    return Fail("daemon did not come up (see " + Path("served.log") + ")");
+  }
+
+  std::vector<std::string> reference_bodies;
+  {
+    served::Client client;
+    if (!client.Connect(port1).ok()) {
+      KillAndReap(pid, SIGKILL);
+      return Fail("cannot connect to daemon");
+    }
+    for (const served::WireRequest& q : reference_queries) {
+      StatusOr<served::WireResponse> resp = client.Call(q);
+      if (!resp.ok()) {
+        KillAndReap(pid, SIGKILL);
+        return Fail("reference call failed: " + resp.status().message());
+      }
+      if (resp.value().code != StatusCode::kOk) {
+        KillAndReap(pid, SIGKILL);
+        return Fail("reference query answered code " +
+                    std::to_string(static_cast<int>(resp.value().code)) +
+                    ": " + resp.value().body);
+      }
+      reference_bodies.push_back(resp.value().body);
+    }
+  }
+
+  // Client batch with the daemon SIGKILLed mid-flight. Calls before the
+  // kill answer kOk; calls straddling/after it must surface clean non-OK
+  // Statuses — the harness TIMEOUT (ctest) is the hang detector.
+  std::atomic<bool> clean{true};
+  std::atomic<int> served_before_kill{0};
+  std::atomic<int> failed_after_kill{0};
+  std::thread batch([&] {
+    served::Client client;
+    if (!client.Connect(port1).ok()) return;
+    for (int i = 0; i < 10000; ++i) {
+      StatusOr<served::WireResponse> resp =
+          client.Call(reference_queries[i % reference_queries.size()]);
+      if (resp.ok() && resp.value().code == StatusCode::kOk) {
+        served_before_kill.fetch_add(1);
+        continue;
+      }
+      if (!resp.ok()) {
+        // The expected shape: connection torn down, clean error Status.
+        failed_after_kill.fetch_add(1);
+        break;
+      }
+      // An OK transport answer with a non-OK code after the kill would
+      // mean a torn frame decoded as truth.
+      clean.store(false);
+      break;
+    }
+  });
+  ::usleep(50000);  // let the batch get going mid-flight
+  KillAndReap(pid, SIGKILL);
+  batch.join();
+  if (!clean.load()) {
+    return Fail("a non-transport error surfaced from the dying daemon");
+  }
+  if (failed_after_kill.load() == 0 && served_before_kill.load() >= 10000) {
+    return Fail("batch finished before the kill landed; nothing tortured");
+  }
+  // New connections against the dead daemon must fail cleanly too.
+  {
+    served::Client client;
+    if (client.Connect(port1).ok()) {
+      StatusOr<served::WireResponse> resp = client.Call(reference_queries[0]);
+      if (resp.ok() && resp.value().code == StatusCode::kOk) {
+        return Fail("dead daemon answered a query");
+      }
+    }
+  }
+
+  // ---- Round 2: restart; same corpus/seed must serve the same bytes. ----
+  const std::string port_file_2 = Path("port.2");
+  pid = Spawn(ServedArgs(served, port_file_2));
+  const int port2 = AwaitPort(pid, port_file_2, /*timeout_ms=*/120000);
+  if (port2 <= 0) {
+    KillAndReap(pid, SIGKILL);
+    return Fail("restarted daemon did not come up");
+  }
+  {
+    served::Client client;
+    if (!client.Connect(port2).ok()) {
+      KillAndReap(pid, SIGKILL);
+      return Fail("cannot connect to restarted daemon");
+    }
+    for (size_t i = 0; i < reference_queries.size(); ++i) {
+      StatusOr<served::WireResponse> resp = client.Call(reference_queries[i]);
+      if (!resp.ok() || resp.value().code != StatusCode::kOk) {
+        KillAndReap(pid, SIGKILL);
+        return Fail("restarted daemon failed reference query " +
+                    std::to_string(i));
+      }
+      if (resp.value().body != reference_bodies[i]) {
+        KillAndReap(pid, SIGKILL);
+        return Fail("restarted daemon answered different bytes for query " +
+                    std::to_string(i));
+      }
+    }
+  }
+  // Graceful teardown of round 2: SIGTERM must drain and exit 0.
+  ::kill(pid, SIGTERM);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    return Fail("restarted daemon did not drain cleanly on SIGTERM");
+  }
+
+  std::fprintf(stderr,
+               "PASS: %d served before SIGKILL, clean failures after, "
+               "byte-identical answers from the restarted daemon\n",
+               served_before_kill.load());
+  return 0;
+}

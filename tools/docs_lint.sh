@@ -3,10 +3,12 @@
 # surface. Fails (exit 1) listing anything missing when
 #   * a latent_mine command-line flag parsed in tools/latent_mine.cc,
 #   * a latent_serve command-line flag parsed in tools/latent_serve.cc,
+#   * a latent_served command-line flag parsed in tools/latent_served.cc,
 #   * a PipelineOptions field declared in src/api/latent.h,
 #   * an InferenceOptions or SpectralOptions field declared in
 #     src/core/inference.h, or
-#   * a QueryOptions field declared in src/serve/engine.h
+#   * a QueryOptions field declared in src/serve/engine.h, or
+#   * a ServedOptions field declared in src/served/server.h
 # does not appear in docs/OPERATIONS.md. Registered with ctest as
 # `docs.lint` (label: docs); run directly as tools/docs_lint.sh [repo-root].
 set -u
@@ -14,14 +16,16 @@ set -u
 root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
 mine_cc="$root/tools/latent_mine.cc"
 serve_cc="$root/tools/latent_serve.cc"
+served_cc="$root/tools/latent_served.cc"
 api_h="$root/src/api/latent.h"
 inference_h="$root/src/core/inference.h"
 engine_h="$root/src/serve/engine.h"
+server_h="$root/src/served/server.h"
 ops_md="$root/docs/OPERATIONS.md"
 
 fail=0
-for f in "$mine_cc" "$serve_cc" "$api_h" "$inference_h" "$engine_h" \
-         "$ops_md"; do
+for f in "$mine_cc" "$serve_cc" "$served_cc" "$api_h" "$inference_h" \
+         "$engine_h" "$server_h" "$ops_md"; do
   if [ ! -f "$f" ]; then
     echo "docs_lint: missing $f" >&2
     exit 1
@@ -67,24 +71,30 @@ check_surface() {
 
 mine_flags=$(cli_flags "$mine_cc")
 serve_flags=$(cli_flags "$serve_cc")
+served_flags=$(cli_flags "$served_cc")
 popt_fields=$(struct_fields "$api_h" PipelineOptions)
 iopt_fields=$(struct_fields "$inference_h" InferenceOptions)
 sopt_fields=$(struct_fields "$inference_h" SpectralOptions)
 qopt_fields=$(struct_fields "$engine_h" QueryOptions)
+dopt_fields=$(struct_fields "$server_h" ServedOptions)
 
 check_surface "latent_mine flag" "$mine_flags"
 check_surface "latent_serve flag" "$serve_flags"
+check_surface "latent_served flag" "$served_flags"
 check_surface "PipelineOptions field" "$popt_fields"
 check_surface "InferenceOptions field" "$iopt_fields"
 check_surface "SpectralOptions field" "$sopt_fields"
 check_surface "QueryOptions field" "$qopt_fields"
+check_surface "ServedOptions field" "$dopt_fields"
 
 if [ "$fail" -eq 0 ]; then
   echo "docs_lint: OK" \
-       "($(echo "$mine_flags" | wc -l) + $(echo "$serve_flags" | wc -l)" \
-       "flags, $(echo "$popt_fields" | wc -l) +" \
+       "($(echo "$mine_flags" | wc -l) + $(echo "$serve_flags" | wc -l) +" \
+       "$(echo "$served_flags" | wc -l) flags," \
+       "$(echo "$popt_fields" | wc -l) +" \
        "$(echo "$iopt_fields" | wc -l) +" \
        "$(echo "$sopt_fields" | wc -l) +" \
-       "$(echo "$qopt_fields" | wc -l) option fields documented)"
+       "$(echo "$qopt_fields" | wc -l) +" \
+       "$(echo "$dopt_fields" | wc -l) option fields documented)"
 fi
 exit "$fail"

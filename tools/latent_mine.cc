@@ -12,6 +12,12 @@
 // periodically snapshots its progress; after a crash, rerunning with
 // --resume continues from the newest valid snapshot and produces the same
 // tree an uninterrupted run would have.
+//
+// SIGTERM / SIGINT trip the run's CancelToken instead of killing the
+// process: the build winds down cooperatively, commits the deepest
+// fully-converged partial frontier, and every export (--json / --save /
+// --metrics-json) still happens. A second signal kills for real.
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,6 +31,19 @@
 #include "flags.h"
 
 namespace {
+
+// Written once in main() before the handlers are installed. Cancel() is a
+// relaxed atomic store, so tripping it from a signal handler is
+// async-signal-safe.
+latent::run::CancelToken* g_cancel = nullptr;
+
+void OnStopSignal(int) {
+  if (g_cancel != nullptr) g_cancel->Cancel();
+  // Restore the default dispositions so a second SIGTERM/SIGINT kills a
+  // run that is too stuck to wind down cooperatively.
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+}
 
 int Usage() {
   std::fprintf(
@@ -234,9 +253,21 @@ int main(int argc, char** argv) {
                    ev.checkpoint_generation);
     };
   }
+  // An operator kill (SIGTERM/SIGINT) cancels the run cooperatively: the
+  // build commits its partial frontier and the exports below still run.
+  static run::CancelToken cancel_token;
+  g_cancel = &cancel_token;
+  opt.cancel = std::shared_ptr<const run::CancelToken>(
+      &cancel_token, [](const run::CancelToken*) {});
+  std::signal(SIGTERM, OnStopSignal);
+  std::signal(SIGINT, OnStopSignal);
   api::PipelineInput input(
       corpus, api::EntitySchema(type_names, type_sizes), entity_docs);
   StatusOr<api::MinedHierarchy> result = api::Mine(input, opt);
+  if (cancel_token.cancelled()) {
+    std::fprintf(stderr,
+                 "interrupted: committing the partial hierarchy frontier\n");
+  }
   if (!result.ok()) {
     std::fprintf(stderr, "error: %s\n", result.status().message().c_str());
     return 1;

@@ -20,8 +20,13 @@
 //   subtree PATH [DEPTH]   pre-order walk DEPTH levels below PATH
 //   quit                   end the REPL
 //
+// The REPL rejects NUL bytes and overlong (> 1 MiB) lines with
+// line-numbered errors, ends cleanly on EOF, and ignores SIGPIPE so a
+// vanished stdout reader ends the session instead of killing the process.
+//
 // Exit codes follow latent_mine: 0 ok (per-query errors are reported in
 // the output, not the exit code), 1 runtime error, 2 usage error.
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -35,6 +40,10 @@
 #include "serve/engine.h"
 
 namespace {
+
+/// REPL line-length bound: a longer line is rejected (and consumed) with a
+/// line-numbered error instead of being split into surprise sub-queries.
+constexpr size_t kMaxReplLineBytes = 1u << 20;
 
 int Usage() {
   std::fprintf(
@@ -205,6 +214,10 @@ int main(int argc, char** argv) {
   }
   if (corpus_path.empty()) return Usage();
 
+  // A reader vanishing from the other end of stdout (broken pipe) must end
+  // the REPL cleanly, not kill the process.
+  std::signal(SIGPIPE, SIG_IGN);
+
   text::TokenizeOptions topt;
   topt.stem = stem;
   auto corpus_or = data::LoadCorpusFromFile(corpus_path, topt);
@@ -346,22 +359,54 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "answered %zu queries\n", responses.size());
   } else {
     // Stdin REPL: one query per line, answers to stdout, `quit` ends.
-    char buf[4096];
+    // Hardened against hostile/garbled input: NUL bytes and overlong lines
+    // are rejected with line-numbered errors (the rest of the offending
+    // line is consumed, so the stream stays line-synced), EOF ends the
+    // REPL cleanly, and a vanished stdout reader (SIGPIPE is ignored
+    // above) ends it instead of killing the process.
     std::fprintf(stderr, "ready (lookup/search/entity/subtree, quit ends)\n");
-    while (std::fgets(buf, sizeof(buf), stdin) != nullptr) {
-      std::string line(buf);
-      while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
-        line.pop_back();
+    int lineno = 0;
+    while (true) {
+      std::string line;
+      bool overlong = false;
+      bool has_nul = false;
+      int c;
+      while ((c = std::fgetc(stdin)) != EOF && c != '\n') {
+        if (c == '\0') {
+          has_nul = true;
+        } else if (line.size() >= kMaxReplLineBytes) {
+          overlong = true;
+        } else {
+          line.push_back(static_cast<char>(c));
+        }
       }
-      if (line == "quit" || line == "exit") break;
-      serve::Request req;
-      std::string err;
-      if (!ParseRequestLine(line, &req, &err)) {
-        if (!err.empty()) std::fprintf(stderr, "error: %s\n", err.c_str());
-        continue;
+      if (c == EOF && line.empty() && !has_nul && !overlong) break;
+      ++lineno;
+      while (!line.empty() && line.back() == '\r') line.pop_back();
+      if (has_nul) {
+        std::fprintf(stderr, "error: stdin:%d: line contains a NUL byte\n",
+                     lineno);
+      } else if (overlong) {
+        std::fprintf(stderr, "error: stdin:%d: line exceeds %zu bytes\n",
+                     lineno, kMaxReplLineBytes);
+      } else if (line == "quit" || line == "exit") {
+        break;
+      } else {
+        serve::Request req;
+        std::string err;
+        if (!ParseRequestLine(line, &req, &err)) {
+          if (!err.empty()) {
+            std::fprintf(stderr, "error: stdin:%d: %s\n", lineno, err.c_str());
+          }
+        } else {
+          PrintResponse(line, engine.Run(req));
+          if (std::fflush(stdout) != 0 || std::ferror(stdout)) {
+            std::fprintf(stderr, "stdout closed; exiting\n");
+            break;
+          }
+        }
       }
-      PrintResponse(line, engine.Run(req));
-      std::fflush(stdout);
+      if (c == EOF) break;
     }
   }
 

@@ -1,0 +1,390 @@
+// latent_served: crash-tolerant TCP serving daemon over a mined hierarchy.
+//
+//   latent_served --corpus docs.txt [--entities links.tsv]
+//                 [--tree tree.bin | --levels 5,3 --seed 42]
+//                 [--port N] [--port-file FILE]
+//                 [--max-inflight N] [--max-queue N]
+//                 [--deadline-ms N] [--drain-ms N] [--retry-after-ms N]
+//                 [--read-timeout-ms N] [--threads N]
+//                 [--cache-mb N] [--cache-shards N] [--top-k N]
+//                 [--metrics-json FILE] [--stem]
+//
+// Builds the same serve::HierarchyIndex snapshot as latent_serve, then
+// publishes it into a served::SnapshotHandle and serves the length-prefixed
+// wire protocol of src/served/protocol.h on 127.0.0.1:--port (0 = pick an
+// ephemeral port; --port-file writes the bound port for scripts to read).
+//
+// Robustness contract (see docs/OPERATIONS.md, "latent_served"):
+//   * every request carries a deadline that bounds its query;
+//   * overload is shed fast with kResourceExhausted + a retry-after hint
+//     once the admission queue (--max-queue) is full;
+//   * SIGTERM / SIGINT start a graceful drain: the listener closes,
+//     in-flight queries get --drain-ms to finish, stragglers are cancelled;
+//   * SIGHUP rebuilds the index (re-reading --tree when given, re-mining
+//     otherwise) and hot-swaps it with zero downtime — in-flight queries
+//     finish on the old snapshot, responses are generation-tagged.
+//
+// Exit codes: 0 clean drain, 1 runtime error, 2 usage error, 3 the drain
+// deadline expired and straggler queries were cancelled.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "api/latent.h"
+#include "common/retry.h"
+#include "data/io.h"
+#include "flags.h"
+#include "served/server.h"
+#include "served/snapshot.h"
+#include "serve/engine.h"
+
+namespace {
+
+std::atomic<latent::served::Server*> g_server{nullptr};
+std::atomic<bool> g_reload{false};
+
+void OnShutdownSignal(int) {
+  // Async-signal-safe: RequestShutdown is an atomic store + self-pipe
+  // write. A second SIGTERM/SIGINT finds the default disposition restored
+  // below and kills the process for real.
+  if (latent::served::Server* server = g_server.load()) {
+    server->RequestShutdown();
+  }
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+}
+
+void OnReloadSignal(int) { g_reload.store(true); }
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: latent_served --corpus FILE [--entities FILE] [--tree FILE]\n"
+      "                     [--levels 5,3] [--min-support N] [--seed N]\n"
+      "                     [--port N] [--port-file FILE]\n"
+      "                     [--max-inflight N] [--max-queue N]\n"
+      "                     [--deadline-ms N] [--drain-ms N]\n"
+      "                     [--retry-after-ms N] [--read-timeout-ms N]\n"
+      "                     [--threads N] [--cache-mb N] [--cache-shards N]\n"
+      "                     [--top-k N] [--metrics-json FILE] [--stem]\n"
+      "  --port N             TCP port on 127.0.0.1 (default 0 = ephemeral)\n"
+      "  --port-file FILE     write the bound port to FILE once listening\n"
+      "  --max-inflight N     connections served concurrently (default 4)\n"
+      "  --max-queue N        admission-queue bound; a full queue sheds new\n"
+      "                       connections with kResourceExhausted\n"
+      "                       (default 16)\n"
+      "  --deadline-ms N      default per-request deadline when the frame\n"
+      "                       does not carry one (default 0 = none)\n"
+      "  --drain-ms N         grace for in-flight requests after SIGTERM\n"
+      "                       before they are cancelled (default 2000)\n"
+      "  --retry-after-ms N   backoff hint on shed responses (default 50)\n"
+      "  --read-timeout-ms N  per-socket receive timeout (default 0 = none)\n"
+      "  --threads N          index build / mine threads (0 = all cores)\n"
+      "  --metrics-json FILE  dump served.* and serve.* metrics as JSON to\n"
+      "                       FILE on exit; see docs/METRICS.md\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace latent;
+  std::string corpus_path, entities_path, tree_path, port_file_path;
+  std::string metrics_json_path;
+  std::vector<int> levels = {5, 3};
+  long long min_support = 5;
+  uint64_t seed = 42;
+  int num_threads = 0;
+  long long port = 0;
+  long long max_inflight = 4;
+  long long max_queue = 16;
+  long long deadline_ms = 0;
+  long long drain_ms = 2000;
+  long long retry_after_ms = 50;
+  long long read_timeout_ms = 0;
+  long long cache_mb = 64;
+  long long cache_shards = 8;
+  long long top_k = 10;
+  bool stem = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    auto next_int = [&](long long* out) {
+      const char* v = next();
+      if (!tools::ParseInt(v, out)) {
+        std::fprintf(stderr, "error: %s needs an integer argument\n",
+                     arg.c_str());
+        std::exit(2);
+      }
+    };
+    if (arg == "--corpus") {
+      if (const char* v = next()) corpus_path = v;
+    } else if (arg == "--entities") {
+      if (const char* v = next()) entities_path = v;
+    } else if (arg == "--tree") {
+      if (const char* v = next()) tree_path = v;
+    } else if (arg == "--levels") {
+      const char* v = next();
+      if (v == nullptr || !tools::ParseIntList(v, &levels)) {
+        std::fprintf(stderr,
+                     "error: --levels needs a comma-separated integer list\n");
+        return 2;
+      }
+    } else if (arg == "--min-support") {
+      next_int(&min_support);
+    } else if (arg == "--seed") {
+      unsigned long long v = 0;
+      if (!tools::ParseUInt(next(), &v)) {
+        std::fprintf(stderr,
+                     "error: --seed needs a non-negative integer argument\n");
+        return 2;
+      }
+      seed = v;
+    } else if (arg == "--threads") {
+      long long v = 0;
+      next_int(&v);
+      num_threads = static_cast<int>(v);
+    } else if (arg == "--port") {
+      next_int(&port);
+    } else if (arg == "--port-file") {
+      if (const char* v = next()) port_file_path = v;
+    } else if (arg == "--max-inflight") {
+      next_int(&max_inflight);
+    } else if (arg == "--max-queue") {
+      next_int(&max_queue);
+    } else if (arg == "--deadline-ms") {
+      next_int(&deadline_ms);
+    } else if (arg == "--drain-ms") {
+      next_int(&drain_ms);
+    } else if (arg == "--retry-after-ms") {
+      next_int(&retry_after_ms);
+    } else if (arg == "--read-timeout-ms") {
+      next_int(&read_timeout_ms);
+    } else if (arg == "--cache-mb") {
+      next_int(&cache_mb);
+    } else if (arg == "--cache-shards") {
+      next_int(&cache_shards);
+    } else if (arg == "--top-k") {
+      next_int(&top_k);
+    } else if (arg == "--metrics-json") {
+      if (const char* v = next()) metrics_json_path = v;
+    } else if (arg == "--stem") {
+      stem = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (corpus_path.empty()) return Usage();
+
+  // A client vanishing mid-response must never kill the daemon.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  text::TokenizeOptions topt;
+  topt.stem = stem;
+  auto corpus_or = data::LoadCorpusFromFile(corpus_path, topt);
+  if (!corpus_or.ok()) {
+    std::fprintf(stderr, "error: %s\n", corpus_or.status().message().c_str());
+    return 1;
+  }
+  const text::Corpus& corpus = corpus_or.value();
+  std::fprintf(stderr, "loaded %d docs, %d unique words\n", corpus.num_docs(),
+               corpus.vocab_size());
+
+  data::EntityAttachments attachments;
+  bool have_entities = false;
+  if (!entities_path.empty()) {
+    auto loaded = data::LoadEntityAttachments(entities_path, corpus.num_docs());
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n", loaded.status().message().c_str());
+      return 1;
+    }
+    attachments = std::move(loaded.value());
+    have_entities = true;
+    std::fprintf(stderr, "loaded %zu entity types\n",
+                 attachments.type_names.size());
+  }
+
+  // Two executors on purpose: the build executor mines/loads indexes (and
+  // re-runs on SIGHUP reloads); the serve executor is dedicated to the
+  // server's worker loops, as Server::Start requires.
+  exec::ExecOptions build_eopt;
+  build_eopt.num_threads = num_threads;
+  exec::Executor build_ex(build_eopt);
+  exec::ExecOptions serve_eopt;
+  serve_eopt.num_threads = static_cast<int>(max_inflight);
+  exec::Executor serve_ex(serve_eopt);
+
+  serve::IndexOptions iopt;
+  if (have_entities) {
+    iopt.namer = [&corpus, &attachments](int type, int id) -> std::string {
+      if (type == 0) {
+        if (id < corpus.vocab_size()) return corpus.vocab().Token(id);
+      } else if (type - 1 < static_cast<int>(attachments.entity_names.size())) {
+        const text::Vocabulary& names = attachments.entity_names[type - 1];
+        if (id < names.size()) return names.Token(id);
+      }
+      std::string fallback = "#";
+      fallback += std::to_string(id);
+      return fallback;
+    };
+  }
+
+  phrase::MinerOptions miner;
+  miner.min_support = min_support;
+
+  obs::Registry metrics;
+  const bool want_metrics = !metrics_json_path.empty();
+
+  // Builds a fresh engine snapshot: --tree loads the serialized artifact
+  // (re-read on every call, so SIGHUP picks up a rewritten file), otherwise
+  // the hierarchy is mined in-process. The engine gets NO executor —
+  // daemon queries are single requests, and the serve executor's threads
+  // are all occupied by server worker loops.
+  auto build_engine =
+      [&]() -> StatusOr<std::unique_ptr<const serve::QueryEngine>> {
+    serve::HierarchyIndex index;
+    if (!tree_path.empty()) {
+      StatusOr<std::string> blob = data::ReadFile(tree_path);
+      if (!blob.ok()) return blob.status();
+      StatusOr<serve::HierarchyIndex> loaded = serve::HierarchyIndex::Load(
+          blob.value(), corpus, miner, iopt, &build_ex);
+      if (!loaded.ok()) return loaded.status();
+      index = std::move(loaded.value());
+    } else {
+      api::PipelineOptions opt;
+      opt.build.levels_k = levels;
+      opt.build.max_depth = static_cast<int>(levels.size());
+      opt.build.cluster.seed = seed;
+      opt.miner.min_support = min_support;
+      opt.exec.num_threads = num_threads;
+      api::PipelineInput input(
+          corpus,
+          api::EntitySchema(attachments.type_names, attachments.TypeSizes()),
+          attachments.entity_docs);
+      StatusOr<api::MinedHierarchy> mined = api::Mine(input, opt);
+      if (!mined.ok()) return mined.status();
+      StatusOr<serve::HierarchyIndex> built = mined.value().MakeIndex(iopt);
+      if (!built.ok()) return built.status();
+      index = std::move(built.value());
+    }
+    serve::QueryOptions qopt;
+    qopt.default_k = static_cast<int>(top_k);
+    qopt.cache_bytes = cache_mb > 0 ? cache_mb << 20 : 0;
+    qopt.cache_shards = static_cast<int>(cache_shards);
+    if (want_metrics) qopt.metrics = &metrics;
+    StatusOr<std::unique_ptr<serve::QueryEngine>> engine =
+        serve::QueryEngine::Create(std::move(index), qopt, nullptr);
+    if (!engine.ok()) return engine.status();
+    return std::unique_ptr<const serve::QueryEngine>(
+        std::move(engine.value()));
+  };
+
+  auto first_engine = build_engine();
+  if (!first_engine.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 first_engine.status().message().c_str());
+    return 1;
+  }
+
+  served::SnapshotHandle snapshots;
+  served::ServedOptions sopt;
+  sopt.port = static_cast<int>(port);
+  sopt.max_inflight = static_cast<int>(max_inflight);
+  sopt.max_queue = static_cast<int>(max_queue);
+  sopt.default_deadline_ms = deadline_ms;
+  sopt.drain_deadline_ms = drain_ms;
+  sopt.retry_after_ms = retry_after_ms;
+  sopt.read_timeout_ms = read_timeout_ms;
+  if (want_metrics) sopt.metrics = &metrics;
+  StatusOr<std::unique_ptr<served::Server>> server_or =
+      served::Server::Start(&snapshots, sopt, &serve_ex);
+  if (!server_or.ok()) {
+    std::fprintf(stderr, "error: %s\n", server_or.status().message().c_str());
+    return server_or.status().code() == StatusCode::kInvalidArgument ? 2 : 1;
+  }
+  served::Server& server = *server_or.value();
+  if (StatusOr<long long> gen = server.PublishSnapshot(
+          std::move(first_engine.value()));
+      !gen.ok()) {
+    std::fprintf(stderr, "error: %s\n", gen.status().message().c_str());
+    return 1;
+  }
+
+  if (!port_file_path.empty()) {
+    const io::RetryPolicy retry;
+    Status s = io::WithRetry(retry, [&] {
+      return data::WriteFile(port_file_path,
+                             std::to_string(server.port()) + "\n");
+    });
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.message().c_str());
+      return 1;
+    }
+  }
+  std::fprintf(stderr, "serving on 127.0.0.1:%d (generation %lld)\n",
+               server.port(), snapshots.generation());
+
+  g_server.store(&server);
+  struct sigaction sa{};
+  sa.sa_handler = OnShutdownSignal;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  struct sigaction hup{};
+  hup.sa_handler = OnReloadSignal;
+  ::sigaction(SIGHUP, &hup, nullptr);
+
+  while (!server.ShutdownRequested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (g_reload.exchange(false)) {
+      std::fprintf(stderr, "reloading snapshot (SIGHUP)\n");
+      auto engine = build_engine();
+      if (!engine.ok()) {
+        // The old snapshot keeps serving; a broken reload is not fatal.
+        std::fprintf(stderr, "error: reload failed: %s\n",
+                     engine.status().message().c_str());
+        continue;
+      }
+      StatusOr<long long> gen =
+          server.PublishSnapshot(std::move(engine.value()));
+      if (!gen.ok()) {
+        std::fprintf(stderr, "error: reload failed: %s\n",
+                     gen.status().message().c_str());
+        continue;
+      }
+      std::fprintf(stderr, "published generation %lld\n", gen.value());
+    }
+  }
+
+  const Status drained = server.Wait();
+  g_server.store(nullptr);
+  if (!drained.ok()) {
+    std::fprintf(stderr, "drain: %s\n", drained.message().c_str());
+  } else {
+    std::fprintf(stderr, "drained cleanly\n");
+  }
+
+  if (want_metrics) {
+    const io::RetryPolicy retry;
+    Status s = io::WithRetry(retry, [&] {
+      return data::WriteFile(metrics_json_path, metrics.ToJson());
+    });
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.message().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s\n", metrics_json_path.c_str());
+  }
+  return drained.ok() ? 0 : 3;
+}
