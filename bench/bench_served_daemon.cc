@@ -11,6 +11,10 @@
 //     served.stall failpoint armed, hammered by short connections: shed
 //     rate and the mean time a shed connection waits for its
 //     kResourceExhausted answer (the load-shedding latency promise);
+//   * resilience — a ResilientClient replays the workload while the frame
+//     codecs randomly fail (runtime fault schedule), then the daemon is
+//     restarted on the same port mid-stream: retries/reconnects absorbed,
+//     plus the client-observed restart recovery latency;
 //   * swap_pause_us — PublishSnapshot wall time over repeated hot swaps
 //     while a client thread keeps querying: the pause a swap could impose
 //     on traffic (the RCU publish is one atomic store, so this should stay
@@ -31,7 +35,9 @@
 #include "common/parallel.h"
 #include "common/timer.h"
 #include "data/synthetic_hin.h"
+#include "obs/obs.h"
 #include "served/protocol.h"
+#include "served/resilient_client.h"
 #include "served/server.h"
 #include "served/snapshot.h"
 #include "serve/engine.h"
@@ -225,6 +231,91 @@ int main() {
   }
 #endif
 
+  // ---- Resilience: ResilientClient under faults + restart recovery ------
+  // A ResilientClient drives the workload through a daemon whose frame
+  // codecs randomly fail (when failpoints are compiled in), then the
+  // daemon is torn down and restarted on the same port mid-stream:
+  // retries/reconnects quantify the absorbed faults, recovery_ms the
+  // client-observed gap a full restart imposes.
+  long long resilient_calls = 0, resilient_errors = 0;
+  long long resilient_retries = 0, resilient_reconnects = 0;
+  double recovery_ms = 0.0;
+  {
+    obs::Registry metrics;
+    served::PreRegisterClientMetrics(&metrics);
+    served::ServedOptions sopt;
+    sopt.max_inflight = 2;
+    sopt.max_queue = 16;
+
+    exec::ExecOptions eopt;
+    eopt.num_threads = 2;
+    auto ex = std::make_unique<exec::Executor>(eopt);
+    auto snapshots = std::make_unique<served::SnapshotHandle>();
+    StatusOr<std::unique_ptr<served::Server>> server =
+        served::Server::Start(snapshots.get(), sopt, ex.get());
+    LATENT_CHECK_MSG(server.ok(), "bench resilience daemon must start");
+    LATENT_CHECK_MSG(
+        server.value()->PublishSnapshot(BuildEngine(mined.value())).ok(),
+        "bench publish must succeed");
+    const int port = server.value()->port();
+
+#if defined(LATENT_FAILPOINTS_ENABLED)
+    LATENT_CHECK_MSG(
+        run::failpoint::ArmFromSpec(
+            "served.read=p:0.05;served.write=p:0.05;seed:42")
+            .ok(),
+        "bench fault schedule must parse");
+#endif
+    served::ResilientClientOptions ropt;
+    ropt.retry.max_attempts = 6;
+    ropt.retry.initial_backoff_ms = 2;
+    ropt.retry.max_backoff_ms = 50;
+    ropt.breaker_failures = 0;  // measure raw retries, not fast-fails
+    ropt.metrics = &metrics;
+    served::ResilientClient rc(port, ropt);
+    constexpr int kResilientRounds = 3;
+    for (int r = 0; r < kResilientRounds; ++r) {
+      for (const served::WireRequest& req : workload.requests) {
+        ++resilient_calls;
+        StatusOr<served::WireResponse> resp = rc.Call(req);
+        if (!resp.ok() || resp.value().code != StatusCode::kOk) {
+          ++resilient_errors;
+        }
+      }
+    }
+    run::failpoint::DisarmAll();
+
+    // Clean teardown, then a fresh daemon on the same port: the recovery
+    // latency is the client-observed wall time from "restart begins" to
+    // the first successful answer, engine rebuild included.
+    std::unique_ptr<const serve::QueryEngine> next =
+        BuildEngine(mined.value());
+    server.value()->RequestShutdown();
+    (void)server.value()->Wait();
+    server.value().reset();
+    WallTimer recovery_timer;
+    served::ServedOptions ropt2 = sopt;
+    ropt2.port = port;
+    auto snapshots2 = std::make_unique<served::SnapshotHandle>();
+    StatusOr<std::unique_ptr<served::Server>> restarted =
+        served::Server::Start(snapshots2.get(), ropt2, ex.get());
+    LATENT_CHECK_MSG(restarted.ok(), "bench restart must bind the same port");
+    LATENT_CHECK_MSG(
+        restarted.value()->PublishSnapshot(std::move(next)).ok(),
+        "bench publish must succeed");
+    StatusOr<served::WireResponse> back = rc.Call(workload.requests[0]);
+    LATENT_CHECK_MSG(back.ok() && back.value().code == StatusCode::kOk,
+                     "client must recover across the restart");
+    recovery_ms = recovery_timer.Seconds() * 1e3;
+    restarted.value()->RequestShutdown();
+    (void)restarted.value()->Wait();
+
+    resilient_retries =
+        static_cast<long long>(metrics.CounterValue("client.retries"));
+    resilient_reconnects =
+        static_cast<long long>(metrics.CounterValue("client.reconnects"));
+  }
+
   // ---- Swap pause under live traffic ------------------------------------
   constexpr int kSwaps = 30;
   std::vector<double> swap_us;
@@ -294,6 +385,13 @@ int main() {
       "    \"shed_rate\": %.3f,\n"
       "    \"shed_mean_wait_ms\": %.2f\n"
       "  },\n"
+      "  \"resilience\": {\n"
+      "    \"calls\": %lld,\n"
+      "    \"errors\": %lld,\n"
+      "    \"retries\": %lld,\n"
+      "    \"reconnects\": %lld,\n"
+      "    \"restart_recovery_ms\": %.1f\n"
+      "  },\n"
       "  \"swap\": {\n"
       "    \"publishes\": %d,\n"
       "    \"pause_mean_us\": %.1f,\n"
@@ -302,7 +400,8 @@ int main() {
       "}\n",
       workload.requests.size(), kClientThreads, cold_qps, warm_qps, offered,
       served_ok, shed, offered > 0 ? static_cast<double>(shed) / offered : 0.0,
-      shed > 0 ? shed_wait_total_ms / shed : 0.0, kSwaps, swap_mean_us,
-      swap_max_us);
+      shed > 0 ? shed_wait_total_ms / shed : 0.0, resilient_calls,
+      resilient_errors, resilient_retries, resilient_reconnects, recovery_ms,
+      kSwaps, swap_mean_us, swap_max_us);
   return 0;
 }

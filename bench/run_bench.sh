@@ -1,19 +1,22 @@
 #!/usr/bin/env bash
-# Bench runner: executes the ch7 serving bench (in-process engine) and the
-# daemon bench (full TCP stack) and assembles one BENCH_<n>.json so the
-# repo carries a perf-trajectory baseline per PR (ROADMAP item 4).
+# Bench runner: executes the ch7 serving bench (in-process engine), the
+# daemon bench (full TCP stack, including the resilience/restart-recovery
+# section), and the ch7 robustness bench (recovery error, checkpointing),
+# and assembles one BENCH_<n>.json so the repo carries a perf-trajectory
+# baseline per PR (ROADMAP item 4).
 #
 # Usage: bench/run_bench.sh [build-dir] [out.json]
-# Defaults: build-dir = build, out.json = BENCH_7.json (in the repo root).
+# Defaults: build-dir = build, out.json = BENCH_8.json (in the repo root).
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$root/build}"
-out="${2:-$root/BENCH_7.json}"
+out="${2:-$root/BENCH_8.json}"
 
 serving_bin="$build/bench/bench_ch7_serving"
 daemon_bin="$build/bench/bench_served_daemon"
-for bin in "$serving_bin" "$daemon_bin"; do
+robustness_bin="$build/bench/bench_ch7_robustness"
+for bin in "$serving_bin" "$daemon_bin" "$robustness_bin"; do
   if [ ! -x "$bin" ]; then
     echo "run_bench: $bin not built (cmake --build $build)" >&2
     exit 1
@@ -24,13 +27,17 @@ echo "run_bench: bench_ch7_serving (engine, in-process)..." >&2
 serving_txt="$("$serving_bin")"
 echo "run_bench: bench_served_daemon (daemon, TCP)..." >&2
 daemon_json="$("$daemon_bin")"
+echo "run_bench: bench_ch7_robustness (recovery error, checkpointing)..." >&2
+robustness_txt="$("$robustness_bin")"
 
-SERVING_TXT="$serving_txt" DAEMON_JSON="$daemon_json" OUT="$out" \
+SERVING_TXT="$serving_txt" DAEMON_JSON="$daemon_json" \
+ROBUSTNESS_TXT="$robustness_txt" OUT="$out" \
 python3 - <<'EOF'
 import json, os, re
 
 serving_txt = os.environ["SERVING_TXT"]
 daemon = json.loads(os.environ["DAEMON_JSON"])
+robustness_txt = os.environ["ROBUSTNESS_TXT"]
 
 # bench_ch7_serving rows: "<configuration (28 cols)><cold q/s><warm q/s>".
 engine = {}
@@ -45,10 +52,47 @@ if not engine:
     raise SystemExit("run_bench: no throughput rows parsed from "
                      "bench_ch7_serving output")
 
+# bench_ch7_robustness section 1 rows: "<#docs> <STROD err> <STROD sd>
+# <Gibbs err> <Gibbs sd>"; checkpoint rows: "<configuration> <wall s>
+# <overhead %>"; one "resume vs scratch: ..." summary line.
+num = r"([0-9.eE+-]+)"
+recovery = {}
+checkpoint = {}
+resume = {}
+for line in robustness_txt.splitlines():
+    line = line.strip()
+    m = re.match(rf"(\d+)\s+{num}\s+{num}\s+{num}\s+{num}$", line)
+    if m:
+        recovery[f"docs_{m.group(1)}"] = {
+            "strod_err": float(m.group(2)), "strod_sd": float(m.group(3)),
+            "gibbs_err": float(m.group(4)), "gibbs_sd": float(m.group(5))}
+        continue
+    m = re.match(rf"(no checkpointing|checkpoint every \d+ nodes)\s+"
+                 rf"{num}\s+{num}$", line)
+    if m:
+        key = m.group(1).replace(" ", "_")
+        checkpoint[key] = {"wall_s": float(m.group(2)),
+                           "overhead_pct": float(m.group(3))}
+        continue
+    m = re.match(rf"resume vs scratch: scratch {num}s, resumed {num}s\s+"
+                 rf"\({num}x speedup", line)
+    if m:
+        resume = {"scratch_s": float(m.group(1)),
+                  "resumed_s": float(m.group(2)),
+                  "speedup_x": float(m.group(3))}
+if not recovery:
+    raise SystemExit("run_bench: no recovery-error rows parsed from "
+                     "bench_ch7_robustness output")
+
 doc = {
-    "bench": "ch7 serving + latent_served daemon",
+    "bench": "ch7 serving + latent_served daemon + ch7 robustness",
     "engine_inprocess": engine,
     "daemon_tcp": daemon,
+    "robustness": {
+        "recovery_error": recovery,
+        "checkpoint_overhead": checkpoint,
+        "resume": resume,
+    },
 }
 with open(os.environ["OUT"], "w") as f:
     json.dump(doc, f, indent=2)

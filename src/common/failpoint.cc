@@ -1,15 +1,26 @@
 #include "common/failpoint.h"
 
+#include <cstdlib>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
 
 namespace latent::run::failpoint {
 
 namespace {
 
+enum class Mode { kCount, kProbability, kEvery };
+
 struct SiteState {
-  int count = -1;  // fires remaining; < 0 = unlimited
-  int skip = 0;    // hits to let pass before firing
+  Mode mode = Mode::kCount;
+  int count = -1;   // kCount: fires remaining; < 0 = unlimited
+  int skip = 0;     // kCount: hits to let pass before firing
+  double p = 0.0;   // kProbability: per-hit firing probability
+  int every = 0;    // kEvery: fire hits every, 2*every, ...
+  Rng rng{0};       // kProbability: deterministic per-site stream
   int hits = 0;
   int fired = 0;
 };
@@ -24,11 +35,189 @@ std::unordered_map<std::string, SiteState>& Registry() {
   return sites;
 }
 
+std::uint64_t Fnv1a64(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Strict numeric parses for the spec grammar: the whole token must be a
+// well-formed number, mirroring tools::ParseInt ("p:0.05x" is an error,
+// not probability 0.05).
+bool ParseSpecInt(const std::string& s, long long* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseSpecDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == nullptr || *end != '\0' || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
 }  // namespace
 
 void Arm(const std::string& name, int count, int skip) {
   std::lock_guard<std::mutex> lock(RegistryMutex());
-  Registry()[name] = SiteState{count, skip, 0, 0};
+  SiteState s;
+  s.mode = Mode::kCount;
+  s.count = count;
+  s.skip = skip;
+  Registry()[name] = std::move(s);
+}
+
+void ArmProbability(const std::string& name, double p, std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  SiteState s;
+  s.mode = Mode::kProbability;
+  s.p = p;
+  s.rng = Rng(seed ^ Fnv1a64(name));
+  Registry()[name] = std::move(s);
+}
+
+void ArmEvery(const std::string& name, int n) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  SiteState s;
+  s.mode = Mode::kEvery;
+  s.every = n;
+  Registry()[name] = std::move(s);
+}
+
+StatusOr<int> ArmFromSpec(const std::string& spec,
+                          std::uint64_t default_seed) {
+  // Parse everything first so a malformed entry arms nothing.
+  struct Parsed {
+    std::string site;
+    Mode mode;
+    double p = 0.0;
+    int count = -1;
+    int skip = 0;
+    int every = 0;
+  };
+  std::vector<Parsed> entries;
+  std::uint64_t seed = default_seed;
+
+  std::vector<std::string> raw;
+  std::string item;
+  for (size_t i = 0; i <= spec.size(); ++i) {
+    const char c = i < spec.size() ? spec[i] : ';';
+    if (c != ';') {
+      item.push_back(c);
+      continue;
+    }
+    const std::string t = Trim(item);
+    item.clear();
+    if (!t.empty()) raw.push_back(t);
+  }
+
+  for (const std::string& entry : raw) {
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      // Site-less directive: only `seed:S` is defined.
+      if (entry.rfind("seed:", 0) == 0) {
+        long long v = 0;
+        if (!ParseSpecInt(entry.substr(5), &v) || v < 0) {
+          return Status::InvalidArgument("failpoint spec: bad seed in '" +
+                                         entry + "'");
+        }
+        seed = static_cast<std::uint64_t>(v);
+        continue;
+      }
+      return Status::InvalidArgument(
+          "failpoint spec: expected site=mode, got '" + entry + "'");
+    }
+    Parsed p;
+    p.site = Trim(entry.substr(0, eq));
+    const std::string mode = Trim(entry.substr(eq + 1));
+    if (p.site.empty()) {
+      return Status::InvalidArgument("failpoint spec: empty site name in '" +
+                                     entry + "'");
+    }
+    if (mode.rfind("p:", 0) == 0) {
+      p.mode = Mode::kProbability;
+      if (!ParseSpecDouble(mode.substr(2), &p.p) || p.p <= 0.0 || p.p > 1.0) {
+        return Status::InvalidArgument(
+            "failpoint spec: probability must be in (0,1] in '" + entry +
+            "'");
+      }
+    } else if (mode.rfind("count:", 0) == 0) {
+      p.mode = Mode::kCount;
+      std::string rest = mode.substr(6);
+      std::string count_tok = rest;
+      const size_t comma = rest.find(',');
+      if (comma != std::string::npos) {
+        count_tok = Trim(rest.substr(0, comma));
+        const std::string skip_tok = Trim(rest.substr(comma + 1));
+        if (skip_tok.rfind("skip:", 0) != 0) {
+          return Status::InvalidArgument(
+              "failpoint spec: expected skip:M after count in '" + entry +
+              "'");
+        }
+        long long skip = 0;
+        if (!ParseSpecInt(skip_tok.substr(5), &skip) || skip < 0 ||
+            skip > 1000000000) {
+          return Status::InvalidArgument("failpoint spec: bad skip in '" +
+                                         entry + "'");
+        }
+        p.skip = static_cast<int>(skip);
+      }
+      long long count = 0;
+      if (!ParseSpecInt(Trim(count_tok), &count) || count < -1 ||
+          count > 1000000000) {
+        return Status::InvalidArgument("failpoint spec: bad count in '" +
+                                       entry + "'");
+      }
+      p.count = static_cast<int>(count);
+    } else if (mode.rfind("every:", 0) == 0) {
+      p.mode = Mode::kEvery;
+      long long every = 0;
+      if (!ParseSpecInt(mode.substr(6), &every) || every < 1 ||
+          every > 1000000000) {
+        return Status::InvalidArgument(
+            "failpoint spec: every:N needs N >= 1 in '" + entry + "'");
+      }
+      p.every = static_cast<int>(every);
+    } else {
+      return Status::InvalidArgument(
+          "failpoint spec: unknown mode (want p:/count:/every:) in '" +
+          entry + "'");
+    }
+    entries.push_back(std::move(p));
+  }
+
+  for (const Parsed& p : entries) {
+    switch (p.mode) {
+      case Mode::kCount:
+        Arm(p.site, p.count, p.skip);
+        break;
+      case Mode::kProbability:
+        ArmProbability(p.site, p.p, seed);
+        break;
+      case Mode::kEvery:
+        ArmEvery(p.site, p.every);
+        break;
+    }
+  }
+  return static_cast<int>(entries.size());
 }
 
 void Disarm(const std::string& name) {
@@ -47,16 +236,40 @@ int HitCount(const std::string& name) {
   return it == Registry().end() ? 0 : it->second.hits;
 }
 
+int FiredCount(const std::string& name) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().find(name);
+  return it == Registry().end() ? 0 : it->second.fired;
+}
+
+bool CompiledIn() {
+#if defined(LATENT_FAILPOINTS_ENABLED)
+  return true;
+#else
+  return false;
+#endif
+}
+
 bool ShouldFail(const char* name) {
   std::lock_guard<std::mutex> lock(RegistryMutex());
   auto it = Registry().find(name);
   if (it == Registry().end()) return false;
   SiteState& s = it->second;
   ++s.hits;
-  if (s.hits <= s.skip) return false;
-  if (s.count >= 0 && s.fired >= s.count) return false;
-  ++s.fired;
-  return true;
+  bool fire = false;
+  switch (s.mode) {
+    case Mode::kCount:
+      fire = s.hits > s.skip && (s.count < 0 || s.fired < s.count);
+      break;
+    case Mode::kProbability:
+      fire = s.rng.Uniform() < s.p;
+      break;
+    case Mode::kEvery:
+      fire = s.hits % s.every == 0;
+      break;
+  }
+  if (fire) ++s.fired;
+  return fire;
 }
 
 }  // namespace latent::run::failpoint

@@ -10,12 +10,30 @@
 //   ... exercise the code path, assert the clean Status ...
 //   run::failpoint::DisarmAll();
 //
+// Beyond the test-armed count/skip mode, sites accept runtime *fault
+// schedules* parsed from a spec string (the `--failpoints` flag and the
+// LATENT_FAILPOINTS env var in the CLIs feed ArmFromSpec):
+//
+//   served.read=p:0.05;served.swap=count:2,skip:1;served.stall=every:7
+//
+//   site=p:F              fire each hit with probability F (0 < F <= 1),
+//                         drawn from a deterministically seeded per-site RNG
+//   site=count:N[,skip:M] after M passing hits, the next N hits fire
+//   site=every:N          fire every Nth hit (hits N, 2N, 3N, ...)
+//   seed:S                (no site) seeds the probability RNGs; each site
+//                         derives its stream as S ^ fnv1a(site name), so the
+//                         same spec + seed replays the same firing pattern
+//
 // The action is arbitrary code (early return, value poisoning, simulated
 // partial write); sites that are never armed do one mutex-guarded hash
 // lookup. When the repository is configured with -DLATENT_FAILPOINTS=OFF
-// the macro compiles to nothing and the sites vanish entirely.
+// the macro compiles to nothing and the sites vanish entirely (ArmFromSpec
+// then arms nothing but still validates the spec; CompiledIn() reports the
+// build mode so CLIs can warn).
 //
-// Registered site names (keep this list current when adding sites):
+// Registered site names (keep this list current when adding sites;
+// tools/failpoint_lint.sh cross-checks it against LATENT_FAILPOINT call
+// sites):
 //   io.read            data::ReadFile / LoadCorpusFromFile — fail the read
 //   io.write.open      data::WriteFile — fail opening the temp file
 //   io.write.mid       data::WriteFile — simulated crash after a partial
@@ -47,7 +65,10 @@
 #ifndef LATENT_COMMON_FAILPOINT_H_
 #define LATENT_COMMON_FAILPOINT_H_
 
+#include <cstdint>
 #include <string>
+
+#include "common/status.h"
 
 namespace latent::run::failpoint {
 
@@ -55,12 +76,36 @@ namespace latent::run::failpoint {
 /// fire (count < 0 = every hit fires, forever). Re-arming resets counters.
 void Arm(const std::string& name, int count = -1, int skip = 0);
 
+/// Arms `name` to fire each hit independently with probability `p`
+/// (0 < p <= 1), drawn from an RNG seeded with `seed ^ fnv1a(name)` so the
+/// firing pattern replays exactly for the same seed and hit order.
+void ArmProbability(const std::string& name, double p,
+                    std::uint64_t seed = 0x5ca1ab1eULL);
+
+/// Arms `name` to fire every `n`-th hit (hits n, 2n, 3n, ...; n >= 1).
+void ArmEvery(const std::string& name, int n);
+
+/// Parses a runtime fault-schedule spec (grammar in the file comment) and
+/// arms every site it names. Returns kInvalidArgument naming the offending
+/// token on any malformed entry; nothing is armed on error. An empty spec
+/// is a no-op. On success returns the number of sites armed.
+StatusOr<int> ArmFromSpec(const std::string& spec,
+                          std::uint64_t default_seed = 0x5ca1ab1eULL);
+
 /// Disarms one site / every site (tests call DisarmAll in teardown).
 void Disarm(const std::string& name);
 void DisarmAll();
 
 /// Hits recorded for an armed site since it was armed (0 when not armed).
 int HitCount(const std::string& name);
+
+/// Times the site actually fired since it was armed (0 when not armed).
+int FiredCount(const std::string& name);
+
+/// True when the build compiled the LATENT_FAILPOINT sites in
+/// (-DLATENT_FAILPOINTS=ON). CLIs use this to reject --failpoints specs
+/// that could never fire instead of silently ignoring them.
+bool CompiledIn();
 
 /// Used by the LATENT_FAILPOINT macro: records a hit on an armed site and
 /// reports whether the site should fire. Unarmed sites never fire.

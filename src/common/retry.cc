@@ -23,12 +23,12 @@ long long BackoffMs(const RetryPolicy& policy, int attempt, Rng* rng) {
 
 Status WithRetry(const RetryPolicy& policy, const std::function<Status()>& op,
                  const run::RunContext* ctx, const obs::Scope* obs) {
-  Rng rng(policy.seed);
+  BackoffSequence backoffs(policy);
   const int attempts = std::max(1, policy.max_attempts);
   Status last = Status::Ok();
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
-      const long long backoff = BackoffMs(policy, attempt - 1, &rng);
+      const long long backoff = backoffs.NextMs();
       LATENT_OBS(obs::Count(obs, "retry.sleeps");
                  obs::Observe(obs, "retry.backoff.ms",
                               static_cast<double>(backoff)));

@@ -46,6 +46,29 @@ bool IsTransient(const Status& status);
 /// Exposed for tests; WithRetry() uses it internally.
 long long BackoffMs(const RetryPolicy& policy, int attempt, Rng* rng);
 
+/// Stateful view of a policy's backoff schedule: NextMs() yields the sleep
+/// before retry 0, 1, 2, ... in order, drawing jitter from a fresh Rng
+/// seeded with policy.seed. Two sequences built from the same policy emit
+/// identical delays, which is what makes retry traces reproducible across
+/// processes (WithRetry and served::ResilientClient both consume one
+/// sequence per logical operation).
+class BackoffSequence {
+ public:
+  explicit BackoffSequence(const RetryPolicy& policy)
+      : policy_(policy), rng_(policy.seed) {}
+
+  /// Jittered delay before the next retry; advances the sequence.
+  long long NextMs() { return BackoffMs(policy_, attempt_++, &rng_); }
+
+  /// Retries the sequence has priced so far (== NextMs() calls).
+  int attempt() const { return attempt_; }
+
+ private:
+  RetryPolicy policy_;
+  Rng rng_;
+  int attempt_ = 0;
+};
+
 /// Runs `op` until it succeeds, fails permanently, the attempt budget is
 /// spent, or `ctx` stops the run (checked between attempts; the run-control
 /// status wins so a cancelled run never sits out a backoff sleep). Returns

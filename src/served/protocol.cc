@@ -48,6 +48,8 @@ const char* VerbToken(Verb verb) {
       return "subtree";
     case Verb::kPing:
       return "ping";
+    case Verb::kHealth:
+      return "h";
   }
   return "ping";
 }
@@ -63,6 +65,8 @@ bool TokenToVerb(const std::string& token, Verb* verb) {
     *verb = Verb::kSubtree;
   } else if (token == "ping") {
     *verb = Verb::kPing;
+  } else if (token == "h" || token == "health") {
+    *verb = Verb::kHealth;
   } else {
     return false;
   }
@@ -113,9 +117,10 @@ serve::RequestKind VerbToRequestKind(Verb verb) {
     case Verb::kSubtree:
       return serve::RequestKind::kSubtree;
     case Verb::kPing:
+    case Verb::kHealth:
       break;
   }
-  LATENT_CHECK_MSG(false, "kPing has no QueryEngine request kind");
+  LATENT_CHECK_MSG(false, "kPing/kHealth have no QueryEngine request kind");
   return serve::RequestKind::kLookup;
 }
 
@@ -159,7 +164,7 @@ Status DecodeRequest(const std::string& payload, WireRequest* req) {
   Verb verb = Verb::kPing;
   if (!TokenToVerb(token, &verb)) return Malformed("unknown verb");
   std::string arg = pos < payload.size() ? payload.substr(pos) : "";
-  if (verb != Verb::kPing && arg.empty()) {
+  if (verb != Verb::kPing && verb != Verb::kHealth && arg.empty()) {
     return Malformed("query verb needs an argument");
   }
   if (arg.find('\0') != std::string::npos) {
@@ -310,11 +315,16 @@ Status Client::Connect(int port) {
   if (rc < 0) {
     const int err = errno;
     ::close(fd);
-    return Status::Internal(std::string("connect failed: ") +
-                            std::strerror(err));
+    return Status::Internal("connect to 127.0.0.1:" + std::to_string(port) +
+                            " failed: " + std::strerror(err));
   }
   fd_ = fd;
   return Status::Ok();
+}
+
+Status ConnectWithRetry(Client* client, int port,
+                        const io::RetryPolicy& policy) {
+  return io::WithRetry(policy, [&] { return client->Connect(port); });
 }
 
 StatusOr<WireResponse> Client::Call(const WireRequest& req) {

@@ -8,7 +8,10 @@
 //   response:  "lsrv1 r <code> <generation> <retry_after_ms>\n<body>"
 //
 // `verb` is one of lookup/search/entity/subtree (the serve::QueryEngine
-// grammar) or ping (health probe answered without touching the snapshot).
+// grammar), ping (liveness probe answered without touching the snapshot),
+// or health (`h` on the wire: a snapshot-free state report — generation,
+// queue depth, inflight, uptime, stuck workers — rendered as one
+// `key value` pair per body line).
 // `deadline_ms` rides every request and propagates into the per-query
 // run::RunContext on the server (0 = use the server default); `k` is the
 // result count / subtree depth (-1 = server default). Responses carry the
@@ -28,6 +31,7 @@
 
 #include <string>
 
+#include "common/retry.h"
 #include "common/status.h"
 #include "serve/engine.h"
 
@@ -40,14 +44,16 @@ inline constexpr size_t kMaxFrameBytes = 1u << 20;
 /// Magic + version token opening every payload.
 inline constexpr const char* kProtocolMagic = "lsrv1";
 
-/// What a request can ask for: the four QueryEngine verbs plus a health
-/// probe that is answered without touching the published snapshot.
+/// What a request can ask for: the four QueryEngine verbs plus two probes
+/// answered without touching the published snapshot — ping (liveness) and
+/// health (server-state report; `h` or `health` on the wire).
 enum class Verb {
   kLookup,
   kSearch,
   kEntity,
   kSubtree,
   kPing,
+  kHealth,
 };
 
 /// One decoded request frame.
@@ -76,8 +82,8 @@ struct WireResponse {
   std::string body;
 };
 
-/// Maps a query verb onto the engine request kind. kPing has no mapping
-/// (callers must branch on it first).
+/// Maps a query verb onto the engine request kind. kPing and kHealth have
+/// no mapping (callers must branch on them first).
 serve::RequestKind VerbToRequestKind(Verb verb);
 
 // ---- Payload codecs --------------------------------------------------------
@@ -124,7 +130,8 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// Connects to 127.0.0.1:port. kInternal on connect failure.
+  /// Connects to 127.0.0.1:port. kInternal (with the port and errno text)
+  /// on connect failure.
   Status Connect(int port);
 
   /// Sends `req` and waits for its response. A connection torn down by the
@@ -143,6 +150,15 @@ class Client {
  private:
   int fd_ = -1;
 };
+
+/// Connect() with bounded retries under the policy's deterministic jittered
+/// backoff. Absorbs the startup race every --port-file handshake has: the
+/// daemon writes the port after bind() but the first connect can still land
+/// before (or between) accept loops, and a freshly restarted daemon may not
+/// be listening yet. Connect failures are kInternal, i.e. transient under
+/// io::IsTransient, so this is io::WithRetry around Client::Connect.
+Status ConnectWithRetry(Client* client, int port,
+                        const io::RetryPolicy& policy = {});
 
 }  // namespace latent::served
 

@@ -1,0 +1,221 @@
+#include "served/resilient_client.h"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace latent::served {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+long long MsUntil(Clock::time_point deadline) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                               Clock::now())
+      .count();
+}
+
+// Server-transient response codes: the request never ran (shed, drain) or
+// died to an environmental failure (kInternal) — a retry against the same
+// or a restarted server can succeed. Everything else is a real answer.
+bool RetryableResponseCode(StatusCode code) {
+  return code == StatusCode::kInternal ||
+         code == StatusCode::kResourceExhausted ||
+         code == StatusCode::kCancelled;
+}
+
+// Bounds a blocking read by the call's remaining budget so a hung server
+// cannot outlive the deadline. Best effort: a failed setsockopt leaves the
+// previous timeout in place and the deadline check still fires afterwards.
+void SetRecvTimeoutMs(int fd, long long ms) {
+  if (fd < 0) return;
+  if (ms < 1) ms = 1;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+Status ResilientClientOptions::Validate() const {
+  if (retry.max_attempts < 1) {
+    return Status::InvalidArgument("retry.max_attempts must be >= 1 (got " +
+                                   std::to_string(retry.max_attempts) + ")");
+  }
+  if (call_deadline_ms < 0) {
+    return Status::InvalidArgument("call_deadline_ms must be >= 0 (got " +
+                                   std::to_string(call_deadline_ms) + ")");
+  }
+  if (breaker_failures < 0) {
+    return Status::InvalidArgument("breaker_failures must be >= 0 (got " +
+                                   std::to_string(breaker_failures) + ")");
+  }
+  if (breaker_cooldown_ms < 0) {
+    return Status::InvalidArgument("breaker_cooldown_ms must be >= 0 (got " +
+                                   std::to_string(breaker_cooldown_ms) + ")");
+  }
+  return Status::Ok();
+}
+
+ResilientClient::ResilientClient(int port, ResilientClientOptions options)
+    : port_(port), options_(std::move(options)), scope_(options_.metrics) {
+  if (options_.metrics != nullptr) PreRegisterClientMetrics(options_.metrics);
+}
+
+ResilientClient::~ResilientClient() = default;
+
+void ResilientClient::Close() { client_.Close(); }
+
+bool ResilientClient::BreakerAdmits(std::string* denial) {
+  if (options_.breaker_failures <= 0) return true;
+  if (breaker_ == BreakerState::kClosed ||
+      breaker_ == BreakerState::kHalfOpen) {
+    return true;
+  }
+  const long long remaining = MsUntil(open_until_);
+  if (remaining > 0) {
+    *denial = "circuit breaker open; retry in " + std::to_string(remaining) +
+              " ms";
+    return false;
+  }
+  breaker_ = BreakerState::kHalfOpen;
+  LATENT_OBS({
+    obs::Count(&scope_, "client.breaker.probes");
+    obs::SetGauge(&scope_, "client.breaker.state", 2);
+  });
+  return true;
+}
+
+void ResilientClient::RecordOutcome(bool call_ok) {
+  if (call_ok) {
+    consecutive_failures_ = 0;
+    if (breaker_ != BreakerState::kClosed) {
+      breaker_ = BreakerState::kClosed;
+      LATENT_OBS(obs::SetGauge(&scope_, "client.breaker.state", 0));
+    }
+    return;
+  }
+  ++consecutive_failures_;
+  if (options_.breaker_failures <= 0) return;
+  // A failed half-open probe re-opens immediately; a closed breaker opens
+  // once the consecutive-failure threshold is met.
+  if (breaker_ == BreakerState::kHalfOpen ||
+      consecutive_failures_ >= options_.breaker_failures) {
+    breaker_ = BreakerState::kOpen;
+    open_until_ =
+        Clock::now() + std::chrono::milliseconds(options_.breaker_cooldown_ms);
+    LATENT_OBS({
+      obs::Count(&scope_, "client.breaker.opens");
+      obs::SetGauge(&scope_, "client.breaker.state", 1);
+    });
+  }
+}
+
+StatusOr<WireResponse> ResilientClient::Call(const WireRequest& req) {
+  if (!validated_) {
+    if (Status s = options_.Validate(); !s.ok()) return s;
+    validated_ = true;
+  }
+  LATENT_OBS(obs::Count(&scope_, "client.calls"));
+  const Clock::time_point t0 = Clock::now();
+  const bool bounded = options_.call_deadline_ms > 0;
+  const Clock::time_point deadline =
+      t0 + std::chrono::milliseconds(options_.call_deadline_ms);
+
+  std::string denial;
+  if (!BreakerAdmits(&denial)) {
+    LATENT_OBS(obs::Count(&scope_, "client.breaker.fastfails"));
+    // Fast-fails do not feed the breaker: only real attempts count.
+    return Status::ResourceExhausted(denial);
+  }
+
+  io::BackoffSequence backoffs(options_.retry);
+  const int attempts = std::max(1, options_.retry.max_attempts);
+  Status last = Status::Internal("no attempt was made");
+  long long hint_ms = 0;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      LATENT_OBS(obs::Count(&scope_, "client.retries"));
+      long long backoff = backoffs.NextMs();
+      if (hint_ms > backoff) {
+        // The server knows its own load better than our schedule does.
+        backoff = hint_ms;
+        LATENT_OBS(obs::Count(&scope_, "client.hints.honored"));
+      }
+      if (bounded) backoff = std::min(backoff, std::max(0LL, MsUntil(deadline)));
+      backoff_trace_.push_back(backoff);
+      LATENT_OBS(obs::Observe(&scope_, "client.backoff.ms",
+                              static_cast<double>(backoff)));
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+    }
+    hint_ms = 0;
+    if (bounded && Clock::now() >= deadline) {
+      last = Status::DeadlineExceeded(
+          "call deadline of " + std::to_string(options_.call_deadline_ms) +
+          " ms exhausted after " + std::to_string(attempt) + " attempt(s); " +
+          "last error: " + last.message());
+      break;
+    }
+    LATENT_OBS(obs::Count(&scope_, "client.attempts"));
+    if (!client_.connected()) {
+      LATENT_OBS(obs::Count(&scope_, "client.reconnects"));
+      if (Status s = client_.Connect(port_); !s.ok()) {
+        last = s;
+        continue;
+      }
+    }
+    if (bounded) SetRecvTimeoutMs(client_.fd(), MsUntil(deadline));
+    StatusOr<WireResponse> got = client_.Call(req);
+    if (!got.ok()) {
+      // Transport failure; Client already dropped the connection, so the
+      // next attempt reconnects (this is the EOF/reset/restart path).
+      last = got.status();
+      continue;
+    }
+    const WireResponse& resp = got.value();
+    if (RetryableResponseCode(resp.code)) {
+      last = Status(resp.code, resp.body);
+      hint_ms = resp.retry_after_ms;
+      // Sheds and drains close the connection server-side right after the
+      // response; reconnect rather than discover the EOF next attempt.
+      Close();
+      continue;
+    }
+    RecordOutcome(true);
+    LATENT_OBS(obs::Observe(&scope_, "client.call.ms", MsSince(t0)));
+    return resp;
+  }
+  RecordOutcome(false);
+  LATENT_OBS({
+    obs::Count(&scope_, "client.errors");
+    obs::Observe(&scope_, "client.call.ms", MsSince(t0));
+  });
+  return last;
+}
+
+void PreRegisterClientMetrics(obs::Registry* r) {
+  if (r == nullptr) return;
+  for (const char* name :
+       {"client.calls", "client.attempts", "client.retries",
+        "client.reconnects", "client.errors", "client.hints.honored",
+        "client.breaker.opens", "client.breaker.probes",
+        "client.breaker.fastfails"}) {
+    r->counter(name);
+  }
+  r->gauge("client.breaker.state");
+  for (const char* name : {"client.call.ms", "client.backoff.ms"}) {
+    r->histogram(name);
+  }
+}
+
+}  // namespace latent::served

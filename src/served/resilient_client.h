@@ -1,0 +1,132 @@
+// latent::served::ResilientClient — the client half of the failure-domain
+// contract the daemon offers.
+//
+// served::Client is a single-shot socket wrapper: one EOF, reset, shed, or
+// daemon restart and the caller is on its own. ResilientClient wraps it
+// with the retry discipline a caller facing a real network wants:
+//
+//   * Reconnect-on-failure. A transport error (EOF, ECONNRESET, refused
+//     connect, receive timeout, torn frame) closes the connection and the
+//     next attempt reconnects — a SIGKILL'd and restarted daemon on the
+//     same port is survived transparently, mid-workload.
+//   * Bounded deterministic retries. Each Call() runs at most
+//     `retry.max_attempts` attempts, sleeping io::RetryPolicy's jittered
+//     exponential backoff between them. The jitter stream is seeded per
+//     call from `retry.seed`, so the same policy and the same failure
+//     pattern replay the same backoff trace (pinned by chaos_served_test).
+//   * Server backoff hints. A shed (kResourceExhausted) or drain
+//     (kCancelled) response carries retry_after_ms; when the hint exceeds
+//     the scheduled backoff the client sleeps the hint instead.
+//   * One deadline across attempts. `call_deadline_ms` budgets the whole
+//     Call() — connects, sleeps, and socket reads (enforced with
+//     SO_RCVTIMEO) all draw from it; exhaustion returns kDeadlineExceeded.
+//   * Circuit breaker. After `breaker_failures` consecutive failed calls
+//     the breaker opens and calls fail fast (kResourceExhausted, no
+//     socket traffic) for `breaker_cooldown_ms`; the next call after the
+//     cooldown runs as a half-open probe — success closes the breaker,
+//     failure re-opens it.
+//
+// Application-level answers are returned, not retried: kNotFound,
+// kInvalidArgument, kFailedPrecondition, and a server-side
+// kDeadlineExceeded are real responses the caller asked for. Only
+// transport errors and server-transient codes (kInternal,
+// kResourceExhausted, kCancelled) burn attempts.
+//
+// Everything is observable through the client.* counters/histograms (see
+// PreRegisterClientMetrics and docs/METRICS.md). Like Client, an instance
+// is not thread-safe; give each thread its own.
+#ifndef LATENT_SERVED_RESILIENT_CLIENT_H_
+#define LATENT_SERVED_RESILIENT_CLIENT_H_
+
+#include <chrono>
+#include <vector>
+
+#include "common/retry.h"
+#include "common/status.h"
+#include "obs/obs.h"
+#include "served/protocol.h"
+
+namespace latent::served {
+
+/// Retry/breaker knobs. Validated by the ResilientClient constructor's
+/// first Call() with the same "(got N)" wording as ServedOptions.
+struct ResilientClientOptions {
+  /// Attempt budget and deterministic jittered backoff schedule per call.
+  io::RetryPolicy retry;
+  /// Wall-clock budget for one Call() across all attempts, connects, and
+  /// backoff sleeps; 0 = unbounded (a hung server can then block a call
+  /// until the socket dies).
+  long long call_deadline_ms = 0;
+  /// Consecutive failed calls that open the breaker; 0 = breaker off.
+  int breaker_failures = 5;
+  /// How long an open breaker fails fast before admitting a half-open
+  /// probe call.
+  long long breaker_cooldown_ms = 200;
+  /// Metric registry for the client.* instruments; null = none. Must
+  /// outlive the client.
+  obs::Registry* metrics = nullptr;
+
+  /// Rejects nonsensical knobs (negative deadlines/cooldowns/thresholds,
+  /// non-positive attempt budget) with kInvalidArgument.
+  Status Validate() const;
+};
+
+class ResilientClient {
+ public:
+  enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+  /// Remembers the target port; no connection is made until the first
+  /// Call(). `options` is validated lazily by Call() so construction never
+  /// fails.
+  explicit ResilientClient(int port, ResilientClientOptions options = {});
+  ~ResilientClient();
+  ResilientClient(const ResilientClient&) = delete;
+  ResilientClient& operator=(const ResilientClient&) = delete;
+
+  /// Sends `req`, retrying per the options, and returns the first
+  /// non-transient outcome. Transport errors after the attempt budget (or
+  /// the call deadline) surface as the last error observed; a fast-failed
+  /// call (breaker open) is kResourceExhausted with a "circuit breaker
+  /// open" message and touches no socket.
+  StatusOr<WireResponse> Call(const WireRequest& req);
+
+  /// Drops the current connection (idempotent); the next Call reconnects.
+  void Close();
+
+  int port() const { return port_; }
+  BreakerState breaker_state() const { return breaker_; }
+  /// Consecutive failed calls so far (resets on any successful call).
+  int consecutive_failures() const { return consecutive_failures_; }
+  /// Every backoff actually slept, in ms, across the client's lifetime —
+  /// the deterministic retry trace the chaos suite pins.
+  const std::vector<long long>& backoff_trace() const {
+    return backoff_trace_;
+  }
+
+ private:
+  /// Breaker gate for one call; on denial fills `*denial` and returns
+  /// false. Moves kOpen -> kHalfOpen once the cooldown has elapsed.
+  bool BreakerAdmits(std::string* denial);
+  /// Feeds one call outcome into the breaker state machine.
+  void RecordOutcome(bool call_ok);
+
+  int port_;
+  ResilientClientOptions options_;
+  obs::Scope scope_;
+  Client client_;
+  bool validated_ = false;
+
+  BreakerState breaker_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  std::chrono::steady_clock::time_point open_until_{};
+  std::vector<long long> backoff_trace_;
+};
+
+/// Creates every client.* metric at its zero value so metric dumps keep a
+/// complete, diffable key set before the first call. Mirrors
+/// PreRegisterServedMetrics.
+void PreRegisterClientMetrics(obs::Registry* r);
+
+}  // namespace latent::served
+
+#endif  // LATENT_SERVED_RESILIENT_CLIENT_H_

@@ -7,7 +7,9 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
@@ -82,6 +84,14 @@ Status ServedOptions::Validate() const {
     return Status::InvalidArgument("read_timeout_ms must be >= 0 (got " +
                                    std::to_string(read_timeout_ms) + ")");
   }
+  if (watchdog_poll_ms < 0) {
+    return Status::InvalidArgument("watchdog_poll_ms must be >= 0 (got " +
+                                   std::to_string(watchdog_poll_ms) + ")");
+  }
+  if (stuck_threshold_ms < 0) {
+    return Status::InvalidArgument("stuck_threshold_ms must be >= 0 (got " +
+                                   std::to_string(stuck_threshold_ms) + ")");
+  }
   return Status::Ok();
 }
 
@@ -117,6 +127,11 @@ StatusOr<std::unique_ptr<Server>> Server::Start(SnapshotHandle* snapshots,
       srv->WorkerLoop();
     }
   });
+  if (options.watchdog_poll_ms > 0) {
+    server->watchdog_thread_ = std::thread([srv = server.get()] {
+      srv->WatchdogLoop();
+    });
+  }
   return server;
 }
 
@@ -249,6 +264,7 @@ void Server::WorkerLoop() {
   while (true) {
     int fd = -1;
     Clock::time_point enqueued;
+    std::vector<int> expired;
     {
       std::unique_lock<std::mutex> lk(mu_);
       // wait_for (not wait): RequestShutdown is async-signal-safe and
@@ -257,15 +273,35 @@ void Server::WorkerLoop() {
         cv_.wait_for(lk, std::chrono::milliseconds(50));
       }
       if (draining_.load(std::memory_order_acquire)) return;
-      fd = queue_.front().first;
-      enqueued = queue_.front().second;
-      queue_.pop_front();
+      // Skip over queue entries that already outlived the default deadline:
+      // their client has given up (or is about to), so running them is dead
+      // work that only delays the live entries behind them.
+      while (!queue_.empty()) {
+        const auto [qfd, qtime] = queue_.front();
+        queue_.pop_front();
+        if (options_.default_deadline_ms > 0 &&
+            MsSince(qtime) > static_cast<double>(options_.default_deadline_ms)) {
+          expired.push_back(qfd);
+          continue;
+        }
+        fd = qfd;
+        enqueued = qtime;
+        break;
+      }
       LATENT_OBS(obs::SetGauge(&scope_, "served.queue.depth",
                                static_cast<long long>(queue_.size())));
-      ++inflight_;
-      active_fds_.insert(fd);
-      LATENT_OBS(obs::SetGauge(&scope_, "served.inflight", inflight_));
+      if (fd >= 0) {
+        ++inflight_;
+        active_fds_.insert(fd);
+        LATENT_OBS(obs::SetGauge(&scope_, "served.inflight", inflight_));
+      }
     }
+    for (const int efd : expired) {
+      LATENT_OBS(obs::Count(&scope_, "served.watchdog.expired"));
+      RejectConnection(efd, StatusCode::kDeadlineExceeded,
+                       "queued past deadline; shed without running");
+    }
+    if (fd < 0) continue;
     LATENT_OBS(obs::Observe(&scope_, "served.queue.wait.ms", MsSince(enqueued)));
     HandleConnection(fd);
     {
@@ -333,11 +369,35 @@ void Server::HandleConnection(int fd) {
 bool Server::AnswerRequest(int fd, const WireRequest& req) {
   LATENT_OBS(obs::Count(&scope_, "served.requests"));
   const Clock::time_point t0 = Clock::now();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    request_start_[fd] = t0;
+  }
+  // Un-tracks the request on every exit path so the watchdog only ever
+  // sees requests that are actually executing.
+  struct Untrack {
+    Server* srv;
+    int fd;
+    ~Untrack() {
+      std::lock_guard<std::mutex> lk(srv->mu_);
+      srv->request_start_.erase(fd);
+      srv->stuck_fds_.erase(fd);
+    }
+  } untrack{this, fd};
   WireResponse resp;
   if (req.verb == Verb::kPing) {
     resp.code = StatusCode::kOk;
     resp.generation = snapshots_->generation();
     resp.body = "pong";
+  } else if (req.verb == Verb::kHealth) {
+    const ServerHealth h = health();
+    resp.code = StatusCode::kOk;
+    resp.generation = h.generation;
+    resp.body = "generation " + std::to_string(h.generation) +
+                "\nqueue_depth " + std::to_string(h.queue_depth) +
+                "\ninflight " + std::to_string(h.inflight) + "\nuptime_ms " +
+                std::to_string(h.uptime_ms) + "\nstuck_workers " +
+                std::to_string(h.stuck_workers);
   } else {
     const std::shared_ptr<const ServingSnapshot> snap = snapshots_->Acquire();
     if (snap == nullptr) {
@@ -375,6 +435,85 @@ bool Server::AnswerRequest(int fd, const WireRequest& req) {
     return false;
   }
   return true;
+}
+
+ServerHealth Server::health() {
+  ServerHealth h;
+  h.generation = snapshots_->generation();
+  h.uptime_ms = static_cast<long long>(MsSince(started_));
+  std::lock_guard<std::mutex> lk(mu_);
+  h.queue_depth = static_cast<long long>(queue_.size());
+  h.inflight = inflight_;
+  if (options_.stuck_threshold_ms > 0) {
+    for (const auto& [fd, t0] : request_start_) {
+      if (MsSince(t0) > static_cast<double>(options_.stuck_threshold_ms)) {
+        ++h.stuck_workers;
+      }
+    }
+  }
+  return h;
+}
+
+void Server::WatchdogLoop() {
+  while (!draining_.load(std::memory_order_acquire)) {
+    // Sleep in short slices so a drain never waits out a long poll period.
+    long long slept = 0;
+    while (slept < options_.watchdog_poll_ms &&
+           !draining_.load(std::memory_order_acquire)) {
+      const long long slice = std::min(50LL, options_.watchdog_poll_ms - slept);
+      std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+      slept += slice;
+    }
+    if (draining_.load(std::memory_order_acquire)) return;
+    WatchdogTick();
+  }
+}
+
+void Server::WatchdogTick() {
+  LATENT_OBS(obs::Count(&scope_, "served.watchdog.ticks"));
+  std::vector<int> expired;
+  std::vector<std::pair<int, long long>> newly_stuck;  // fd, age ms
+  long long stuck_now = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    // The queue is FIFO, so expired entries form a prefix.
+    if (options_.default_deadline_ms > 0) {
+      while (!queue_.empty() &&
+             MsSince(queue_.front().second) >
+                 static_cast<double>(options_.default_deadline_ms)) {
+        expired.push_back(queue_.front().first);
+        queue_.pop_front();
+      }
+      if (!expired.empty()) {
+        LATENT_OBS(obs::SetGauge(&scope_, "served.queue.depth",
+                                 static_cast<long long>(queue_.size())));
+      }
+    }
+    if (options_.stuck_threshold_ms > 0) {
+      for (const auto& [fd, t0] : request_start_) {
+        const double age = MsSince(t0);
+        if (age <= static_cast<double>(options_.stuck_threshold_ms)) continue;
+        ++stuck_now;
+        if (stuck_fds_.insert(fd).second) {
+          newly_stuck.emplace_back(fd, static_cast<long long>(age));
+        }
+      }
+    }
+    LATENT_OBS(
+        obs::SetGauge(&scope_, "served.watchdog.stuck.current", stuck_now));
+  }
+  for (const int fd : expired) {
+    LATENT_OBS(obs::Count(&scope_, "served.watchdog.expired"));
+    RejectConnection(fd, StatusCode::kDeadlineExceeded,
+                     "queued past deadline; shed without running");
+  }
+  for (const auto& [fd, age] : newly_stuck) {
+    LATENT_OBS(obs::Count(&scope_, "served.watchdog.stuck"));
+    std::fprintf(stderr,
+                 "latent_served: watchdog: request on fd %d stuck for "
+                 "%lld ms (threshold %lld ms)\n",
+                 fd, age, options_.stuck_threshold_ms);
+  }
 }
 
 void Server::RejectConnection(int fd, StatusCode code,
@@ -420,6 +559,7 @@ Status Server::Wait() {
   }
   const Clock::time_point t0 = Clock::now();
   if (accept_thread_.joinable()) accept_thread_.join();
+  if (watchdog_thread_.joinable()) watchdog_thread_.join();
   // Admitted-but-unstarted connections get an explicit drain response
   // instead of silently vanishing with the process.
   std::vector<int> unstarted;
@@ -465,11 +605,13 @@ void PreRegisterServedMetrics(obs::Registry* r) {
   for (const char* name :
        {"served.connections", "served.requests", "served.requests.errors",
         "served.shed", "served.swaps", "served.accept.errors",
-        "served.read.errors", "served.write.errors"}) {
+        "served.read.errors", "served.write.errors", "served.watchdog.ticks",
+        "served.watchdog.stuck", "served.watchdog.expired"}) {
     r->counter(name);
   }
   for (const char* name :
-       {"served.inflight", "served.queue.depth", "served.generation"}) {
+       {"served.inflight", "served.queue.depth", "served.generation",
+        "served.watchdog.stuck.current"}) {
     r->gauge(name);
   }
   for (const char* name : {"served.queue.wait.ms", "served.request.ms",

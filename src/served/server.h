@@ -29,7 +29,15 @@
 //   * Fault injection. The served.accept / served.read / served.write /
 //     served.swap / served.stall failpoints plus bounded io::WithRetry on
 //     transient socket errors let the fault-injection suite drive every
-//     network failure path (see served_test).
+//     network failure path (see served_test and chaos_served_test); the
+//     daemon arms runtime fault schedules via --failpoints.
+//   * Health + watchdog. The snapshot-free `h` wire verb reports
+//     generation, queue depth, inflight count, uptime, and stuck workers.
+//     A watchdog thread (every `watchdog_poll_ms`) sheds admission-queue
+//     entries whose wait has already exceeded the default deadline —
+//     answering kDeadlineExceeded instead of running dead work — and
+//     counts/logs workers whose current request has run longer than
+//     `stuck_threshold_ms` (served.watchdog.* metrics).
 //
 // Every request carries its own deadline (frame header, falling back to
 // `default_deadline_ms`) that propagates into a per-query run::RunContext;
@@ -42,6 +50,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -85,6 +94,14 @@ struct ServedOptions {
   /// an idle or stalled client past it has its connection closed.
   /// 0 = wait forever.
   long long read_timeout_ms = 0;
+  /// Watchdog scan interval: each tick sheds admission-queue entries whose
+  /// wait already exceeds `default_deadline_ms` (when that is non-zero)
+  /// and refreshes the stuck-worker count. 0 = no watchdog thread.
+  long long watchdog_poll_ms = 250;
+  /// A worker whose current request has been running longer than this is
+  /// counted as stuck (served.watchdog.stuck.current gauge, logged once
+  /// per request on transition). 0 = stuck tracking off.
+  long long stuck_threshold_ms = 0;
   /// Metric registry for every served.* instrument; null = none. Must
   /// outlive the server.
   obs::Registry* metrics = nullptr;
@@ -93,6 +110,23 @@ struct ServedOptions {
   /// max_inflight/max_queue, negative deadlines/hints) with
   /// kInvalidArgument.
   Status Validate() const;
+};
+
+/// Snapshot-free server-state report, answered by the `h` wire verb and
+/// exposed to embedders via Server::health(). Rendered on the wire as one
+/// `key value` pair per line, in field order.
+struct ServerHealth {
+  /// Currently published snapshot generation (0 = nothing published).
+  long long generation = 0;
+  /// Connections admitted but not yet picked up by a worker.
+  long long queue_depth = 0;
+  /// Connections currently being served.
+  long long inflight = 0;
+  /// Milliseconds since the server started.
+  long long uptime_ms = 0;
+  /// Workers whose current request has outlived stuck_threshold_ms
+  /// (always 0 when stuck tracking is off).
+  long long stuck_workers = 0;
 };
 
 /// The daemon. Construction (Start) binds + listens and spins up the
@@ -117,6 +151,9 @@ class Server {
 
   /// The port actually bound (== options.port unless that was 0).
   int port() const { return port_; }
+
+  /// Current server state, as the `h` wire verb reports it.
+  ServerHealth health();
 
   /// Publishes `engine` as the next snapshot generation through the
   /// handle, counting served.swaps and timing served.swap.ms. In-flight
@@ -151,6 +188,10 @@ class Server {
   Status Bind();
   void AcceptLoop();
   void WorkerLoop();
+  void WatchdogLoop();
+  /// One watchdog scan: sheds deadline-expired queue entries, refreshes
+  /// the stuck-worker set. Factored out so tests could tick synchronously.
+  void WatchdogTick();
   void HandleConnection(int fd);
   /// Answers one decoded request (ping or query) on `fd`. Returns false
   /// when the connection should close (write failure or drain).
@@ -169,9 +210,13 @@ class Server {
   int port_ = 0;
   int wake_pipe_[2] = {-1, -1};
 
+  const std::chrono::steady_clock::time_point started_ =
+      std::chrono::steady_clock::now();
+
   std::thread accept_thread_;
   /// Runs the worker-loop batch on ex_ (or inline when ex_ is null).
   std::thread runner_thread_;
+  std::thread watchdog_thread_;
 
   std::mutex mu_;
   std::condition_variable cv_;
@@ -182,6 +227,13 @@ class Server {
   /// Sockets currently being handled, so a drain-deadline can shut them
   /// down and unblock their reads. Guarded by mu_.
   std::set<int> active_fds_;
+  /// fd -> dispatch time of the request currently executing on it; entries
+  /// exist only while AnswerRequest runs (a worker blocked waiting for the
+  /// next frame is idle, not stuck). Guarded by mu_.
+  std::map<int, std::chrono::steady_clock::time_point> request_start_;
+  /// Requests already counted (and logged) as stuck, so each one counts
+  /// once per transition. Guarded by mu_.
+  std::set<int> stuck_fds_;
 
   std::atomic<bool> draining_{false};
   bool waited_ = false;          // guarded by wait_mu_

@@ -14,8 +14,13 @@ StatusOr<long long> SnapshotHandle::Publish(
   LATENT_FAILPOINT("served.swap",
                    return Status::Internal("injected served.swap failure"));
   auto next = std::make_shared<ServingSnapshot>();
-  next->generation = generation_.load(std::memory_order_relaxed) + 1;
   next->engine = std::move(engine);
+  // Publishers serialize here: without the lock, two concurrent publishes
+  // could mint the same generation, or install their snapshots in the
+  // opposite order of their generation numbers (a reader would then watch
+  // the generation go backwards).
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  next->generation = generation_.load(std::memory_order_relaxed) + 1;
   const long long generation = next->generation;
   // Store the generation first so generation() never lags Acquire(): a
   // reader that sees the new snapshot also sees (at least) its generation.

@@ -21,6 +21,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 
 #include "common/status.h"
 #include "serve/engine.h"
@@ -34,8 +35,10 @@ struct ServingSnapshot {
 };
 
 /// Thread-safe publish point. Any number of threads may Acquire()
-/// concurrently with one Publish(); publishers must serialize among
-/// themselves (the daemon publishes from its main thread only).
+/// concurrently with any number of Publish() calls: publishers serialize
+/// on an internal mutex (generations come out strictly monotonic, and the
+/// installed snapshot always carries the generation Publish returned),
+/// while the read path stays lock-free.
 class SnapshotHandle {
  public:
   SnapshotHandle() = default;
@@ -61,6 +64,8 @@ class SnapshotHandle {
   }
 
  private:
+  /// Serializes publishers; never held on the Acquire()/generation() path.
+  std::mutex publish_mu_;
   std::atomic<std::shared_ptr<const ServingSnapshot>> current_;
   std::atomic<long long> generation_{0};
 };

@@ -1,0 +1,555 @@
+// Chaos harness: the latent_served daemon under runtime fault schedules.
+//
+// Where torture_served_kill_test proves one failure mode (SIGKILL) is
+// survivable, this harness turns several on at once and asserts the whole
+// failure-domain contract end to end:
+//
+//   * a real daemon armed with >= 3 simultaneous --failpoints schedules
+//     (served.read, served.write, served.stall) keeps answering — every
+//     successful response is byte-identical to a fault-free reference run,
+//     and the client-visible error rate stays bounded;
+//   * served::ResilientClient rides through injected read/write failures,
+//     a SIGKILL + same-port restart mid-workload, and a dead daemon —
+//     reconnecting, retrying under its deterministic backoff schedule,
+//     and tripping its circuit breaker open/half-open/closed exactly as
+//     documented;
+//   * the snapshot-free health verb answers under chaos;
+//   * the same seed and the same fault schedule replay the same
+//     retry/backoff trace (two fresh daemon+client runs, compared
+//     entry-for-entry and pinned against io::BackoffSequence).
+//
+// Registered with ctest as chaos.served (labels "chaos;served") and
+// rebuilt under TSan/ASan as tsan.chaos / asan.chaos.
+// Usage: chaos_served_test <path-to-latent_served>
+// A missing/invalid binary path skips the test (exit 0). The fault-
+// schedule phases additionally require failpoints compiled in
+// (-DLATENT_FAILPOINTS=ON, the default); under -DLATENT_FAILPOINTS=OFF
+// the harness still runs the kill/restart and breaker phases.
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/retry.h"
+#include "data/io.h"
+#include "data/synthetic_hin.h"
+#include "obs/obs.h"
+#include "served/protocol.h"
+#include "served/resilient_client.h"
+
+namespace {
+
+using namespace latent;
+
+std::string g_dir;
+
+std::string Path(const std::string& name) { return g_dir + "/" + name; }
+
+int Fail(const std::string& why) {
+  std::fprintf(stderr, "FAIL: %s\n", why.c_str());
+  return 1;
+}
+
+pid_t Spawn(const std::vector<std::string>& args) {
+  pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  int fd = ::open(Path("chaos.log").c_str(), O_WRONLY | O_CREAT | O_APPEND,
+                  0644);
+  if (fd >= 0) {
+    ::dup2(fd, 1);
+    ::dup2(fd, 2);
+    ::close(fd);
+  }
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (const std::string& a : args) {
+    argv.push_back(const_cast<char*>(a.c_str()));
+  }
+  argv.push_back(nullptr);
+  ::execv(argv[0], argv.data());
+  _exit(127);
+}
+
+void KillAndReap(pid_t pid, int sig) {
+  ::kill(pid, sig);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+}
+
+// Waits for the daemon to write its port file (it does so only once bound
+// and serving). Returns the port, or -1 on timeout / a daemon that died
+// during startup.
+int AwaitPort(pid_t pid, const std::string& port_file, long long timeout_ms) {
+  long long waited = 0;
+  while (waited < timeout_ms) {
+    auto blob = data::ReadFile(port_file);
+    if (blob.ok() && !blob.value().empty()) {
+      return std::atoi(blob.value().c_str());
+    }
+    int status = 0;
+    if (::waitpid(pid, &status, WNOHANG) == pid) return -1;
+    ::usleep(20000);
+    waited += 20;
+  }
+  return -1;
+}
+
+// Daemon argv: watchdog always on (50 ms scans, 2 s stuck threshold) so
+// every phase also exercises the watchdog thread's start/scan/join path.
+// port == 0 picks an ephemeral port; a non-empty `failpoints` spec arms
+// runtime fault schedules in the daemon process only — this test process
+// never arms anything, so the client-side served.read/served.write sites
+// stay dormant.
+std::vector<std::string> ServedArgs(const std::string& served,
+                                    const std::string& port_file, int port,
+                                    const std::string& failpoints) {
+  std::vector<std::string> args = {
+      served,           "--corpus",    Path("corpus.txt"),
+      "--entities",     Path("entities.tsv"),
+      "--levels",       "2,2",
+      "--min-support",  "4",
+      "--seed",         "7",
+      "--threads",      "1",
+      "--port",         std::to_string(port),
+      "--port-file",    port_file,
+      "--max-inflight", "2",
+      "--watchdog-ms",  "50",
+      "--stuck-ms",     "2000",
+  };
+  if (!failpoints.empty()) {
+    args.push_back("--failpoints");
+    args.push_back(failpoints);
+  }
+  return args;
+}
+
+served::WireRequest Query(served::Verb verb, const std::string& arg) {
+  served::WireRequest req;
+  req.verb = verb;
+  req.arg = arg;
+  req.k = -1;
+  req.deadline_ms = 0;
+  return req;
+}
+
+// Retry policy for the chaos workload: 6 attempts, short jittered
+// backoffs. Deterministic per call (seeded from the policy seed).
+io::RetryPolicy WorkloadPolicy() {
+  io::RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.initial_backoff_ms = 5;
+  policy.max_backoff_ms = 100;
+  policy.multiplier = 2.0;
+  policy.jitter = 0.5;
+  return policy;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || ::access(argv[1], X_OK) != 0) {
+    std::fprintf(stderr, "SKIP: latent_served binary not given/executable\n");
+    return 0;
+  }
+  // Daemons die mid-response on purpose; writes to their sockets must not
+  // kill this process.
+  ::signal(SIGPIPE, SIG_IGN);
+  const std::string served = argv[1];
+  const bool faults = run::failpoint::CompiledIn();
+  if (!faults) {
+    std::fprintf(stderr,
+                 "NOTE: failpoints compiled out; running without fault "
+                 "schedules (kill/restart and breaker phases only)\n");
+  }
+  const char* tmp = std::getenv("TMPDIR");
+  g_dir = std::string(tmp != nullptr ? tmp : "/tmp") + "/latent_served_chaos";
+  ::system(("rm -rf " + g_dir).c_str());
+  if (::mkdir(g_dir.c_str(), 0755) != 0) return Fail("cannot mkdir " + g_dir);
+
+  // Synthetic corpus + entity attachments, same shape as the torture
+  // harness (small enough that mine-at-startup stays fast).
+  data::HinDatasetOptions dopt = data::DblpLikeOptions(600, 40);
+  dopt.num_areas = 2;
+  dopt.subareas_per_area = 2;
+  data::HinDataset ds = data::GenerateHinDataset(dopt);
+  {
+    std::string corpus_txt;
+    for (const text::Document& doc : ds.corpus.docs()) {
+      std::string line;
+      for (int id : doc.tokens) {
+        if (!line.empty()) line += " ";
+        line += ds.corpus.vocab().Token(id);
+      }
+      corpus_txt += line + "\n";
+    }
+    if (!data::WriteFile(Path("corpus.txt"), corpus_txt).ok()) {
+      return Fail("cannot write corpus");
+    }
+    std::string tsv;
+    for (size_t d = 0; d < ds.entity_docs.size(); ++d) {
+      const auto& types = ds.entity_docs[d].entities;
+      for (size_t t = 0; t < types.size(); ++t) {
+        for (int id : types[t]) {
+          tsv += std::to_string(d) + "\t" + ds.entity_type_names[t] + "\te" +
+                 std::to_string(t) + "_" + std::to_string(id) + "\n";
+        }
+      }
+    }
+    if (!data::WriteFile(Path("entities.tsv"), tsv).ok()) {
+      return Fail("cannot write entities");
+    }
+  }
+
+  const std::vector<served::WireRequest> queries = {
+      Query(served::Verb::kLookup, "o"),
+      Query(served::Verb::kSearch, ds.corpus.vocab().Token(0)),
+      Query(served::Verb::kSearch,
+            ds.corpus.vocab().Token(1) + " " + ds.corpus.vocab().Token(2)),
+      Query(served::Verb::kSubtree, "o"),
+  };
+
+  // ---- Phase A: fault-free reference run + health verb contract. ----
+  std::vector<std::string> reference_bodies;
+  {
+    pid_t pid = Spawn(ServedArgs(served, Path("port.a"), 0, ""));
+    const int port = AwaitPort(pid, Path("port.a"), /*timeout_ms=*/120000);
+    if (port <= 0) {
+      KillAndReap(pid, SIGKILL);
+      return Fail("reference daemon did not come up (see " +
+                  Path("chaos.log") + ")");
+    }
+    {
+      served::Client client;
+      if (!served::ConnectWithRetry(&client, port).ok()) {
+        KillAndReap(pid, SIGKILL);
+        return Fail("cannot connect to reference daemon");
+      }
+      for (const served::WireRequest& q : queries) {
+        StatusOr<served::WireResponse> resp = client.Call(q);
+        if (!resp.ok() || resp.value().code != StatusCode::kOk) {
+          KillAndReap(pid, SIGKILL);
+          return Fail("reference query failed");
+        }
+        reference_bodies.push_back(resp.value().body);
+      }
+      // The snapshot-free health verb: kOk, one `key value` pair per line,
+      // all five keys present, a published generation.
+      StatusOr<served::WireResponse> health =
+          client.Call(Query(served::Verb::kHealth, ""));
+      if (!health.ok() || health.value().code != StatusCode::kOk) {
+        KillAndReap(pid, SIGKILL);
+        return Fail("health verb failed against a healthy daemon");
+      }
+      const std::string& body = health.value().body;
+      for (const char* key : {"generation ", "queue_depth ", "inflight ",
+                              "uptime_ms ", "stuck_workers "}) {
+        if (body.find(key) == std::string::npos) {
+          KillAndReap(pid, SIGKILL);
+          return Fail(std::string("health body is missing '") + key +
+                      "': " + body);
+        }
+      }
+      if (health.value().generation <= 0) {
+        KillAndReap(pid, SIGKILL);
+        return Fail("health response carries no published generation");
+      }
+    }
+    ::kill(pid, SIGTERM);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      return Fail("reference daemon did not drain cleanly on SIGTERM");
+    }
+  }
+
+  // ---- Phase B: workload against a daemon under three simultaneous
+  // fault schedules; every success must be byte-identical to the
+  // reference, the error rate bounded. ----
+  const std::string chaos_spec =
+      faults ? "served.read=p:0.35;served.write=p:0.35;served.stall=every:5;"
+               "seed:42"
+             : "";
+  pid_t chaos_pid = Spawn(ServedArgs(served, Path("port.b"), 0, chaos_spec));
+  const int chaos_port = AwaitPort(chaos_pid, Path("port.b"), 120000);
+  if (chaos_port <= 0) {
+    KillAndReap(chaos_pid, SIGKILL);
+    return Fail("chaos daemon did not come up (see " + Path("chaos.log") +
+                ")");
+  }
+
+  obs::Registry metrics;
+  served::ResilientClientOptions ropt;
+  ropt.retry = WorkloadPolicy();
+  ropt.breaker_failures = 0;  // breaker gets its own phase below
+  ropt.metrics = &metrics;
+  served::ResilientClient rc(chaos_port, ropt);
+
+  const int kWorkload = 160;
+  int errors = 0;
+  for (int i = 0; i < kWorkload; ++i) {
+    if (i % 40 == 39) {
+      // Health answers under chaos too (through the same retry shield).
+      StatusOr<served::WireResponse> h =
+          rc.Call(Query(served::Verb::kHealth, ""));
+      if (h.ok() && h.value().code != StatusCode::kOk) {
+        KillAndReap(chaos_pid, SIGKILL);
+        return Fail("health under chaos answered a non-OK code");
+      }
+      if (!h.ok()) ++errors;
+      continue;
+    }
+    const size_t qi = static_cast<size_t>(i) % queries.size();
+    StatusOr<served::WireResponse> resp = rc.Call(queries[qi]);
+    if (!resp.ok()) {
+      ++errors;
+      continue;
+    }
+    if (resp.value().code != StatusCode::kOk) {
+      KillAndReap(chaos_pid, SIGKILL);
+      return Fail("chaos workload surfaced a non-OK application code " +
+                  std::to_string(static_cast<int>(resp.value().code)) + ": " +
+                  resp.value().body);
+    }
+    if (resp.value().body != reference_bodies[qi]) {
+      KillAndReap(chaos_pid, SIGKILL);
+      return Fail("chaos workload answered different bytes for query " +
+                  std::to_string(qi));
+    }
+  }
+  // Bounded error rate: the retry shield should absorb essentially every
+  // injected fault (per-call failure odds are well under 1e-4); 5% slack
+  // keeps the bound insensitive to scheduling noise.
+  if (errors * 20 > kWorkload) {
+    KillAndReap(chaos_pid, SIGKILL);
+    return Fail("chaos error rate above 5%: " + std::to_string(errors) +
+                " of " + std::to_string(kWorkload));
+  }
+  if (::kill(chaos_pid, 0) != 0) {
+    return Fail("chaos daemon died during the workload");
+  }
+#if defined(LATENT_OBS_ENABLED)
+  if (faults && metrics.CounterValue("client.retries") == 0) {
+    KillAndReap(chaos_pid, SIGKILL);
+    return Fail("fault schedules armed but the client never retried — "
+                "the chaos was not real");
+  }
+#endif
+
+  // ---- Phase C: SIGKILL the chaos daemon mid-workload, restart it on
+  // the same port, and keep using the SAME client: it must fail cleanly
+  // while the daemon is down and recover transparently once it is back.
+  // ----
+  const uint64_t reconnects_before =
+#if defined(LATENT_OBS_ENABLED)
+      metrics.CounterValue("client.reconnects");
+#else
+      0;
+#endif
+  KillAndReap(chaos_pid, SIGKILL);
+  for (int i = 0; i < 2; ++i) {
+    StatusOr<served::WireResponse> resp = rc.Call(queries[0]);
+    if (resp.ok() && resp.value().code == StatusCode::kOk) {
+      return Fail("dead daemon answered a query");
+    }
+  }
+  chaos_pid = Spawn(ServedArgs(served, Path("port.c"), chaos_port,
+                               chaos_spec));
+  if (AwaitPort(chaos_pid, Path("port.c"), 120000) != chaos_port) {
+    KillAndReap(chaos_pid, SIGKILL);
+    return Fail("restarted chaos daemon did not come up on the same port");
+  }
+  bool recovered = false;
+  for (int i = 0; i < 50 && !recovered; ++i) {
+    StatusOr<served::WireResponse> resp = rc.Call(queries[0]);
+    if (!resp.ok()) continue;
+    if (resp.value().code != StatusCode::kOk ||
+        resp.value().body != reference_bodies[0]) {
+      KillAndReap(chaos_pid, SIGKILL);
+      return Fail("restarted daemon answered wrong bytes to the surviving "
+                  "client");
+    }
+    recovered = true;
+  }
+  if (!recovered) {
+    KillAndReap(chaos_pid, SIGKILL);
+    return Fail("client did not recover after daemon kill+restart");
+  }
+  int post_restart_errors = 0;
+  for (int i = 0; i < 20; ++i) {
+    const size_t qi = static_cast<size_t>(i) % queries.size();
+    StatusOr<served::WireResponse> resp = rc.Call(queries[qi]);
+    if (!resp.ok()) {
+      ++post_restart_errors;
+      continue;
+    }
+    if (resp.value().code != StatusCode::kOk ||
+        resp.value().body != reference_bodies[qi]) {
+      KillAndReap(chaos_pid, SIGKILL);
+      return Fail("post-restart response diverged from the reference");
+    }
+  }
+  if (post_restart_errors > 1) {
+    KillAndReap(chaos_pid, SIGKILL);
+    return Fail("post-restart error rate too high: " +
+                std::to_string(post_restart_errors) + " of 20");
+  }
+#if defined(LATENT_OBS_ENABLED)
+  if (metrics.CounterValue("client.reconnects") <= reconnects_before) {
+    KillAndReap(chaos_pid, SIGKILL);
+    return Fail("client recovered without counting a reconnect");
+  }
+#endif
+  rc.Close();
+
+  // ---- Phase D: circuit breaker transitions against a dead daemon,
+  // half-open probe against its replacement. ----
+  KillAndReap(chaos_pid, SIGKILL);
+  obs::Registry breaker_metrics;
+  served::ResilientClientOptions bopt;
+  bopt.retry = WorkloadPolicy();
+  bopt.retry.max_attempts = 2;
+  bopt.breaker_failures = 2;
+  bopt.breaker_cooldown_ms = 400;
+  bopt.metrics = &breaker_metrics;
+  served::ResilientClient rcb(chaos_port, bopt);
+  for (int i = 0; i < 2; ++i) {
+    if (rcb.Call(queries[0]).ok()) {
+      return Fail("call against a dead daemon succeeded");
+    }
+  }
+  if (rcb.breaker_state() != served::ResilientClient::BreakerState::kOpen) {
+    return Fail("breaker did not open after 2 consecutive failed calls");
+  }
+  {
+    StatusOr<served::WireResponse> fastfail = rcb.Call(queries[0]);
+    if (fastfail.ok()) return Fail("open breaker admitted a call");
+    if (fastfail.status().code() != StatusCode::kResourceExhausted ||
+        fastfail.status().message().find("circuit breaker open") ==
+            std::string::npos) {
+      return Fail("open breaker fast-fail has the wrong shape: " +
+                  fastfail.status().message());
+    }
+    if (rcb.consecutive_failures() != 2) {
+      return Fail("a fast-failed call fed the breaker failure count");
+    }
+  }
+  // Restart (fault-free this time) on the same port, then wait out the
+  // cooldown so the next call runs as the half-open probe — success must
+  // close the breaker.
+  chaos_pid = Spawn(ServedArgs(served, Path("port.d"), chaos_port, ""));
+  if (AwaitPort(chaos_pid, Path("port.d"), 120000) != chaos_port) {
+    KillAndReap(chaos_pid, SIGKILL);
+    return Fail("breaker-phase daemon did not come up on the same port");
+  }
+  ::usleep(static_cast<useconds_t>((bopt.breaker_cooldown_ms + 100) * 1000));
+  {
+    StatusOr<served::WireResponse> probe = rcb.Call(queries[0]);
+    if (!probe.ok() || probe.value().code != StatusCode::kOk ||
+        probe.value().body != reference_bodies[0]) {
+      KillAndReap(chaos_pid, SIGKILL);
+      return Fail("half-open probe did not succeed with reference bytes");
+    }
+  }
+  if (rcb.breaker_state() != served::ResilientClient::BreakerState::kClosed) {
+    KillAndReap(chaos_pid, SIGKILL);
+    return Fail("successful probe did not close the breaker");
+  }
+#if defined(LATENT_OBS_ENABLED)
+  if (breaker_metrics.CounterValue("client.breaker.opens") == 0 ||
+      breaker_metrics.CounterValue("client.breaker.fastfails") == 0 ||
+      breaker_metrics.CounterValue("client.breaker.probes") == 0) {
+    KillAndReap(chaos_pid, SIGKILL);
+    return Fail("breaker transition counters did not move");
+  }
+#endif
+  rcb.Close();
+  ::kill(chaos_pid, SIGTERM);
+  {
+    int status = 0;
+    ::waitpid(chaos_pid, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      return Fail("breaker-phase daemon did not drain cleanly on SIGTERM");
+    }
+  }
+
+  // ---- Phase E: determinism pin. The schedule served.write=count:3,skip:6
+  // passes the daemon's first 6 response writes, then fires the next 3 —
+  // exactly the daemon-side retry budget for one response — so exactly one
+  // client call (the 7th) retries exactly once. Same seed + same schedule
+  // must replay the same backoff trace, and that trace must match
+  // io::BackoffSequence on the same policy. ----
+  if (faults) {
+    io::RetryPolicy det_policy;
+    det_policy.max_attempts = 4;
+    det_policy.initial_backoff_ms = 10;
+    det_policy.max_backoff_ms = 1000;
+    det_policy.multiplier = 2.0;
+    det_policy.jitter = 0.5;
+    auto run_trace = [&](const std::string& tag,
+                         std::vector<long long>* trace) -> int {
+      const std::string port_file = Path("port.e" + tag);
+      pid_t pid = Spawn(ServedArgs(served, port_file, 0,
+                                   "served.write=count:3,skip:6"));
+      const int port = AwaitPort(pid, port_file, 120000);
+      if (port <= 0) {
+        KillAndReap(pid, SIGKILL);
+        return Fail("determinism daemon " + tag + " did not come up");
+      }
+      served::ResilientClientOptions opt;
+      opt.retry = det_policy;
+      opt.breaker_failures = 0;
+      served::ResilientClient client(port, opt);
+      for (int i = 0; i < 8; ++i) {
+        StatusOr<served::WireResponse> resp = client.Call(queries[0]);
+        if (!resp.ok() || resp.value().code != StatusCode::kOk ||
+            resp.value().body != reference_bodies[0]) {
+          KillAndReap(pid, SIGKILL);
+          return Fail("determinism run " + tag + " call " +
+                      std::to_string(i) + " did not succeed byte-identically");
+        }
+      }
+      *trace = client.backoff_trace();
+      client.Close();
+      ::kill(pid, SIGTERM);
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+      if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+        return Fail("determinism daemon " + tag + " did not drain cleanly");
+      }
+      return 0;
+    };
+    std::vector<long long> trace1, trace2;
+    if (run_trace("1", &trace1) != 0) return 1;
+    if (run_trace("2", &trace2) != 0) return 1;
+    if (trace1.size() != 1) {
+      return Fail("expected exactly one client retry from "
+                  "served.write=count:3,skip:6; backoff trace has " +
+                  std::to_string(trace1.size()) + " entries");
+    }
+    if (trace1 != trace2) {
+      return Fail("same seed + same schedule replayed a different backoff "
+                  "trace");
+    }
+    io::BackoffSequence expected(det_policy);
+    if (trace1[0] != expected.NextMs()) {
+      return Fail("backoff trace diverged from io::BackoffSequence: got " +
+                  std::to_string(trace1[0]));
+    }
+  }
+
+  std::fprintf(stderr,
+               "PASS: %d/%d chaos calls failed (bounded), byte-identical "
+               "successes, breaker open->half-open->closed, deterministic "
+               "backoff trace%s\n",
+               errors, kWorkload,
+               faults ? "" : " (fault schedules compiled out; skipped)");
+  return 0;
+}

@@ -357,5 +357,25 @@ TEST(RetryTest, JitterIsDeterministicPerSeedAndBounded) {
   EXPECT_TRUE(any_diff);  // a different seed gives a different schedule
 }
 
+TEST(RetryTest, BackoffSequenceReplaysTheRawScheduleExactly) {
+  io::RetryPolicy p;
+  p.initial_backoff_ms = 100;
+  p.max_backoff_ms = 1000;
+  p.jitter = 0.5;
+  // BackoffSequence is the shared backoff iterator (WithRetry and
+  // ResilientClient both drive it): walking it must reproduce BackoffMs
+  // with a fresh policy-seeded Rng, delay for delay.
+  io::BackoffSequence seq(p);
+  Rng reference(p.seed);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    EXPECT_EQ(seq.attempt(), attempt);
+    EXPECT_EQ(seq.NextMs(), io::BackoffMs(p, attempt, &reference));
+  }
+  // Two sequences over the same policy replay the same delays — the
+  // determinism pin the chaos suite's backoff-trace comparison relies on.
+  io::BackoffSequence a(p), b(p);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(a.NextMs(), b.NextMs());
+}
+
 }  // namespace
 }  // namespace latent

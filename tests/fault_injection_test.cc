@@ -81,6 +81,110 @@ TEST_F(RegistryTest, RearmingResetsCounters) {
 }
 
 // ---------------------------------------------------------------------------
+// Runtime fault schedules (ArmFromSpec + the probability/every modes).
+// ---------------------------------------------------------------------------
+
+using ScheduleTest = FailpointTest;
+
+TEST_F(ScheduleTest, ProbabilityOneFiresEveryHit) {
+  run::failpoint::ArmProbability("registry.test", 1.0);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(run::failpoint::ShouldFail("registry.test"));
+  }
+  EXPECT_EQ(run::failpoint::HitCount("registry.test"), 20);
+  EXPECT_EQ(run::failpoint::FiredCount("registry.test"), 20);
+}
+
+TEST_F(ScheduleTest, ProbabilityFiringIsDeterministicPerSeed) {
+  auto record = [](std::uint64_t seed) {
+    run::failpoint::ArmProbability("registry.test", 0.4, seed);
+    std::string pattern;
+    for (int i = 0; i < 64; ++i) {
+      pattern += run::failpoint::ShouldFail("registry.test") ? '1' : '0';
+    }
+    return pattern;
+  };
+  const std::string a = record(7);
+  const std::string b = record(7);
+  EXPECT_EQ(a, b);  // same seed, same hit order -> same firing pattern
+  EXPECT_NE(a.find('1'), std::string::npos);
+  EXPECT_NE(a.find('0'), std::string::npos);
+  // A different seed gives a different (but equally deterministic) stream.
+  EXPECT_NE(record(8), a);
+}
+
+TEST_F(ScheduleTest, EveryNFiresExactlyTheNthHits) {
+  run::failpoint::ArmEvery("registry.test", 3);
+  std::string pattern;
+  for (int i = 0; i < 9; ++i) {
+    pattern += run::failpoint::ShouldFail("registry.test") ? '1' : '0';
+  }
+  EXPECT_EQ(pattern, "001001001");
+  EXPECT_EQ(run::failpoint::FiredCount("registry.test"), 3);
+}
+
+TEST_F(ScheduleTest, SpecArmsEveryModeAndReportsTheCount) {
+  StatusOr<int> armed = run::failpoint::ArmFromSpec(
+      "registry.test=p:1.0; other.test=count:1,skip:1 ;third.test=every:2");
+  ASSERT_TRUE(armed.ok()) << armed.status().message();
+  EXPECT_EQ(armed.value(), 3);
+  EXPECT_TRUE(run::failpoint::ShouldFail("registry.test"));
+  EXPECT_FALSE(run::failpoint::ShouldFail("other.test"));  // skipped
+  EXPECT_TRUE(run::failpoint::ShouldFail("other.test"));   // fires
+  EXPECT_FALSE(run::failpoint::ShouldFail("other.test"));  // exhausted
+  EXPECT_FALSE(run::failpoint::ShouldFail("third.test"));
+  EXPECT_TRUE(run::failpoint::ShouldFail("third.test"));
+}
+
+TEST_F(ScheduleTest, SpecSeedDirectiveControlsTheProbabilityStreams) {
+  auto record = [](const std::string& spec) {
+    StatusOr<int> armed = run::failpoint::ArmFromSpec(spec);
+    EXPECT_TRUE(armed.ok()) << armed.status().message();
+    std::string pattern;
+    for (int i = 0; i < 64; ++i) {
+      pattern += run::failpoint::ShouldFail("registry.test") ? '1' : '0';
+    }
+    return pattern;
+  };
+  const std::string seed9 = record("seed:9;registry.test=p:0.4");
+  EXPECT_EQ(record("seed:9;registry.test=p:0.4"), seed9);
+  // The directive applies regardless of position in the spec.
+  EXPECT_EQ(record("registry.test=p:0.4;seed:9"), seed9);
+  EXPECT_NE(record("seed:10;registry.test=p:0.4"), seed9);
+}
+
+TEST_F(ScheduleTest, MalformedSpecsArmNothing) {
+  for (const char* spec : {
+           "registry.test",               // no mode
+           "registry.test=",              // empty mode
+           "registry.test=p:0",           // probability out of range
+           "registry.test=p:1.5",         // probability out of range
+           "registry.test=p:x",           // non-numeric probability
+           "registry.test=count:-2",      // count below the -1 sentinel
+           "registry.test=count:x",       // non-numeric count
+           "registry.test=count:1,skip:-1",  // negative skip
+           "registry.test=every:0",       // every must be >= 1
+           "registry.test=often:3",       // unknown mode
+           "=p:0.5",                      // empty site name
+           "seed:x",                      // non-numeric seed
+           "registry.test=p:0.5;;other.test=every",  // trailing bad entry
+       }) {
+    StatusOr<int> armed = run::failpoint::ArmFromSpec(spec);
+    EXPECT_FALSE(armed.ok()) << spec;
+    EXPECT_EQ(armed.status().code(), StatusCode::kInvalidArgument) << spec;
+    // Parse-all-then-arm: even the valid entries of a bad spec stay
+    // disarmed.
+    EXPECT_FALSE(run::failpoint::ShouldFail("registry.test")) << spec;
+  }
+}
+
+TEST_F(ScheduleTest, EmptySpecIsANoOp) {
+  StatusOr<int> armed = run::failpoint::ArmFromSpec("");
+  ASSERT_TRUE(armed.ok());
+  EXPECT_EQ(armed.value(), 0);
+}
+
+// ---------------------------------------------------------------------------
 // Injected I/O failures.
 // ---------------------------------------------------------------------------
 

@@ -9,10 +9,13 @@
 // sanitizer builds).
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
 #include <fcntl.h>
+#include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -31,6 +34,7 @@
 #include "data/io.h"
 #include "obs/metrics.h"
 #include "served/protocol.h"
+#include "served/resilient_client.h"
 #include "served/server.h"
 #include "served/snapshot.h"
 #include "serve/engine.h"
@@ -41,6 +45,8 @@ namespace latent {
 namespace {
 
 using served::Client;
+using served::ResilientClient;
+using served::ResilientClientOptions;
 using served::ServedOptions;
 using served::Server;
 using served::SnapshotHandle;
@@ -290,6 +296,65 @@ TEST(ProtocolTest, TruncatedAndOversizeFramesAreInvalid) {
   ::close(fds[1]);
 }
 
+TEST(ProtocolTest, HealthVerbAliasesAndArglessDecode) {
+  // Canonical wire token is the short "h"; the long form decodes too, and
+  // like ping the verb needs no argument.
+  const std::string encoded = served::EncodeRequest(Req(Verb::kHealth, ""));
+  EXPECT_NE(encoded.find(" h"), std::string::npos);
+  WireRequest decoded;
+  ASSERT_TRUE(served::DecodeRequest(encoded, &decoded).ok());
+  EXPECT_EQ(decoded.verb, Verb::kHealth);
+  ASSERT_TRUE(served::DecodeRequest("lsrv1 q 0 -1 h", &decoded).ok());
+  EXPECT_EQ(decoded.verb, Verb::kHealth);
+  ASSERT_TRUE(served::DecodeRequest("lsrv1 q 0 -1 health", &decoded).ok());
+  EXPECT_EQ(decoded.verb, Verb::kHealth);
+}
+
+TEST(ProtocolTest, ConnectWithRetryAbsorbsALateListener) {
+  // Bound but not yet listening: connects are refused until listen(), the
+  // exact --port-file startup race the helper exists to absorb.
+  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const int port = ntohs(addr.sin_port);
+
+  io::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_ms = 5;
+  policy.max_backoff_ms = 20;
+  // Never listening: the budget runs out and the last connect error (with
+  // address context) surfaces.
+  {
+    Client client;
+    Status s = served::ConnectWithRetry(&client, port, policy);
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kInternal);
+    EXPECT_NE(s.message().find("connect to 127.0.0.1:"), std::string::npos)
+        << s.message();
+  }
+  // Listener shows up mid-retry: the helper lands the connection.
+  {
+    io::RetryPolicy patient = policy;
+    patient.max_attempts = 10;
+    std::thread late([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(40));
+      ::listen(lfd, 4);
+    });
+    Client client;
+    Status s = served::ConnectWithRetry(&client, port, patient);
+    late.join();
+    EXPECT_TRUE(s.ok()) << s.message();
+    EXPECT_TRUE(client.connected());
+  }
+  ::close(lfd);
+}
+
 // ---- SnapshotHandle --------------------------------------------------------
 
 TEST(SnapshotHandleTest, PublishesMonotonicGenerations) {
@@ -314,6 +379,70 @@ TEST(SnapshotHandleTest, PublishesMonotonicGenerations) {
   EXPECT_EQ(held->generation, 1);
   EXPECT_EQ(held->engine->options().default_k, 3);
   EXPECT_EQ(handle.Acquire()->generation, 2);
+}
+
+// Two publishers racing Publish() must mint distinct, strictly monotonic
+// generations, and a concurrent reader must never observe the installed
+// snapshot going backwards or outrunning the handle's generation counter.
+// (Publishers serialize on an internal mutex; readers stay lock-free —
+// this is also a tsan.served target.)
+TEST(SnapshotHandleTest, ConcurrentPublishersAreMonotonicAndRaceFree) {
+  constexpr int kThreads = 2;
+  constexpr int kPerThread = 3;
+  // Pre-build the engines so the threads race Publish itself, not the
+  // index builds.
+  std::vector<std::vector<std::unique_ptr<const serve::QueryEngine>>> engines(
+      kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      engines[t].push_back(MakeEngine(3 + t));
+    }
+  }
+  SnapshotHandle handle;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    long long last_seen = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      std::shared_ptr<const served::ServingSnapshot> snap = handle.Acquire();
+      const long long counter = handle.generation();
+      if (snap == nullptr) continue;
+      EXPECT_NE(snap->engine, nullptr);
+      EXPECT_GE(snap->generation, last_seen)
+          << "installed snapshot went backwards";
+      EXPECT_LE(snap->generation, counter)
+          << "snapshot outran the generation counter";
+      last_seen = snap->generation;
+    }
+  });
+  std::vector<std::vector<long long>> minted(kThreads);
+  std::vector<std::thread> publishers;
+  publishers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    publishers.emplace_back([&, t] {
+      for (auto& engine : engines[t]) {
+        StatusOr<long long> gen = handle.Publish(std::move(engine));
+        ASSERT_TRUE(gen.ok()) << gen.status().message();
+        minted[t].push_back(gen.value());
+      }
+    });
+  }
+  for (std::thread& t : publishers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  // Each publisher saw its own generations strictly increase, and the
+  // union is exactly 1..kThreads*kPerThread with no duplicates.
+  std::vector<long long> all;
+  for (const auto& seq : minted) {
+    for (size_t i = 1; i < seq.size(); ++i) EXPECT_GT(seq[i], seq[i - 1]);
+    all.insert(all.end(), seq.begin(), seq.end());
+  }
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), static_cast<size_t>(kThreads * kPerThread));
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i], static_cast<long long>(i) + 1);
+  }
+  EXPECT_EQ(handle.generation(), kThreads * kPerThread);
 }
 
 // ---- Server behavior -------------------------------------------------------
@@ -574,6 +703,262 @@ TEST(ServedServerTest, DrainDeadlineCancelsStragglers) {
   EXPECT_TRUE(!read.ok() || eof);
 }
 
+// ---- Health verb and watchdog ----------------------------------------------
+
+TEST(ServedServerTest, HealthVerbReportsServerStateWithoutASnapshot) {
+  TestDaemon daemon;
+  Client client;
+  ASSERT_TRUE(client.Connect(daemon.server->port()).ok());
+  // Health is snapshot-free: it answers kOk even before the first publish,
+  // where a query verb would get kFailedPrecondition.
+  StatusOr<WireResponse> before = client.Call(Req(Verb::kHealth, ""));
+  ASSERT_TRUE(before.ok()) << before.status().message();
+  EXPECT_EQ(before.value().code, StatusCode::kOk);
+  EXPECT_EQ(before.value().generation, 0);
+  EXPECT_EQ(before.value().body.rfind("generation 0", 0), 0u)
+      << before.value().body;
+
+  ASSERT_TRUE(daemon.server->PublishSnapshot(MakeEngine()).ok());
+  StatusOr<WireResponse> after = client.Call(Req(Verb::kHealth, ""));
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().code, StatusCode::kOk);
+  EXPECT_EQ(after.value().generation, 1);
+  const std::string& body = after.value().body;
+  for (const char* key : {"generation ", "queue_depth ", "inflight ",
+                          "uptime_ms ", "stuck_workers "}) {
+    EXPECT_NE(body.find(key), std::string::npos) << body;
+  }
+  EXPECT_EQ(body.rfind("generation 1", 0), 0u) << body;
+
+  // The in-process accessor agrees.
+  served::ServerHealth h = daemon.server->health();
+  EXPECT_EQ(h.generation, 1);
+  EXPECT_EQ(h.queue_depth, 0);
+  EXPECT_GE(h.uptime_ms, 0);
+  EXPECT_EQ(h.stuck_workers, 0);
+}
+
+TEST(ServedOptionsTest, RejectsNegativeWatchdogKnobs) {
+  {
+    ServedOptions opt;
+    opt.watchdog_poll_ms = -1;
+    Status s = opt.Validate();
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(s.message().find("(got "), std::string::npos);
+  }
+  {
+    ServedOptions opt;
+    opt.stuck_threshold_ms = -1;
+    EXPECT_EQ(opt.Validate().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+// The watchdog sheds admission-queue entries whose wait already exceeds
+// the server's default deadline: the queued client gets an immediate
+// kDeadlineExceeded with a retry hint instead of running a query whose
+// budget is already spent.
+TEST(ServedServerTest, WatchdogShedsQueueEntriesPastTheirDeadline) {
+  ServedOptions opt;
+  opt.max_inflight = 1;
+  opt.max_queue = 4;
+  opt.default_deadline_ms = 60;
+  opt.watchdog_poll_ms = 10;
+  opt.retry_after_ms = 33;
+  TestDaemon daemon(opt, /*executor_threads=*/1);
+  ASSERT_TRUE(daemon.server->PublishSnapshot(MakeEngine()).ok());
+
+  // Pin the only worker: a connection whose frame never completes keeps it
+  // blocked in ReadFrame, so queued entries can only leave via the
+  // watchdog.
+  Client staller;
+  ASSERT_TRUE(staller.Connect(daemon.server->port()).ok());
+  const unsigned char partial[4] = {0, 0, 0, 50};
+  ASSERT_EQ(::write(staller.fd(), partial, 4), 4);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  Client queued;
+  ASSERT_TRUE(queued.Connect(daemon.server->port()).ok());
+  StatusOr<WireResponse> resp = queued.Call(Req(Verb::kLookup, "o"));
+  ASSERT_TRUE(resp.ok()) << resp.status().message();
+  EXPECT_EQ(resp.value().code, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(resp.value().retry_after_ms, 33);
+  EXPECT_NE(resp.value().body.find("queued past deadline"), std::string::npos)
+      << resp.value().body;
+  EXPECT_GE(daemon.metrics.CounterValue("served.watchdog.expired"), 1u);
+  EXPECT_GE(daemon.metrics.CounterValue("served.watchdog.ticks"), 1u);
+
+  // Unpin; the server still serves fresh work afterwards.
+  staller.Close();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  Client after;
+  ASSERT_TRUE(after.Connect(daemon.server->port()).ok());
+  StatusOr<WireResponse> ok = after.Call(Req(Verb::kLookup, "o"));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value().code, StatusCode::kOk);
+}
+
+// ---- ResilientClient -------------------------------------------------------
+
+TEST(ResilientClientTest, RejectsBadKnobsOnFirstCall) {
+  auto expect_rejected = [](ResilientClientOptions opt) {
+    Status direct = opt.Validate();
+    EXPECT_EQ(direct.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(direct.message().find("(got "), std::string::npos)
+        << direct.message();
+    ResilientClient client(1, opt);
+    StatusOr<WireResponse> resp = client.Call(Req(Verb::kPing, ""));
+    ASSERT_FALSE(resp.ok());
+    EXPECT_EQ(resp.status().code(), StatusCode::kInvalidArgument);
+  };
+  {
+    ResilientClientOptions opt;
+    opt.retry.max_attempts = 0;
+    expect_rejected(opt);
+  }
+  {
+    ResilientClientOptions opt;
+    opt.call_deadline_ms = -1;
+    expect_rejected(opt);
+  }
+  {
+    ResilientClientOptions opt;
+    opt.breaker_failures = -1;
+    expect_rejected(opt);
+  }
+  {
+    ResilientClientOptions opt;
+    opt.breaker_cooldown_ms = -1;
+    expect_rejected(opt);
+  }
+}
+
+// A clean server restart on the same port is invisible to the caller: the
+// next Call reconnects and succeeds.
+TEST(ResilientClientTest, ReconnectsAcrossServerRestart) {
+  obs::Registry metrics;
+  ResilientClientOptions ropt;
+  ropt.retry.max_attempts = 6;
+  ropt.retry.initial_backoff_ms = 5;
+  ropt.retry.max_backoff_ms = 100;
+  ropt.metrics = &metrics;
+
+  int port = 0;
+  std::string first_body;
+  std::unique_ptr<ResilientClient> rc;
+  {
+    TestDaemon daemon;
+    ASSERT_TRUE(daemon.server->PublishSnapshot(MakeEngine()).ok());
+    port = daemon.server->port();
+    rc = std::make_unique<ResilientClient>(port, ropt);
+    StatusOr<WireResponse> resp = rc->Call(Req(Verb::kSearch, "mining"));
+    ASSERT_TRUE(resp.ok()) << resp.status().message();
+    ASSERT_EQ(resp.value().code, StatusCode::kOk);
+    first_body = resp.value().body;
+  }  // daemon drains; listener closed, client connection torn down
+  const uint64_t reconnects_before = metrics.CounterValue("client.reconnects");
+
+  ServedOptions opt;
+  opt.port = port;
+  TestDaemon restarted(opt);
+  ASSERT_TRUE(restarted.server->PublishSnapshot(MakeEngine()).ok());
+  StatusOr<WireResponse> resp = rc->Call(Req(Verb::kSearch, "mining"));
+  ASSERT_TRUE(resp.ok()) << resp.status().message();
+  EXPECT_EQ(resp.value().code, StatusCode::kOk);
+  EXPECT_EQ(resp.value().body, first_body);
+#if defined(LATENT_OBS_ENABLED)
+  EXPECT_GT(metrics.CounterValue("client.reconnects"), reconnects_before);
+#endif
+}
+
+// A shed response's retry_after_ms hint overrides a shorter scheduled
+// backoff: the server knows its own load better than the client's
+// schedule does.
+TEST(ResilientClientTest, HonorsTheServerRetryAfterHint) {
+  ServedOptions opt;
+  opt.max_inflight = 1;
+  opt.max_queue = 1;
+  opt.retry_after_ms = 75;
+  TestDaemon daemon(opt, /*executor_threads=*/1);
+  ASSERT_TRUE(daemon.server->PublishSnapshot(MakeEngine()).ok());
+
+  // Pin the worker and fill the queue so every new connection is shed.
+  Client staller;
+  ASSERT_TRUE(staller.Connect(daemon.server->port()).ok());
+  const unsigned char partial[4] = {0, 0, 0, 50};
+  ASSERT_EQ(::write(staller.fd(), partial, 4), 4);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  Client queued;
+  ASSERT_TRUE(queued.Connect(daemon.server->port()).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  obs::Registry metrics;
+  ResilientClientOptions ropt;
+  ropt.retry.max_attempts = 2;
+  ropt.retry.initial_backoff_ms = 1;
+  ropt.retry.max_backoff_ms = 2;
+  ropt.metrics = &metrics;
+  ResilientClient rc(daemon.server->port(), ropt);
+  const auto t0 = std::chrono::steady_clock::now();
+  StatusOr<WireResponse> resp = rc.Call(Req(Verb::kLookup, "o"));
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  // Both attempts shed; the surfaced error is the shed itself.
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status().code(), StatusCode::kResourceExhausted);
+  // The one backoff slept was the 75 ms hint, not the 1 ms schedule.
+  ASSERT_EQ(rc.backoff_trace().size(), 1u);
+  EXPECT_EQ(rc.backoff_trace()[0], 75);
+  EXPECT_GE(elapsed_ms, 75.0);
+#if defined(LATENT_OBS_ENABLED)
+  EXPECT_GE(metrics.CounterValue("client.hints.honored"), 1u);
+#endif
+  staller.Close();
+  queued.Close();
+}
+
+// One deadline spans every attempt, connect, and backoff of a Call; a
+// target that never answers turns into kDeadlineExceeded, not an
+// attempts-exhausted crawl.
+TEST(ResilientClientTest, CallDeadlineBudgetSpansAllAttempts) {
+  // Bound but never listening: every connect is refused immediately.
+  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+
+  ResilientClientOptions ropt;
+  // An attempt budget the deadline always beats: the budget cap truncates
+  // the final backoff to land just short of the deadline, after which the
+  // loop burns near-instant refused connects until the deadline check
+  // trips — the deadline must be the binding constraint, not attempts.
+  ropt.retry.max_attempts = 1000000;
+  ropt.retry.initial_backoff_ms = 20;
+  ropt.retry.max_backoff_ms = 40;
+  ropt.retry.jitter = 0.0;
+  ropt.call_deadline_ms = 60;
+  ResilientClient rc(ntohs(addr.sin_port), ropt);
+  const auto t0 = std::chrono::steady_clock::now();
+  StatusOr<WireResponse> resp = rc.Call(Req(Verb::kPing, ""));
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(resp.status().message().find("call deadline"), std::string::npos)
+      << resp.status().message();
+  // Nowhere near an attempts-exhausted crawl: the deadline cut it off.
+  EXPECT_LT(elapsed_ms, 5000.0);
+  ::close(lfd);
+}
+
 // ---- Deadline propagation and fault injection ------------------------------
 
 class ServedFaultTest : public ::testing::Test {
@@ -606,6 +991,40 @@ TEST_F(ServedFaultTest, RequestDeadlinePropagatesIntoQuery) {
       client.Call(Req(Verb::kSearch, "mining", -1, /*deadline_ms=*/5000));
   ASSERT_TRUE(ok.ok());
   EXPECT_EQ(ok.value().code, StatusCode::kOk);
+}
+
+TEST_F(ServedFaultTest, WatchdogCountsAStuckWorker) {
+  ServedOptions opt;
+  opt.watchdog_poll_ms = 5;
+  opt.stuck_threshold_ms = 1;
+  TestDaemon daemon(opt);
+  ASSERT_TRUE(daemon.server->PublishSnapshot(MakeEngine()).ok());
+  Client client;
+  ASSERT_TRUE(client.Connect(daemon.server->port()).ok());
+  // The 25 ms served.stall keeps the worker's current request well past
+  // the 1 ms stuck threshold across several 5 ms watchdog ticks. A tick
+  // must land *during* a stall to observe the transition, so under a
+  // sanitizer's uneven scheduling one stalled call may not be enough —
+  // keep stalling until a tick catches one.
+  run::failpoint::Arm("served.stall", /*count=*/-1);
+  uint64_t stuck = 0;
+  for (int i = 0; i < 40 && stuck == 0; ++i) {
+    StatusOr<WireResponse> resp = client.Call(Req(Verb::kLookup, "o"));
+    ASSERT_TRUE(resp.ok()) << resp.status().message();
+    EXPECT_EQ(resp.value().code, StatusCode::kOk);
+    stuck = daemon.metrics.CounterValue("served.watchdog.stuck");
+  }
+  EXPECT_GE(stuck, 1u);
+  // Once the last request is untracked nothing is stuck *now* — but the
+  // client can see its response a beat before the worker untracks, so
+  // give the worker a moment.
+  long long stuck_now = -1;
+  for (int i = 0; i < 200; ++i) {
+    stuck_now = daemon.server->health().stuck_workers;
+    if (stuck_now == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(stuck_now, 0);
 }
 
 TEST_F(ServedFaultTest, InjectedSwapFailureKeepsServingOldSnapshot) {

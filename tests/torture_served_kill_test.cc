@@ -180,7 +180,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> reference_bodies;
   {
     served::Client client;
-    if (!client.Connect(port1).ok()) {
+    if (!served::ConnectWithRetry(&client, port1).ok()) {
       KillAndReap(pid, SIGKILL);
       return Fail("cannot connect to daemon");
     }
@@ -208,7 +208,7 @@ int main(int argc, char** argv) {
   std::atomic<int> failed_after_kill{0};
   std::thread batch([&] {
     served::Client client;
-    if (!client.Connect(port1).ok()) return;
+    if (!served::ConnectWithRetry(&client, port1).ok()) return;
     for (int i = 0; i < 10000; ++i) {
       StatusOr<served::WireResponse> resp =
           client.Call(reference_queries[i % reference_queries.size()]);
@@ -257,7 +257,7 @@ int main(int argc, char** argv) {
   }
   {
     served::Client client;
-    if (!client.Connect(port2).ok()) {
+    if (!served::ConnectWithRetry(&client, port2).ok()) {
       KillAndReap(pid, SIGKILL);
       return Fail("cannot connect to restarted daemon");
     }

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Failpoint lint: the registered-site comment block in
+# src/common/failpoint.h must stay in sync with reality. Fails (exit 1)
+# listing every mismatch when
+#   * a LATENT_FAILPOINT("site", ...) call site in src/ or tools/ is not
+#     listed in the failpoint.h comment block (undocumented site), or
+#   * a site listed in the comment block has no LATENT_FAILPOINT call site
+#     anywhere (stale documentation), or
+#   * a documented site is missing from the failpoint table in
+#     docs/OPERATIONS.md (the operator-facing copy of the same list).
+# Registered with ctest as `failpoint.lint` (label: docs); run directly as
+# tools/failpoint_lint.sh [repo-root].
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+fp_h="$root/src/common/failpoint.h"
+ops_md="$root/docs/OPERATIONS.md"
+
+for f in "$fp_h" "$ops_md"; do
+  if [ ! -f "$f" ]; then
+    echo "failpoint_lint: missing $f" >&2
+    exit 1
+  fi
+done
+
+# Sites named at call sites: every LATENT_FAILPOINT("<name>" across the
+# production tree (clang-format puts the name on the next line for long
+# invocations, hence -A1). Site names are dotted tokens; injected-failure
+# message strings contain spaces, so they never match the token pattern.
+# Tests arm sites but never declare them, so they are out of scope.
+called=$(grep -rh --include='*.cc' --include='*.h' -A1 'LATENT_FAILPOINT(' \
+    "$root/src" "$root/tools" \
+  | grep -oE '"[a-z0-9]+(\.[a-z0-9]+)+"' | tr -d '"' | sort -u)
+
+# Sites documented in the header's registered-site block: the indented
+# two-space "name  description" lines between the list opener and the
+# include guard.
+documented=$(awk '/Registered site names/,/#ifndef/' "$fp_h" \
+  | grep -oE '^//   [a-z0-9._]+ ' | sed 's|^//   ||; s/ $//' | sort -u)
+
+fail=0
+if [ -z "$called" ] || [ -z "$documented" ]; then
+  echo "failpoint_lint: extraction came up empty —" \
+       "the lint itself is broken, refusing to pass vacuously" >&2
+  exit 1
+fi
+
+for site in $called; do
+  if ! echo "$documented" | grep -qx "$site"; then
+    echo "failpoint_lint: site $site has a LATENT_FAILPOINT call site but" \
+         "is not listed in src/common/failpoint.h" >&2
+    fail=1
+  fi
+done
+for site in $documented; do
+  if ! echo "$called" | grep -qx "$site"; then
+    echo "failpoint_lint: site $site is listed in src/common/failpoint.h" \
+         "but has no LATENT_FAILPOINT call site" >&2
+    fail=1
+  fi
+  if ! grep -qw -- "$site" "$ops_md"; then
+    echo "failpoint_lint: site $site is not documented in" \
+         "docs/OPERATIONS.md" >&2
+    fail=1
+  fi
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "failpoint_lint: OK ($(echo "$documented" | wc -l) sites in sync)"
+fi
+exit "$fail"

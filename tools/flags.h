@@ -8,9 +8,12 @@
 #define LATENT_TOOLS_FLAGS_H_
 
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
+
+#include "common/failpoint.h"
 
 namespace latent::tools {
 
@@ -62,6 +65,36 @@ inline bool ParseIntList(const std::string& spec, std::vector<int>* out) {
     item.clear();
   }
   return !out->empty();
+}
+
+/// Arms runtime fault schedules from --failpoints (or, when the flag is
+/// empty, the LATENT_FAILPOINTS env var). Shared by every latent_* CLI so
+/// the grammar and the error wording stay identical. Returns false after
+/// printing a usage-style error when the spec is malformed or when a spec
+/// is given but the build compiled the fail-point sites out — silently
+/// ignoring a requested fault schedule would make a chaos run look clean.
+inline bool ArmFailpoints(const char* tool, const std::string& flag_value) {
+  std::string spec = flag_value;
+  if (spec.empty()) {
+    const char* env = std::getenv("LATENT_FAILPOINTS");
+    if (env != nullptr) spec = env;
+  }
+  if (spec.empty()) return true;
+  if (!run::failpoint::CompiledIn()) {
+    std::fprintf(stderr,
+                 "%s: fault schedules requested but this build compiled "
+                 "fail points out (-DLATENT_FAILPOINTS=OFF)\n",
+                 tool);
+    return false;
+  }
+  const StatusOr<int> armed = run::failpoint::ArmFromSpec(spec);
+  if (!armed.ok()) {
+    std::fprintf(stderr, "%s: %s\n", tool, armed.status().message().c_str());
+    return false;
+  }
+  std::fprintf(stderr, "%s: armed %d fault schedule(s)\n", tool,
+               armed.value());
+  return true;
 }
 
 }  // namespace latent::tools

@@ -55,7 +55,7 @@ int Usage() {
       "                   [--checkpoint-dir DIR] [--checkpoint-every N]\n"
       "                   [--resume] [--json FILE] [--save FILE]\n"
       "                   [--metrics-json FILE] [--progress]\n"
-      "                   [--stem] [--equal-weights]\n"
+      "                   [--failpoints SPEC] [--stem] [--equal-weights]\n"
       "  --threads N          worker threads (0 = all cores, 1 = serial;\n"
       "                       results are identical either way)\n"
       "  --inference MODE     per-node topic inference backend: em (default,\n"
@@ -80,7 +80,11 @@ int Usage() {
       "                       activity, phase timings) as JSON to FILE\n"
       "                       after the run; see docs/METRICS.md\n"
       "  --progress           print a throttled progress line to stderr\n"
-      "                       (~1/s) while mining\n");
+      "                       (~1/s) while mining\n"
+      "  --failpoints SPEC    arm runtime fault schedules, e.g.\n"
+      "                       'io.read=p:0.05;ckpt.write=every:7' (see\n"
+      "                       docs/OPERATIONS.md; LATENT_FAILPOINTS env is\n"
+      "                       the fallback when the flag is absent)\n");
   return 2;
 }
 
@@ -103,6 +107,7 @@ int main(int argc, char** argv) {
   bool resume = false;
   bool stem = false;
   bool learn_weights = true;
+  std::string failpoints_spec;
   core::InferenceBackendKind inference = core::InferenceBackendKind::kEm;
 
   for (int i = 1; i < argc; ++i) {
@@ -178,6 +183,8 @@ int main(int argc, char** argv) {
       if (const char* v = next()) metrics_json_path = v;
     } else if (arg == "--progress") {
       progress = true;
+    } else if (arg == "--failpoints") {
+      if (const char* v = next()) failpoints_spec = v;
     } else if (arg == "--stem") {
       stem = true;
     } else if (arg == "--equal-weights") {
@@ -188,6 +195,7 @@ int main(int argc, char** argv) {
     }
   }
   if (corpus_path.empty()) return Usage();
+  if (!tools::ArmFailpoints("latent_mine", failpoints_spec)) return 2;
 
   text::TokenizeOptions topt;
   topt.stem = stem;

@@ -52,6 +52,7 @@ int Usage() {
       "                    [--levels 5,3] [--min-support N] [--seed N]\n"
       "                    [--threads N] [--cache-mb N] [--cache-shards N]\n"
       "                    [--top-k N] [--deadline-ms N] [--requests FILE]\n"
+      "                    [--failpoints SPEC]\n"
       "                    [--metrics-json FILE] [--stem]\n"
       "  --tree FILE          serialized hierarchy (latent_mine --save);\n"
       "                       without it the hierarchy is mined in-process\n"
@@ -70,7 +71,11 @@ int Usage() {
       "                       REPL\n"
       "  --metrics-json FILE  dump every serve.* metric (queries, cache\n"
       "                       hits/evictions, latency histogram) as JSON\n"
-      "                       to FILE on exit; see docs/METRICS.md\n");
+      "                       to FILE on exit; see docs/METRICS.md\n"
+      "  --failpoints SPEC    arm runtime fault schedules, e.g.\n"
+      "                       'io.read=p:0.05' (see docs/OPERATIONS.md;\n"
+      "                       LATENT_FAILPOINTS env is the fallback when\n"
+      "                       the flag is absent)\n");
   return 2;
 }
 
@@ -152,6 +157,7 @@ int main(int argc, char** argv) {
   long long top_k = 10;
   long long deadline_ms = 0;
   bool stem = false;
+  std::string failpoints_spec;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -205,6 +211,8 @@ int main(int argc, char** argv) {
       if (const char* v = next()) requests_path = v;
     } else if (arg == "--metrics-json") {
       if (const char* v = next()) metrics_json_path = v;
+    } else if (arg == "--failpoints") {
+      if (const char* v = next()) failpoints_spec = v;
     } else if (arg == "--stem") {
       stem = true;
     } else {
@@ -213,6 +221,7 @@ int main(int argc, char** argv) {
     }
   }
   if (corpus_path.empty()) return Usage();
+  if (!tools::ArmFailpoints("latent_serve", failpoints_spec)) return 2;
 
   // A reader vanishing from the other end of stdout (broken pipe) must end
   // the REPL cleanly, not kill the process.

@@ -6,6 +6,7 @@
 //                 [--max-inflight N] [--max-queue N]
 //                 [--deadline-ms N] [--drain-ms N] [--retry-after-ms N]
 //                 [--read-timeout-ms N] [--threads N]
+//                 [--watchdog-ms N] [--stuck-ms N] [--failpoints SPEC]
 //                 [--cache-mb N] [--cache-shards N] [--top-k N]
 //                 [--metrics-json FILE] [--stem]
 //
@@ -73,6 +74,8 @@ int Usage() {
       "                     [--max-inflight N] [--max-queue N]\n"
       "                     [--deadline-ms N] [--drain-ms N]\n"
       "                     [--retry-after-ms N] [--read-timeout-ms N]\n"
+      "                     [--watchdog-ms N] [--stuck-ms N]\n"
+      "                     [--failpoints SPEC]\n"
       "                     [--threads N] [--cache-mb N] [--cache-shards N]\n"
       "                     [--top-k N] [--metrics-json FILE] [--stem]\n"
       "  --port N             TCP port on 127.0.0.1 (default 0 = ephemeral)\n"
@@ -87,6 +90,15 @@ int Usage() {
       "                       before they are cancelled (default 2000)\n"
       "  --retry-after-ms N   backoff hint on shed responses (default 50)\n"
       "  --read-timeout-ms N  per-socket receive timeout (default 0 = none)\n"
+      "  --watchdog-ms N      watchdog scan interval: sheds queue entries\n"
+      "                       already past --deadline-ms and tracks stuck\n"
+      "                       workers (default 250; 0 = no watchdog)\n"
+      "  --stuck-ms N         log + count a worker whose request runs\n"
+      "                       longer than N ms (default 0 = off)\n"
+      "  --failpoints SPEC    arm runtime fault schedules, e.g.\n"
+      "                       'served.read=p:0.05;served.stall=every:7'\n"
+      "                       (see docs/OPERATIONS.md; LATENT_FAILPOINTS\n"
+      "                       env is the fallback when the flag is absent)\n"
       "  --threads N          index build / mine threads (0 = all cores)\n"
       "  --metrics-json FILE  dump served.* and serve.* metrics as JSON to\n"
       "                       FILE on exit; see docs/METRICS.md\n");
@@ -110,6 +122,9 @@ int main(int argc, char** argv) {
   long long drain_ms = 2000;
   long long retry_after_ms = 50;
   long long read_timeout_ms = 0;
+  long long watchdog_ms = 250;
+  long long stuck_ms = 0;
+  std::string failpoints_spec;
   long long cache_mb = 64;
   long long cache_shards = 8;
   long long top_k = 10;
@@ -171,6 +186,12 @@ int main(int argc, char** argv) {
       next_int(&retry_after_ms);
     } else if (arg == "--read-timeout-ms") {
       next_int(&read_timeout_ms);
+    } else if (arg == "--watchdog-ms") {
+      next_int(&watchdog_ms);
+    } else if (arg == "--stuck-ms") {
+      next_int(&stuck_ms);
+    } else if (arg == "--failpoints") {
+      if (const char* v = next()) failpoints_spec = v;
     } else if (arg == "--cache-mb") {
       next_int(&cache_mb);
     } else if (arg == "--cache-shards") {
@@ -187,6 +208,7 @@ int main(int argc, char** argv) {
     }
   }
   if (corpus_path.empty()) return Usage();
+  if (!tools::ArmFailpoints("latent_served", failpoints_spec)) return 2;
 
   // A client vanishing mid-response must never kill the daemon.
   std::signal(SIGPIPE, SIG_IGN);
@@ -307,6 +329,8 @@ int main(int argc, char** argv) {
   sopt.drain_deadline_ms = drain_ms;
   sopt.retry_after_ms = retry_after_ms;
   sopt.read_timeout_ms = read_timeout_ms;
+  sopt.watchdog_poll_ms = watchdog_ms;
+  sopt.stuck_threshold_ms = stuck_ms;
   if (want_metrics) sopt.metrics = &metrics;
   StatusOr<std::unique_ptr<served::Server>> server_or =
       served::Server::Start(&snapshots, sopt, &serve_ex);
