@@ -157,5 +157,38 @@ int main() {
               "Ch. 2-4 pipeline; the ratio here includes the shared "
               "collapse/phrase stages, so it understates the per-fit "
               "gap).\n");
+
+  // Per-EM-iteration cost of the hot kernel path (ROADMAP item 4 / PR 9):
+  // one FitCluster restart on a fixed collapsed network, wall ms divided by
+  // the iteration count. bench/run_bench.sh parses the em_iter rows into
+  // BENCH_*.json (em_iteration_ms_*), so this is the tracked trajectory
+  // metric for the SoA/blocked E-step. steady_clock, mean + p50 per
+  // docs/PERFORMANCE.md.
+  std::printf("\nEM iteration cost (FitCluster, restarts=1, single "
+              "thread; wall ms per iteration)\n\n");
+  bench::PrintHeader({"config", "mean_ms", "p50_ms"}, 14);
+  {
+    data::HinDatasetOptions eopt = data::DblpLikeOptions(2000, /*seed=*/1001);
+    data::HinDataset eds = data::GenerateHinDataset(eopt);
+    hin::HeteroNetwork enet = hin::BuildCollapsedNetwork(
+        eds.corpus, eds.entity_type_names, eds.entity_type_sizes,
+        eds.entity_docs);
+    auto parent = core::DegreeDistributions(enet);
+    for (int k : {6, 12}) {
+      core::ClusterOptions copt;
+      copt.num_topics = k;
+      copt.restarts = 1;
+      copt.max_iters = 10;
+      copt.tol = 0.0;  // run all iterations; no early convergence exit
+      copt.seed = 3;
+      bench::TimingStats stats = bench::TimeKernel(5, [&] {
+        core::FitCluster(enet, parent, copt);
+      });
+      bench::PrintRow("em_iter k=" + std::to_string(k),
+                      {stats.mean_ms / copt.max_iters,
+                       stats.p50_ms / copt.max_iters},
+                      14);
+    }
+  }
   return 0;
 }

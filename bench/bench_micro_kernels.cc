@@ -2,8 +2,21 @@
 // iteration, one PhraseLDA Gibbs sweep, frequent phrase mining, the
 // whitened tensor power step, and TPFG message passing. These are the
 // per-iteration costs behind the runtime tables (4.5, 7.4.1).
+//
+// The BM_Kernel*Ref / BM_Kernel*Opt pairs are the before/after table for
+// the hot-kernel pass (docs/PERFORMANCE.md): Ref is the seed-era scalar
+// loop (serial reduction chain, divide per element, nested-vector AoS
+// layout), Opt is the common/math_util.h kernel the hot path now runs.
+// bench/run_bench.sh turns each pair into a kernel_speedup_* ratio in
+// BENCH_*.json; the --check mode guards those ratios, which are
+// dimensionless and therefore stable across machines.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <vector>
+
+#include "common/math_util.h"
+#include "common/rng.h"
 #include "core/clusterer.h"
 #include "data/advisor_gen.h"
 #include "data/lda_gen.h"
@@ -24,6 +37,185 @@ const data::HinDataset& SharedHin() {
   }();
   return *ds;
 }
+
+std::vector<double> RandomPositive(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.Uniform() + 1e-3;
+  return v;
+}
+
+constexpr size_t kVecLen = 4096;
+
+// Dot product: serial accumulation chain vs the four-lane KernelDot.
+void BM_KernelDotRef(benchmark::State& state) {
+  const std::vector<double> a = RandomPositive(kVecLen, 21);
+  const std::vector<double> b = RandomPositive(kVecLen, 22);
+  for (auto _ : state) {
+    double s = 0.0;
+    for (size_t i = 0; i < kVecLen; ++i) s += a[i] * b[i];
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * kVecLen);
+}
+BENCHMARK(BM_KernelDotRef);
+
+void BM_KernelDotOpt(benchmark::State& state) {
+  const std::vector<double> a = RandomPositive(kVecLen, 21);
+  const std::vector<double> b = RandomPositive(kVecLen, 22);
+  for (auto _ : state) {
+    double s = KernelDot(a.data(), b.data(), kVecLen);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * kVecLen);
+}
+BENCHMARK(BM_KernelDotOpt);
+
+// Row normalize: divide per element vs one divide + multiply sweep.
+// Normalizing an already-normalized row does identical work, so the buffer
+// is set up once and re-normalized every iteration.
+void BM_KernelRowNormalizeRef(benchmark::State& state) {
+  std::vector<double> v = RandomPositive(kVecLen, 23);
+  for (auto _ : state) {
+    double total = 0.0;
+    for (size_t i = 0; i < kVecLen; ++i) total += v[i];
+    for (size_t i = 0; i < kVecLen; ++i) v[i] /= total;
+    benchmark::DoNotOptimize(v.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * kVecLen);
+}
+BENCHMARK(BM_KernelRowNormalizeRef);
+
+void BM_KernelRowNormalizeOpt(benchmark::State& state) {
+  std::vector<double> v = RandomPositive(kVecLen, 23);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KernelRowNormalize(v.data(), kVecLen));
+    benchmark::DoNotOptimize(v.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * kVecLen);
+}
+BENCHMARK(BM_KernelRowNormalizeOpt);
+
+// Log-sum-exp: max_element + serial exp sum vs the four-lane kernel. Both
+// are exp-call bound, so the win here is modest by design.
+void BM_KernelLogSumExpRef(benchmark::State& state) {
+  const std::vector<double> v = RandomPositive(kVecLen, 24);
+  for (auto _ : state) {
+    double m = v[0];
+    for (size_t i = 1; i < kVecLen; ++i) m = v[i] > m ? v[i] : m;
+    double s = 0.0;
+    for (size_t i = 0; i < kVecLen; ++i) s += std::exp(v[i] - m);
+    benchmark::DoNotOptimize(m + std::log(s));
+  }
+  state.SetItemsProcessed(state.iterations() * kVecLen);
+}
+BENCHMARK(BM_KernelLogSumExpRef);
+
+void BM_KernelLogSumExpOpt(benchmark::State& state) {
+  const std::vector<double> v = RandomPositive(kVecLen, 24);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KernelLogSumExp(v.data(), kVecLen));
+  }
+  state.SetItemsProcessed(state.iterations() * kVecLen);
+}
+BENCHMARK(BM_KernelLogSumExpOpt);
+
+// E-step co-occurrence accumulation for a batch of links: the seed-era
+// AoS path (nested per-topic vectors, phi[z][i] pointer chase per topic)
+// vs the SoA path (node-major unit-stride reads, topic-major strided
+// accumulation) the clusterer now runs.
+struct CoocFixture {
+  static constexpr int kTopics = 8;
+  static constexpr int kNodes = 8192;   // per type
+  static constexpr int kLinks = 16384;  // type-0 <-> type-1
+  std::vector<double> rho;
+  // Seed-era AoS layout: phi[z][x][i] nested vectors, as the clusterer
+  // stored them before the SoA pass.
+  std::vector<std::vector<std::vector<double>>> phi_aos;
+  // SoA node-major view per type: phi_nm[x][i * k + z].
+  std::vector<std::vector<double>> phi_nm;
+  std::vector<int> src, dst;
+  std::vector<double> weight;
+
+  CoocFixture() {
+    Rng rng(31);
+    rho = RandomPositive(kTopics, 32);
+    phi_aos.assign(kTopics, std::vector<std::vector<double>>(2));
+    phi_nm.assign(2, std::vector<double>(
+                         static_cast<size_t>(kNodes) * kTopics, 0.0));
+    for (int z = 0; z < kTopics; ++z) {
+      for (int x = 0; x < 2; ++x) {
+        phi_aos[z][x] = RandomPositive(kNodes, 33 + 2 * z + x);
+        for (int i = 0; i < kNodes; ++i) {
+          phi_nm[x][static_cast<size_t>(i) * kTopics + z] = phi_aos[z][x][i];
+        }
+      }
+    }
+    for (int l = 0; l < kLinks; ++l) {
+      src.push_back(rng.UniformInt(kNodes));
+      dst.push_back(rng.UniformInt(kNodes));
+      weight.push_back(rng.Uniform() + 0.5);
+    }
+  }
+};
+
+void BM_KernelCoocAccumulateRef(benchmark::State& state) {
+  static const CoocFixture& f = *new CoocFixture();
+  const int k = CoocFixture::kTopics;
+  std::vector<double> new_rho(k, 0.0);
+  std::vector<std::vector<std::vector<double>>> new_phi(
+      k, std::vector<std::vector<double>>(
+             2, std::vector<double>(CoocFixture::kNodes, 0.0)));
+  std::vector<double> s(k);
+  for (auto _ : state) {
+    for (int l = 0; l < CoocFixture::kLinks; ++l) {
+      const int i = f.src[l], j = f.dst[l];
+      double denom = 0.0;
+      for (int z = 0; z < k; ++z) {
+        s[z] = f.rho[z] * f.phi_aos[z][0][i] * f.phi_aos[z][1][j];
+        denom += s[z];
+      }
+      const double inv = f.weight[l] / denom;
+      for (int z = 0; z < k; ++z) {
+        const double ehat = s[z] * inv;
+        new_rho[z] += ehat;
+        new_phi[z][0][i] += ehat;
+        new_phi[z][1][j] += ehat;
+      }
+    }
+    benchmark::DoNotOptimize(new_rho.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * CoocFixture::kLinks);
+}
+BENCHMARK(BM_KernelCoocAccumulateRef);
+
+void BM_KernelCoocAccumulateOpt(benchmark::State& state) {
+  static const CoocFixture& f = *new CoocFixture();
+  const int k = CoocFixture::kTopics;
+  const size_t stride = CoocFixture::kNodes;
+  std::vector<double> new_rho(k, 0.0);
+  std::vector<std::vector<double>> acc(
+      2, std::vector<double>(static_cast<size_t>(k) * stride, 0.0));
+  for (auto _ : state) {
+    for (int l = 0; l < CoocFixture::kLinks; ++l) {
+      const int i = f.src[l], j = f.dst[l];
+      const double* xi = f.phi_nm[0].data() + static_cast<size_t>(i) * k;
+      const double* yj = f.phi_nm[1].data() + static_cast<size_t>(j) * k;
+      const double denom = KernelCoocDenom(f.rho.data(), xi, yj, k);
+      const double inv = f.weight[l] / denom;
+      KernelCoocAccumulate(f.rho.data(), xi, yj, inv, 0, k, new_rho.data(),
+                           acc[0].data() + i, stride, acc[1].data() + j,
+                           stride);
+    }
+    benchmark::DoNotOptimize(new_rho.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * CoocFixture::kLinks);
+}
+BENCHMARK(BM_KernelCoocAccumulateOpt);
 
 void BM_CathyHinEmIteration(benchmark::State& state) {
   const data::HinDataset& ds = SharedHin();

@@ -1,10 +1,14 @@
 // Shared helpers for the experiment-reproduction benches: table printing,
-// dataset subsetting, and method wrappers used by several tables/figures.
+// dataset subsetting, timing, and method wrappers used by several
+// tables/figures.
 #ifndef LATENT_BENCH_BENCH_UTIL_H_
 #define LATENT_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/top_k.h"
@@ -14,6 +18,39 @@
 #include "hin/collapse.h"
 
 namespace latent::bench {
+
+/// Wall-clock stats for a repeated measurement. All timing in the bench
+/// layer uses std::chrono::steady_clock (monotonic; never slews with wall
+/// time adjustments — do NOT mix in high_resolution_clock, which is an
+/// alias for a possibly non-monotonic clock on some platforms). Reporting
+/// both the mean and the p50 makes rows comparable across runs: the median
+/// shrugs off the occasional scheduler hiccup the mean absorbs.
+struct TimingStats {
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  int reps = 0;
+};
+
+/// Times `fn` `reps` times on steady_clock and reports mean + p50.
+template <typename Fn>
+TimingStats TimeKernel(int reps, Fn&& fn) {
+  TimingStats stats;
+  if (reps <= 0) return stats;
+  std::vector<double> ms(reps);
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    ms[i] = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  }
+  double total = 0.0;
+  for (double v : ms) total += v;
+  std::nth_element(ms.begin(), ms.begin() + reps / 2, ms.end());
+  stats.mean_ms = total / reps;
+  stats.p50_ms = ms[reps / 2];
+  stats.reps = reps;
+  return stats;
+}
 
 /// Prints a header row then dashes.
 inline void PrintHeader(const std::vector<std::string>& cols, int width = 12) {

@@ -1,0 +1,140 @@
+// Bump-pointer arena for per-fit scratch memory (ROADMAP item 4, hot-kernel
+// pass). Every node fit (core::FitCluster restart) allocates its SoA phi
+// blocks, E-step accumulators, and per-link denominator array from one of
+// these instead of the global allocator, so builder expansion over a large
+// hierarchy stops paying malloc/free churn and every block starts 64-byte
+// aligned (one cache line; also the widest vector width we may ever compile
+// for).
+//
+// Contract:
+//   * Alloc/AllocArray return 64-byte-aligned, UNINITIALIZED memory; use
+//     AllocZeroed when the caller relies on zero fill.
+//   * Only trivially-destructible element types: the arena never runs
+//     destructors, it just drops the blocks.
+//   * Reset() retires every allocation at once but keeps the largest block
+//     cached, so a retry loop (seed-bumped EM re-runs) reuses its memory.
+//   * NOT thread-safe. The intended pattern is one arena per fit task;
+//     workers of a parallel E-step share read-only blocks allocated by the
+//     owning task before the fan-out.
+#ifndef LATENT_COMMON_ARENA_H_
+#define LATENT_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.h"
+
+namespace latent {
+
+class Arena {
+ public:
+  static constexpr size_t kAlignment = 64;
+
+  /// `initial_bytes` sizes the first block lazily allocated on first use.
+  explicit Arena(size_t initial_bytes = size_t{1} << 16)
+      : next_block_bytes_(initial_bytes < kAlignment ? kAlignment
+                                                     : initial_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// 64-byte-aligned uninitialized allocation. Never returns null.
+  void* Alloc(size_t bytes) {
+    if (bytes == 0) bytes = 1;
+    const size_t rounded = RoundUp(bytes);
+    if (rounded > remaining_) Grow(rounded);
+    void* out = cursor_;
+    cursor_ += rounded;
+    remaining_ -= rounded;
+    bytes_used_ += rounded;
+    return out;
+  }
+
+  /// Typed array of `count` trivially-destructible elements, uninitialized.
+  template <typename T>
+  T* AllocArray(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    return static_cast<T*>(Alloc(count * sizeof(T)));
+  }
+
+  /// Typed array of `count` elements, zero-filled.
+  template <typename T>
+  T* AllocZeroed(size_t count) {
+    T* out = AllocArray<T>(count);
+    std::memset(static_cast<void*>(out), 0, count * sizeof(T));
+    return out;
+  }
+
+  /// Retires every allocation. The largest block is kept and rewound so a
+  /// same-shape reuse (EM retry, next restart) allocates without touching
+  /// the global allocator again.
+  void Reset() {
+    if (blocks_.empty()) {
+      bytes_used_ = 0;
+      return;
+    }
+    size_t largest = 0;
+    for (size_t i = 1; i < blocks_.size(); ++i) {
+      if (blocks_[i].bytes > blocks_[largest].bytes) largest = i;
+    }
+    Block keep = std::move(blocks_[largest]);
+    blocks_.clear();
+    cursor_ = keep.data.get();
+    remaining_ = keep.bytes;
+    blocks_.push_back(std::move(keep));
+    bytes_used_ = 0;
+  }
+
+  /// Bytes handed out since construction / the last Reset() (after
+  /// alignment rounding) — the per-fit scratch footprint.
+  size_t bytes_used() const { return bytes_used_; }
+
+  /// Total bytes of backing blocks currently held.
+  size_t bytes_reserved() const {
+    size_t total = 0;
+    for (const Block& b : blocks_) total += b.bytes;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    size_t bytes = 0;
+  };
+
+  static size_t RoundUp(size_t bytes) {
+    return (bytes + kAlignment - 1) & ~(kAlignment - 1);
+  }
+
+  void Grow(size_t min_bytes) {
+    size_t bytes = next_block_bytes_;
+    while (bytes < min_bytes) bytes *= 2;
+    next_block_bytes_ = bytes * 2;  // geometric growth caps block count
+    // Over-allocate so the usable region can be rewound to a 64-byte
+    // boundary regardless of what operator new[] returned.
+    Block block;
+    block.data = std::make_unique<std::byte[]>(bytes + kAlignment);
+    block.bytes = bytes;
+    auto addr = reinterpret_cast<uintptr_t>(block.data.get());
+    const uintptr_t aligned = (addr + kAlignment - 1) & ~uintptr_t{kAlignment - 1};
+    cursor_ = block.data.get() + (aligned - addr);
+    remaining_ = bytes;
+    blocks_.push_back(std::move(block));
+  }
+
+  std::vector<Block> blocks_;
+  std::byte* cursor_ = nullptr;
+  size_t remaining_ = 0;
+  size_t next_block_bytes_;
+  size_t bytes_used_ = 0;
+};
+
+}  // namespace latent
+
+#endif  // LATENT_COMMON_ARENA_H_

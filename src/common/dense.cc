@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/math_util.h"
+
 namespace latent {
 
 Matrix Matrix::TransposeTimes(const Matrix& other) const {
@@ -13,8 +15,7 @@ Matrix Matrix::TransposeTimes(const Matrix& other) const {
     for (int r = 0; r < cols_; ++r) {
       double av = a[r];
       if (av == 0.0) continue;
-      double* o = out.row(r);
-      for (int c = 0; c < other.cols_; ++c) o[c] += av * b[c];
+      KernelAxpy(av, b, out.row(r), static_cast<size_t>(other.cols_));
     }
   }
   return out;
@@ -29,8 +30,7 @@ Matrix Matrix::Times(const Matrix& other) const {
     for (int k = 0; k < cols_; ++k) {
       double av = a[k];
       if (av == 0.0) continue;
-      const double* b = other.row(k);
-      for (int c = 0; c < other.cols_; ++c) o[c] += av * b[c];
+      KernelAxpy(av, other.row(k), o, static_cast<size_t>(other.cols_));
     }
   }
   return out;
@@ -40,10 +40,7 @@ std::vector<double> Matrix::TimesVector(const std::vector<double>& x) const {
   LATENT_CHECK_EQ(static_cast<int>(x.size()), cols_);
   std::vector<double> y(rows_, 0.0);
   for (int i = 0; i < rows_; ++i) {
-    const double* a = row(i);
-    double s = 0.0;
-    for (int c = 0; c < cols_; ++c) s += a[c] * x[c];
-    y[i] = s;
+    y[i] = KernelDot(row(i), x.data(), static_cast<size_t>(cols_));
   }
   return y;
 }
@@ -55,8 +52,7 @@ std::vector<double> Matrix::TransposeTimesVector(
   for (int i = 0; i < rows_; ++i) {
     double xi = x[i];
     if (xi == 0.0) continue;
-    const double* a = row(i);
-    for (int c = 0; c < cols_; ++c) y[c] += xi * a[c];
+    KernelAxpy(xi, row(i), y.data(), static_cast<size_t>(cols_));
   }
   return y;
 }
@@ -79,7 +75,8 @@ void OrthonormalizeColumns(Matrix* m) {
     if (norm < 1e-12) {
       for (int i = 0; i < n; ++i) (*m)(i, j) = 0.0;
     } else {
-      for (int i = 0; i < n; ++i) (*m)(i, j) /= norm;
+      double inv = 1.0 / norm;
+      for (int i = 0; i < n; ++i) (*m)(i, j) *= inv;
     }
   }
 }

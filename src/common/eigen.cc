@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "common/math_util.h"
 #include "common/rng.h"
 
 namespace latent {
@@ -54,17 +55,15 @@ EigenResult JacobiEigenSymmetric(const Matrix& a_in, int max_sweeps) {
                    (std::abs(theta) + std::sqrt(theta * theta + 1.0));
         double c = 1.0 / std::sqrt(t * t + 1.0);
         double s = t * c;
-        // Apply rotation to A on both sides.
+        // Apply rotation to A on both sides: the column update is strided,
+        // the row update hits two contiguous rows and uses the unit-stride
+        // rotation kernel (bit-identical element-wise update).
         for (int i = 0; i < n; ++i) {
           double aip = a(i, p), aiq = a(i, q);
           a(i, p) = c * aip - s * aiq;
           a(i, q) = s * aip + c * aiq;
         }
-        for (int i = 0; i < n; ++i) {
-          double api = a(p, i), aqi = a(q, i);
-          a(p, i) = c * api - s * aqi;
-          a(q, i) = s * api + c * aqi;
-        }
+        KernelRotate(a.row(p), a.row(q), static_cast<size_t>(n), c, s);
         for (int i = 0; i < n; ++i) {
           double vip = v(i, p), viq = v(i, q);
           v(i, p) = c * vip - s * viq;

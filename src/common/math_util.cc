@@ -7,38 +7,21 @@ namespace latent {
 
 double LogSumExp(const std::vector<double>& v) {
   LATENT_CHECK(!v.empty());
-  double m = *std::max_element(v.begin(), v.end());
-  if (!std::isfinite(m)) return m;
-  double s = 0.0;
-  for (double x : v) s += std::exp(x - m);
-  return m + std::log(s);
+  return KernelLogSumExp(v.data(), v.size());
 }
 
 double NormalizeInPlace(std::vector<double>* v) {
   LATENT_CHECK(v != nullptr);
-  if (v->empty()) return 0.0;
-  double total = 0.0;
-  for (double x : *v) total += x;
-  if (total <= 0.0) {
-    double u = 1.0 / static_cast<double>(v->size());
-    std::fill(v->begin(), v->end(), u);
-    return total;
-  }
-  for (double& x : *v) x /= total;
-  return total;
+  return KernelRowNormalize(v->data(), v->size());
 }
 
 double Sum(const std::vector<double>& v) {
-  double s = 0.0;
-  for (double x : v) s += x;
-  return s;
+  return KernelSum(v.data(), v.size());
 }
 
 double Dot(const std::vector<double>& a, const std::vector<double>& b) {
   LATENT_CHECK_EQ(a.size(), b.size());
-  double s = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
-  return s;
+  return KernelDot(a.data(), b.data(), a.size());
 }
 
 double Norm2(const std::vector<double>& v) { return std::sqrt(Dot(v, v)); }

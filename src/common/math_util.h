@@ -1,16 +1,176 @@
-// Scalar and vector math helpers shared across the mining algorithms.
+// Scalar and vector math helpers shared across the mining algorithms, plus
+// the restrict-qualified hot-loop kernels (Kernel*) the EM/spectral inner
+// loops are built from. The kernels are branch-free unit-stride loops the
+// compiler can vectorize without -ffast-math; their floating-point
+// association is part of their contract (see each comment) and is pinned
+// byte-for-byte against scalar references by tests/kernel_parity_test.cc.
+// docs/PERFORMANCE.md is the layout/ordering contract every change here
+// must keep.
 #ifndef LATENT_COMMON_MATH_UTIL_H_
 #define LATENT_COMMON_MATH_UTIL_H_
 
 #include <cmath>
+#include <cstddef>
 #include <vector>
 
 #include "common/check.h"
+
+// Strict-aliasing promise for kernel pointer arguments; lets the compiler
+// keep accumulators in registers across the loop body.
+#if defined(__GNUC__) || defined(__clang__)
+#define LATENT_RESTRICT __restrict__
+#else
+#define LATENT_RESTRICT
+#endif
 
 namespace latent {
 
 /// Floor used when taking logs of empirical probabilities.
 inline constexpr double kTinyProb = 1e-12;
+
+// ---------------------------------------------------------------------------
+// Hot-loop kernels. Reductions run four independent accumulator lanes
+// (element i feeds lane i % 4; the tail continues the lane rotation) and
+// combine as (l0+l1)+(l2+l3): this breaks the serial add dependency chain —
+// the main win on a baseline x86-64 build — while keeping a fixed,
+// thread-count-independent association the determinism contract can pin.
+// ---------------------------------------------------------------------------
+
+/// Sum of x[0..n): four-lane association as documented above.
+inline double KernelSum(const double* LATENT_RESTRICT x, size_t n) {
+  double lane[4] = {0.0, 0.0, 0.0, 0.0};
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    lane[0] += x[i];
+    lane[1] += x[i + 1];
+    lane[2] += x[i + 2];
+    lane[3] += x[i + 3];
+  }
+  for (size_t l = 0; i < n; ++i, ++l) lane[l] += x[i];
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+/// Dot product of x[0..n) and y[0..n): same four-lane association.
+inline double KernelDot(const double* LATENT_RESTRICT x,
+                        const double* LATENT_RESTRICT y, size_t n) {
+  double lane[4] = {0.0, 0.0, 0.0, 0.0};
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    lane[0] += x[i] * y[i];
+    lane[1] += x[i + 1] * y[i + 1];
+    lane[2] += x[i + 2] * y[i + 2];
+    lane[3] += x[i + 3] * y[i + 3];
+  }
+  for (size_t l = 0; i < n; ++i, ++l) lane[l] += x[i] * y[i];
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+/// x[i] *= c for i in [0, n). Element-wise: any order, same bits.
+inline void KernelScale(double* LATENT_RESTRICT x, size_t n, double c) {
+  for (size_t i = 0; i < n; ++i) x[i] *= c;
+}
+
+/// y[i] += a * x[i] for i in [0, n). Element-wise.
+inline void KernelAxpy(double a, const double* LATENT_RESTRICT x,
+                       double* LATENT_RESTRICT y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+/// Numerically stable log(sum exp(x_i)) over x[0..n): branchless four-lane
+/// max scan, then a four-lane sum of exp(x_i - max). Returns the max itself
+/// when it is not finite (matching the vector LogSumExp guard). n >= 1.
+inline double KernelLogSumExp(const double* LATENT_RESTRICT x, size_t n) {
+  double mlane[4];
+  mlane[0] = mlane[1] = mlane[2] = mlane[3] = x[0];
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    mlane[0] = x[i] > mlane[0] ? x[i] : mlane[0];
+    mlane[1] = x[i + 1] > mlane[1] ? x[i + 1] : mlane[1];
+    mlane[2] = x[i + 2] > mlane[2] ? x[i + 2] : mlane[2];
+    mlane[3] = x[i + 3] > mlane[3] ? x[i + 3] : mlane[3];
+  }
+  for (size_t l = 0; i < n; ++i, ++l) {
+    mlane[l] = x[i] > mlane[l] ? x[i] : mlane[l];
+  }
+  double m01 = mlane[0] > mlane[1] ? mlane[0] : mlane[1];
+  double m23 = mlane[2] > mlane[3] ? mlane[2] : mlane[3];
+  const double m = m01 > m23 ? m01 : m23;
+  if (!std::isfinite(m)) return m;
+  double lane[4] = {0.0, 0.0, 0.0, 0.0};
+  i = 0;
+  for (; i + 4 <= n; i += 4) {
+    lane[0] += std::exp(x[i] - m);
+    lane[1] += std::exp(x[i + 1] - m);
+    lane[2] += std::exp(x[i + 2] - m);
+    lane[3] += std::exp(x[i + 3] - m);
+  }
+  for (size_t l = 0; i < n; ++i, ++l) lane[l] += std::exp(x[i] - m);
+  return m + std::log((lane[0] + lane[1]) + (lane[2] + lane[3]));
+}
+
+/// Normalizes x[0..n) to sum to one by MULTIPLYING with 1/total (one
+/// division, then a vectorizable multiply sweep). Zero total mass fills
+/// uniform; n == 0 is a no-op. Returns the pre-normalization total
+/// (KernelSum association).
+inline double KernelRowNormalize(double* LATENT_RESTRICT x, size_t n) {
+  if (n == 0) return 0.0;
+  const double total = KernelSum(x, n);
+  if (total <= 0.0) {
+    const double u = 1.0 / static_cast<double>(n);
+    for (size_t i = 0; i < n; ++i) x[i] = u;
+    return total;
+  }
+  KernelScale(x, n, 1.0 / total);
+  return total;
+}
+
+/// E-step co-occurrence denominator for one link (i, j): the serial-order
+/// sum over z of rho[z] * xi[z] * yj[z], where xi/yj are the node-major
+/// (unit-stride in z) phi rows of the two endpoints. Serial order — k is
+/// the (small) subtopic count and the value must match the fused reference
+/// exactly regardless of how the E-step was partitioned.
+inline double KernelCoocDenom(const double* LATENT_RESTRICT rho,
+                              const double* LATENT_RESTRICT xi,
+                              const double* LATENT_RESTRICT yj, int k) {
+  double d = 0.0;
+  for (int z = 0; z < k; ++z) d += rho[z] * xi[z] * yj[z];
+  return d;
+}
+
+/// E-step co-occurrence accumulation for one link over the subtopic span
+/// [z_begin, z_end): ehat_z = (rho[z] * xi[z] * yj[z]) * inv is added to
+/// new_rho[z] and to the two topic-major accumulator columns
+/// acc_x[z * stride_x] / acc_y[z * stride_y] (callers pass acc pointers
+/// pre-offset to the link's endpoints). acc_x/acc_y are deliberately NOT
+/// restrict: a self-link (same type, i == j) makes them alias, and each must
+/// then receive ehat twice, exactly like the reference. Per-slot order
+/// equals the fused per-topic reference, so any span decomposition yields
+/// identical bits.
+inline void KernelCoocAccumulate(const double* LATENT_RESTRICT rho,
+                                 const double* LATENT_RESTRICT xi,
+                                 const double* LATENT_RESTRICT yj, double inv,
+                                 int z_begin, int z_end,
+                                 double* LATENT_RESTRICT new_rho,
+                                 double* acc_x, size_t stride_x,
+                                 double* acc_y, size_t stride_y) {
+  for (int z = z_begin; z < z_end; ++z) {
+    const double ehat = rho[z] * xi[z] * yj[z] * inv;
+    new_rho[z] += ehat;
+    acc_x[static_cast<size_t>(z) * stride_x] += ehat;
+    acc_y[static_cast<size_t>(z) * stride_y] += ehat;
+  }
+}
+
+/// Plane rotation of two equal-length contiguous rows (Jacobi eigen sweep
+/// apply): (p_i, q_i) <- (c*p_i - s*q_i, s*p_i + c*q_i). Element-wise.
+inline void KernelRotate(double* LATENT_RESTRICT p, double* LATENT_RESTRICT q,
+                         size_t n, double c, double s) {
+  for (size_t i = 0; i < n; ++i) {
+    const double u = p[i], v = q[i];
+    p[i] = c * u - s * v;
+    q[i] = s * u + c * v;
+  }
+}
 
 /// log(x) guarded against zero: log(max(x, kTinyProb)).
 inline double SafeLog(double x) { return std::log(x < kTinyProb ? kTinyProb : x); }

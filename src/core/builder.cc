@@ -214,6 +214,12 @@ void Expand(const hin::HeteroNetwork& net, const NodeEvidence* evidence,
   LATENT_OBS(obs::Count(state->obs,
                         "build.fanout.level" + std::to_string(level),
                         static_cast<uint64_t>(model.k)));
+  // All child subnetworks come from one pass over the parent's links (the
+  // per-link denominator is shared across children), instead of each child
+  // task re-walking the links for its own z. Bit-identical to per-child
+  // ExtractSubnetwork calls; the vector outlives the task barrier below.
+  std::vector<hin::HeteroNetwork> subs =
+      ExtractSubnetworks(net, model, options.subnetwork_min_weight);
   auto build_child = [&](int z) {
     BuiltNode* child = &node->children[z];
     if (run::ShouldStop(state->ctx)) {
@@ -221,8 +227,7 @@ void Expand(const hin::HeteroNetwork& net, const NodeEvidence* evidence,
       state->partial.store(true, std::memory_order_relaxed);
       return;
     }
-    hin::HeteroNetwork sub =
-        ExtractSubnetwork(net, model, z, options.subnetwork_min_weight);
+    hin::HeteroNetwork& sub = subs[z];
     child->rho_in_parent = model.rho[z];
     child->phi = model.phi[z];
     child->network_weight = sub.TotalWeight();

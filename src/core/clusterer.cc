@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <functional>
 #include <limits>
 #include <utility>
 
+#include "common/arena.h"
 #include "common/check.h"
 #include "common/failpoint.h"
 #include "common/math_util.h"
@@ -61,20 +63,38 @@ std::vector<std::vector<int>> PresentNodes(const hin::HeteroNetwork& net) {
 // One EM run from a random start. Returns the fitted result (alpha fixed or
 // periodically relearned according to options).
 //
-// Parallelization strategy (latent::exec): the E-step partitions OUTPUT
-// slots — each worker owns a contiguous slice of subtopics z and accumulates
-// only new_rho[z] / new_phi[z]; the lead worker additionally owns the
-// log-likelihood, sigma, and background accumulators. Every worker walks the
-// links in the same order and recomputes the (cheap) per-link soft
-// assignment s[z], so each accumulator entry receives its contributions in
-// exactly the serial order. Results are therefore bit-identical to the
-// single-threaded path for every thread count, with no per-thread buffers
-// and no reduction step at all.
+// Storage layout (docs/PERFORMANCE.md is the contract): phi lives in SoA
+// blocks allocated from the per-fit arena, not in the nested
+// ClusterResult::phi vectors (those are materialized once, on return):
+//   * phi_tm[x] — canonical topic-major k x V_x block, row-major with the
+//     row stride padded to the 64-byte arena alignment, so each topic row
+//     is contiguous and starts on its own cache line. The M-step
+//     accumulators acc[x] share the shape; after normalization the two
+//     swap pointers instead of copying.
+//   * phi_nm[x] — node-major V_x x k transposed read view rebuilt once per
+//     iteration, so the E-step reads all k subtopic probabilities of a
+//     node with unit stride.
+//
+// Parallelization strategy (latent::exec): the E-step runs two passes.
+// Pass 1 partitions LINKS — each worker computes the per-link soft
+//-assignment denominator into a shared slot array (every denominator is an
+// independent fixed-order reduction, so any link partition yields the same
+// bits; a denominator <= 0 is stored as the sentinel -1.0, meaning "assign
+// uniformly"). Pass 2 partitions OUTPUT slots — each worker owns a
+// contiguous slice of subtopics z, walks the links in order, and
+// accumulates only new_rho[z] and the acc[x] rows it owns (cache-blocked:
+// a contiguous link span against its block of topic rows); the lead worker
+// additionally owns the log-likelihood, sigma, and background
+// accumulators. Each accumulator slot receives its contributions in
+// exactly the serial link order regardless of worker count, so results are
+// bit-identical to the single-threaded path, with no per-thread buffers
+// and no reduction step at all — and unlike a fused single pass, workers
+// no longer redo the full k-term denominator per link.
 ClusterResult RunEm(const hin::HeteroNetwork& net,
                     const std::vector<std::vector<double>>& parent_phi,
                     const ClusterOptions& options,
                     const std::vector<std::vector<int>>& present,
-                    std::vector<double> alpha, Rng* rng,
+                    std::vector<double> alpha, Rng* rng, Arena* arena,
                     exec::Executor* ex, const run::RunContext* ctx,
                     const obs::Scope* obs_scope = nullptr) {
   const int k = options.num_topics;
@@ -89,16 +109,39 @@ ClusterResult RunEm(const hin::HeteroNetwork& net,
   r.alpha = alpha;
   r.seed_used = options.seed;
 
+  arena->Reset();
+  constexpr size_t kDoublesPerLine = Arena::kAlignment / sizeof(double);
+  std::vector<size_t> vsize(m), stride(m);
+  std::vector<double*> phi_tm(m), acc(m), phi_nm(m);
+  for (int x = 0; x < m; ++x) {
+    vsize[x] = static_cast<size_t>(net.type_size(x));
+    stride[x] = (vsize[x] + kDoublesPerLine - 1) / kDoublesPerLine *
+                kDoublesPerLine;
+    phi_tm[x] = arena->AllocZeroed<double>(static_cast<size_t>(k) * stride[x]);
+    acc[x] = arena->AllocZeroed<double>(static_cast<size_t>(k) * stride[x]);
+    phi_nm[x] =
+        arena->AllocZeroed<double>(vsize[x] * static_cast<size_t>(k));
+  }
+  // Global link index (per-link-type base offsets) for the pass-1
+  // denominator slots.
+  size_t total_links = 0;
+  std::vector<size_t> lt_offset(num_lt, 0);
+  for (int lt = 0; lt < num_lt; ++lt) {
+    lt_offset[lt] = total_links;
+    total_links += net.link_type(lt).links.size();
+  }
+  double* const denoms =
+      arena->AllocArray<double>(total_links > 0 ? total_links : 1);
+
   // Initialize phi with Dirichlet draws over present nodes.
-  r.phi.assign(k, std::vector<std::vector<double>>(m));
   for (int z = 0; z < k; ++z) {
     for (int x = 0; x < m; ++x) {
-      r.phi[z][x].assign(net.type_size(x), 0.0);
       if (present[x].empty()) continue;
+      double* row = phi_tm[x] + static_cast<size_t>(z) * stride[x];
       std::vector<double> draw =
           rng->Dirichlet(1.0, static_cast<int>(present[x].size()));
       for (size_t p = 0; p < present[x].size(); ++p) {
-        r.phi[z][x][present[x][p]] = draw[p];
+        row[present[x][p]] = draw[p];
       }
     }
   }
@@ -133,12 +176,23 @@ ClusterResult RunEm(const hin::HeteroNetwork& net,
 
   double prev_ll = -std::numeric_limits<double>::infinity();
 
-  // Accumulators reused across iterations.
+  // Accumulators reused across iterations (the phi accumulators are the
+  // arena-backed acc[x] blocks above).
   std::vector<double> new_rho(k);
   double new_rho_bg = 0.0;
-  std::vector<std::vector<std::vector<double>>> new_phi(
-      k, std::vector<std::vector<double>>(m));
   std::vector<std::vector<double>> new_phi_bg(m);
+
+  // Materializes the canonical SoA phi blocks into the public nested
+  // ClusterResult layout; every return path below runs this exactly once.
+  auto export_phi = [&]() {
+    r.phi.assign(k, std::vector<std::vector<double>>(m));
+    for (int z = 0; z < k; ++z) {
+      for (int x = 0; x < m; ++x) {
+        const double* row = phi_tm[x] + static_cast<size_t>(z) * stride[x];
+        r.phi[z][x].assign(row, row + vsize[x]);
+      }
+    }
+  };
 
   // E-step workers: only engage the pool when there are at least two
   // subtopic slices to hand out (the threshold does not affect results).
@@ -182,84 +236,168 @@ ClusterResult RunEm(const hin::HeteroNetwork& net,
 
     std::fill(new_rho.begin(), new_rho.end(), 0.0);
     new_rho_bg = 0.0;
-    for (int z = 0; z < k; ++z) {
-      for (int x = 0; x < m; ++x) {
-        new_phi[z][x].assign(net.type_size(x), 0.0);
+    for (int x = 0; x < m; ++x) {
+      std::memset(acc[x], 0,
+                  static_cast<size_t>(k) * stride[x] * sizeof(double));
+      new_phi_bg[x].assign(net.type_size(x), 0.0);
+    }
+
+    // Rebuild the node-major read view from the canonical topic-major phi.
+    for (int x = 0; x < m; ++x) {
+      const size_t vx = vsize[x];
+      double* nm = phi_nm[x];
+      for (int z = 0; z < k; ++z) {
+        const double* row = phi_tm[x] + static_cast<size_t>(z) * stride[x];
+        for (size_t i = 0; i < vx; ++i) {
+          nm[i * static_cast<size_t>(k) + z] = row[i];
+        }
       }
     }
-    for (int x = 0; x < m; ++x) new_phi_bg[x].assign(net.type_size(x), 0.0);
 
     double ll = -big_m;
     // sigma accumulators for alpha learning (Eq. 3.38).
     std::vector<double> sigma(num_lt, 0.0);
 
-    // One E-step pass over the links, accumulating subtopics [z_begin,
-    // z_end). The lead worker also accumulates ll, sigma, and background.
-    auto e_step = [&](int z_begin, int z_end, bool lead) {
-      std::vector<double> s(k);
+    // E-step pass 1: per-link soft-assignment denominators over a global
+    // link range [g_begin, g_end). Each slot is an independent fixed-order
+    // reduction, so any partition yields identical bits; <= 0 denominators
+    // (unexplainable links) store the sentinel -1.0.
+    auto denom_pass = [&](size_t g_begin, size_t g_end) {
       for (int lt = 0; lt < num_lt; ++lt) {
         const hin::LinkType& t = net.link_type(lt);
-        const int x = t.type_x, y = t.type_y;
         const double a = alpha[lt];
         if (a <= 0.0 || t.links.empty()) continue;
-        for (const hin::Link& l : t.links) {
-          const double aw = a * l.weight;
-          double denom = 0.0;
-          for (int z = 0; z < k; ++z) {
-            s[z] = r.rho[z] * r.phi[z][x][l.i] * r.phi[z][y][l.j];
-            denom += s[z];
-          }
-          double s_bg_i = 0.0, s_bg_j = 0.0;
+        const size_t base = lt_offset[lt];
+        const size_t lo = std::max(g_begin, base);
+        const size_t hi = std::min(g_end, base + t.links.size());
+        if (lo >= hi) continue;
+        const int x = t.type_x, y = t.type_y;
+        const double* rho = r.rho.data();
+        const double* nmx = phi_nm[x];
+        const double* nmy = phi_nm[y];
+        for (size_t g = lo; g < hi; ++g) {
+          const hin::Link& l = t.links[g - base];
+          double denom = KernelCoocDenom(
+              rho, nmx + static_cast<size_t>(l.i) * k,
+              nmy + static_cast<size_t>(l.j) * k, k);
           if (bg) {
-            s_bg_i = 0.5 * r.rho_bg * r.phi_bg[x][l.i] * parent_phi[y][l.j];
-            s_bg_j = 0.5 * r.rho_bg * r.phi_bg[y][l.j] * parent_phi[x][l.i];
+            const double s_bg_i =
+                0.5 * r.rho_bg * r.phi_bg[x][l.i] * parent_phi[y][l.j];
+            const double s_bg_j =
+                0.5 * r.rho_bg * r.phi_bg[y][l.j] * parent_phi[x][l.i];
             denom += s_bg_i + s_bg_j;
           }
-          if (denom <= 0.0) {
-            // Unexplainable link under current support: assign uniformly.
-            denom = 1.0;
-            for (int z = 0; z < k; ++z) s[z] = 1.0 / (k + (bg ? 1 : 0));
-            if (bg) s_bg_i = s_bg_j = 0.5 / (k + 1);
+          denoms[g] = denom <= 0.0 ? -1.0 : denom;
+        }
+      }
+    };
+
+    // E-step pass 2: accumulate subtopics [z_begin, z_end) from the stored
+    // denominators. The lead worker also owns ll, sigma, and background.
+    auto accum_pass = [&](int z_begin, int z_end, bool lead) {
+      const double uniform = 1.0 / (k + (bg ? 1 : 0));
+      for (int lt = 0; lt < num_lt; ++lt) {
+        const hin::LinkType& t = net.link_type(lt);
+        const double a = alpha[lt];
+        if (a <= 0.0 || t.links.empty()) continue;
+        const size_t base = lt_offset[lt];
+        const int x = t.type_x, y = t.type_y;
+        const double* rho = r.rho.data();
+        const double* nmx = phi_nm[x];
+        const double* nmy = phi_nm[y];
+        double* const acc_x = acc[x];
+        double* const acc_y = acc[y];
+        const size_t sx = stride[x], sy = stride[y];
+        for (size_t li = 0; li < t.links.size(); ++li) {
+          const hin::Link& l = t.links[li];
+          const double aw = a * l.weight;
+          const double d = denoms[base + li];
+          if (d < 0.0) {
+            // Unexplainable link under current support: assign uniformly
+            // (the stored sentinel; the effective denominator is 1).
+            const double ehat = uniform * aw;
+            for (int z = z_begin; z < z_end; ++z) {
+              new_rho[z] += ehat;
+              acc_x[static_cast<size_t>(z) * sx + l.i] += ehat;
+              acc_y[static_cast<size_t>(z) * sy + l.j] += ehat;
+            }
+            if (lead) {
+              const double rate = a * raw_total[lt];
+              ll += aw * std::log(rate) - LogGamma(aw + 1.0);
+              sigma[lt] +=
+                  l.weight * (std::log(l.weight) - std::log(raw_total[lt]));
+              if (bg) {
+                const double ehat_bg = (0.5 / (k + 1)) * aw;
+                new_rho_bg += ehat_bg + ehat_bg;
+                new_phi_bg[x][l.i] += ehat_bg;
+                new_phi_bg[y][l.j] += ehat_bg;
+              }
+            }
+            continue;
           }
+          const double inv = aw / d;
+          KernelCoocAccumulate(rho, nmx + static_cast<size_t>(l.i) * k,
+                               nmy + static_cast<size_t>(l.j) * k, inv,
+                               z_begin, z_end, new_rho.data(), acc_x + l.i,
+                               sx, acc_y + l.j, sy);
           if (lead) {
             // Full Poisson log-likelihood term: rate = alpha * M_xy_raw * s.
-            const double rate = a * raw_total[lt] * denom;
+            const double rate = a * raw_total[lt] * d;
             ll += aw * std::log(rate) - LogGamma(aw + 1.0);
             // sigma for alpha learning uses raw weights and raw rates.
             sigma[lt] += l.weight * (std::log(l.weight) -
-                                     std::log(raw_total[lt] * denom));
-          }
-          const double inv = aw / denom;
-          for (int z = z_begin; z < z_end; ++z) {
-            const double ehat = s[z] * inv;
-            new_rho[z] += ehat;
-            new_phi[z][x][l.i] += ehat;
-            new_phi[z][y][l.j] += ehat;
-          }
-          if (lead && bg) {
-            const double ehat_i = s_bg_i * inv;
-            const double ehat_j = s_bg_j * inv;
-            new_rho_bg += ehat_i + ehat_j;
-            new_phi_bg[x][l.i] += ehat_i;
-            new_phi_bg[y][l.j] += ehat_j;
+                                     std::log(raw_total[lt] * d));
+            if (bg) {
+              const double s_bg_i =
+                  0.5 * r.rho_bg * r.phi_bg[x][l.i] * parent_phi[y][l.j];
+              const double s_bg_j =
+                  0.5 * r.rho_bg * r.phi_bg[y][l.j] * parent_phi[x][l.i];
+              const double ehat_i = s_bg_i * inv;
+              const double ehat_j = s_bg_j * inv;
+              new_rho_bg += ehat_i + ehat_j;
+              new_phi_bg[x][l.i] += ehat_i;
+              new_phi_bg[y][l.j] += ehat_j;
+            }
           }
         }
       }
     };
 
     if (e_workers <= 1) {
-      e_step(0, k, /*lead=*/true);
+      denom_pass(0, total_links);
+      accum_pass(0, k, /*lead=*/true);
     } else {
-      std::vector<std::function<void()>> tasks;
-      tasks.reserve(e_workers);
-      for (int w = 0; w < e_workers; ++w) {
-        const int zb = static_cast<int>(
-            static_cast<long long>(w) * k / e_workers);
-        const int ze = static_cast<int>(
-            static_cast<long long>(w + 1) * k / e_workers);
-        tasks.push_back([&e_step, zb, ze, w] { e_step(zb, ze, w == 0); });
+      {
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(e_workers);
+        for (int w = 0; w < e_workers; ++w) {
+          const size_t gb = static_cast<size_t>(w) * total_links /
+                            static_cast<size_t>(e_workers);
+          const size_t ge = static_cast<size_t>(w + 1) * total_links /
+                            static_cast<size_t>(e_workers);
+          tasks.push_back([&denom_pass, gb, ge] { denom_pass(gb, ge); });
+        }
+        ex->RunTasks(std::move(tasks));
       }
-      ex->RunTasks(std::move(tasks));
+      // If the run stopped mid-pass (the pool drops queued ranges), some
+      // denominator slots are garbage; bail before pass 2 reads them.
+      if (ctx != nullptr && ctx->ShouldStop()) {
+        stopped_early = true;
+        break;
+      }
+      {
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(e_workers);
+        for (int w = 0; w < e_workers; ++w) {
+          const int zb = static_cast<int>(
+              static_cast<long long>(w) * k / e_workers);
+          const int ze = static_cast<int>(
+              static_cast<long long>(w + 1) * k / e_workers);
+          tasks.push_back(
+              [&accum_pass, zb, ze, w] { accum_pass(zb, ze, w == 0); });
+        }
+        ex->RunTasks(std::move(tasks));
+      }
     }
 
     // If the run stopped mid-E-step (the pool drops queued slices), the
@@ -279,25 +417,30 @@ ClusterResult RunEm(const hin::HeteroNetwork& net,
       break;
     }
 
-    // M step.
+    // M step: normalize the accumulator rows in place (one divide, then a
+    // unit-stride multiply sweep), then swap the accumulator and canonical
+    // phi blocks — the M-step commits by pointer exchange, no copy.
     for (int z = 0; z < k; ++z) r.rho[z] = new_rho[z] / big_m;
     r.rho_bg = bg ? new_rho_bg / big_m : 0.0;
-    for (int z = 0; z < k; ++z) {
-      for (int x = 0; x < m; ++x) {
-        double total = Sum(new_phi[z][x]);
+    for (int x = 0; x < m; ++x) {
+      for (int z = 0; z < k; ++z) {
+        double* row = acc[x] + static_cast<size_t>(z) * stride[x];
+        const double total = KernelSum(row, vsize[x]);
         if (total > 0.0) {
-          for (double& v : new_phi[z][x]) v /= total;
-          r.phi[z][x] = new_phi[z][x];
+          KernelScale(row, vsize[x], 1.0 / total);
         } else {
-          std::fill(r.phi[z][x].begin(), r.phi[z][x].end(), 0.0);
+          std::fill(row, row + vsize[x], 0.0);
         }
       }
+      std::swap(phi_tm[x], acc[x]);
     }
     if (bg) {
       for (int x = 0; x < m; ++x) {
-        double total = Sum(new_phi_bg[x]);
+        const double total = KernelSum(new_phi_bg[x].data(),
+                                       new_phi_bg[x].size());
         if (total > 0.0) {
-          for (double& v : new_phi_bg[x]) v /= total;
+          KernelScale(new_phi_bg[x].data(), new_phi_bg[x].size(),
+                      1.0 / total);
           r.phi_bg[x] = new_phi_bg[x];
         }
       }
@@ -353,8 +496,10 @@ ClusterResult RunEm(const hin::HeteroNetwork& net,
   // restart of a node happened to stop at iteration zero.
   if (stopped_early && iters_done == 0) {
     r.k = 0;
+    export_phi();
     return r;
   }
+  export_phi();
 
   // BIC score (Section 3.2.3): logL - 0.5 * #free-params * log(#links).
   double num_present = 0.0;
@@ -428,8 +573,11 @@ ClusterResult FitCluster(const hin::HeteroNetwork& net,
   // deterministic and independent across restarts.
   auto run_restart = [&](int restart) {
     LATENT_OBS(obs::Count(obs, "em.restarts"));
+    // One scratch arena per restart task (see common/arena.h): retries
+    // below reuse its blocks via the Reset() inside RunEm.
+    Arena arena;
     ClusterResult res = RunEm(net, parent_phi, options, present, alpha,
-                              &streams[restart], ex, ctx, obs);
+                              &streams[restart], &arena, ex, ctx, obs);
     for (int attempt = 1;
          EmDiverged(res) && attempt <= options.max_em_retries &&
          !run::ShouldStop(ctx);
@@ -438,8 +586,8 @@ ClusterResult FitCluster(const hin::HeteroNetwork& net,
       Rng retry(options.seed ^
                 (0x9e3779b97f4a7c15ULL *
                  static_cast<uint64_t>(restart * 97 + attempt)));
-      res = RunEm(net, parent_phi, options, present, alpha, &retry, ex, ctx,
-                  obs);
+      res = RunEm(net, parent_phi, options, present, alpha, &retry, &arena,
+                  ex, ctx, obs);
     }
     res.diverged = EmDiverged(res);
     results[restart] = std::move(res);
@@ -508,6 +656,50 @@ hin::HeteroNetwork ExtractSubnetwork(const hin::HeteroNetwork& net,
     }
   }
   return sub;
+}
+
+std::vector<hin::HeteroNetwork> ExtractSubnetworks(
+    const hin::HeteroNetwork& net, const ClusterResult& model,
+    double min_weight) {
+  LATENT_CHECK_GE(model.k, 1);
+  const int k = model.k;
+  std::vector<hin::HeteroNetwork> subs;
+  subs.reserve(k);
+  for (int z = 0; z < k; ++z) {
+    subs.emplace_back(net.type_names(), net.type_sizes());
+  }
+  std::vector<double> s(k);
+  for (int lt = 0; lt < net.num_link_types(); ++lt) {
+    const hin::LinkType& t = net.link_type(lt);
+    // AddLinkType returns the same index in every child (identical call
+    // sequence), so one id covers all of them.
+    int sub_lt = -1;
+    for (int z = 0; z < k; ++z) sub_lt = subs[z].AddLinkType(t.type_x, t.type_y);
+    const int x = t.type_x, y = t.type_y;
+    const double a = model.alpha.empty() ? 1.0 : model.alpha[lt];
+    for (const hin::Link& l : t.links) {
+      // The denominator is shared by all k children; computing it once per
+      // link (instead of once per child) is the whole point of the plural
+      // extractor. Same serial z-order as ExtractSubnetwork, so each child
+      // network is bit-identical to a separate per-z extraction.
+      double denom = 0.0;
+      for (int c = 0; c < k; ++c) {
+        s[c] = model.rho[c] * model.phi[c][x][l.i] * model.phi[c][y][l.j];
+        denom += s[c];
+      }
+      if (model.background) {
+        denom += 0.5 * model.rho_bg *
+                 (model.phi_bg[x][l.i] * model.parent_phi[y][l.j] +
+                  model.phi_bg[y][l.j] * model.parent_phi[x][l.i]);
+      }
+      if (denom <= 0.0) continue;
+      for (int z = 0; z < k; ++z) {
+        double ehat = a * l.weight * s[z] / denom;
+        if (ehat >= min_weight) subs[z].AddLink(sub_lt, l.i, l.j, ehat);
+      }
+    }
+  }
+  return subs;
 }
 
 ClusterResult SelectAndFit(const hin::HeteroNetwork& net,

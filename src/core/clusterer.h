@@ -117,10 +117,12 @@ std::vector<std::vector<double>> DegreeDistributions(
 /// num_topics >= 1 and a non-empty network.
 ///
 /// When `ex` is non-null the random restarts run as concurrent pool tasks
-/// (each on its own pre-forked Rng stream) and each EM run partitions its
-/// E/M-step accumulation across workers by subtopic. Both are bit-identical
-/// to the serial path for every thread count (see parallel.h, determinism
-/// contract); `ex == nullptr` is the plain serial path.
+/// (each on its own pre-forked Rng stream) and each EM run blocks its
+/// E-step in two phases: per-link denominators across link partitions,
+/// then accumulation across subtopic spans (DESIGN.md §12,
+/// docs/PERFORMANCE.md). Both are bit-identical to the serial path for
+/// every thread count (see parallel.h, determinism contract);
+/// `ex == nullptr` is the plain serial path.
 ///
 /// A non-null `ctx` bounds the fit: EM checks the context between
 /// iterations (each iteration charges one work unit) and between restarts,
@@ -146,6 +148,14 @@ ClusterResult FitCluster(const hin::HeteroNetwork& net,
 hin::HeteroNetwork ExtractSubnetwork(const hin::HeteroNetwork& net,
                                      const ClusterResult& model, int z,
                                      double min_weight = 1.0);
+
+/// Extracts all k subtopic subnetworks in one pass over the links: the
+/// per-link soft-assignment denominator is shared by every child, so this
+/// does 1/k-th of ExtractSubnetwork-per-z's work while producing
+/// bit-identical networks (same serial accumulation order per link).
+std::vector<hin::HeteroNetwork> ExtractSubnetworks(
+    const hin::HeteroNetwork& net, const ClusterResult& model,
+    double min_weight = 1.0);
 
 /// Chooses the number of subtopics in [k_min, k_max] by the BIC score
 /// (Section 3.2.3), returning the winning fitted model. Candidate k values

@@ -8,6 +8,27 @@
 
 namespace latent::core {
 
+namespace {
+
+// Node-major (word-major) flat view pw[w * k + z] of model.phi[z][word_type],
+// so the per-word mixture loops below read a word's k topic probabilities
+// with unit stride instead of chasing the nested phi vectors per topic.
+std::vector<double> FlattenWordPhi(const ClusterResult& model, int word_type) {
+  const int k = model.k;
+  const size_t v =
+      model.phi.empty() ? 0 : model.phi[0][word_type].size();
+  std::vector<double> pw(v * static_cast<size_t>(k));
+  for (int z = 0; z < k; ++z) {
+    const std::vector<double>& col = model.phi[z][word_type];
+    for (size_t w = 0; w < v; ++w) {
+      pw[w * static_cast<size_t>(k) + z] = col[w];
+    }
+  }
+  return pw;
+}
+
+}  // namespace
+
 StatusOr<ClusterResult> EmBackend::FitNode(const FitRequest& req) {
   ClusterOptions copt = req.cluster;
   ClusterResult model;
@@ -66,19 +87,18 @@ std::vector<std::vector<double>> InferEvidenceMixtures(
   const int k = model.k;
   std::vector<std::vector<double>> theta(
       evidence.docs.size(), std::vector<double>(k, 1.0 / k));
+  const std::vector<double> pw = FlattenWordPhi(model, word_type);
   std::vector<double> acc(k);
   for (size_t d = 0; d < evidence.docs.size(); ++d) {
+    double* const th = theta[d].data();
     for (int it = 0; it < em_iters; ++it) {
       std::fill(acc.begin(), acc.end(), 0.0);
       for (const auto& [w, c] : evidence.docs[d].counts) {
-        double denom = 0.0;
-        for (int z = 0; z < k; ++z) {
-          denom += theta[d][z] * model.phi[z][word_type][w];
-        }
+        const double* pz = pw.data() + static_cast<size_t>(w) * k;
+        const double denom = KernelDot(th, pz, static_cast<size_t>(k));
         if (denom <= 0.0) continue;
-        for (int z = 0; z < k; ++z) {
-          acc[z] += c * theta[d][z] * model.phi[z][word_type][w] / denom;
-        }
+        const double cd = c / denom;
+        for (int z = 0; z < k; ++z) acc[z] += cd * th[z] * pz[z];
       }
       for (int z = 0; z < k; ++z) {
         const double prior =
@@ -103,15 +123,15 @@ NodeEvidence SplitEvidence(const NodeEvidence& evidence,
   NodeEvidence sub;
   sub.docs.reserve(evidence.docs.size());
   sub.source.reserve(evidence.docs.size());
+  const std::vector<double> pw = FlattenWordPhi(model, word_type);
   for (size_t d = 0; d < evidence.docs.size(); ++d) {
     SparseDoc sd;
+    const double* const th = theta[d].data();
     for (const auto& [w, c] : evidence.docs[d].counts) {
-      double denom = 0.0;
-      for (int z2 = 0; z2 < k; ++z2) {
-        denom += theta[d][z2] * model.phi[z2][word_type][w];
-      }
+      const double* pz = pw.data() + static_cast<size_t>(w) * k;
+      const double denom = KernelDot(th, pz, static_cast<size_t>(k));
       if (denom <= 0.0) continue;
-      double frac = theta[d][z] * model.phi[z][word_type][w] / denom;
+      double frac = th[z] * pz[z] / denom;
       double cc = c * frac;
       if (cc > min_count) {
         sd.counts.emplace_back(w, cc);

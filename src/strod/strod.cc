@@ -57,7 +57,11 @@ class MomentEngine {
     }
     double shift = alpha0_ / (alpha0_ + 1.0);
     double m_dot_x = Dot(m1_, x);
-    for (int w = 0; w < v_; ++w) (*y)[w] -= shift * m_dot_x * m1_[w];
+    // y -= (shift * m_dot_x) * m1, as one axpy sweep (a - b == a + (-b) and
+    // (-c) * x == -(c * x) bit for bit, so this matches the per-element
+    // subtraction exactly).
+    KernelAxpy(-(shift * m_dot_x), m1_.data(), y->data(),
+               static_cast<size_t>(v_));
   }
 
   // Builds the whitened third-moment tensor T[r][s][t] = M3(W_r, W_s, W_t)
@@ -84,8 +88,11 @@ class MomentEngine {
       for (const auto& [word, c] : d.counts) {
         const double* row = w.row(word);
         for (int r = 0; r < k; ++r) {
-          b[r] += c * row[r];
-          for (int s = r; s < k; ++s) s_d(r, s) += c * row[r] * row[s];
+          // c * row[r] * row[s] associates left, so hoisting cr keeps bits.
+          const double cr = c * row[r];
+          b[r] += cr;
+          double* sd_row = s_d.row(r);
+          for (int s = r; s < k; ++s) sd_row[s] += cr * row[s];
         }
       }
       for (int r = 0; r < k; ++r) {
@@ -105,13 +112,20 @@ class MomentEngine {
       if (d.length < 3.0 || d3_ <= 0.0) continue;
       double n3 = n2 * (d.length - 2.0);
       double scale3 = 1.0 / (n3 * d3_);
-      // b (x) b (x) b minus the three S_d (x) b permutations.
+      // b (x) b (x) b minus the three S_d (x) b permutations. Hoists keep
+      // the original left-associated products and subtraction chain.
       for (int r = 0; r < k; ++r) {
+        const double* sdr = s_d.row(r);
+        const double br = b[r];
         for (int s = 0; s < k; ++s) {
+          const double brs = br * b[s];
+          const double sd_rs = sdr[s];
+          const double sd_ru_coef = b[s];
+          const double* sds = s_d.row(s);
+          double* trow = &at(r, s, 0);
           for (int u = 0; u < k; ++u) {
-            at(r, s, u) += scale3 * (b[r] * b[s] * b[u] -
-                                     s_d(r, s) * b[u] - s_d(r, u) * b[s] -
-                                     s_d(s, u) * b[r]);
+            trow[u] += scale3 * (brs * b[u] - sd_rs * b[u] -
+                                 sdr[u] * sd_ru_coef - sds[u] * br);
           }
         }
       }
@@ -126,10 +140,11 @@ class MomentEngine {
       if (wt == 0.0) continue;
       const double* row = w.row(word);
       for (int r = 0; r < k; ++r) {
+        const double wr = wt * row[r];
         for (int s = 0; s < k; ++s) {
-          for (int u = 0; u < k; ++u) {
-            at(r, s, u) += wt * row[r] * row[s] * row[u];
-          }
+          const double wrs = wr * row[s];
+          double* trow = &at(r, s, 0);
+          for (int u = 0; u < k; ++u) trow[u] += wrs * row[u];
         }
       }
     }
@@ -143,12 +158,16 @@ class MomentEngine {
     double c1 = alpha0_ / (alpha0_ + 2.0);
     double c2 = 2.0 * alpha0_ * alpha0_ / ((alpha0_ + 1.0) * (alpha0_ + 2.0));
     for (int r = 0; r < k; ++r) {
+      const double* e2r = e2w.data() + static_cast<size_t>(r) * k;
+      const double c2r = c2 * bm[r];
       for (int s = 0; s < k; ++s) {
+        const double e2_rs = e2r[s];
+        const double* e2s = e2w.data() + static_cast<size_t>(s) * k;
+        const double c2rs = c2r * bm[s];
+        double* trow = &at(r, s, 0);
         for (int u = 0; u < k; ++u) {
-          double shift = e2w[static_cast<size_t>(r) * k + s] * bm[u] +
-                         e2w[static_cast<size_t>(r) * k + u] * bm[s] +
-                         e2w[static_cast<size_t>(s) * k + u] * bm[r];
-          at(r, s, u) += -c1 * shift + c2 * bm[r] * bm[s] * bm[u];
+          double shift = e2_rs * bm[u] + e2r[u] * bm[s] + e2s[u] * bm[r];
+          trow[u] += -c1 * shift + c2rs * bm[u];
         }
       }
     }
@@ -171,23 +190,23 @@ void ApplyTensor(const std::vector<double>& t, int k,
                  const std::vector<double>& found_vals,
                  std::vector<double>* out) {
   out->assign(k, 0.0);
+  const double* th = theta.data();
   for (int r = 0; r < k; ++r) {
     double acc = 0.0;
     const double* slab = t.data() + static_cast<size_t>(r) * k * k;
     for (int s = 0; s < k; ++s) {
-      double ts = theta[s];
+      double ts = th[s];
       if (ts == 0.0) continue;
-      const double* row = slab + static_cast<size_t>(s) * k;
-      double inner = 0.0;
-      for (int u = 0; u < k; ++u) inner += row[u] * theta[u];
-      acc += ts * inner;
+      acc += ts * KernelDot(slab + static_cast<size_t>(s) * k, th,
+                            static_cast<size_t>(k));
     }
     (*out)[r] = acc;
   }
   for (size_t j = 0; j < found_vecs.size(); ++j) {
     double dot = Dot(found_vecs[j], theta);
     double coeff = found_vals[j] * dot * dot;
-    for (int r = 0; r < k; ++r) (*out)[r] -= coeff * found_vecs[j][r];
+    KernelAxpy(-coeff, found_vecs[j].data(), out->data(),
+               static_cast<size_t>(k));
   }
 }
 
@@ -419,19 +438,27 @@ std::vector<std::vector<double>> InferDocTopics(
   const int k = static_cast<int>(model.topic_word.size());
   std::vector<std::vector<double>> theta(docs.size(),
                                          std::vector<double>(k, 1.0 / k));
+  // Word-major flat view of topic_word so the per-word loops below read a
+  // word's k topic probabilities with unit stride.
+  const size_t v = model.topic_word.empty() ? 0 : model.topic_word[0].size();
+  std::vector<double> pw(v * static_cast<size_t>(k));
+  for (int z = 0; z < k; ++z) {
+    const std::vector<double>& col = model.topic_word[z];
+    for (size_t w = 0; w < v; ++w) {
+      pw[w * static_cast<size_t>(k) + z] = col[w];
+    }
+  }
   std::vector<double> acc(k);
   for (size_t d = 0; d < docs.size(); ++d) {
+    double* const th = theta[d].data();
     for (int it = 0; it < em_iters; ++it) {
       std::fill(acc.begin(), acc.end(), 0.0);
       for (const auto& [w, c] : docs[d].counts) {
-        double denom = 0.0;
-        for (int z = 0; z < k; ++z) {
-          denom += theta[d][z] * model.topic_word[z][w];
-        }
+        const double* pz = pw.data() + static_cast<size_t>(w) * k;
+        const double denom = KernelDot(th, pz, static_cast<size_t>(k));
         if (denom <= 0.0) continue;
-        for (int z = 0; z < k; ++z) {
-          acc[z] += c * theta[d][z] * model.topic_word[z][w] / denom;
-        }
+        const double cd = c / denom;
+        for (int z = 0; z < k; ++z) acc[z] += cd * th[z] * pz[z];
       }
       for (int z = 0; z < k; ++z) {
         acc[z] += model.alpha[z] > 0 ? model.alpha[z] : 1e-3;

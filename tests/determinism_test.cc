@@ -195,6 +195,34 @@ TEST(DeterminismTest, AutoBackendIsThreadCountInvariant) {
   ExpectIdentical(serial.value(), parallel.value(), ds);
 }
 
+TEST(DeterminismTest, SoAHotPathIsThreadCountInvariantAtLargerK) {
+  // Stresses the SoA phi layout and blocked two-phase E-step (PR 9) where
+  // its strides actually matter: a wider root (k=6, so multiple z-spans per
+  // parallel accumulation pass), background topic on (the extra bg rows of
+  // the topic-major blocks), and the learned per-link-type alpha update.
+  // Same contract as every case here: {1, 2, 8} threads, identical bits.
+  data::HinDataset ds = SmallDs();
+  PipelineInput input(
+      ds.corpus, EntitySchema(ds.entity_type_names, ds.entity_type_sizes),
+      ds.entity_docs);
+  auto wide_opt = [](int threads) {
+    PipelineOptions opt = OptionsWithThreads(threads);
+    opt.build.levels_k = {6};
+    opt.build.max_depth = 1;
+    opt.build.cluster.weight_mode = core::LinkWeightMode::kLearned;
+    opt.build.cluster.max_iters = 60;
+    return opt;
+  };
+  StatusOr<MinedHierarchy> serial = Mine(input, wide_opt(1));
+  ASSERT_TRUE(serial.ok()) << serial.status().message();
+  for (int threads : {2, 8}) {
+    StatusOr<MinedHierarchy> parallel = Mine(input, wide_opt(threads));
+    ASSERT_TRUE(parallel.ok()) << parallel.status().message();
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ExpectIdentical(serial.value(), parallel.value(), ds);
+  }
+}
+
 TEST(DeterminismTest, BicModelSelectionIsThreadCountInvariant) {
   // Exercise the SelectAndFit parallel path (levels_k empty -> BIC chooses
   // the branching factor per node).

@@ -1,0 +1,357 @@
+// Byte-parity of the restrict-qualified hot-loop kernels
+// (common/math_util.h) against plain scalar references that implement the
+// documented association — the four-lane reductions, the reciprocal row
+// normalize, the serial-order co-occurrence denominator, and the SoA
+// accumulation versus the fused AoS E-step of the seed implementation.
+// Every EXPECT_EQ on doubles here is intentionally exact: these identities
+// are what lets the blocked/partitioned E-step stay bit-identical at any
+// worker count (docs/PERFORMANCE.md, "Determinism rule"). Also covers the
+// per-fit Arena contract and FitCluster-level worker-count invariance.
+//
+// Runs in the default suite and as tsan.kernels / asan.kernels under
+// sanitizer builds (tests/CMakeLists.txt).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/math_util.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "core/clusterer.h"
+#include "hin/network.h"
+
+namespace latent {
+namespace {
+
+std::vector<double> RandomVec(size_t n, uint64_t seed, double lo = -3.0,
+                              double hi = 3.0) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.Uniform(lo, hi);
+  return v;
+}
+
+// Scalar reference for the documented four-lane reduction: element i feeds
+// lane i % 4 (tail continues the rotation), lanes combine (l0+l1)+(l2+l3).
+double RefSumFourLane(const double* x, size_t n) {
+  double lane[4] = {0.0, 0.0, 0.0, 0.0};
+  for (size_t i = 0; i < n; ++i) lane[i % 4] += x[i];
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+double RefDotFourLane(const double* x, const double* y, size_t n) {
+  double lane[4] = {0.0, 0.0, 0.0, 0.0};
+  for (size_t i = 0; i < n; ++i) lane[i % 4] += x[i] * y[i];
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+double RefLogSumExpFourLane(const double* x, size_t n) {
+  double mlane[4] = {x[0], x[0], x[0], x[0]};
+  for (size_t i = 0; i < n; ++i) {
+    if (x[i] > mlane[i % 4]) mlane[i % 4] = x[i];
+  }
+  const double m01 = mlane[0] > mlane[1] ? mlane[0] : mlane[1];
+  const double m23 = mlane[2] > mlane[3] ? mlane[2] : mlane[3];
+  const double m = m01 > m23 ? m01 : m23;
+  if (!std::isfinite(m)) return m;
+  double lane[4] = {0.0, 0.0, 0.0, 0.0};
+  for (size_t i = 0; i < n; ++i) lane[i % 4] += std::exp(x[i] - m);
+  return m + std::log((lane[0] + lane[1]) + (lane[2] + lane[3]));
+}
+
+// Lengths that cross every lane-remainder case plus a few big ones.
+const size_t kLens[] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17, 63, 64, 65, 1000, 1021};
+
+TEST(KernelParityTest, SumMatchesFourLaneReference) {
+  EXPECT_EQ(KernelSum(nullptr, 0), 0.0);
+  for (size_t n : kLens) {
+    std::vector<double> x = RandomVec(n, 100 + n);
+    EXPECT_EQ(KernelSum(x.data(), n), RefSumFourLane(x.data(), n)) << n;
+  }
+}
+
+TEST(KernelParityTest, DotMatchesFourLaneReference) {
+  for (size_t n : kLens) {
+    std::vector<double> x = RandomVec(n, 200 + n);
+    std::vector<double> y = RandomVec(n, 300 + n);
+    EXPECT_EQ(KernelDot(x.data(), y.data(), n),
+              RefDotFourLane(x.data(), y.data(), n))
+        << n;
+  }
+}
+
+TEST(KernelParityTest, LogSumExpMatchesFourLaneReference) {
+  for (size_t n : kLens) {
+    std::vector<double> x = RandomVec(n, 400 + n, -30.0, 10.0);
+    EXPECT_EQ(KernelLogSumExp(x.data(), n),
+              RefLogSumExpFourLane(x.data(), n))
+        << n;
+  }
+}
+
+TEST(KernelParityTest, LogSumExpGuardsNonFiniteMax) {
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> all_ninf(7, -inf);
+  EXPECT_EQ(KernelLogSumExp(all_ninf.data(), all_ninf.size()), -inf);
+  std::vector<double> with_pinf = RandomVec(9, 42);
+  with_pinf[5] = inf;
+  EXPECT_EQ(KernelLogSumExp(with_pinf.data(), with_pinf.size()), inf);
+}
+
+TEST(KernelParityTest, RowNormalizeScalesByReciprocalOfFourLaneSum) {
+  for (size_t n : kLens) {
+    std::vector<double> x = RandomVec(n, 500 + n, 0.0, 5.0);
+    std::vector<double> ref = x;
+    // Reference: the documented contract — one division, then a multiply
+    // sweep (NOT per-element division, which rounds differently).
+    const double total = RefSumFourLane(ref.data(), n);
+    const double inv = 1.0 / total;
+    for (double& v : ref) v *= inv;
+
+    std::vector<double> got = x;
+    EXPECT_EQ(KernelRowNormalize(got.data(), n), total) << n;
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(got[i], ref[i]) << n << ":" << i;
+  }
+}
+
+TEST(KernelParityTest, RowNormalizeZeroMassFillsUniform) {
+  std::vector<double> x(5, 0.0);
+  EXPECT_EQ(KernelRowNormalize(x.data(), x.size()), 0.0);
+  for (double v : x) EXPECT_EQ(v, 1.0 / 5.0);
+  EXPECT_EQ(KernelRowNormalize(nullptr, 0), 0.0);
+}
+
+TEST(KernelParityTest, VectorWrappersDelegateToKernels) {
+  // The std::vector helpers the wider codebase calls must produce the same
+  // bits as the raw kernels so a caller migrating between the two forms
+  // never perturbs a deterministic run.
+  for (size_t n : {size_t{5}, size_t{64}, size_t{1000}}) {
+    std::vector<double> x = RandomVec(n, 600 + n, 0.1, 4.0);
+    std::vector<double> y = RandomVec(n, 700 + n, 0.1, 4.0);
+    EXPECT_EQ(Sum(x), KernelSum(x.data(), n));
+    EXPECT_EQ(Dot(x, y), KernelDot(x.data(), y.data(), n));
+    EXPECT_EQ(LogSumExp(x), KernelLogSumExp(x.data(), n));
+    std::vector<double> a = x, b = x;
+    EXPECT_EQ(NormalizeInPlace(&a), KernelRowNormalize(b.data(), n));
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(KernelParityTest, ScaleAxpyRotateMatchScalarReferences) {
+  const size_t n = 37;
+  std::vector<double> x = RandomVec(n, 800);
+  std::vector<double> y = RandomVec(n, 801);
+  std::vector<double> rx = x, ry = y;
+  const double a = 1.7, c = 0.6, s = 0.8;
+
+  std::vector<double> gx = x;
+  KernelScale(gx.data(), n, a);
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(gx[i], rx[i] * a);
+
+  std::vector<double> gy = y;
+  KernelAxpy(a, x.data(), gy.data(), n);
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(gy[i], ry[i] + a * rx[i]);
+
+  std::vector<double> gp = x, gq = y;
+  KernelRotate(gp.data(), gq.data(), n, c, s);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(gp[i], c * rx[i] - s * ry[i]);
+    EXPECT_EQ(gq[i], s * rx[i] + c * ry[i]);
+  }
+}
+
+TEST(KernelParityTest, CoocDenomMatchesSerialOrder) {
+  for (int k : {1, 3, 4, 7, 12}) {
+    std::vector<double> rho = RandomVec(k, 900 + k, 0.01, 1.0);
+    std::vector<double> xi = RandomVec(k, 910 + k, 0.0, 1.0);
+    std::vector<double> yj = RandomVec(k, 920 + k, 0.0, 1.0);
+    double ref = 0.0;
+    for (int z = 0; z < k; ++z) ref += rho[z] * xi[z] * yj[z];
+    EXPECT_EQ(KernelCoocDenom(rho.data(), xi.data(), yj.data(), k), ref) << k;
+  }
+}
+
+// SoA accumulation versus the fused AoS E-step loop of the seed
+// implementation: same links, same order, byte-identical accumulators —
+// including a self-link (same type, i == j) where the SoA call's acc_x and
+// acc_y alias and must each receive ehat twice.
+TEST(KernelParityTest, CoocAccumulateSoAMatchesFusedAoSReference) {
+  const int k = 5, nodes = 16;
+  std::vector<double> rho = RandomVec(k, 1000, 0.05, 1.0);
+  // Node-major phi rows (unit stride in z), one per node.
+  std::vector<double> phi_nm = RandomVec(static_cast<size_t>(nodes) * k, 1001,
+                                         0.0, 1.0);
+  struct Link {
+    int i, j;
+    double inv;
+  };
+  // Mixed regular links and one exact self-link (5, 5).
+  const std::vector<Link> links = {
+      {0, 3, 0.7}, {5, 5, 1.3}, {2, 9, 0.4}, {15, 1, 2.0}, {9, 2, 0.9}};
+
+  // Reference: seed-era nested AoS new_phi[z][i] with the fused per-z loop.
+  std::vector<std::vector<double>> aos(k, std::vector<double>(nodes, 0.0));
+  std::vector<double> aos_rho(k, 0.0);
+  for (const Link& l : links) {
+    for (int z = 0; z < k; ++z) {
+      const double ehat =
+          rho[z] * phi_nm[static_cast<size_t>(l.i) * k + z] *
+          phi_nm[static_cast<size_t>(l.j) * k + z] * l.inv;
+      aos_rho[z] += ehat;
+      aos[z][l.i] += ehat;
+      aos[z][l.j] += ehat;
+    }
+  }
+
+  // SoA: topic-major acc[z * stride + node], pointers pre-offset per link.
+  const size_t stride = nodes;
+  std::vector<double> soa(static_cast<size_t>(k) * stride, 0.0);
+  std::vector<double> soa_rho(k, 0.0);
+  for (const Link& l : links) {
+    KernelCoocAccumulate(rho.data(), phi_nm.data() + static_cast<size_t>(l.i) * k,
+                         phi_nm.data() + static_cast<size_t>(l.j) * k, l.inv,
+                         0, k, soa_rho.data(), soa.data() + l.i, stride,
+                         soa.data() + l.j, stride);
+  }
+  for (int z = 0; z < k; ++z) {
+    EXPECT_EQ(soa_rho[z], aos_rho[z]) << z;
+    for (int i = 0; i < nodes; ++i) {
+      EXPECT_EQ(soa[static_cast<size_t>(z) * stride + i], aos[z][i])
+          << z << ":" << i;
+    }
+  }
+}
+
+// Splitting the subtopic span across "workers" must not change a single
+// bit: per-slot accumulation order is per-z, and each z lands in exactly
+// one span.
+TEST(KernelParityTest, CoocAccumulateSpanDecompositionIsExact) {
+  const int k = 11, nodes = 8;
+  std::vector<double> rho = RandomVec(k, 1100, 0.05, 1.0);
+  std::vector<double> xi = RandomVec(k, 1101, 0.0, 1.0);
+  std::vector<double> yj = RandomVec(k, 1102, 0.0, 1.0);
+
+  auto run_spans = [&](const std::vector<std::pair<int, int>>& spans) {
+    std::vector<double> acc(static_cast<size_t>(k) * nodes, 0.0);
+    std::vector<double> nrho(k, 0.0);
+    for (const auto& [b, e] : spans) {
+      KernelCoocAccumulate(rho.data(), xi.data(), yj.data(), 0.8, b, e,
+                           nrho.data(), acc.data() + 2, nodes,
+                           acc.data() + 6, nodes);
+    }
+    nrho.insert(nrho.end(), acc.begin(), acc.end());
+    return nrho;
+  };
+  const auto whole = run_spans({{0, k}});
+  const auto halves = run_spans({{0, k / 2}, {k / 2, k}});
+  const auto thirds = run_spans({{0, 3}, {3, 9}, {9, k}});
+  EXPECT_EQ(whole, halves);
+  EXPECT_EQ(whole, thirds);
+}
+
+TEST(ArenaTest, AllocationsAreCacheLineAlignedAndZeroFillWorks) {
+  Arena arena(128);
+  for (size_t bytes : {size_t{1}, size_t{63}, size_t{64}, size_t{65},
+                       size_t{4096}, size_t{1} << 20}) {
+    void* p = arena.Alloc(bytes);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % Arena::kAlignment, 0u) << bytes;
+  }
+  double* z = arena.AllocZeroed<double>(513);
+  for (int i = 0; i < 513; ++i) ASSERT_EQ(z[i], 0.0) << i;
+}
+
+TEST(ArenaTest, ResetKeepsLargestBlockForReuse) {
+  Arena arena(256);
+  arena.AllocArray<double>(64);
+  arena.AllocArray<double>(100000);  // forces a larger second block
+  const size_t reserved_before = arena.bytes_reserved();
+  EXPECT_GT(arena.bytes_used(), 0u);
+
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  // Only the largest block survives the reset...
+  EXPECT_LT(arena.bytes_reserved(), reserved_before);
+  const size_t kept = arena.bytes_reserved();
+  // ...and a same-shape reuse is served from it without growing.
+  arena.AllocArray<double>(100000);
+  EXPECT_EQ(arena.bytes_reserved(), kept);
+}
+
+TEST(ArenaTest, UsedBytesTrackAlignmentRoundedRequests) {
+  Arena arena;
+  arena.Alloc(1);
+  EXPECT_EQ(arena.bytes_used(), Arena::kAlignment);
+  arena.Alloc(65);
+  EXPECT_EQ(arena.bytes_used(), 3 * Arena::kAlignment);
+}
+
+// A heterogeneous network with a self-type link type (term-term, including
+// exact self-links) and a cross-type link type — the shapes that stress the
+// aliasing and offset arithmetic of the SoA E-step.
+hin::HeteroNetwork MixedNetwork() {
+  hin::HeteroNetwork net({"term", "author"}, {24, 12});
+  const int tt = net.AddLinkType(0, 0);
+  const int ta = net.AddLinkType(0, 1);
+  Rng rng(7);
+  for (int e = 0; e < 140; ++e) {
+    const int i = rng.UniformInt(24);
+    // Bias toward two planted blocks so EM has structure to find.
+    const int j = (i < 12) ? rng.UniformInt(12) : 12 + rng.UniformInt(12);
+    net.AddLink(tt, i, j, 1.0 + rng.UniformInt(4));  // i == j possible
+  }
+  for (int e = 0; e < 90; ++e) {
+    const int i = rng.UniformInt(24);
+    const int j = (i < 12) ? rng.UniformInt(6) : 6 + rng.UniformInt(6);
+    net.AddLink(ta, i, j, 1.0 + rng.UniformInt(3));
+  }
+  net.Coalesce();
+  return net;
+}
+
+// The whole point of the kernel contracts above: a full FitCluster (SoA
+// phi, blocked two-phase E-step, arena scratch) returns bit-identical
+// models whether the E-step runs serial or partitioned across 2 or 8 pool
+// workers.
+TEST(KernelParityTest, FitClusterBitIdenticalAcrossWorkerCounts) {
+  hin::HeteroNetwork net = MixedNetwork();
+  auto parent = core::DegreeDistributions(net);
+  core::ClusterOptions opt;
+  opt.num_topics = 3;
+  opt.background = true;  // exercises the background rows of the SoA blocks
+  opt.restarts = 2;
+  opt.max_iters = 40;
+  opt.seed = 19;
+
+  core::ClusterResult serial = core::FitCluster(net, parent, opt);
+  ASSERT_EQ(serial.k, 3);
+  ASSERT_FALSE(serial.diverged);
+
+  for (int threads : {2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    exec::ExecOptions eopt;
+    eopt.num_threads = threads;
+    eopt.deterministic = true;
+    exec::Executor ex(eopt);
+    core::ClusterResult par = core::FitCluster(net, parent, opt, &ex);
+
+    ASSERT_EQ(par.k, serial.k);
+    EXPECT_EQ(par.log_likelihood, serial.log_likelihood);
+    EXPECT_EQ(par.bic_score, serial.bic_score);
+    EXPECT_EQ(par.rho, serial.rho);
+    EXPECT_EQ(par.rho_bg, serial.rho_bg);
+    ASSERT_EQ(par.phi.size(), serial.phi.size());
+    for (size_t z = 0; z < serial.phi.size(); ++z) {
+      EXPECT_EQ(par.phi[z], serial.phi[z]) << "z=" << z;
+    }
+    EXPECT_EQ(par.phi_bg, serial.phi_bg);
+    EXPECT_EQ(par.alpha, serial.alpha);
+  }
+}
+
+}  // namespace
+}  // namespace latent

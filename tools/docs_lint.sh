@@ -9,7 +9,10 @@
 #     src/core/inference.h, or
 #   * a QueryOptions field declared in src/serve/engine.h, or
 #   * a ServedOptions field declared in src/served/server.h
-# does not appear in docs/OPERATIONS.md. Registered with ctest as
+# does not appear in docs/OPERATIONS.md, or when
+#   * a bench_* binary registered in bench/CMakeLists.txt
+# does not appear in docs/PERFORMANCE.md (the perf-trajectory workflow doc
+# must keep a complete bench inventory). Registered with ctest as
 # `docs.lint` (label: docs); run directly as tools/docs_lint.sh [repo-root].
 set -u
 
@@ -22,10 +25,12 @@ inference_h="$root/src/core/inference.h"
 engine_h="$root/src/serve/engine.h"
 server_h="$root/src/served/server.h"
 ops_md="$root/docs/OPERATIONS.md"
+bench_cmake="$root/bench/CMakeLists.txt"
+perf_md="$root/docs/PERFORMANCE.md"
 
 fail=0
 for f in "$mine_cc" "$serve_cc" "$served_cc" "$api_h" "$inference_h" \
-         "$engine_h" "$server_h" "$ops_md"; do
+         "$engine_h" "$server_h" "$ops_md" "$bench_cmake" "$perf_md"; do
   if [ ! -f "$f" ]; then
     echo "docs_lint: missing $f" >&2
     exit 1
@@ -50,10 +55,19 @@ struct_fields() {
     | sort -u
 }
 
-# check_surface <label> <items> — every item must appear in OPERATIONS.md.
-# (Called directly, not in a subshell, so it can set the global `fail`.)
+# Every bench binary registered in bench/CMakeLists.txt (both the
+# latent_add_bench macro calls and bare add_executable targets).
+bench_targets() {
+  grep -oE '(latent_add_bench|add_executable)\(bench_[a-z0-9_]+' "$1" \
+    | sed -E 's/.*\((bench_[a-z0-9_]+)/\1/' \
+    | sort -u
+}
+
+# check_surface <label> <items> [<doc>] — every item must appear in the doc
+# (default docs/OPERATIONS.md). (Called directly, not in a subshell, so it
+# can set the global `fail`.)
 check_surface() {
-  local label="$1" items="$2"
+  local label="$1" items="$2" doc="${3:-$ops_md}"
   if [ -z "$items" ]; then
     echo "docs_lint: extraction came up empty ($label) —" \
          "the lint itself is broken, refusing to pass vacuously" >&2
@@ -61,9 +75,9 @@ check_surface() {
   fi
   local item
   for item in $items; do
-    if ! grep -qw -- "$item" "$ops_md"; then
+    if ! grep -qw -- "$item" "$doc"; then
       echo "docs_lint: $label $item is not documented in" \
-           "docs/OPERATIONS.md" >&2
+           "${doc#"$root"/}" >&2
       fail=1
     fi
   done
@@ -77,6 +91,7 @@ iopt_fields=$(struct_fields "$inference_h" InferenceOptions)
 sopt_fields=$(struct_fields "$inference_h" SpectralOptions)
 qopt_fields=$(struct_fields "$engine_h" QueryOptions)
 dopt_fields=$(struct_fields "$server_h" ServedOptions)
+bench_bins=$(bench_targets "$bench_cmake")
 
 check_surface "latent_mine flag" "$mine_flags"
 check_surface "latent_serve flag" "$serve_flags"
@@ -86,6 +101,7 @@ check_surface "InferenceOptions field" "$iopt_fields"
 check_surface "SpectralOptions field" "$sopt_fields"
 check_surface "QueryOptions field" "$qopt_fields"
 check_surface "ServedOptions field" "$dopt_fields"
+check_surface "bench binary" "$bench_bins" "$perf_md"
 
 if [ "$fail" -eq 0 ]; then
   echo "docs_lint: OK" \
@@ -95,6 +111,7 @@ if [ "$fail" -eq 0 ]; then
        "$(echo "$iopt_fields" | wc -l) +" \
        "$(echo "$sopt_fields" | wc -l) +" \
        "$(echo "$qopt_fields" | wc -l) +" \
-       "$(echo "$dopt_fields" | wc -l) option fields documented)"
+       "$(echo "$dopt_fields" | wc -l) option fields," \
+       "$(echo "$bench_bins" | wc -l) bench binaries documented)"
 fi
 exit "$fail"
