@@ -6,6 +6,7 @@
 
 #include "bench_util.h"
 #include "common/timer.h"
+#include "strod/spectral_backend.h"
 #include "strod/strod.h"
 
 int main() {
@@ -21,14 +22,23 @@ int main() {
   data::HinDataset ds = data::GenerateHinDataset(gopt);
 
   WallTimer timer;
-  strod::StrodTreeOptions topt;
-  topt.levels_k = {4, 3};
-  topt.max_depth = 2;
-  topt.min_node_weight = 800.0;
-  topt.base.alpha0 = 1.0;
-  topt.base.seed = 33;
-  core::TopicHierarchy tree = strod::BuildStrodHierarchy(
-      strod::ToSparseDocs(ds.corpus), ds.corpus.vocab_size(), topt);
+  core::BuildOptions bopt;
+  bopt.levels_k = {4, 3};
+  bopt.max_depth = 2;
+  bopt.min_network_weight = 800.0;
+  bopt.cluster.seed = 33;
+  core::InferenceOptions iopt;
+  iopt.backend = core::InferenceBackendKind::kSpectral;
+  iopt.spectral.alpha0 = 1.0;
+  iopt.spectral.seed = 33;
+  StatusOr<core::TopicHierarchy> tree_or = strod::TryBuildSpectralHierarchy(
+      strod::ToSparseDocs(ds.corpus), ds.corpus.vocab_size(), bopt, iopt);
+  if (!tree_or.ok()) {
+    std::fprintf(stderr, "spectral hierarchy failed: %s\n",
+                 tree_or.status().message().c_str());
+    return 1;
+  }
+  core::TopicHierarchy& tree = tree_or.value();
   double secs = timer.Seconds();
 
   // Print the tree with each node's top words and its dominant planted

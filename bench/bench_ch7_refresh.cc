@@ -1,0 +1,165 @@
+// Incremental re-mining benchmark (ROADMAP ch7 serving story): wall-clock
+// of api::Refresh folding a ~5% document delta into a checkpointed base
+// mine, versus re-mining the merged corpus from scratch. The headline
+// metric is the dimensionless speedup ratio (stable across machines);
+// run_bench.sh commits it to BENCH_<n>.json, and the acceptance floor for
+// this PR is >= 5x at a <= 5% delta.
+//
+// Also prints the refresh.* accounting counters (dirty/clean subtree split
+// and warm-started fits) so the ratio can be read against how much work the
+// refresh actually skipped.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "api/latent.h"
+#include "api/refresh.h"
+#include "data/synthetic_hin.h"
+#include "obs/metrics.h"
+#include "text/corpus.h"
+
+namespace latent {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Re-interns the listed docs into a fresh corpus, preserving segment
+// boundaries — the same document-order interning Refresh uses internally,
+// so the scratch re-mine sees a bitwise-equal merged corpus.
+text::Corpus SliceCorpus(const text::Corpus& src, const std::vector<int>& ids_in) {
+  text::Corpus out;
+  for (int d : ids_in) {
+    const text::Document& doc = src.docs()[d];
+    std::vector<int> ids;
+    ids.reserve(doc.tokens.size());
+    for (int t : doc.tokens) {
+      ids.push_back(out.mutable_vocab().Intern(src.vocab().Token(t)));
+    }
+    out.AddDocumentIds(std::move(ids));
+    out.mutable_doc(out.num_docs() - 1).segment_starts = doc.segment_starts;
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace latent
+
+int main() {
+  using namespace latent;
+
+  std::printf("== Incremental refresh vs full re-mine (api::Refresh) ==\n");
+
+  data::HinDatasetOptions dopt = data::DblpLikeOptions(6000, 55);
+  dopt.num_areas = 4;
+  dopt.subareas_per_area = 3;
+  data::HinDataset ds = data::GenerateHinDataset(dopt);
+  const int n = ds.corpus.num_docs();
+  const int delta_n = n / 20;  // 5% delta
+
+  // The delta is topically concentrated — all its documents come from one
+  // planted area — so the routing step can prove that untouched sibling
+  // subtrees stay clean (the realistic arrival pattern: a burst of new
+  // papers in one subfield, not a uniform sprinkle over every field).
+  std::vector<int> base_ids, area0_ids;
+  for (int d = 0; d < n; ++d) {
+    (ds.doc_area[d] == 0 ? area0_ids : base_ids).push_back(d);
+  }
+  base_ids.insert(base_ids.end(), area0_ids.begin(),
+                  area0_ids.end() - delta_n);
+  std::vector<int> delta_ids(area0_ids.end() - delta_n, area0_ids.end());
+  std::vector<int> merged_ids = base_ids;
+  merged_ids.insert(merged_ids.end(), delta_ids.begin(), delta_ids.end());
+
+  text::Corpus base_corpus = SliceCorpus(ds.corpus, base_ids);
+  text::Corpus delta_corpus = SliceCorpus(ds.corpus, delta_ids);
+  text::Corpus merged_corpus = SliceCorpus(ds.corpus, merged_ids);
+  std::vector<hin::EntityDoc> base_ents, delta_ents, merged_ents;
+  for (int d : base_ids) base_ents.push_back(ds.entity_docs[d]);
+  for (int d : delta_ids) delta_ents.push_back(ds.entity_docs[d]);
+  merged_ents = base_ents;
+  merged_ents.insert(merged_ents.end(), delta_ents.begin(), delta_ents.end());
+  api::EntitySchema schema(ds.entity_type_names, ds.entity_type_sizes);
+  std::printf("docs base=%d delta=%d (%.1f%% delta, one planted area)\n",
+              (int)base_ids.size(), delta_n, 100.0 * delta_n / n);
+
+  api::PipelineOptions opt;
+  opt.build.levels_k = {4, 3};
+  opt.build.max_depth = 2;
+  opt.build.cluster.restarts = 3;
+  opt.build.cluster.seed = 7;
+  opt.miner.min_support = 4;
+  opt.exec.num_threads = 1;  // serial: the ratio is not hidden by idle cores
+
+  // Base mine (setup, untimed): the checkpoint the refresh re-opens.
+  const std::string base_dir = "/tmp/latent_bench_refresh_base";
+  ::system(("rm -rf " + base_dir).c_str());
+  api::PipelineOptions base_opt = opt;
+  base_opt.checkpoint_dir = base_dir;
+  api::PipelineInput base_input(base_corpus, schema, base_ents);
+  StatusOr<api::MinedHierarchy> base = api::Mine(base_input, base_opt);
+  if (!base.ok()) {
+    std::fprintf(stderr, "base mine failed: %s\n",
+                 base.status().message().c_str());
+    return 1;
+  }
+
+  const int kReps = 3;  // best-of to damp scheduler noise
+
+  // Full re-mine of the merged corpus from scratch.
+  api::PipelineInput merged_input(merged_corpus, schema, merged_ents);
+  double full_s = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    StatusOr<api::MinedHierarchy> r = api::Mine(merged_input, opt);
+    const double s = SecondsSince(t0);
+    if (!r.ok()) {
+      std::fprintf(stderr, "full re-mine failed: %s\n",
+                   r.status().message().c_str());
+      return 1;
+    }
+    if (rep == 0 || s < full_s) full_s = s;
+  }
+  std::printf("full re-mine        %8.3f s\n", full_s);
+
+  // Incremental refresh of the same delta.
+  obs::Registry metrics;
+  api::RefreshOptions ropt;
+  ropt.pipeline = opt;
+  ropt.pipeline.metrics = &metrics;
+  ropt.base_checkpoint_dir = base_dir;
+  ropt.base_entity_docs = &base_ents;
+  api::PipelineInput delta_input(delta_corpus, schema, delta_ents);
+  double refresh_s = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    StatusOr<api::MinedHierarchy> r =
+        api::Refresh(base.value(), delta_input, ropt);
+    const double s = SecondsSince(t0);
+    if (!r.ok()) {
+      std::fprintf(stderr, "refresh failed: %s\n",
+                   r.status().message().c_str());
+      return 1;
+    }
+    if (rep == 0 || s < refresh_s) refresh_s = s;
+  }
+  std::printf("incremental refresh %8.3f s\n", refresh_s);
+
+  const double speedup = refresh_s > 0 ? full_s / refresh_s : 0.0;
+  std::printf("refresh vs full: full %.3fs, refresh %.3fs  (%.1fx speedup)\n",
+              full_s, refresh_s, speedup);
+  // Counters accumulate across the kReps refreshes; report per-run values.
+  std::printf("refresh nodes: dirty %llu clean %llu warm_fits %llu\n",
+              (unsigned long long)(metrics.CounterValue("refresh.nodes.dirty") /
+                                   kReps),
+              (unsigned long long)(metrics.CounterValue("refresh.nodes.clean") /
+                                   kReps),
+              (unsigned long long)(metrics.CounterValue("refresh.warm.fits") /
+                                   kReps));
+  ::system(("rm -rf " + base_dir).c_str());
+  return 0;
+}

@@ -130,7 +130,7 @@ int main() {
     // Three runs each with different algorithm seeds, same data.
     std::vector<double> strod_err, gibbs_err;
     for (uint64_t seed : {1ULL, 2ULL, 3ULL}) {
-      strod::StrodOptions sopt;
+      core::SpectralOptions sopt;
       sopt.num_topics = 5;
       sopt.alpha0 = 1.0;
       sopt.seed = seed;
@@ -164,7 +164,7 @@ int main() {
   bench::PrintHeader({"variant", "recovery err", "alpha0 chosen"}, 14);
   auto run = [&](const std::string& name, bool learn_a0, int power_iters,
                  double alpha0) {
-    strod::StrodOptions sopt;
+    core::SpectralOptions sopt;
     sopt.num_topics = 5;
     sopt.alpha0 = alpha0;
     sopt.learn_alpha0 = learn_a0;

@@ -268,7 +268,7 @@ void BM_StrodFit(benchmark::State& state) {
     opt.seed = 7;
     return new data::LdaDataset(data::GenerateLdaDataset(opt));
   }();
-  strod::StrodOptions opt;
+  core::SpectralOptions opt;
   opt.num_topics = 5;
   opt.seed = 9;
   for (auto _ : state) {

@@ -2,13 +2,14 @@
 # Bench runner: executes the ch7 serving bench (in-process engine), the
 # daemon bench (full TCP stack, including the resilience/restart-recovery
 # section), the ch7 robustness bench (recovery error, checkpointing), the
+# incremental-refresh bench (api::Refresh vs full re-mine), the
 # micro-kernel Ref/Opt pairs (bench_micro_kernels), and the EM-iteration
 # rows of bench_ch7_scalability, and assembles one BENCH_<n>.json so the
 # repo carries a perf-trajectory baseline per PR (ROADMAP item 4; see
 # docs/PERFORMANCE.md for how to read the deltas).
 #
 # Usage: bench/run_bench.sh [--check] [build-dir] [out.json]
-# Defaults: build-dir = build, out.json = BENCH_9.json (in the repo root).
+# Defaults: build-dir = build, out.json = BENCH_10.json (in the repo root).
 #
 # --check: fast regression gate (registered as ctest bench.smoke). Re-runs
 # ONLY the micro-kernel pairs and compares each kernel's Ref/Opt speedup
@@ -24,7 +25,7 @@ if [ "${1:-}" = "--check" ]; then
   shift
 fi
 build="${1:-$root/build}"
-out="${2:-$root/BENCH_9.json}"
+out="${2:-$root/BENCH_10.json}"
 
 kernels_bin="$build/bench/bench_micro_kernels"
 if [ ! -x "$kernels_bin" ]; then
@@ -120,8 +121,9 @@ serving_bin="$build/bench/bench_ch7_serving"
 daemon_bin="$build/bench/bench_served_daemon"
 robustness_bin="$build/bench/bench_ch7_robustness"
 scalability_bin="$build/bench/bench_ch7_scalability"
+refresh_bin="$build/bench/bench_ch7_refresh"
 for bin in "$serving_bin" "$daemon_bin" "$robustness_bin" \
-           "$scalability_bin"; do
+           "$scalability_bin" "$refresh_bin"; do
   if [ ! -x "$bin" ]; then
     echo "run_bench: $bin not built (cmake --build $build)" >&2
     exit 1
@@ -138,10 +140,12 @@ echo "run_bench: bench_served_daemon (daemon, TCP)..." >&2
 daemon_json="$("$daemon_bin")"
 echo "run_bench: bench_ch7_robustness (recovery error, checkpointing)..." >&2
 robustness_txt="$("$robustness_bin")"
+echo "run_bench: bench_ch7_refresh (incremental re-mine vs scratch)..." >&2
+refresh_txt="$("$refresh_bin")"
 
 SERVING_TXT="$serving_txt" DAEMON_JSON="$daemon_json" \
 ROBUSTNESS_TXT="$robustness_txt" KERNELS_JSON="$kernels_json" \
-SCALABILITY_TXT="$scalability_txt" OUT="$out" \
+SCALABILITY_TXT="$scalability_txt" REFRESH_TXT="$refresh_txt" OUT="$out" \
 python3 - <<'EOF'
 import json, os, re
 
@@ -218,6 +222,34 @@ for key, prefix in [("dot", "BM_KernelDot"),
     kernels[key] = {"ref_ns": round(ref, 1), "opt_ns": round(opt, 1),
                     "speedup": round(ref / opt, 3)}
 
+# bench_ch7_refresh rows: one "refresh vs full: ..." summary line plus the
+# dirty/clean/warm accounting row.
+refresh_txt = os.environ["REFRESH_TXT"]
+refresh = {}
+for line in refresh_txt.splitlines():
+    line = line.strip()
+    m = re.match(rf"refresh vs full: full {num}s, refresh {num}s\s+"
+                 rf"\({num}x speedup", line)
+    if m:
+        refresh.update({"full_remine_s": float(m.group(1)),
+                        "refresh_s": float(m.group(2)),
+                        "speedup_x": float(m.group(3))})
+        continue
+    m = re.match(r"refresh nodes: dirty (\d+) clean (\d+) warm_fits (\d+)",
+                 line)
+    if m:
+        refresh.update({"nodes_dirty": int(m.group(1)),
+                        "nodes_clean": int(m.group(2)),
+                        "warm_fits": int(m.group(3))})
+        continue
+    m = re.match(r"docs base=(\d+) delta=(\d+)", line)
+    if m:
+        refresh.update({"base_docs": int(m.group(1)),
+                        "delta_docs": int(m.group(2))})
+if "speedup_x" not in refresh:
+    raise SystemExit("run_bench: no speedup line parsed from "
+                     "bench_ch7_refresh output")
+
 # bench_ch7_scalability em_iter rows: "em_iter k=<k>  <mean_ms>  <p50_ms>".
 em_iter = {}
 for line in scalability_txt.splitlines():
@@ -231,7 +263,7 @@ if not em_iter:
 
 doc = {
     "bench": "micro kernels + ch7 scalability (EM iteration) + ch7 serving "
-             "+ latent_served daemon + ch7 robustness",
+             "+ latent_served daemon + ch7 robustness + incremental refresh",
     "kernels": kernels,
     "em_iteration_ms": em_iter,
     "engine_inprocess": engine,
@@ -241,6 +273,7 @@ doc = {
         "checkpoint_overhead": checkpoint,
         "resume": resume,
     },
+    "refresh": refresh,
 }
 with open(os.environ["OUT"], "w") as f:
     json.dump(doc, f, indent=2)

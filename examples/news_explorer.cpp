@@ -58,7 +58,7 @@ int main() {
 
   // Spectral alternative: STROD on the same text, deterministic and fast.
   std::printf("\n=== STROD (moment-based) flat topics on the same text ===\n");
-  strod::StrodOptions sopt;
+  core::SpectralOptions sopt;
   sopt.num_topics = 6;
   sopt.alpha0 = 1.0;
   sopt.seed = 5;

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "api/pipeline_internal.h"
 #include "ckpt/checkpoint.h"
 #include "strod/spectral_backend.h"
 
@@ -14,6 +15,9 @@ namespace {
 std::string Sprintf2(const char* what, long long got) {
   return std::string(what) + " (got " + std::to_string(got) + ")";
 }
+}  // namespace
+
+namespace internal {
 
 // Identity of a (input, options) pair for checkpoint compatibility: every
 // knob that shapes the tree — corpus dimensions, entity schema, collapse
@@ -59,7 +63,8 @@ uint64_t CheckpointFingerprint(const PipelineInput& input,
     << sp.min_docs;
   return ckpt::Fnv1a64(s.str());
 }
-}  // namespace
+
+}  // namespace internal
 
 Status PipelineOptions::Validate() const {
   const core::BuildOptions& b = build;
@@ -316,8 +321,11 @@ StatusOr<serve::HierarchyIndex> MinedHierarchy::MakeIndex(
   return serve::HierarchyIndex::Build(source, options, exec_.get());
 }
 
-StatusOr<MinedHierarchy> Mine(const PipelineInput& input,
-                              const PipelineOptions& options) {
+namespace internal {
+
+StatusOr<MinedHierarchy> RunPipeline(const PipelineInput& input,
+                                     const PipelineOptions& options,
+                                     const PipelineHooks& hooks) {
   if (Status s = input.Validate(); !s.ok()) return s;
   if (Status s = options.Validate(); !s.ok()) return s;
 
@@ -405,6 +413,10 @@ StatusOr<MinedHierarchy> Mine(const PipelineInput& input,
       if (Status s = checkpointer->Load(); !s.ok()) return s;
     }
   }
+  // The refresh path interposes its own FitCache here (seeding clean
+  // subtrees, warm-starting dirty ones) around the run's checkpointer.
+  core::FitCache* fit_cache = checkpointer.get();
+  if (hooks.wrap_cache) fit_cache = hooks.wrap_cache(checkpointer.get());
 
   // Inference plan: a non-EM backend threads per-document evidence down
   // the tree (split fractionally among subtopics at each level) and
@@ -429,7 +441,7 @@ StatusOr<MinedHierarchy> Mine(const PipelineInput& input,
   StatusOr<core::TopicHierarchy> tree = [&] {
     LATENT_OBS_SPAN(span, obs::RegistryOf(ob), "build");
     return core::TryBuildHierarchy(net.value(), options.build, ex, rc,
-                                   checkpointer.get(), ob, plan_ptr);
+                                   fit_cache, ob, plan_ptr);
   }();
   if (!tree.ok()) return tree.status();
   // Final snapshot: a bounded run that stopped mid-build leaves its whole
@@ -466,6 +478,13 @@ StatusOr<MinedHierarchy> Mine(const PipelineInput& input,
   }
 #endif
   return mined;
+}
+
+}  // namespace internal
+
+StatusOr<MinedHierarchy> Mine(const PipelineInput& input,
+                              const PipelineOptions& options) {
+  return internal::RunPipeline(input, options, {});
 }
 
 }  // namespace latent::api

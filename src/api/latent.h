@@ -153,7 +153,10 @@ struct PipelineInput {
 /// Lifetime contract: MinedHierarchy keeps a raw pointer to the input
 /// corpus (the KERT scorer indexes it in place; copying a production-scale
 /// corpus per result is off the table). The corpus passed to Mine() must
-/// therefore strictly outlive every MinedHierarchy mined from it. Accessors
+/// therefore strictly outlive every MinedHierarchy mined from it —
+/// except when the result owns its corpus via AdoptCorpus (the
+/// api::Refresh path, which mines from a merged corpus it assembles
+/// itself). Accessors
 /// LATENT_CHECK-fail on a default-constructed (corpus-less) instance, which
 /// exists only as the empty slot inside an errored StatusOr.
 class MinedHierarchy {
@@ -167,6 +170,23 @@ class MinedHierarchy {
   MinedHierarchy(const text::Corpus& corpus, core::TopicHierarchy tree,
                  phrase::PhraseDict dict, int word_type,
                  std::shared_ptr<exec::Executor> exec = nullptr);
+
+  /// The corpus this result was mined from (the one passed to Mine(), or
+  /// the merged corpus built by api::Refresh).
+  const text::Corpus& corpus() const {
+    LATENT_CHECK_MSG(corpus_ != nullptr, "empty MinedHierarchy");
+    return *corpus_;
+  }
+
+  /// Takes shared ownership of the corpus this result references.
+  /// api::Refresh mines from a merged corpus it assembles internally;
+  /// adopting it here upgrades the lifetime contract from "caller keeps the
+  /// corpus alive" to "the corpus lives as long as this result", without
+  /// copying. A no-op effect on accessors — corpus() still returns the same
+  /// object.
+  void AdoptCorpus(std::shared_ptr<const text::Corpus> corpus) {
+    owned_corpus_ = std::move(corpus);
+  }
 
   /// The mined topic hierarchy (topics, phi vectors, tree structure).
   const core::TopicHierarchy& tree() const {
@@ -240,6 +260,8 @@ class MinedHierarchy {
 
  private:
   const text::Corpus* corpus_ = nullptr;
+  /// Set only via AdoptCorpus (the Refresh path); aliases corpus_ then.
+  std::shared_ptr<const text::Corpus> owned_corpus_;
   // Heap-held so the KERT scorer's internal pointers to them survive moves
   // of this object (e.g. into/out of a StatusOr).
   std::unique_ptr<core::TopicHierarchy> tree_;

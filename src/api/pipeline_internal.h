@@ -1,0 +1,48 @@
+// Internal seams of the one-call pipeline, shared between api::Mine and
+// api::Refresh. Not part of the public surface — tools and tests should
+// stay on api/latent.h + api/refresh.h; this header exists so the refresh
+// path can reuse Mine's wiring (fingerprint, checkpointer, executor,
+// observability) instead of duplicating it.
+#ifndef LATENT_API_PIPELINE_INTERNAL_H_
+#define LATENT_API_PIPELINE_INTERNAL_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "api/latent.h"
+#include "ckpt/checkpoint.h"
+#include "core/builder.h"
+
+namespace latent::api::internal {
+
+/// Hooks into RunPipeline's wiring. All optional; the default-constructed
+/// value reproduces Mine() exactly.
+struct PipelineHooks {
+  /// Called once, after the run's Checkpointer (null when
+  /// options.checkpoint_dir is empty) has been created — and, under
+  /// options.resume, Loaded — and before the hierarchy build starts.
+  /// Returns the FitCache the builder should consult instead of the
+  /// checkpointer; the returned cache must outlive the RunPipeline call.
+  /// api::Refresh wraps the checkpointer here to seed clean-subtree fits
+  /// and serve warm starts for dirty ones.
+  std::function<core::FitCache*(ckpt::Checkpointer*)> wrap_cache;
+};
+
+/// Identity of an (input, options) pair for checkpoint compatibility:
+/// corpus dimensions, entity schema, collapse toggles, and every build/
+/// cluster/inference knob that shapes the fits, hashed with FNV-1a 64.
+/// api::Refresh compares this (computed over the base corpus + options)
+/// against the base checkpoint's manifest fingerprint before reusing any
+/// recorded fit.
+uint64_t CheckpointFingerprint(const PipelineInput& input,
+                               const PipelineOptions& options);
+
+/// The body of api::Mine with hook seams: Mine(input, options) is exactly
+/// RunPipeline(input, options, {}).
+StatusOr<MinedHierarchy> RunPipeline(const PipelineInput& input,
+                                     const PipelineOptions& options,
+                                     const PipelineHooks& hooks);
+
+}  // namespace latent::api::internal
+
+#endif  // LATENT_API_PIPELINE_INTERNAL_H_

@@ -1,0 +1,385 @@
+#include "api/refresh.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "api/pipeline_internal.h"
+#include "ckpt/checkpoint.h"
+#include "core/builder.h"
+#include "core/inference.h"
+#include "obs/obs.h"
+
+namespace latent::api {
+
+namespace {
+
+std::string HexU64(uint64_t v) {
+  std::ostringstream s;
+  s << std::hex << v;
+  return s.str();
+}
+
+struct SavedFit {
+  int level = 0;
+  core::ClusterResult model;
+};
+
+// Extends a base-run fit to the merged node universes: every per-type
+// distribution is zero-padded to the merged type size (new words/entities
+// have zero mass under the old fit). With an empty delta the sizes are
+// unchanged and this is the identity — the byte-identity guarantee rests
+// on that.
+void RebaseFit(core::ClusterResult* m, const std::vector<int>& sizes) {
+  for (auto& per_type : m->phi) {
+    for (size_t x = 0; x < per_type.size() && x < sizes.size(); ++x) {
+      per_type[x].resize(static_cast<size_t>(sizes[x]), 0.0);
+    }
+  }
+  for (size_t x = 0; x < m->phi_bg.size() && x < sizes.size(); ++x) {
+    m->phi_bg[x].resize(static_cast<size_t>(sizes[x]), 0.0);
+  }
+  for (size_t x = 0; x < m->parent_phi.size() && x < sizes.size(); ++x) {
+    m->parent_phi[x].resize(static_cast<size_t>(sizes[x]), 0.0);
+  }
+}
+
+double Mass(const core::NodeEvidence& ev) {
+  double m = 0.0;
+  for (const core::SparseDoc& d : ev.docs) m += d.length;
+  return m;
+}
+
+// Marks every recorded fit strictly below `path` dirty (used when a dirty
+// node has no recorded fit to route through: the re-fit may change the
+// branching, so nothing below it can be trusted).
+void MarkSubtreeDirty(const std::string& path,
+                      const std::map<std::string, SavedFit>& fits,
+                      std::set<std::string>* dirty) {
+  const std::string prefix = path + "/";
+  for (auto it = fits.lower_bound(prefix);
+       it != fits.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    dirty->insert(it->first);
+  }
+}
+
+// Routes the delta evidence reaching `path` down the base tree and marks
+// dirty every subtree that absorbs at least route_threshold of its
+// parent's delta mass. Purely a function of the base fits and the delta —
+// a resumed (crashed) refresh recomputes the identical dirty set.
+void MarkDirty(const std::string& path,
+               const std::map<std::string, SavedFit>& fits,
+               const core::NodeEvidence& ev, const RefreshOptions& options,
+               std::set<std::string>* dirty) {
+  dirty->insert(path);
+  auto it = fits.find(path);
+  if (it == fits.end()) {
+    MarkSubtreeDirty(path, fits, dirty);
+    return;
+  }
+  const core::ClusterResult& model = it->second.model;
+  if (model.k < 1) {
+    MarkSubtreeDirty(path, fits, dirty);
+    return;
+  }
+  const double node_mass = Mass(ev);
+  const core::SpectralOptions& sp = options.pipeline.inference.spectral;
+  const std::vector<std::vector<double>> theta = core::InferEvidenceMixtures(
+      ev, model, /*word_type=*/0, sp.split_em_iters);
+  for (int z = 0; z < model.k; ++z) {
+    core::NodeEvidence sub =
+        core::SplitEvidence(ev, theta, model, z, /*word_type=*/0,
+                            sp.split_min_count, sp.split_min_doc_length);
+    const bool child_dirty =
+        options.route_threshold <= 0.0
+            ? true
+            : node_mass > 0.0 &&
+                  Mass(sub) >= options.route_threshold * node_mass;
+    if (child_dirty) {
+      MarkDirty(path + "/" + std::to_string(z + 1), fits, sub, options,
+                dirty);
+    }
+  }
+}
+
+// The refresh run's FitCache. Lookup/Record delegate to the run's durable
+// Checkpointer when one exists (pipeline.checkpoint_dir set) so partial
+// refreshes stay crash-safe; otherwise an in-memory map seeded with the
+// clean-subtree fits serves lookups. WarmStart serves the (rebased) base
+// fits of dirty paths — consulted by the builder only on a Lookup miss.
+class RefreshCache : public core::FitCache {
+ public:
+  RefreshCache(core::FitCache* inner, std::map<std::string, SavedFit> warm)
+      : inner_(inner), warm_(std::move(warm)) {}
+
+  bool Lookup(const std::string& path, core::ClusterResult* model) override {
+    if (inner_ != nullptr) return inner_->Lookup(path, model);
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = local_.find(path);
+    if (it == local_.end()) return false;
+    *model = it->second.model;
+    return true;
+  }
+
+  void Record(const std::string& path, int level,
+              const core::ClusterResult& model) override {
+    if (inner_ != nullptr) {
+      inner_->Record(path, level, model);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    local_[path] = SavedFit{level, model};
+  }
+
+  bool WarmStart(const std::string& path,
+                 core::ClusterResult* model) override {
+    // warm_ is immutable after construction: lock-free under the builder's
+    // concurrent subtree tasks.
+    auto it = warm_.find(path);
+    if (it == warm_.end()) return false;
+    *model = it->second.model;
+    return true;
+  }
+
+ private:
+  core::FitCache* inner_;  // the run's Checkpointer; may be null
+  const std::map<std::string, SavedFit> warm_;
+  std::mutex mu_;                          // guards local_
+  std::map<std::string, SavedFit> local_;  // used only when inner_ == null
+};
+
+}  // namespace
+
+Status RefreshOptions::Validate() const {
+  if (Status s = pipeline.Validate(); !s.ok()) return s;
+  if (base_checkpoint_dir.empty()) {
+    return Status::InvalidArgument(
+        "RefreshOptions.base_checkpoint_dir must name the base mine's "
+        "checkpoint directory");
+  }
+  if (!pipeline.checkpoint_dir.empty() &&
+      pipeline.checkpoint_dir == base_checkpoint_dir) {
+    return Status::InvalidArgument(
+        "RefreshOptions.pipeline.checkpoint_dir must differ from "
+        "base_checkpoint_dir (a refresh must never overwrite the base "
+        "snapshots it reads from)");
+  }
+  if (route_threshold > 1.0) {
+    std::ostringstream s;
+    s << "RefreshOptions.route_threshold must be <= 1 (got "
+      << route_threshold << ")";
+    return Status::InvalidArgument(s.str());
+  }
+  return Status::Ok();
+}
+
+StatusOr<MinedHierarchy> Refresh(const MinedHierarchy& existing,
+                                 const PipelineInput& delta,
+                                 const RefreshOptions& options) {
+  if (Status s = options.Validate(); !s.ok()) return s;
+  if (Status s = delta.Validate(); !s.ok()) return s;
+
+  const text::Corpus& base_corpus = existing.corpus();
+  const core::TopicHierarchy& base_tree = existing.tree();
+  if (base_tree.num_types() < 1) {
+    return Status::InvalidArgument(
+        "existing hierarchy declares no node types (not produced by Mine?)");
+  }
+
+  // The base entity schema is recoverable from the tree itself: collapsed-
+  // network type 0 is the term universe, types 1.. are the entity types.
+  EntitySchema base_schema(
+      {base_tree.type_names().begin() + 1, base_tree.type_names().end()},
+      {base_tree.type_sizes().begin() + 1, base_tree.type_sizes().end()});
+
+  PipelineInput base_input;
+  base_input.corpus = &base_corpus;
+  base_input.schema = base_schema;
+  base_input.entity_docs = options.base_entity_docs;
+  if (Status s = base_input.Validate(); !s.ok()) return s;
+
+  if (!delta.schema.names.empty() &&
+      delta.schema.names != base_schema.names) {
+    return Status::InvalidArgument(
+        "delta entity schema must repeat the base schema's type names "
+        "(universe sizes may grow)");
+  }
+  for (size_t t = 0; t < delta.schema.sizes.size(); ++t) {
+    if (t < base_schema.sizes.size() &&
+        delta.schema.sizes[t] < base_schema.sizes[t]) {
+      return Status::InvalidArgument(
+          "delta entity universe for type " + std::to_string(t) +
+          " shrank below the base size (" +
+          std::to_string(delta.schema.sizes[t]) + " < " +
+          std::to_string(base_schema.sizes[t]) + ")");
+    }
+  }
+
+  // Refuse a base checkpoint recorded under a different corpus/options
+  // combination — naming both fingerprints — instead of silently degrading
+  // to a full re-mine.
+  const uint64_t want_fp =
+      internal::CheckpointFingerprint(base_input, options.pipeline);
+  StatusOr<uint64_t> have_fp =
+      ckpt::ReadManifestFingerprint(options.base_checkpoint_dir);
+  if (!have_fp.ok()) return have_fp.status();
+  if (have_fp.value() != want_fp) {
+    return Status::FailedPrecondition(
+        "base checkpoint fingerprint mismatch: " + options.base_checkpoint_dir +
+        " was recorded under fingerprint " + HexU64(have_fp.value()) +
+        " but the given base corpus + RefreshOptions.pipeline fingerprint "
+        "is " +
+        HexU64(want_fp) +
+        "; refresh never guesses — fix the options or re-mine from scratch");
+  }
+
+  // Lift every recorded base fit. The fingerprint matched, so these are
+  // exactly the fits the base tree was built from.
+  ckpt::CheckpointOptions bco;
+  bco.dir = options.base_checkpoint_dir;
+  bco.fingerprint = want_fp;
+  ckpt::Checkpointer base_ckpt(bco, base_tree.type_sizes());
+  if (Status s = base_ckpt.Load(); !s.ok()) return s;
+  if (base_ckpt.resumed_fits() == 0) {
+    std::string why = base_ckpt.warning();
+    return Status::FailedPrecondition(
+        "base checkpoint in " + options.base_checkpoint_dir +
+        " holds no restorable fits" + (why.empty() ? "" : " (" + why + ")"));
+  }
+  std::map<std::string, SavedFit> base_fits;
+  base_ckpt.ForEachFit([&](const std::string& path, int level,
+                           const core::ClusterResult& model) {
+    base_fits.emplace(path, SavedFit{level, model});
+  });
+
+  // Merge: copy the base corpus, then re-intern the delta's tokens into
+  // the merged vocabulary (the delta may carry its own Vocabulary).
+  auto merged = std::make_shared<text::Corpus>(base_corpus);
+  const int base_docs = base_corpus.num_docs();
+  const text::Corpus& dc = *delta.corpus;
+  for (int d = 0; d < dc.num_docs(); ++d) {
+    const text::Document& doc = dc.docs()[d];
+    std::vector<int> ids(doc.tokens.size());
+    for (size_t i = 0; i < doc.tokens.size(); ++i) {
+      ids[i] = merged->mutable_vocab().Intern(dc.vocab().Token(doc.tokens[i]));
+    }
+    merged->AddDocumentIds(std::move(ids));
+    // AddDocumentIds makes a single segment; restore the delta's segment
+    // boundaries so phrase mining never crosses them.
+    merged->mutable_doc(base_docs + d).segment_starts = doc.segment_starts;
+  }
+
+  EntitySchema merged_schema = base_schema;
+  for (size_t t = 0;
+       t < delta.schema.sizes.size() && t < merged_schema.sizes.size(); ++t) {
+    merged_schema.sizes[t] =
+        std::max(merged_schema.sizes[t], delta.schema.sizes[t]);
+  }
+
+  const bool base_has_entities =
+      options.base_entity_docs != nullptr && !options.base_entity_docs->empty();
+  const bool delta_has_entities =
+      delta.entity_docs != nullptr && !delta.entity_docs->empty();
+  std::vector<hin::EntityDoc> merged_entities;
+  if (base_has_entities || delta_has_entities) {
+    merged_entities.resize(static_cast<size_t>(merged->num_docs()));
+    if (base_has_entities) {
+      std::copy(options.base_entity_docs->begin(),
+                options.base_entity_docs->end(), merged_entities.begin());
+    }
+    if (delta_has_entities) {
+      std::copy(delta.entity_docs->begin(), delta.entity_docs->end(),
+                merged_entities.begin() + base_docs);
+    }
+  }
+
+  PipelineInput merged_input;
+  merged_input.corpus = merged.get();
+  merged_input.schema = merged_schema;
+  if (!merged_entities.empty()) merged_input.entity_docs = &merged_entities;
+  if (Status s = merged_input.Validate(); !s.ok()) return s;
+
+  // Node universes of the merged collapsed network (type 0 = terms), the
+  // shape every reused/warm fit must be rebased to.
+  std::vector<int> merged_sizes;
+  merged_sizes.reserve(merged_schema.sizes.size() + 1);
+  merged_sizes.push_back(merged->vocab_size());
+  merged_sizes.insert(merged_sizes.end(), merged_schema.sizes.begin(),
+                      merged_schema.sizes.end());
+  for (auto& [path, fit] : base_fits) RebaseFit(&fit.model, merged_sizes);
+
+  // Delta evidence in merged vocabulary ids, routed down the base tree to
+  // find the subtrees whose fits the new documents actually touch.
+  core::NodeEvidence delta_ev;
+  delta_ev.docs.reserve(static_cast<size_t>(dc.num_docs()));
+  delta_ev.source.reserve(static_cast<size_t>(dc.num_docs()));
+  std::vector<int> sorted;
+  for (int d = base_docs; d < merged->num_docs(); ++d) {
+    sorted = merged->docs()[d].tokens;
+    std::sort(sorted.begin(), sorted.end());
+    core::SparseDoc doc;
+    for (size_t i = 0; i < sorted.size();) {
+      size_t j = i;
+      while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+      doc.counts.emplace_back(sorted[i], static_cast<double>(j - i));
+      i = j;
+    }
+    doc.length = static_cast<double>(sorted.size());
+    delta_ev.docs.push_back(std::move(doc));
+    delta_ev.source.push_back(d);
+  }
+
+  std::set<std::string> dirty;
+  if (options.route_threshold <= 0.0 || Mass(delta_ev) > 0.0) {
+    MarkDirty("o", base_fits, delta_ev, options, &dirty);
+  }
+
+  int dirty_count = 0;
+  std::map<std::string, SavedFit> warm;
+  for (const auto& [path, fit] : base_fits) {
+    if (dirty.count(path) == 0) continue;
+    ++dirty_count;
+    if (options.warm_start) warm.emplace(path, fit);
+  }
+  const int clean_count = static_cast<int>(base_fits.size()) - dirty_count;
+  if (options.pipeline.metrics != nullptr) {
+    obs::Scope scope(options.pipeline.metrics);
+    LATENT_OBS(obs::Count(&scope, "refresh.docs.delta",
+                          static_cast<uint64_t>(dc.num_docs())));
+    LATENT_OBS(obs::Count(&scope, "refresh.nodes.dirty",
+                          static_cast<uint64_t>(dirty_count)));
+    LATENT_OBS(obs::Count(&scope, "refresh.nodes.clean",
+                          static_cast<uint64_t>(clean_count)));
+  }
+
+  // Run the normal pipeline over the merged input, interposing the refresh
+  // cache: clean fits are seeded (the builder replays them bit-exactly),
+  // dirty fits miss and re-fit — warm-started when enabled. With a durable
+  // inner checkpointer the seeds are flushed immediately, so the refresh
+  // directory is a complete, resumable checkpoint of the merged run from
+  // the first second (SIGKILL-safe).
+  std::unique_ptr<RefreshCache> cache;
+  internal::PipelineHooks hooks;
+  hooks.wrap_cache = [&](ckpt::Checkpointer* inner) -> core::FitCache* {
+    cache = std::make_unique<RefreshCache>(inner, std::move(warm));
+    for (const auto& [path, fit] : base_fits) {
+      if (dirty.count(path) != 0) continue;
+      cache->Record(path, fit.level, fit.model);
+    }
+    if (inner != nullptr) inner->Flush();
+    return cache.get();
+  };
+
+  StatusOr<MinedHierarchy> mined =
+      internal::RunPipeline(merged_input, options.pipeline, hooks);
+  if (!mined.ok()) return mined.status();
+  mined.value().AdoptCorpus(merged);
+  return mined;
+}
+
+}  // namespace latent::api

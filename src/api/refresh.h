@@ -1,0 +1,85 @@
+// Incremental re-mining (api::Refresh): fold a delta corpus into an
+// already-mined hierarchy by re-fitting only the subtrees whose evidence
+// the delta actually touched. Clean subtrees are replayed byte-identically
+// from the base run's checkpoint; dirty ones are re-fit, optionally
+// warm-started from their base fit. The result is a full MinedHierarchy
+// over the merged corpus — exactly what latent_served publishes through
+// SnapshotHandle without downtime.
+//
+// Contract (see DESIGN.md, "Refresh & invalidation contract"):
+//   - An empty delta returns a hierarchy byte-identical to the base mine.
+//   - route_threshold <= 0 re-fits everything: the result is bit-identical
+//     to Mine() on the merged corpus (given warm_start == false).
+//   - A partial refresh (dirty subtrees re-fit against the merged network,
+//     clean subtrees reused as recorded) is a documented approximation of
+//     the full merged re-mine — deterministic at any thread count, but not
+//     bitwise equal to it.
+#ifndef LATENT_API_REFRESH_H_
+#define LATENT_API_REFRESH_H_
+
+#include <string>
+#include <vector>
+
+#include "api/latent.h"
+#include "common/status.h"
+#include "hin/collapse.h"
+
+namespace latent::api {
+
+/// Every knob of the incremental re-mine.
+struct RefreshOptions {
+  /// The pipeline configuration of the BASE mine — the exact options the
+  /// base checkpoint was recorded under (the fingerprint check enforces
+  /// this) — reused to drive the refresh run. `pipeline.checkpoint_dir` is
+  /// the REFRESH run's own checkpoint directory (optional; set it, plus
+  /// `pipeline.resume`, for crash-safe partial/budgeted refreshes) and must
+  /// differ from `base_checkpoint_dir`.
+  PipelineOptions pipeline;
+  /// Required: checkpoint directory of the base mine (the run that produced
+  /// `existing`). Its manifest fingerprint must match the base corpus +
+  /// `pipeline` exactly; a mismatch is kFailedPrecondition naming both
+  /// fingerprints — never a silent full re-mine.
+  std::string base_checkpoint_dir;
+  /// Entity attachments of the BASE corpus, when the base mine had
+  /// entities; null for a text-only base. Must match what the base mine
+  /// consumed (the fingerprint covers whether entities were present).
+  const std::vector<hin::EntityDoc>* base_entity_docs = nullptr;
+  /// A base subtree is re-fit (dirty) when the delta evidence mass routed
+  /// into it — via the base fit's inferred mixtures, split fractionally
+  /// down the tree — is at least this fraction of the delta mass reaching
+  /// its parent. <= 0 marks every subtree dirty (a full re-fit of the
+  /// merged corpus).
+  double route_threshold = 0.05;
+  /// Seed each dirty node's re-fit from its base fit: one EM restart
+  /// starting at the recorded parameters instead of cluster.restarts cold
+  /// ones. Deterministic at any thread count, but not bit-identical to a
+  /// cold fit. The spectral backend ignores warm starts (it has no
+  /// iterative state worth seeding).
+  bool warm_start = true;
+
+  /// Well-formedness: pipeline.Validate(), a non-empty
+  /// base_checkpoint_dir distinct from pipeline.checkpoint_dir, and
+  /// route_threshold <= 1.
+  Status Validate() const;
+};
+
+/// Re-mines `existing` with `delta` folded in. `existing` must have been
+/// produced by Mine() (or a previous Refresh()) whose builder checkpointed
+/// into options.base_checkpoint_dir; `delta.corpus` holds only the NEW
+/// documents (token strings are re-interned into the merged vocabulary, so
+/// the delta may use its own Vocabulary). delta.schema, when non-empty,
+/// must repeat the base entity type names; per-type universe sizes may
+/// grow.
+///
+/// The returned hierarchy spans the merged (base + delta) corpus and OWNS
+/// it — unlike Mine(), no external corpus needs to outlive the result.
+/// Errors: kInvalidArgument for malformed options/delta,
+/// kFailedPrecondition when the base checkpoint is missing, unreadable, or
+/// fingerprint-mismatched.
+StatusOr<MinedHierarchy> Refresh(const MinedHierarchy& existing,
+                                 const PipelineInput& delta,
+                                 const RefreshOptions& options);
+
+}  // namespace latent::api
+
+#endif  // LATENT_API_REFRESH_H_

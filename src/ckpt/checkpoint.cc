@@ -97,6 +97,23 @@ uint64_t Fnv1a64(const std::string& s) {
   return h;
 }
 
+StatusOr<uint64_t> ReadManifestFingerprint(const std::string& dir) {
+  StatusOr<std::string> manifest =
+      data::ReadFile(dir + "/" + kManifestFile);
+  if (!manifest.ok()) {
+    return Status::NotFound("no checkpoint manifest in " + dir);
+  }
+  std::istringstream in(manifest.value());
+  std::string magic, fp_hex;
+  in >> magic >> fp_hex;
+  uint64_t fp = 0;
+  if (!in || magic != kManifestMagic || !ParseHexU64(fp_hex, &fp)) {
+    return Status::FailedPrecondition("corrupt checkpoint manifest in " +
+                                      dir);
+  }
+  return fp;
+}
+
 Checkpointer::Checkpointer(CheckpointOptions options,
                            std::vector<int> type_sizes)
     : options_(std::move(options)),
@@ -372,6 +389,28 @@ bool Checkpointer::Lookup(const std::string& path,
   ++hits_;
   LATENT_OBS(obs::Count(obs_, "ckpt.lookup.hits"));
   return true;
+}
+
+void Checkpointer::ForEachFit(
+    const std::function<void(const std::string& path, int level,
+                             const core::ClusterResult& model)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Same shadowing rule as Lookup: a fit recorded this run wins over the
+  // restored snapshot entry for the same path. Both maps are path-ordered,
+  // so a classic two-pointer merge visits each path exactly once in order.
+  auto rec = fits_.begin();
+  auto res = restored_.begin();
+  while (rec != fits_.end() || res != restored_.end()) {
+    if (res == restored_.end() ||
+        (rec != fits_.end() && rec->first <= res->first)) {
+      if (res != restored_.end() && res->first == rec->first) ++res;
+      fn(rec->first, rec->second.level, rec->second.model);
+      ++rec;
+    } else {
+      fn(res->first, res->second.level, res->second.model);
+      ++res;
+    }
+  }
 }
 
 void Checkpointer::Record(const std::string& path, int level,

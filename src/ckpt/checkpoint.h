@@ -41,6 +41,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -75,6 +76,15 @@ struct CheckpointOptions {
 /// FNV-1a 64 over a byte string; shared by the snapshot framing, the
 /// manifest, and the options fingerprint.
 uint64_t Fnv1a64(const std::string& s);
+
+/// Reads the options fingerprint recorded in `dir`'s MANIFEST header
+/// without loading any snapshot. kNotFound when the manifest is absent,
+/// kFailedPrecondition when its header is unparseable. api::Refresh uses
+/// this to
+/// reject a refresh against a checkpoint from a different corpus/options
+/// combination up front, naming both fingerprints, instead of silently
+/// degrading to a full re-mine.
+StatusOr<uint64_t> ReadManifestFingerprint(const std::string& dir);
 
 /// Durable core::FitCache. Thread-safe: the builder records fits from
 /// concurrent pool tasks.
@@ -115,6 +125,15 @@ class Checkpointer : public core::FitCache {
   int resumed_fits() const { return static_cast<int>(restored_.size()); }
   /// Cache hits served to the builder since construction.
   int hits() const { return hits_; }
+
+  /// Enumerates every fit currently known — restored from disk plus
+  /// recorded this run (a recorded fit shadows its restored counterpart) —
+  /// in path order. api::Refresh uses this to lift a base tree's fits into
+  /// the refresh run. Do not call Record/Flush from inside `fn` (the fit
+  /// map lock is held).
+  void ForEachFit(
+      const std::function<void(const std::string& path, int level,
+                               const core::ClusterResult& model)>& fn) const;
   /// Non-empty once checkpointing degraded (flush failed after retries) or
   /// Load() fell back past an invalid snapshot / manifest. The build result
   /// is unaffected either way.

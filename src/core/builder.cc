@@ -162,6 +162,13 @@ void Expand(const hin::HeteroNetwork& net, const NodeEvidence* evidence,
     req.ex = state->ex;
     req.ctx = state->ctx;
     req.obs = state->obs;
+    // On a cache miss the cache may still hold a warm-start model for this
+    // path (api::Refresh seeds stale-but-close fits this way); the backend
+    // decides whether it can use it.
+    ClusterResult warm;
+    if (state->cache != nullptr && state->cache->WarmStart(path, &warm)) {
+      req.warm_start = &warm;
+    }
     StatusOr<ClusterResult> fit = backend->FitNode(req);
     if (!fit.ok()) {
       state->RecordError(fit.status());

@@ -54,6 +54,18 @@ class FitCache {
   /// Records the completed (non-diverged, k > 0) fit of the node at `path`.
   virtual void Record(const std::string& path, int level,
                       const ClusterResult& model) = 0;
+
+  /// Optional warm-start source, consulted only on a Lookup miss: fills
+  /// `*model` with a stale-but-close previous fit of the node at `path`
+  /// (api::Refresh supplies the base tree's checkpointed fit for dirty
+  /// subtrees) and returns true. The fit is NOT replayed — the backend
+  /// seeds its refit from it (see FitRequest::warm_start). The default has
+  /// no warm starts.
+  virtual bool WarmStart(const std::string& path, ClusterResult* model) {
+    (void)path;
+    (void)model;
+    return false;
+  }
 };
 
 /// Builds a topical hierarchy from the root network. The root's phi is the

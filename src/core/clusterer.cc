@@ -96,7 +96,8 @@ ClusterResult RunEm(const hin::HeteroNetwork& net,
                     const std::vector<std::vector<int>>& present,
                     std::vector<double> alpha, Rng* rng, Arena* arena,
                     exec::Executor* ex, const run::RunContext* ctx,
-                    const obs::Scope* obs_scope = nullptr) {
+                    const obs::Scope* obs_scope = nullptr,
+                    const ClusterResult* warm = nullptr) {
   const int k = options.num_topics;
   const int m = net.num_types();
   const int num_lt = net.num_link_types();
@@ -133,15 +134,28 @@ ClusterResult RunEm(const hin::HeteroNetwork& net,
   double* const denoms =
       arena->AllocArray<double>(total_links > 0 ? total_links : 1);
 
-  // Initialize phi with Dirichlet draws over present nodes.
+  // Initialize phi: from the warm-start model when one is supplied (the
+  // api::Refresh path — rows are smoothed with a tiny floor over present
+  // nodes so evidence that is new since the recorded fit can still gain
+  // mass), otherwise with Dirichlet draws over present nodes.
   for (int z = 0; z < k; ++z) {
     for (int x = 0; x < m; ++x) {
       if (present[x].empty()) continue;
       double* row = phi_tm[x] + static_cast<size_t>(z) * stride[x];
-      std::vector<double> draw =
-          rng->Dirichlet(1.0, static_cast<int>(present[x].size()));
-      for (size_t p = 0; p < present[x].size(); ++p) {
-        row[present[x][p]] = draw[p];
+      if (warm != nullptr) {
+        const std::vector<double>& src = warm->phi[z][x];
+        double total = 0.0;
+        for (int p : present[x]) {
+          row[p] = src[p] + 1e-8;
+          total += row[p];
+        }
+        for (int p : present[x]) row[p] /= total;
+      } else {
+        std::vector<double> draw =
+            rng->Dirichlet(1.0, static_cast<int>(present[x].size()));
+        for (size_t p = 0; p < present[x].size(); ++p) {
+          row[present[x][p]] = draw[p];
+        }
       }
     }
   }
@@ -150,21 +164,52 @@ ClusterResult RunEm(const hin::HeteroNetwork& net,
     for (int x = 0; x < m; ++x) {
       r.phi_bg[x].assign(net.type_size(x), 0.0);
       if (present[x].empty()) continue;
-      std::vector<double> draw =
-          rng->Dirichlet(1.0, static_cast<int>(present[x].size()));
-      for (size_t p = 0; p < present[x].size(); ++p) {
-        r.phi_bg[x][present[x][p]] = draw[p];
+      if (warm != nullptr && !warm->phi_bg.empty()) {
+        const std::vector<double>& src = warm->phi_bg[x];
+        double total = 0.0;
+        for (int p : present[x]) {
+          r.phi_bg[x][p] = src[p] + 1e-8;
+          total += r.phi_bg[x][p];
+        }
+        for (int p : present[x]) r.phi_bg[x][p] /= total;
+      } else {
+        std::vector<double> draw =
+            rng->Dirichlet(1.0, static_cast<int>(present[x].size()));
+        for (size_t p = 0; p < present[x].size(); ++p) {
+          r.phi_bg[x][present[x][p]] = draw[p];
+        }
       }
     }
   }
   double bg_share = bg ? 0.2 : 0.0;
-  if (options.rho_init_concentration > 0.0) {
-    r.rho = rng->Dirichlet(options.rho_init_concentration, k);
-    for (double& v : r.rho) v *= (1.0 - bg_share);
+  const bool warm_rho =
+      warm != nullptr && static_cast<int>(warm->rho.size()) == k &&
+      warm->rho_bg >= 0.0 && [&] {
+        double s = 0.0;
+        for (double v : warm->rho) {
+          if (!(v >= 0.0)) return false;
+          s += v;
+        }
+        return s > 0.0;
+      }();
+  if (warm_rho) {
+    // Reuse the recorded subtopic proportions, renormalized so rho+rho_bg
+    // sums to 1 under the current background setting.
+    double s = 0.0;
+    for (double v : warm->rho) s += v;
+    double s_bg = bg ? warm->rho_bg : 0.0;
+    r.rho = warm->rho;
+    for (double& v : r.rho) v /= (s + s_bg);
+    r.rho_bg = s_bg / (s + s_bg);
   } else {
-    r.rho.assign(k, (1.0 - bg_share) / k);
+    if (options.rho_init_concentration > 0.0) {
+      r.rho = rng->Dirichlet(options.rho_init_concentration, k);
+      for (double& v : r.rho) v *= (1.0 - bg_share);
+    } else {
+      r.rho.assign(k, (1.0 - bg_share) / k);
+    }
+    r.rho_bg = bg_share;
   }
-  r.rho_bg = bg_share;
 
   // Per-link-type raw totals and nonzero counts (for alpha learning).
   std::vector<double> raw_total(num_lt, 0.0);
@@ -494,6 +539,7 @@ ClusterResult RunEm(const hin::HeteroNetwork& net,
   // likelihood instead would read as EM divergence (non-finite parameters)
   // and turn a clean run-control stop into a spurious kInternal when every
   // restart of a node happened to stop at iteration zero.
+  r.em_iters = iters_done;
   if (stopped_early && iters_done == 0) {
     r.k = 0;
     export_phi();
@@ -525,10 +571,34 @@ std::vector<std::vector<double>> DegreeDistributions(
 ClusterResult FitCluster(const hin::HeteroNetwork& net,
                          const std::vector<std::vector<double>>& parent_phi,
                          const ClusterOptions& options, exec::Executor* ex,
-                         const run::RunContext* ctx, const obs::Scope* obs) {
+                         const run::RunContext* ctx, const obs::Scope* obs,
+                         const ClusterResult* warm) {
   LATENT_CHECK_GE(options.num_topics, 1);
   LATENT_CHECK_EQ(static_cast<int>(parent_phi.size()), net.num_types());
   LATENT_CHECK_GT(net.num_link_types(), 0);
+
+  // A warm-start model is only usable when its shape matches this fit
+  // exactly; anything else (stale k, resized types, diverged source)
+  // silently falls back to the cold path.
+  if (warm != nullptr) {
+    bool usable = !warm->diverged && warm->k == options.num_topics &&
+                  static_cast<int>(warm->phi.size()) == warm->k;
+    for (int z = 0; usable && z < warm->k; ++z) {
+      usable = static_cast<int>(warm->phi[z].size()) == net.num_types();
+      for (int x = 0; usable && x < net.num_types(); ++x) {
+        usable = static_cast<int>(warm->phi[z][x].size()) ==
+                 net.type_size(x);
+      }
+    }
+    if (usable && options.background) {
+      usable = static_cast<int>(warm->phi_bg.size()) == net.num_types();
+      for (int x = 0; usable && x < net.num_types(); ++x) {
+        usable =
+            static_cast<int>(warm->phi_bg[x].size()) == net.type_size(x);
+      }
+    }
+    if (!usable) warm = nullptr;
+  }
 
   const int num_lt = net.num_link_types();
   std::vector<double> alpha(num_lt, 1.0);
@@ -560,7 +630,9 @@ ClusterResult FitCluster(const hin::HeteroNetwork& net,
   // best-likelihood winner is picked in restart order (first wins ties),
   // matching the serial selection bit for bit.
   Rng rng(options.seed);
-  const int restarts = std::max(1, options.restarts);
+  // One restart when warm-starting: the restarts exist to escape bad random
+  // initializations, which a converged prior fit is not.
+  const int restarts = warm != nullptr ? 1 : std::max(1, options.restarts);
   std::vector<Rng> streams;
   streams.reserve(restarts);
   for (int restart = 0; restart < restarts; ++restart) {
@@ -577,7 +649,7 @@ ClusterResult FitCluster(const hin::HeteroNetwork& net,
     // below reuse its blocks via the Reset() inside RunEm.
     Arena arena;
     ClusterResult res = RunEm(net, parent_phi, options, present, alpha,
-                              &streams[restart], &arena, ex, ctx, obs);
+                              &streams[restart], &arena, ex, ctx, obs, warm);
     for (int attempt = 1;
          EmDiverged(res) && attempt <= options.max_em_retries &&
          !run::ShouldStop(ctx);
@@ -586,6 +658,8 @@ ClusterResult FitCluster(const hin::HeteroNetwork& net,
       Rng retry(options.seed ^
                 (0x9e3779b97f4a7c15ULL *
                  static_cast<uint64_t>(restart * 97 + attempt)));
+      // Divergence retries always restart cold: the warm init may itself
+      // be what diverged.
       res = RunEm(net, parent_phi, options, present, alpha, &retry, &arena,
                   ex, ctx, obs);
     }

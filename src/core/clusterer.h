@@ -105,6 +105,10 @@ struct ClusterResult {
   /// per-document mixtures for the fractional document split — persisted
   /// so a resumed build splits documents bit-identically.
   std::vector<double> dirichlet_alpha;
+  /// EM iterations the winning restart actually ran (0 for spectral fits).
+  /// Transient diagnostic — not checkpointed — used by the refresh path to
+  /// report warm-start iterations saved (refresh.warm.iters_saved).
+  int em_iters = 0;
 };
 
 /// Normalized weighted-degree distributions per node type; the default
@@ -135,12 +139,22 @@ std::vector<std::vector<double>> DegreeDistributions(
 /// ticks the progress sink between iterations. Observation only: metrics
 /// never influence the fit (results stay bit-identical with obs on, off,
 /// or compiled out).
+///
+/// A non-null `warm` warm-starts EM from a previously fitted model instead
+/// of random Dirichlet initializations (the api::Refresh path): `warm` must
+/// have k == options.num_topics and phi/phi_bg rows shaped like `net`'s
+/// type sizes, or it is ignored. A warm fit runs exactly one restart (the
+/// random-restart diversity is pointless when starting at a converged
+/// optimum); divergence retries fall back to cold seed-bumped starts.
+/// Warm-started results are deterministic for a given (net, options, warm)
+/// at every thread count, but are NOT bit-identical to a cold fit.
 ClusterResult FitCluster(const hin::HeteroNetwork& net,
                          const std::vector<std::vector<double>>& parent_phi,
                          const ClusterOptions& options,
                          exec::Executor* ex = nullptr,
                          const run::RunContext* ctx = nullptr,
-                         const obs::Scope* obs = nullptr);
+                         const obs::Scope* obs = nullptr,
+                         const ClusterResult* warm = nullptr);
 
 /// Extracts the subtopic-z subnetwork: link weights become the expected
 /// topic-z weight e-hat (Eq. 3.23); links below `min_weight` are dropped

@@ -32,7 +32,37 @@ std::vector<double> FlattenWordPhi(const ClusterResult& model, int word_type) {
 StatusOr<ClusterResult> EmBackend::FitNode(const FitRequest& req) {
   ClusterOptions copt = req.cluster;
   ClusterResult model;
-  if (req.fixed_k > 0) {
+  const ClusterResult* warm = req.warm_start;
+  // A warm start is usable only when it came from this backend, converged,
+  // and is compatible with the requested branching (a fixed k must match;
+  // selection pins k to the warm model's choice).
+  if (warm != nullptr &&
+      (warm->backend != FitBackend::kEm || warm->diverged || warm->k < 1 ||
+       (req.fixed_k > 0 && req.fixed_k != warm->k))) {
+    warm = nullptr;
+  }
+  if (warm != nullptr) {
+    copt.num_topics = warm->k;
+    if (req.fixed_k <= 0) {
+      // Mirror ExpectedSeed's k-selection bump: the recorded fit must pass
+      // the builder's resume cross-check as if SelectAndFit had chosen k.
+      copt.seed =
+          req.cluster.seed + static_cast<uint64_t>(warm->k) * 7919;
+    }
+    model = FitCluster(*req.net, *req.parent_phi, copt, req.ex, req.ctx,
+                       req.obs, warm);
+    if (model.k != 0) {
+      LATENT_OBS(obs::Count(req.obs, "refresh.warm.fits"));
+      // restarts - 1 full EM runs skipped, each of roughly the iteration
+      // count the single warm run needed (a deliberate underestimate: warm
+      // runs converge in fewer iterations than cold ones).
+      const int saved_restarts = std::max(0, req.cluster.restarts - 1);
+      LATENT_OBS(obs::Count(req.obs, "refresh.warm.restarts_saved",
+                            saved_restarts));
+      LATENT_OBS(obs::Count(req.obs, "refresh.warm.iters_saved",
+                            saved_restarts * model.em_iters));
+    }
+  } else if (req.fixed_k > 0) {
     copt.num_topics = req.fixed_k;
     model = FitCluster(*req.net, *req.parent_phi, copt, req.ex, req.ctx,
                        req.obs);

@@ -53,10 +53,9 @@ enum class InferenceBackendKind {
                   ///< auto_min_docs threshold.
 };
 
-/// Knobs of the spectral (STROD) backend. Collapses the former
-/// strod::StrodOptions / StrodTreeOptions pair into the one options struct
-/// nested under PipelineOptions (strod.h keeps thin deprecated aliases for
-/// one release).
+/// Knobs of the spectral (STROD) backend — the one options surface for
+/// spectral inference, nested under PipelineOptions::inference (the former
+/// strod::StrodOptions / StrodTreeOptions pair has been removed).
 struct SpectralOptions {
   /// Topic count for standalone FitStrod calls; the pipeline overrides it
   /// per node from levels_k / backend model selection.
@@ -121,6 +120,15 @@ struct FitRequest {
   /// Collapsed-network node type of words (InferencePlan::word_type).
   int word_type = 0;
   const SpectralOptions* spectral = nullptr;
+  /// Optional warm-start model for this node (the api::Refresh path): a
+  /// previously checkpointed fit whose subtree evidence changed. The EM
+  /// backend seeds its single restart from it (pinning k to warm_start->k
+  /// and bumping the seed exactly as k-selection would, so resume
+  /// cross-checks still hold); the spectral backend ignores it — moment
+  /// inference has no iterative initialization to reuse, and its fits are
+  /// already deterministic given the seed. Must stay valid for the
+  /// duration of the FitNode call.
+  const ClusterResult* warm_start = nullptr;
   exec::Executor* ex = nullptr;
   const run::RunContext* ctx = nullptr;
   const obs::Scope* obs = nullptr;

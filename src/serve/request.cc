@@ -1,0 +1,72 @@
+#include "serve/request.h"
+
+#include <string>
+
+namespace latent::serve {
+namespace {
+
+constexpr const char* kWs = " \t\r";
+
+// Strict non-negative integer parse (digits only, no sign, no trailing
+// junk). The tools/ flag helpers are CLI-side; the library keeps its own.
+bool ParseDepth(std::string_view s, long long* out) {
+  if (s.empty() || s.size() > 9) return false;
+  long long v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + (c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+StatusOr<Request> ParseRequest(std::string_view line) {
+  const size_t begin = line.find_first_not_of(kWs);
+  if (begin == std::string_view::npos) {
+    return Status::InvalidArgument("empty request");
+  }
+  const size_t last = line.find_last_not_of(kWs);
+  std::string_view trimmed = line.substr(begin, last - begin + 1);
+  const size_t space = trimmed.find_first_of(kWs);
+  const std::string verb(trimmed.substr(0, space));
+  std::string_view rest;
+  if (space != std::string_view::npos) {
+    const size_t arg_begin = trimmed.find_first_not_of(kWs, space);
+    if (arg_begin != std::string_view::npos) rest = trimmed.substr(arg_begin);
+  }
+  Request req;
+  req.k = -1;
+  if (verb == "lookup") {
+    req.kind = RequestKind::kLookup;
+  } else if (verb == "search") {
+    req.kind = RequestKind::kSearch;
+  } else if (verb == "entity") {
+    req.kind = RequestKind::kEntity;
+  } else if (verb == "subtree") {
+    req.kind = RequestKind::kSubtree;
+    const size_t sep = rest.find_first_of(kWs);
+    if (sep != std::string_view::npos) {
+      const size_t depth_begin = rest.find_first_not_of(kWs, sep);
+      long long depth = 0;
+      if (depth_begin == std::string_view::npos ||
+          !ParseDepth(rest.substr(depth_begin), &depth)) {
+        return Status::InvalidArgument(
+            "subtree depth must be a non-negative integer");
+      }
+      req.k = static_cast<int>(depth);
+      rest = rest.substr(0, rest.find_last_not_of(kWs, sep) + 1);
+    }
+  } else {
+    return Status::InvalidArgument(
+        "unknown verb \"" + verb + "\" (expected lookup/search/entity/subtree)");
+  }
+  if (rest.empty()) {
+    return Status::InvalidArgument(verb + " needs an argument");
+  }
+  req.arg = std::string(rest);
+  return req;
+}
+
+}  // namespace latent::serve

@@ -1,0 +1,31 @@
+// One typed parser for the serving request grammar, shared by the
+// latent_serve REPL and the latent_served wire decoder so the verb surface
+// (lookup/search/entity/subtree, plus any future verbs) is defined exactly
+// once with uniform error wording.
+#ifndef LATENT_SERVE_REQUEST_H_
+#define LATENT_SERVE_REQUEST_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "serve/engine.h"
+
+namespace latent::serve {
+
+/// Parses one request in the canonical verb grammar
+///
+///   lookup PATH | search WORDS | entity NAME | subtree PATH [DEPTH]
+///
+/// Leading/trailing whitespace is ignored; everything after the verb is the
+/// argument verbatim (entity names and search queries may contain spaces),
+/// except that `subtree` accepts one optional trailing DEPTH token, parsed
+/// into Request::k (otherwise k stays -1 = caller default). Failures are
+/// kInvalidArgument with uniform wording: "empty request",
+/// `unknown verb "X" (expected lookup/search/entity/subtree)`,
+/// "<verb> needs an argument", and
+/// "subtree depth must be a non-negative integer".
+StatusOr<Request> ParseRequest(std::string_view line);
+
+}  // namespace latent::serve
+
+#endif  // LATENT_SERVE_REQUEST_H_

@@ -10,6 +10,7 @@
 
 #include "common/check.h"
 #include "common/failpoint.h"
+#include "serve/request.h"
 
 namespace latent::served {
 
@@ -52,25 +53,6 @@ const char* VerbToken(Verb verb) {
       return "h";
   }
   return "ping";
-}
-
-bool TokenToVerb(const std::string& token, Verb* verb) {
-  if (token == "lookup") {
-    *verb = Verb::kLookup;
-  } else if (token == "search") {
-    *verb = Verb::kSearch;
-  } else if (token == "entity") {
-    *verb = Verb::kEntity;
-  } else if (token == "subtree") {
-    *verb = Verb::kSubtree;
-  } else if (token == "ping") {
-    *verb = Verb::kPing;
-  } else if (token == "h" || token == "health") {
-    *verb = Verb::kHealth;
-  } else {
-    return false;
-  }
-  return true;
 }
 
 // Splits the next space-delimited token of `s` starting at *pos; advances
@@ -161,14 +143,46 @@ Status DecodeRequest(const std::string& payload, WireRequest* req) {
     return Malformed("k must be an integer >= -1");
   }
   if (!NextToken(payload, &pos, &token)) return Malformed("missing verb");
-  Verb verb = Verb::kPing;
-  if (!TokenToVerb(token, &verb)) return Malformed("unknown verb");
   std::string arg = pos < payload.size() ? payload.substr(pos) : "";
-  if (verb != Verb::kPing && verb != Verb::kHealth && arg.empty()) {
-    return Malformed("query verb needs an argument");
-  }
   if (arg.find('\0') != std::string::npos) {
     return Malformed("argument contains a NUL byte");
+  }
+  Verb verb = Verb::kPing;
+  if (token == "ping") {
+    // Transport-level verbs: no argument grammar.
+    verb = Verb::kPing;
+  } else if (token == "h" || token == "health") {
+    verb = Verb::kHealth;
+  } else {
+    // Query verbs share the REPL grammar (serve::ParseRequest defines it
+    // exactly once): verb + argument, with subtree's optional trailing
+    // DEPTH parsed into the per-request k when the header left it -1.
+    std::string line = token;
+    if (!arg.empty()) {
+      line += ' ';
+      line += arg;
+    }
+    StatusOr<serve::Request> parsed = serve::ParseRequest(line);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument("malformed frame: " +
+                                     parsed.status().message());
+    }
+    switch (parsed.value().kind) {
+      case serve::RequestKind::kLookup:
+        verb = Verb::kLookup;
+        break;
+      case serve::RequestKind::kSearch:
+        verb = Verb::kSearch;
+        break;
+      case serve::RequestKind::kEntity:
+        verb = Verb::kEntity;
+        break;
+      case serve::RequestKind::kSubtree:
+        verb = Verb::kSubtree;
+        break;
+    }
+    arg = std::move(parsed.value().arg);
+    if (k == -1 && parsed.value().k >= 0) k = parsed.value().k;
   }
   req->verb = verb;
   req->arg = std::move(arg);

@@ -11,7 +11,6 @@
 #include "common/math_util.h"
 #include "common/rng.h"
 #include "obs/trace.h"
-#include "strod/spectral_backend.h"
 
 namespace latent::strod {
 
@@ -468,23 +467,6 @@ std::vector<std::vector<double>> InferDocTopics(
     }
   }
   return theta;
-}
-
-core::TopicHierarchy BuildStrodHierarchy(const std::vector<SparseDoc>& docs,
-                                         int vocab_size,
-                                         const StrodTreeOptions& options) {
-  core::BuildOptions build;
-  build.levels_k = options.levels_k;
-  build.max_depth = options.max_depth;
-  build.min_network_weight = options.min_node_weight;
-  build.cluster.seed = options.base.seed;
-  core::InferenceOptions inference;
-  inference.backend = core::InferenceBackendKind::kSpectral;
-  inference.spectral = options.base;
-  StatusOr<core::TopicHierarchy> tree =
-      TryBuildSpectralHierarchy(docs, vocab_size, build, inference);
-  LATENT_CHECK_MSG(tree.ok(), tree.status().message().c_str());
-  return std::move(tree.value());
 }
 
 }  // namespace latent::strod

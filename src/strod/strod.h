@@ -39,11 +39,6 @@ using SparseDoc = core::SparseDoc;
 /// Converts a tokenized corpus to sparse count vectors.
 std::vector<SparseDoc> ToSparseDocs(const text::Corpus& corpus);
 
-/// DEPRECATED alias, kept for one release: the STROD knobs are now
-/// core::SpectralOptions, nested under PipelineOptions::inference. The
-/// field set is identical (plus the document-split knobs the builder uses).
-using StrodOptions = core::SpectralOptions;
-
 struct StrodResult {
   /// topic_word[z][w]: recovered word distribution of topic z.
   std::vector<std::vector<double>> topic_word;
@@ -88,29 +83,6 @@ int SelectTopicCount(const std::vector<SparseDoc>& docs, int vocab_size,
 std::vector<std::vector<double>> InferDocTopics(
     const std::vector<SparseDoc>& docs, const StrodResult& model,
     int em_iters = 20);
-
-/// DEPRECATED, kept for one release: tree shape knobs for the standalone
-/// BuildStrodHierarchy wrapper. New code passes core::BuildOptions +
-/// core::InferenceOptions to TryBuildSpectralHierarchy
-/// (strod/spectral_backend.h) — or simply sets
-/// PipelineOptions::inference.backend = kSpectral and calls api::Mine.
-struct StrodTreeOptions {
-  /// Branching per level (like core::BuildOptions::levels_k).
-  std::vector<int> levels_k = {4, 3};
-  int max_depth = 2;
-  /// Minimum total link weight (term co-occurrence mass) for a node to be
-  /// split; forwarded to core::BuildOptions::min_network_weight.
-  double min_node_weight = 500.0;
-  core::SpectralOptions base;
-};
-
-/// DEPRECATED, kept for one release: builds a word-type topic hierarchy
-/// (node type 0 = "term") with the spectral backend. CHECK-fails on
-/// unrecoverable numerical failure — call TryBuildSpectralHierarchy for a
-/// StatusOr and the full pipeline contract (run control, caching, obs).
-core::TopicHierarchy BuildStrodHierarchy(const std::vector<SparseDoc>& docs,
-                                         int vocab_size,
-                                         const StrodTreeOptions& options);
 
 }  // namespace latent::strod
 

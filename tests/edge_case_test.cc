@@ -97,7 +97,7 @@ TEST(EdgeCaseTest, StrodWithShortDocumentsOnly) {
     docs[d].counts = {{d % 10, 1.0}, {(d + 1) % 10, 1.0}};
     docs[d].length = 2.0;
   }
-  strod::StrodOptions opt;
+  core::SpectralOptions opt;
   opt.num_topics = 2;
   opt.seed = 5;
   strod::StrodResult r = strod::FitStrod(docs, 10, opt);

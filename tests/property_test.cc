@@ -206,7 +206,7 @@ TEST_P(SeedSweep, StrodTopicsAreValidDistributions) {
     for (auto& [w, c] : counts) d.counts.emplace_back(w, c);
     d.length = len;
   }
-  strod::StrodOptions opt;
+  core::SpectralOptions opt;
   opt.num_topics = 3;
   opt.seed = GetParam();
   strod::StrodResult r = strod::FitStrod(docs, vocab, opt);

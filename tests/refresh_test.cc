@@ -1,0 +1,346 @@
+// api::Refresh determinism contract: option validation, fingerprint
+// gating (a mismatched base checkpoint is refused naming both
+// fingerprints, never silently re-mined), the empty-delta byte-identity
+// guarantee, the route_threshold<=0 + cold-start equivalence with a
+// from-scratch mine over the merged corpus, thread-count invariance of
+// the warm partial refresh, and budget-interrupted refreshes resuming
+// byte-identically.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/latent.h"
+#include "api/refresh.h"
+#include "core/serialize.h"
+#include "data/synthetic_hin.h"
+#include "obs/metrics.h"
+#include "text/corpus.h"
+
+namespace latent {
+namespace {
+
+std::string TempDirFor(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  // Start every test from an empty directory: remove any snapshot files a
+  // previous run of the same test left behind.
+  ::system(("rm -rf " + dir).c_str());
+  return dir;
+}
+
+data::HinDataset SmallDs() {
+  data::HinDatasetOptions opt = data::DblpLikeOptions(500, 55);
+  opt.num_areas = 3;
+  opt.subareas_per_area = 2;
+  return data::GenerateHinDataset(opt);
+}
+
+api::PipelineOptions SmallOptions(int num_threads = 1) {
+  api::PipelineOptions opt;
+  opt.build.levels_k = {3, 2};
+  opt.build.max_depth = 2;
+  opt.build.cluster.restarts = 2;
+  opt.build.cluster.max_iters = 50;
+  opt.build.cluster.seed = 7;
+  opt.miner.min_support = 4;
+  opt.exec.num_threads = num_threads;
+  return opt;
+}
+
+std::string TreeBytes(const api::MinedHierarchy& mined) {
+  return core::SerializeHierarchy(mined.tree());
+}
+
+// Re-interns docs [begin, end) of `src` into a fresh corpus, preserving
+// segment boundaries. Interning in document order reproduces exactly the
+// vocabulary Refresh builds when it folds delta docs into the base corpus.
+text::Corpus SliceCorpus(const text::Corpus& src, int begin, int end) {
+  text::Corpus out;
+  for (int d = begin; d < end; ++d) {
+    const text::Document& doc = src.docs()[d];
+    std::vector<int> ids;
+    ids.reserve(doc.tokens.size());
+    for (int t : doc.tokens) {
+      ids.push_back(out.mutable_vocab().Intern(src.vocab().Token(t)));
+    }
+    out.AddDocumentIds(std::move(ids));
+    out.mutable_doc(out.num_docs() - 1).segment_starts = doc.segment_starts;
+  }
+  return out;
+}
+
+// One dataset split into a base slice (mined normally, checkpointed) and a
+// delta tail (folded in by Refresh). `merged` re-interns all docs in order,
+// which is bitwise the corpus Refresh assembles internally.
+struct SplitDs {
+  data::HinDataset all;
+  text::Corpus base;
+  text::Corpus delta;
+  text::Corpus merged;
+  std::vector<hin::EntityDoc> base_ents;
+  std::vector<hin::EntityDoc> delta_ents;
+};
+
+SplitDs MakeSplit(int delta_docs) {
+  SplitDs s;
+  s.all = SmallDs();
+  const int n = s.all.corpus.num_docs();
+  const int cut = n - delta_docs;
+  s.base = SliceCorpus(s.all.corpus, 0, cut);
+  s.delta = SliceCorpus(s.all.corpus, cut, n);
+  s.merged = SliceCorpus(s.all.corpus, 0, n);
+  s.base_ents.assign(s.all.entity_docs.begin(),
+                     s.all.entity_docs.begin() + cut);
+  s.delta_ents.assign(s.all.entity_docs.begin() + cut,
+                      s.all.entity_docs.end());
+  return s;
+}
+
+api::EntitySchema SchemaOf(const SplitDs& s) {
+  return api::EntitySchema(s.all.entity_type_names, s.all.entity_type_sizes);
+}
+
+// ---------------------------------------------------------------------------
+// Option validation.
+// ---------------------------------------------------------------------------
+
+TEST(RefreshOptionsTest, EmptyBaseCheckpointDirIsRejected) {
+  api::RefreshOptions opt;
+  const Status st = opt.Validate();
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("base_checkpoint_dir"), std::string::npos)
+      << st.message();
+}
+
+TEST(RefreshOptionsTest, RefreshDirMustDifferFromBaseDir) {
+  api::RefreshOptions opt;
+  opt.base_checkpoint_dir = "/tmp/same";
+  opt.pipeline.checkpoint_dir = "/tmp/same";
+  const Status st = opt.Validate();
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("must differ"), std::string::npos)
+      << st.message();
+}
+
+TEST(RefreshOptionsTest, RouteThresholdAboveOneIsRejected) {
+  api::RefreshOptions opt;
+  opt.base_checkpoint_dir = "/tmp/base";
+  opt.route_threshold = 1.5;
+  const Status st = opt.Validate();
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("route_threshold"), std::string::npos)
+      << st.message();
+  EXPECT_NE(st.message().find("(got"), std::string::npos) << st.message();
+}
+
+// ---------------------------------------------------------------------------
+// Base checkpoint gating.
+// ---------------------------------------------------------------------------
+
+TEST(RefreshGatingTest, MissingBaseCheckpointIsNotFound) {
+  SplitDs s = MakeSplit(5);
+  api::PipelineInput base_input(s.base, SchemaOf(s), s.base_ents);
+  StatusOr<api::MinedHierarchy> base = api::Mine(base_input, SmallOptions(1));
+  ASSERT_TRUE(base.ok()) << base.status().message();
+
+  api::RefreshOptions ropt;
+  ropt.pipeline = SmallOptions(1);
+  ropt.base_checkpoint_dir = TempDirFor("refresh_no_such_ckpt");  // never written
+  ropt.base_entity_docs = &s.base_ents;
+  api::PipelineInput delta(s.delta, SchemaOf(s), s.delta_ents);
+  StatusOr<api::MinedHierarchy> got = api::Refresh(base.value(), delta, ropt);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kNotFound)
+      << got.status().message();
+}
+
+TEST(RefreshGatingTest, FingerprintMismatchIsRefusedNamingBothFingerprints) {
+  const std::string dir = TempDirFor("refresh_fp_mismatch");
+  SplitDs s = MakeSplit(5);
+  api::PipelineInput base_input(s.base, SchemaOf(s), s.base_ents);
+  api::PipelineOptions mopt = SmallOptions(1);
+  mopt.checkpoint_dir = dir;
+  StatusOr<api::MinedHierarchy> base = api::Mine(base_input, mopt);
+  ASSERT_TRUE(base.ok()) << base.status().message();
+
+  // The refresh claims a different clustering seed than the checkpoint was
+  // recorded under: refused with both fingerprints spelled out — never a
+  // silent full re-mine under the wrong options.
+  api::RefreshOptions ropt;
+  ropt.pipeline = SmallOptions(1);
+  ropt.pipeline.build.cluster.seed = 8;
+  ropt.base_checkpoint_dir = dir;
+  ropt.base_entity_docs = &s.base_ents;
+  api::PipelineInput delta(s.delta, SchemaOf(s), s.delta_ents);
+  StatusOr<api::MinedHierarchy> got = api::Refresh(base.value(), delta, ropt);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kFailedPrecondition)
+      << got.status().message();
+  const std::string& msg = got.status().message();
+  EXPECT_NE(msg.find("fingerprint mismatch"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("was recorded under fingerprint"), std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("refresh never guesses"), std::string::npos) << msg;
+}
+
+// ---------------------------------------------------------------------------
+// Determinism contract, at several thread counts.
+// ---------------------------------------------------------------------------
+
+class RefreshDeterminismTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RefreshDeterminismTest, EmptyDeltaIsByteIdenticalToBase) {
+  const int threads = GetParam();
+  const std::string dir =
+      TempDirFor("refresh_empty_t" + std::to_string(threads));
+  SplitDs s = MakeSplit(5);
+  api::PipelineInput base_input(s.base, SchemaOf(s), s.base_ents);
+  api::PipelineOptions mopt = SmallOptions(threads);
+  mopt.checkpoint_dir = dir;
+  StatusOr<api::MinedHierarchy> base = api::Mine(base_input, mopt);
+  ASSERT_TRUE(base.ok()) << base.status().message();
+
+  text::Corpus empty;
+  api::PipelineInput delta(empty);
+  api::RefreshOptions ropt;
+  ropt.pipeline = SmallOptions(threads);
+  ropt.base_checkpoint_dir = dir;
+  ropt.base_entity_docs = &s.base_ents;
+  StatusOr<api::MinedHierarchy> got = api::Refresh(base.value(), delta, ropt);
+  ASSERT_TRUE(got.ok()) << got.status().message();
+  EXPECT_EQ(TreeBytes(got.value()), TreeBytes(base.value()));
+  EXPECT_EQ(got.value().corpus().num_docs(), s.base.num_docs());
+}
+
+TEST_P(RefreshDeterminismTest, FullRefitMatchesScratchMineBitwise) {
+  const int threads = GetParam();
+  const std::string dir =
+      TempDirFor("refresh_full_t" + std::to_string(threads));
+  SplitDs s = MakeSplit(5);
+  api::PipelineInput base_input(s.base, SchemaOf(s), s.base_ents);
+  api::PipelineOptions mopt = SmallOptions(threads);
+  mopt.checkpoint_dir = dir;
+  StatusOr<api::MinedHierarchy> base = api::Mine(base_input, mopt);
+  ASSERT_TRUE(base.ok()) << base.status().message();
+
+  // route_threshold <= 0 marks every subtree dirty; with warm starts off
+  // the refresh is a full cold re-mine of the merged corpus and must match
+  // a from-scratch Mine() over it bit for bit.
+  api::RefreshOptions ropt;
+  ropt.pipeline = SmallOptions(threads);
+  ropt.base_checkpoint_dir = dir;
+  ropt.base_entity_docs = &s.base_ents;
+  ropt.route_threshold = 0.0;
+  ropt.warm_start = false;
+  api::PipelineInput delta(s.delta, SchemaOf(s), s.delta_ents);
+  StatusOr<api::MinedHierarchy> got = api::Refresh(base.value(), delta, ropt);
+  ASSERT_TRUE(got.ok()) << got.status().message();
+
+  api::PipelineInput merged_input(s.merged, SchemaOf(s), s.all.entity_docs);
+  StatusOr<api::MinedHierarchy> scratch =
+      api::Mine(merged_input, SmallOptions(threads));
+  ASSERT_TRUE(scratch.ok()) << scratch.status().message();
+  EXPECT_EQ(TreeBytes(got.value()), TreeBytes(scratch.value()));
+}
+
+TEST_P(RefreshDeterminismTest, WarmPartialRefreshIsThreadCountInvariant) {
+  const int threads = GetParam();
+  const std::string dir =
+      TempDirFor("refresh_warm_t" + std::to_string(threads));
+  const std::string ref_dir =
+      TempDirFor("refresh_warm_ref_t" + std::to_string(threads));
+  SplitDs s = MakeSplit(5);
+  api::PipelineInput base_input(s.base, SchemaOf(s), s.base_ents);
+
+  // Base checkpoints are bit-identical at any thread count, so a 1-thread
+  // base feeds the reference refresh and a `threads`-thread base feeds the
+  // refresh under test; the two refreshes must agree bitwise.
+  api::PipelineOptions mopt = SmallOptions(threads);
+  mopt.checkpoint_dir = dir;
+  StatusOr<api::MinedHierarchy> base = api::Mine(base_input, mopt);
+  ASSERT_TRUE(base.ok()) << base.status().message();
+  api::PipelineOptions ref_mopt = SmallOptions(1);
+  ref_mopt.checkpoint_dir = ref_dir;
+  StatusOr<api::MinedHierarchy> ref_base = api::Mine(base_input, ref_mopt);
+  ASSERT_TRUE(ref_base.ok()) << ref_base.status().message();
+
+  obs::Registry metrics;
+  api::RefreshOptions ropt;
+  ropt.pipeline = SmallOptions(threads);
+  ropt.pipeline.metrics = &metrics;
+  ropt.base_checkpoint_dir = dir;
+  ropt.base_entity_docs = &s.base_ents;
+  api::PipelineInput delta(s.delta, SchemaOf(s), s.delta_ents);
+  StatusOr<api::MinedHierarchy> got = api::Refresh(base.value(), delta, ropt);
+  ASSERT_TRUE(got.ok()) << got.status().message();
+
+  api::RefreshOptions ref_ropt;
+  ref_ropt.pipeline = SmallOptions(1);
+  ref_ropt.base_checkpoint_dir = ref_dir;
+  ref_ropt.base_entity_docs = &s.base_ents;
+  StatusOr<api::MinedHierarchy> ref =
+      api::Refresh(ref_base.value(), delta, ref_ropt);
+  ASSERT_TRUE(ref.ok()) << ref.status().message();
+  EXPECT_EQ(TreeBytes(got.value()), TreeBytes(ref.value()));
+
+  // The refresh accounted for its work: the delta was seen, the root went
+  // dirty (delta mass always reaches it), and at least one dirty node was
+  // warm-started from its recorded base fit.
+  EXPECT_EQ(metrics.CounterValue("refresh.docs.delta"),
+            static_cast<uint64_t>(s.delta.num_docs()));
+  EXPECT_GE(metrics.CounterValue("refresh.nodes.dirty"), 1u);
+  EXPECT_GE(metrics.CounterValue("refresh.warm.fits"), 1u);
+}
+
+TEST_P(RefreshDeterminismTest, BudgetInterruptedRefreshResumesBitIdentical) {
+  const int threads = GetParam();
+  const std::string base_dir =
+      TempDirFor("refresh_budget_base_t" + std::to_string(threads));
+  const std::string refresh_dir =
+      TempDirFor("refresh_budget_run_t" + std::to_string(threads));
+  SplitDs s = MakeSplit(5);
+  api::PipelineInput base_input(s.base, SchemaOf(s), s.base_ents);
+  api::PipelineOptions mopt = SmallOptions(threads);
+  mopt.checkpoint_dir = base_dir;
+  StatusOr<api::MinedHierarchy> base = api::Mine(base_input, mopt);
+  ASSERT_TRUE(base.ok()) << base.status().message();
+
+  api::PipelineInput delta(s.delta, SchemaOf(s), s.delta_ents);
+
+  // Reference: one uninterrupted, un-checkpointed refresh.
+  api::RefreshOptions ref_ropt;
+  ref_ropt.pipeline = SmallOptions(threads);
+  ref_ropt.base_checkpoint_dir = base_dir;
+  ref_ropt.base_entity_docs = &s.base_ents;
+  StatusOr<api::MinedHierarchy> ref =
+      api::Refresh(base.value(), delta, ref_ropt);
+  ASSERT_TRUE(ref.ok()) << ref.status().message();
+
+  // Interrupted refresh: its own checkpoint dir plus a small work budget.
+  // Clean base fits are seeded (and flushed) into the refresh checkpoint
+  // up front, so wherever the budget lands the directory is resumable.
+  api::RefreshOptions stopped = ref_ropt;
+  stopped.pipeline.checkpoint_dir = refresh_dir;
+  stopped.pipeline.checkpoint_every_nodes = 1;
+  stopped.pipeline.work_budget = 100;
+  StatusOr<api::MinedHierarchy> partial =
+      api::Refresh(base.value(), delta, stopped);
+  ASSERT_TRUE(partial.ok()) << partial.status().message();
+
+  // Resume without the budget: must complete to the reference refresh.
+  api::RefreshOptions resumed = ref_ropt;
+  resumed.pipeline.checkpoint_dir = refresh_dir;
+  resumed.pipeline.checkpoint_every_nodes = 1;
+  resumed.pipeline.resume = true;
+  StatusOr<api::MinedHierarchy> full =
+      api::Refresh(base.value(), delta, resumed);
+  ASSERT_TRUE(full.ok()) << full.status().message();
+  EXPECT_FALSE(full.value().partial());
+  EXPECT_EQ(TreeBytes(full.value()), TreeBytes(ref.value()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, RefreshDeterminismTest,
+                         ::testing::Values(1, 2, 8));
+
+}  // namespace
+}  // namespace latent

@@ -19,6 +19,7 @@
 #include "obs/metrics.h"
 #include "serve/engine.h"
 #include "serve/index.h"
+#include "serve/request.h"
 #include "text/tokenizer.h"
 
 namespace latent {
@@ -735,6 +736,87 @@ TEST(QueryEngineTest, EmptyIndexEngineAnswers) {
 
 // 8 real threads hammering one engine (cache + metrics attached): every
 // response must match the serial reference. Also the tsan.serve payload.
+// ---------------------------------------------------------------------------
+// ParseRequest: the one verb grammar shared by the latent_serve REPL and
+// the latent_served wire decoder.
+// ---------------------------------------------------------------------------
+
+TEST(ParseRequestTest, AcceptsEveryVerb) {
+  auto r = serve::ParseRequest("lookup o/1");
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  EXPECT_EQ(r.value().kind, serve::RequestKind::kLookup);
+  EXPECT_EQ(r.value().arg, "o/1");
+  EXPECT_EQ(r.value().k, -1);
+
+  r = serve::ParseRequest("search data mining systems");
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  EXPECT_EQ(r.value().kind, serve::RequestKind::kSearch);
+  EXPECT_EQ(r.value().arg, "data mining systems");  // spaces kept verbatim
+
+  r = serve::ParseRequest("entity Jiawei Han");
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  EXPECT_EQ(r.value().kind, serve::RequestKind::kEntity);
+  EXPECT_EQ(r.value().arg, "Jiawei Han");
+
+  r = serve::ParseRequest("subtree o/2");
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  EXPECT_EQ(r.value().kind, serve::RequestKind::kSubtree);
+  EXPECT_EQ(r.value().arg, "o/2");
+  EXPECT_EQ(r.value().k, -1);  // caller default
+}
+
+TEST(ParseRequestTest, SubtreeTakesAnOptionalDepth) {
+  auto r = serve::ParseRequest("subtree o/1 3");
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  EXPECT_EQ(r.value().arg, "o/1");
+  EXPECT_EQ(r.value().k, 3);
+
+  r = serve::ParseRequest("subtree o/1 0");
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  EXPECT_EQ(r.value().k, 0);
+
+  r = serve::ParseRequest("subtree o/1 -2");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("non-negative"), std::string::npos)
+      << r.status().message();
+}
+
+TEST(ParseRequestTest, TrimsSurroundingWhitespace) {
+  auto r = serve::ParseRequest("  lookup   o/1  ");
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  EXPECT_EQ(r.value().kind, serve::RequestKind::kLookup);
+  EXPECT_EQ(r.value().arg, "o/1");
+}
+
+TEST(ParseRequestTest, RejectsWithUniformWording) {
+  auto r = serve::ParseRequest("");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.status().message(), "empty request");
+
+  r = serve::ParseRequest("   \t  ");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().message(), "empty request");
+
+  r = serve::ParseRequest("frobnicate o/1");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("unknown verb \"frobnicate\""),
+            std::string::npos)
+      << r.status().message();
+  EXPECT_NE(r.status().message().find("lookup/search/entity/subtree"),
+            std::string::npos)
+      << r.status().message();
+
+  for (const char* verb : {"lookup", "search", "entity", "subtree"}) {
+    r = serve::ParseRequest(verb);
+    ASSERT_FALSE(r.ok()) << verb;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << verb;
+    EXPECT_EQ(r.status().message(), std::string(verb) + " needs an argument");
+  }
+}
+
 TEST(QueryEngineTest, ConcurrentQuerySmoke) {
   obs::Registry metrics;
   QueryOptions qopt;

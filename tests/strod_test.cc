@@ -146,7 +146,7 @@ TEST(StrodTest, HierarchyBuildsRequestedShape) {
   }
 }
 
-TEST(StrodTest, DeprecatedTreeWrapperMatchesNewEntryPoint) {
+TEST(StrodTest, SpectralHierarchyEntryPointIsDeterministic) {
   data::LdaGenOptions gopt;
   gopt.num_topics = 3;
   gopt.vocab_size = 50;
@@ -154,25 +154,20 @@ TEST(StrodTest, DeprecatedTreeWrapperMatchesNewEntryPoint) {
   gopt.doc_length = 20;
   gopt.seed = 5;
   data::LdaDataset ds = data::GenerateLdaDataset(gopt);
-  StrodTreeOptions topt;
-  topt.levels_k = {3};
-  topt.max_depth = 1;
-  topt.base.seed = 11;
-  core::TopicHierarchy legacy =
-      BuildStrodHierarchy(ds.docs, ds.vocab_size, topt);
   core::BuildOptions bopt;
   bopt.levels_k = {3};
   bopt.max_depth = 1;
-  bopt.min_network_weight = topt.min_node_weight;
+  bopt.min_network_weight = 500.0;
   bopt.cluster.seed = 11;
   core::InferenceOptions iopt;
   iopt.backend = core::InferenceBackendKind::kSpectral;
-  iopt.spectral = topt.base;
   iopt.spectral.seed = 11;
-  auto fresh = TryBuildSpectralHierarchy(ds.docs, ds.vocab_size, bopt, iopt);
-  ASSERT_TRUE(fresh.ok()) << fresh.status().message();
-  EXPECT_EQ(core::SerializeHierarchy(legacy),
-            core::SerializeHierarchy(fresh.value()));
+  auto first = TryBuildSpectralHierarchy(ds.docs, ds.vocab_size, bopt, iopt);
+  ASSERT_TRUE(first.ok()) << first.status().message();
+  auto second = TryBuildSpectralHierarchy(ds.docs, ds.vocab_size, bopt, iopt);
+  ASSERT_TRUE(second.ok()) << second.status().message();
+  EXPECT_EQ(core::SerializeHierarchy(first.value()),
+            core::SerializeHierarchy(second.value()));
 }
 
 class StrodSampleSizeTest : public ::testing::TestWithParam<int> {};

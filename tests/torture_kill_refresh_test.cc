@@ -1,0 +1,274 @@
+// Torture harness: kill-and-resume crash recovery for the latent_mine
+// --refresh-from path.
+//
+// Mines a base slice of a synthetic HIN corpus once (checkpointed,
+// uninterrupted), then repeatedly runs an incremental refresh that folds
+// in a ~5% delta slice — SIGKILLing the refresh at staggered points,
+// resuming with --resume after every kill, and finally byte-comparing the
+// refreshed tree against an uninterrupted reference refresh. Thread counts
+// alternate across attempts so the comparison also exercises the refresh's
+// cross-thread-count determinism contract.
+//
+// Registered with ctest under the "torture" and "refresh" labels (see
+// tests/CMakeLists.txt): ctest -L refresh
+// Usage: torture_kill_refresh_test <path-to-latent_mine>
+// A missing/invalid binary path skips the test (exit 0) so the harness
+// never breaks builds that do not produce the tool.
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "data/io.h"
+#include "data/synthetic_hin.h"
+
+namespace {
+
+using namespace latent;
+
+std::string g_dir;
+
+std::string Path(const std::string& name) { return g_dir + "/" + name; }
+
+int Fail(const std::string& why) {
+  std::fprintf(stderr, "FAIL: %s\n", why.c_str());
+  return 1;
+}
+
+// Spawns `latent_mine` with stdout/stderr appended to a log file. Returns
+// the child pid, or -1 on fork failure.
+pid_t Spawn(const std::vector<std::string>& args) {
+  pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  int fd =
+      ::open(Path("mine.log").c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd >= 0) {
+    ::dup2(fd, 1);
+    ::dup2(fd, 2);
+    ::close(fd);
+  }
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (const std::string& a : args) {
+    argv.push_back(const_cast<char*>(a.c_str()));
+  }
+  argv.push_back(nullptr);
+  ::execv(argv[0], argv.data());
+  _exit(127);
+}
+
+struct WaitResult {
+  bool exited = false;  // normal exit (vs signal)
+  int code = -1;        // exit code when exited
+  bool killed_by_us = false;
+};
+
+// Waits for `pid`, killing it with SIGKILL after `kill_after_ms` (< 0 =
+// never kill, wait for completion).
+WaitResult AwaitOrKill(pid_t pid, long long kill_after_ms) {
+  WaitResult r;
+  if (kill_after_ms >= 0) {
+    long long waited = 0;
+    while (waited < kill_after_ms) {
+      int status = 0;
+      pid_t done = ::waitpid(pid, &status, WNOHANG);
+      if (done == pid) {
+        r.exited = WIFEXITED(status);
+        r.code = r.exited ? WEXITSTATUS(status) : -1;
+        return r;
+      }
+      ::usleep(5000);
+      waited += 5;
+    }
+    ::kill(pid, SIGKILL);
+    r.killed_by_us = true;
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  if (!r.killed_by_us) {
+    r.exited = WIFEXITED(status);
+    r.code = r.exited ? WEXITSTATUS(status) : -1;
+  }
+  return r;
+}
+
+// Shared trunk of every latent_mine invocation: the BASE corpus and
+// entities plus the pipeline knobs the base checkpoint was recorded under.
+std::vector<std::string> CommonArgs(const std::string& mine,
+                                    const std::string& out, int threads) {
+  return {
+      mine,            "--corpus", Path("base_corpus.txt"),
+      "--entities",    Path("base_entities.tsv"),
+      "--levels",      "3,2",
+      "--min-support", "4",
+      "--seed",        "7",
+      "--threads",     std::to_string(threads),
+      "--save",        out,
+  };
+}
+
+std::vector<std::string> RefreshArgs(const std::string& mine,
+                                     const std::string& out, int threads,
+                                     bool checkpoint) {
+  std::vector<std::string> args = CommonArgs(mine, out, threads);
+  args.insert(args.end(),
+              {"--refresh-from", Path("base_tree.bin"),
+               "--delta-corpus", Path("delta_corpus.txt"),
+               "--delta-entities", Path("delta_entities.tsv"),
+               "--base-checkpoint-dir", Path("ckpt_base")});
+  if (checkpoint) {
+    args.insert(args.end(), {"--checkpoint-dir", Path("ckpt_refresh"),
+                             "--checkpoint-every", "1", "--resume"});
+  }
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || ::access(argv[1], X_OK) != 0) {
+    std::fprintf(stderr, "SKIP: latent_mine binary not given/executable\n");
+    return 0;
+  }
+  const std::string mine = argv[1];
+  const char* tmp = std::getenv("TMPDIR");
+  g_dir = std::string(tmp != nullptr ? tmp : "/tmp") + "/latent_torture_refresh";
+  ::system(("rm -rf " + g_dir).c_str());
+  if (::mkdir(g_dir.c_str(), 0755) != 0) return Fail("cannot mkdir " + g_dir);
+
+  // Synthesize one dataset and split it: the first 95% of documents are the
+  // base slice, the tail is the delta the refresh folds in. Entity names
+  // are shared across the split so delta attachments re-intern onto the
+  // base universes by name.
+  data::HinDatasetOptions dopt = data::DblpLikeOptions(1200, 55);
+  dopt.num_areas = 3;
+  dopt.subareas_per_area = 2;
+  data::HinDataset ds = data::GenerateHinDataset(dopt);
+  const int n = ds.corpus.num_docs();
+  const int cut = n - n / 20;
+  {
+    std::string base_txt, delta_txt;
+    for (int d = 0; d < n; ++d) {
+      const text::Document& doc = ds.corpus.docs()[d];
+      std::string line;
+      for (int id : doc.tokens) {
+        if (!line.empty()) line += " ";
+        line += ds.corpus.vocab().Token(id);
+      }
+      (d < cut ? base_txt : delta_txt) += line + "\n";
+    }
+    if (!data::WriteFile(Path("base_corpus.txt"), base_txt).ok() ||
+        !data::WriteFile(Path("delta_corpus.txt"), delta_txt).ok()) {
+      return Fail("cannot write corpora");
+    }
+    std::string base_tsv, delta_tsv;
+    for (int d = 0; d < static_cast<int>(ds.entity_docs.size()); ++d) {
+      const auto& types = ds.entity_docs[d].entities;
+      for (size_t t = 0; t < types.size(); ++t) {
+        for (int id : types[t]) {
+          const int rel = d < cut ? d : d - cut;
+          (d < cut ? base_tsv : delta_tsv) +=
+              std::to_string(rel) + "\t" + ds.entity_type_names[t] + "\te" +
+              std::to_string(t) + "_" + std::to_string(id) + "\n";
+        }
+      }
+    }
+    if (!data::WriteFile(Path("base_entities.tsv"), base_tsv).ok() ||
+        !data::WriteFile(Path("delta_entities.tsv"), delta_tsv).ok()) {
+      return Fail("cannot write entities");
+    }
+  }
+
+  // Base mine: one uninterrupted checkpointed run over the base slice. Its
+  // checkpoint directory is the refresh's --base-checkpoint-dir.
+  {
+    std::vector<std::string> args =
+        CommonArgs(mine, Path("base_tree.bin"), /*threads=*/8);
+    args.insert(args.end(), {"--checkpoint-dir", Path("ckpt_base"),
+                             "--checkpoint-every", "1"});
+    WaitResult r = AwaitOrKill(Spawn(args), /*kill_after_ms=*/-1);
+    if (!r.exited || r.code != 0) {
+      return Fail("base mine failed (see " + Path("mine.log") + ")");
+    }
+  }
+
+  // Reference: one uninterrupted, checkpoint-free refresh.
+  {
+    WaitResult r = AwaitOrKill(
+        Spawn(RefreshArgs(mine, Path("ref.bin"), /*threads=*/1,
+                          /*checkpoint=*/false)),
+        /*kill_after_ms=*/-1);
+    if (!r.exited || r.code != 0) {
+      return Fail("reference refresh failed (see " + Path("mine.log") + ")");
+    }
+  }
+  auto ref = data::ReadFile(Path("ref.bin"));
+  if (!ref.ok()) return Fail("reference refreshed tree missing");
+
+  // Kill-and-resume loop: SIGKILL the checkpointed refresh at staggered
+  // delays, alternating thread counts, resuming each time. Stops as soon
+  // as one attempt survives to completion.
+  int kills = 0;
+  bool completed = false;
+  const int kMaxAttempts = 12;
+  for (int attempt = 0; attempt < kMaxAttempts && !completed; ++attempt) {
+    const int threads = attempt % 2 == 0 ? 1 : 8;
+    const long long delay_ms = 30 + 50LL * attempt;  // staggered kill points
+    WaitResult r = AwaitOrKill(
+        Spawn(RefreshArgs(mine, Path("out.bin"), threads,
+                          /*checkpoint=*/true)),
+        delay_ms);
+    if (r.killed_by_us) {
+      ++kills;
+      continue;
+    }
+    if (!r.exited || r.code != 0) {
+      return Fail("interrupted refresh exited with an error (attempt " +
+                  std::to_string(attempt) + ", see " + Path("mine.log") + ")");
+    }
+    completed = true;
+  }
+  if (!completed) {
+    // Every staggered attempt was killed first; one final uninterrupted
+    // resume must finish the job.
+    WaitResult r = AwaitOrKill(
+        Spawn(RefreshArgs(mine, Path("out.bin"), /*threads=*/8,
+                          /*checkpoint=*/true)),
+        /*kill_after_ms=*/-1);
+    if (!r.exited || r.code != 0) return Fail("final refresh resume failed");
+  }
+
+  auto out = data::ReadFile(Path("out.bin"));
+  if (!out.ok()) return Fail("resumed refreshed tree missing");
+  if (out.value() != ref.value()) {
+    return Fail(
+        "resumed refreshed tree differs from the uninterrupted reference (" +
+        std::to_string(kills) + " kills)");
+  }
+
+  // CLI contract: refresh flags without --refresh-from are a usage error
+  // (exit 2), not silently ignored.
+  {
+    WaitResult r = AwaitOrKill(
+        Spawn({mine, "--corpus", Path("base_corpus.txt"), "--delta-corpus",
+               Path("delta_corpus.txt")}),
+        /*kill_after_ms=*/-1);
+    if (!r.exited || r.code != 2) {
+      return Fail("--delta-corpus without --refresh-from should exit 2, got " +
+                  std::to_string(r.code));
+    }
+  }
+
+  std::fprintf(stderr,
+               "PASS: byte-identical refreshed trees after %d SIGKILL "
+               "interruption(s)\n",
+               kills);
+  return 0;
+}

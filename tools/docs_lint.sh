@@ -5,6 +5,7 @@
 #   * a latent_serve command-line flag parsed in tools/latent_serve.cc,
 #   * a latent_served command-line flag parsed in tools/latent_served.cc,
 #   * a PipelineOptions field declared in src/api/latent.h,
+#   * a RefreshOptions field declared in src/api/refresh.h,
 #   * an InferenceOptions or SpectralOptions field declared in
 #     src/core/inference.h, or
 #   * a QueryOptions field declared in src/serve/engine.h, or
@@ -21,6 +22,7 @@ mine_cc="$root/tools/latent_mine.cc"
 serve_cc="$root/tools/latent_serve.cc"
 served_cc="$root/tools/latent_served.cc"
 api_h="$root/src/api/latent.h"
+refresh_h="$root/src/api/refresh.h"
 inference_h="$root/src/core/inference.h"
 engine_h="$root/src/serve/engine.h"
 server_h="$root/src/served/server.h"
@@ -29,8 +31,9 @@ bench_cmake="$root/bench/CMakeLists.txt"
 perf_md="$root/docs/PERFORMANCE.md"
 
 fail=0
-for f in "$mine_cc" "$serve_cc" "$served_cc" "$api_h" "$inference_h" \
-         "$engine_h" "$server_h" "$ops_md" "$bench_cmake" "$perf_md"; do
+for f in "$mine_cc" "$serve_cc" "$served_cc" "$api_h" "$refresh_h" \
+         "$inference_h" "$engine_h" "$server_h" "$ops_md" "$bench_cmake" \
+         "$perf_md"; do
   if [ ! -f "$f" ]; then
     echo "docs_lint: missing $f" >&2
     exit 1
@@ -87,6 +90,7 @@ mine_flags=$(cli_flags "$mine_cc")
 serve_flags=$(cli_flags "$serve_cc")
 served_flags=$(cli_flags "$served_cc")
 popt_fields=$(struct_fields "$api_h" PipelineOptions)
+ropt_fields=$(struct_fields "$refresh_h" RefreshOptions)
 iopt_fields=$(struct_fields "$inference_h" InferenceOptions)
 sopt_fields=$(struct_fields "$inference_h" SpectralOptions)
 qopt_fields=$(struct_fields "$engine_h" QueryOptions)
@@ -97,6 +101,7 @@ check_surface "latent_mine flag" "$mine_flags"
 check_surface "latent_serve flag" "$serve_flags"
 check_surface "latent_served flag" "$served_flags"
 check_surface "PipelineOptions field" "$popt_fields"
+check_surface "RefreshOptions field" "$ropt_fields"
 check_surface "InferenceOptions field" "$iopt_fields"
 check_surface "SpectralOptions field" "$sopt_fields"
 check_surface "QueryOptions field" "$qopt_fields"
@@ -108,6 +113,7 @@ if [ "$fail" -eq 0 ]; then
        "($(echo "$mine_flags" | wc -l) + $(echo "$serve_flags" | wc -l) +" \
        "$(echo "$served_flags" | wc -l) flags," \
        "$(echo "$popt_fields" | wc -l) +" \
+       "$(echo "$ropt_fields" | wc -l) +" \
        "$(echo "$iopt_fields" | wc -l) +" \
        "$(echo "$sopt_fields" | wc -l) +" \
        "$(echo "$qopt_fields" | wc -l) +" \

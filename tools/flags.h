@@ -44,6 +44,19 @@ inline bool ParseUInt(const char* s, unsigned long long* out) {
   return true;
 }
 
+/// Strict double parse of the whole string (decimal or scientific
+/// notation); rejects empty input, trailing junk, and non-finite values.
+inline bool ParseDouble(const char* s, double* out) {
+  if (s == nullptr || *s == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == nullptr || *end != '\0' || errno == ERANGE) return false;
+  if (!(v >= -1e308 && v <= 1e308)) return false;  // NaN / inf
+  *out = v;
+  return true;
+}
+
 /// Strict parse of a comma-separated int list ("6,4" -> {6, 4}). Empty
 /// items ("6,,4"), non-numeric items, out-of-int-range items, and an empty
 /// spec are all rejected.

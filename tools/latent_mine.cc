@@ -17,6 +17,13 @@
 // process: the build winds down cooperatively, commits the deepest
 // fully-converged partial frontier, and every export (--json / --save /
 // --metrics-json) still happens. A second signal kills for real.
+//
+// Incremental re-mining: with --refresh-from TREE (a previous --save
+// export) plus --delta-corpus and --base-checkpoint-dir, the tool calls
+// api::Refresh instead of api::Mine — only the subtrees the delta
+// documents touch are re-fit (warm-started from the base checkpoint);
+// clean subtrees are reused byte-identically. --corpus/--entities then
+// name the BASE inputs the tree was mined from.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -25,10 +32,12 @@
 #include <vector>
 
 #include "api/latent.h"
+#include "api/refresh.h"
 #include "common/retry.h"
 #include "core/serialize.h"
 #include "data/io.h"
 #include "flags.h"
+#include "phrase/frequent_miner.h"
 
 namespace {
 
@@ -56,6 +65,9 @@ int Usage() {
       "                   [--resume] [--json FILE] [--save FILE]\n"
       "                   [--metrics-json FILE] [--progress]\n"
       "                   [--failpoints SPEC] [--stem] [--equal-weights]\n"
+      "                   [--refresh-from TREE --delta-corpus FILE\n"
+      "                    --base-checkpoint-dir DIR [--delta-entities FILE]\n"
+      "                    [--route-threshold X] [--no-warm-start]]\n"
       "  --threads N          worker threads (0 = all cores, 1 = serial;\n"
       "                       results are identical either way)\n"
       "  --inference MODE     per-node topic inference backend: em (default,\n"
@@ -84,7 +96,21 @@ int Usage() {
       "  --failpoints SPEC    arm runtime fault schedules, e.g.\n"
       "                       'io.read=p:0.05;ckpt.write=every:7' (see\n"
       "                       docs/OPERATIONS.md; LATENT_FAILPOINTS env is\n"
-      "                       the fallback when the flag is absent)\n");
+      "                       the fallback when the flag is absent)\n"
+      "  --refresh-from TREE  incremental re-mine: fold a delta corpus into\n"
+      "                       the hierarchy previously exported with --save;\n"
+      "                       --corpus/--entities then name the BASE inputs\n"
+      "  --delta-corpus FILE  the NEW documents only (one per line)\n"
+      "  --delta-entities FILE entity attachments of the delta documents\n"
+      "                       (doc indices are delta-relative; names are\n"
+      "                       matched against the base entity universes)\n"
+      "  --base-checkpoint-dir DIR  checkpoint directory of the base mine;\n"
+      "                       its fingerprint must match --corpus + options\n"
+      "  --route-threshold X  re-fit a subtree when it absorbs at least this\n"
+      "                       fraction of its parent's delta evidence\n"
+      "                       (default 0.05; <= 0 re-fits everything)\n"
+      "  --no-warm-start      re-fit dirty subtrees cold instead of seeding\n"
+      "                       them from the base checkpoint's fits\n");
   return 2;
 }
 
@@ -108,6 +134,10 @@ int main(int argc, char** argv) {
   bool stem = false;
   bool learn_weights = true;
   std::string failpoints_spec;
+  std::string refresh_from, delta_corpus_path, delta_entities_path;
+  std::string base_checkpoint_dir;
+  double route_threshold = 0.05;
+  bool warm_start = true;
   core::InferenceBackendKind inference = core::InferenceBackendKind::kEm;
 
   for (int i = 1; i < argc; ++i) {
@@ -189,12 +219,44 @@ int main(int argc, char** argv) {
       stem = true;
     } else if (arg == "--equal-weights") {
       learn_weights = false;
+    } else if (arg == "--refresh-from") {
+      if (const char* v = next()) refresh_from = v;
+    } else if (arg == "--delta-corpus") {
+      if (const char* v = next()) delta_corpus_path = v;
+    } else if (arg == "--delta-entities") {
+      if (const char* v = next()) delta_entities_path = v;
+    } else if (arg == "--base-checkpoint-dir") {
+      if (const char* v = next()) base_checkpoint_dir = v;
+    } else if (arg == "--route-threshold") {
+      if (!tools::ParseDouble(next(), &route_threshold)) {
+        std::fprintf(stderr,
+                     "error: --route-threshold needs a finite number\n");
+        std::exit(2);
+      }
+    } else if (arg == "--no-warm-start") {
+      warm_start = false;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return Usage();
     }
   }
   if (corpus_path.empty()) return Usage();
+  const bool refresh_mode = !refresh_from.empty();
+  if (refresh_mode &&
+      (delta_corpus_path.empty() || base_checkpoint_dir.empty())) {
+    std::fprintf(stderr,
+                 "error: --refresh-from needs --delta-corpus and "
+                 "--base-checkpoint-dir\n");
+    return Usage();
+  }
+  if (!refresh_mode &&
+      (!delta_corpus_path.empty() || !delta_entities_path.empty() ||
+       !base_checkpoint_dir.empty())) {
+    std::fprintf(stderr,
+                 "error: --delta-corpus/--delta-entities/"
+                 "--base-checkpoint-dir only apply with --refresh-from\n");
+    return Usage();
+  }
   if (!tools::ArmFailpoints("latent_mine", failpoints_spec)) return 2;
 
   text::TokenizeOptions topt;
@@ -271,7 +333,97 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, OnStopSignal);
   api::PipelineInput input(
       corpus, api::EntitySchema(type_names, type_sizes), entity_docs);
-  StatusOr<api::MinedHierarchy> result = api::Mine(input, opt);
+
+  // Refresh mode needs the delta inputs loaded — and delta entity names
+  // re-interned through the base universes so ids line up — before the
+  // call. Everything here outlives the Refresh() call below.
+  StatusOr<text::Corpus> delta_corpus_or =
+      Status::InvalidArgument("no delta corpus loaded");
+  std::vector<hin::EntityDoc> delta_entity_docs;
+  api::MinedHierarchy existing;
+  StatusOr<api::MinedHierarchy> result =
+      Status::InvalidArgument("pipeline never ran");
+  if (refresh_mode) {
+    auto blob = data::ReadFile(refresh_from);
+    if (!blob.ok()) {
+      std::fprintf(stderr, "error: %s\n", blob.status().message().c_str());
+      return 1;
+    }
+    auto tree_or = core::DeserializeHierarchy(blob.value());
+    if (!tree_or.ok()) {
+      std::fprintf(stderr, "error: %s\n", tree_or.status().message().c_str());
+      return 1;
+    }
+    delta_corpus_or = data::LoadCorpusFromFile(delta_corpus_path, topt);
+    if (!delta_corpus_or.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   delta_corpus_or.status().message().c_str());
+      return 1;
+    }
+    const text::Corpus& delta_corpus = delta_corpus_or.value();
+    std::fprintf(stderr, "loaded %d delta docs\n", delta_corpus.num_docs());
+    if (!delta_entities_path.empty()) {
+      auto loaded = data::LoadEntityAttachments(delta_entities_path,
+                                                delta_corpus.num_docs());
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     loaded.status().message().c_str());
+        return 1;
+      }
+      // Remap delta ids into the base universes by entity NAME; unseen
+      // names grow the base universe (and the merged schema with it).
+      const data::EntityAttachments& da = loaded.value();
+      std::vector<int> type_map(da.type_names.size(), -1);
+      for (size_t t = 0; t < da.type_names.size(); ++t) {
+        for (size_t b = 0; b < attachments.type_names.size(); ++b) {
+          if (da.type_names[t] == attachments.type_names[b]) {
+            type_map[t] = static_cast<int>(b);
+            break;
+          }
+        }
+        if (type_map[t] < 0) {
+          std::fprintf(stderr,
+                       "error: delta entity type %s is not in the base "
+                       "schema\n",
+                       da.type_names[t].c_str());
+          return 1;
+        }
+      }
+      delta_entity_docs.resize(da.entity_docs.size());
+      for (size_t d = 0; d < da.entity_docs.size(); ++d) {
+        delta_entity_docs[d].entities.resize(attachments.type_names.size());
+        for (size_t t = 0; t < da.entity_docs[d].entities.size(); ++t) {
+          for (int id : da.entity_docs[d].entities[t]) {
+            delta_entity_docs[d].entities[type_map[t]].push_back(
+                attachments.entity_names[type_map[t]].Intern(
+                    da.entity_names[t].Token(id)));
+          }
+        }
+      }
+      type_sizes = attachments.TypeSizes();  // universes may have grown
+    }
+    // The base tree rides in a MinedHierarchy shell: Refresh() only reads
+    // its corpus and tree, but the shell needs a phrase dict to exist —
+    // re-mine it from the base corpus (cheap next to any EM fit).
+    existing = api::MinedHierarchy(
+        corpus, std::move(tree_or.value()),
+        phrase::MineFrequentPhrases(corpus, opt.miner), 0);
+    api::RefreshOptions ropt;
+    ropt.pipeline = opt;
+    ropt.base_checkpoint_dir = base_checkpoint_dir;
+    if (!entity_docs.empty()) ropt.base_entity_docs = &entity_docs;
+    ropt.route_threshold = route_threshold;
+    ropt.warm_start = warm_start;
+    api::PipelineInput delta_input;
+    delta_input.corpus = &delta_corpus;
+    if (!delta_entity_docs.empty()) {
+      delta_input.schema = api::EntitySchema(type_names, type_sizes);
+      delta_input.entity_docs = &delta_entity_docs;
+    }
+    result = api::Refresh(existing, delta_input, ropt);
+  } else {
+    result = api::Mine(input, opt);
+  }
   if (cancel_token.cancelled()) {
     std::fprintf(stderr,
                  "interrupted: committing the partial hierarchy frontier\n");
@@ -297,8 +449,10 @@ int main(int argc, char** argv) {
   // checkpointer uses: a busy filesystem shouldn't discard a long run.
   const io::RetryPolicy retry;
   if (!json_path.empty()) {
+    // In refresh mode the result spans the MERGED corpus/universes, so
+    // names must come from the result's own corpus, not the base one.
     auto namer = [&](int type, int id) -> std::string {
-      if (type == 0) return corpus.vocab().Token(id);
+      if (type == 0) return mined.corpus().vocab().Token(id);
       return attachments.entity_names[type - 1].Token(id);
     };
     const std::string json = core::HierarchyToJson(mined.tree(), namer);

@@ -38,6 +38,7 @@
 #include "data/io.h"
 #include "flags.h"
 #include "serve/engine.h"
+#include "serve/request.h"
 
 namespace {
 
@@ -79,54 +80,21 @@ int Usage() {
   return 2;
 }
 
-// Parses one request line; empty/comment lines return false with an empty
-// error, malformed lines return false with a message.
+// Parses one request line via the shared serve::ParseRequest grammar;
+// empty/comment lines return false with an empty error, malformed lines
+// return false with the parser's message.
 bool ParseRequestLine(const std::string& line, latent::serve::Request* req,
                       std::string* err) {
   err->clear();
-  size_t begin = line.find_first_not_of(" \t\r");
+  const size_t begin = line.find_first_not_of(" \t\r");
   if (begin == std::string::npos || line[begin] == '#') return false;
-  size_t end = line.find_last_not_of(" \t\r");
-  const std::string trimmed = line.substr(begin, end - begin + 1);
-  const size_t space = trimmed.find_first_of(" \t");
-  const std::string cmd = trimmed.substr(0, space);
-  std::string rest;
-  if (space != std::string::npos) {
-    const size_t arg_begin = trimmed.find_first_not_of(" \t", space);
-    if (arg_begin != std::string::npos) rest = trimmed.substr(arg_begin);
-  }
-  req->k = -1;
-  if (cmd == "lookup") {
-    req->kind = latent::serve::RequestKind::kLookup;
-  } else if (cmd == "search") {
-    req->kind = latent::serve::RequestKind::kSearch;
-  } else if (cmd == "entity") {
-    req->kind = latent::serve::RequestKind::kEntity;
-  } else if (cmd == "subtree") {
-    req->kind = latent::serve::RequestKind::kSubtree;
-    const size_t sep = rest.find_first_of(" \t");
-    if (sep != std::string::npos) {
-      const size_t depth_begin = rest.find_first_not_of(" \t", sep);
-      long long depth = 0;
-      if (depth_begin == std::string::npos ||
-          !latent::tools::ParseInt(rest.c_str() + depth_begin, &depth) ||
-          depth < 0) {
-        *err = "subtree depth must be a non-negative integer";
-        return false;
-      }
-      req->k = static_cast<int>(depth);
-      rest = rest.substr(0, rest.find_last_not_of(" \t", sep) + 1);
-    }
-  } else {
-    *err = "unknown command \"" + cmd +
-           "\" (expected lookup/search/entity/subtree)";
+  latent::StatusOr<latent::serve::Request> parsed =
+      latent::serve::ParseRequest(line);
+  if (!parsed.ok()) {
+    *err = parsed.status().message();
     return false;
   }
-  if (rest.empty()) {
-    *err = cmd + " needs an argument";
-    return false;
-  }
-  req->arg = std::move(rest);
+  *req = std::move(parsed.value());
   return true;
 }
 

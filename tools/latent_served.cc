@@ -25,8 +25,21 @@
 //     otherwise) and hot-swaps it with zero downtime — in-flight queries
 //     finish on the old snapshot, responses are generation-tagged.
 //
+// Incremental refresh: with --delta-corpus (plus --base-checkpoint-dir and
+// --refresh-checkpoint-dir), the initial in-process mine checkpoints its
+// fits, and every SIGHUP re-reads the delta file, folds only the documents
+// appended since the last refresh into the served hierarchy via
+// api::Refresh — re-fitting just the subtrees the new documents touch —
+// and publishes the result through the same zero-downtime snapshot swap.
+// Refreshes compound: each one checkpoints into a fresh generation
+// directory under --refresh-checkpoint-dir and becomes the base of the
+// next. Delta documents are served without entity attachments.
+//
 // Exit codes: 0 clean drain, 1 runtime error, 2 usage error, 3 the drain
 // deadline expired and straggler queries were cancelled.
+#include <sys/stat.h>
+
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -40,6 +53,7 @@
 #include <vector>
 
 #include "api/latent.h"
+#include "api/refresh.h"
 #include "common/retry.h"
 #include "data/io.h"
 #include "flags.h"
@@ -78,6 +92,9 @@ int Usage() {
       "                     [--failpoints SPEC]\n"
       "                     [--threads N] [--cache-mb N] [--cache-shards N]\n"
       "                     [--top-k N] [--metrics-json FILE] [--stem]\n"
+      "                     [--delta-corpus FILE --base-checkpoint-dir DIR\n"
+      "                      --refresh-checkpoint-dir DIR\n"
+      "                      [--route-threshold X] [--no-warm-start]]\n"
       "  --port N             TCP port on 127.0.0.1 (default 0 = ephemeral)\n"
       "  --port-file FILE     write the bound port to FILE once listening\n"
       "  --max-inflight N     connections served concurrently (default 4)\n"
@@ -101,7 +118,22 @@ int Usage() {
       "                       env is the fallback when the flag is absent)\n"
       "  --threads N          index build / mine threads (0 = all cores)\n"
       "  --metrics-json FILE  dump served.* and serve.* metrics as JSON to\n"
-      "                       FILE on exit; see docs/METRICS.md\n");
+      "                       FILE on exit; see docs/METRICS.md\n"
+      "  --delta-corpus FILE  incremental refresh: on SIGHUP, fold the\n"
+      "                       documents appended to FILE since the last\n"
+      "                       refresh into the served hierarchy via\n"
+      "                       api::Refresh (re-fits only touched subtrees)\n"
+      "                       instead of re-mining from scratch\n"
+      "  --base-checkpoint-dir DIR   checkpoint the initial in-process mine\n"
+      "                       here; the first refresh reuses its fits\n"
+      "  --refresh-checkpoint-dir DIR  each refresh checkpoints into a new\n"
+      "                       generation directory under DIR and becomes\n"
+      "                       the base of the next (compounding refreshes)\n"
+      "  --route-threshold X  re-fit a subtree when it absorbs at least\n"
+      "                       this fraction of its parent's delta evidence\n"
+      "                       (default 0.05; <= 0 re-fits everything)\n"
+      "  --no-warm-start      re-fit dirty subtrees cold instead of seeding\n"
+      "                       them from the base fits\n");
   return 2;
 }
 
@@ -129,6 +161,9 @@ int main(int argc, char** argv) {
   long long cache_shards = 8;
   long long top_k = 10;
   bool stem = false;
+  std::string delta_corpus_path, base_checkpoint_dir, refresh_checkpoint_dir;
+  double route_threshold = 0.05;
+  bool warm_start = true;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -202,13 +237,58 @@ int main(int argc, char** argv) {
       if (const char* v = next()) metrics_json_path = v;
     } else if (arg == "--stem") {
       stem = true;
+    } else if (arg == "--delta-corpus") {
+      if (const char* v = next()) delta_corpus_path = v;
+    } else if (arg == "--base-checkpoint-dir") {
+      if (const char* v = next()) base_checkpoint_dir = v;
+    } else if (arg == "--refresh-checkpoint-dir") {
+      if (const char* v = next()) refresh_checkpoint_dir = v;
+    } else if (arg == "--route-threshold") {
+      if (!tools::ParseDouble(next(), &route_threshold)) {
+        std::fprintf(stderr,
+                     "error: --route-threshold needs a finite number\n");
+        return 2;
+      }
+    } else if (arg == "--no-warm-start") {
+      warm_start = false;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return Usage();
     }
   }
   if (corpus_path.empty()) return Usage();
+  const bool refresh_mode = !delta_corpus_path.empty();
+  if (refresh_mode &&
+      (base_checkpoint_dir.empty() || refresh_checkpoint_dir.empty())) {
+    std::fprintf(stderr,
+                 "error: --delta-corpus needs --base-checkpoint-dir and "
+                 "--refresh-checkpoint-dir\n");
+    return Usage();
+  }
+  if (refresh_mode && !tree_path.empty()) {
+    std::fprintf(stderr,
+                 "error: --delta-corpus refreshes the in-process mine and "
+                 "cannot be combined with --tree\n");
+    return Usage();
+  }
+  if (!refresh_mode &&
+      (!base_checkpoint_dir.empty() || !refresh_checkpoint_dir.empty())) {
+    std::fprintf(stderr,
+                 "error: --base-checkpoint-dir/--refresh-checkpoint-dir "
+                 "only apply with --delta-corpus\n");
+    return Usage();
+  }
   if (!tools::ArmFailpoints("latent_served", failpoints_spec)) return 2;
+  if (refresh_mode) {
+    // Per-generation refresh checkpoints live one level below this dir,
+    // and the checkpointer only creates that last level itself.
+    if (::mkdir(refresh_checkpoint_dir.c_str(), 0777) != 0 &&
+        errno != EEXIST) {
+      std::fprintf(stderr, "error: cannot create %s: %s\n",
+                   refresh_checkpoint_dir.c_str(), std::strerror(errno));
+      return 1;
+    }
+  }
 
   // A client vanishing mid-response must never kill the daemon.
   std::signal(SIGPIPE, SIG_IGN);
@@ -248,11 +328,27 @@ int main(int argc, char** argv) {
   serve_eopt.num_threads = static_cast<int>(max_inflight);
   exec::Executor serve_ex(serve_eopt);
 
+  // Refresh state: the served hierarchy (base of the next refresh), how
+  // many delta-file documents have been folded in so far, the checkpoint
+  // directory the NEXT refresh resumes fits from, and the entity
+  // attachments of the served corpus (delta documents get none).
+  std::unique_ptr<api::MinedHierarchy> current;
+  int consumed_delta_docs = 0;
+  long long refresh_gen = 0;
+  std::string current_base_dir = base_checkpoint_dir;
+  std::vector<hin::EntityDoc> served_entity_docs = attachments.entity_docs;
+  // Points at the corpus the live snapshot was mined from; refreshes move
+  // it to the merged corpus owned by `current`.
+  const text::Corpus* named_corpus = &corpus;
+
   serve::IndexOptions iopt;
   if (have_entities) {
-    iopt.namer = [&corpus, &attachments](int type, int id) -> std::string {
+    iopt.namer = [&named_corpus, &attachments](int type,
+                                               int id) -> std::string {
       if (type == 0) {
-        if (id < corpus.vocab_size()) return corpus.vocab().Token(id);
+        if (id < named_corpus->vocab_size()) {
+          return named_corpus->vocab().Token(id);
+        }
       } else if (type - 1 < static_cast<int>(attachments.entity_names.size())) {
         const text::Vocabulary& names = attachments.entity_names[type - 1];
         if (id < names.size()) return names.Token(id);
@@ -269,11 +365,41 @@ int main(int argc, char** argv) {
   obs::Registry metrics;
   const bool want_metrics = !metrics_json_path.empty();
 
-  // Builds a fresh engine snapshot: --tree loads the serialized artifact
-  // (re-read on every call, so SIGHUP picks up a rewritten file), otherwise
-  // the hierarchy is mined in-process. The engine gets NO executor —
+  // The pipeline configuration of the in-process mine. In refresh mode the
+  // initial mine checkpoints its fits into --base-checkpoint-dir (resuming
+  // them if a previous daemon already mined there) so the first SIGHUP
+  // refresh has a base to reuse.
+  api::PipelineOptions mine_opt;
+  mine_opt.build.levels_k = levels;
+  mine_opt.build.max_depth = static_cast<int>(levels.size());
+  mine_opt.build.cluster.seed = seed;
+  mine_opt.miner.min_support = min_support;
+  mine_opt.exec.num_threads = num_threads;
+  if (refresh_mode) {
+    mine_opt.checkpoint_dir = base_checkpoint_dir;
+    mine_opt.resume = true;
+  }
+
+  // Wraps a built index into a query engine. The engine gets NO executor —
   // daemon queries are single requests, and the serve executor's threads
   // are all occupied by server worker loops.
+  auto finish_engine = [&](serve::HierarchyIndex index)
+      -> StatusOr<std::unique_ptr<const serve::QueryEngine>> {
+    serve::QueryOptions qopt;
+    qopt.default_k = static_cast<int>(top_k);
+    qopt.cache_bytes = cache_mb > 0 ? cache_mb << 20 : 0;
+    qopt.cache_shards = static_cast<int>(cache_shards);
+    if (want_metrics) qopt.metrics = &metrics;
+    StatusOr<std::unique_ptr<serve::QueryEngine>> engine =
+        serve::QueryEngine::Create(std::move(index), qopt, nullptr);
+    if (!engine.ok()) return engine.status();
+    return std::unique_ptr<const serve::QueryEngine>(
+        std::move(engine.value()));
+  };
+
+  // Builds a fresh engine snapshot: --tree loads the serialized artifact
+  // (re-read on every call, so SIGHUP picks up a rewritten file), otherwise
+  // the hierarchy is mined in-process.
   auto build_engine =
       [&]() -> StatusOr<std::unique_ptr<const serve::QueryEngine>> {
     serve::HierarchyIndex index;
@@ -285,32 +411,85 @@ int main(int argc, char** argv) {
       if (!loaded.ok()) return loaded.status();
       index = std::move(loaded.value());
     } else {
-      api::PipelineOptions opt;
-      opt.build.levels_k = levels;
-      opt.build.max_depth = static_cast<int>(levels.size());
-      opt.build.cluster.seed = seed;
-      opt.miner.min_support = min_support;
-      opt.exec.num_threads = num_threads;
       api::PipelineInput input(
           corpus,
           api::EntitySchema(attachments.type_names, attachments.TypeSizes()),
           attachments.entity_docs);
-      StatusOr<api::MinedHierarchy> mined = api::Mine(input, opt);
+      StatusOr<api::MinedHierarchy> mined = api::Mine(input, mine_opt);
       if (!mined.ok()) return mined.status();
       StatusOr<serve::HierarchyIndex> built = mined.value().MakeIndex(iopt);
       if (!built.ok()) return built.status();
+      if (refresh_mode) {
+        current =
+            std::make_unique<api::MinedHierarchy>(std::move(mined.value()));
+        named_corpus = &current->corpus();
+      }
       index = std::move(built.value());
     }
-    serve::QueryOptions qopt;
-    qopt.default_k = static_cast<int>(top_k);
-    qopt.cache_bytes = cache_mb > 0 ? cache_mb << 20 : 0;
-    qopt.cache_shards = static_cast<int>(cache_shards);
-    if (want_metrics) qopt.metrics = &metrics;
-    StatusOr<std::unique_ptr<serve::QueryEngine>> engine =
-        serve::QueryEngine::Create(std::move(index), qopt, nullptr);
-    if (!engine.ok()) return engine.status();
-    return std::unique_ptr<const serve::QueryEngine>(
-        std::move(engine.value()));
+    return finish_engine(std::move(index));
+  };
+
+  // Incremental SIGHUP path: re-read the delta file, fold only the
+  // documents appended since the last refresh into the served hierarchy,
+  // and advance the refresh state (the refreshed result becomes the base
+  // of the next refresh; its checkpoint directory rotates per generation).
+  auto refresh_engine =
+      [&]() -> StatusOr<std::unique_ptr<const serve::QueryEngine>> {
+    StatusOr<text::Corpus> all_or =
+        data::LoadCorpusFromFile(delta_corpus_path, topt);
+    if (!all_or.ok()) return all_or.status();
+    const text::Corpus& all = all_or.value();
+    if (all.num_docs() < consumed_delta_docs) {
+      return Status::FailedPrecondition(
+          "delta corpus " + delta_corpus_path + " shrank (" +
+          std::to_string(all.num_docs()) + " docs < " +
+          std::to_string(consumed_delta_docs) +
+          " already folded in); deltas must be append-only");
+    }
+    // The unconsumed tail, re-interned into its own vocabulary (Refresh
+    // merges by token string, not id).
+    text::Corpus delta;
+    for (int d = consumed_delta_docs; d < all.num_docs(); ++d) {
+      const text::Document& doc = all.docs()[d];
+      std::vector<int> ids;
+      ids.reserve(doc.tokens.size());
+      for (int t : doc.tokens) {
+        ids.push_back(delta.mutable_vocab().Intern(all.vocab().Token(t)));
+      }
+      delta.AddDocumentIds(std::move(ids));
+      delta.mutable_doc(delta.num_docs() - 1).segment_starts =
+          doc.segment_starts;
+    }
+    std::fprintf(stderr, "refresh: %d new delta docs\n", delta.num_docs());
+    api::RefreshOptions ropt;
+    ropt.pipeline = mine_opt;
+    ropt.pipeline.checkpoint_dir =
+        refresh_checkpoint_dir + "/gen-" + std::to_string(refresh_gen + 1);
+    ropt.pipeline.resume = true;
+    ropt.base_checkpoint_dir = current_base_dir;
+    if (!served_entity_docs.empty()) {
+      ropt.base_entity_docs = &served_entity_docs;
+    }
+    ropt.route_threshold = route_threshold;
+    ropt.warm_start = warm_start;
+    api::PipelineInput delta_input;
+    delta_input.corpus = &delta;
+    StatusOr<api::MinedHierarchy> refreshed =
+        api::Refresh(*current, delta_input, ropt);
+    if (!refreshed.ok()) return refreshed.status();
+    StatusOr<serve::HierarchyIndex> built = refreshed.value().MakeIndex(iopt);
+    if (!built.ok()) return built.status();
+    // Commit the refresh state only once everything downstream succeeded.
+    *current = std::move(refreshed.value());
+    named_corpus = &current->corpus();
+    consumed_delta_docs = all.num_docs();
+    current_base_dir = ropt.pipeline.checkpoint_dir;
+    ++refresh_gen;
+    if (!served_entity_docs.empty()) {
+      served_entity_docs.resize(
+          static_cast<size_t>(current->corpus().num_docs()));
+    }
+    return finish_engine(std::move(built.value()));
   };
 
   auto first_engine = build_engine();
@@ -372,8 +551,10 @@ int main(int argc, char** argv) {
   while (!server.ShutdownRequested()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
     if (g_reload.exchange(false)) {
-      std::fprintf(stderr, "reloading snapshot (SIGHUP)\n");
-      auto engine = build_engine();
+      std::fprintf(stderr, refresh_mode
+                               ? "refreshing snapshot (SIGHUP)\n"
+                               : "reloading snapshot (SIGHUP)\n");
+      auto engine = refresh_mode ? refresh_engine() : build_engine();
       if (!engine.ok()) {
         // The old snapshot keeps serving; a broken reload is not fatal.
         std::fprintf(stderr, "error: reload failed: %s\n",
